@@ -1,0 +1,21 @@
+//! Reproduction of every table and figure in the MopEye evaluation.
+//!
+//! The paper's evaluation splits into micro-benchmarks of the tool itself
+//! (§3.3, §3.5, §4.1 — Figures 5, Tables 1–4) and analyses of the
+//! crowdsourced dataset (§4.2 — Figures 6–11, Tables 5–6 and two case
+//! studies). The [`micro`] module regenerates the former by running the
+//! relay engine and the baselines on the simulated substrates; the [`crowd`]
+//! module regenerates the latter from a [`mop_dataset::SyntheticDataset`].
+//! [`render`] turns the results into the text tables and CDF series that
+//! `EXPERIMENTS.md` and the `repro` binary print.
+
+pub mod crowd;
+pub mod micro;
+pub mod render;
+
+pub use crowd::{
+    CaseJio, CaseWhatsapp, Fig10Dns, Fig11IspDns, Fig6Contribution, Fig7Countries, Fig8Locations,
+    Fig9AppRtt, Table5Apps, Table6IspDns,
+};
+pub use micro::{Fig5Mapping, Table1TunnelWrite, Table2Accuracy, Table3Throughput, Table4Resources};
+pub use render::{render_cdf_series, render_table};

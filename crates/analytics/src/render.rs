@@ -1,0 +1,91 @@
+//! Plain-text rendering of tables and CDF series for `EXPERIMENTS.md` and the
+//! `repro` binary.
+
+use mop_measure::Cdf;
+
+/// Renders a table with a header row and aligned columns.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a CDF as `x<TAB>F(x)` rows, one series per call.
+pub fn render_cdf_series(label: &str, cdf: &Cdf, x_max: f64, points: usize) -> String {
+    let mut out = format!("# CDF: {label} ({} samples)\n", cdf.len());
+    for (x, f) in cdf.series(x_max, points) {
+        out.push_str(&format!("{x:.1}\t{f:.4}\n"));
+    }
+    out
+}
+
+/// Formats a float with one decimal, using "n/a" for non-finite values.
+pub fn fmt_ms(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "n/a".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let text = render_table(
+            "Table X: demo",
+            &["name", "value"],
+            &[
+                vec!["Google".into(), "4.3".into()],
+                vec!["Dropbox".into(), "284.5".into()],
+            ],
+        );
+        assert!(text.starts_with("Table X: demo\n"));
+        assert!(text.contains("name"));
+        assert!(text.contains("Dropbox  284.5"));
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn cdf_series_renders_requested_points() {
+        let cdf = Cdf::from_values(&[10.0, 20.0, 30.0, 40.0]);
+        let text = render_cdf_series("demo", &cdf, 40.0, 5);
+        assert!(text.starts_with("# CDF: demo (4 samples)"));
+        assert_eq!(text.lines().count(), 6);
+        assert!(text.trim_end().ends_with("1.0000"));
+    }
+
+    #[test]
+    fn fmt_ms_handles_nan() {
+        assert_eq!(fmt_ms(12.34), "12.3");
+        assert_eq!(fmt_ms(f64::NAN), "n/a");
+    }
+}

@@ -1,0 +1,97 @@
+//! The tcpdump-style reference measurement.
+//!
+//! In the paper, tcpdump (running with root privilege) captures the SYN and
+//! SYN/ACK at the interface and provides the reference RTTs of Table 2. The
+//! simulator's wire tap records the same events; this module packages them
+//! per destination.
+
+use std::collections::BTreeMap;
+use std::net::IpAddr;
+
+use mop_simnet::SimNetwork;
+
+/// Reference RTTs extracted from a wire-tap capture, grouped by destination.
+#[derive(Debug, Default, Clone)]
+pub struct TcpdumpReference {
+    per_destination: BTreeMap<IpAddr, Vec<f64>>,
+}
+
+impl TcpdumpReference {
+    /// Extracts handshake RTTs from the network's current capture.
+    pub fn from_network(net: &SimNetwork) -> Self {
+        let mut per_destination: BTreeMap<IpAddr, Vec<f64>> = BTreeMap::new();
+        for (flow, rtt) in net.tap().all_handshake_rtts() {
+            per_destination.entry(flow.dst.addr).or_default().push(rtt.as_millis_f64());
+        }
+        Self { per_destination }
+    }
+
+    /// The RTT samples captured towards `dst`, in milliseconds.
+    pub fn rtts_to(&self, dst: IpAddr) -> &[f64] {
+        self.per_destination.get(&dst).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The mean RTT towards `dst`, if any sample was captured.
+    pub fn mean_to(&self, dst: IpAddr) -> Option<f64> {
+        let rtts = self.rtts_to(dst);
+        if rtts.is_empty() {
+            return None;
+        }
+        Some(rtts.iter().sum::<f64>() / rtts.len() as f64)
+    }
+
+    /// Destinations seen in the capture.
+    pub fn destinations(&self) -> Vec<IpAddr> {
+        self.per_destination.keys().copied().collect()
+    }
+
+    /// Total number of handshakes captured.
+    pub fn len(&self) -> usize {
+        self.per_destination.values().map(Vec::len).sum()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.per_destination.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mop_packet::{Endpoint, FourTuple};
+    use mop_simnet::SimTime;
+
+    #[test]
+    fn reference_groups_rtts_by_destination() {
+        let mut net = SimNetwork::builder().seed(1).with_table2_destinations().build();
+        let google: IpAddr = "216.58.221.132".parse().unwrap();
+        let dropbox: IpAddr = "108.160.166.126".parse().unwrap();
+        for port in 0..5u16 {
+            net.connect(
+                FourTuple::new(Endpoint::v4(10, 0, 0, 2, 41000 + port), Endpoint::new(google, 443)),
+                SimTime::from_millis(u64::from(port) * 100),
+            );
+        }
+        net.connect(
+            FourTuple::new(Endpoint::v4(10, 0, 0, 2, 42000), Endpoint::new(dropbox, 443)),
+            SimTime::from_secs(1),
+        );
+        let reference = TcpdumpReference::from_network(&net);
+        assert_eq!(reference.len(), 6);
+        assert_eq!(reference.rtts_to(google).len(), 5);
+        assert_eq!(reference.rtts_to(dropbox).len(), 1);
+        assert!(reference.mean_to(google).unwrap() < reference.mean_to(dropbox).unwrap());
+        assert!(reference.mean_to("1.2.3.4".parse().unwrap()).is_none());
+        assert_eq!(reference.destinations().len(), 2);
+        assert!(!reference.is_empty());
+    }
+
+    #[test]
+    fn empty_capture_yields_empty_reference() {
+        let net = SimNetwork::builder().seed(2).build();
+        let reference = TcpdumpReference::from_network(&net);
+        assert!(reference.is_empty());
+        assert_eq!(reference.len(), 0);
+    }
+}

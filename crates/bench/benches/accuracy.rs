@@ -1,0 +1,22 @@
+//! Table 2 bench: RTT accuracy of the relay measurement vs MobiPerf.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mop_analytics::Table2Accuracy;
+
+fn bench_accuracy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_accuracy");
+    group.sample_size(10);
+    group.bench_function("three_destinations_x6", |b| b.iter(|| Table2Accuracy::run(5, 6)));
+    group.finish();
+    let t2 = Table2Accuracy::run(5, 10);
+    for row in &t2.rows {
+        eprintln!(
+            "table2 {}: tcpdump {:.1} ms, MopEye {:.1} ms (δ {:.2}), MobiPerf {:.1} ms (δ {:.1})",
+            row.name, row.tcpdump_for_mopeye_ms, row.mopeye_ms, row.mopeye_delta_ms,
+            row.mobiperf_ms, row.mobiperf_delta_ms
+        );
+    }
+}
+
+criterion_group!(benches, bench_accuracy);
+criterion_main!(benches);

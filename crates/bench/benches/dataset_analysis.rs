@@ -1,0 +1,35 @@
+//! Crowd-dataset bench: generation plus the §4.2 analyses (Figures 6-11,
+//! Tables 5-6, the case studies).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mop_analytics::{CaseJio, CaseWhatsapp, Fig10Dns, Fig9AppRtt, Table5Apps, Table6IspDns};
+use mop_dataset::{DatasetSpec, SyntheticDataset};
+
+fn bench_dataset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crowd_dataset");
+    group.sample_size(10);
+    group.bench_function("generate_scale_0.002", |b| {
+        b.iter(|| SyntheticDataset::generate(DatasetSpec { seed: 1, scale: 0.002 }))
+    });
+    let dataset = SyntheticDataset::generate(DatasetSpec { seed: 1, scale: 0.004 });
+    group.bench_function("fig9_fig10_analysis", |b| {
+        b.iter(|| {
+            let fig9 = Fig9AppRtt::compute(&dataset);
+            let fig10 = Fig10Dns::compute(&dataset);
+            (fig9.all.median(), fig10.all.median())
+        })
+    });
+    group.bench_function("tables_and_cases", |b| {
+        b.iter(|| {
+            let t5 = Table5Apps::compute(&dataset);
+            let t6 = Table6IspDns::compute(&dataset);
+            let c1 = CaseWhatsapp::compute(&dataset);
+            let c2 = CaseJio::compute(&dataset);
+            (t5.rows.len(), t6.rows.len(), c1.domains_observed, c2.domains_compared)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataset);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 5 bench: packet-to-app mapping overhead, eager vs lazy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mop_analytics::Fig5Mapping;
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_mapping_overhead");
+    group.sample_size(10);
+    group.bench_function("web_browsing_scenario", |b| b.iter(|| Fig5Mapping::run(1)));
+    group.finish();
+    let fig5 = Fig5Mapping::run(1);
+    eprintln!(
+        "fig5: mitigation rate {:.1}% ({} of {} threads parsed); eager median {:.1} ms",
+        100.0 * fig5.mitigation_rate,
+        fig5.lazy_parses,
+        fig5.total_requests,
+        fig5.before_cdf().median().unwrap_or(f64::NAN)
+    );
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

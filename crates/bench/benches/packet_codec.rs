@@ -1,0 +1,22 @@
+//! Microbenchmark of the packet parse/serialise hot path the relay runs for
+//! every tunnel packet.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mop_packet::{Endpoint, Packet, PacketBuilder};
+
+fn bench_packet_codec(c: &mut Criterion) {
+    let builder =
+        PacketBuilder::new(Endpoint::v4(10, 0, 0, 2, 40000), Endpoint::v4(31, 13, 79, 251, 443));
+    let syn = builder.tcp_syn(1000).to_bytes();
+    let data = builder.tcp_data(1001, 500, vec![0xab; 1400]).to_bytes();
+    let mut group = c.benchmark_group("packet_codec");
+    group.bench_function("parse_syn", |b| b.iter(|| Packet::parse(black_box(&syn)).unwrap()));
+    group.bench_function("parse_data_1400B", |b| b.iter(|| Packet::parse(black_box(&data)).unwrap()));
+    group.bench_function("build_and_checksum_data_1400B", |b| {
+        b.iter(|| builder.tcp_data(black_box(1001), 500, vec![0xab; 1400]).to_bytes())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_packet_codec);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Microbenchmark of the user-space TCP state machine: full connection
+//! lifecycle and bulk data segmentation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mop_packet::{Endpoint, FourTuple, PacketBuilder};
+use mop_tcpstack::TcpStateMachine;
+
+fn flow() -> FourTuple {
+    FourTuple::new(Endpoint::v4(10, 0, 0, 2, 40000), Endpoint::v4(31, 13, 79, 251, 443))
+}
+
+fn bench_tcpstack(c: &mut Criterion) {
+    let app = PacketBuilder::new(flow().src, flow().dst);
+    let syn = app.tcp_syn(1000).tcp().unwrap().clone();
+    let data = app.tcp_data(1001, 9001, vec![1u8; 512]).tcp().unwrap().clone();
+    let mut group = c.benchmark_group("tcpstack");
+    group.bench_function("handshake_and_request", |b| {
+        b.iter(|| {
+            let mut m = TcpStateMachine::new(flow(), 9000);
+            m.on_tunnel_segment(black_box(&syn));
+            m.on_external_connected();
+            m.on_tunnel_segment(black_box(&data));
+            m.on_external_write_complete();
+        })
+    });
+    group.bench_function("segment_64KB_response", |b| {
+        let mut m = TcpStateMachine::new(flow(), 9000);
+        m.on_tunnel_segment(&syn);
+        m.on_external_connected();
+        m.on_tunnel_segment(&data);
+        let body = vec![0x5a; 64 * 1024];
+        b.iter(|| m.on_external_data(black_box(&body)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tcpstack);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Table 3 bench: throughput overhead of the relay configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mop_analytics::Table3Throughput;
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_throughput");
+    group.sample_size(10);
+    group.bench_function("speedtest_6MiB", |b| {
+        b.iter(|| Table3Throughput::run(7, 6 * 1024 * 1024))
+    });
+    group.finish();
+    let t3 = Table3Throughput::run(7, 24 * 1024 * 1024);
+    eprintln!(
+        "table3: baseline {:.2}/{:.2} Mbps, MopEye {:.2}/{:.2}, Haystack {:.2}/{:.2} (down/up)",
+        t3.baseline.download_mbps, t3.baseline.upload_mbps,
+        t3.mopeye.download_mbps, t3.mopeye.upload_mbps,
+        t3.haystack.download_mbps, t3.haystack.upload_mbps
+    );
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

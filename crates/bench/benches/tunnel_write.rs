@@ -1,0 +1,22 @@
+//! Table 1 bench: tunnel-write delay under the four writing schemes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mop_analytics::Table1TunnelWrite;
+
+fn bench_tunnel_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_tunnel_write");
+    group.sample_size(10);
+    group.bench_function("four_schemes_2000_packets", |b| {
+        b.iter(|| Table1TunnelWrite::run(3, 2_000))
+    });
+    group.finish();
+    let t1 = Table1TunnelWrite::run(3, 5_000);
+    let [d, q, o, n] = t1.large_fractions();
+    eprintln!(
+        "table1 >1ms fractions: directWrite {:.2}%, queueWrite {:.2}%, oldPut {:.2}%, newPut {:.3}%",
+        d * 100.0, q * 100.0, o * 100.0, n * 100.0
+    );
+}
+
+criterion_group!(benches, bench_tunnel_write);
+criterion_main!(benches);

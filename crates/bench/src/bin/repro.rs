@@ -1,0 +1,109 @@
+//! Regenerates every table and figure of the MopEye evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro                     # run everything at the default scale
+//! repro --experiment table2 # run a single experiment
+//! repro --scale 0.01        # change the crowd-dataset scale
+//! repro --out target/repro  # where to write text/JSON outputs
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use mop_bench::{
+    crowd_dataset, run_crowd_experiments, run_fig5, run_table1, run_table2, run_table3,
+    run_table4, ExperimentOutput, REPRO_SEED,
+};
+
+struct Options {
+    experiment: Option<String>,
+    scale: f64,
+    out_dir: PathBuf,
+    video_minutes: u64,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        experiment: None,
+        scale: 0.01,
+        out_dir: PathBuf::from("target/repro"),
+        video_minutes: 58,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--experiment" => options.experiment = args.next(),
+            "--scale" => {
+                options.scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(options.scale)
+            }
+            "--out" => {
+                if let Some(dir) = args.next() {
+                    options.out_dir = PathBuf::from(dir);
+                }
+            }
+            "--video-minutes" => {
+                options.video_minutes =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or(options.video_minutes)
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: repro [--experiment <id>] [--scale <f>] [--out <dir>] [--video-minutes <n>]");
+                std::process::exit(0);
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    options
+}
+
+fn wanted(options: &Options, id: &str) -> bool {
+    options.experiment.as_deref().map(|e| e == id).unwrap_or(true)
+}
+
+fn main() {
+    let options = parse_args();
+    fs::create_dir_all(&options.out_dir).expect("create output directory");
+    let mut outputs: Vec<ExperimentOutput> = Vec::new();
+
+    if wanted(&options, "fig5") {
+        outputs.push(run_fig5(REPRO_SEED));
+    }
+    if wanted(&options, "table1") {
+        outputs.push(run_table1(REPRO_SEED, 5_000));
+    }
+    if wanted(&options, "table2") {
+        outputs.push(run_table2(REPRO_SEED, 10));
+    }
+    if wanted(&options, "table3") {
+        outputs.push(run_table3(REPRO_SEED, 24 * 1024 * 1024));
+    }
+    if wanted(&options, "table4") {
+        outputs.push(run_table4(REPRO_SEED, options.video_minutes));
+    }
+    let crowd_ids =
+        ["fig6", "fig7", "fig8", "fig9", "table5", "fig10", "table6", "fig11", "case1", "case2"];
+    if crowd_ids.iter().any(|id| wanted(&options, id)) {
+        eprintln!("generating crowd dataset (scale {})...", options.scale);
+        let dataset = crowd_dataset(options.scale);
+        eprintln!("dataset: {} records", dataset.store.len());
+        outputs.extend(
+            run_crowd_experiments(&dataset).into_iter().filter(|o| wanted(&options, &o.id)),
+        );
+    }
+
+    for output in &outputs {
+        println!("==================================================================");
+        println!("{}", output.text);
+        let text_path = options.out_dir.join(format!("{}.txt", output.id));
+        let json_path = options.out_dir.join(format!("{}.json", output.id));
+        fs::write(&text_path, &output.text).expect("write text output");
+        fs::write(&json_path, serde_json::to_string_pretty(&output.json).unwrap())
+            .expect("write json output");
+    }
+    eprintln!(
+        "wrote {} experiments to {}",
+        outputs.len(),
+        options.out_dir.display()
+    );
+}

@@ -1,0 +1,34 @@
+//! The MopEye engine: opportunistic per-app RTT measurement via user-space
+//! packet relaying.
+//!
+//! This crate is the paper's primary contribution. It glues the substrates
+//! together the way the MopEye Android app does (Figure 4 of the paper):
+//!
+//! * a **TunReader** retrieves raw IP packets from the TUN device using a
+//!   configurable read strategy (§3.1),
+//! * a **MainWorker** parses each packet, drives the per-connection
+//!   user-space TCP state machine, and relays data over regular sockets
+//!   through a selector (§2.3, §3.2),
+//! * temporary **socket-connect threads** run each external `connect()` in
+//!   blocking mode so that the SYN ↔ SYN/ACK time — the app's network RTT —
+//!   is measured accurately, and perform the lazy packet-to-app mapping off
+//!   the critical path (§2.4, §3.3),
+//! * a **TunWriter** writes packets back to the tunnel through a queue with
+//!   the `newPut` enqueue algorithm (§3.5.1),
+//! * DNS queries are relayed and measured in temporary blocking-mode threads
+//!   (§2.4).
+//!
+//! The engine runs against the virtual-time substrates in `mop-simnet`,
+//! `mop-tun` and `mop-procnet`; every design decision the paper evaluates is
+//! a knob on [`config::MopEyeConfig`], which is how the benches reproduce the
+//! paper's tables and its ablations.
+
+pub mod config;
+pub mod engine;
+pub mod stats;
+pub mod tun_writer;
+
+pub use config::{EnqueueScheme, MopEyeConfig, ProtectMode, TimestampMode, WriteScheme};
+pub use engine::{MopEyeEngine, RunReport};
+pub use stats::{FlowOutcome, RelayStats, RttSample, SampleKind};
+pub use tun_writer::{SubmitOutcome, TunWriter, WriteDelayStats};

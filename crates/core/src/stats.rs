@@ -1,0 +1,163 @@
+//! Run statistics: RTT samples with ground truth, relay counters and per-flow
+//! outcomes.
+
+use mop_packet::FourTuple;
+use mop_simnet::{SimDuration, SimTime};
+
+/// Whether a sample measured a TCP handshake or a DNS exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleKind {
+    /// SYN ↔ SYN/ACK of a relayed TCP connection.
+    Tcp,
+    /// DNS query ↔ response.
+    Dns,
+}
+
+/// One RTT measurement taken by the engine, together with the simulator's
+/// ground truth so accuracy can be evaluated (Table 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RttSample {
+    /// TCP or DNS.
+    pub kind: SampleKind,
+    /// The connection or query flow.
+    pub flow: FourTuple,
+    /// The UID the engine attributed the flow to, if mapping succeeded.
+    pub uid: Option<u32>,
+    /// The package name the engine attributed the flow to.
+    pub package: Option<String>,
+    /// The destination domain, when known (from DNS answers or server config).
+    pub domain: Option<String>,
+    /// The RTT MopEye measured, in milliseconds.
+    pub measured_ms: f64,
+    /// The ground-truth path RTT sampled by the simulator, in milliseconds.
+    pub true_ms: f64,
+    /// The tcpdump-equivalent RTT observed on the wire tap, if available.
+    pub tcpdump_ms: Option<f64>,
+    /// When the measurement completed.
+    pub at: SimTime,
+}
+
+impl RttSample {
+    /// The absolute error against the wire-tap (tcpdump) reference, the
+    /// metric Table 2 reports, falling back to the model ground truth when
+    /// the tap is disabled.
+    pub fn error_ms(&self) -> f64 {
+        (self.measured_ms - self.tcpdump_ms.unwrap_or(self.true_ms)).abs()
+    }
+}
+
+/// Counters describing what the relay did during a run.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct RelayStats {
+    /// TCP SYNs processed (connections attempted by apps).
+    pub syns: u64,
+    /// Connections whose external connect succeeded.
+    pub connects_ok: u64,
+    /// Connections whose external connect failed.
+    pub connects_failed: u64,
+    /// Data segments relayed app → server.
+    pub data_segments_out: u64,
+    /// Data segments relayed server → app.
+    pub data_segments_in: u64,
+    /// Pure ACKs discarded (§2.3).
+    pub pure_acks_discarded: u64,
+    /// FINs processed from apps.
+    pub fins: u64,
+    /// RSTs processed from apps.
+    pub rsts: u64,
+    /// UDP datagrams relayed.
+    pub udp_datagrams: u64,
+    /// DNS queries relayed and measured.
+    pub dns_queries: u64,
+    /// Bytes relayed app → server.
+    pub bytes_out: u64,
+    /// Bytes relayed server → app.
+    pub bytes_in: u64,
+    /// Packets that failed to parse and were dropped.
+    pub parse_errors: u64,
+}
+
+/// The fate of one app flow at the end of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowOutcome {
+    /// The flow.
+    pub flow: FourTuple,
+    /// The owning app's package name (from the workload, not the mapper).
+    pub package: String,
+    /// When the app opened the flow.
+    pub started_at: SimTime,
+    /// When the last byte was delivered to the app (or the flow failed).
+    pub finished_at: SimTime,
+    /// Response bytes the app received.
+    pub bytes_received: usize,
+    /// True if the flow completed cleanly (handshake + close, or DNS answer).
+    pub completed: bool,
+}
+
+impl FlowOutcome {
+    /// The flow's duration.
+    pub fn duration(&self) -> SimDuration {
+        self.finished_at - self.started_at
+    }
+
+    /// Goodput in megabits per second, if the flow transferred anything.
+    pub fn goodput_mbps(&self) -> Option<f64> {
+        let secs = self.duration().as_secs_f64();
+        if secs <= 0.0 || self.bytes_received == 0 {
+            return None;
+        }
+        Some(self.bytes_received as f64 * 8.0 / 1_000_000.0 / secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mop_packet::Endpoint;
+
+    fn flow() -> FourTuple {
+        FourTuple::new(Endpoint::v4(10, 0, 0, 2, 1), Endpoint::v4(1, 1, 1, 1, 443))
+    }
+
+    #[test]
+    fn sample_error_prefers_tcpdump_reference() {
+        let mut s = RttSample {
+            kind: SampleKind::Tcp,
+            flow: flow(),
+            uid: Some(10100),
+            package: Some("com.app".into()),
+            domain: None,
+            measured_ms: 37.4,
+            true_ms: 36.0,
+            tcpdump_ms: Some(37.0),
+            at: SimTime::ZERO,
+        };
+        assert!((s.error_ms() - 0.4).abs() < 1e-9);
+        s.tcpdump_ms = None;
+        assert!((s.error_ms() - 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_outcome_goodput() {
+        let o = FlowOutcome {
+            flow: flow(),
+            package: "com.app".into(),
+            started_at: SimTime::from_secs(1),
+            finished_at: SimTime::from_secs(3),
+            bytes_received: 2 * 1024 * 1024,
+            completed: true,
+        };
+        assert_eq!(o.duration().as_secs_f64(), 2.0);
+        let mbps = o.goodput_mbps().unwrap();
+        assert!((mbps - 8.388_608).abs() < 0.01, "mbps {mbps}");
+        let empty = FlowOutcome { bytes_received: 0, ..o.clone() };
+        assert!(empty.goodput_mbps().is_none());
+    }
+
+    #[test]
+    fn relay_stats_default_is_zeroed() {
+        let s = RelayStats::default();
+        assert_eq!(s.syns, 0);
+        assert_eq!(s.bytes_in + s.bytes_out, 0);
+    }
+}

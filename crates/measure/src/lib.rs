@@ -1,0 +1,20 @@
+//! Measurement records, stores and statistics for the MopEye reproduction.
+//!
+//! Everything the crowdsourcing analysis in §4.2 of the paper does reduces to
+//! operations over a large collection of RTT records: filter by network type,
+//! ISP, app or domain; compute medians and CDFs; bucket contribution counts.
+//! This crate provides those pieces:
+//!
+//! * [`record`] — [`record::RttRecord`], one measurement with its full
+//!   context (device, app, domain, ISP, network type, country),
+//! * [`store`] — [`store::MeasurementStore`], an in-memory collection with
+//!   filtering, grouping and JSON export,
+//! * [`stats`] — medians, percentiles, CDFs and histogram buckets.
+
+pub mod record;
+pub mod stats;
+pub mod store;
+
+pub use record::{MeasurementKind, NetKind, RttRecord};
+pub use stats::{percentile, Cdf, ConfidenceInterval, Histogram, Summary};
+pub use store::MeasurementStore;

@@ -1,0 +1,83 @@
+//! Property-based tests for the statistics primitives: the invariants the
+//! figure-generation code relies on (monotone CDFs, order statistics inside
+//! the sample range, histogram conservation).
+
+use proptest::prelude::*;
+
+use mop_measure::{percentile, Cdf, ConfidenceInterval, Histogram, MeasurementStore, NetKind, RttRecord, Summary};
+
+fn arb_rtts() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.1f64..2_000.0, 1..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn percentiles_are_ordered_and_bounded(values in arb_rtts()) {
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let p25 = percentile(&values, 25.0).unwrap();
+        let p50 = percentile(&values, 50.0).unwrap();
+        let p95 = percentile(&values, 95.0).unwrap();
+        prop_assert!(p25 <= p50 && p50 <= p95);
+        prop_assert!(p25 >= min - 1e-9 && p95 <= max + 1e-9);
+    }
+
+    #[test]
+    fn summary_mean_is_between_min_and_max(values in arb_rtts()) {
+        let s = Summary::of(&values).unwrap();
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert_eq!(s.count, values.len());
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one(values in arb_rtts()) {
+        let cdf = Cdf::from_values(&values);
+        let series = cdf.series(2_000.0, 40);
+        prop_assert!(series.windows(2).all(|w| w[0].1 <= w[1].1));
+        prop_assert!((series.last().unwrap().1 - 1.0).abs() < 1e-9);
+        // The empirical median quantile is consistent with fraction_at_or_below.
+        let median = cdf.median().unwrap();
+        prop_assert!(cdf.fraction_at_or_below(median) >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn histogram_conserves_samples(values in arb_rtts()) {
+        let mut h = Histogram::table1_bins();
+        h.add_all(&values);
+        prop_assert_eq!(h.total() as usize, values.len());
+        let above_1ms = values.iter().filter(|v| **v >= 1.0).count();
+        prop_assert_eq!((h.total() as f64 * h.fraction_at_or_above(1.0)).round() as usize, above_1ms);
+    }
+
+    #[test]
+    fn confidence_interval_contains_the_sample_mean(values in proptest::collection::vec(0.1f64..500.0, 2..200)) {
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let ci = ConfidenceInterval::of(&values).unwrap();
+        prop_assert!(ci.contains(mean));
+        prop_assert!(ci.lo <= ci.hi);
+    }
+
+    #[test]
+    fn store_filters_partition_the_records(
+        wifi_rtts in proptest::collection::vec(1.0f64..300.0, 0..60),
+        lte_rtts in proptest::collection::vec(1.0f64..300.0, 0..60),
+    ) {
+        let mut store = MeasurementStore::new();
+        for rtt in &wifi_rtts {
+            store.push(RttRecord::tcp(*rtt, 1, "com.app.a", NetKind::Wifi));
+        }
+        for rtt in &lte_rtts {
+            store.push(RttRecord::tcp(*rtt, 2, "com.app.b", NetKind::Lte));
+        }
+        let wifi = store.filter(|r| r.network == NetKind::Wifi);
+        let lte = store.filter(|r| r.network == NetKind::Lte);
+        prop_assert_eq!(wifi.len() + lte.len(), store.len());
+        prop_assert_eq!(wifi.len(), wifi_rtts.len());
+        // JSON-lines round trip preserves every record.
+        let back = MeasurementStore::from_json_lines(&store.to_json_lines());
+        prop_assert_eq!(back.len(), store.len());
+    }
+}

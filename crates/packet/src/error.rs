@@ -1,0 +1,80 @@
+//! Error types shared by the packet parsers.
+
+/// Result alias used throughout `mop-packet`.
+pub type Result<T> = std::result::Result<T, PacketError>;
+
+/// Errors produced while parsing or serialising packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// The buffer is shorter than the minimum size for the claimed format.
+    Truncated {
+        /// What was being parsed when the buffer ran out.
+        what: &'static str,
+        /// How many bytes were required.
+        needed: usize,
+        /// How many bytes were available.
+        available: usize,
+    },
+    /// The IP version nibble is not 4 or 6, or does not match the parser used.
+    BadVersion(u8),
+    /// The header length field describes a header smaller than the fixed part
+    /// or larger than the buffer.
+    BadHeaderLength(usize),
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Which header failed.
+        what: &'static str,
+        /// The checksum found in the packet.
+        found: u16,
+        /// The checksum computed over the packet.
+        expected: u16,
+    },
+    /// The transport protocol is not one the relay supports.
+    UnsupportedProtocol(u8),
+    /// A DNS message was malformed (bad label, bad pointer, truncated record).
+    MalformedDns(&'static str),
+    /// A field value is out of the representable range for the wire format.
+    FieldOverflow(&'static str),
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::Truncated { what, needed, available } => {
+                write!(f, "truncated {what}: need {needed} bytes, have {available}")
+            }
+            PacketError::BadVersion(v) => write!(f, "unexpected IP version {v}"),
+            PacketError::BadHeaderLength(l) => write!(f, "invalid header length {l}"),
+            PacketError::BadChecksum { what, found, expected } => {
+                write!(f, "bad {what} checksum: found {found:#06x}, expected {expected:#06x}")
+            }
+            PacketError::UnsupportedProtocol(p) => write!(f, "unsupported IP protocol {p}"),
+            PacketError::MalformedDns(why) => write!(f, "malformed DNS message: {why}"),
+            PacketError::FieldOverflow(what) => write!(f, "field overflow: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PacketError::Truncated { what: "TCP header", needed: 20, available: 3 };
+        assert!(e.to_string().contains("TCP header"));
+        assert!(e.to_string().contains("20"));
+        let e = PacketError::BadChecksum { what: "IPv4", found: 1, expected: 2 };
+        assert!(e.to_string().contains("IPv4"));
+        let e = PacketError::MalformedDns("label too long");
+        assert!(e.to_string().contains("label too long"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: E) {}
+        assert_err(PacketError::BadVersion(9));
+    }
+}

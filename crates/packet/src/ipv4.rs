@@ -1,0 +1,242 @@
+//! IPv4 header parsing and serialisation.
+
+use std::net::Ipv4Addr;
+
+use crate::checksum::ipv4_header_checksum;
+use crate::error::{PacketError, Result};
+
+/// Minimum IPv4 header length in bytes (no options).
+pub const IPV4_MIN_HEADER_LEN: usize = 20;
+
+/// A parsed IPv4 packet: header fields plus the transport payload.
+///
+/// Options are preserved verbatim so that a parse → serialise round trip is
+/// byte-identical, which the relay depends on when forwarding packets it does
+/// not need to rewrite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv4Packet {
+    /// Differentiated services / TOS byte.
+    pub dscp_ecn: u8,
+    /// Identification field used for fragmentation.
+    pub identification: u16,
+    /// Flags (3 bits) and fragment offset (13 bits) packed as on the wire.
+    pub flags_fragment: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Transport protocol number (6 = TCP, 17 = UDP).
+    pub protocol: u8,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Raw IPv4 options (may be empty); length must be a multiple of 4.
+    pub options: Vec<u8>,
+    /// Transport-layer payload (TCP segment or UDP datagram bytes).
+    pub payload: Vec<u8>,
+}
+
+impl Ipv4Packet {
+    /// Creates a packet with common defaults (TTL 64, DF set, no options).
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, payload: Vec<u8>) -> Self {
+        Self {
+            dscp_ecn: 0,
+            identification: 0,
+            flags_fragment: 0x4000, // Don't Fragment.
+            ttl: 64,
+            protocol,
+            src,
+            dst,
+            options: Vec::new(),
+            payload,
+        }
+    }
+
+    /// Header length in bytes, including options.
+    pub fn header_len(&self) -> usize {
+        IPV4_MIN_HEADER_LEN + self.options.len()
+    }
+
+    /// Total packet length (header plus payload) in bytes.
+    pub fn total_len(&self) -> usize {
+        self.header_len() + self.payload.len()
+    }
+
+    /// Returns true if the Don't Fragment flag is set.
+    pub fn dont_fragment(&self) -> bool {
+        self.flags_fragment & 0x4000 != 0
+    }
+
+    /// Returns true if the More Fragments flag is set.
+    pub fn more_fragments(&self) -> bool {
+        self.flags_fragment & 0x2000 != 0
+    }
+
+    /// Parses an IPv4 packet from `data`, verifying the header checksum.
+    ///
+    /// The payload length is taken from the total-length field; trailing bytes
+    /// beyond it (link-layer padding) are ignored.
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        if data.len() < IPV4_MIN_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                what: "IPv4 header",
+                needed: IPV4_MIN_HEADER_LEN,
+                available: data.len(),
+            });
+        }
+        let version = data[0] >> 4;
+        if version != 4 {
+            return Err(PacketError::BadVersion(version));
+        }
+        let ihl = usize::from(data[0] & 0x0f) * 4;
+        if ihl < IPV4_MIN_HEADER_LEN || ihl > data.len() {
+            return Err(PacketError::BadHeaderLength(ihl));
+        }
+        let total_len = usize::from(u16::from_be_bytes([data[2], data[3]]));
+        if total_len < ihl || total_len > data.len() {
+            return Err(PacketError::Truncated {
+                what: "IPv4 total length",
+                needed: total_len.max(ihl),
+                available: data.len(),
+            });
+        }
+        let expected = ipv4_header_checksum(&data[..ihl]);
+        let found = u16::from_be_bytes([data[10], data[11]]);
+        if expected != found {
+            return Err(PacketError::BadChecksum { what: "IPv4 header", found, expected });
+        }
+        Ok(Self {
+            dscp_ecn: data[1],
+            identification: u16::from_be_bytes([data[4], data[5]]),
+            flags_fragment: u16::from_be_bytes([data[6], data[7]]),
+            ttl: data[8],
+            protocol: data[9],
+            src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
+            dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
+            options: data[IPV4_MIN_HEADER_LEN..ihl].to_vec(),
+            payload: data[ihl..total_len].to_vec(),
+        })
+    }
+
+    /// Serialises the packet, computing the header checksum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the options length is not a multiple of four or the total
+    /// length exceeds 65,535 bytes; both indicate construction bugs rather
+    /// than recoverable runtime conditions.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        assert!(self.options.len() % 4 == 0, "IPv4 options must be 32-bit aligned");
+        let total_len = self.total_len();
+        assert!(total_len <= usize::from(u16::MAX), "IPv4 packet too large");
+        let ihl = self.header_len();
+        let mut out = Vec::with_capacity(total_len);
+        out.push(0x40 | ((ihl / 4) as u8));
+        out.push(self.dscp_ecn);
+        out.extend_from_slice(&(total_len as u16).to_be_bytes());
+        out.extend_from_slice(&self.identification.to_be_bytes());
+        out.extend_from_slice(&self.flags_fragment.to_be_bytes());
+        out.push(self.ttl);
+        out.push(self.protocol);
+        out.extend_from_slice(&[0, 0]); // Checksum placeholder.
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.dst.octets());
+        out.extend_from_slice(&self.options);
+        let checksum = ipv4_header_checksum(&out[..ihl]);
+        out[10..12].copy_from_slice(&checksum.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IPPROTO_TCP;
+
+    fn sample() -> Ipv4Packet {
+        Ipv4Packet::new(
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(216, 58, 221, 132),
+            IPPROTO_TCP,
+            vec![1, 2, 3, 4, 5],
+        )
+    }
+
+    #[test]
+    fn roundtrip_without_options() {
+        let p = sample();
+        let bytes = p.to_bytes();
+        assert_eq!(bytes.len(), 25);
+        let q = Ipv4Packet::parse(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn roundtrip_with_options() {
+        let mut p = sample();
+        p.options = vec![0x01, 0x01, 0x01, 0x01]; // Four NOPs.
+        let q = Ipv4Packet::parse(&p.to_bytes()).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(q.header_len(), 24);
+    }
+
+    #[test]
+    fn trailing_padding_is_ignored() {
+        let p = sample();
+        let mut bytes = p.to_bytes();
+        bytes.extend_from_slice(&[0xaa; 6]);
+        let q = Ipv4Packet::parse(&bytes).unwrap();
+        assert_eq!(q.payload, p.payload);
+    }
+
+    #[test]
+    fn corrupted_checksum_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[10] ^= 0xff;
+        assert!(matches!(
+            Ipv4Packet::parse(&bytes),
+            Err(PacketError::BadChecksum { what: "IPv4 header", .. })
+        ));
+    }
+
+    #[test]
+    fn short_buffer_is_rejected() {
+        assert!(matches!(
+            Ipv4Packet::parse(&[0x45; 10]),
+            Err(PacketError::Truncated { what: "IPv4 header", .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = 0x65;
+        assert!(matches!(Ipv4Packet::parse(&bytes), Err(PacketError::BadVersion(6))));
+    }
+
+    #[test]
+    fn bad_ihl_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = 0x44; // IHL of 16 bytes, below the minimum of 20.
+        assert!(matches!(Ipv4Packet::parse(&bytes), Err(PacketError::BadHeaderLength(16))));
+    }
+
+    #[test]
+    fn total_length_larger_than_buffer_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[2..4].copy_from_slice(&1000u16.to_be_bytes());
+        // Fix up the checksum so the failure is attributed to the length.
+        let ihl = 20;
+        let cks = ipv4_header_checksum(&bytes[..ihl]);
+        bytes[10..12].copy_from_slice(&cks.to_be_bytes());
+        assert!(matches!(Ipv4Packet::parse(&bytes), Err(PacketError::Truncated { .. })));
+    }
+
+    #[test]
+    fn default_flags() {
+        let p = sample();
+        assert!(p.dont_fragment());
+        assert!(!p.more_fragments());
+        assert_eq!(p.ttl, 64);
+    }
+}

@@ -1,0 +1,160 @@
+//! IPv6 header parsing and serialisation.
+//!
+//! MopEye reads `/proc/net/tcp6` as well as `/proc/net/tcp`, and modern
+//! handsets carry a growing share of IPv6 traffic, so the relay understands
+//! both network layers. Extension headers are not interpreted: a packet whose
+//! next-header is not TCP or UDP is still parsed and can be forwarded opaquely.
+
+use std::net::Ipv6Addr;
+
+use crate::error::{PacketError, Result};
+
+/// Fixed IPv6 header length in bytes.
+pub const IPV6_HEADER_LEN: usize = 40;
+
+/// A parsed IPv6 packet: the fixed header plus the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv6Packet {
+    /// Traffic class byte.
+    pub traffic_class: u8,
+    /// 20-bit flow label.
+    pub flow_label: u32,
+    /// Next header (transport protocol for packets without extension headers).
+    pub next_header: u8,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+    /// Payload following the fixed header.
+    pub payload: Vec<u8>,
+}
+
+impl Ipv6Packet {
+    /// Creates a packet with common defaults (hop limit 64, zero flow label).
+    pub fn new(src: Ipv6Addr, dst: Ipv6Addr, next_header: u8, payload: Vec<u8>) -> Self {
+        Self { traffic_class: 0, flow_label: 0, next_header, hop_limit: 64, src, dst, payload }
+    }
+
+    /// Parses an IPv6 packet from `data`.
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        if data.len() < IPV6_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                what: "IPv6 header",
+                needed: IPV6_HEADER_LEN,
+                available: data.len(),
+            });
+        }
+        let version = data[0] >> 4;
+        if version != 6 {
+            return Err(PacketError::BadVersion(version));
+        }
+        let traffic_class = ((data[0] & 0x0f) << 4) | (data[1] >> 4);
+        let flow_label =
+            (u32::from(data[1] & 0x0f) << 16) | (u32::from(data[2]) << 8) | u32::from(data[3]);
+        let payload_len = usize::from(u16::from_be_bytes([data[4], data[5]]));
+        if IPV6_HEADER_LEN + payload_len > data.len() {
+            return Err(PacketError::Truncated {
+                what: "IPv6 payload",
+                needed: IPV6_HEADER_LEN + payload_len,
+                available: data.len(),
+            });
+        }
+        let mut src = [0u8; 16];
+        src.copy_from_slice(&data[8..24]);
+        let mut dst = [0u8; 16];
+        dst.copy_from_slice(&data[24..40]);
+        Ok(Self {
+            traffic_class,
+            flow_label,
+            next_header: data[6],
+            hop_limit: data[7],
+            src: Ipv6Addr::from(src),
+            dst: Ipv6Addr::from(dst),
+            payload: data[IPV6_HEADER_LEN..IPV6_HEADER_LEN + payload_len].to_vec(),
+        })
+    }
+
+    /// Serialises the packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds 65,535 bytes (jumbograms are not
+    /// supported) or the flow label exceeds 20 bits.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        assert!(self.payload.len() <= usize::from(u16::MAX), "IPv6 payload too large");
+        assert!(self.flow_label <= 0x000f_ffff, "flow label exceeds 20 bits");
+        let mut out = Vec::with_capacity(IPV6_HEADER_LEN + self.payload.len());
+        out.push(0x60 | (self.traffic_class >> 4));
+        out.push(((self.traffic_class & 0x0f) << 4) | ((self.flow_label >> 16) as u8));
+        out.push((self.flow_label >> 8) as u8);
+        out.push(self.flow_label as u8);
+        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.push(self.next_header);
+        out.push(self.hop_limit);
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.dst.octets());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IPPROTO_UDP;
+
+    fn sample() -> Ipv6Packet {
+        Ipv6Packet::new(
+            "fe80::1".parse().unwrap(),
+            "2001:4860:4860::8888".parse().unwrap(),
+            IPPROTO_UDP,
+            vec![9, 8, 7],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = sample();
+        let q = Ipv6Packet::parse(&p.to_bytes()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn roundtrip_with_traffic_class_and_flow_label() {
+        let mut p = sample();
+        p.traffic_class = 0xb8;
+        p.flow_label = 0xabcde;
+        let q = Ipv6Packet::parse(&p.to_bytes()).unwrap();
+        assert_eq!(q.traffic_class, 0xb8);
+        assert_eq!(q.flow_label, 0xabcde);
+    }
+
+    #[test]
+    fn short_buffer_is_rejected() {
+        assert!(matches!(Ipv6Packet::parse(&[0x60; 20]), Err(PacketError::Truncated { .. })));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = 0x45;
+        assert!(matches!(Ipv6Packet::parse(&bytes), Err(PacketError::BadVersion(4))));
+    }
+
+    #[test]
+    fn payload_length_beyond_buffer_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[4..6].copy_from_slice(&500u16.to_be_bytes());
+        assert!(matches!(Ipv6Packet::parse(&bytes), Err(PacketError::Truncated { .. })));
+    }
+
+    #[test]
+    fn trailing_padding_is_ignored() {
+        let p = sample();
+        let mut bytes = p.to_bytes();
+        bytes.extend_from_slice(&[0u8; 13]);
+        assert_eq!(Ipv6Packet::parse(&bytes).unwrap().payload, p.payload);
+    }
+}

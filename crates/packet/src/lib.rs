@@ -1,0 +1,146 @@
+//! Packet parsing and construction for the MopEye reproduction.
+//!
+//! MopEye intercepts raw IP packets from a TUN interface, parses them to find
+//! the transport endpoints, terminates TCP against a user-space state machine
+//! and relays the payload over regular sockets. This crate provides the wire
+//! formats that the whole pipeline operates on:
+//!
+//! * [`Ipv4Packet`] / [`Ipv6Packet`] — network-layer headers and payloads,
+//! * [`TcpSegment`] — TCP header, options (MSS, window scale) and payload,
+//! * [`UdpDatagram`] — UDP header and payload,
+//! * [`dns`] — just enough of the DNS wire format for query/response
+//!   measurement,
+//! * [`Packet`] — a fully parsed packet as captured from the tunnel,
+//! * [`builder`] — convenience constructors for the packet sequences the
+//!   simulated apps and the TCP state machine emit.
+//!
+//! Everything round-trips: `parse(bytes).to_bytes() == bytes` for well-formed
+//! input, which is enforced by property tests.
+
+pub mod builder;
+pub mod checksum;
+pub mod dns;
+pub mod error;
+pub mod ipv4;
+pub mod ipv6;
+pub mod packet;
+pub mod tcp;
+pub mod udp;
+
+pub use builder::PacketBuilder;
+pub use dns::{DnsFlags, DnsMessage, DnsQuestion, DnsRecord, DnsRecordData, DnsType};
+pub use error::{PacketError, Result};
+pub use ipv4::Ipv4Packet;
+pub use ipv6::Ipv6Packet;
+pub use packet::{IpPacket, Packet, Transport};
+pub use tcp::{TcpFlags, TcpOption, TcpSegment};
+pub use udp::UdpDatagram;
+
+/// IP protocol number for TCP.
+pub const IPPROTO_TCP: u8 = 6;
+/// IP protocol number for UDP.
+pub const IPPROTO_UDP: u8 = 17;
+
+/// A transport-layer endpoint: an IP address plus a port.
+///
+/// MopEye keys its TCP clients and its packet-to-app mapping on
+/// (source endpoint, destination endpoint) pairs, so this type is used
+/// pervasively across the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Endpoint {
+    /// The IP address of the endpoint.
+    pub addr: std::net::IpAddr,
+    /// The transport port of the endpoint.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Creates a new endpoint from an address and a port.
+    pub fn new(addr: impl Into<std::net::IpAddr>, port: u16) -> Self {
+        Self { addr: addr.into(), port }
+    }
+
+    /// Creates an IPv4 endpoint from four octets and a port.
+    pub fn v4(a: u8, b: u8, c: u8, d: u8, port: u16) -> Self {
+        Self { addr: std::net::IpAddr::V4(std::net::Ipv4Addr::new(a, b, c, d)), port }
+    }
+
+    /// Returns true if the endpoint uses an IPv4 address.
+    pub fn is_ipv4(&self) -> bool {
+        self.addr.is_ipv4()
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.addr, self.port)
+    }
+}
+
+/// A connection four-tuple (source endpoint, destination endpoint).
+///
+/// This is the key MopEye uses both for splicing tunnel connections onto
+/// socket connections and for looking up the owning app in `/proc/net`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FourTuple {
+    /// The local (app-side) endpoint.
+    pub src: Endpoint,
+    /// The remote (server-side) endpoint.
+    pub dst: Endpoint,
+}
+
+impl FourTuple {
+    /// Creates a new four-tuple.
+    pub fn new(src: Endpoint, dst: Endpoint) -> Self {
+        Self { src, dst }
+    }
+
+    /// Returns the tuple with source and destination swapped.
+    ///
+    /// Useful for matching the return direction of a flow.
+    pub fn reversed(&self) -> Self {
+        Self { src: self.dst, dst: self.src }
+    }
+}
+
+impl std::fmt::Display for FourTuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {}", self.src, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn endpoint_display_and_helpers() {
+        let e = Endpoint::v4(10, 0, 0, 2, 443);
+        assert_eq!(e.to_string(), "10.0.0.2:443");
+        assert!(e.is_ipv4());
+        let e6 = Endpoint::new(std::net::Ipv6Addr::LOCALHOST, 53);
+        assert!(!e6.is_ipv4());
+    }
+
+    #[test]
+    fn four_tuple_reverse_roundtrip() {
+        let t = FourTuple::new(Endpoint::v4(10, 0, 0, 2, 40000), Endpoint::v4(8, 8, 8, 8, 53));
+        assert_eq!(t.reversed().reversed(), t);
+        assert_eq!(t.reversed().src.port, 53);
+    }
+
+    #[test]
+    fn endpoint_from_ipaddr() {
+        let e = Endpoint::new(Ipv4Addr::new(1, 2, 3, 4), 80);
+        assert_eq!(e.port, 80);
+        assert_eq!(e.to_string(), "1.2.3.4:80");
+    }
+
+    #[test]
+    fn four_tuple_ordering_is_total() {
+        let a = FourTuple::new(Endpoint::v4(1, 1, 1, 1, 1), Endpoint::v4(2, 2, 2, 2, 2));
+        let b = FourTuple::new(Endpoint::v4(1, 1, 1, 1, 2), Endpoint::v4(2, 2, 2, 2, 2));
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,260 @@
+//! A unified view of a packet captured from the TUN interface.
+//!
+//! The tunnel hands MopEye raw IP packets (§2.2); the first thing the engine
+//! does is parse them into network + transport layers so that it can find the
+//! four-tuple, classify the segment (SYN, data, pure ACK, FIN, RST, UDP) and
+//! route it to the right TCP/UDP client.
+
+use std::net::IpAddr;
+
+use crate::error::{PacketError, Result};
+use crate::ipv4::Ipv4Packet;
+use crate::ipv6::Ipv6Packet;
+use crate::tcp::TcpSegment;
+use crate::udp::UdpDatagram;
+use crate::{Endpoint, FourTuple, IPPROTO_TCP, IPPROTO_UDP};
+
+/// The network layer of a captured packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IpPacket {
+    /// An IPv4 packet.
+    V4(Ipv4Packet),
+    /// An IPv6 packet.
+    V6(Ipv6Packet),
+}
+
+impl IpPacket {
+    /// Source IP address.
+    pub fn src(&self) -> IpAddr {
+        match self {
+            IpPacket::V4(p) => IpAddr::V4(p.src),
+            IpPacket::V6(p) => IpAddr::V6(p.src),
+        }
+    }
+
+    /// Destination IP address.
+    pub fn dst(&self) -> IpAddr {
+        match self {
+            IpPacket::V4(p) => IpAddr::V4(p.dst),
+            IpPacket::V6(p) => IpAddr::V6(p.dst),
+        }
+    }
+
+    /// Transport protocol number.
+    pub fn protocol(&self) -> u8 {
+        match self {
+            IpPacket::V4(p) => p.protocol,
+            IpPacket::V6(p) => p.next_header,
+        }
+    }
+
+    /// Transport payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        match self {
+            IpPacket::V4(p) => &p.payload,
+            IpPacket::V6(p) => &p.payload,
+        }
+    }
+
+    /// Serialises the network-layer packet.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            IpPacket::V4(p) => p.to_bytes(),
+            IpPacket::V6(p) => p.to_bytes(),
+        }
+    }
+}
+
+/// The transport layer of a captured packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transport {
+    /// A TCP segment.
+    Tcp(TcpSegment),
+    /// A UDP datagram.
+    Udp(UdpDatagram),
+    /// An unsupported transport, preserved raw so it can still be forwarded.
+    Other(u8, Vec<u8>),
+}
+
+/// A fully parsed packet as read from the tunnel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// The network layer.
+    pub ip: IpPacket,
+    /// The transport layer.
+    pub transport: Transport,
+}
+
+impl Packet {
+    /// Parses a raw IP packet captured from the tunnel.
+    ///
+    /// The IP version is sniffed from the first nibble. Transport parsing
+    /// failures for TCP/UDP are propagated; unknown transports are preserved.
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        let first = *data.first().ok_or(PacketError::Truncated {
+            what: "IP packet",
+            needed: 1,
+            available: 0,
+        })?;
+        let ip = match first >> 4 {
+            4 => IpPacket::V4(Ipv4Packet::parse(data)?),
+            6 => IpPacket::V6(Ipv6Packet::parse(data)?),
+            v => return Err(PacketError::BadVersion(v)),
+        };
+        let transport = match ip.protocol() {
+            IPPROTO_TCP => Transport::Tcp(TcpSegment::parse(ip.payload())?),
+            IPPROTO_UDP => Transport::Udp(UdpDatagram::parse(ip.payload())?),
+            other => Transport::Other(other, ip.payload().to_vec()),
+        };
+        Ok(Self { ip, transport })
+    }
+
+    /// Builds a packet from a network header template and a transport layer,
+    /// regenerating the payload bytes and checksums.
+    pub fn from_parts(ip: IpPacket, transport: Transport) -> Self {
+        let mut packet = Self { ip, transport };
+        packet.sync_payload();
+        packet
+    }
+
+    /// Re-serialises the transport layer into the IP payload, fixing lengths
+    /// and checksums. Must be called after mutating the transport layer.
+    pub fn sync_payload(&mut self) {
+        let (src, dst) = (self.ip.src(), self.ip.dst());
+        let payload = match &self.transport {
+            Transport::Tcp(t) => t.to_bytes_with_checksum(src, dst),
+            Transport::Udp(u) => u.to_bytes_with_checksum(src, dst),
+            Transport::Other(_, raw) => raw.clone(),
+        };
+        match &mut self.ip {
+            IpPacket::V4(p) => p.payload = payload,
+            IpPacket::V6(p) => p.payload = payload,
+        }
+    }
+
+    /// The source endpoint (IP + transport port), if the transport has ports.
+    pub fn src_endpoint(&self) -> Option<Endpoint> {
+        let port = match &self.transport {
+            Transport::Tcp(t) => t.src_port,
+            Transport::Udp(u) => u.src_port,
+            Transport::Other(..) => return None,
+        };
+        Some(Endpoint::new(self.ip.src(), port))
+    }
+
+    /// The destination endpoint (IP + transport port), if the transport has ports.
+    pub fn dst_endpoint(&self) -> Option<Endpoint> {
+        let port = match &self.transport {
+            Transport::Tcp(t) => t.dst_port,
+            Transport::Udp(u) => u.dst_port,
+            Transport::Other(..) => return None,
+        };
+        Some(Endpoint::new(self.ip.dst(), port))
+    }
+
+    /// The connection four-tuple, if the transport has ports.
+    pub fn four_tuple(&self) -> Option<FourTuple> {
+        Some(FourTuple::new(self.src_endpoint()?, self.dst_endpoint()?))
+    }
+
+    /// Returns the TCP segment if this is a TCP packet.
+    pub fn tcp(&self) -> Option<&TcpSegment> {
+        match &self.transport {
+            Transport::Tcp(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Returns the UDP datagram if this is a UDP packet.
+    pub fn udp(&self) -> Option<&UdpDatagram> {
+        match &self.transport {
+            Transport::Udp(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// Serialises the full packet (IP header plus transport), recomputing
+    /// checksums and length fields.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut copy = self.clone();
+        copy.sync_payload();
+        copy.ip.to_bytes()
+    }
+
+    /// Total serialised length in bytes.
+    pub fn wire_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+    use crate::tcp::TcpFlags;
+    use std::net::Ipv4Addr;
+
+    fn builder() -> PacketBuilder {
+        PacketBuilder::new(
+            Endpoint::v4(10, 0, 0, 2, 40000),
+            Endpoint::v4(216, 58, 221, 132, 443),
+        )
+    }
+
+    #[test]
+    fn tcp_packet_roundtrip_through_bytes() {
+        let p = builder().tcp_syn(12345);
+        let bytes = p.to_bytes();
+        let parsed = Packet::parse(&bytes).unwrap();
+        assert_eq!(parsed.four_tuple(), p.four_tuple());
+        assert!(parsed.tcp().unwrap().is_syn());
+        assert_eq!(parsed.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn udp_packet_roundtrip_through_bytes() {
+        let p = builder().udp(b"hello".to_vec());
+        let parsed = Packet::parse(&p.to_bytes()).unwrap();
+        assert_eq!(parsed.udp().unwrap().payload, b"hello");
+        assert_eq!(parsed.src_endpoint().unwrap().port, 40000);
+    }
+
+    #[test]
+    fn unknown_transport_is_preserved() {
+        let ip = Ipv4Packet::new(
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            47, // GRE.
+            vec![1, 2, 3, 4],
+        );
+        let parsed = Packet::parse(&ip.to_bytes()).unwrap();
+        assert!(matches!(parsed.transport, Transport::Other(47, _)));
+        assert!(parsed.four_tuple().is_none());
+        assert_eq!(parsed.to_bytes(), ip.to_bytes());
+    }
+
+    #[test]
+    fn empty_buffer_is_rejected() {
+        assert!(Packet::parse(&[]).is_err());
+        assert!(Packet::parse(&[0x00]).is_err());
+    }
+
+    #[test]
+    fn sync_payload_updates_after_mutation() {
+        let mut p = builder().tcp_syn(1);
+        if let Transport::Tcp(t) = &mut p.transport {
+            t.flags |= TcpFlags::ACK;
+            t.ack = 100;
+        }
+        p.sync_payload();
+        let parsed = Packet::parse(&p.to_bytes()).unwrap();
+        assert!(parsed.tcp().unwrap().is_syn_ack());
+    }
+
+    #[test]
+    fn wire_len_matches_serialisation() {
+        let p = builder().tcp_data(10, 20, vec![0u8; 100]);
+        assert_eq!(p.wire_len(), p.to_bytes().len());
+        assert_eq!(p.wire_len(), 20 + 20 + 100);
+    }
+}

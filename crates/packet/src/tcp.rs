@@ -1,0 +1,478 @@
+//! TCP segment parsing and serialisation, including the options MopEye
+//! manipulates (MSS and window scale, §3.4 of the paper).
+
+use std::net::IpAddr;
+
+use crate::checksum::{transport_checksum_v4, transport_checksum_v6};
+use crate::error::{PacketError, Result};
+
+/// Minimum TCP header length in bytes (no options).
+pub const TCP_MIN_HEADER_LEN: usize = 20;
+
+/// The MSS MopEye advertises on the internal (tunnel) connection so that apps
+/// send 1500-byte IP packets (§3.4).
+pub const MOPEYE_MSS: u16 = 1460;
+
+/// The receive window MopEye advertises: the maximum unscaled value (§3.4).
+pub const MOPEYE_RECEIVE_WINDOW: u16 = 65_535;
+
+/// TCP header flags, represented as a transparent bit set.
+///
+/// A hand-rolled flags type is used instead of the `bitflags` crate to keep
+/// the dependency set to the pre-approved list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN: sender has finished sending.
+    pub const FIN: Self = Self(0x01);
+    /// SYN: synchronise sequence numbers.
+    pub const SYN: Self = Self(0x02);
+    /// RST: reset the connection.
+    pub const RST: Self = Self(0x04);
+    /// PSH: push buffered data to the application.
+    pub const PSH: Self = Self(0x08);
+    /// ACK: the acknowledgement number is valid.
+    pub const ACK: Self = Self(0x10);
+    /// URG: the urgent pointer is valid.
+    pub const URG: Self = Self(0x20);
+
+    /// Returns the empty flag set.
+    pub const fn empty() -> Self {
+        Self(0)
+    }
+
+    /// Returns the raw bits.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Constructs a flag set from raw bits (unknown bits are kept).
+    pub const fn from_bits(bits: u8) -> Self {
+        Self(bits)
+    }
+
+    /// Returns true if `self` contains all flags in `other`.
+    pub const fn contains(self, other: Self) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns true if `self` and `other` share any flag.
+    pub const fn intersects(self, other: Self) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Returns true if no flags are set.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::BitOr for TcpFlags {
+    type Output = Self;
+    fn bitor(self, rhs: Self) -> Self {
+        Self(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for TcpFlags {
+    fn bitor_assign(&mut self, rhs: Self) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl std::ops::BitAnd for TcpFlags {
+    type Output = Self;
+    fn bitand(self, rhs: Self) -> Self {
+        Self(self.0 & rhs.0)
+    }
+}
+
+impl std::fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts = Vec::new();
+        for (flag, name) in [
+            (TcpFlags::SYN, "SYN"),
+            (TcpFlags::ACK, "ACK"),
+            (TcpFlags::FIN, "FIN"),
+            (TcpFlags::RST, "RST"),
+            (TcpFlags::PSH, "PSH"),
+            (TcpFlags::URG, "URG"),
+        ] {
+            if self.contains(flag) {
+                parts.push(name);
+            }
+        }
+        if parts.is_empty() {
+            write!(f, "<none>")
+        } else {
+            write!(f, "{}", parts.join("|"))
+        }
+    }
+}
+
+/// TCP options relevant to the relay. Unknown options are preserved raw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpOption {
+    /// Maximum segment size (kind 2).
+    MaximumSegmentSize(u16),
+    /// Window scale shift count (kind 3).
+    WindowScale(u8),
+    /// Selective acknowledgement permitted (kind 4).
+    SackPermitted,
+    /// Timestamps (kind 8): TSval and TSecr.
+    Timestamps(u32, u32),
+    /// No-operation padding (kind 1).
+    Nop,
+    /// Any other option preserved as (kind, payload).
+    Unknown(u8, Vec<u8>),
+}
+
+impl TcpOption {
+    /// Serialised length of this option in bytes.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            TcpOption::MaximumSegmentSize(_) => 4,
+            TcpOption::WindowScale(_) => 3,
+            TcpOption::SackPermitted => 2,
+            TcpOption::Timestamps(_, _) => 10,
+            TcpOption::Nop => 1,
+            TcpOption::Unknown(_, data) => 2 + data.len(),
+        }
+    }
+}
+
+/// A parsed TCP segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// Receive window (unscaled).
+    pub window: u16,
+    /// Urgent pointer (rarely used; preserved).
+    pub urgent: u16,
+    /// Parsed options in wire order.
+    pub options: Vec<TcpOption>,
+    /// Application payload.
+    pub payload: Vec<u8>,
+}
+
+impl TcpSegment {
+    /// Creates a segment with empty options and payload.
+    pub fn new(src_port: u16, dst_port: u16, seq: u32, ack: u32, flags: TcpFlags) -> Self {
+        Self {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window: MOPEYE_RECEIVE_WINDOW,
+            urgent: 0,
+            options: Vec::new(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// Returns the MSS option value if present.
+    pub fn mss(&self) -> Option<u16> {
+        self.options.iter().find_map(|o| match o {
+            TcpOption::MaximumSegmentSize(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Returns the window-scale option value if present.
+    pub fn window_scale(&self) -> Option<u8> {
+        self.options.iter().find_map(|o| match o {
+            TcpOption::WindowScale(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Returns true if this is a bare SYN (no ACK).
+    pub fn is_syn(&self) -> bool {
+        self.flags.contains(TcpFlags::SYN) && !self.flags.contains(TcpFlags::ACK)
+    }
+
+    /// Returns true if this is a SYN/ACK.
+    pub fn is_syn_ack(&self) -> bool {
+        self.flags.contains(TcpFlags::SYN) && self.flags.contains(TcpFlags::ACK)
+    }
+
+    /// Returns true if this is a pure ACK: ACK set, no payload, no SYN/FIN/RST.
+    ///
+    /// MopEye discards pure ACKs from the tunnel because there is nothing to
+    /// relay to the socket channel (§2.3).
+    pub fn is_pure_ack(&self) -> bool {
+        self.flags.contains(TcpFlags::ACK)
+            && self.payload.is_empty()
+            && !self.flags.intersects(TcpFlags::SYN | TcpFlags::FIN | TcpFlags::RST)
+    }
+
+    /// The number of sequence numbers this segment consumes (payload plus one
+    /// for SYN and one for FIN).
+    pub fn sequence_len(&self) -> u32 {
+        let mut len = self.payload.len() as u32;
+        if self.flags.contains(TcpFlags::SYN) {
+            len += 1;
+        }
+        if self.flags.contains(TcpFlags::FIN) {
+            len += 1;
+        }
+        len
+    }
+
+    /// Header length in bytes including options and padding.
+    pub fn header_len(&self) -> usize {
+        let opt_len: usize = self.options.iter().map(TcpOption::wire_len).sum();
+        TCP_MIN_HEADER_LEN + (opt_len + 3) / 4 * 4
+    }
+
+    /// Parses a TCP segment from `data` (no checksum verification; the IP
+    /// layer caller verifies checksums when it has the pseudo-header).
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        if data.len() < TCP_MIN_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                what: "TCP header",
+                needed: TCP_MIN_HEADER_LEN,
+                available: data.len(),
+            });
+        }
+        let data_offset = usize::from(data[12] >> 4) * 4;
+        if data_offset < TCP_MIN_HEADER_LEN || data_offset > data.len() {
+            return Err(PacketError::BadHeaderLength(data_offset));
+        }
+        let options = parse_options(&data[TCP_MIN_HEADER_LEN..data_offset])?;
+        Ok(Self {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+            flags: TcpFlags::from_bits(data[13] & 0x3f),
+            window: u16::from_be_bytes([data[14], data[15]]),
+            urgent: u16::from_be_bytes([data[18], data[19]]),
+            options,
+            payload: data[data_offset..].to_vec(),
+        })
+    }
+
+    /// Serialises the segment with a zero checksum field.
+    ///
+    /// Use [`TcpSegment::to_bytes_with_checksum`] when the enclosing IP
+    /// addresses are known.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode(0)
+    }
+
+    /// Serialises the segment and fills in the transport checksum computed
+    /// with the pseudo-header for `src`/`dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` are not the same IP version.
+    pub fn to_bytes_with_checksum(&self, src: IpAddr, dst: IpAddr) -> Vec<u8> {
+        let mut bytes = self.encode(0);
+        let checksum = match (src, dst) {
+            (IpAddr::V4(s), IpAddr::V4(d)) => transport_checksum_v4(s, d, crate::IPPROTO_TCP, &bytes),
+            (IpAddr::V6(s), IpAddr::V6(d)) => transport_checksum_v6(s, d, crate::IPPROTO_TCP, &bytes),
+            _ => panic!("mixed address families in TCP checksum"),
+        };
+        bytes[16..18].copy_from_slice(&checksum.to_be_bytes());
+        bytes
+    }
+
+    fn encode(&self, checksum: u16) -> Vec<u8> {
+        let header_len = self.header_len();
+        let mut out = Vec::with_capacity(header_len + self.payload.len());
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.push(((header_len / 4) as u8) << 4);
+        out.push(self.flags.bits() & 0x3f);
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&checksum.to_be_bytes());
+        out.extend_from_slice(&self.urgent.to_be_bytes());
+        for opt in &self.options {
+            encode_option(opt, &mut out);
+        }
+        while out.len() < header_len {
+            out.push(0); // End-of-options padding.
+        }
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+fn parse_options(mut data: &[u8]) -> Result<Vec<TcpOption>> {
+    let mut options = Vec::new();
+    while let Some((&kind, rest)) = data.split_first() {
+        match kind {
+            0 => break, // End of option list.
+            1 => {
+                options.push(TcpOption::Nop);
+                data = rest;
+            }
+            _ => {
+                let (&len, _) = rest
+                    .split_first()
+                    .ok_or(PacketError::Truncated { what: "TCP option length", needed: 2, available: 1 })?;
+                let len = usize::from(len);
+                if len < 2 || len > data.len() {
+                    return Err(PacketError::BadHeaderLength(len));
+                }
+                let body = &data[2..len];
+                let opt = match kind {
+                    2 if body.len() == 2 => {
+                        TcpOption::MaximumSegmentSize(u16::from_be_bytes([body[0], body[1]]))
+                    }
+                    3 if body.len() == 1 => TcpOption::WindowScale(body[0]),
+                    4 if body.is_empty() => TcpOption::SackPermitted,
+                    8 if body.len() == 8 => TcpOption::Timestamps(
+                        u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
+                        u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
+                    ),
+                    _ => TcpOption::Unknown(kind, body.to_vec()),
+                };
+                options.push(opt);
+                data = &data[len..];
+            }
+        }
+    }
+    Ok(options)
+}
+
+fn encode_option(opt: &TcpOption, out: &mut Vec<u8>) {
+    match opt {
+        TcpOption::Nop => out.push(1),
+        TcpOption::MaximumSegmentSize(mss) => {
+            out.extend_from_slice(&[2, 4]);
+            out.extend_from_slice(&mss.to_be_bytes());
+        }
+        TcpOption::WindowScale(shift) => out.extend_from_slice(&[3, 3, *shift]),
+        TcpOption::SackPermitted => out.extend_from_slice(&[4, 2]),
+        TcpOption::Timestamps(tsval, tsecr) => {
+            out.extend_from_slice(&[8, 10]);
+            out.extend_from_slice(&tsval.to_be_bytes());
+            out.extend_from_slice(&tsecr.to_be_bytes());
+        }
+        TcpOption::Unknown(kind, data) => {
+            out.push(*kind);
+            out.push((data.len() + 2) as u8);
+            out.extend_from_slice(data);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn syn() -> TcpSegment {
+        let mut s = TcpSegment::new(40000, 443, 1000, 0, TcpFlags::SYN);
+        s.options = vec![
+            TcpOption::MaximumSegmentSize(MOPEYE_MSS),
+            TcpOption::SackPermitted,
+            TcpOption::Nop,
+            TcpOption::WindowScale(7),
+        ];
+        s
+    }
+
+    #[test]
+    fn roundtrip_syn_with_options() {
+        let s = syn();
+        let parsed = TcpSegment::parse(&s.to_bytes()).unwrap();
+        assert_eq!(parsed.src_port, 40000);
+        assert_eq!(parsed.mss(), Some(1460));
+        assert_eq!(parsed.window_scale(), Some(7));
+        assert!(parsed.is_syn());
+        assert!(!parsed.is_syn_ack());
+        assert_eq!(parsed.options, s.options);
+    }
+
+    #[test]
+    fn roundtrip_data_segment() {
+        let mut s = TcpSegment::new(40000, 80, 5, 99, TcpFlags::ACK | TcpFlags::PSH);
+        s.payload = b"GET / HTTP/1.1\r\n\r\n".to_vec();
+        let parsed = TcpSegment::parse(&s.to_bytes()).unwrap();
+        assert_eq!(parsed.payload, s.payload);
+        assert!(!parsed.is_pure_ack());
+        assert_eq!(parsed.sequence_len(), s.payload.len() as u32);
+    }
+
+    #[test]
+    fn pure_ack_detection() {
+        let s = TcpSegment::new(1, 2, 10, 20, TcpFlags::ACK);
+        assert!(s.is_pure_ack());
+        let s = TcpSegment::new(1, 2, 10, 20, TcpFlags::ACK | TcpFlags::FIN);
+        assert!(!s.is_pure_ack());
+    }
+
+    #[test]
+    fn sequence_len_counts_syn_and_fin() {
+        assert_eq!(TcpSegment::new(1, 2, 0, 0, TcpFlags::SYN).sequence_len(), 1);
+        assert_eq!(TcpSegment::new(1, 2, 0, 0, TcpFlags::FIN | TcpFlags::ACK).sequence_len(), 1);
+        let mut s = TcpSegment::new(1, 2, 0, 0, TcpFlags::SYN);
+        s.payload = vec![0; 10];
+        assert_eq!(s.sequence_len(), 11);
+    }
+
+    #[test]
+    fn checksum_is_filled_in() {
+        let s = syn();
+        let bytes = s.to_bytes_with_checksum(
+            IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+            IpAddr::V4(Ipv4Addr::new(31, 13, 79, 251)),
+        );
+        assert_ne!(&bytes[16..18], &[0, 0]);
+        // Verifying: checksum over pseudo-header + segment must fold to zero.
+        let mut c = crate::checksum::Checksum::new();
+        c.add_bytes(&Ipv4Addr::new(10, 0, 0, 2).octets());
+        c.add_bytes(&Ipv4Addr::new(31, 13, 79, 251).octets());
+        c.add_u16(6);
+        c.add_u16(bytes.len() as u16);
+        c.add_bytes(&bytes);
+        assert_eq!(c.finish(), 0);
+    }
+
+    #[test]
+    fn truncated_and_bad_offset_are_rejected() {
+        assert!(TcpSegment::parse(&[0; 10]).is_err());
+        let mut bytes = syn().to_bytes();
+        bytes[12] = 0x30; // Data offset 12 bytes < 20.
+        assert!(matches!(TcpSegment::parse(&bytes), Err(PacketError::BadHeaderLength(12))));
+    }
+
+    #[test]
+    fn unknown_options_are_preserved() {
+        let mut s = TcpSegment::new(1, 2, 0, 0, TcpFlags::SYN);
+        s.options = vec![TcpOption::Unknown(254, vec![1, 2, 3]), TcpOption::Nop, TcpOption::Nop, TcpOption::Nop];
+        let parsed = TcpSegment::parse(&s.to_bytes()).unwrap();
+        assert_eq!(parsed.options[0], TcpOption::Unknown(254, vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!((TcpFlags::SYN | TcpFlags::ACK).to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::empty().to_string(), "<none>");
+    }
+
+    #[test]
+    fn header_len_is_padded_to_words() {
+        let mut s = TcpSegment::new(1, 2, 0, 0, TcpFlags::SYN);
+        s.options = vec![TcpOption::WindowScale(2)]; // Three bytes of options.
+        assert_eq!(s.header_len(), 24);
+        let parsed = TcpSegment::parse(&s.to_bytes()).unwrap();
+        assert_eq!(parsed.window_scale(), Some(2));
+    }
+}

@@ -1,0 +1,149 @@
+//! UDP datagram parsing and serialisation.
+//!
+//! MopEye relays all UDP traffic but only *measures* DNS (§2.2); the datagram
+//! layer here carries both.
+
+use std::net::IpAddr;
+
+use crate::checksum::{transport_checksum_v4, transport_checksum_v6};
+use crate::error::{PacketError, Result};
+
+/// UDP header length in bytes.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A parsed UDP datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Application payload.
+    pub payload: Vec<u8>,
+}
+
+impl UdpDatagram {
+    /// Creates a datagram.
+    pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> Self {
+        Self { src_port, dst_port, payload }
+    }
+
+    /// Returns true if either port is the DNS port (53).
+    pub fn is_dns(&self) -> bool {
+        self.src_port == 53 || self.dst_port == 53
+    }
+
+    /// Total datagram length (header plus payload).
+    pub fn len(&self) -> usize {
+        UDP_HEADER_LEN + self.payload.len()
+    }
+
+    /// Returns true if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Parses a UDP datagram from `data`.
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        if data.len() < UDP_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                what: "UDP header",
+                needed: UDP_HEADER_LEN,
+                available: data.len(),
+            });
+        }
+        let length = usize::from(u16::from_be_bytes([data[4], data[5]]));
+        if length < UDP_HEADER_LEN || length > data.len() {
+            return Err(PacketError::Truncated {
+                what: "UDP length",
+                needed: length.max(UDP_HEADER_LEN),
+                available: data.len(),
+            });
+        }
+        Ok(Self {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            payload: data[UDP_HEADER_LEN..length].to_vec(),
+        })
+    }
+
+    /// Serialises the datagram with a zero checksum (legal for IPv4).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode(0)
+    }
+
+    /// Serialises the datagram with the pseudo-header checksum filled in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` are not the same IP version.
+    pub fn to_bytes_with_checksum(&self, src: IpAddr, dst: IpAddr) -> Vec<u8> {
+        let mut bytes = self.encode(0);
+        let checksum = match (src, dst) {
+            (IpAddr::V4(s), IpAddr::V4(d)) => transport_checksum_v4(s, d, crate::IPPROTO_UDP, &bytes),
+            (IpAddr::V6(s), IpAddr::V6(d)) => transport_checksum_v6(s, d, crate::IPPROTO_UDP, &bytes),
+            _ => panic!("mixed address families in UDP checksum"),
+        };
+        bytes[6..8].copy_from_slice(&checksum.to_be_bytes());
+        bytes
+    }
+
+    fn encode(&self, checksum: u16) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&(self.len() as u16).to_be_bytes());
+        out.extend_from_slice(&checksum.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn roundtrip() {
+        let d = UdpDatagram::new(40001, 53, vec![0xde, 0xad, 0xbe, 0xef]);
+        let parsed = UdpDatagram::parse(&d.to_bytes()).unwrap();
+        assert_eq!(parsed, d);
+        assert!(parsed.is_dns());
+        assert_eq!(parsed.len(), 12);
+    }
+
+    #[test]
+    fn non_dns_ports() {
+        let d = UdpDatagram::new(40001, 4500, vec![]);
+        assert!(!d.is_dns());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn trailing_bytes_are_ignored() {
+        let d = UdpDatagram::new(1, 2, vec![1, 2, 3]);
+        let mut bytes = d.to_bytes();
+        bytes.extend_from_slice(&[0xff; 4]);
+        assert_eq!(UdpDatagram::parse(&bytes).unwrap().payload, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn truncated_is_rejected() {
+        assert!(UdpDatagram::parse(&[0; 4]).is_err());
+        let d = UdpDatagram::new(1, 2, vec![1, 2, 3]);
+        let mut bytes = d.to_bytes();
+        bytes[4..6].copy_from_slice(&100u16.to_be_bytes());
+        assert!(UdpDatagram::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn checksum_is_nonzero() {
+        let d = UdpDatagram::new(40001, 53, vec![1, 2, 3]);
+        let bytes = d.to_bytes_with_checksum(
+            IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+            IpAddr::V4(Ipv4Addr::new(8, 8, 8, 8)),
+        );
+        assert_ne!(&bytes[6..8], &[0, 0]);
+    }
+}

@@ -1,0 +1,285 @@
+//! The kernel's view of live connections, as exposed through `/proc/net`.
+
+use std::net::IpAddr;
+
+use mop_packet::{Endpoint, FourTuple};
+
+/// Which pseudo file a connection appears in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// `/proc/net/tcp`.
+    Tcp,
+    /// `/proc/net/tcp6`.
+    Tcp6,
+    /// `/proc/net/udp`.
+    Udp,
+    /// `/proc/net/udp6`.
+    Udp6,
+}
+
+impl Protocol {
+    /// The pseudo-file name for this protocol.
+    pub fn file_name(self) -> &'static str {
+        match self {
+            Protocol::Tcp => "tcp",
+            Protocol::Tcp6 => "tcp6",
+            Protocol::Udp => "udp",
+            Protocol::Udp6 => "udp6",
+        }
+    }
+
+    /// Classifies a flow into the right pseudo file.
+    pub fn for_flow(flow: &FourTuple, tcp: bool) -> Self {
+        match (tcp, flow.src.is_ipv4()) {
+            (true, true) => Protocol::Tcp,
+            (true, false) => Protocol::Tcp6,
+            (false, true) => Protocol::Udp,
+            (false, false) => Protocol::Udp6,
+        }
+    }
+}
+
+/// Kernel socket states as encoded in the `st` column of `/proc/net/tcp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SocketStateCode {
+    /// 01: ESTABLISHED.
+    Established,
+    /// 02: SYN_SENT.
+    SynSent,
+    /// 06: TIME_WAIT.
+    TimeWait,
+    /// 07: CLOSE.
+    Close,
+    /// 0A: LISTEN.
+    Listen,
+}
+
+impl SocketStateCode {
+    /// The two-digit hexadecimal code used in the pseudo file.
+    pub fn code(self) -> &'static str {
+        match self {
+            SocketStateCode::Established => "01",
+            SocketStateCode::SynSent => "02",
+            SocketStateCode::TimeWait => "06",
+            SocketStateCode::Close => "07",
+            SocketStateCode::Listen => "0A",
+        }
+    }
+
+    /// Parses a two-digit code, defaulting to `Close` for unknown codes.
+    pub fn from_code(code: &str) -> Self {
+        match code {
+            "01" => SocketStateCode::Established,
+            "02" => SocketStateCode::SynSent,
+            "06" => SocketStateCode::TimeWait,
+            "0A" => SocketStateCode::Listen,
+            _ => SocketStateCode::Close,
+        }
+    }
+}
+
+/// One row of a `/proc/net/*` table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectionEntry {
+    /// Which pseudo file the row lives in.
+    pub protocol: Protocol,
+    /// Local (app-side) endpoint.
+    pub local: Endpoint,
+    /// Remote endpoint.
+    pub remote: Endpoint,
+    /// Kernel socket state.
+    pub state: SocketStateCode,
+    /// UID of the app that owns the socket.
+    pub uid: u32,
+    /// Kernel inode of the socket (unique per socket).
+    pub inode: u64,
+}
+
+/// The live connection table, maintained by the simulated kernel as apps open
+/// and close sockets.
+#[derive(Debug, Default)]
+pub struct ConnectionTable {
+    entries: Vec<ConnectionEntry>,
+    next_inode: u64,
+}
+
+impl ConnectionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self { entries: Vec::new(), next_inode: 10_000 }
+    }
+
+    /// Registers a connection owned by `uid`. Returns the assigned inode.
+    pub fn register(
+        &mut self,
+        flow: FourTuple,
+        tcp: bool,
+        uid: u32,
+        state: SocketStateCode,
+    ) -> u64 {
+        let inode = self.next_inode;
+        self.next_inode += 1;
+        self.entries.push(ConnectionEntry {
+            protocol: Protocol::for_flow(&flow, tcp),
+            local: flow.src,
+            remote: flow.dst,
+            state,
+            uid,
+            inode,
+        });
+        inode
+    }
+
+    /// Updates the state of the connection matching `flow`.
+    pub fn set_state(&mut self, flow: FourTuple, state: SocketStateCode) -> bool {
+        for e in &mut self.entries {
+            if e.local == flow.src && e.remote == flow.dst {
+                e.state = state;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes the connection matching `flow`. Returns true if found.
+    pub fn remove(&mut self, flow: FourTuple) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| !(e.local == flow.src && e.remote == flow.dst));
+        self.entries.len() != before
+    }
+
+    /// Looks up the UID owning `flow` directly from the live table (what an
+    /// omniscient observer would see; the mappers work from parsed text).
+    pub fn uid_of(&self, flow: FourTuple) -> Option<u32> {
+        self.entries
+            .iter()
+            .find(|e| e.local == flow.src && e.remote == flow.dst)
+            .map(|e| e.uid)
+    }
+
+    /// Looks up a UID by local port only — the fallback Android tools use
+    /// when the local address is rewritten by the VPN.
+    pub fn uid_of_local_port(&self, port: u16) -> Option<u32> {
+        self.entries.iter().find(|e| e.local.port == port).map(|e| e.uid)
+    }
+
+    /// Entries belonging to one pseudo file.
+    pub fn entries_for(&self, protocol: Protocol) -> Vec<&ConnectionEntry> {
+        self.entries.iter().filter(|e| e.protocol == protocol).collect()
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[ConnectionEntry] {
+        &self.entries
+    }
+
+    /// Number of live entries (across all four files).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Keeps only the newest `max` entries (a crude stand-in for kernel
+    /// socket reclamation, keeps long simulations bounded).
+    pub fn truncate_oldest(&mut self, max: usize) {
+        if self.entries.len() > max {
+            let excess = self.entries.len() - max;
+            self.entries.drain(0..excess);
+        }
+    }
+
+    /// Returns true if an IP address belongs to any registered local endpoint.
+    pub fn has_local_addr(&self, addr: IpAddr) -> bool {
+        self.entries.iter().any(|e| e.local.addr == addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(port: u16, uid: u32) -> (FourTuple, u32) {
+        (
+            FourTuple::new(Endpoint::v4(10, 0, 0, 2, port), Endpoint::v4(31, 13, 79, 251, 443)),
+            uid,
+        )
+    }
+
+    #[test]
+    fn register_lookup_remove_roundtrip() {
+        let mut table = ConnectionTable::new();
+        let (f1, uid1) = flow(40000, 10123);
+        let (f2, uid2) = flow(40001, 10456);
+        let inode1 = table.register(f1, true, uid1, SocketStateCode::SynSent);
+        let inode2 = table.register(f2, true, uid2, SocketStateCode::Established);
+        assert_ne!(inode1, inode2);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.uid_of(f1), Some(uid1));
+        assert_eq!(table.uid_of_local_port(40001), Some(uid2));
+        assert!(table.set_state(f1, SocketStateCode::Established));
+        assert!(table.remove(f1));
+        assert!(!table.remove(f1));
+        assert_eq!(table.uid_of(f1), None);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn protocol_classification() {
+        let v4 = FourTuple::new(Endpoint::v4(10, 0, 0, 2, 1), Endpoint::v4(8, 8, 8, 8, 53));
+        assert_eq!(Protocol::for_flow(&v4, true), Protocol::Tcp);
+        assert_eq!(Protocol::for_flow(&v4, false), Protocol::Udp);
+        let v6 = FourTuple::new(
+            Endpoint::new("fe80::2".parse::<std::net::Ipv6Addr>().unwrap(), 1),
+            Endpoint::new("2001:db8::1".parse::<std::net::Ipv6Addr>().unwrap(), 53),
+        );
+        assert_eq!(Protocol::for_flow(&v6, true), Protocol::Tcp6);
+        assert_eq!(Protocol::for_flow(&v6, false), Protocol::Udp6);
+        assert_eq!(Protocol::Tcp6.file_name(), "tcp6");
+    }
+
+    #[test]
+    fn entries_for_filters_by_protocol() {
+        let mut table = ConnectionTable::new();
+        let (f1, uid1) = flow(40000, 1);
+        table.register(f1, true, uid1, SocketStateCode::Established);
+        let udp_flow = FourTuple::new(Endpoint::v4(10, 0, 0, 2, 5353), Endpoint::v4(8, 8, 8, 8, 53));
+        table.register(udp_flow, false, 2, SocketStateCode::Close);
+        assert_eq!(table.entries_for(Protocol::Tcp).len(), 1);
+        assert_eq!(table.entries_for(Protocol::Udp).len(), 1);
+        assert_eq!(table.entries_for(Protocol::Tcp6).len(), 0);
+        assert!(table.has_local_addr("10.0.0.2".parse().unwrap()));
+        assert!(!table.has_local_addr("10.0.0.99".parse().unwrap()));
+    }
+
+    #[test]
+    fn state_codes_roundtrip() {
+        for s in [
+            SocketStateCode::Established,
+            SocketStateCode::SynSent,
+            SocketStateCode::TimeWait,
+            SocketStateCode::Close,
+            SocketStateCode::Listen,
+        ] {
+            assert_eq!(SocketStateCode::from_code(s.code()), s);
+        }
+        assert_eq!(SocketStateCode::from_code("FF"), SocketStateCode::Close);
+    }
+
+    #[test]
+    fn truncate_drops_oldest_entries() {
+        let mut table = ConnectionTable::new();
+        for port in 0..20u16 {
+            let (f, uid) = flow(40000 + port, 10_000 + u32::from(port));
+            table.register(f, true, uid, SocketStateCode::Established);
+        }
+        table.truncate_oldest(5);
+        assert_eq!(table.len(), 5);
+        // The newest entries (highest ports) survive.
+        assert!(table.uid_of_local_port(40019).is_some());
+        assert!(table.uid_of_local_port(40000).is_none());
+    }
+}

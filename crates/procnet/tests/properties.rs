@@ -1,0 +1,117 @@
+//! Property-based tests for the `/proc/net` substrate: the text format must
+//! round-trip for arbitrary connections, and the mapping strategies must
+//! never attribute a flow to an app that does not own it when they claim
+//! correctness.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+use mop_packet::{Endpoint, FourTuple};
+use mop_procnet::{
+    parse_proc_net, render_proc_net, ConnectionTable, EagerMapper, LazyMapper, Protocol,
+    SocketStateCode,
+};
+use mop_simnet::{CostModel, SimRng, SimTime};
+
+fn arb_endpoint() -> impl Strategy<Value = Endpoint> {
+    (any::<[u8; 4]>(), 1u16..=65535)
+        .prop_map(|(o, port)| Endpoint::new(Ipv4Addr::new(o[0], o[1], o[2], o[3]), port))
+}
+
+fn arb_state() -> impl Strategy<Value = SocketStateCode> {
+    prop_oneof![
+        Just(SocketStateCode::Established),
+        Just(SocketStateCode::SynSent),
+        Just(SocketStateCode::TimeWait),
+        Just(SocketStateCode::Close),
+        Just(SocketStateCode::Listen),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn proc_net_text_roundtrips_arbitrary_tables(
+        entries in proptest::collection::vec((arb_endpoint(), arb_endpoint(), 10_000u32..20_000, arb_state()), 0..40),
+    ) {
+        let mut table = ConnectionTable::new();
+        for (local, remote, uid, state) in &entries {
+            table.register(FourTuple::new(*local, *remote), true, *uid, *state);
+        }
+        let file = render_proc_net(&table, Protocol::Tcp);
+        let parsed = parse_proc_net(&file);
+        prop_assert_eq!(parsed.len(), entries.len());
+        for (parsed_entry, (local, remote, uid, state)) in parsed.iter().zip(&entries) {
+            prop_assert_eq!(parsed_entry.local, *local);
+            prop_assert_eq!(parsed_entry.remote, *remote);
+            prop_assert_eq!(parsed_entry.uid, *uid);
+            prop_assert_eq!(parsed_entry.state, *state);
+        }
+    }
+
+    #[test]
+    fn eager_mapping_is_always_correct_for_registered_flows(
+        flows in proptest::collection::vec((1024u16..60_000, 10_000u32..10_050), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let cost = CostModel::android_phone();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut table = ConnectionTable::new();
+        let mut registered = Vec::new();
+        for (port, uid) in &flows {
+            let flow = FourTuple::new(
+                Endpoint::v4(10, 0, 0, 2, *port),
+                Endpoint::v4(31, 13, 79, 251, 443),
+            );
+            // Ports may repeat in the generated vector; only the first
+            // registration counts (the kernel would not allow a duplicate).
+            if table.uid_of(flow).is_none() {
+                table.register(flow, true, *uid, SocketStateCode::SynSent);
+                registered.push((flow, *uid));
+            }
+        }
+        let mut mapper = EagerMapper::new();
+        for (flow, uid) in &registered {
+            let outcome = mapper.map(&table, &cost, &mut rng, *flow);
+            prop_assert_eq!(outcome.uid, Some(*uid));
+            prop_assert!(outcome.correct);
+        }
+        prop_assert_eq!(mapper.stats().mismap_rate(), 0.0);
+    }
+
+    #[test]
+    fn lazy_mapping_is_correct_and_cheaper_in_aggregate(
+        ports in proptest::collection::vec(1024u16..60_000, 2..25),
+        seed in any::<u64>(),
+    ) {
+        let cost = CostModel::android_phone();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut table = ConnectionTable::new();
+        let mut lazy = LazyMapper::new();
+        let mut eager = EagerMapper::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut t = SimTime::from_millis(10);
+        for port in ports {
+            if !seen.insert(port) {
+                continue;
+            }
+            let flow = FourTuple::new(
+                Endpoint::v4(10, 0, 0, 2, port),
+                Endpoint::v4(216, 58, 221, 132, 443),
+            );
+            table.register(flow, true, 10_100, SocketStateCode::SynSent);
+            let registered = t;
+            let established = t + mop_simnet::SimDuration::from_millis(5);
+            let lazy_outcome = lazy.map(&table, &cost, &mut rng, flow, registered, established);
+            let eager_outcome = eager.map(&table, &cost, &mut rng, flow);
+            prop_assert!(lazy_outcome.correct);
+            prop_assert!(eager_outcome.correct);
+            t = t + mop_simnet::SimDuration::from_millis(2);
+        }
+        // Lazy mapping never performs more parses than eager mapping (the
+        // CPU totals are sampled, so only the structural property is stable).
+        prop_assert!(lazy.stats().parses <= eager.stats().parses);
+        prop_assert!(lazy.stats().mitigation_rate() >= 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! A shared, monotonically advancing virtual clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A cheaply clonable handle to the simulation's virtual clock.
+///
+/// The event loop advances the clock as it pops events; every component
+/// (relay engine, baselines, cost ledger) reads timestamps from the same
+/// handle, so there is a single source of truth for "now".
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now_ns: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at the simulation epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.now_ns.load(Ordering::Relaxed))
+    }
+
+    /// Advances the clock to `to`.
+    ///
+    /// The clock is monotonic: attempts to move it backwards are ignored,
+    /// which makes out-of-order event handling bugs visible in timestamps
+    /// rather than corrupting time itself.
+    pub fn advance_to(&self, to: SimTime) {
+        self.now_ns.fetch_max(to.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Advances the clock by `by` and returns the new time.
+    pub fn advance_by(&self, by: SimDuration) -> SimTime {
+        let new = self.now_ns.fetch_add(by.as_nanos(), Ordering::Relaxed) + by.as_nanos();
+        SimTime::from_nanos(new)
+    }
+
+    /// The elapsed virtual time since `earlier`.
+    pub fn elapsed_since(&self, earlier: SimTime) -> SimDuration {
+        self.now().duration_since(earlier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now(), SimTime::ZERO);
+        clock.advance_to(SimTime::from_millis(5));
+        assert_eq!(clock.now().as_millis(), 5);
+        clock.advance_by(SimDuration::from_millis(3));
+        assert_eq!(clock.now().as_millis(), 8);
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let clock = SimClock::new();
+        clock.advance_to(SimTime::from_millis(10));
+        clock.advance_to(SimTime::from_millis(4));
+        assert_eq!(clock.now().as_millis(), 10);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let clock = SimClock::new();
+        let other = clock.clone();
+        clock.advance_to(SimTime::from_secs(1));
+        assert_eq!(other.now().as_secs_f64(), 1.0);
+        assert_eq!(other.elapsed_since(SimTime::from_millis(200)).as_millis(), 800);
+    }
+}

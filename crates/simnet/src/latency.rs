@@ -1,0 +1,244 @@
+//! Latency models used for path RTTs, first-hop delays and system costs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// A distribution over delays, sampled in milliseconds.
+///
+/// Path latencies in the crowdsourced dataset are long-tailed, which is why
+/// the paper reports medians rather than means (§4.2.2); the log-normal
+/// variants here are parameterised by their median for that reason.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// A constant delay.
+    Constant {
+        /// The delay in milliseconds.
+        ms: f64,
+    },
+    /// Uniformly distributed delay in `[lo_ms, hi_ms)`.
+    Uniform {
+        /// Lower bound in milliseconds.
+        lo_ms: f64,
+        /// Upper bound in milliseconds.
+        hi_ms: f64,
+    },
+    /// Normally distributed delay, truncated at `min_ms`.
+    Normal {
+        /// Mean in milliseconds.
+        mean_ms: f64,
+        /// Standard deviation in milliseconds.
+        std_ms: f64,
+        /// Lower truncation bound in milliseconds.
+        min_ms: f64,
+    },
+    /// Log-normal delay parameterised by its median, shifted by a floor.
+    ///
+    /// `floor_ms` models the propagation component that no amount of luck can
+    /// beat (e.g., the ~43 ms minimum the paper observes for Cricket and U.S.
+    /// Cellular DNS, §4.2.3).
+    LogNormal {
+        /// Median of the variable part in milliseconds.
+        median_ms: f64,
+        /// Sigma of the underlying normal distribution.
+        sigma: f64,
+        /// Additive floor in milliseconds.
+        floor_ms: f64,
+    },
+    /// A two-component mixture: with probability `p_second`, sample the
+    /// second model instead of the first. Used for ISPs whose devices split
+    /// between LTE and non-LTE attachments (Figure 11).
+    Mixture {
+        /// The primary model.
+        primary: Box<LatencyModel>,
+        /// The secondary model.
+        secondary: Box<LatencyModel>,
+        /// Probability of sampling the secondary model.
+        p_second: f64,
+    },
+}
+
+impl LatencyModel {
+    /// A constant delay of `ms` milliseconds.
+    pub fn constant(ms: f64) -> Self {
+        LatencyModel::Constant { ms }
+    }
+
+    /// A uniform delay between `lo_ms` and `hi_ms`.
+    pub fn uniform(lo_ms: f64, hi_ms: f64) -> Self {
+        LatencyModel::Uniform { lo_ms, hi_ms }
+    }
+
+    /// A truncated normal delay.
+    pub fn normal(mean_ms: f64, std_ms: f64) -> Self {
+        LatencyModel::Normal { mean_ms, std_ms, min_ms: 0.0 }
+    }
+
+    /// A log-normal delay with the given median and a moderate tail.
+    pub fn lognormal(median_ms: f64) -> Self {
+        LatencyModel::LogNormal { median_ms, sigma: 0.45, floor_ms: 0.0 }
+    }
+
+    /// A log-normal delay with explicit tail weight and floor.
+    pub fn lognormal_with(median_ms: f64, sigma: f64, floor_ms: f64) -> Self {
+        LatencyModel::LogNormal { median_ms, sigma, floor_ms }
+    }
+
+    /// A mixture of two models.
+    pub fn mixture(primary: LatencyModel, secondary: LatencyModel, p_second: f64) -> Self {
+        LatencyModel::Mixture {
+            primary: Box::new(primary),
+            secondary: Box::new(secondary),
+            p_second,
+        }
+    }
+
+    /// Samples a delay in milliseconds.
+    pub fn sample_ms(&self, rng: &mut SimRng) -> f64 {
+        match self {
+            LatencyModel::Constant { ms } => *ms,
+            LatencyModel::Uniform { lo_ms, hi_ms } => rng.uniform(*lo_ms, *hi_ms),
+            LatencyModel::Normal { mean_ms, std_ms, min_ms } => {
+                rng.normal(*mean_ms, *std_ms).max(*min_ms)
+            }
+            LatencyModel::LogNormal { median_ms, sigma, floor_ms } => {
+                floor_ms + rng.lognormal_median(*median_ms, *sigma)
+            }
+            LatencyModel::Mixture { primary, secondary, p_second } => {
+                if rng.chance(*p_second) {
+                    secondary.sample_ms(rng)
+                } else {
+                    primary.sample_ms(rng)
+                }
+            }
+        }
+        .max(0.0)
+    }
+
+    /// Samples a delay as a [`SimDuration`].
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_millis_f64(self.sample_ms(rng))
+    }
+
+    /// The nominal (median-ish) value of the model in milliseconds, used when
+    /// a deterministic summary is needed without sampling.
+    pub fn nominal_ms(&self) -> f64 {
+        match self {
+            LatencyModel::Constant { ms } => *ms,
+            LatencyModel::Uniform { lo_ms, hi_ms } => (lo_ms + hi_ms) / 2.0,
+            LatencyModel::Normal { mean_ms, min_ms, .. } => mean_ms.max(*min_ms),
+            LatencyModel::LogNormal { median_ms, floor_ms, .. } => floor_ms + median_ms,
+            LatencyModel::Mixture { primary, secondary, p_second } => {
+                primary.nominal_ms() * (1.0 - p_second) + secondary.nominal_ms() * p_second
+            }
+        }
+    }
+
+    /// Scales the model's delays by `factor` (used to derive upload paths
+    /// from download paths, or degraded variants of a base profile).
+    pub fn scaled(&self, factor: f64) -> Self {
+        match self {
+            LatencyModel::Constant { ms } => LatencyModel::Constant { ms: ms * factor },
+            LatencyModel::Uniform { lo_ms, hi_ms } => {
+                LatencyModel::Uniform { lo_ms: lo_ms * factor, hi_ms: hi_ms * factor }
+            }
+            LatencyModel::Normal { mean_ms, std_ms, min_ms } => LatencyModel::Normal {
+                mean_ms: mean_ms * factor,
+                std_ms: std_ms * factor,
+                min_ms: min_ms * factor,
+            },
+            LatencyModel::LogNormal { median_ms, sigma, floor_ms } => LatencyModel::LogNormal {
+                median_ms: median_ms * factor,
+                sigma: *sigma,
+                floor_ms: floor_ms * factor,
+            },
+            LatencyModel::Mixture { primary, secondary, p_second } => LatencyModel::Mixture {
+                primary: Box::new(primary.scaled(factor)),
+                secondary: Box::new(secondary.scaled(factor)),
+                p_second: *p_second,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn median_of(model: &LatencyModel, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut v: Vec<f64> = (0..n).map(|_| model.sample_ms(&mut rng)).collect();
+        v.sort_by(f64::total_cmp);
+        v[n / 2]
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let m = LatencyModel::constant(76.0);
+        let mut rng = SimRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(m.sample_ms(&mut rng), 76.0);
+        }
+        assert_eq!(m.nominal_ms(), 76.0);
+    }
+
+    #[test]
+    fn lognormal_median_tracks_parameter() {
+        for target in [33.0, 58.0, 281.0] {
+            let m = LatencyModel::lognormal(target);
+            let med = median_of(&m, 4001, 9);
+            assert!((med - target).abs() / target < 0.12, "median {med} vs target {target}");
+        }
+    }
+
+    #[test]
+    fn floor_bounds_minimum() {
+        let m = LatencyModel::lognormal_with(20.0, 0.6, 43.0);
+        let mut rng = SimRng::seed_from_u64(4);
+        for _ in 0..2000 {
+            assert!(m.sample_ms(&mut rng) >= 43.0);
+        }
+    }
+
+    #[test]
+    fn mixture_blends_components() {
+        let m = LatencyModel::mixture(LatencyModel::constant(10.0), LatencyModel::constant(100.0), 0.5);
+        let mut rng = SimRng::seed_from_u64(2);
+        let n = 4000;
+        let high = (0..n).filter(|_| m.sample_ms(&mut rng) > 50.0).count();
+        let frac = high as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "mixture fraction {frac}");
+        assert!((m.nominal_ms() - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_never_negative() {
+        let m = LatencyModel::normal(1.0, 10.0);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            assert!(m.sample_ms(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn scaling_scales_nominal() {
+        let m = LatencyModel::lognormal_with(50.0, 0.4, 10.0).scaled(2.0);
+        assert!((m.nominal_ms() - 120.0).abs() < 1e-9);
+        let u = LatencyModel::uniform(1.0, 3.0).scaled(3.0);
+        assert!((u.nominal_ms() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_duration_roundtrip() {
+        let m = LatencyModel::constant(2.5);
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(m.sample(&mut rng).as_micros(), 2500);
+    }
+
+    #[test]
+    fn clone_and_eq_derive_work() {
+        let m = LatencyModel::mixture(LatencyModel::lognormal(46.0), LatencyModel::constant(755.0), 0.1);
+        assert_eq!(m.clone(), m);
+    }
+}

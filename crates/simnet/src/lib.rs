@@ -1,0 +1,50 @@
+//! Discrete-event simulated network substrate for the MopEye reproduction.
+//!
+//! The original MopEye runs on Android phones and measures real Internet
+//! paths. This crate replaces that environment with a deterministic,
+//! virtual-time model so that every experiment in the paper can be
+//! regenerated on a laptop:
+//!
+//! * [`time`] / [`clock`] — a nanosecond-resolution virtual clock,
+//! * [`queue`] — a stable-ordered event queue for discrete-event loops,
+//! * [`latency`] — latency models (constant, uniform, normal, log-normal)
+//!   used for path RTTs, first-hop delays and system-call costs,
+//! * [`profile`] — access-network profiles (WiFi, LTE, 3G, 2G) and ISP
+//!   profiles with calibrated RTT/DNS distributions,
+//! * [`server`] — remote application servers with per-destination path
+//!   latency and simple service behaviours,
+//! * [`dnssrv`] — a resolver with configurable records and latency,
+//! * [`network`] — [`network::SimNetwork`], the path-level model used by the
+//!   relay engine and the baselines,
+//! * [`tap`] — a wire tap that plays the role tcpdump plays in the paper
+//!   (ground-truth reference timestamps),
+//! * [`socket`] — a `java.nio`-like socket and selector layer with blocking
+//!   and non-blocking modes plus `protect()` cost modelling,
+//! * [`cost`] — calibrated cost models for the system calls and scheduler
+//!   effects the paper's optimisations target.
+
+pub mod clock;
+pub mod cost;
+pub mod dnssrv;
+pub mod latency;
+pub mod network;
+pub mod profile;
+pub mod queue;
+pub mod rng;
+pub mod server;
+pub mod socket;
+pub mod tap;
+pub mod time;
+
+pub use clock::SimClock;
+pub use cost::{CostModel, CpuLedger};
+pub use dnssrv::DnsServerConfig;
+pub use latency::LatencyModel;
+pub use network::{ConnectOutcome, DataExchange, DnsOutcome, SimNetwork, SimNetworkBuilder};
+pub use profile::{AccessProfile, IspProfile, NetworkType};
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use server::{ServerConfig, Service};
+pub use socket::{Selector, SelectorEvent, SocketId, SocketMode, SocketSet, SocketState};
+pub use tap::{TapDirection, TapRecord, WireTap};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,578 @@
+//! The path-level network model.
+//!
+//! [`SimNetwork`] answers the questions the relay and the baselines ask of
+//! the outside world: *if a SYN leaves the handset now, when does the SYN/ACK
+//! come back? when is a request acknowledged? how do response bytes arrive
+//! given the access link's bandwidth? when does the DNS resolver answer?*
+//! Every answer is also recorded on the [`WireTap`] so that ground-truth
+//! (tcpdump-equivalent) RTTs are available to the accuracy experiments.
+
+use std::net::{IpAddr, Ipv4Addr};
+
+use mop_packet::{Endpoint, FourTuple};
+
+use crate::dnssrv::{DnsAnswer, DnsServerConfig};
+use crate::latency::LatencyModel;
+use crate::profile::{AccessProfile, IspProfile, NetworkType};
+use crate::rng::SimRng;
+use crate::server::{ServerConfig, Service};
+use crate::tap::{TapDirection, TapKind, WireTap};
+use crate::time::{SimDuration, SimTime};
+
+/// Maximum segment size used when chunking response bodies.
+const SEGMENT_BYTES: usize = 1460;
+/// Connect timeout used for blackholed destinations.
+const CONNECT_TIMEOUT: SimDuration = SimDuration::from_secs(30);
+
+/// Result of a TCP connection attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectOutcome {
+    /// When the SYN crossed the interface.
+    pub syn_sent: SimTime,
+    /// When the SYN/ACK (or RST, or timeout) was observed at the handset.
+    pub completed_at: SimTime,
+    /// True if the handshake succeeded.
+    pub success: bool,
+    /// True if the failure was an active refusal (RST) rather than a timeout.
+    pub refused: bool,
+    /// The ground-truth path RTT sampled for this exchange.
+    pub true_rtt: SimDuration,
+}
+
+/// Result of a request/response exchange on an established connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataExchange {
+    /// When the server acknowledged the last request byte.
+    pub request_acked_at: SimTime,
+    /// Arrival schedule of response chunks at the handset: (time, bytes).
+    pub response_chunks: Vec<(SimTime, usize)>,
+    /// Total response bytes.
+    pub response_total: usize,
+}
+
+impl DataExchange {
+    /// When the last response byte arrived (or the request ACK for empty
+    /// responses).
+    pub fn completed_at(&self) -> SimTime {
+        self.response_chunks.last().map(|(t, _)| *t).unwrap_or(self.request_acked_at)
+    }
+}
+
+/// Result of a DNS resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsOutcome {
+    /// When the query crossed the interface.
+    pub query_sent: SimTime,
+    /// When the response arrived, if it did.
+    pub response_at: Option<SimTime>,
+    /// Addresses in the answer (empty for NXDOMAIN or timeout).
+    pub addrs: Vec<Ipv4Addr>,
+    /// True if the resolver answered NXDOMAIN.
+    pub nxdomain: bool,
+}
+
+impl DnsOutcome {
+    /// The measured DNS RTT, if the exchange completed.
+    pub fn rtt(&self) -> Option<SimDuration> {
+        self.response_at.map(|t| t - self.query_sent)
+    }
+}
+
+/// Builder for [`SimNetwork`].
+#[derive(Debug, Clone)]
+pub struct SimNetworkBuilder {
+    seed: u64,
+    access: AccessProfile,
+    isp: Option<IspProfile>,
+    servers: Vec<ServerConfig>,
+    dns_latency: Option<LatencyModel>,
+    tap_enabled: bool,
+    default_path: LatencyModel,
+}
+
+impl Default for SimNetworkBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimNetworkBuilder {
+    /// Starts a builder with a WiFi access network and no servers.
+    pub fn new() -> Self {
+        Self {
+            seed: DEFAULT_SEED,
+            access: AccessProfile::wifi(),
+            isp: None,
+            servers: Vec::new(),
+            dns_latency: None,
+            tap_enabled: true,
+            default_path: LatencyModel::lognormal_with(45.0, 0.5, 5.0),
+        }
+    }
+
+    /// Sets the deterministic seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the access-network profile.
+    pub fn access(mut self, access: AccessProfile) -> Self {
+        self.access = access;
+        self
+    }
+
+    /// Sets the access network by type, using the default profile for it.
+    pub fn network_type(mut self, network_type: NetworkType) -> Self {
+        self.access = AccessProfile::for_type(network_type);
+        self
+    }
+
+    /// Attaches an ISP profile (DNS latency and core-network penalty).
+    pub fn isp(mut self, isp: IspProfile) -> Self {
+        self.isp = Some(isp);
+        self
+    }
+
+    /// Adds a remote server.
+    pub fn server(mut self, server: ServerConfig) -> Self {
+        self.servers.push(server);
+        self
+    }
+
+    /// Adds the paper's Table 2 destinations (Google, Facebook, Dropbox).
+    pub fn with_table2_destinations(mut self) -> Self {
+        self.servers.extend(ServerConfig::table2_destinations());
+        self
+    }
+
+    /// Overrides the DNS resolver latency model.
+    pub fn dns_latency(mut self, latency: LatencyModel) -> Self {
+        self.dns_latency = Some(latency);
+        self
+    }
+
+    /// Sets the path RTT used for destinations without a configured server.
+    pub fn default_path(mut self, model: LatencyModel) -> Self {
+        self.default_path = model;
+        self
+    }
+
+    /// Disables the wire tap.
+    pub fn without_tap(mut self) -> Self {
+        self.tap_enabled = false;
+        self
+    }
+
+    /// Builds the network.
+    pub fn build(self) -> SimNetwork {
+        let dns_latency = self.dns_latency.unwrap_or_else(|| match &self.isp {
+            Some(isp) => isp.dns_rtt.clone(),
+            None => self.access.dns_rtt.clone(),
+        });
+        let mut dns = DnsServerConfig::new(dns_latency);
+        for server in &self.servers {
+            dns.add_server(server);
+        }
+        SimNetwork {
+            access: self.access,
+            isp: self.isp,
+            servers: self.servers,
+            dns,
+            rng: SimRng::seed_from_u64(self.seed),
+            tap: if self.tap_enabled { WireTap::new() } else { WireTap::disabled() },
+            default_path: self.default_path,
+            downlink_busy_until: SimTime::ZERO,
+            uplink_busy_until: SimTime::ZERO,
+        }
+    }
+}
+
+/// The default seed ("MopEye" in ASCII) so that an unseeded builder is still
+/// deterministic.
+const DEFAULT_SEED: u64 = 0x4d6f_7045_7965;
+
+/// The simulated path-level network.
+#[derive(Debug)]
+pub struct SimNetwork {
+    access: AccessProfile,
+    isp: Option<IspProfile>,
+    servers: Vec<ServerConfig>,
+    dns: DnsServerConfig,
+    rng: SimRng,
+    tap: WireTap,
+    default_path: LatencyModel,
+    downlink_busy_until: SimTime,
+    uplink_busy_until: SimTime,
+}
+
+impl SimNetwork {
+    /// Starts a builder.
+    pub fn builder() -> SimNetworkBuilder {
+        SimNetworkBuilder::new()
+    }
+
+    /// The access profile in use.
+    pub fn access(&self) -> &AccessProfile {
+        &self.access
+    }
+
+    /// The ISP profile in use, if any.
+    pub fn isp(&self) -> Option<&IspProfile> {
+        self.isp.as_ref()
+    }
+
+    /// The configured DNS resolver.
+    pub fn dns_config(&self) -> &DnsServerConfig {
+        &self.dns
+    }
+
+    /// The wire tap (ground-truth capture).
+    pub fn tap(&self) -> &WireTap {
+        &self.tap
+    }
+
+    /// Mutable access to the wire tap (e.g. to clear it between runs).
+    pub fn tap_mut(&mut self) -> &mut WireTap {
+        &mut self.tap
+    }
+
+    /// Mutable access to the deterministic RNG, for callers that need to
+    /// sample auxiliary noise from the same stream.
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Registers an additional server after construction.
+    pub fn add_server(&mut self, server: ServerConfig) {
+        self.dns.add_server(&server);
+        self.servers.push(server);
+    }
+
+    /// Looks up the server that answers on `addr`.
+    pub fn server_for(&self, addr: IpAddr) -> Option<&ServerConfig> {
+        self.servers.iter().find(|s| s.has_addr(addr))
+    }
+
+    fn path_model_for(&self, addr: IpAddr) -> LatencyModel {
+        self.server_for(addr).map(|s| s.path_rtt.clone()).unwrap_or_else(|| self.default_path.clone())
+    }
+
+    /// Samples the full handset-to-server RTT for `dst`: access network +
+    /// ISP core penalty + Internet path.
+    pub fn sample_path_rtt(&mut self, dst: IpAddr) -> SimDuration {
+        let path = self.path_model_for(dst);
+        let access = self.access.access_rtt.sample_ms(&mut self.rng);
+        let core = self
+            .isp
+            .as_ref()
+            .map(|isp| isp.core_extra_rtt.sample_ms(&mut self.rng))
+            .unwrap_or(0.0);
+        SimDuration::from_millis_f64(access + core + path.sample_ms(&mut self.rng))
+    }
+
+    /// Attempts a TCP handshake from `flow.src` to `flow.dst`, with the SYN
+    /// leaving the handset at `at`.
+    pub fn connect(&mut self, flow: FourTuple, at: SimTime) -> ConnectOutcome {
+        let rtt = self.sample_path_rtt(flow.dst.addr);
+        let syn_sent = at + SimDuration::from_millis_f64(self.access.uplink_tx_delay_ms(60));
+        self.tap.record(syn_sent, TapDirection::Outbound, TapKind::Syn, flow);
+        let service_accepts = self
+            .server_for(flow.dst.addr)
+            .map(|s| s.service.clone())
+            .unwrap_or(Service::Echo);
+        match service_accepts {
+            Service::Refuse => {
+                let completed_at = syn_sent + rtt;
+                self.tap.record(completed_at, TapDirection::Inbound, TapKind::Rst, flow);
+                ConnectOutcome { syn_sent, completed_at, success: false, refused: true, true_rtt: rtt }
+            }
+            Service::Blackhole => {
+                let completed_at = syn_sent + CONNECT_TIMEOUT;
+                ConnectOutcome { syn_sent, completed_at, success: false, refused: false, true_rtt: rtt }
+            }
+            _ => {
+                // Model rare SYN loss as one retransmission after 1 s.
+                let lost = self.rng.chance(self.access.loss);
+                let completed_at = if lost {
+                    syn_sent + SimDuration::from_secs(1) + rtt
+                } else {
+                    syn_sent + rtt
+                };
+                self.tap.record(completed_at, TapDirection::Inbound, TapKind::SynAck, flow);
+                ConnectOutcome { syn_sent, completed_at, success: true, refused: false, true_rtt: rtt }
+            }
+        }
+    }
+
+    /// Sends `request_bytes` on an established connection at `at` and returns
+    /// the acknowledgement time plus the response arrival schedule according
+    /// to the destination's service behaviour.
+    pub fn request_response(
+        &mut self,
+        flow: FourTuple,
+        request_bytes: usize,
+        at: SimTime,
+    ) -> DataExchange {
+        let rtt = self.sample_path_rtt(flow.dst.addr);
+        let half_rtt = SimDuration::from_millis_f64(rtt.as_millis_f64() / 2.0);
+        let tx_up = SimDuration::from_millis_f64(self.access.uplink_tx_delay_ms(request_bytes));
+        let depart = self.reserve_uplink(at, tx_up);
+        self.tap.record(depart, TapDirection::Outbound, TapKind::Data(request_bytes), flow);
+        let arrives_at_server = depart + half_rtt;
+        let request_acked_at = depart + rtt;
+        let service = self
+            .server_for(flow.dst.addr)
+            .map(|s| s.service.clone())
+            .unwrap_or(Service::Echo);
+        let (response_total, processing_ms) = match &service {
+            Service::Silent | Service::Refuse | Service::Blackhole => (0usize, 0.0),
+            Service::Echo => (request_bytes, 0.1),
+            Service::Request { response_bytes, processing } => {
+                (*response_bytes, processing.sample_ms(&mut self.rng))
+            }
+            Service::Bulk => (256 * 1024, 0.5),
+        };
+        let mut response_chunks = Vec::new();
+        if response_total > 0 {
+            let first_byte_leaves = arrives_at_server + SimDuration::from_millis_f64(processing_ms);
+            let mut remaining = response_total;
+            let mut cursor = first_byte_leaves + half_rtt;
+            while remaining > 0 {
+                let chunk = remaining.min(SEGMENT_BYTES);
+                let tx = SimDuration::from_millis_f64(self.access.downlink_tx_delay_ms(chunk));
+                cursor = self.reserve_downlink(cursor, tx);
+                self.tap.record(cursor, TapDirection::Inbound, TapKind::Data(chunk), flow);
+                response_chunks.push((cursor, chunk));
+                remaining -= chunk;
+            }
+        }
+        DataExchange { request_acked_at, response_chunks, response_total }
+    }
+
+    /// Streams `bytes` from the destination to the handset starting at `at`
+    /// (a bulk download, bounded by the downlink capacity). Returns the chunk
+    /// arrival schedule.
+    pub fn bulk_download(&mut self, flow: FourTuple, bytes: usize, at: SimTime) -> Vec<(SimTime, usize)> {
+        let rtt = self.sample_path_rtt(flow.dst.addr);
+        let mut cursor = at + rtt; // Request propagation + first byte.
+        let mut remaining = bytes;
+        let mut chunks = Vec::with_capacity(bytes / SEGMENT_BYTES + 1);
+        while remaining > 0 {
+            let chunk = remaining.min(SEGMENT_BYTES);
+            let tx = SimDuration::from_millis_f64(self.access.downlink_tx_delay_ms(chunk));
+            cursor = self.reserve_downlink(cursor, tx);
+            chunks.push((cursor, chunk));
+            remaining -= chunk;
+        }
+        chunks
+    }
+
+    /// Streams `bytes` from the handset to the destination starting at `at`
+    /// (a bulk upload, bounded by the uplink capacity). Returns the chunk
+    /// departure schedule; each entry is when the chunk finished serialising
+    /// onto the access link.
+    pub fn bulk_upload(&mut self, _flow: FourTuple, bytes: usize, at: SimTime) -> Vec<(SimTime, usize)> {
+        let mut cursor = at;
+        let mut remaining = bytes;
+        let mut chunks = Vec::with_capacity(bytes / SEGMENT_BYTES + 1);
+        while remaining > 0 {
+            let chunk = remaining.min(SEGMENT_BYTES);
+            let tx = SimDuration::from_millis_f64(self.access.uplink_tx_delay_ms(chunk));
+            cursor = self.reserve_uplink(cursor, tx);
+            chunks.push((cursor, chunk));
+            remaining -= chunk;
+        }
+        chunks
+    }
+
+    /// Resolves `name` through the ISP resolver, with the query leaving the
+    /// handset at `at`.
+    pub fn dns_lookup(&mut self, src: Endpoint, name: &str, at: SimTime) -> DnsOutcome {
+        let flow = FourTuple::new(src, Endpoint::new(self.dns.addr, 53));
+        let query_sent = at + SimDuration::from_millis_f64(self.access.uplink_tx_delay_ms(64));
+        self.tap.record(query_sent, TapDirection::Outbound, TapKind::DnsQuery, flow);
+        let answer = self.dns.resolve(name, &mut self.rng);
+        let rtt = SimDuration::from_millis_f64(self.dns.sample_rtt_ms(&mut self.rng));
+        match answer {
+            DnsAnswer::Timeout => {
+                DnsOutcome { query_sent, response_at: None, addrs: Vec::new(), nxdomain: false }
+            }
+            DnsAnswer::NxDomain => {
+                let response_at = query_sent + rtt;
+                self.tap.record(response_at, TapDirection::Inbound, TapKind::DnsResponse, flow);
+                DnsOutcome { query_sent, response_at: Some(response_at), addrs: Vec::new(), nxdomain: true }
+            }
+            DnsAnswer::Addresses(addrs) => {
+                let response_at = query_sent + rtt;
+                self.tap.record(response_at, TapDirection::Inbound, TapKind::DnsResponse, flow);
+                DnsOutcome { query_sent, response_at: Some(response_at), addrs, nxdomain: false }
+            }
+        }
+    }
+
+    fn reserve_downlink(&mut self, earliest: SimTime, tx: SimDuration) -> SimTime {
+        let start = earliest.max(self.downlink_busy_until);
+        let done = start + tx;
+        self.downlink_busy_until = done;
+        done
+    }
+
+    fn reserve_uplink(&mut self, earliest: SimTime, tx: SimDuration) -> SimTime {
+        let start = earliest.max(self.uplink_busy_until);
+        let done = start + tx;
+        self.uplink_busy_until = done;
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn google_flow(port: u16) -> FourTuple {
+        FourTuple::new(Endpoint::v4(10, 0, 0, 2, port), Endpoint::v4(216, 58, 221, 132, 443))
+    }
+
+    fn network() -> SimNetwork {
+        SimNetwork::builder().seed(7).with_table2_destinations().build()
+    }
+
+    #[test]
+    fn connect_rtt_matches_tap_ground_truth() {
+        let mut net = network();
+        let flow = google_flow(40000);
+        let outcome = net.connect(flow, SimTime::from_millis(10));
+        assert!(outcome.success);
+        let tap_rtt = net.tap().handshake_rtt(flow).unwrap();
+        assert_eq!(outcome.completed_at - outcome.syn_sent, tap_rtt);
+        // Google path is a handful of milliseconds plus the WiFi access hop.
+        assert!(tap_rtt.as_millis_f64() < 60.0, "rtt {}", tap_rtt);
+    }
+
+    #[test]
+    fn dropbox_is_much_slower_than_google() {
+        let mut net = network();
+        let google = net.connect(google_flow(40000), SimTime::ZERO).true_rtt;
+        let dropbox_flow =
+            FourTuple::new(Endpoint::v4(10, 0, 0, 2, 40001), Endpoint::v4(108, 160, 166, 126, 443));
+        let dropbox = net.connect(dropbox_flow, SimTime::ZERO).true_rtt;
+        assert!(dropbox.as_millis_f64() > google.as_millis_f64() * 5.0);
+    }
+
+    #[test]
+    fn refused_and_blackholed_destinations() {
+        let mut net = SimNetwork::builder()
+            .seed(1)
+            .server(ServerConfig::new(
+                "closed",
+                "10.9.9.9".parse().unwrap(),
+                LatencyModel::constant(20.0),
+                Service::Refuse,
+            ))
+            .server(ServerConfig::new(
+                "hole",
+                "10.9.9.10".parse().unwrap(),
+                LatencyModel::constant(20.0),
+                Service::Blackhole,
+            ))
+            .build();
+        let refused = net.connect(
+            FourTuple::new(Endpoint::v4(10, 0, 0, 2, 1), Endpoint::v4(10, 9, 9, 9, 80)),
+            SimTime::ZERO,
+        );
+        assert!(!refused.success && refused.refused);
+        let hole = net.connect(
+            FourTuple::new(Endpoint::v4(10, 0, 0, 2, 2), Endpoint::v4(10, 9, 9, 10, 80)),
+            SimTime::ZERO,
+        );
+        assert!(!hole.success && !hole.refused);
+        assert!(hole.completed_at - hole.syn_sent >= CONNECT_TIMEOUT);
+    }
+
+    #[test]
+    fn request_response_schedules_full_body() {
+        let mut net = network();
+        let flow = google_flow(40002);
+        let exchange = net.request_response(flow, 500, SimTime::from_millis(100));
+        let received: usize = exchange.response_chunks.iter().map(|(_, b)| *b).sum();
+        assert_eq!(received, exchange.response_total);
+        assert_eq!(exchange.response_total, 32 * 1024);
+        assert!(exchange.completed_at() > exchange.request_acked_at);
+        // Chunk times are non-decreasing.
+        let times: Vec<_> = exchange.response_chunks.iter().map(|(t, _)| *t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn bulk_download_is_bandwidth_limited() {
+        let mut net = network();
+        let flow = google_flow(40003);
+        let bytes = 3 * 1024 * 1024; // 3 MiB.
+        let start = SimTime::ZERO;
+        let chunks = net.bulk_download(flow, bytes, start);
+        let done = chunks.last().unwrap().0;
+        let seconds = (done - start).as_secs_f64();
+        let mbps = bytes as f64 * 8.0 / 1_000_000.0 / seconds;
+        // The WiFi profile is 25 Mbps; allow RTT amortisation slack.
+        assert!(mbps < 25.5, "throughput {mbps}");
+        assert!(mbps > 15.0, "throughput {mbps}");
+    }
+
+    #[test]
+    fn bulk_upload_is_uplink_limited() {
+        let mut net = network();
+        let flow = google_flow(40004);
+        let bytes = 2 * 1024 * 1024;
+        let chunks = net.bulk_upload(flow, bytes, SimTime::ZERO);
+        let done = chunks.last().unwrap().0;
+        let mbps = bytes as f64 * 8.0 / 1_000_000.0 / done.as_secs_f64();
+        assert!(mbps < 26.5, "upload throughput {mbps}");
+        assert!(mbps > 18.0, "upload throughput {mbps}");
+    }
+
+    #[test]
+    fn dns_lookup_resolves_registered_domains() {
+        let mut net = network();
+        let src = Endpoint::v4(10, 0, 0, 2, 41000);
+        let outcome = net.dns_lookup(src, "www.google.com", SimTime::from_millis(5));
+        assert!(!outcome.nxdomain);
+        assert_eq!(outcome.addrs, vec![Ipv4Addr::new(216, 58, 221, 132)]);
+        assert!(outcome.rtt().unwrap() > SimDuration::ZERO);
+        let missing = net.dns_lookup(src, "unknown.example", SimTime::from_millis(6));
+        assert!(missing.nxdomain);
+        assert!(missing.addrs.is_empty());
+    }
+
+    #[test]
+    fn isp_core_penalty_raises_app_rtt_but_not_dns() {
+        let jio = IspProfile::lte("Jio 4G", "India", 59.0)
+            .with_core_extra(LatencyModel::constant(200.0));
+        let mut with_jio = SimNetwork::builder()
+            .seed(3)
+            .network_type(NetworkType::Lte)
+            .isp(jio)
+            .with_table2_destinations()
+            .build();
+        let mut without = SimNetwork::builder()
+            .seed(3)
+            .network_type(NetworkType::Lte)
+            .with_table2_destinations()
+            .build();
+        let f = google_flow(40005);
+        let rtt_jio = with_jio.connect(f, SimTime::ZERO).true_rtt.as_millis_f64();
+        let rtt_plain = without.connect(f, SimTime::ZERO).true_rtt.as_millis_f64();
+        assert!(rtt_jio > rtt_plain + 150.0, "jio {rtt_jio} plain {rtt_plain}");
+        let dns_jio = with_jio.dns_lookup(Endpoint::v4(10, 0, 0, 2, 1), "www.google.com", SimTime::ZERO);
+        assert!(dns_jio.rtt().unwrap().as_millis_f64() < 150.0);
+    }
+
+    #[test]
+    fn unknown_destination_uses_default_path() {
+        let mut net = SimNetwork::builder().seed(9).build();
+        let flow = FourTuple::new(Endpoint::v4(10, 0, 0, 2, 1), Endpoint::v4(203, 0, 113, 7, 443));
+        let outcome = net.connect(flow, SimTime::ZERO);
+        assert!(outcome.success);
+        assert!(outcome.true_rtt.as_millis_f64() > 5.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! A wire tap on the simulated access link.
+//!
+//! In the paper, tcpdump running with root privilege provides the reference
+//! RTTs against which MopEye and MobiPerf are judged (Table 2). The tap plays
+//! the same role here: it records every transport event at the interface,
+//! below any measuring application, so its SYN→SYN/ACK gaps are ground truth.
+
+use mop_packet::FourTuple;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Direction of a tapped packet relative to the handset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapDirection {
+    /// Leaving the handset towards the network.
+    Outbound,
+    /// Arriving at the handset from the network.
+    Inbound,
+}
+
+/// The kind of transport event observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapKind {
+    /// A TCP SYN.
+    Syn,
+    /// A TCP SYN/ACK.
+    SynAck,
+    /// A TCP data segment of the given payload length.
+    Data(usize),
+    /// A TCP FIN.
+    Fin,
+    /// A TCP RST.
+    Rst,
+    /// A DNS query.
+    DnsQuery,
+    /// A DNS response.
+    DnsResponse,
+}
+
+/// One tapped packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TapRecord {
+    /// When the packet crossed the interface.
+    pub at: SimTime,
+    /// Direction relative to the handset.
+    pub direction: TapDirection,
+    /// Event kind.
+    pub kind: TapKind,
+    /// Connection four-tuple, in the outbound orientation.
+    pub flow: FourTuple,
+}
+
+/// An in-memory capture buffer.
+#[derive(Debug, Default, Clone)]
+pub struct WireTap {
+    records: Vec<TapRecord>,
+    enabled: bool,
+}
+
+impl WireTap {
+    /// Creates an enabled tap.
+    pub fn new() -> Self {
+        Self { records: Vec::new(), enabled: true }
+    }
+
+    /// Creates a disabled tap that drops everything (zero overhead runs).
+    pub fn disabled() -> Self {
+        Self { records: Vec::new(), enabled: false }
+    }
+
+    /// Returns true if capturing is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event.
+    pub fn record(&mut self, at: SimTime, direction: TapDirection, kind: TapKind, flow: FourTuple) {
+        if self.enabled {
+            self.records.push(TapRecord { at, direction, kind, flow });
+        }
+    }
+
+    /// All captured records in capture order.
+    pub fn records(&self) -> &[TapRecord] {
+        &self.records
+    }
+
+    /// Number of captured records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns true if nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Clears the capture buffer.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// The tcpdump-style RTT of `flow`: the gap between the first outbound
+    /// SYN and the first inbound SYN/ACK.
+    pub fn handshake_rtt(&self, flow: FourTuple) -> Option<SimDuration> {
+        let syn = self.records.iter().find(|r| {
+            r.flow == flow && r.kind == TapKind::Syn && r.direction == TapDirection::Outbound
+        })?;
+        let syn_ack = self.records.iter().find(|r| {
+            r.flow == flow
+                && r.kind == TapKind::SynAck
+                && r.direction == TapDirection::Inbound
+                && r.at >= syn.at
+        })?;
+        Some(syn_ack.at - syn.at)
+    }
+
+    /// The tcpdump-style DNS RTT of `flow`: first query to first response.
+    pub fn dns_rtt(&self, flow: FourTuple) -> Option<SimDuration> {
+        let q = self.records.iter().find(|r| r.flow == flow && r.kind == TapKind::DnsQuery)?;
+        let a = self
+            .records
+            .iter()
+            .find(|r| r.flow == flow && r.kind == TapKind::DnsResponse && r.at >= q.at)?;
+        Some(a.at - q.at)
+    }
+
+    /// All handshake RTTs in the capture, keyed by flow, in SYN order.
+    pub fn all_handshake_rtts(&self) -> Vec<(FourTuple, SimDuration)> {
+        let mut out = Vec::new();
+        for r in &self.records {
+            if r.kind == TapKind::Syn && r.direction == TapDirection::Outbound {
+                if let Some(rtt) = self.handshake_rtt(r.flow) {
+                    if !out.iter().any(|(f, _)| *f == r.flow) {
+                        out.push((r.flow, rtt));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mop_packet::Endpoint;
+
+    fn flow(port: u16) -> FourTuple {
+        FourTuple::new(Endpoint::v4(10, 0, 0, 2, port), Endpoint::v4(216, 58, 221, 132, 443))
+    }
+
+    #[test]
+    fn handshake_rtt_is_syn_to_synack_gap() {
+        let mut tap = WireTap::new();
+        let f = flow(40000);
+        tap.record(SimTime::from_millis(100), TapDirection::Outbound, TapKind::Syn, f);
+        tap.record(SimTime::from_millis(104), TapDirection::Inbound, TapKind::SynAck, f);
+        tap.record(SimTime::from_millis(105), TapDirection::Outbound, TapKind::Data(100), f);
+        assert_eq!(tap.handshake_rtt(f).unwrap().as_millis(), 4);
+        assert_eq!(tap.len(), 3);
+    }
+
+    #[test]
+    fn missing_synack_yields_none() {
+        let mut tap = WireTap::new();
+        let f = flow(40001);
+        tap.record(SimTime::from_millis(10), TapDirection::Outbound, TapKind::Syn, f);
+        assert!(tap.handshake_rtt(f).is_none());
+        assert!(tap.handshake_rtt(flow(5)).is_none());
+    }
+
+    #[test]
+    fn dns_rtt_pairs_query_with_response() {
+        let mut tap = WireTap::new();
+        let f = FourTuple::new(Endpoint::v4(10, 0, 0, 2, 41000), Endpoint::v4(192, 168, 1, 1, 53));
+        tap.record(SimTime::from_millis(50), TapDirection::Outbound, TapKind::DnsQuery, f);
+        tap.record(SimTime::from_millis(92), TapDirection::Inbound, TapKind::DnsResponse, f);
+        assert_eq!(tap.dns_rtt(f).unwrap().as_millis(), 42);
+    }
+
+    #[test]
+    fn disabled_tap_records_nothing() {
+        let mut tap = WireTap::disabled();
+        tap.record(SimTime::ZERO, TapDirection::Outbound, TapKind::Syn, flow(1));
+        assert!(tap.is_empty());
+        assert!(!tap.is_enabled());
+    }
+
+    #[test]
+    fn all_handshake_rtts_lists_each_flow_once() {
+        let mut tap = WireTap::new();
+        for (i, port) in [40000u16, 40001, 40002].iter().enumerate() {
+            let f = flow(*port);
+            let base = SimTime::from_millis(10 * i as u64);
+            tap.record(base, TapDirection::Outbound, TapKind::Syn, f);
+            tap.record(base + SimDuration::from_millis(5), TapDirection::Inbound, TapKind::SynAck, f);
+        }
+        // A retransmitted SYN for the first flow must not duplicate it.
+        tap.record(SimTime::from_millis(100), TapDirection::Outbound, TapKind::Syn, flow(40000));
+        let rtts = tap.all_handshake_rtts();
+        assert_eq!(rtts.len(), 3);
+        assert!(rtts.iter().all(|(_, rtt)| rtt.as_millis() == 5));
+        tap.clear();
+        assert!(tap.is_empty());
+    }
+}

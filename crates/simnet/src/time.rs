@@ -1,0 +1,271 @@
+//! Virtual time primitives.
+//!
+//! All timestamps in the simulation are nanoseconds since the start of the
+//! run, mirroring the nanosecond-level timestamping MopEye uses on Android
+//! (`System.nanoTime()`); the paper identifies coarse timestamps as one of
+//! the reasons MobiPerf's RTTs are inaccurate (§4.1.1).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A duration in virtual time, stored as nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Self(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms * 1_000_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Self(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from a floating-point number of milliseconds.
+    ///
+    /// Negative and non-finite inputs are clamped to zero.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        if !ms.is_finite() || ms <= 0.0 {
+            return Self::ZERO;
+        }
+        Self((ms * 1_000_000.0).round() as u64)
+    }
+
+    /// The duration in whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The duration in whole milliseconds (truncated).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// The duration as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// The duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Self) -> Self {
+        Self(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked multiplication by an integer factor.
+    pub fn saturating_mul(self, factor: u64) -> Self {
+        Self(self.0.saturating_mul(factor))
+    }
+
+    /// Multiplies the duration by a floating-point factor (clamped at zero).
+    pub fn mul_f64(self, factor: f64) -> Self {
+        Self::from_millis_f64(self.as_millis_f64() * factor)
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{}us", self.as_micros())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// A point in virtual time: nanoseconds since the start of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates a time from nanoseconds since the epoch.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Self(ns)
+    }
+
+    /// Creates a time from milliseconds since the epoch.
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms * 1_000_000)
+    }
+
+    /// Creates a time from seconds since the epoch.
+    pub const fn from_secs(s: u64) -> Self {
+        Self(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since the epoch (truncated).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Fractional seconds since the epoch.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// The elapsed duration since `earlier`, saturating to zero if `earlier`
+    /// is in the future.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two times.
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two times.
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = Self;
+    fn add(self, rhs: SimDuration) -> Self {
+        Self(self.0 + rhs.as_nanos())
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.as_nanos();
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration::from_nanos(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_conversions() {
+        assert_eq!(SimDuration::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimDuration::from_secs(2).as_millis(), 2_000);
+        assert_eq!(SimDuration::from_micros(1500).as_millis(), 1);
+        assert!((SimDuration::from_millis(76).as_millis_f64() - 76.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn float_millis_clamps_bad_input() {
+        assert_eq!(SimDuration::from_millis_f64(-5.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_millis_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_millis_f64(1.5).as_micros(), 1500);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = SimTime::from_millis(100);
+        let t1 = t0 + SimDuration::from_millis(76);
+        assert_eq!((t1 - t0).as_millis(), 76);
+        assert_eq!(t0.duration_since(t1), SimDuration::ZERO);
+        assert_eq!(t1.max(t0), t1);
+        assert_eq!(t1.min(t0), t0);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_nanos(500).to_string(), "500ns");
+        assert_eq!(SimDuration::from_micros(42).to_string(), "42us");
+        assert_eq!(SimDuration::from_millis(1).to_string(), "1.000ms");
+        assert_eq!(SimDuration::from_secs(3).to_string(), "3.000s");
+        assert!(SimTime::from_millis(5).to_string().starts_with("t+"));
+    }
+
+    #[test]
+    fn sum_and_scaling() {
+        let total: SimDuration =
+            [SimDuration::from_millis(1), SimDuration::from_millis(2)].into_iter().sum();
+        assert_eq!(total.as_millis(), 3);
+        assert_eq!(SimDuration::from_millis(10).mul_f64(0.5).as_millis(), 5);
+        assert_eq!(SimDuration::from_millis(10).saturating_mul(3).as_millis(), 30);
+        assert_eq!(
+            SimDuration::from_millis(5).saturating_sub(SimDuration::from_millis(9)),
+            SimDuration::ZERO
+        );
+    }
+}

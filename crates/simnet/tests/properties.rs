@@ -1,0 +1,132 @@
+//! Property-based tests for the simulation substrate: time arithmetic, event
+//! ordering, latency sampling and network causality.
+
+use proptest::prelude::*;
+
+use mop_packet::{Endpoint, FourTuple};
+use mop_simnet::{
+    EventQueue, LatencyModel, NetworkType, SimDuration, SimNetwork, SimRng, SimTime,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn time_arithmetic_is_consistent(base_ms in 0u64..1_000_000, delta_ms in 0u64..1_000_000) {
+        let t0 = SimTime::from_millis(base_ms);
+        let d = SimDuration::from_millis(delta_ms);
+        let t1 = t0 + d;
+        prop_assert_eq!(t1 - t0, d);
+        prop_assert_eq!(t0.duration_since(t1), SimDuration::ZERO);
+        prop_assert_eq!(t1.max(t0), t1);
+        prop_assert_eq!(t1.min(t0), t0);
+    }
+
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time_order(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut queue = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            queue.schedule(SimTime::from_millis(*t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((at, _)) = queue.pop() {
+            popped.push(at);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        prop_assert!(popped.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn latency_models_never_sample_negative(
+        median in 0.1f64..1_000.0,
+        sigma in 0.05f64..1.5,
+        floor in 0.0f64..100.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        for model in [
+            LatencyModel::constant(median),
+            LatencyModel::uniform(0.0, median),
+            LatencyModel::normal(median, median),
+            LatencyModel::lognormal_with(median, sigma, floor),
+        ] {
+            for _ in 0..50 {
+                let v = model.sample_ms(&mut rng);
+                prop_assert!(v >= 0.0 && v.is_finite());
+            }
+        }
+        // The floor really is a floor.
+        let floored = LatencyModel::lognormal_with(median, sigma, floor);
+        for _ in 0..50 {
+            prop_assert!(floored.sample_ms(&mut rng) >= floor);
+        }
+    }
+
+    #[test]
+    fn connects_respect_causality_and_match_the_tap(
+        seed in any::<u64>(),
+        start_ms in 0u64..10_000,
+        port in 1024u16..60_000,
+        network_type in prop_oneof![
+            Just(NetworkType::Wifi),
+            Just(NetworkType::Lte),
+            Just(NetworkType::Umts3g),
+            Just(NetworkType::Gprs2g),
+        ],
+    ) {
+        let mut net = SimNetwork::builder()
+            .seed(seed)
+            .network_type(network_type)
+            .with_table2_destinations()
+            .build();
+        let flow = FourTuple::new(
+            Endpoint::v4(10, 0, 0, 2, port),
+            Endpoint::v4(31, 13, 79, 251, 443),
+        );
+        let at = SimTime::from_millis(start_ms);
+        let outcome = net.connect(flow, at);
+        prop_assert!(outcome.syn_sent >= at);
+        prop_assert!(outcome.completed_at > outcome.syn_sent);
+        prop_assert!(outcome.true_rtt > SimDuration::ZERO);
+        if outcome.success {
+            let tap_rtt = net.tap().handshake_rtt(flow).unwrap();
+            prop_assert_eq!(outcome.completed_at - outcome.syn_sent, tap_rtt);
+        }
+        // DNS lookups are also causal.
+        let dns = net.dns_lookup(flow.src, "www.google.com", at);
+        prop_assert!(dns.query_sent >= at);
+        if let Some(response_at) = dns.response_at {
+            prop_assert!(response_at > dns.query_sent);
+        }
+    }
+
+    #[test]
+    fn bulk_transfers_never_exceed_the_configured_capacity(
+        seed in any::<u64>(),
+        megabytes in 1usize..6,
+    ) {
+        let mut net = SimNetwork::builder().seed(seed).with_table2_destinations().build();
+        let flow = FourTuple::new(Endpoint::v4(10, 0, 0, 2, 50_000), Endpoint::v4(216, 58, 221, 132, 443));
+        let bytes = megabytes * 1024 * 1024;
+        let start = SimTime::ZERO;
+        let chunks = net.bulk_download(flow, bytes, start);
+        prop_assert!(!chunks.is_empty());
+        prop_assert!(chunks.windows(2).all(|w| w[0].0 <= w[1].0));
+        let total: usize = chunks.iter().map(|(_, b)| *b).sum();
+        prop_assert_eq!(total, bytes);
+        let elapsed = (chunks.last().unwrap().0 - start).as_secs_f64();
+        let mbps = bytes as f64 * 8.0 / 1_000_000.0 / elapsed;
+        // Never faster than the 25 Mbps WiFi profile (plus rounding slack).
+        prop_assert!(mbps <= 25.5, "throughput {} exceeds the link capacity", mbps);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_networks(seed in any::<u64>()) {
+        let run = |seed: u64| {
+            let mut net = SimNetwork::builder().seed(seed).with_table2_destinations().build();
+            let flow = FourTuple::new(Endpoint::v4(10, 0, 0, 2, 41_000), Endpoint::v4(108, 160, 166, 126, 443));
+            net.connect(flow, SimTime::from_millis(3)).true_rtt
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,27 @@
+//! The user-space TCP/IP stack MopEye terminates app connections against.
+//!
+//! Because MopEye relays traffic through regular sockets (no root, no raw
+//! sockets), it cannot see the kernel's Transmission Control Block for the
+//! external connections, so it maintains its own TCP state machine for the
+//! *internal* connections — the ones between the apps and the TUN interface
+//! (§2.3 of the paper). This crate implements that state machine and the
+//! plumbing around it:
+//!
+//! * [`state`] — the connection states and transition rules,
+//! * [`machine`] — [`machine::TcpStateMachine`], which consumes tunnel
+//!   segments from the app and socket-side events from the relay, and emits
+//!   response packets plus relay actions,
+//! * [`client`] — [`client::TcpClient`] and [`client::ClientRegistry`], the
+//!   two-way splice between a state machine and its external socket,
+//! * [`udp`] — UDP associations and the DNS transaction tracking used for
+//!   DNS RTT measurement.
+
+pub mod client;
+pub mod machine;
+pub mod state;
+pub mod udp;
+
+pub use client::{ClientRegistry, TcpClient};
+pub use machine::{RelayAction, SegmentVerdict, TcpStateMachine};
+pub use state::TcpState;
+pub use udp::{DnsTransaction, UdpAssociation, UdpRegistry};

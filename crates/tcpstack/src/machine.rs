@@ -1,0 +1,557 @@
+//! The per-connection TCP state machine.
+//!
+//! One [`TcpStateMachine`] exists per internal connection. It consumes two
+//! kinds of input:
+//!
+//! * tunnel segments arriving from the app ([`TcpStateMachine::on_tunnel_segment`]),
+//! * socket-side events arriving from the external connection
+//!   (`on_external_*` methods).
+//!
+//! For each input it returns the packets that must be written back to the
+//! tunnel (towards the app) and the [`RelayAction`]s the engine must apply to
+//! the external socket. The processing rules follow §2.3 of the paper:
+//! the SYN/ACK to the app is deferred until the external connect completes,
+//! data from the app is buffered towards the socket, pure ACKs are discarded,
+//! FIN triggers a half close, RST tears everything down. On the reverse path
+//! data is forwarded to the app without waiting for ACKs and with the MSS and
+//! window tuning of §3.4 (1460-byte segments, 64 KiB window, no congestion or
+//! flow control inside the tunnel).
+
+use mop_packet::tcp::MOPEYE_MSS;
+use mop_packet::{Endpoint, FourTuple, Packet, PacketBuilder, TcpFlags, TcpSegment};
+
+use crate::state::TcpState;
+
+/// An instruction for the relay engine, produced while processing a segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelayAction {
+    /// Open the external socket connection to the app's destination.
+    ConnectExternal {
+        /// The remote server endpoint.
+        dst: Endpoint,
+    },
+    /// Append these bytes to the external socket's write buffer and trigger a
+    /// write event.
+    RelayData {
+        /// Application payload carried by the tunnel segment.
+        bytes: Vec<u8>,
+    },
+    /// Half-close the external connection (the app sent FIN).
+    HalfCloseExternal,
+    /// Close the external connection immediately (RST or final teardown).
+    CloseExternal,
+    /// The connection is finished; the client object can be removed from the
+    /// cached client list.
+    RemoveClient,
+}
+
+/// Classification of a processed tunnel segment, used for relay statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentVerdict {
+    /// A connection-opening SYN.
+    Syn,
+    /// A data segment carrying this many payload bytes.
+    Data(usize),
+    /// A pure ACK, discarded without relaying (§2.3).
+    PureAckDiscarded,
+    /// A FIN starting a half close.
+    Fin,
+    /// An RST aborting the connection.
+    Rst,
+    /// A retransmission of data we have already seen.
+    Retransmission,
+    /// A segment that does not fit the current state (ignored).
+    OutOfState,
+}
+
+/// The user-space TCP state machine for one internal connection.
+#[derive(Debug)]
+pub struct TcpStateMachine {
+    flow: FourTuple,
+    state: TcpState,
+    /// Next sequence number expected from the app.
+    peer_next: u32,
+    /// Next sequence number we will use towards the app.
+    our_next: u32,
+    /// MSS advertised by the app in its SYN (informational).
+    peer_mss: Option<u16>,
+    /// MSS we use when segmenting server data towards the app.
+    our_mss: u16,
+    to_app: PacketBuilder,
+    bytes_from_app: u64,
+    bytes_to_app: u64,
+}
+
+impl TcpStateMachine {
+    /// Creates a machine for `flow` (oriented app → server) using `our_isn`
+    /// as the initial sequence number towards the app.
+    pub fn new(flow: FourTuple, our_isn: u32) -> Self {
+        Self {
+            flow,
+            state: TcpState::Listen,
+            peer_next: 0,
+            our_next: our_isn,
+            peer_mss: None,
+            our_mss: MOPEYE_MSS,
+            // Packets to the app travel server → app, i.e. the reverse flow.
+            to_app: PacketBuilder::new(flow.dst, flow.src),
+            bytes_from_app: 0,
+            bytes_to_app: 0,
+        }
+    }
+
+    /// The connection four-tuple (app → server orientation).
+    pub fn flow(&self) -> FourTuple {
+        self.flow
+    }
+
+    /// The current state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// The MSS the app advertised, if any.
+    pub fn peer_mss(&self) -> Option<u16> {
+        self.peer_mss
+    }
+
+    /// Total payload bytes received from the app.
+    pub fn bytes_from_app(&self) -> u64 {
+        self.bytes_from_app
+    }
+
+    /// Total payload bytes forwarded to the app.
+    pub fn bytes_to_app(&self) -> u64 {
+        self.bytes_to_app
+    }
+
+    /// Processes a tunnel segment from the app.
+    pub fn on_tunnel_segment(
+        &mut self,
+        seg: &TcpSegment,
+    ) -> (Vec<Packet>, Vec<RelayAction>, SegmentVerdict) {
+        if seg.flags.contains(TcpFlags::RST) {
+            return self.on_app_rst();
+        }
+        if seg.is_syn() {
+            return self.on_app_syn(seg);
+        }
+        if seg.flags.contains(TcpFlags::FIN) {
+            return self.on_app_fin(seg);
+        }
+        if !seg.payload.is_empty() {
+            return self.on_app_data(seg);
+        }
+        self.on_app_pure_ack(seg)
+    }
+
+    fn on_app_syn(&mut self, seg: &TcpSegment) -> (Vec<Packet>, Vec<RelayAction>, SegmentVerdict) {
+        match self.state {
+            TcpState::Listen => {
+                self.peer_next = seg.seq.wrapping_add(1);
+                self.peer_mss = seg.mss();
+                self.state = TcpState::SynReceivedPendingExternal;
+                (
+                    Vec::new(),
+                    vec![RelayAction::ConnectExternal { dst: self.flow.dst }],
+                    SegmentVerdict::Syn,
+                )
+            }
+            // A retransmitted SYN while the external connect is still pending:
+            // keep waiting, nothing to send yet.
+            TcpState::SynReceivedPendingExternal => {
+                (Vec::new(), Vec::new(), SegmentVerdict::Retransmission)
+            }
+            // A retransmitted SYN after we already answered: resend SYN/ACK.
+            TcpState::SynAckSent => {
+                let syn_ack =
+                    self.to_app.tcp_syn_ack(self.our_next.wrapping_sub(1), seg.seq);
+                (vec![syn_ack], Vec::new(), SegmentVerdict::Retransmission)
+            }
+            _ => (Vec::new(), Vec::new(), SegmentVerdict::OutOfState),
+        }
+    }
+
+    fn on_app_data(&mut self, seg: &TcpSegment) -> (Vec<Packet>, Vec<RelayAction>, SegmentVerdict) {
+        // The app's ACK of our SYN/ACK may be piggy-backed on its first data
+        // segment; promote to Established first.
+        if self.state == TcpState::SynAckSent && seg.flags.contains(TcpFlags::ACK) {
+            self.state = TcpState::Established;
+        }
+        if !self.state.accepts_app_data() {
+            return (Vec::new(), Vec::new(), SegmentVerdict::OutOfState);
+        }
+        if seg.seq != self.peer_next {
+            // Already-seen data (or a gap we do not track): re-ACK what we
+            // have so the app's stack stops retransmitting.
+            let ack = self.to_app.tcp_ack(self.our_next, self.peer_next);
+            return (vec![ack], Vec::new(), SegmentVerdict::Retransmission);
+        }
+        let len = seg.payload.len();
+        self.peer_next = self.peer_next.wrapping_add(len as u32);
+        self.bytes_from_app += len as u64;
+        (
+            Vec::new(),
+            vec![RelayAction::RelayData { bytes: seg.payload.clone() }],
+            SegmentVerdict::Data(len),
+        )
+    }
+
+    fn on_app_pure_ack(&mut self, seg: &TcpSegment) -> (Vec<Packet>, Vec<RelayAction>, SegmentVerdict) {
+        match self.state {
+            TcpState::SynAckSent if seg.flags.contains(TcpFlags::ACK) => {
+                self.state = TcpState::Established;
+                // The handshake-completing ACK still carries no data to relay.
+                (Vec::new(), Vec::new(), SegmentVerdict::PureAckDiscarded)
+            }
+            TcpState::LastAck if seg.flags.contains(TcpFlags::ACK) => {
+                self.state = TcpState::Closed;
+                (Vec::new(), vec![RelayAction::RemoveClient], SegmentVerdict::PureAckDiscarded)
+            }
+            // Pure ACKs carry nothing worth relaying to the socket channel.
+            _ => (Vec::new(), Vec::new(), SegmentVerdict::PureAckDiscarded),
+        }
+    }
+
+    fn on_app_fin(&mut self, seg: &TcpSegment) -> (Vec<Packet>, Vec<RelayAction>, SegmentVerdict) {
+        match self.state {
+            TcpState::Established | TcpState::SynAckSent => {
+                // Any data on the FIN segment is still relayed.
+                let mut actions = Vec::new();
+                if !seg.payload.is_empty() && seg.seq == self.peer_next {
+                    self.peer_next = self.peer_next.wrapping_add(seg.payload.len() as u32);
+                    self.bytes_from_app += seg.payload.len() as u64;
+                    actions.push(RelayAction::RelayData { bytes: seg.payload.clone() });
+                }
+                self.peer_next = self.peer_next.wrapping_add(1);
+                self.state = TcpState::CloseWait;
+                actions.push(RelayAction::HalfCloseExternal);
+                let ack = self.to_app.tcp_ack(self.our_next, self.peer_next);
+                (vec![ack], actions, SegmentVerdict::Fin)
+            }
+            TcpState::FinWait => {
+                // Server already closed; this FIN completes the shutdown.
+                self.peer_next = self.peer_next.wrapping_add(1);
+                self.state = TcpState::TimeWait;
+                let ack = self.to_app.tcp_ack(self.our_next, self.peer_next);
+                (
+                    vec![ack],
+                    vec![RelayAction::CloseExternal, RelayAction::RemoveClient],
+                    SegmentVerdict::Fin,
+                )
+            }
+            _ => (Vec::new(), Vec::new(), SegmentVerdict::OutOfState),
+        }
+    }
+
+    fn on_app_rst(&mut self) -> (Vec<Packet>, Vec<RelayAction>, SegmentVerdict) {
+        self.state = TcpState::Reset;
+        (
+            Vec::new(),
+            vec![RelayAction::CloseExternal, RelayAction::RemoveClient],
+            SegmentVerdict::Rst,
+        )
+    }
+
+    /// The external socket connection has been established: complete the
+    /// handshake with the app by sending the SYN/ACK (§2.3).
+    pub fn on_external_connected(&mut self) -> Vec<Packet> {
+        if self.state != TcpState::SynReceivedPendingExternal {
+            return Vec::new();
+        }
+        let syn_ack = self.to_app.tcp_syn_ack(self.our_next, self.peer_next.wrapping_sub(1));
+        self.our_next = self.our_next.wrapping_add(1);
+        self.state = TcpState::SynAckSent;
+        vec![syn_ack]
+    }
+
+    /// The external connect failed: abort the app's connection attempt.
+    ///
+    /// A refused connection is surfaced as an RST; a timeout sends nothing
+    /// (the app's own SYN retransmissions will eventually give up, as they
+    /// would without a relay in the path).
+    pub fn on_external_connect_failed(&mut self, refused: bool) -> Vec<Packet> {
+        self.state = TcpState::Reset;
+        if refused {
+            vec![self.to_app.tcp_rst_ack(self.our_next, self.peer_next)]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Data arrived from the external socket: forward it to the app in
+    /// MSS-sized segments without waiting for ACKs (§3.4).
+    pub fn on_external_data(&mut self, bytes: &[u8]) -> Vec<Packet> {
+        if !self.state.accepts_server_data() || bytes.is_empty() {
+            return Vec::new();
+        }
+        let mut packets = Vec::with_capacity(bytes.len() / usize::from(self.our_mss) + 1);
+        for chunk in bytes.chunks(usize::from(self.our_mss)) {
+            let pkt = self.to_app.tcp_data(self.our_next, self.peer_next, chunk.to_vec());
+            self.our_next = self.our_next.wrapping_add(chunk.len() as u32);
+            self.bytes_to_app += chunk.len() as u64;
+            packets.push(pkt);
+        }
+        packets
+    }
+
+    /// The external socket finished writing relayed bytes: acknowledge the
+    /// app's data (§2.3, socket write handling).
+    pub fn on_external_write_complete(&mut self) -> Vec<Packet> {
+        if self.state.is_handshaking() || self.state.is_terminal() {
+            return Vec::new();
+        }
+        vec![self.to_app.tcp_ack(self.our_next, self.peer_next)]
+    }
+
+    /// The external socket closed (or was reset): propagate to the app.
+    pub fn on_external_closed(&mut self, reset: bool) -> Vec<Packet> {
+        if self.state.is_terminal() {
+            return Vec::new();
+        }
+        if reset {
+            self.state = TcpState::Reset;
+            return vec![self.to_app.tcp_rst_ack(self.our_next, self.peer_next)];
+        }
+        match self.state {
+            TcpState::Established | TcpState::SynAckSent => {
+                let fin = self.to_app.tcp_fin(self.our_next, self.peer_next);
+                self.our_next = self.our_next.wrapping_add(1);
+                self.state = TcpState::FinWait;
+                vec![fin]
+            }
+            TcpState::CloseWait => {
+                let fin = self.to_app.tcp_fin(self.our_next, self.peer_next);
+                self.our_next = self.our_next.wrapping_add(1);
+                self.state = TcpState::LastAck;
+                vec![fin]
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mop_packet::Endpoint;
+
+    fn flow() -> FourTuple {
+        FourTuple::new(Endpoint::v4(10, 0, 0, 2, 40000), Endpoint::v4(31, 13, 79, 251, 443))
+    }
+
+    fn app_builder() -> PacketBuilder {
+        PacketBuilder::new(flow().src, flow().dst)
+    }
+
+    fn syn_segment(seq: u32) -> TcpSegment {
+        app_builder().tcp_syn(seq).tcp().unwrap().clone()
+    }
+
+    /// Drives the machine through SYN → external connected → app ACK.
+    fn establish(machine: &mut TcpStateMachine, isn: u32) {
+        let (pkts, actions, verdict) = machine.on_tunnel_segment(&syn_segment(isn));
+        assert!(pkts.is_empty(), "SYN/ACK must wait for the external connect");
+        assert_eq!(actions, vec![RelayAction::ConnectExternal { dst: flow().dst }]);
+        assert_eq!(verdict, SegmentVerdict::Syn);
+        let syn_ack = machine.on_external_connected();
+        assert_eq!(syn_ack.len(), 1);
+        assert!(syn_ack[0].tcp().unwrap().is_syn_ack());
+        assert_eq!(syn_ack[0].tcp().unwrap().ack, isn.wrapping_add(1));
+        let ack = app_builder().tcp_ack(isn + 1, syn_ack[0].tcp().unwrap().seq + 1);
+        let (pkts, actions, verdict) = machine.on_tunnel_segment(ack.tcp().unwrap());
+        assert!(pkts.is_empty() && actions.is_empty());
+        assert_eq!(verdict, SegmentVerdict::PureAckDiscarded);
+        assert_eq!(machine.state(), TcpState::Established);
+    }
+
+    #[test]
+    fn handshake_is_deferred_until_external_connect() {
+        let mut m = TcpStateMachine::new(flow(), 9000);
+        establish(&mut m, 1000);
+    }
+
+    #[test]
+    fn retransmitted_syn_before_external_connect_is_quiet() {
+        let mut m = TcpStateMachine::new(flow(), 9000);
+        m.on_tunnel_segment(&syn_segment(5));
+        let (pkts, actions, verdict) = m.on_tunnel_segment(&syn_segment(5));
+        assert!(pkts.is_empty() && actions.is_empty());
+        assert_eq!(verdict, SegmentVerdict::Retransmission);
+    }
+
+    #[test]
+    fn retransmitted_syn_after_synack_resends_synack() {
+        let mut m = TcpStateMachine::new(flow(), 9000);
+        m.on_tunnel_segment(&syn_segment(5));
+        m.on_external_connected();
+        let (pkts, _, verdict) = m.on_tunnel_segment(&syn_segment(5));
+        assert_eq!(verdict, SegmentVerdict::Retransmission);
+        assert_eq!(pkts.len(), 1);
+        assert!(pkts[0].tcp().unwrap().is_syn_ack());
+    }
+
+    #[test]
+    fn app_data_is_relayed_and_tracked() {
+        let mut m = TcpStateMachine::new(flow(), 9000);
+        establish(&mut m, 1000);
+        let data = app_builder().tcp_data(1001, 9001, b"GET / HTTP/1.1\r\n".to_vec());
+        let (pkts, actions, verdict) = m.on_tunnel_segment(data.tcp().unwrap());
+        assert!(pkts.is_empty(), "data is ACKed only after the socket write completes");
+        assert_eq!(actions, vec![RelayAction::RelayData { bytes: b"GET / HTTP/1.1\r\n".to_vec() }]);
+        assert_eq!(verdict, SegmentVerdict::Data(16));
+        assert_eq!(m.bytes_from_app(), 16);
+        let acks = m.on_external_write_complete();
+        assert_eq!(acks.len(), 1);
+        assert_eq!(acks[0].tcp().unwrap().ack, 1001 + 16);
+    }
+
+    #[test]
+    fn piggybacked_ack_with_data_establishes_and_relays() {
+        let mut m = TcpStateMachine::new(flow(), 9000);
+        m.on_tunnel_segment(&syn_segment(1000));
+        m.on_external_connected();
+        // The app skips the bare ACK and sends data directly.
+        let data = app_builder().tcp_data(1001, 9001, vec![1, 2, 3]);
+        let (_, actions, verdict) = m.on_tunnel_segment(data.tcp().unwrap());
+        assert_eq!(verdict, SegmentVerdict::Data(3));
+        assert_eq!(actions.len(), 1);
+        assert_eq!(m.state(), TcpState::Established);
+    }
+
+    #[test]
+    fn retransmitted_data_is_reacked_not_relayed() {
+        let mut m = TcpStateMachine::new(flow(), 9000);
+        establish(&mut m, 1000);
+        let data = app_builder().tcp_data(1001, 9001, vec![7; 10]);
+        m.on_tunnel_segment(data.tcp().unwrap());
+        let (pkts, actions, verdict) = m.on_tunnel_segment(data.tcp().unwrap());
+        assert_eq!(verdict, SegmentVerdict::Retransmission);
+        assert!(actions.is_empty());
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].tcp().unwrap().ack, 1011);
+        assert_eq!(m.bytes_from_app(), 10);
+    }
+
+    #[test]
+    fn server_data_is_segmented_at_mss_without_waiting_for_acks() {
+        let mut m = TcpStateMachine::new(flow(), 9000);
+        establish(&mut m, 1000);
+        let body = vec![0xab; 4000];
+        let pkts = m.on_external_data(&body);
+        assert_eq!(pkts.len(), 3); // 1460 + 1460 + 1080.
+        assert_eq!(pkts[0].tcp().unwrap().payload.len(), 1460);
+        assert_eq!(pkts[2].tcp().unwrap().payload.len(), 4000 - 2 * 1460);
+        // Sequence numbers are contiguous.
+        assert_eq!(pkts[1].tcp().unwrap().seq, pkts[0].tcp().unwrap().seq + 1460);
+        assert_eq!(m.bytes_to_app(), 4000);
+        // Receive window advertised to the app is the §3.4 maximum.
+        assert_eq!(pkts[0].tcp().unwrap().window, 65_535);
+    }
+
+    #[test]
+    fn app_fin_half_closes_and_server_close_finishes() {
+        let mut m = TcpStateMachine::new(flow(), 9000);
+        establish(&mut m, 1000);
+        let fin = app_builder().tcp_fin(1001, 9001);
+        let (pkts, actions, verdict) = m.on_tunnel_segment(fin.tcp().unwrap());
+        assert_eq!(verdict, SegmentVerdict::Fin);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].tcp().unwrap().ack, 1002);
+        assert_eq!(actions, vec![RelayAction::HalfCloseExternal]);
+        assert_eq!(m.state(), TcpState::CloseWait);
+        // Server data can still flow to the app while half closed.
+        assert_eq!(m.on_external_data(&[1, 2, 3]).len(), 1);
+        // When the server side closes we FIN the app and wait for its ACK.
+        let fins = m.on_external_closed(false);
+        assert_eq!(fins.len(), 1);
+        assert!(fins[0].tcp().unwrap().flags.contains(TcpFlags::FIN));
+        assert_eq!(m.state(), TcpState::LastAck);
+        let last_ack = app_builder().tcp_ack(1002, fins[0].tcp().unwrap().seq + 1);
+        let (_, actions, _) = m.on_tunnel_segment(last_ack.tcp().unwrap());
+        assert_eq!(actions, vec![RelayAction::RemoveClient]);
+        assert_eq!(m.state(), TcpState::Closed);
+        assert!(m.state().is_terminal());
+    }
+
+    #[test]
+    fn server_initiated_close_then_app_fin() {
+        let mut m = TcpStateMachine::new(flow(), 9000);
+        establish(&mut m, 1000);
+        let fins = m.on_external_closed(false);
+        assert_eq!(fins.len(), 1);
+        assert_eq!(m.state(), TcpState::FinWait);
+        // The app can still send data in FIN_WAIT (its direction is open).
+        let data = app_builder().tcp_data(1001, 9002, vec![5; 4]);
+        let (_, actions, verdict) = m.on_tunnel_segment(data.tcp().unwrap());
+        assert_eq!(verdict, SegmentVerdict::Data(4));
+        assert_eq!(actions.len(), 1);
+        // Its FIN finishes the connection.
+        let fin = app_builder().tcp_fin(1005, 9002);
+        let (pkts, actions, _) = m.on_tunnel_segment(fin.tcp().unwrap());
+        assert_eq!(pkts.len(), 1);
+        assert!(actions.contains(&RelayAction::CloseExternal));
+        assert!(actions.contains(&RelayAction::RemoveClient));
+        assert_eq!(m.state(), TcpState::TimeWait);
+    }
+
+    #[test]
+    fn app_rst_tears_down_immediately() {
+        let mut m = TcpStateMachine::new(flow(), 9000);
+        establish(&mut m, 1000);
+        let rst = app_builder().tcp_rst(1001);
+        let (pkts, actions, verdict) = m.on_tunnel_segment(rst.tcp().unwrap());
+        assert!(pkts.is_empty());
+        assert_eq!(verdict, SegmentVerdict::Rst);
+        assert_eq!(actions, vec![RelayAction::CloseExternal, RelayAction::RemoveClient]);
+        assert_eq!(m.state(), TcpState::Reset);
+        // Nothing further is forwarded after a reset.
+        assert!(m.on_external_data(&[1]).is_empty());
+        assert!(m.on_external_closed(false).is_empty());
+    }
+
+    #[test]
+    fn external_reset_is_propagated_as_rst() {
+        let mut m = TcpStateMachine::new(flow(), 9000);
+        establish(&mut m, 1000);
+        let pkts = m.on_external_closed(true);
+        assert_eq!(pkts.len(), 1);
+        assert!(pkts[0].tcp().unwrap().flags.contains(TcpFlags::RST));
+        assert_eq!(m.state(), TcpState::Reset);
+    }
+
+    #[test]
+    fn refused_external_connect_resets_the_app() {
+        let mut m = TcpStateMachine::new(flow(), 9000);
+        m.on_tunnel_segment(&syn_segment(1));
+        let pkts = m.on_external_connect_failed(true);
+        assert_eq!(pkts.len(), 1);
+        assert!(pkts[0].tcp().unwrap().flags.contains(TcpFlags::RST));
+        assert_eq!(m.state(), TcpState::Reset);
+        let mut m2 = TcpStateMachine::new(flow(), 9000);
+        m2.on_tunnel_segment(&syn_segment(1));
+        assert!(m2.on_external_connect_failed(false).is_empty());
+    }
+
+    #[test]
+    fn out_of_state_segments_are_ignored() {
+        let mut m = TcpStateMachine::new(flow(), 9000);
+        // Data before any SYN.
+        let data = app_builder().tcp_data(50, 0, vec![1]);
+        let (pkts, actions, verdict) = m.on_tunnel_segment(data.tcp().unwrap());
+        assert!(pkts.is_empty() && actions.is_empty());
+        assert_eq!(verdict, SegmentVerdict::OutOfState);
+        // FIN before any SYN.
+        let fin = app_builder().tcp_fin(50, 0);
+        let (_, _, verdict) = m.on_tunnel_segment(fin.tcp().unwrap());
+        assert_eq!(verdict, SegmentVerdict::OutOfState);
+    }
+
+    #[test]
+    fn peer_mss_is_recorded() {
+        let mut m = TcpStateMachine::new(flow(), 1);
+        m.on_tunnel_segment(&syn_segment(10));
+        assert_eq!(m.peer_mss(), Some(1460));
+        assert_eq!(m.flow(), flow());
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for the user-space TCP state machine: it must never
+//! panic, never relay data it has not been given, and keep its sequence-space
+//! accounting consistent no matter what segment sequence an app throws at it.
+
+use proptest::prelude::*;
+
+use mop_packet::{Endpoint, FourTuple, PacketBuilder, TcpFlags};
+use mop_tcpstack::{RelayAction, TcpStateMachine};
+
+fn flow() -> FourTuple {
+    FourTuple::new(Endpoint::v4(10, 0, 0, 2, 40_000), Endpoint::v4(31, 13, 79, 251, 443))
+}
+
+/// The kinds of app-side inputs a fuzzed connection can produce.
+#[derive(Debug, Clone)]
+enum AppInput {
+    Syn,
+    Data(Vec<u8>),
+    PureAck,
+    Fin,
+    Rst,
+    ExternalConnected,
+    ExternalData(usize),
+    ExternalWriteComplete,
+    ExternalClosed(bool),
+}
+
+fn arb_input() -> impl Strategy<Value = AppInput> {
+    prop_oneof![
+        2 => Just(AppInput::Syn),
+        4 => proptest::collection::vec(any::<u8>(), 1..600).prop_map(AppInput::Data),
+        3 => Just(AppInput::PureAck),
+        2 => Just(AppInput::Fin),
+        1 => Just(AppInput::Rst),
+        3 => Just(AppInput::ExternalConnected),
+        3 => (1usize..5_000).prop_map(AppInput::ExternalData),
+        2 => Just(AppInput::ExternalWriteComplete),
+        1 => any::<bool>().prop_map(AppInput::ExternalClosed),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn state_machine_never_panics_and_never_invents_data(
+        inputs in proptest::collection::vec(arb_input(), 1..60),
+    ) {
+        let app = PacketBuilder::new(flow().src, flow().dst);
+        let mut machine = TcpStateMachine::new(flow(), 7_000);
+        let mut app_seq = 1_000u32;
+        let mut bytes_given: u64 = 0;
+        let mut bytes_relayed: u64 = 0;
+        let mut external_bytes_given: u64 = 0;
+        for input in inputs {
+            match input {
+                AppInput::Syn => {
+                    let pkt = app.tcp_syn(app_seq);
+                    let (_, actions, _) = machine.on_tunnel_segment(pkt.tcp().unwrap());
+                    let relays_data =
+                        actions.iter().any(|a| matches!(a, RelayAction::RelayData { .. }));
+                    prop_assert!(!relays_data);
+                }
+                AppInput::Data(payload) => {
+                    bytes_given += payload.len() as u64;
+                    let pkt = app.tcp_data(app_seq.wrapping_add(1), 0, payload);
+                    let (_, actions, _) = machine.on_tunnel_segment(pkt.tcp().unwrap());
+                    for action in actions {
+                        if let RelayAction::RelayData { bytes } = action {
+                            bytes_relayed += bytes.len() as u64;
+                            app_seq = app_seq.wrapping_add(bytes.len() as u32);
+                        }
+                    }
+                }
+                AppInput::PureAck => {
+                    let pkt = app.tcp_ack(app_seq.wrapping_add(1), 0);
+                    let (packets, actions, _) = machine.on_tunnel_segment(pkt.tcp().unwrap());
+                    // A pure ACK is never answered with data.
+                    prop_assert!(packets.iter().all(|p| p.tcp().unwrap().payload.is_empty()));
+                    let relays_data =
+                        actions.iter().any(|a| matches!(a, RelayAction::RelayData { .. }));
+                    prop_assert!(!relays_data);
+                }
+                AppInput::Fin => {
+                    let pkt = app.tcp_fin(app_seq.wrapping_add(1), 0);
+                    let _ = machine.on_tunnel_segment(pkt.tcp().unwrap());
+                }
+                AppInput::Rst => {
+                    let pkt = app.tcp_rst(app_seq.wrapping_add(1));
+                    let (_, actions, _) = machine.on_tunnel_segment(pkt.tcp().unwrap());
+                    if !actions.is_empty() {
+                        prop_assert!(actions.contains(&RelayAction::CloseExternal));
+                    }
+                }
+                AppInput::ExternalConnected => {
+                    let packets = machine.on_external_connected();
+                    // At most one SYN/ACK, and only as a response to a SYN.
+                    prop_assert!(packets.len() <= 1);
+                }
+                AppInput::ExternalData(len) => {
+                    external_bytes_given += len as u64;
+                    let body = vec![0xaa; len];
+                    let packets = machine.on_external_data(&body);
+                    // Forwarded segments respect the 1460-byte MSS of §3.4.
+                    prop_assert!(packets.iter().all(|p| p.tcp().unwrap().payload.len() <= 1460));
+                    let forwarded: usize = packets.iter().map(|p| p.tcp().unwrap().payload.len()).sum();
+                    prop_assert!(forwarded == 0 || forwarded == len);
+                }
+                AppInput::ExternalWriteComplete => {
+                    let _ = machine.on_external_write_complete();
+                }
+                AppInput::ExternalClosed(reset) => {
+                    let _ = machine.on_external_closed(reset);
+                }
+            }
+        }
+        // The relay never invents app data out of thin air.
+        prop_assert!(bytes_relayed <= bytes_given);
+        prop_assert!(machine.bytes_from_app() <= bytes_given);
+        prop_assert!(machine.bytes_to_app() <= external_bytes_given);
+    }
+
+    #[test]
+    fn well_behaved_connection_always_completes(
+        request in proptest::collection::vec(any::<u8>(), 1..800),
+        response_len in 1usize..20_000,
+        isn in any::<u32>(),
+    ) {
+        // The canonical lifecycle: SYN → external connect → ACK → data →
+        // response → FIN → server close → last ACK. Whatever the sizes and
+        // sequence numbers, the machine must end in a terminal state having
+        // relayed everything exactly once.
+        let app = PacketBuilder::new(flow().src, flow().dst);
+        let mut machine = TcpStateMachine::new(flow(), 9_000);
+        let syn = app.tcp_syn(isn);
+        let (_, actions, _) = machine.on_tunnel_segment(syn.tcp().unwrap());
+        prop_assert_eq!(actions.len(), 1);
+        let syn_ack = machine.on_external_connected();
+        prop_assert_eq!(syn_ack.len(), 1);
+        let data = app.tcp_data(isn.wrapping_add(1), 0, request.clone());
+        let (_, actions, _) = machine.on_tunnel_segment(data.tcp().unwrap());
+        let relayed: usize = actions
+            .iter()
+            .map(|a| match a {
+                RelayAction::RelayData { bytes } => bytes.len(),
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(relayed, request.len());
+        let response = vec![0x55; response_len];
+        let packets = machine.on_external_data(&response);
+        let forwarded: usize = packets.iter().map(|p| p.tcp().unwrap().payload.len()).sum();
+        prop_assert_eq!(forwarded, response_len);
+        // App closes; server side follows; app's final ACK ends it.
+        let fin = app.tcp_fin(isn.wrapping_add(1).wrapping_add(request.len() as u32), 0);
+        let (acks, actions, _) = machine.on_tunnel_segment(fin.tcp().unwrap());
+        prop_assert_eq!(acks.len(), 1);
+        prop_assert!(actions.contains(&RelayAction::HalfCloseExternal));
+        let fins = machine.on_external_closed(false);
+        prop_assert_eq!(fins.len(), 1);
+        let last_seq = fins[0].tcp().unwrap().seq.wrapping_add(1);
+        let last_ack = app.tcp_ack(0, last_seq);
+        let (_, actions, _) = machine.on_tunnel_segment(last_ack.tcp().unwrap());
+        prop_assert!(actions.contains(&RelayAction::RemoveClient));
+        prop_assert!(machine.state().is_terminal());
+        prop_assert_eq!(machine.bytes_from_app(), request.len() as u64);
+        prop_assert_eq!(machine.bytes_to_app(), response_len as u64);
+    }
+
+    #[test]
+    fn forwarded_segments_have_contiguous_sequence_numbers(chunks in proptest::collection::vec(1usize..4_000, 1..12)) {
+        let app = PacketBuilder::new(flow().src, flow().dst);
+        let mut machine = TcpStateMachine::new(flow(), 100);
+        machine.on_tunnel_segment(app.tcp_syn(1).tcp().unwrap());
+        machine.on_external_connected();
+        machine.on_tunnel_segment(app.tcp_ack(2, 101).tcp().unwrap());
+        let mut expected_seq: Option<u32> = None;
+        for chunk in chunks {
+            for pkt in machine.on_external_data(&vec![1u8; chunk]) {
+                let tcp = pkt.tcp().unwrap();
+                if let Some(expected) = expected_seq {
+                    prop_assert_eq!(tcp.seq, expected);
+                }
+                expected_seq = Some(tcp.seq.wrapping_add(tcp.payload.len() as u32));
+                prop_assert!(tcp.flags.contains(TcpFlags::ACK));
+            }
+        }
+    }
+}

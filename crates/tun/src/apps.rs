@@ -1,0 +1,343 @@
+//! Client-side app endpoints.
+//!
+//! The relay can only be exercised end to end if something on the app side of
+//! the tunnel behaves like a real TCP/DNS client: sends a SYN, completes the
+//! handshake when the SYN/ACK comes back, sends its request, ACKs response
+//! data and closes with FIN. [`AppEndpoint`] is that client. It is
+//! deliberately simple — no retransmission timers, no congestion control —
+//! because the tunnel between an app and MopEye is a loss-free in-memory
+//! link, exactly the §3.4 assumption MopEye itself relies on.
+
+use mop_packet::{DnsMessage, Endpoint, FourTuple, Packet, PacketBuilder, TcpFlags};
+
+/// Lifecycle of an app-side TCP connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppState {
+    /// SYN sent, waiting for the SYN/ACK.
+    SynSent,
+    /// Handshake done; request in flight or response being received.
+    Established,
+    /// FIN sent, waiting for the relay's FIN/ACK of our close.
+    Closing,
+    /// Connection fully closed.
+    Done,
+    /// Connection was reset.
+    Failed,
+}
+
+/// A simulated app's TCP connection through the tunnel.
+#[derive(Debug)]
+pub struct AppEndpoint {
+    /// UID of the owning app (what `/proc/net` reports).
+    pub uid: u32,
+    /// Package name of the owning app.
+    pub package: String,
+    flow: FourTuple,
+    builder: PacketBuilder,
+    state: AppState,
+    seq: u32,
+    ack: u32,
+    request: Vec<u8>,
+    request_sent: bool,
+    /// Bytes of response received so far.
+    pub bytes_received: usize,
+    /// Close the connection after receiving at least this many bytes
+    /// (0 = close as soon as any response data has arrived).
+    close_after: usize,
+    /// Timestamp bookkeeping for tests and workload statistics.
+    pub syn_count: u32,
+}
+
+impl AppEndpoint {
+    /// Creates an endpoint for `flow`, owned by (`uid`, `package`), that will
+    /// send `request` once connected and close after `close_after` response
+    /// bytes.
+    pub fn new(uid: u32, package: &str, flow: FourTuple, request: Vec<u8>, close_after: usize) -> Self {
+        Self {
+            uid,
+            package: package.to_string(),
+            flow,
+            builder: PacketBuilder::new(flow.src, flow.dst),
+            state: AppState::SynSent,
+            seq: 0x4000_0000 ^ u32::from(flow.src.port),
+            ack: 0,
+            request,
+            request_sent: false,
+            bytes_received: 0,
+            close_after,
+            syn_count: 0,
+        }
+    }
+
+    /// The connection four-tuple.
+    pub fn flow(&self) -> FourTuple {
+        self.flow
+    }
+
+    /// The current state.
+    pub fn state(&self) -> AppState {
+        self.state
+    }
+
+    /// True once the connection has finished (cleanly or not).
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, AppState::Done | AppState::Failed)
+    }
+
+    /// The initial SYN packet. Also used for retransmissions.
+    pub fn syn_packet(&mut self) -> Packet {
+        self.syn_count += 1;
+        self.builder.tcp_syn(self.seq)
+    }
+
+    /// Processes a packet arriving from the tunnel (sent by MopEye) and
+    /// returns the packets the app sends in response.
+    pub fn handle(&mut self, packet: &Packet) -> Vec<Packet> {
+        let Some(tcp) = packet.tcp() else { return Vec::new() };
+        // Only handle packets for our connection (reverse direction).
+        if packet.four_tuple() != Some(self.flow.reversed()) {
+            return Vec::new();
+        }
+        if tcp.flags.contains(TcpFlags::RST) {
+            self.state = AppState::Failed;
+            return Vec::new();
+        }
+        match self.state {
+            AppState::SynSent if tcp.is_syn_ack() => {
+                self.seq = self.seq.wrapping_add(1);
+                self.ack = tcp.seq.wrapping_add(1);
+                self.state = AppState::Established;
+                let mut out = vec![self.builder.tcp_ack(self.seq, self.ack)];
+                if !self.request.is_empty() {
+                    let data = self.builder.tcp_data(self.seq, self.ack, self.request.clone());
+                    self.seq = self.seq.wrapping_add(self.request.len() as u32);
+                    self.request_sent = true;
+                    out.push(data);
+                }
+                out
+            }
+            AppState::Established | AppState::Closing => {
+                let mut out = Vec::new();
+                let mut advanced = false;
+                if !tcp.payload.is_empty() {
+                    self.bytes_received += tcp.payload.len();
+                    self.ack = tcp.seq.wrapping_add(tcp.payload.len() as u32);
+                    advanced = true;
+                }
+                if tcp.flags.contains(TcpFlags::FIN) {
+                    self.ack = self.ack.max(tcp.seq).wrapping_add(1);
+                    if self.state == AppState::Established {
+                        // Server closed first: ACK its FIN and send ours.
+                        out.push(self.builder.tcp_ack(self.seq, self.ack));
+                        out.push(self.builder.tcp_fin(self.seq, self.ack));
+                        self.seq = self.seq.wrapping_add(1);
+                        self.state = AppState::Done;
+                        return out;
+                    }
+                    // We are closing and this is the relay's FIN: final ACK.
+                    out.push(self.builder.tcp_ack(self.seq, self.ack));
+                    self.state = AppState::Done;
+                    return out;
+                }
+                if advanced {
+                    out.push(self.builder.tcp_ack(self.seq, self.ack));
+                }
+                // Decide whether we are satisfied and can close.
+                if self.state == AppState::Established
+                    && self.request_sent
+                    && self.bytes_received > 0
+                    && self.bytes_received >= self.close_after
+                {
+                    out.push(self.builder.tcp_fin(self.seq, self.ack));
+                    self.seq = self.seq.wrapping_add(1);
+                    self.state = AppState::Closing;
+                }
+                out
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A simulated app's DNS query over UDP.
+#[derive(Debug)]
+pub struct DnsClient {
+    /// UID of the owning app.
+    pub uid: u32,
+    /// Package name of the owning app.
+    pub package: String,
+    flow: FourTuple,
+    builder: PacketBuilder,
+    query: DnsMessage,
+    /// True once a response has been received.
+    pub answered: bool,
+    /// Addresses returned by the resolver.
+    pub addresses: Vec<std::net::Ipv4Addr>,
+}
+
+impl DnsClient {
+    /// Creates a DNS client that will query `name` from local endpoint `src`
+    /// towards resolver `resolver`.
+    pub fn new(uid: u32, package: &str, src: Endpoint, resolver: Endpoint, id: u16, name: &str) -> Self {
+        let flow = FourTuple::new(src, resolver);
+        Self {
+            uid,
+            package: package.to_string(),
+            flow,
+            builder: PacketBuilder::new(src, resolver),
+            query: DnsMessage::query(id, name),
+            answered: false,
+            addresses: Vec::new(),
+        }
+    }
+
+    /// The flow of this query.
+    pub fn flow(&self) -> FourTuple {
+        self.flow
+    }
+
+    /// The queried name.
+    pub fn name(&self) -> &str {
+        self.query.queried_name().unwrap_or_default()
+    }
+
+    /// The query packet to write into the tunnel.
+    pub fn query_packet(&self) -> Packet {
+        self.builder.dns(&self.query)
+    }
+
+    /// Processes a packet from the tunnel; returns true if it was our answer.
+    pub fn handle(&mut self, packet: &Packet) -> bool {
+        if packet.four_tuple() != Some(self.flow.reversed()) {
+            return false;
+        }
+        let Some(udp) = packet.udp() else { return false };
+        let Ok(msg) = DnsMessage::parse(&udp.payload) else { return false };
+        if !msg.flags.response || msg.id != self.query.id {
+            return false;
+        }
+        self.answered = true;
+        self.addresses = msg.a_records();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mop_packet::Endpoint;
+
+    fn flow() -> FourTuple {
+        FourTuple::new(Endpoint::v4(10, 0, 0, 2, 40000), Endpoint::v4(31, 13, 79, 251, 443))
+    }
+
+    /// The relay side of the handshake, hand-rolled for the test.
+    fn relay_builder() -> PacketBuilder {
+        PacketBuilder::new(flow().dst, flow().src)
+    }
+
+    #[test]
+    fn full_client_lifecycle_request_response_close() {
+        let mut app = AppEndpoint::new(10100, "com.android.chrome", flow(), b"GET /".to_vec(), 1000);
+        let syn = app.syn_packet();
+        assert!(syn.tcp().unwrap().is_syn());
+        assert_eq!(app.state(), AppState::SynSent);
+        assert_eq!(app.syn_count, 1);
+
+        // Relay answers with SYN/ACK.
+        let syn_ack = relay_builder().tcp_syn_ack(7000, syn.tcp().unwrap().seq);
+        let replies = app.handle(&syn_ack);
+        assert_eq!(app.state(), AppState::Established);
+        assert_eq!(replies.len(), 2, "ACK plus request data");
+        assert!(replies[0].tcp().unwrap().is_pure_ack());
+        assert_eq!(replies[1].tcp().unwrap().payload, b"GET /");
+
+        // Relay forwards 1500 bytes of response data in two segments.
+        let data1 = relay_builder().tcp_data(7001, replies[1].tcp().unwrap().seq + 5, vec![1u8; 900]);
+        let out = app.handle(&data1);
+        assert_eq!(out.len(), 1); // Just an ACK; not enough data to close yet.
+        let data2 = relay_builder().tcp_data(7901, 0, vec![2u8; 600]);
+        let out = app.handle(&data2);
+        assert_eq!(app.bytes_received, 1500);
+        // ACK plus FIN since close_after=1000 reached.
+        assert_eq!(out.len(), 2);
+        assert!(out[1].tcp().unwrap().flags.contains(TcpFlags::FIN));
+        assert_eq!(app.state(), AppState::Closing);
+
+        // Relay sends its own FIN; the app's final ACK finishes it.
+        let fin = relay_builder().tcp_fin(8501, 0);
+        let out = app.handle(&fin);
+        assert_eq!(out.len(), 1);
+        assert!(app.is_done());
+        assert_eq!(app.state(), AppState::Done);
+    }
+
+    #[test]
+    fn server_initiated_close_is_handled() {
+        let mut app = AppEndpoint::new(1, "com.app", flow(), b"x".to_vec(), usize::MAX);
+        let syn = app.syn_packet();
+        app.handle(&relay_builder().tcp_syn_ack(100, syn.tcp().unwrap().seq));
+        // Some data, then the relay closes first (close_after is huge so the
+        // app would not have closed on its own).
+        app.handle(&relay_builder().tcp_data(101, 0, vec![0u8; 10]));
+        assert_eq!(app.state(), AppState::Established);
+        let out = app.handle(&relay_builder().tcp_fin(111, 0));
+        assert_eq!(out.len(), 2); // ACK of FIN plus our FIN.
+        assert!(out[1].tcp().unwrap().flags.contains(TcpFlags::FIN));
+        assert!(app.is_done());
+    }
+
+    #[test]
+    fn rst_fails_the_connection() {
+        let mut app = AppEndpoint::new(1, "com.app", flow(), Vec::new(), 0);
+        let _syn = app.syn_packet();
+        let out = app.handle(&relay_builder().tcp_rst_ack(1, 1));
+        assert!(out.is_empty());
+        assert_eq!(app.state(), AppState::Failed);
+        assert!(app.is_done());
+    }
+
+    #[test]
+    fn packets_for_other_flows_are_ignored() {
+        let mut app = AppEndpoint::new(1, "com.app", flow(), Vec::new(), 0);
+        let other =
+            PacketBuilder::new(Endpoint::v4(9, 9, 9, 9, 443), Endpoint::v4(10, 0, 0, 2, 39999));
+        assert!(app.handle(&other.tcp_syn_ack(5, 5)).is_empty());
+        assert_eq!(app.state(), AppState::SynSent);
+    }
+
+    #[test]
+    fn empty_request_connects_without_sending_data() {
+        let mut app = AppEndpoint::new(1, "com.app", flow(), Vec::new(), 0);
+        let syn = app.syn_packet();
+        let replies = app.handle(&relay_builder().tcp_syn_ack(50, syn.tcp().unwrap().seq));
+        assert_eq!(replies.len(), 1);
+        assert!(replies[0].tcp().unwrap().is_pure_ack());
+        assert_eq!(app.state(), AppState::Established);
+    }
+
+    #[test]
+    fn dns_client_matches_only_its_transaction() {
+        let resolver = Endpoint::v4(192, 168, 1, 1, 53);
+        let src = Endpoint::v4(10, 0, 0, 2, 41000);
+        let mut client = DnsClient::new(1, "com.whatsapp", src, resolver, 0x42, "e3.whatsapp.net");
+        assert_eq!(client.name(), "e3.whatsapp.net");
+        let query_pkt = client.query_packet();
+        assert!(query_pkt.udp().unwrap().is_dns());
+
+        let reply_builder = PacketBuilder::new(resolver, src);
+        // A response with the wrong id is ignored.
+        let wrong = DnsMessage::answer(&DnsMessage::query(0x43, "e3.whatsapp.net"), &[], 60);
+        assert!(!client.handle(&reply_builder.dns(&wrong)));
+        assert!(!client.answered);
+        // The right one completes it.
+        let answer = DnsMessage::answer(
+            &DnsMessage::query(0x42, "e3.whatsapp.net"),
+            &["158.85.5.197".parse().unwrap()],
+            60,
+        );
+        assert!(client.handle(&reply_builder.dns(&answer)));
+        assert!(client.answered);
+        assert_eq!(client.addresses.len(), 1);
+    }
+}

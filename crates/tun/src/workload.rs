@@ -1,0 +1,334 @@
+//! Workload generators.
+//!
+//! These produce schedules of flows (TCP connections and DNS queries) shaped
+//! like the traffic classes the paper's evaluation uses: web browsing for the
+//! mapping experiment (§3.3), bulk transfer for the throughput experiment
+//! (Table 3), video streaming for the resource experiment (Table 4), and a
+//! messaging mix for general end-to-end runs.
+
+use mop_packet::Endpoint;
+use mop_simnet::{SimDuration, SimRng, SimTime};
+
+/// Whether a flow is a TCP connection or a DNS query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKind {
+    /// A TCP connection carrying a request/response exchange.
+    Tcp,
+    /// A UDP DNS query.
+    Dns,
+}
+
+/// One flow an app will open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// When the app opens the flow (SYN or DNS query time).
+    pub at: SimTime,
+    /// UID of the owning app.
+    pub uid: u32,
+    /// Package name of the owning app.
+    pub package: String,
+    /// Destination endpoint (server for TCP, resolver for DNS).
+    pub dst: Endpoint,
+    /// The domain being contacted (used for DNS and for per-domain analysis).
+    pub domain: Option<String>,
+    /// Request size in bytes for TCP flows.
+    pub request_bytes: usize,
+    /// Close after receiving this many response bytes (0 = first data).
+    pub close_after: usize,
+    /// TCP or DNS.
+    pub kind: FlowKind,
+}
+
+/// The built-in workload shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Bursts of short connections to several domains, like loading pages in
+    /// Chrome (the §3.3 scenario).
+    WebBrowsing,
+    /// Sparse small exchanges, like a chat app.
+    Messaging,
+    /// One long-lived bulk connection plus periodic keep-alives, like a video
+    /// player (Table 4).
+    VideoStreaming,
+    /// Back-to-back large transfers, like a speed test (Table 3).
+    BulkTransfer,
+    /// A burst of DNS queries.
+    DnsBurst,
+}
+
+/// A workload generator: a kind plus its parameters.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    kind: WorkloadKind,
+    /// UID of the app generating the traffic.
+    pub uid: u32,
+    /// Package name of the app generating the traffic.
+    pub package: String,
+    /// Destinations the workload spreads its connections over.
+    pub destinations: Vec<(Endpoint, String)>,
+    /// Total duration over which flows are scheduled.
+    pub duration: SimDuration,
+    /// Scale knob: pages for browsing, messages for messaging, queries for
+    /// DNS bursts, transfers for bulk.
+    pub intensity: u32,
+}
+
+impl Workload {
+    /// Creates a workload of the given kind for one app.
+    pub fn new(
+        kind: WorkloadKind,
+        uid: u32,
+        package: &str,
+        destinations: Vec<(Endpoint, String)>,
+        duration: SimDuration,
+        intensity: u32,
+    ) -> Self {
+        Self { kind, uid, package: package.to_string(), destinations, duration, intensity }
+    }
+
+    /// The workload kind.
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+
+    /// Generates the flow schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload has no destinations.
+    pub fn generate(&self, rng: &mut SimRng) -> Vec<FlowSpec> {
+        assert!(!self.destinations.is_empty(), "workload needs at least one destination");
+        let mut flows = match self.kind {
+            WorkloadKind::WebBrowsing => self.web_browsing(rng),
+            WorkloadKind::Messaging => self.messaging(rng),
+            WorkloadKind::VideoStreaming => self.video(rng),
+            WorkloadKind::BulkTransfer => self.bulk(rng),
+            WorkloadKind::DnsBurst => self.dns_burst(rng),
+        };
+        flows.sort_by_key(|f| f.at);
+        flows
+    }
+
+    fn pick_dst(&self, rng: &mut SimRng) -> (Endpoint, String) {
+        self.destinations[rng.int_inclusive(0, self.destinations.len() as u64 - 1) as usize].clone()
+    }
+
+    fn tcp_flow(&self, at: SimTime, dst: (Endpoint, String), request: usize, close_after: usize) -> FlowSpec {
+        FlowSpec {
+            at,
+            uid: self.uid,
+            package: self.package.clone(),
+            dst: dst.0,
+            domain: Some(dst.1),
+            request_bytes: request,
+            close_after,
+            kind: FlowKind::Tcp,
+        }
+    }
+
+    fn web_browsing(&self, rng: &mut SimRng) -> Vec<FlowSpec> {
+        // Each "page" opens a DNS query plus a burst of 6–14 connections
+        // spread over a couple of seconds; pages are separated by think time.
+        let mut flows = Vec::new();
+        let pages = self.intensity.max(1);
+        let mut cursor = SimTime::from_millis(rng.int_inclusive(50, 500));
+        let page_gap = SimDuration::from_nanos(self.duration.as_nanos() / u64::from(pages).max(1));
+        for _ in 0..pages {
+            let (dst, domain) = self.pick_dst(rng);
+            flows.push(FlowSpec {
+                at: cursor,
+                uid: self.uid,
+                package: self.package.clone(),
+                dst: Endpoint::v4(192, 168, 1, 1, 53),
+                domain: Some(domain.clone()),
+                request_bytes: 0,
+                close_after: 0,
+                kind: FlowKind::Dns,
+            });
+            let connections = rng.int_inclusive(6, 14);
+            for c in 0..connections {
+                // Browsers open their per-page connections almost together,
+                // which is what makes the lazy mapping of §3.3 effective.
+                let offset = SimDuration::from_millis(20 + rng.int_inclusive(0, 60) + c * 5);
+                let request = 200 + rng.int_inclusive(0, 1200) as usize;
+                flows.push(self.tcp_flow(
+                    cursor + offset,
+                    (dst, domain.clone()),
+                    request,
+                    8 * 1024 + rng.int_inclusive(0, 40 * 1024) as usize,
+                ));
+            }
+            cursor = cursor + page_gap.max(SimDuration::from_millis(500));
+        }
+        flows
+    }
+
+    fn messaging(&self, rng: &mut SimRng) -> Vec<FlowSpec> {
+        let messages = self.intensity.max(1);
+        let mut flows = Vec::new();
+        for _ in 0..messages {
+            let at = SimTime::from_nanos(rng.int_inclusive(0, self.duration.as_nanos().max(1)));
+            let dst = self.pick_dst(rng);
+            flows.push(self.tcp_flow(at, dst, 100 + rng.int_inclusive(0, 800) as usize, 256));
+        }
+        flows
+    }
+
+    fn video(&self, rng: &mut SimRng) -> Vec<FlowSpec> {
+        // One initial manifest fetch plus a chunk request every few seconds.
+        let mut flows = Vec::new();
+        let dst = self.pick_dst(rng);
+        flows.push(self.tcp_flow(SimTime::from_millis(100), dst.clone(), 500, 4 * 1024));
+        let chunk_every = SimDuration::from_secs(6);
+        let chunks = (self.duration.as_nanos() / chunk_every.as_nanos().max(1)).max(1);
+        for i in 0..chunks {
+            let at = SimTime::from_millis(500) + SimDuration::from_nanos(chunk_every.as_nanos() * i);
+            flows.push(self.tcp_flow(at, dst.clone(), 400, 500 * 1024));
+        }
+        flows
+    }
+
+    fn bulk(&self, rng: &mut SimRng) -> Vec<FlowSpec> {
+        let transfers = self.intensity.max(1);
+        let mut flows = Vec::new();
+        let gap = SimDuration::from_nanos(self.duration.as_nanos() / u64::from(transfers).max(1));
+        for i in 0..transfers {
+            let dst = self.pick_dst(rng);
+            let at = SimTime::from_millis(10) + SimDuration::from_nanos(gap.as_nanos() * u64::from(i));
+            flows.push(self.tcp_flow(at, dst, 300, 2 * 1024 * 1024));
+        }
+        flows
+    }
+
+    fn dns_burst(&self, rng: &mut SimRng) -> Vec<FlowSpec> {
+        let queries = self.intensity.max(1);
+        let mut flows = Vec::new();
+        for _ in 0..queries {
+            let at = SimTime::from_nanos(rng.int_inclusive(0, self.duration.as_nanos().max(1)));
+            let (_, domain) = self.pick_dst(rng);
+            flows.push(FlowSpec {
+                at,
+                uid: self.uid,
+                package: self.package.clone(),
+                dst: Endpoint::v4(192, 168, 1, 1, 53),
+                domain: Some(domain),
+                request_bytes: 0,
+                close_after: 0,
+                kind: FlowKind::Dns,
+            });
+        }
+        flows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn destinations() -> Vec<(Endpoint, String)> {
+        vec![
+            (Endpoint::v4(216, 58, 221, 132, 443), "www.google.com".into()),
+            (Endpoint::v4(31, 13, 79, 251, 443), "graph.facebook.com".into()),
+        ]
+    }
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn web_browsing_mixes_dns_and_tcp_in_bursts() {
+        let w = Workload::new(
+            WorkloadKind::WebBrowsing,
+            10100,
+            "com.android.chrome",
+            destinations(),
+            SimDuration::from_secs(60),
+            10,
+        );
+        let flows = w.generate(&mut rng());
+        let dns = flows.iter().filter(|f| f.kind == FlowKind::Dns).count();
+        let tcp = flows.iter().filter(|f| f.kind == FlowKind::Tcp).count();
+        assert_eq!(dns, 10);
+        assert!((60..=140).contains(&tcp), "tcp count {tcp}");
+        // Sorted by time.
+        assert!(flows.windows(2).all(|w| w[0].at <= w[1].at));
+        // All flows carry the app identity.
+        assert!(flows.iter().all(|f| f.uid == 10100 && f.package == "com.android.chrome"));
+    }
+
+    #[test]
+    fn video_workload_is_one_destination_with_periodic_chunks() {
+        let w = Workload::new(
+            WorkloadKind::VideoStreaming,
+            10200,
+            "com.google.android.youtube",
+            vec![destinations()[0].clone()],
+            SimDuration::from_secs(120),
+            1,
+        );
+        let flows = w.generate(&mut rng());
+        assert!(flows.len() >= 20, "len {}", flows.len());
+        assert!(flows.iter().all(|f| f.kind == FlowKind::Tcp));
+        assert!(flows.iter().skip(1).all(|f| f.close_after == 500 * 1024));
+    }
+
+    #[test]
+    fn bulk_workload_schedules_big_transfers() {
+        let w = Workload::new(
+            WorkloadKind::BulkTransfer,
+            10300,
+            "org.zwanoo.android.speedtest",
+            destinations(),
+            SimDuration::from_secs(30),
+            4,
+        );
+        let flows = w.generate(&mut rng());
+        assert_eq!(flows.len(), 4);
+        assert!(flows.iter().all(|f| f.close_after == 2 * 1024 * 1024));
+    }
+
+    #[test]
+    fn messaging_and_dns_burst_counts_match_intensity() {
+        let m = Workload::new(
+            WorkloadKind::Messaging,
+            1,
+            "com.whatsapp",
+            destinations(),
+            SimDuration::from_secs(300),
+            25,
+        );
+        assert_eq!(m.generate(&mut rng()).len(), 25);
+        let d = Workload::new(
+            WorkloadKind::DnsBurst,
+            1,
+            "com.whatsapp",
+            destinations(),
+            SimDuration::from_secs(10),
+            40,
+        );
+        let flows = d.generate(&mut rng());
+        assert_eq!(flows.len(), 40);
+        assert!(flows.iter().all(|f| f.kind == FlowKind::Dns && f.dst.port == 53));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one destination")]
+    fn empty_destinations_panic() {
+        Workload::new(WorkloadKind::Messaging, 1, "x", Vec::new(), SimDuration::from_secs(1), 1)
+            .generate(&mut rng());
+    }
+
+    #[test]
+    fn kind_accessor() {
+        let w = Workload::new(
+            WorkloadKind::BulkTransfer,
+            1,
+            "x",
+            destinations(),
+            SimDuration::from_secs(1),
+            1,
+        );
+        assert_eq!(w.kind(), WorkloadKind::BulkTransfer);
+    }
+}
