@@ -120,7 +120,7 @@ impl Table1TunnelWrite {
                 // the tunnel at the same time as MainWorker.
                 let writers = if rng.chance(contention) { 2 } else { 1 };
                 writer.submit(&packet, now, writers, &cost, &mut rng, &mut ledger);
-                now = now + SimDuration::from_micros(*gap);
+                now += SimDuration::from_micros(*gap);
             }
             (writer.stats().write_delays_ms.clone(), writer.stats().enqueue_delays_ms.clone())
         };

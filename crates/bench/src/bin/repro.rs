@@ -98,7 +98,7 @@ fn main() {
         let text_path = options.out_dir.join(format!("{}.txt", output.id));
         let json_path = options.out_dir.join(format!("{}.json", output.id));
         fs::write(&text_path, &output.text).expect("write text output");
-        fs::write(&json_path, serde_json::to_string_pretty(&output.json).unwrap())
+        fs::write(&json_path, mop_json::to_string_pretty(&output.json))
             .expect("write json output");
     }
     eprintln!(

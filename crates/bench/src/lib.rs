@@ -19,7 +19,7 @@ pub struct ExperimentOutput {
     /// Human-readable text (tables and summaries).
     pub text: String,
     /// Machine-readable series/values as JSON.
-    pub json: serde_json::Value,
+    pub json: mop_json::Value,
 }
 
 /// Generates the shared crowd dataset used by the §4.2 experiments.
@@ -63,7 +63,7 @@ pub fn run_fig5(seed: u64) -> ExperimentOutput {
     ));
     text.push_str(&render_cdf_series("fig5a-before", &before, 30.0, 31));
     text.push_str(&render_cdf_series("fig5b-after", &after, 30.0, 31));
-    let json = serde_json::json!({
+    let json = mop_json::json!({
         "mitigation_rate": fig5.mitigation_rate,
         "lazy_parses": fig5.lazy_parses,
         "total_requests": fig5.total_requests,
@@ -108,7 +108,7 @@ pub fn run_table1(seed: u64, packets: usize) -> ExperimentOutput {
         o * 100.0,
         n * 100.0
     ));
-    let json = serde_json::json!({
+    let json = mop_json::json!({
         "bins": labels,
         "directWrite": t1.direct.counts,
         "queueWrite": t1.queue.counts,
@@ -147,9 +147,9 @@ pub fn run_table2(seed: u64, connects: usize) -> ExperimentOutput {
         t2.worst_mopeye_delta(),
         t2.best_mobiperf_delta()
     ));
-    let json = serde_json::json!({
-        "rows": t2.rows.iter().map(|r| serde_json::json!({
-            "dest": r.name,
+    let json = mop_json::json!({
+        "rows": t2.rows.iter().map(|r| mop_json::json!({
+            "dest": &r.name,
             "tcpdump_mopeye": r.tcpdump_for_mopeye_ms,
             "mopeye": r.mopeye_ms,
             "mopeye_delta": r.mopeye_delta_ms,
@@ -188,10 +188,10 @@ pub fn run_table3(seed: u64, transfer_bytes: usize) -> ExperimentOutput {
             ],
         ],
     );
-    let json = serde_json::json!({
-        "baseline": {"down": t3.baseline.download_mbps, "up": t3.baseline.upload_mbps},
-        "mopeye": {"down": t3.mopeye.download_mbps, "up": t3.mopeye.upload_mbps},
-        "haystack": {"down": t3.haystack.download_mbps, "up": t3.haystack.upload_mbps},
+    let json = mop_json::json!({
+        "baseline": mop_json::json!({"down": t3.baseline.download_mbps, "up": t3.baseline.upload_mbps}),
+        "mopeye": mop_json::json!({"down": t3.mopeye.download_mbps, "up": t3.mopeye.upload_mbps}),
+        "haystack": mop_json::json!({"down": t3.haystack.download_mbps, "up": t3.haystack.upload_mbps}),
     });
     ExperimentOutput { id: "table3".into(), text, json }
 }
@@ -220,9 +220,9 @@ pub fn run_table4(seed: u64, minutes: u64) -> ExperimentOutput {
             ],
         ],
     );
-    let json = serde_json::json!({
-        "mopeye": {"cpu": t4.mopeye.cpu_percent, "battery": t4.mopeye.battery_percent, "memory_mib": t4.mopeye.memory_mib},
-        "haystack": {"cpu": t4.haystack.cpu_percent, "battery": t4.haystack.battery_percent, "memory_mib": t4.haystack.memory_mib},
+    let json = mop_json::json!({
+        "mopeye": mop_json::json!({"cpu": t4.mopeye.cpu_percent, "battery": t4.mopeye.battery_percent, "memory_mib": t4.mopeye.memory_mib}),
+        "haystack": mop_json::json!({"cpu": t4.haystack.cpu_percent, "battery": t4.haystack.battery_percent, "memory_mib": t4.haystack.memory_mib}),
     });
     ExperimentOutput { id: "table4".into(), text, json }
 }
@@ -249,7 +249,7 @@ pub fn run_crowd_experiments(dataset: &SyntheticDataset) -> Vec<ExperimentOutput
                 })
                 .collect::<Vec<_>>(),
         ),
-        json: serde_json::json!({
+        json: mop_json::json!({
             "users_per_bucket": fig6.users_per_bucket,
             "apps_per_bucket": fig6.apps_per_bucket,
         }),
@@ -263,7 +263,7 @@ pub fn run_crowd_experiments(dataset: &SyntheticDataset) -> Vec<ExperimentOutput
             &["country", "# devices"],
             &fig7.top.iter().map(|(c, n)| vec![c.clone(), n.to_string()]).collect::<Vec<_>>(),
         ),
-        json: serde_json::json!({ "top": fig7.top }),
+        json: mop_json::json!({ "top": fig7.top }),
     });
     // Figure 8.
     let fig8 = Fig8Locations::compute(dataset);
@@ -273,7 +273,7 @@ pub fn run_crowd_experiments(dataset: &SyntheticDataset) -> Vec<ExperimentOutput
             "Figure 8: {} measurement locations (lat/lon series in JSON output)\n",
             fig8.points.len()
         ),
-        json: serde_json::json!({ "points": fig8.points }),
+        json: mop_json::json!({ "points": fig8.points }),
     });
     // Figure 9.
     let fig9 = Fig9AppRtt::compute(dataset);
@@ -299,11 +299,11 @@ pub fn run_crowd_experiments(dataset: &SyntheticDataset) -> Vec<ExperimentOutput
     out.push(ExperimentOutput {
         id: "fig9".into(),
         text: fig9_text,
-        json: serde_json::json!({
-            "medians": {
+        json: mop_json::json!({
+            "medians": mop_json::json!({
                 "all": fig9.all.median(), "wifi": fig9.wifi.median(),
                 "cellular": fig9.cellular.median(), "lte": fig9.lte.median(),
-            },
+            }),
             "all_cdf": fig9.all.series(400.0, 41),
             "wifi_cdf": fig9.wifi.series(400.0, 41),
             "cellular_cdf": fig9.cellular.series(400.0, 41),
@@ -324,7 +324,7 @@ pub fn run_crowd_experiments(dataset: &SyntheticDataset) -> Vec<ExperimentOutput
                 })
                 .collect::<Vec<_>>(),
         ),
-        json: serde_json::json!({ "rows": t5.rows }),
+        json: mop_json::json!({ "rows": t5.rows }),
     });
     // Figure 10.
     let fig10 = Fig10Dns::compute(dataset);
@@ -348,12 +348,12 @@ pub fn run_crowd_experiments(dataset: &SyntheticDataset) -> Vec<ExperimentOutput
     out.push(ExperimentOutput {
         id: "fig10".into(),
         text: fig10_text,
-        json: serde_json::json!({
-            "medians": {
+        json: mop_json::json!({
+            "medians": mop_json::json!({
                 "all": fig10.all.median(), "wifi": fig10.wifi.median(),
                 "cellular": fig10.cellular.median(), "lte": fig10.lte.median(),
                 "umts3g": fig10.umts3g.median(), "gprs2g": fig10.gprs2g.median(),
-            },
+            }),
         }),
     });
     // Table 6.
@@ -370,7 +370,7 @@ pub fn run_crowd_experiments(dataset: &SyntheticDataset) -> Vec<ExperimentOutput
                 })
                 .collect::<Vec<_>>(),
         ),
-        json: serde_json::json!({ "rows": t6.rows }),
+        json: mop_json::json!({ "rows": t6.rows }),
     });
     // Figure 11.
     let fig11 = Fig11IspDns::compute(dataset);
@@ -396,8 +396,8 @@ pub fn run_crowd_experiments(dataset: &SyntheticDataset) -> Vec<ExperimentOutput
     out.push(ExperimentOutput {
         id: "fig11".into(),
         text: fig11_text,
-        json: serde_json::json!({
-            "isps": fig11.isps.iter().map(|(n, c)| serde_json::json!({
+        json: mop_json::json!({
+            "isps": fig11.isps.iter().map(|(n, c)| mop_json::json!({
                 "isp": n,
                 "median": c.median(),
                 "below_10ms": c.fraction_at_or_below(10.0),
@@ -424,7 +424,7 @@ pub fn run_crowd_experiments(dataset: &SyntheticDataset) -> Vec<ExperimentOutput
             whatsapp.network_buckets[2],
             whatsapp.network_buckets[3],
         ),
-        json: serde_json::json!({
+        json: mop_json::json!({
             "domains_observed": whatsapp.domains_observed,
             "softlayer_median_ms": whatsapp.softlayer_median_ms,
             "cdn_median_ms": whatsapp.cdn_median_ms,
@@ -452,7 +452,7 @@ pub fn run_crowd_experiments(dataset: &SyntheticDataset) -> Vec<ExperimentOutput
             jio.domains_compared,
             fmt_ms(jio.mean_advantage_ms),
         ),
-        json: serde_json::json!({
+        json: mop_json::json!({
             "app_median_ms": jio.app_median_ms,
             "dns_median_ms": jio.dns_median_ms,
             "domain_buckets": jio.domain_buckets,

@@ -471,7 +471,7 @@ impl MopEyeEngine {
         if self.config.protect == ProtectMode::PerSocket {
             let protect = self.cost.protect_call.sample(&mut self.rng);
             self.ledger.charge("ConnectThreads", protect);
-            t = t + protect;
+            t += protect;
         }
         let socket = self.sockets.create(SocketMode::Blocking);
         if self.config.protect == ProtectMode::PerSocket {
@@ -496,7 +496,7 @@ impl MopEyeEngine {
         // delayed by the selector dispatch when taken from the event loop.
         let mut post = now;
         if self.config.timestamp_mode == TimestampMode::SelectorNotification {
-            post = post + self.cost.sample_dispatch_delay(&mut self.rng);
+            post += self.cost.sample_dispatch_delay(&mut self.rng);
         }
         let post = self.timestamp(post);
         let outcome = self.sockets.connect_outcome(socket);

@@ -24,7 +24,7 @@ pub struct DatasetSpec {
 
 impl Default for DatasetSpec {
     fn default() -> Self {
-        Self { seed: 2016_05_16, scale: 0.02 }
+        Self { seed: 20160516, scale: 0.02 }
     }
 }
 

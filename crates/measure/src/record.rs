@@ -1,9 +1,8 @@
 //! The measurement record type.
 
-use serde::{Deserialize, Serialize};
 
 /// Whether a measurement timed a TCP handshake or a DNS exchange.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MeasurementKind {
     /// SYN ↔ SYN/ACK of an app's TCP connection.
     Tcp,
@@ -16,7 +15,7 @@ pub enum MeasurementKind {
 /// This mirrors `mop_simnet::NetworkType` but is defined independently so the
 /// measurement schema has no dependency on the simulator (records could come
 /// from a real deployment).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum NetKind {
     /// 802.11 WiFi.
     Wifi,
@@ -28,6 +27,23 @@ pub enum NetKind {
     Gprs2g,
 }
 
+impl MeasurementKind {
+    fn as_json_str(self) -> &'static str {
+        match self {
+            MeasurementKind::Tcp => "Tcp",
+            MeasurementKind::Dns => "Dns",
+        }
+    }
+
+    fn from_json_str(s: &str) -> Option<Self> {
+        match s {
+            "Tcp" => Some(MeasurementKind::Tcp),
+            "Dns" => Some(MeasurementKind::Dns),
+            _ => None,
+        }
+    }
+}
+
 impl NetKind {
     /// All variants in figure order.
     pub const ALL: [NetKind; 4] = [NetKind::Wifi, NetKind::Lte, NetKind::Umts3g, NetKind::Gprs2g];
@@ -35,6 +51,25 @@ impl NetKind {
     /// True for any cellular technology.
     pub fn is_cellular(self) -> bool {
         !matches!(self, NetKind::Wifi)
+    }
+
+    fn as_json_str(self) -> &'static str {
+        match self {
+            NetKind::Wifi => "Wifi",
+            NetKind::Lte => "Lte",
+            NetKind::Umts3g => "Umts3g",
+            NetKind::Gprs2g => "Gprs2g",
+        }
+    }
+
+    fn from_json_str(s: &str) -> Option<Self> {
+        match s {
+            "Wifi" => Some(NetKind::Wifi),
+            "Lte" => Some(NetKind::Lte),
+            "Umts3g" => Some(NetKind::Umts3g),
+            "Gprs2g" => Some(NetKind::Gprs2g),
+            _ => None,
+        }
     }
 
     /// The label used in the paper's figures.
@@ -49,7 +84,7 @@ impl NetKind {
 }
 
 /// One RTT measurement and its context, the unit of the crowdsourced dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RttRecord {
     /// Measurement kind (TCP or DNS).
     pub kind: MeasurementKind,
@@ -143,6 +178,40 @@ impl RttRecord {
         self
     }
 
+    /// Serialises the record to a single-line JSON object.
+    pub fn to_json(&self) -> mop_json::Value {
+        mop_json::json!({
+            "kind": self.kind.as_json_str(),
+            "rtt_ms": self.rtt_ms,
+            "device": self.device,
+            "app": &self.app,
+            "domain": &self.domain,
+            "dst_ip": &self.dst_ip,
+            "dst_port": self.dst_port,
+            "network": self.network.as_json_str(),
+            "isp": &self.isp,
+            "country": &self.country,
+            "timestamp_s": self.timestamp_s,
+        })
+    }
+
+    /// Parses a record from the object produced by [`RttRecord::to_json`].
+    pub fn from_json(value: &mop_json::Value) -> Option<Self> {
+        Some(Self {
+            kind: MeasurementKind::from_json_str(value["kind"].as_str()?)?,
+            rtt_ms: value["rtt_ms"].as_f64()?,
+            device: u32::try_from(value["device"].as_u64()?).ok()?,
+            app: value["app"].as_str()?.to_string(),
+            domain: value["domain"].as_str()?.to_string(),
+            dst_ip: value["dst_ip"].as_str()?.to_string(),
+            dst_port: u16::try_from(value["dst_port"].as_u64()?).ok()?,
+            network: NetKind::from_json_str(value["network"].as_str()?)?,
+            isp: value["isp"].as_str()?.to_string(),
+            country: value["country"].as_str()?.to_string(),
+            timestamp_s: value["timestamp_s"].as_u64()?,
+        })
+    }
+
     /// The registrable parent domain ("e3.whatsapp.net" → "whatsapp.net"),
     /// used by the per-provider analyses.
     pub fn parent_domain(&self) -> &str {
@@ -209,10 +278,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let r = RttRecord::tcp(61.0, 1, "com.facebook.katana", NetKind::Wifi).with_domain("graph.facebook.com");
-        let json = serde_json::to_string(&r).unwrap();
-        let back: RttRecord = serde_json::from_str(&json).unwrap();
+        let json = mop_json::to_string(&r.to_json());
+        let back = RttRecord::from_json(&mop_json::from_str(&json).unwrap()).unwrap();
         assert_eq!(back, r);
+        assert!(RttRecord::from_json(&mop_json::Value::Null).is_none());
+        assert!(RttRecord::from_json(&mop_json::json!({"kind": "Tcp"})).is_none());
     }
 }

@@ -5,7 +5,6 @@
 //! §4.2.2) and presents distributions as CDFs; Table 1 uses fixed histogram
 //! bins. These are the corresponding primitives.
 
-use serde::{Deserialize, Serialize};
 
 /// Computes the `p`-th percentile (0–100) of `values` by linear
 /// interpolation. Returns `None` for an empty slice.
@@ -31,7 +30,7 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
 }
 
 /// A five-number-plus-mean summary of a sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,
@@ -74,7 +73,7 @@ impl Summary {
 
 /// A 95 % confidence interval for the mean (normal approximation), as used
 /// for the delay-overhead numbers in §4.1.2.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfidenceInterval {
     /// Sample mean.
     pub mean: f64,
@@ -105,7 +104,7 @@ impl ConfidenceInterval {
 }
 
 /// An empirical CDF, stored as sorted values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cdf {
     sorted: Vec<f64>,
 }
@@ -162,7 +161,7 @@ impl Cdf {
 
 /// A histogram over explicit bin edges, like Table 1's 0–1 / 1–2 / 2–5 /
 /// 5–10 / >10 ms delay bins.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     /// Upper edges of each bin except the last (which is unbounded).
     pub edges: Vec<f64>,

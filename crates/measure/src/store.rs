@@ -151,15 +151,18 @@ impl MeasurementStore {
     pub fn to_json_lines(&self) -> String {
         self.records
             .iter()
-            .filter_map(|r| serde_json::to_string(r).ok())
+            .map(|r| mop_json::to_string(&r.to_json()))
             .collect::<Vec<_>>()
             .join("\n")
     }
 
     /// Parses records from JSON lines, skipping malformed lines.
     pub fn from_json_lines(text: &str) -> Self {
-        let records =
-            text.lines().filter_map(|line| serde_json::from_str::<RttRecord>(line).ok()).collect();
+        let records = text
+            .lines()
+            .filter_map(|line| mop_json::from_str(line).ok())
+            .filter_map(|value| RttRecord::from_json(&value))
+            .collect();
         Self { records }
     }
 }

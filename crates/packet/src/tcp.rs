@@ -233,7 +233,7 @@ impl TcpSegment {
     /// Header length in bytes including options and padding.
     pub fn header_len(&self) -> usize {
         let opt_len: usize = self.options.iter().map(TcpOption::wire_len).sum();
-        TCP_MIN_HEADER_LEN + (opt_len + 3) / 4 * 4
+        TCP_MIN_HEADER_LEN + opt_len.div_ceil(4) * 4
     }
 
     /// Parses a TCP segment from `data` (no checksum verification; the IP

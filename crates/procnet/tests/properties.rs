@@ -107,7 +107,7 @@ proptest! {
             let eager_outcome = eager.map(&table, &cost, &mut rng, flow);
             prop_assert!(lazy_outcome.correct);
             prop_assert!(eager_outcome.correct);
-            t = t + mop_simnet::SimDuration::from_millis(2);
+            t += mop_simnet::SimDuration::from_millis(2);
         }
         // Lazy mapping never performs more parses than eager mapping (the
         // CPU totals are sampled, so only the structural property is stable).

@@ -1,6 +1,5 @@
 //! Latency models used for path RTTs, first-hop delays and system costs.
 
-use serde::{Deserialize, Serialize};
 
 use crate::rng::SimRng;
 use crate::time::SimDuration;
@@ -10,7 +9,7 @@ use crate::time::SimDuration;
 /// Path latencies in the crowdsourced dataset are long-tailed, which is why
 /// the paper reports medians rather than means (§4.2.2); the log-normal
 /// variants here are parameterised by their median for that reason.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LatencyModel {
     /// A constant delay.
     Constant {

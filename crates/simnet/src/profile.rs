@@ -5,12 +5,11 @@
 //! the latency and bandwidth models for each slice, calibrated to the medians
 //! the paper reports so that the regenerated figures have the same shape.
 
-use serde::{Deserialize, Serialize};
 
 use crate::latency::LatencyModel;
 
 /// The access-network technology a measurement was taken on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum NetworkType {
     /// 802.11 WiFi.
     Wifi,
@@ -50,7 +49,7 @@ impl std::fmt::Display for NetworkType {
 }
 
 /// Latency and bandwidth characteristics of one access network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccessProfile {
     /// The technology this profile models.
     pub network_type: NetworkType,
@@ -146,7 +145,7 @@ fn tx_delay_ms(bytes: usize, mbps: f64) -> f64 {
 
 /// A mobile ISP as seen in the dataset: a name, a country, an access profile
 /// and a DNS latency model of its resolvers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IspProfile {
     /// Operator name as reported by the SIM (e.g. "Verizon").
     pub name: String,

@@ -1,7 +1,8 @@
 //! Deterministic randomness for the simulation.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! Self-contained xoshiro256++ generator (seeded via splitmix64) so the
+//! simulator has no external RNG dependency and every stream is reproducible
+//! bit-for-bit from its seed across platforms and toolchains.
 
 /// A seeded random-number generator wrapper.
 ///
@@ -10,13 +11,45 @@ use rand::{Rng, SeedableRng};
 /// from statistically independent streams without sharing mutable state.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        Self { inner: StdRng::seed_from_u64(seed) }
+        let mut sm = seed;
+        Self {
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next 64 random bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[0]
+            .wrapping_add(self.state[3])
+            .rotate_left(23)
+            .wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent generator, keyed by a label hash so that two
@@ -25,12 +58,12 @@ impl SimRng {
         let salt: u64 = label.bytes().fold(0xcbf2_9ce4_8422_2325, |h, b| {
             (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
         });
-        Self::seed_from_u64(self.inner.gen::<u64>() ^ salt)
+        Self::seed_from_u64(self.next_u64() ^ salt)
     }
 
     /// A uniform value in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform value in `[lo, hi)`.
@@ -46,7 +79,11 @@ impl SimRng {
         if hi <= lo {
             return lo;
         }
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_u64() % (span + 1)
     }
 
     /// A standard-normal sample (Box–Muller).
@@ -104,12 +141,6 @@ impl SimRng {
             let idx = self.int_inclusive(0, items.len() as u64 - 1) as usize;
             Some(&items[idx])
         }
-    }
-
-    /// Access to the underlying `rand` generator for anything not covered by
-    /// the helpers.
-    pub fn raw(&mut self) -> &mut StdRng {
-        &mut self.inner
     }
 }
 
@@ -186,5 +217,19 @@ mod tests {
         let items = [1, 2, 3];
         assert!(items.contains(rng.choose(&items).unwrap()));
         assert_eq!(rng.choose::<u8>(&[]), None);
+    }
+
+    #[test]
+    fn unit_values_fill_the_half_open_interval() {
+        let mut rng = SimRng::seed_from_u64(17);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..10_000 {
+            let v = rng.unit();
+            assert!((0.0..1.0).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
     }
 }

@@ -7,12 +7,11 @@
 
 use std::net::IpAddr;
 
-use serde::{Deserialize, Serialize};
 
 use crate::latency::LatencyModel;
 
 /// What a server does with application data once a connection is established.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Service {
     /// Accepts connections and data but never responds (e.g. analytics sinks).
     Silent,
@@ -54,7 +53,7 @@ impl Service {
 }
 
 /// A remote server the simulated handset can reach.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
     /// A human-readable name ("Google", "graph.facebook.com front end").
     pub name: String,
@@ -101,7 +100,7 @@ impl ServerConfig {
     /// Returns true if `domain` resolves to this server.
     pub fn serves_domain(&self, domain: &str) -> bool {
         let domain = domain.to_ascii_lowercase();
-        self.domains.iter().any(|d| *d == domain)
+        self.domains.contains(&domain)
     }
 
     /// The paper's Table 2 destinations, with their tcpdump-measured RTT

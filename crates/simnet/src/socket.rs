@@ -421,10 +421,10 @@ impl Selector {
                     sockets.poll_connect(id, now);
                     events.push(SelectorEvent { socket: id, kind: SelectorEventKind::Connectable });
                 }
-                SocketState::Connected | SocketState::HalfClosed => {
-                    if sockets.readable_bytes(id, now) > 0 {
-                        events.push(SelectorEvent { socket: id, kind: SelectorEventKind::Readable });
-                    }
+                SocketState::Connected | SocketState::HalfClosed
+                    if sockets.readable_bytes(id, now) > 0 =>
+                {
+                    events.push(SelectorEvent { socket: id, kind: SelectorEventKind::Readable });
                 }
                 _ => {}
             }

@@ -191,7 +191,7 @@ impl ReaderSim {
         let mut tick = self.next_poll_at;
         while tick < arrival {
             empty += 1;
-            tick = tick + period;
+            tick += period;
         }
         // The read at `tick` finds the packet.
         self.next_poll_at = tick + reset_to;
@@ -207,7 +207,7 @@ impl ReaderSim {
         let mut sleep = self.current_sleep.max(min);
         while tick < arrival {
             empty += 1;
-            tick = tick + sleep;
+            tick += sleep;
             sleep = SimDuration::from_nanos((sleep.as_nanos() * 2).min(max.as_nanos()));
         }
         self.current_sleep = min;

@@ -158,7 +158,7 @@ impl Workload {
                     8 * 1024 + rng.int_inclusive(0, 40 * 1024) as usize,
                 ));
             }
-            cursor = cursor + page_gap.max(SimDuration::from_millis(500));
+            cursor += page_gap.max(SimDuration::from_millis(500));
         }
         flows
     }

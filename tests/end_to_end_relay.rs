@@ -176,7 +176,7 @@ fn failed_and_refused_servers_are_reported_not_measured() {
         Service::Blackhole,
     ));
     let mut engine = MopEyeEngine::new(MopEyeConfig::mopeye(), net);
-    let flows: Vec<FlowSpec> = [(10_66_0_1u32, Endpoint::v4(10, 66, 0, 1, 443)), (2, Endpoint::v4(10, 66, 0, 2, 443))]
+    let flows: Vec<FlowSpec> = [(106_601u32, Endpoint::v4(10, 66, 0, 1, 443)), (2, Endpoint::v4(10, 66, 0, 2, 443))]
         .iter()
         .enumerate()
         .map(|(i, (_, dst))| FlowSpec {

@@ -1,0 +1,182 @@
+//! Offline mini benchmarking harness.
+//!
+//! The build container cannot reach crates.io, so this crate vendors the
+//! subset of the `criterion` API that the workspace's benches use:
+//! [`Criterion`], [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, `b.iter(..)`, [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`].
+//!
+//! Measurement model: each sample times a batch of iterations sized so that
+//! one batch takes at least ~200µs, and the reported figure is the median
+//! ns/iteration over the samples. Results are printed one line per benchmark
+//! in a stable `group/function: median ns/iter` format so bench output can be
+//! diffed between runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: &str,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        run_benchmark(id, sample_size, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` does the actual timing.
+pub struct Bencher {
+    batch: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `batch` invocations of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    // Calibrate: grow the batch until one batch takes at least ~200µs so
+    // per-sample timer resolution noise stays small for nanosecond routines.
+    let mut batch: u64 = 1;
+    loop {
+        let mut bencher = Bencher { batch, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        if bencher.elapsed >= Duration::from_micros(200) || batch >= 1 << 20 {
+            break;
+        }
+        batch *= 8;
+    }
+    let mut per_iter_ns: Vec<f64> = (0..sample_size.max(2))
+        .map(|_| {
+            let mut bencher = Bencher { batch, elapsed: Duration::ZERO };
+            f(&mut bencher);
+            bencher.elapsed.as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(f64::total_cmp);
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let best = per_iter_ns[0];
+    let worst = per_iter_ns[per_iter_ns.len() - 1];
+    println!(
+        "{id:<50} median {} [best {}, worst {}] ({} samples x {} iters)",
+        format_ns(median),
+        format_ns(best),
+        format_ns(worst),
+        per_iter_ns.len(),
+        batch,
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+/// Declares a function that runs each benchmark target in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_time_and_print() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3);
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| {
+            ran += 1;
+            b.iter(|| black_box(1u64 + 1));
+        });
+        group.finish();
+        // Calibration plus each sample invokes the closure at least once.
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert!(format_ns(12.3).contains("ns"));
+        assert!(format_ns(12_300.0).contains("µs"));
+        assert!(format_ns(12_300_000.0).contains("ms"));
+        assert!(format_ns(2.3e9).contains("s/iter"));
+    }
+}

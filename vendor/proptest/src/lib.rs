@@ -1,0 +1,554 @@
+//! Offline mini property-testing harness.
+//!
+//! The build container cannot reach crates.io, so this crate vendors the
+//! subset of the `proptest` API that the workspace's property suites use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` support,
+//! * [`Strategy`] with [`Strategy::prop_map`],
+//! * `any::<T>()` for primitive types, `bool` and byte arrays,
+//! * integer and float range strategies (`0u8..=0x3f`, `0.1f64..2_000.0`),
+//! * a character-class string strategy (`"[a-z0-9]{1,12}"`),
+//! * tuple strategies, [`Just`], [`collection::vec`] and [`prop_oneof!`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] (mapped onto the std asserts).
+//!
+//! Inputs are generated from a deterministic per-test RNG (seeded by the
+//! test's module path and name) so failures reproduce across runs. Shrinking
+//! is intentionally not implemented: a failing case panics with the values
+//! visible in the assert message.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Honour the same env override real proptest uses so CI can dial
+        // effort up or down without code changes.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Self { cases }
+    }
+}
+
+/// Deterministic test RNG (xoshiro256++), seeded from the test name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Builds a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+    }
+
+    /// Builds a generator keyed by a test name (stable across runs).
+    pub fn from_name(name: &str) -> Self {
+        let hash = name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3));
+        Self::seed_from_u64(hash)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform u64 in `[lo, hi]`.
+    pub fn u64_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo >= hi {
+            return lo;
+        }
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_u64() % (span + 1)
+    }
+
+    /// A uniform usize in `[lo, hi)`.
+    pub fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        self.u64_inclusive(lo as u64, hi as u64 - 1) as usize
+    }
+}
+
+/// A value generator.
+///
+/// Unlike real proptest this is a plain generator: no shrinking, no
+/// intermediate value trees.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// A strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric values spanning several orders of magnitude.
+        let mag = (rng.next_f64() * 40.0) - 20.0;
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * 10f64.powf(mag)
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mut out = [0u8; N];
+        for byte in &mut out {
+            *byte = rng.next_u64() as u8;
+        }
+        out
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.u64_inclusive(self.start as u64, self.end as u64 - 1) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.u64_inclusive(*self.start() as u64, *self.end() as u64) as $t
+            }
+        }
+    )*};
+}
+range_strategies!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start() + (self.end() - self.start()) * rng.next_f64()
+    }
+}
+
+/// Character-class string strategy: supports patterns of literal characters
+/// and `[a-z0-9]` classes, each optionally followed by `{n}` or `{m,n}`.
+///
+/// This covers the patterns used by the workspace's property suites; anything
+/// unsupported panics so a bad pattern fails loudly instead of silently
+/// generating wrong data.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom: a character class or a literal character.
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|c| *c == ']')
+                .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"))
+                + i;
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+                    set.extend((lo..=hi).filter_map(char::from_u32));
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            assert!(
+                !"\\.+*?()|^$".contains(c),
+                "unsupported regex construct {c:?} in pattern {pattern:?}"
+            );
+            i += 1;
+            vec![c]
+        };
+        // Parse an optional {n} / {m,n} repetition.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|c| *c == '}')
+                .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad repetition"),
+                    n.trim().parse().expect("bad repetition"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("bad repetition");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!alphabet.is_empty(), "empty class in pattern {pattern:?}");
+        let count = rng.usize_range(lo, hi + 1);
+        for _ in 0..count {
+            out.push(alphabet[rng.usize_range(0, alphabet.len())]);
+        }
+    }
+    out
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// One arm of a [`Union`]: a boxed generator function.
+pub type UnionArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Weighted union of strategies over a common value type ([`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<(u32, UnionArm<V>)>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from `(weight, generator)` arms.
+    pub fn new(arms: Vec<(u32, UnionArm<V>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Self { arms, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut target = rng.u64_inclusive(0, self.total - 1);
+        for (weight, arm) in &self.arms {
+            let weight = u64::from(*weight);
+            if target < weight {
+                return arm(rng);
+            }
+            target -= weight;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `len` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_range(self.len.start, self.len.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property suite needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a test that runs its body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($config:expr); ) => {};
+    (($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng =
+                $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}
+
+/// Picks one of several strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((
+                $weight as u32,
+                {
+                    let __strategy = $strat;
+                    ::std::boxed::Box::new(move |__rng: &mut $crate::TestRng| {
+                        $crate::Strategy::generate(&__strategy, __rng)
+                    }) as ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>
+                },
+            )),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Property-test assertion (no shrinking: delegates to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Property-test equality assertion (delegates to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Property-test inequality assertion (delegates to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_any_are_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..200 {
+            let v = (10u32..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (5u8..=5).generate(&mut rng);
+            assert_eq!(w, 5);
+            let f = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_their_class() {
+        let mut rng = TestRng::from_name("strings");
+        for _ in 0..100 {
+            let s = "[a-z0-9]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn unions_respect_zero_and_positive_weights() {
+        let mut rng = TestRng::from_name("unions");
+        let strategy = prop_oneof![3 => Just(1u8), 0 => Just(2u8), 1 => Just(3u8)];
+        let mut counts = [0usize; 4];
+        for _ in 0..400 {
+            counts[strategy.generate(&mut rng) as usize] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        assert!(counts[1] > counts[3]);
+    }
+
+    #[test]
+    fn vec_lengths_are_in_range() {
+        let mut rng = TestRng::from_name("vecs");
+        for _ in 0..100 {
+            let v = collection::vec(any::<u8>(), 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u16..100, label in "[ab]{2}", flag in any::<bool>()) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(label.len(), 2);
+            prop_assert_ne!(flag as u8, 2);
+        }
+    }
+}
