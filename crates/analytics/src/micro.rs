@@ -1,7 +1,7 @@
 //! Micro-benchmark experiments: Figure 5 and Tables 1–4.
 
 use mop_measure::{Cdf, Histogram};
-use mop_packet::{Endpoint, FourTuple, PacketBuilder};
+use mop_packet::{Endpoint, FourTuple};
 use mop_procnet::{ConnectionTable, EagerMapper, LazyMapper, SocketStateCode};
 use mop_simnet::{CostModel, CpuLedger, SimDuration, SimNetwork, SimRng, SimTime};
 use mop_tun::{FlowKind, FlowSpec, Workload, WorkloadKind};
@@ -109,17 +109,12 @@ impl Table1TunnelWrite {
             let mut rng = SimRng::seed_from_u64(seed);
             let mut ledger = CpuLedger::new();
             let mut writer = TunWriter::new(scheme, enqueue);
-            let packet = PacketBuilder::new(
-                Endpoint::v4(10, 0, 0, 1, 443),
-                Endpoint::v4(10, 0, 0, 2, 40_000),
-            )
-            .tcp_ack(1, 1);
             let mut now = SimTime::from_millis(1);
             for gap in &gaps_us {
                 // With directWrite, a socket-connect thread occasionally wants
                 // the tunnel at the same time as MainWorker.
                 let writers = if rng.chance(contention) { 2 } else { 1 };
-                writer.submit(&packet, now, writers, &cost, &mut rng, &mut ledger);
+                writer.submit(now, writers, &cost, &mut rng, &mut ledger);
                 now += SimDuration::from_micros(*gap);
             }
             (writer.stats().write_delays_ms.clone(), writer.stats().enqueue_delays_ms.clone())

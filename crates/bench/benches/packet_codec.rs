@@ -2,7 +2,7 @@
 //! every tunnel packet.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use mop_packet::{Endpoint, Packet, PacketBuilder};
+use mop_packet::{Endpoint, Packet, PacketBuilder, PacketView};
 
 fn bench_packet_codec(c: &mut Criterion) {
     let builder =
@@ -12,8 +12,28 @@ fn bench_packet_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("packet_codec");
     group.bench_function("parse_syn", |b| b.iter(|| Packet::parse(black_box(&syn)).unwrap()));
     group.bench_function("parse_data_1400B", |b| b.iter(|| Packet::parse(black_box(&data)).unwrap()));
+    // The zero-copy path the relay's MainWorker actually runs per packet.
+    group.bench_function("view_parse_syn", |b| {
+        b.iter(|| PacketView::parse(black_box(&syn)).unwrap().four_tuple())
+    });
+    group.bench_function("view_parse_data_1400B", |b| {
+        b.iter(|| {
+            let view = PacketView::parse(black_box(&data)).unwrap();
+            (view.four_tuple(), view.tcp().unwrap().payload().len())
+        })
+    });
     group.bench_function("build_and_checksum_data_1400B", |b| {
         b.iter(|| builder.tcp_data(black_box(1001), 500, vec![0xab; 1400]).to_bytes())
+    });
+    // Encoding into a pooled, reused buffer — the TunWriter-side hot path.
+    group.bench_function("encode_into_reused_data_1400B", |b| {
+        let packet = builder.tcp_data(1001, 500, vec![0xab; 1400]);
+        let mut out = Vec::with_capacity(2048);
+        b.iter(|| {
+            out.clear();
+            packet.encode_into(black_box(&mut out));
+            out.len()
+        })
     });
     group.finish();
 }

@@ -1,0 +1,89 @@
+//! A counting global allocator for allocation-regression tests.
+//!
+//! The zero-copy datapath's whole point is that the steady-state relay loop
+//! touches the allocator zero times per packet; an assertion to that effect
+//! needs a way to *count* allocations. [`CountingAllocator`] wraps the system
+//! allocator and counts every `alloc`/`realloc` (and `dealloc`) that passes
+//! through.
+//!
+//! Register it from a test binary (see `tests/zero_alloc.rs`):
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: CountingAllocator = CountingAllocator::new();
+//! ```
+//!
+//! The counters are process-global, so an allocation-free window is asserted
+//! by diffing [`CountingAllocator::allocations`] around the measured loop —
+//! which only works reliably when nothing else runs concurrently (keep one
+//! test per binary).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`GlobalAlloc`] that counts events before delegating to [`System`].
+#[derive(Debug)]
+pub struct CountingAllocator {
+    allocations: AtomicU64,
+    deallocations: AtomicU64,
+    bytes_allocated: AtomicU64,
+}
+
+impl CountingAllocator {
+    /// Creates the allocator with zeroed counters.
+    pub const fn new() -> Self {
+        Self {
+            allocations: AtomicU64::new(0),
+            deallocations: AtomicU64::new(0),
+            bytes_allocated: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of allocation events so far (`alloc` + growing `realloc`).
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Number of deallocation events so far.
+    pub fn deallocations(&self) -> u64 {
+        self.deallocations.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested from the allocator so far.
+    pub fn bytes_allocated(&self) -> u64 {
+        self.bytes_allocated.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: delegates faithfully to the system allocator; the counters are
+// plain relaxed atomics with no effect on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.deallocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}

@@ -1,5 +1,7 @@
 //! Shared helpers for the Criterion benches and the `repro` binary.
 
+pub mod alloc_counter;
+
 use mop_analytics::{
     CaseJio, CaseWhatsapp, Fig10Dns, Fig11IspDns, Fig5Mapping, Fig6Contribution, Fig7Countries,
     Fig8Locations, Fig9AppRtt, Table1TunnelWrite, Table2Accuracy, Table3Throughput,

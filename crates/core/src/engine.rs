@@ -20,14 +20,14 @@
 use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
 
-use mop_packet::{DnsMessage, Endpoint, FourTuple, Packet, PacketBuilder, Transport};
+use mop_packet::{DnsMessage, Endpoint, FourTuple, Packet, PacketBuilder, PacketView, TransportView};
 use mop_procnet::{
     CachedMapper, ConnectionTable, EagerMapper, LazyMapper, MappingStats, MappingStrategy,
     PackageManager, SocketStateCode,
 };
 use mop_simnet::{
-    CostModel, CpuLedger, EventQueue, SimClock, SimDuration, SimNetwork, SimRng, SimTime,
-    SocketId, SocketMode, SocketSet, SocketState, Selector,
+    BufferPool, CostModel, CpuLedger, EventQueue, PoolStats, SimClock, SimDuration, SimNetwork,
+    SimRng, SimTime, SocketId, SocketMode, SocketSet, SocketState, Selector,
 };
 use mop_tcpstack::{ClientRegistry, RelayAction, SegmentVerdict, UdpRegistry};
 use mop_tun::{AppEndpoint, DnsClient, FlowKind, FlowSpec, ReaderSim, TunDevice, TunStats, Workload};
@@ -44,8 +44,11 @@ const MAX_EVENTS: u64 = 5_000_000;
 enum Event {
     /// An app opens a flow described by the spec.
     FlowStart(FlowSpec),
-    /// The MainWorker processes a packet retrieved from the tunnel.
-    ProcessTunPacket(Packet),
+    /// The MainWorker processes raw packet bytes retrieved from the tunnel.
+    ///
+    /// The buffer comes from (and returns to) the engine's [`BufferPool`];
+    /// the MainWorker parses it in place with the zero-copy views.
+    ProcessTunPacket(Vec<u8>),
     /// The external connect for `flow` has completed (successfully or not).
     ExternalConnected(FourTuple),
     /// Response data has become readable on the external socket of `flow`.
@@ -86,6 +89,10 @@ pub struct RunReport {
     pub tun: TunStats,
     /// CPU / memory / battery ledger.
     pub ledger: CpuLedger,
+    /// Behaviour of the tunnel-packet buffer pool (allocations vs reuses).
+    pub buffer_pool: PoolStats,
+    /// Behaviour of the socket read-buffer pool.
+    pub socket_read_pool: PoolStats,
     /// Per-flow outcomes.
     pub flows: Vec<FlowOutcome>,
     /// Virtual time at which the run finished.
@@ -162,6 +169,9 @@ pub struct MopEyeEngine {
     cost: CostModel,
     rng: SimRng,
     ledger: CpuLedger,
+    /// Free list backing the per-packet tunnel buffers: TunReader fills a
+    /// pooled buffer, MainWorker parses it by reference, then it is recycled.
+    pool: BufferPool,
     queue: EventQueue<Event>,
     apps: HashMap<FourTuple, AppEndpoint>,
     dns_clients: HashMap<FourTuple, DnsClient>,
@@ -211,6 +221,7 @@ impl MopEyeEngine {
             packages: PackageManager::new(),
             cost: CostModel::android_phone(),
             ledger: CpuLedger::new(),
+            pool: BufferPool::for_packets(),
             queue: EventQueue::new(),
             apps: HashMap::new(),
             dns_clients: HashMap::new(),
@@ -287,6 +298,8 @@ impl MopEyeEngine {
             write_delays: self.writer.stats().clone(),
             tun: self.tun.stats(),
             ledger: self.ledger.clone(),
+            buffer_pool: self.pool.stats(),
+            socket_read_pool: self.sockets.read_pool_stats(),
             flows,
             finished_at: self.clock.now(),
             events_processed: self.events_processed,
@@ -298,7 +311,7 @@ impl MopEyeEngine {
     fn handle(&mut self, now: SimTime, event: Event) {
         match event {
             Event::FlowStart(spec) => self.on_flow_start(now, spec),
-            Event::ProcessTunPacket(packet) => self.on_process_tun_packet(now, packet),
+            Event::ProcessTunPacket(buf) => self.on_process_tun_packet(now, buf),
             Event::ExternalConnected(flow) => self.on_external_connected(now, flow),
             Event::SocketReadable(flow) => self.on_socket_readable(now, flow),
             Event::DnsResponse { flow, packet } => self.on_dns_response(now, flow, packet),
@@ -369,26 +382,32 @@ impl MopEyeEngine {
         }
     }
 
-    /// An app wrote a packet into the tunnel: simulate its retrieval by the
-    /// TunReader and hand it to the MainWorker.
+    /// An app wrote a packet into the tunnel: the raw IP bytes land in a
+    /// pooled buffer, the TunReader's retrieval is simulated and the buffer
+    /// is handed to the MainWorker. This mirrors the real datapath — the TUN
+    /// device hands MopEye bytes, not parsed structures — and recycles the
+    /// buffer once the MainWorker has processed it.
     fn inject_app_packet(&mut self, at: SimTime, packet: Packet) {
-        self.tun.app_write(at, packet.clone());
+        let mut buf = self.pool.get();
+        packet.encode_into(&mut buf);
+        self.tun.record_app_write(buf.len());
         let retrieval = self.reader.retrieve(at, &self.cost, &mut self.rng);
         self.ledger.charge("TunReader", retrieval.polling_cpu + self.cost.tun_read.sample(&mut self.rng));
         // TunReader puts the packet in the read queue and wakes the selector
         // so MainWorker notices it (§3.2).
         self.selector.wakeup();
         let handoff = self.cost.context_switch.sample(&mut self.rng);
-        self.queue.schedule(retrieval.retrieved_at + handoff, Event::ProcessTunPacket(packet));
+        self.queue.schedule(retrieval.retrieved_at + handoff, Event::ProcessTunPacket(buf));
     }
 
     /// Writes a packet towards the apps through the TunWriter and schedules
-    /// its delivery.
+    /// its delivery. The one owned packet travels straight into the delivery
+    /// event; the device and the writer only see its wire length.
     fn write_to_tunnel(&mut self, now: SimTime, packet: Packet) {
         let writers = 1 + usize::from(!self.connect_pre_ts.is_empty());
         let outcome =
-            self.writer.submit(&packet, now, writers, &self.cost, &mut self.rng, &mut self.ledger);
-        self.tun.relay_write(outcome.written_at, packet.clone());
+            self.writer.submit(now, writers, &self.cost, &mut self.rng, &mut self.ledger);
+        self.tun.record_relay_write(packet.wire_len());
         self.queue.schedule(outcome.written_at, Event::DeliverToApp(packet));
     }
 
@@ -406,17 +425,34 @@ impl MopEyeEngine {
         self.net.server_for(addr).and_then(|s| s.domains.first().cloned())
     }
 
-    fn on_process_tun_packet(&mut self, now: SimTime, packet: Packet) {
+    fn on_process_tun_packet(&mut self, now: SimTime, buf: Vec<u8>) {
         // MainWorker parses the IP/TCP headers: a small per-packet cost.
         self.ledger.charge("MainWorker", SimDuration::from_micros(self.rng.int_inclusive(4, 25)));
+        match PacketView::parse(&buf) {
+            Ok(packet) => self.relay_tun_packet(now, &packet),
+            Err(_) => self.relay.parse_errors += 1,
+        }
+        self.pool.put(buf);
+    }
+
+    /// The MainWorker's relay decision, working entirely on borrowed views —
+    /// no payload is copied unless data actually has to cross to the socket
+    /// channel.
+    fn relay_tun_packet(&mut self, now: SimTime, packet: &PacketView<'_>) {
+        if matches!(packet.transport(), TransportView::Other(..)) {
+            // A well-formed packet of an unsupported transport: forwarded
+            // opaquely, nothing to measure and nothing to count as an error.
+            return;
+        }
         let Some(flow) = packet.four_tuple() else {
             self.relay.parse_errors += 1;
             return;
         };
-        match &packet.transport {
-            Transport::Tcp(segment) => {
+        match packet.transport() {
+            TransportView::Tcp(segment) => {
                 let client = self.clients.get_or_create(flow);
-                let (packets, actions, verdict) = client.machine_mut().on_tunnel_segment(segment);
+                let (packets, actions, verdict) =
+                    client.machine_mut().on_tunnel_segment_view(segment);
                 match verdict {
                     SegmentVerdict::Syn => self.relay.syns += 1,
                     SegmentVerdict::Data(len) => {
@@ -436,19 +472,16 @@ impl MopEyeEngine {
                 }
                 self.update_memory_ledger();
             }
-            Transport::Udp(datagram) => {
+            TransportView::Udp(datagram) => {
                 self.relay.udp_datagrams += 1;
                 let assoc = self.udp.get_or_create(flow);
-                let transaction =
-                    assoc.on_outgoing(&datagram.payload, now.as_nanos()).cloned();
+                let transaction = assoc.on_outgoing(datagram.payload(), now.as_nanos()).cloned();
                 if let Some(tx) = transaction {
                     self.relay.dns_queries += 1;
                     self.start_dns_measurement(now, flow, tx.id, &tx.name);
                 }
             }
-            Transport::Other(..) => {
-                // Forwarded opaquely; nothing to measure.
-            }
+            TransportView::Other(..) => unreachable!("handled before the four-tuple guard"),
         }
     }
 
@@ -606,15 +639,16 @@ impl MopEyeEngine {
 
     fn on_socket_readable(&mut self, now: SimTime, flow: FourTuple) {
         let Some(&socket) = self.socket_by_flow.get(&flow) else { return };
-        let chunks = self.sockets.take_readable(socket, now);
-        let total: usize = chunks.iter().map(|(_, b)| *b).sum();
+        // The socket layer hands out a pooled buffer for the readable bytes,
+        // so the read loop performs no per-read allocation in steady state.
+        let data = self.sockets.take_readable_pooled(socket, now);
+        let total = data.len();
         if total > 0 {
             if self.config.content_inspection {
                 let inspect = self.cost.sample_content_inspection(total, &mut self.rng);
                 self.ledger.charge("Inspection", inspect);
             }
             self.ledger.charge("MainWorker", SimDuration::from_micros(self.rng.int_inclusive(10, 60)));
-            let data = vec![0x5a; total];
             if let Some(client) = self.clients.get_mut(flow) {
                 let packets = client.machine_mut().on_external_data(&data);
                 self.relay.data_segments_in += packets.len() as u64;
@@ -624,6 +658,7 @@ impl MopEyeEngine {
                 }
             }
         }
+        self.sockets.recycle_buffer(data);
         if let Some(next) = self.sockets.next_read_ready_at(socket) {
             self.queue.schedule(next, Event::SocketReadable(flow));
         } else if self.pending_half_close.contains(&flow) {
@@ -915,6 +950,14 @@ mod tests {
         }
         assert!(report.ledger.memory_peak_bytes() > 6 * 1024 * 1024);
         assert!(report.events_processed > 100);
+        // The datapath recycles packet buffers: after warm-up nearly every
+        // tunnel packet reuses a pooled buffer instead of allocating.
+        assert!(
+            report.buffer_pool.reuse_rate() > 0.9,
+            "tunnel buffer reuse {:?}",
+            report.buffer_pool
+        );
+        assert!(report.socket_read_pool.reuses > 0, "{:?}", report.socket_read_pool);
     }
 
     #[test]

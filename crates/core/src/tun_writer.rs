@@ -11,7 +11,6 @@
 //! The `newPut` sleep-counter algorithm keeps the consumer checking the queue
 //! for a while before it parks, so the wake-up is almost never paid.
 
-use mop_packet::Packet;
 use mop_simnet::{CostModel, CpuLedger, SimDuration, SimRng, SimTime};
 
 use crate::config::{EnqueueScheme, WriteScheme};
@@ -92,17 +91,17 @@ impl TunWriter {
         self.scheme
     }
 
-    /// Submits a packet for writing to the tunnel at time `now`.
+    /// Submits one packet for writing to the tunnel at time `now`.
     ///
     /// `concurrent_writers` is how many threads currently want to write
     /// (MainWorker plus any socket-connect threads); it only matters for the
     /// direct scheme, where they contend for the tunnel.
     ///
-    /// The packet itself is not stored here — the engine delivers it to the
-    /// TUN device at `written_at`; this type models the *timing* of the path.
+    /// The packet itself never passes through here — the engine keeps the one
+    /// owned copy and delivers it at `written_at`; this type models the
+    /// *timing* of the path, so it needs no bytes at all.
     pub fn submit(
         &mut self,
-        _packet: &Packet,
         now: SimTime,
         concurrent_writers: usize,
         cost_model: &CostModel,
@@ -176,12 +175,6 @@ impl TunWriter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mop_packet::{Endpoint, PacketBuilder};
-
-    fn pkt() -> Packet {
-        PacketBuilder::new(Endpoint::v4(10, 0, 0, 1, 443), Endpoint::v4(10, 0, 0, 2, 40000))
-            .tcp_ack(1, 1)
-    }
 
     fn run_scheme(
         scheme: WriteScheme,
@@ -194,10 +187,9 @@ mod tests {
         let mut ledger = CpuLedger::new();
         let mut writer = TunWriter::new(scheme, enqueue);
         let mut now = SimTime::from_millis(5);
-        let packet = pkt();
         for (i, gap) in gaps_ms.iter().cycle().take(3000).enumerate() {
             let _ = i;
-            let outcome = writer.submit(&packet, now, writers, &cost, &mut rng, &mut ledger);
+            let outcome = writer.submit(now, writers, &cost, &mut rng, &mut ledger);
             assert!(outcome.written_at >= now);
             now = now + SimDuration::from_millis(*gap) + SimDuration::from_micros(13);
         }
@@ -248,9 +240,8 @@ mod tests {
         let mut ledger = CpuLedger::new();
         let mut writer = TunWriter::new(WriteScheme::Queue, EnqueueScheme::NewPut);
         let now = SimTime::from_millis(1);
-        let packet = pkt();
-        let first = writer.submit(&packet, now, 1, &cost, &mut rng, &mut ledger);
-        let second = writer.submit(&packet, now, 1, &cost, &mut rng, &mut ledger);
+        let first = writer.submit(now, 1, &cost, &mut rng, &mut ledger);
+        let second = writer.submit(now, 1, &cost, &mut rng, &mut ledger);
         // The dedicated thread writes them one after the other.
         assert!(second.written_at > first.written_at);
         // But the producer is only blocked for the enqueue, not the writes.

@@ -73,7 +73,7 @@ impl PacketBuilder {
     pub fn tcp_syn(&self, seq: u32) -> Packet {
         let mut seg = TcpSegment::new(self.src.port, self.dst.port, seq, 0, TcpFlags::SYN);
         seg.window = self.window;
-        seg.options = vec![TcpOption::MaximumSegmentSize(self.mss)];
+        seg.options = [TcpOption::MaximumSegmentSize(self.mss)].into();
         self.wrap_tcp(seg)
     }
 
@@ -87,7 +87,7 @@ impl PacketBuilder {
             TcpFlags::SYN | TcpFlags::ACK,
         );
         seg.window = self.window;
-        seg.options = vec![TcpOption::MaximumSegmentSize(self.mss)];
+        seg.options = [TcpOption::MaximumSegmentSize(self.mss)].into();
         self.wrap_tcp(seg)
     }
 

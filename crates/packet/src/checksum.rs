@@ -20,9 +20,19 @@ impl Checksum {
     /// Adds a byte slice to the running sum.
     ///
     /// Odd-length slices are padded with a trailing zero byte, matching the
-    /// RFC 1071 treatment of the final odd octet.
+    /// RFC 1071 treatment of the final odd octet. Eight bytes are folded per
+    /// iteration — this sits on the per-packet encode/verify path, so the
+    /// inner loop matters.
+    #[inline]
     pub fn add_bytes(&mut self, data: &[u8]) {
-        let mut chunks = data.chunks_exact(2);
+        let mut wide = data.chunks_exact(8);
+        for c in &mut wide {
+            self.sum += u32::from(u16::from_be_bytes([c[0], c[1]]))
+                + u32::from(u16::from_be_bytes([c[2], c[3]]))
+                + u32::from(u16::from_be_bytes([c[4], c[5]]))
+                + u32::from(u16::from_be_bytes([c[6], c[7]]));
+        }
+        let mut chunks = wide.remainder().chunks_exact(2);
         for chunk in &mut chunks {
             self.sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
         }
@@ -32,17 +42,20 @@ impl Checksum {
     }
 
     /// Adds a single big-endian 16-bit word.
+    #[inline]
     pub fn add_u16(&mut self, word: u16) {
         self.sum += u32::from(word);
     }
 
     /// Adds a 32-bit value as two 16-bit words.
+    #[inline]
     pub fn add_u32(&mut self, word: u32) {
         self.add_u16((word >> 16) as u16);
         self.add_u16((word & 0xffff) as u16);
     }
 
     /// Folds the accumulator and returns the one's-complement checksum.
+    #[inline]
     pub fn finish(self) -> u16 {
         let mut sum = self.sum;
         while sum > 0xffff {
@@ -54,19 +67,26 @@ impl Checksum {
 
 /// Computes the IPv4 header checksum over `header` with the checksum field
 /// (bytes 10..12) treated as zero.
+#[inline]
 pub fn ipv4_header_checksum(header: &[u8]) -> u16 {
     let mut c = Checksum::new();
-    for (i, chunk) in header.chunks(2).enumerate() {
-        if i == 5 {
-            // The checksum field itself is treated as zero.
-            continue;
+    if header.len() >= 12 {
+        // Two straight runs around the checksum field — no per-word branch.
+        c.add_bytes(&header[..10]);
+        c.add_bytes(&header[12..]);
+    } else {
+        // Degenerate short input (only reachable from tests): skip word 5.
+        for (i, chunk) in header.chunks(2).enumerate() {
+            if i != 5 {
+                c.add_bytes(chunk);
+            }
         }
-        c.add_bytes(chunk);
     }
     c.finish()
 }
 
 /// Computes a TCP/UDP checksum with the IPv4 pseudo-header.
+#[inline]
 pub fn transport_checksum_v4(
     src: Ipv4Addr,
     dst: Ipv4Addr,
@@ -87,6 +107,7 @@ pub fn transport_checksum_v4(
 }
 
 /// Computes a TCP/UDP checksum with the IPv6 pseudo-header.
+#[inline]
 pub fn transport_checksum_v6(
     src: Ipv6Addr,
     dst: Ipv6Addr,

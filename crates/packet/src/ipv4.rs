@@ -3,7 +3,7 @@
 use std::net::Ipv4Addr;
 
 use crate::checksum::ipv4_header_checksum;
-use crate::error::{PacketError, Result};
+use crate::error::Result;
 
 /// Minimum IPv4 header length in bytes (no options).
 pub const IPV4_MIN_HEADER_LEN: usize = 20;
@@ -73,48 +73,12 @@ impl Ipv4Packet {
 
     /// Parses an IPv4 packet from `data`, verifying the header checksum.
     ///
-    /// The payload length is taken from the total-length field; trailing bytes
-    /// beyond it (link-layer padding) are ignored.
+    /// The payload length is taken from the total-length field; trailing
+    /// bytes beyond it (link-layer padding) are ignored. A thin wrapper over
+    /// the zero-copy [`crate::view::Ipv4View`], which owns the validation
+    /// logic.
     pub fn parse(data: &[u8]) -> Result<Self> {
-        if data.len() < IPV4_MIN_HEADER_LEN {
-            return Err(PacketError::Truncated {
-                what: "IPv4 header",
-                needed: IPV4_MIN_HEADER_LEN,
-                available: data.len(),
-            });
-        }
-        let version = data[0] >> 4;
-        if version != 4 {
-            return Err(PacketError::BadVersion(version));
-        }
-        let ihl = usize::from(data[0] & 0x0f) * 4;
-        if ihl < IPV4_MIN_HEADER_LEN || ihl > data.len() {
-            return Err(PacketError::BadHeaderLength(ihl));
-        }
-        let total_len = usize::from(u16::from_be_bytes([data[2], data[3]]));
-        if total_len < ihl || total_len > data.len() {
-            return Err(PacketError::Truncated {
-                what: "IPv4 total length",
-                needed: total_len.max(ihl),
-                available: data.len(),
-            });
-        }
-        let expected = ipv4_header_checksum(&data[..ihl]);
-        let found = u16::from_be_bytes([data[10], data[11]]);
-        if expected != found {
-            return Err(PacketError::BadChecksum { what: "IPv4 header", found, expected });
-        }
-        Ok(Self {
-            dscp_ecn: data[1],
-            identification: u16::from_be_bytes([data[4], data[5]]),
-            flags_fragment: u16::from_be_bytes([data[6], data[7]]),
-            ttl: data[8],
-            protocol: data[9],
-            src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
-            dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
-            options: data[IPV4_MIN_HEADER_LEN..ihl].to_vec(),
-            payload: data[ihl..total_len].to_vec(),
-        })
+        Ok(crate::view::Ipv4View::new(data)?.to_owned())
     }
 
     /// Serialises the packet, computing the header checksum.
@@ -125,11 +89,31 @@ impl Ipv4Packet {
     /// length exceeds 65,535 bytes; both indicate construction bugs rather
     /// than recoverable runtime conditions.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_len());
+        self.encode_header_into(&mut out, self.payload.len());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Appends the IPv4 header (with checksum) to `out`, declaring a payload
+    /// of `payload_len` bytes that the caller will write after it.
+    ///
+    /// This is the zero-copy building block: a composed packet writes the
+    /// header first and serialises the transport layer straight after it in
+    /// the same buffer, so no intermediate payload vector exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the options length is not a multiple of four or the total
+    /// length exceeds 65,535 bytes; both indicate construction bugs rather
+    /// than recoverable runtime conditions.
+    pub fn encode_header_into(&self, out: &mut Vec<u8>, payload_len: usize) {
         assert!(self.options.len() % 4 == 0, "IPv4 options must be 32-bit aligned");
-        let total_len = self.total_len();
-        assert!(total_len <= usize::from(u16::MAX), "IPv4 packet too large");
         let ihl = self.header_len();
-        let mut out = Vec::with_capacity(total_len);
+        let total_len = ihl + payload_len;
+        assert!(total_len <= usize::from(u16::MAX), "IPv4 packet too large");
+        out.reserve(total_len);
+        let start = out.len();
         out.push(0x40 | ((ihl / 4) as u8));
         out.push(self.dscp_ecn);
         out.extend_from_slice(&(total_len as u16).to_be_bytes());
@@ -141,10 +125,8 @@ impl Ipv4Packet {
         out.extend_from_slice(&self.src.octets());
         out.extend_from_slice(&self.dst.octets());
         out.extend_from_slice(&self.options);
-        let checksum = ipv4_header_checksum(&out[..ihl]);
-        out[10..12].copy_from_slice(&checksum.to_be_bytes());
-        out.extend_from_slice(&self.payload);
-        out
+        let checksum = ipv4_header_checksum(&out[start..start + ihl]);
+        out[start + 10..start + 12].copy_from_slice(&checksum.to_be_bytes());
     }
 }
 
@@ -152,6 +134,7 @@ impl Ipv4Packet {
 mod tests {
     use super::*;
     use crate::IPPROTO_TCP;
+    use crate::error::PacketError;
 
     fn sample() -> Ipv4Packet {
         Ipv4Packet::new(

@@ -7,7 +7,7 @@
 
 use std::net::Ipv6Addr;
 
-use crate::error::{PacketError, Result};
+use crate::error::Result;
 
 /// Fixed IPv6 header length in bytes.
 pub const IPV6_HEADER_LEN: usize = 40;
@@ -38,42 +38,11 @@ impl Ipv6Packet {
     }
 
     /// Parses an IPv6 packet from `data`.
+    ///
+    /// A thin wrapper over the zero-copy [`crate::view::Ipv6View`], which
+    /// owns the validation logic.
     pub fn parse(data: &[u8]) -> Result<Self> {
-        if data.len() < IPV6_HEADER_LEN {
-            return Err(PacketError::Truncated {
-                what: "IPv6 header",
-                needed: IPV6_HEADER_LEN,
-                available: data.len(),
-            });
-        }
-        let version = data[0] >> 4;
-        if version != 6 {
-            return Err(PacketError::BadVersion(version));
-        }
-        let traffic_class = ((data[0] & 0x0f) << 4) | (data[1] >> 4);
-        let flow_label =
-            (u32::from(data[1] & 0x0f) << 16) | (u32::from(data[2]) << 8) | u32::from(data[3]);
-        let payload_len = usize::from(u16::from_be_bytes([data[4], data[5]]));
-        if IPV6_HEADER_LEN + payload_len > data.len() {
-            return Err(PacketError::Truncated {
-                what: "IPv6 payload",
-                needed: IPV6_HEADER_LEN + payload_len,
-                available: data.len(),
-            });
-        }
-        let mut src = [0u8; 16];
-        src.copy_from_slice(&data[8..24]);
-        let mut dst = [0u8; 16];
-        dst.copy_from_slice(&data[24..40]);
-        Ok(Self {
-            traffic_class,
-            flow_label,
-            next_header: data[6],
-            hop_limit: data[7],
-            src: Ipv6Addr::from(src),
-            dst: Ipv6Addr::from(dst),
-            payload: data[IPV6_HEADER_LEN..IPV6_HEADER_LEN + payload_len].to_vec(),
-        })
+        Ok(crate::view::Ipv6View::new(data)?.to_owned())
     }
 
     /// Serialises the packet.
@@ -83,20 +52,32 @@ impl Ipv6Packet {
     /// Panics if the payload exceeds 65,535 bytes (jumbograms are not
     /// supported) or the flow label exceeds 20 bits.
     pub fn to_bytes(&self) -> Vec<u8> {
-        assert!(self.payload.len() <= usize::from(u16::MAX), "IPv6 payload too large");
-        assert!(self.flow_label <= 0x000f_ffff, "flow label exceeds 20 bits");
         let mut out = Vec::with_capacity(IPV6_HEADER_LEN + self.payload.len());
+        self.encode_header_into(&mut out, self.payload.len());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Appends the IPv6 fixed header to `out`, declaring a payload of
+    /// `payload_len` bytes that the caller will write after it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload_len` exceeds 65,535 bytes (jumbograms are not
+    /// supported) or the flow label exceeds 20 bits.
+    pub fn encode_header_into(&self, out: &mut Vec<u8>, payload_len: usize) {
+        assert!(payload_len <= usize::from(u16::MAX), "IPv6 payload too large");
+        assert!(self.flow_label <= 0x000f_ffff, "flow label exceeds 20 bits");
+        out.reserve(IPV6_HEADER_LEN + payload_len);
         out.push(0x60 | (self.traffic_class >> 4));
         out.push(((self.traffic_class & 0x0f) << 4) | ((self.flow_label >> 16) as u8));
         out.push((self.flow_label >> 8) as u8);
         out.push(self.flow_label as u8);
-        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&(payload_len as u16).to_be_bytes());
         out.push(self.next_header);
         out.push(self.hop_limit);
         out.extend_from_slice(&self.src.octets());
         out.extend_from_slice(&self.dst.octets());
-        out.extend_from_slice(&self.payload);
-        out
     }
 }
 
@@ -104,6 +85,7 @@ impl Ipv6Packet {
 mod tests {
     use super::*;
     use crate::IPPROTO_UDP;
+    use crate::error::PacketError;
 
     fn sample() -> Ipv6Packet {
         Ipv6Packet::new(

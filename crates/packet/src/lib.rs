@@ -26,6 +26,7 @@ pub mod ipv6;
 pub mod packet;
 pub mod tcp;
 pub mod udp;
+pub mod view;
 
 pub use builder::PacketBuilder;
 pub use dns::{DnsFlags, DnsMessage, DnsQuestion, DnsRecord, DnsRecordData, DnsType};
@@ -33,8 +34,12 @@ pub use error::{PacketError, Result};
 pub use ipv4::Ipv4Packet;
 pub use ipv6::Ipv6Packet;
 pub use packet::{IpPacket, Packet, Transport};
-pub use tcp::{TcpFlags, TcpOption, TcpSegment};
+pub use tcp::{OptBytes, TcpFlags, TcpOption, TcpSegment};
 pub use udp::UdpDatagram;
+pub use view::{
+    IpView, Ipv4View, Ipv6View, PacketView, TcpOptionIter, TcpOptionRef, TcpSegmentView,
+    TransportView, UdpView,
+};
 
 /// IP protocol number for TCP.
 pub const IPPROTO_TCP: u8 = 6;

@@ -7,12 +7,13 @@
 
 use std::net::IpAddr;
 
-use crate::error::{PacketError, Result};
+use crate::error::Result;
 use crate::ipv4::Ipv4Packet;
 use crate::ipv6::Ipv6Packet;
 use crate::tcp::TcpSegment;
 use crate::udp::UdpDatagram;
-use crate::{Endpoint, FourTuple, IPPROTO_TCP, IPPROTO_UDP};
+use crate::view::PacketView;
+use crate::{Endpoint, FourTuple};
 
 /// The network layer of a captured packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,11 +49,23 @@ impl IpPacket {
         }
     }
 
-    /// Transport payload bytes.
+    /// Transport payload bytes stored at the network layer.
+    ///
+    /// Packets built from parts or parsed via [`Packet::parse`] keep their
+    /// payload in the transport layer and leave this empty; call
+    /// [`Packet::sync_payload`] first if the raw bytes are needed here.
     pub fn payload(&self) -> &[u8] {
         match self {
             IpPacket::V4(p) => &p.payload,
             IpPacket::V6(p) => &p.payload,
+        }
+    }
+
+    /// Network header length in bytes.
+    pub fn header_len(&self) -> usize {
+        match self {
+            IpPacket::V4(p) => p.header_len(),
+            IpPacket::V6(_) => crate::ipv6::IPV6_HEADER_LEN,
         }
     }
 
@@ -90,35 +103,29 @@ impl Packet {
     ///
     /// The IP version is sniffed from the first nibble. Transport parsing
     /// failures for TCP/UDP are propagated; unknown transports are preserved.
+    /// This is a thin wrapper over the zero-copy [`PacketView`]: the payload
+    /// is copied exactly once, into the transport layer (the IP layer's
+    /// `payload` field stays empty).
+    #[inline]
     pub fn parse(data: &[u8]) -> Result<Self> {
-        let first = *data.first().ok_or(PacketError::Truncated {
-            what: "IP packet",
-            needed: 1,
-            available: 0,
-        })?;
-        let ip = match first >> 4 {
-            4 => IpPacket::V4(Ipv4Packet::parse(data)?),
-            6 => IpPacket::V6(Ipv6Packet::parse(data)?),
-            v => return Err(PacketError::BadVersion(v)),
-        };
-        let transport = match ip.protocol() {
-            IPPROTO_TCP => Transport::Tcp(TcpSegment::parse(ip.payload())?),
-            IPPROTO_UDP => Transport::Udp(UdpDatagram::parse(ip.payload())?),
-            other => Transport::Other(other, ip.payload().to_vec()),
-        };
-        Ok(Self { ip, transport })
+        Ok(PacketView::parse(data)?.to_owned())
     }
 
-    /// Builds a packet from a network header template and a transport layer,
-    /// regenerating the payload bytes and checksums.
+    /// Builds a packet from a network header template and a transport layer.
+    ///
+    /// Construction is lazy: lengths and checksums are computed when the
+    /// packet is serialised, so building a packet that is never written to
+    /// the wire costs no encoding work and no checksum pass.
     pub fn from_parts(ip: IpPacket, transport: Transport) -> Self {
-        let mut packet = Self { ip, transport };
-        packet.sync_payload();
-        packet
+        Self { ip, transport }
     }
 
     /// Re-serialises the transport layer into the IP payload, fixing lengths
-    /// and checksums. Must be called after mutating the transport layer.
+    /// and checksums.
+    ///
+    /// Serialisation no longer requires this — [`Packet::to_bytes`] encodes
+    /// the transport directly — but callers that inspect the raw network
+    /// payload can still materialise it explicitly.
     pub fn sync_payload(&mut self) {
         let (src, dst) = (self.ip.src(), self.ip.dst());
         let payload = match &self.transport {
@@ -176,14 +183,45 @@ impl Packet {
     /// Serialises the full packet (IP header plus transport), recomputing
     /// checksums and length fields.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut copy = self.clone();
-        copy.sync_payload();
-        copy.ip.to_bytes()
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut out);
+        out
     }
 
-    /// Total serialised length in bytes.
+    /// Appends the full serialised packet to `out`.
+    ///
+    /// The network header and the transport layer are written directly into
+    /// the output buffer — no intermediate payload vector, no packet clone —
+    /// and both checksums are patched in place. With a warmed, reused buffer
+    /// this is the allocation-free encode path of the relay datapath.
+    #[inline]
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let (src, dst) = (self.ip.src(), self.ip.dst());
+        let payload_len = self.transport_wire_len();
+        match &self.ip {
+            IpPacket::V4(p) => p.encode_header_into(out, payload_len),
+            IpPacket::V6(p) => p.encode_header_into(out, payload_len),
+        }
+        match &self.transport {
+            Transport::Tcp(t) => t.encode_with_checksum_into(src, dst, out),
+            Transport::Udp(u) => u.encode_with_checksum_into(src, dst, out),
+            Transport::Other(_, raw) => out.extend_from_slice(raw),
+        }
+    }
+
+    /// Serialised length of the transport layer in bytes.
+    pub fn transport_wire_len(&self) -> usize {
+        match &self.transport {
+            Transport::Tcp(t) => t.wire_len(),
+            Transport::Udp(u) => u.len(),
+            Transport::Other(_, raw) => raw.len(),
+        }
+    }
+
+    /// Total serialised length in bytes, computed without serialising.
+    #[inline]
     pub fn wire_len(&self) -> usize {
-        self.to_bytes().len()
+        self.ip.header_len() + self.transport_wire_len()
     }
 }
 

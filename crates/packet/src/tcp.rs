@@ -111,8 +111,98 @@ impl std::fmt::Display for TcpFlags {
     }
 }
 
+/// Inline storage for an unknown TCP option's body.
+///
+/// A TCP header holds at most 40 option bytes, so an unknown option's body
+/// never exceeds 38 bytes. Storing it inline (SmallVec-style) keeps option
+/// parsing free of per-option heap allocations — the `to_vec()` the old
+/// `Unknown(u8, Vec<u8>)` representation paid on every exotic SYN.
+#[derive(Clone, Copy)]
+pub struct OptBytes {
+    data: [u8; Self::MAX],
+    len: u8,
+}
+
+impl OptBytes {
+    /// Maximum bytes an unknown option body can occupy (40 minus kind+length).
+    pub const MAX: usize = 38;
+
+    /// Copies `bytes` into inline storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds [`OptBytes::MAX`] — impossible for data that
+    /// came off the wire, and a construction bug otherwise.
+    pub fn new(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= Self::MAX, "TCP option body exceeds 38 bytes");
+        let mut data = [0u8; Self::MAX];
+        data[..bytes.len()].copy_from_slice(bytes);
+        Self { data, len: bytes.len() as u8 }
+    }
+
+    /// The stored bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[..usize::from(self.len)]
+    }
+
+    /// Number of stored bytes.
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// True if no bytes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for OptBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<&[u8]> for OptBytes {
+    fn from(bytes: &[u8]) -> Self {
+        Self::new(bytes)
+    }
+}
+
+impl From<Vec<u8>> for OptBytes {
+    fn from(bytes: Vec<u8>) -> Self {
+        Self::new(&bytes)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for OptBytes {
+    fn from(bytes: [u8; N]) -> Self {
+        Self::new(&bytes)
+    }
+}
+
+impl PartialEq for OptBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for OptBytes {}
+
+impl std::hash::Hash for OptBytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for OptBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
 /// TCP options relevant to the relay. Unknown options are preserved raw.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TcpOption {
     /// Maximum segment size (kind 2).
     MaximumSegmentSize(u16),
@@ -124,8 +214,181 @@ pub enum TcpOption {
     Timestamps(u32, u32),
     /// No-operation padding (kind 1).
     Nop,
-    /// Any other option preserved as (kind, payload).
-    Unknown(u8, Vec<u8>),
+    /// Any other option preserved as (kind, payload) with inline storage.
+    Unknown(u8, OptBytes),
+}
+
+/// The option list of a segment, stored as canonical wire bytes inline.
+///
+/// A TCP header carries at most [`TcpOptions::MAX_BYTES`] option bytes, so
+/// the whole list always fits in a 40-byte inline buffer: option parsing and
+/// construction never touch the heap, and serialisation is a single memcpy.
+/// Options decode on demand through [`TcpOptions::iter`]; every supported
+/// option has exactly one wire encoding, so byte equality coincides with
+/// option-list equality.
+#[derive(Clone, Copy)]
+pub struct TcpOptions {
+    data: [u8; Self::MAX_BYTES],
+    len: u8,
+}
+
+impl TcpOptions {
+    /// The spec bound: a TCP header holds at most 40 option bytes.
+    pub const MAX_BYTES: usize = 40;
+
+    /// Creates an empty list.
+    pub const fn new() -> Self {
+        Self { data: [0; Self::MAX_BYTES], len: 0 }
+    }
+
+    /// Builds a list from already-validated wire bytes (no end-of-list
+    /// marker or padding included).
+    #[inline]
+    pub(crate) fn from_wire(bytes: &[u8]) -> Self {
+        debug_assert!(bytes.len() <= Self::MAX_BYTES);
+        let mut data = [0u8; Self::MAX_BYTES];
+        data[..bytes.len()].copy_from_slice(bytes);
+        Self { data, len: bytes.len() as u8 }
+    }
+
+    /// Appends an option, storing its canonical wire encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list would exceed the 40-byte spec bound.
+    pub fn push(&mut self, opt: TcpOption) {
+        let start = usize::from(self.len);
+        let needed = opt.wire_len();
+        assert!(start + needed <= Self::MAX_BYTES, "TCP options exceed 40 bytes");
+        let out = &mut self.data[start..start + needed];
+        match opt {
+            TcpOption::Nop => out[0] = 1,
+            TcpOption::MaximumSegmentSize(mss) => {
+                out[0] = 2;
+                out[1] = 4;
+                out[2..4].copy_from_slice(&mss.to_be_bytes());
+            }
+            TcpOption::WindowScale(shift) => {
+                out[0] = 3;
+                out[1] = 3;
+                out[2] = shift;
+            }
+            TcpOption::SackPermitted => {
+                out[0] = 4;
+                out[1] = 2;
+            }
+            TcpOption::Timestamps(tsval, tsecr) => {
+                out[0] = 8;
+                out[1] = 10;
+                out[2..6].copy_from_slice(&tsval.to_be_bytes());
+                out[6..10].copy_from_slice(&tsecr.to_be_bytes());
+            }
+            TcpOption::Unknown(kind, body) => {
+                out[0] = kind;
+                out[1] = (body.len() + 2) as u8;
+                out[2..].copy_from_slice(body.as_slice());
+            }
+        }
+        self.len += needed as u8;
+    }
+
+    /// The canonical wire bytes of the list (no padding).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data[..usize::from(self.len)]
+    }
+
+    /// Serialised length of the list in bytes, before word padding.
+    pub fn byte_len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// True if the list holds no options.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Decodes the options in wire order.
+    pub fn iter(&self) -> TcpOptionsIter<'_> {
+        TcpOptionsIter { inner: crate::view::TcpOptionIter::over(self.as_bytes()) }
+    }
+
+    /// Decodes the `index`-th option, if present.
+    pub fn get(&self, index: usize) -> Option<TcpOption> {
+        self.iter().nth(index)
+    }
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartialEq for TcpOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl Eq for TcpOptions {}
+
+impl std::hash::Hash for TcpOptions {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_bytes().hash(state);
+    }
+}
+
+impl std::fmt::Debug for TcpOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl From<Vec<TcpOption>> for TcpOptions {
+    fn from(options: Vec<TcpOption>) -> Self {
+        options.into_iter().collect()
+    }
+}
+
+impl<const N: usize> From<[TcpOption; N]> for TcpOptions {
+    fn from(options: [TcpOption; N]) -> Self {
+        options.into_iter().collect()
+    }
+}
+
+impl FromIterator<TcpOption> for TcpOptions {
+    fn from_iter<I: IntoIterator<Item = TcpOption>>(iter: I) -> Self {
+        let mut list = Self::new();
+        for opt in iter {
+            list.push(opt);
+        }
+        list
+    }
+}
+
+impl<'a> IntoIterator for &'a TcpOptions {
+    type Item = TcpOption;
+    type IntoIter = TcpOptionsIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Decoding iterator over [`TcpOptions`]. Infallible: the bytes were
+/// validated when the list was built. Delegates to the zero-copy
+/// [`crate::view::TcpOptionIter`] so there is exactly one option-decode
+/// table in the crate.
+#[derive(Debug, Clone)]
+pub struct TcpOptionsIter<'a> {
+    inner: crate::view::TcpOptionIter<'a>,
+}
+
+impl Iterator for TcpOptionsIter<'_> {
+    type Item = TcpOption;
+
+    fn next(&mut self) -> Option<TcpOption> {
+        self.inner.next().map(|o| o.to_owned())
+    }
 }
 
 impl TcpOption {
@@ -159,8 +422,8 @@ pub struct TcpSegment {
     pub window: u16,
     /// Urgent pointer (rarely used; preserved).
     pub urgent: u16,
-    /// Parsed options in wire order.
-    pub options: Vec<TcpOption>,
+    /// Parsed options in wire order (inline storage, no heap for ≤6 options).
+    pub options: TcpOptions,
     /// Application payload.
     pub payload: Vec<u8>,
 }
@@ -176,7 +439,7 @@ impl TcpSegment {
             flags,
             window: MOPEYE_RECEIVE_WINDOW,
             urgent: 0,
-            options: Vec::new(),
+            options: TcpOptions::new(),
             payload: Vec::new(),
         }
     }
@@ -184,7 +447,7 @@ impl TcpSegment {
     /// Returns the MSS option value if present.
     pub fn mss(&self) -> Option<u16> {
         self.options.iter().find_map(|o| match o {
-            TcpOption::MaximumSegmentSize(v) => Some(*v),
+            TcpOption::MaximumSegmentSize(v) => Some(v),
             _ => None,
         })
     }
@@ -192,7 +455,7 @@ impl TcpSegment {
     /// Returns the window-scale option value if present.
     pub fn window_scale(&self) -> Option<u8> {
         self.options.iter().find_map(|o| match o {
-            TcpOption::WindowScale(v) => Some(*v),
+            TcpOption::WindowScale(v) => Some(v),
             _ => None,
         })
     }
@@ -232,36 +495,21 @@ impl TcpSegment {
 
     /// Header length in bytes including options and padding.
     pub fn header_len(&self) -> usize {
-        let opt_len: usize = self.options.iter().map(TcpOption::wire_len).sum();
-        TCP_MIN_HEADER_LEN + opt_len.div_ceil(4) * 4
+        TCP_MIN_HEADER_LEN + self.options.byte_len().div_ceil(4) * 4
     }
 
     /// Parses a TCP segment from `data` (no checksum verification; the IP
     /// layer caller verifies checksums when it has the pseudo-header).
+    ///
+    /// A thin wrapper over the zero-copy [`crate::view::TcpSegmentView`],
+    /// which owns the validation logic.
     pub fn parse(data: &[u8]) -> Result<Self> {
-        if data.len() < TCP_MIN_HEADER_LEN {
-            return Err(PacketError::Truncated {
-                what: "TCP header",
-                needed: TCP_MIN_HEADER_LEN,
-                available: data.len(),
-            });
-        }
-        let data_offset = usize::from(data[12] >> 4) * 4;
-        if data_offset < TCP_MIN_HEADER_LEN || data_offset > data.len() {
-            return Err(PacketError::BadHeaderLength(data_offset));
-        }
-        let options = parse_options(&data[TCP_MIN_HEADER_LEN..data_offset])?;
-        Ok(Self {
-            src_port: u16::from_be_bytes([data[0], data[1]]),
-            dst_port: u16::from_be_bytes([data[2], data[3]]),
-            seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
-            ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
-            flags: TcpFlags::from_bits(data[13] & 0x3f),
-            window: u16::from_be_bytes([data[14], data[15]]),
-            urgent: u16::from_be_bytes([data[18], data[19]]),
-            options,
-            payload: data[data_offset..].to_vec(),
-        })
+        Ok(crate::view::TcpSegmentView::new(data)?.to_owned())
+    }
+
+    /// Total serialised length in bytes (header, options, padding, payload).
+    pub fn wire_len(&self) -> usize {
+        self.header_len() + self.payload.len()
     }
 
     /// Serialises the segment with a zero checksum field.
@@ -269,7 +517,9 @@ impl TcpSegment {
     /// Use [`TcpSegment::to_bytes_with_checksum`] when the enclosing IP
     /// addresses are known.
     pub fn to_bytes(&self) -> Vec<u8> {
-        self.encode(0)
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut out);
+        out
     }
 
     /// Serialises the segment and fills in the transport checksum computed
@@ -279,19 +529,21 @@ impl TcpSegment {
     ///
     /// Panics if `src` and `dst` are not the same IP version.
     pub fn to_bytes_with_checksum(&self, src: IpAddr, dst: IpAddr) -> Vec<u8> {
-        let mut bytes = self.encode(0);
-        let checksum = match (src, dst) {
-            (IpAddr::V4(s), IpAddr::V4(d)) => transport_checksum_v4(s, d, crate::IPPROTO_TCP, &bytes),
-            (IpAddr::V6(s), IpAddr::V6(d)) => transport_checksum_v6(s, d, crate::IPPROTO_TCP, &bytes),
-            _ => panic!("mixed address families in TCP checksum"),
-        };
-        bytes[16..18].copy_from_slice(&checksum.to_be_bytes());
-        bytes
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.encode_with_checksum_into(src, dst, &mut out);
+        out
     }
 
-    fn encode(&self, checksum: u16) -> Vec<u8> {
+    /// Appends the serialised segment (zero checksum field) to `out`.
+    ///
+    /// The buffer is not cleared, so a caller composing an IP packet can
+    /// write the network header first and the segment after it. With a
+    /// warmed, reused buffer this performs no allocations.
+    #[inline]
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         let header_len = self.header_len();
-        let mut out = Vec::with_capacity(header_len + self.payload.len());
+        out.reserve(self.wire_len());
+        let start = out.len();
         out.extend_from_slice(&self.src_port.to_be_bytes());
         out.extend_from_slice(&self.dst_port.to_be_bytes());
         out.extend_from_slice(&self.seq.to_be_bytes());
@@ -299,78 +551,66 @@ impl TcpSegment {
         out.push(((header_len / 4) as u8) << 4);
         out.push(self.flags.bits() & 0x3f);
         out.extend_from_slice(&self.window.to_be_bytes());
-        out.extend_from_slice(&checksum.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // Checksum placeholder.
         out.extend_from_slice(&self.urgent.to_be_bytes());
-        for opt in &self.options {
-            encode_option(opt, &mut out);
-        }
-        while out.len() < header_len {
+        out.extend_from_slice(self.options.as_bytes());
+        while out.len() - start < header_len {
             out.push(0); // End-of-options padding.
         }
         out.extend_from_slice(&self.payload);
-        out
+    }
+
+    /// Appends the serialised segment to `out` and patches in the transport
+    /// checksum computed with the pseudo-header for `src`/`dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` are not the same IP version.
+    #[inline]
+    pub fn encode_with_checksum_into(&self, src: IpAddr, dst: IpAddr, out: &mut Vec<u8>) {
+        let start = out.len();
+        self.encode_into(out);
+        let checksum = match (src, dst) {
+            (IpAddr::V4(s), IpAddr::V4(d)) => {
+                transport_checksum_v4(s, d, crate::IPPROTO_TCP, &out[start..])
+            }
+            (IpAddr::V6(s), IpAddr::V6(d)) => {
+                transport_checksum_v6(s, d, crate::IPPROTO_TCP, &out[start..])
+            }
+            _ => panic!("mixed address families in TCP checksum"),
+        };
+        out[start + 16..start + 18].copy_from_slice(&checksum.to_be_bytes());
     }
 }
 
-fn parse_options(mut data: &[u8]) -> Result<Vec<TcpOption>> {
-    let mut options = Vec::new();
+/// Validates the option region and returns how many leading bytes hold real
+/// options (everything before an end-of-list marker or padding).
+///
+/// Shared by [`TcpSegment::parse`] and the zero-copy
+/// [`crate::view::TcpSegmentView`], so both reject exactly the same inputs.
+pub(crate) fn validate_options(region: &[u8]) -> Result<usize> {
+    let mut data = region;
     while let Some((&kind, rest)) = data.split_first() {
         match kind {
             0 => break, // End of option list.
-            1 => {
-                options.push(TcpOption::Nop);
-                data = rest;
-            }
+            1 => data = rest,
             _ => {
-                let (&len, _) = rest
-                    .split_first()
-                    .ok_or(PacketError::Truncated { what: "TCP option length", needed: 2, available: 1 })?;
+                let (&len, _) = rest.split_first().ok_or(PacketError::Truncated {
+                    what: "TCP option length",
+                    needed: 2,
+                    available: 1,
+                })?;
                 let len = usize::from(len);
                 if len < 2 || len > data.len() {
                     return Err(PacketError::BadHeaderLength(len));
                 }
-                let body = &data[2..len];
-                let opt = match kind {
-                    2 if body.len() == 2 => {
-                        TcpOption::MaximumSegmentSize(u16::from_be_bytes([body[0], body[1]]))
-                    }
-                    3 if body.len() == 1 => TcpOption::WindowScale(body[0]),
-                    4 if body.is_empty() => TcpOption::SackPermitted,
-                    8 if body.len() == 8 => TcpOption::Timestamps(
-                        u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
-                        u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
-                    ),
-                    _ => TcpOption::Unknown(kind, body.to_vec()),
-                };
-                options.push(opt);
                 data = &data[len..];
             }
         }
     }
-    Ok(options)
+    Ok(region.len() - data.len())
 }
 
-fn encode_option(opt: &TcpOption, out: &mut Vec<u8>) {
-    match opt {
-        TcpOption::Nop => out.push(1),
-        TcpOption::MaximumSegmentSize(mss) => {
-            out.extend_from_slice(&[2, 4]);
-            out.extend_from_slice(&mss.to_be_bytes());
-        }
-        TcpOption::WindowScale(shift) => out.extend_from_slice(&[3, 3, *shift]),
-        TcpOption::SackPermitted => out.extend_from_slice(&[4, 2]),
-        TcpOption::Timestamps(tsval, tsecr) => {
-            out.extend_from_slice(&[8, 10]);
-            out.extend_from_slice(&tsval.to_be_bytes());
-            out.extend_from_slice(&tsecr.to_be_bytes());
-        }
-        TcpOption::Unknown(kind, data) => {
-            out.push(*kind);
-            out.push((data.len() + 2) as u8);
-            out.extend_from_slice(data);
-        }
-    }
-}
 
 #[cfg(test)]
 mod tests {
@@ -384,7 +624,7 @@ mod tests {
             TcpOption::SackPermitted,
             TcpOption::Nop,
             TcpOption::WindowScale(7),
-        ];
+        ].into();
         s
     }
 
@@ -456,9 +696,14 @@ mod tests {
     #[test]
     fn unknown_options_are_preserved() {
         let mut s = TcpSegment::new(1, 2, 0, 0, TcpFlags::SYN);
-        s.options = vec![TcpOption::Unknown(254, vec![1, 2, 3]), TcpOption::Nop, TcpOption::Nop, TcpOption::Nop];
+        s.options = vec![
+            TcpOption::Unknown(254, [1, 2, 3].into()),
+            TcpOption::Nop,
+            TcpOption::Nop,
+            TcpOption::Nop,
+        ].into();
         let parsed = TcpSegment::parse(&s.to_bytes()).unwrap();
-        assert_eq!(parsed.options[0], TcpOption::Unknown(254, vec![1, 2, 3]));
+        assert_eq!(parsed.options.get(0), Some(TcpOption::Unknown(254, [1, 2, 3].into())));
     }
 
     #[test]
@@ -470,7 +715,7 @@ mod tests {
     #[test]
     fn header_len_is_padded_to_words() {
         let mut s = TcpSegment::new(1, 2, 0, 0, TcpFlags::SYN);
-        s.options = vec![TcpOption::WindowScale(2)]; // Three bytes of options.
+        s.options = vec![TcpOption::WindowScale(2)].into(); // Three bytes of options.
         assert_eq!(s.header_len(), 24);
         let parsed = TcpSegment::parse(&s.to_bytes()).unwrap();
         assert_eq!(parsed.window_scale(), Some(2));

@@ -6,7 +6,7 @@
 use std::net::IpAddr;
 
 use crate::checksum::{transport_checksum_v4, transport_checksum_v6};
-use crate::error::{PacketError, Result};
+use crate::error::Result;
 
 /// UDP header length in bytes.
 pub const UDP_HEADER_LEN: usize = 8;
@@ -44,32 +44,18 @@ impl UdpDatagram {
     }
 
     /// Parses a UDP datagram from `data`.
+    ///
+    /// A thin wrapper over the zero-copy [`crate::view::UdpView`], which owns
+    /// the validation logic.
     pub fn parse(data: &[u8]) -> Result<Self> {
-        if data.len() < UDP_HEADER_LEN {
-            return Err(PacketError::Truncated {
-                what: "UDP header",
-                needed: UDP_HEADER_LEN,
-                available: data.len(),
-            });
-        }
-        let length = usize::from(u16::from_be_bytes([data[4], data[5]]));
-        if length < UDP_HEADER_LEN || length > data.len() {
-            return Err(PacketError::Truncated {
-                what: "UDP length",
-                needed: length.max(UDP_HEADER_LEN),
-                available: data.len(),
-            });
-        }
-        Ok(Self {
-            src_port: u16::from_be_bytes([data[0], data[1]]),
-            dst_port: u16::from_be_bytes([data[2], data[3]]),
-            payload: data[UDP_HEADER_LEN..length].to_vec(),
-        })
+        Ok(crate::view::UdpView::new(data)?.to_owned())
     }
 
     /// Serialises the datagram with a zero checksum (legal for IPv4).
     pub fn to_bytes(&self) -> Vec<u8> {
-        self.encode(0)
+        let mut out = Vec::with_capacity(self.len());
+        self.encode_into(&mut out);
+        out
     }
 
     /// Serialises the datagram with the pseudo-header checksum filled in.
@@ -78,24 +64,40 @@ impl UdpDatagram {
     ///
     /// Panics if `src` and `dst` are not the same IP version.
     pub fn to_bytes_with_checksum(&self, src: IpAddr, dst: IpAddr) -> Vec<u8> {
-        let mut bytes = self.encode(0);
-        let checksum = match (src, dst) {
-            (IpAddr::V4(s), IpAddr::V4(d)) => transport_checksum_v4(s, d, crate::IPPROTO_UDP, &bytes),
-            (IpAddr::V6(s), IpAddr::V6(d)) => transport_checksum_v6(s, d, crate::IPPROTO_UDP, &bytes),
-            _ => panic!("mixed address families in UDP checksum"),
-        };
-        bytes[6..8].copy_from_slice(&checksum.to_be_bytes());
-        bytes
+        let mut out = Vec::with_capacity(self.len());
+        self.encode_with_checksum_into(src, dst, &mut out);
+        out
     }
 
-    fn encode(&self, checksum: u16) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.len());
+    /// Appends the serialised datagram (zero checksum) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.len());
         out.extend_from_slice(&self.src_port.to_be_bytes());
         out.extend_from_slice(&self.dst_port.to_be_bytes());
         out.extend_from_slice(&(self.len() as u16).to_be_bytes());
-        out.extend_from_slice(&checksum.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // Checksum placeholder.
         out.extend_from_slice(&self.payload);
-        out
+    }
+
+    /// Appends the serialised datagram to `out` and patches in the
+    /// pseudo-header checksum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` are not the same IP version.
+    pub fn encode_with_checksum_into(&self, src: IpAddr, dst: IpAddr, out: &mut Vec<u8>) {
+        let start = out.len();
+        self.encode_into(out);
+        let checksum = match (src, dst) {
+            (IpAddr::V4(s), IpAddr::V4(d)) => {
+                transport_checksum_v4(s, d, crate::IPPROTO_UDP, &out[start..])
+            }
+            (IpAddr::V6(s), IpAddr::V6(d)) => {
+                transport_checksum_v6(s, d, crate::IPPROTO_UDP, &out[start..])
+            }
+            _ => panic!("mixed address families in UDP checksum"),
+        };
+        out[start + 6..start + 8].copy_from_slice(&checksum.to_be_bytes());
     }
 }
 

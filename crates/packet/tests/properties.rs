@@ -62,7 +62,7 @@ proptest! {
     ) {
         let mut seg = TcpSegment::new(src_port, dst_port, seq, ack, flags);
         seg.window = window;
-        seg.options = vec![TcpOption::MaximumSegmentSize(mss), TcpOption::SackPermitted];
+        seg.options = vec![TcpOption::MaximumSegmentSize(mss), TcpOption::SackPermitted].into();
         seg.payload = payload;
         let parsed = TcpSegment::parse(&seg.to_bytes()).unwrap();
         prop_assert_eq!(&parsed, &seg);
@@ -130,6 +130,48 @@ proptest! {
         let _ = TcpSegment::parse(&bytes);
         let _ = UdpDatagram::parse(&bytes);
         let _ = DnsMessage::parse(&bytes);
+        let _ = mop_packet::PacketView::parse(&bytes);
+        let _ = mop_packet::TcpSegmentView::new(&bytes);
+        let _ = mop_packet::UdpView::new(&bytes);
+    }
+
+    /// The zero-copy views and the owned parsers must accept/reject the same
+    /// inputs and agree on every parsed field.
+    #[test]
+    fn views_agree_with_owned_parsers_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..300)
+    ) {
+        match (Packet::parse(&bytes), mop_packet::PacketView::parse(&bytes)) {
+            (Ok(owned), Ok(view)) => {
+                prop_assert_eq!(&view.to_owned(), &owned);
+                prop_assert_eq!(view.four_tuple(), owned.four_tuple());
+            }
+            (Err(_), Err(_)) => {}
+            (owned, view) => panic!("owned {owned:?} disagrees with view {view:?}"),
+        }
+        match (TcpSegment::parse(&bytes), mop_packet::TcpSegmentView::new(&bytes)) {
+            (Ok(owned), Ok(view)) => prop_assert_eq!(view.to_owned(), owned),
+            (Err(_), Err(_)) => {}
+            (owned, view) => panic!("owned segment {owned:?} disagrees with view {view:?}"),
+        }
+    }
+
+    /// Well-formed segments agree between the owned codec and the views at
+    /// every payload size from empty to beyond the MSS.
+    #[test]
+    fn tcp_views_agree_with_owned_across_payload_sizes(
+        seq in any::<u32>(),
+        flags in arb_flags(),
+        len in 0usize..=1461,
+    ) {
+        let mut seg = TcpSegment::new(40000, 443, seq, 0, flags);
+        seg.payload = vec![0x5a; len];
+        let bytes = seg.to_bytes();
+        let view = mop_packet::TcpSegmentView::new(&bytes).unwrap();
+        prop_assert_eq!(view.to_owned(), TcpSegment::parse(&bytes).unwrap());
+        prop_assert_eq!(view.payload().len(), len);
+        prop_assert_eq!(view.sequence_len(), seg.sequence_len());
+        prop_assert_eq!(view.is_pure_ack(), seg.is_pure_ack());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The kernel's view of live connections, as exposed through `/proc/net`.
 
+use std::collections::HashMap;
 use std::net::IpAddr;
 
 use mop_packet::{Endpoint, FourTuple};
@@ -97,16 +98,27 @@ pub struct ConnectionEntry {
 
 /// The live connection table, maintained by the simulated kernel as apps open
 /// and close sockets.
+///
+/// Alongside the entry list (what `/proc/net` renders), the table maintains
+/// an incremental `FourTuple → uid` index: every mutation updates the index
+/// in O(1), so mapper lookups never rebuild anything. A generation counter
+/// advances on every mutation that can change the flow → uid relation, which
+/// lets snapshot holders (the lazy mapper) skip re-copying an index they
+/// already have.
 #[derive(Debug, Default)]
 pub struct ConnectionTable {
     entries: Vec<ConnectionEntry>,
     next_inode: u64,
+    /// Incrementally maintained flow → uid index (first registration wins,
+    /// matching the entry-scan semantics of `uid_of`).
+    uid_index: HashMap<FourTuple, u32>,
+    generation: u64,
 }
 
 impl ConnectionTable {
     /// Creates an empty table.
     pub fn new() -> Self {
-        Self { entries: Vec::new(), next_inode: 10_000 }
+        Self { entries: Vec::new(), next_inode: 10_000, uid_index: HashMap::new(), generation: 0 }
     }
 
     /// Registers a connection owned by `uid`. Returns the assigned inode.
@@ -127,10 +139,14 @@ impl ConnectionTable {
             uid,
             inode,
         });
+        self.uid_index.entry(flow).or_insert(uid);
+        self.generation += 1;
         inode
     }
 
     /// Updates the state of the connection matching `flow`.
+    ///
+    /// The uid index is untouched: a state change never alters ownership.
     pub fn set_state(&mut self, flow: FourTuple, state: SocketStateCode) -> bool {
         for e in &mut self.entries {
             if e.local == flow.src && e.remote == flow.dst {
@@ -145,16 +161,32 @@ impl ConnectionTable {
     pub fn remove(&mut self, flow: FourTuple) -> bool {
         let before = self.entries.len();
         self.entries.retain(|e| !(e.local == flow.src && e.remote == flow.dst));
-        self.entries.len() != before
+        let removed = self.entries.len() != before;
+        if removed {
+            self.uid_index.remove(&flow);
+            self.generation += 1;
+        }
+        removed
     }
 
-    /// Looks up the UID owning `flow` directly from the live table (what an
-    /// omniscient observer would see; the mappers work from parsed text).
+    /// Looks up the UID owning `flow` — O(1) via the incremental index.
     pub fn uid_of(&self, flow: FourTuple) -> Option<u32> {
-        self.entries
-            .iter()
-            .find(|e| e.local == flow.src && e.remote == flow.dst)
-            .map(|e| e.uid)
+        self.uid_index.get(&flow).copied()
+    }
+
+    /// The incrementally maintained flow → uid index.
+    ///
+    /// This is what the packet-to-app mappers consult instead of re-rendering
+    /// and re-parsing the `/proc/net` text on every lookup; the parse *cost*
+    /// is still charged through the cost model, but the wall-clock work is
+    /// amortised O(1).
+    pub fn uid_index(&self) -> &HashMap<FourTuple, u32> {
+        &self.uid_index
+    }
+
+    /// Generation counter: advances whenever the flow → uid relation mutates.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Looks up a UID by local port only — the fallback Android tools use
@@ -185,10 +217,18 @@ impl ConnectionTable {
 
     /// Keeps only the newest `max` entries (a crude stand-in for kernel
     /// socket reclamation, keeps long simulations bounded).
+    ///
+    /// Reclamation is rare and batched, so the index is rebuilt wholesale
+    /// here rather than diffed entry by entry.
     pub fn truncate_oldest(&mut self, max: usize) {
         if self.entries.len() > max {
             let excess = self.entries.len() - max;
             self.entries.drain(0..excess);
+            self.uid_index.clear();
+            for e in &self.entries {
+                self.uid_index.entry(FourTuple::new(e.local, e.remote)).or_insert(e.uid);
+            }
+            self.generation += 1;
         }
     }
 

@@ -20,6 +20,8 @@
 //!   (ground-truth reference timestamps),
 //! * [`socket`] — a `java.nio`-like socket and selector layer with blocking
 //!   and non-blocking modes plus `protect()` cost modelling,
+//! * [`pool`] — a free-list buffer pool so the packet datapath recycles
+//!   buffers instead of allocating per packet,
 //! * [`cost`] — calibrated cost models for the system calls and scheduler
 //!   effects the paper's optimisations target.
 
@@ -28,6 +30,7 @@ pub mod cost;
 pub mod dnssrv;
 pub mod latency;
 pub mod network;
+pub mod pool;
 pub mod profile;
 pub mod queue;
 pub mod rng;
@@ -41,6 +44,7 @@ pub use cost::{CostModel, CpuLedger};
 pub use dnssrv::DnsServerConfig;
 pub use latency::LatencyModel;
 pub use network::{ConnectOutcome, DataExchange, DnsOutcome, SimNetwork, SimNetworkBuilder};
+pub use pool::{BufferPool, PoolStats};
 pub use profile::{AccessProfile, IspProfile, NetworkType};
 pub use queue::EventQueue;
 pub use rng::SimRng;

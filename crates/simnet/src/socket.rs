@@ -13,6 +13,7 @@ use std::collections::{HashMap, VecDeque};
 use mop_packet::{Endpoint, FourTuple};
 
 use crate::network::{ConnectOutcome, SimNetwork};
+use crate::pool::BufferPool;
 use crate::time::SimTime;
 
 /// Identifier of a socket within a [`SocketSet`].
@@ -82,12 +83,21 @@ pub struct SocketSet {
     /// True once `addDisallowedApplication()` has been applied, making
     /// per-socket `protect()` unnecessary (§3.5.2).
     vpn_disallowed_application: bool,
+    /// Pool backing [`SocketSet::take_readable_pooled`], so socket reads hand
+    /// out recycled buffers instead of allocating per read.
+    read_pool: BufferPool,
 }
 
 impl SocketSet {
     /// Creates an empty socket set.
     pub fn new() -> Self {
-        Self { sockets: HashMap::new(), next_id: 0, next_port: 42000, vpn_disallowed_application: false }
+        Self {
+            sockets: HashMap::new(),
+            next_id: 0,
+            next_port: 42000,
+            vpn_disallowed_application: false,
+            read_pool: BufferPool::new(64 * 1024),
+        }
     }
 
     /// Marks the measuring app as excluded from the VPN
@@ -291,6 +301,39 @@ impl SocketSet {
             }
         }
         out
+    }
+
+    /// Consumes all chunks readable at `now` and materialises their bytes
+    /// into a pooled buffer (filled with the `0x5a` response filler the
+    /// simulated servers send). Returns an empty buffer if nothing is
+    /// readable. Hand the buffer back with [`SocketSet::recycle_buffer`] once
+    /// the relay has segmented it — in steady state no allocation happens.
+    pub fn take_readable_pooled(&mut self, id: SocketId, now: SimTime) -> Vec<u8> {
+        let e = self.sockets.get_mut(&id.0).expect("unknown socket id");
+        let mut total = 0usize;
+        while let Some((t, b)) = e.pending_reads.front().copied() {
+            if t <= now {
+                e.pending_reads.pop_front();
+                e.bytes_read += b;
+                total += b;
+            } else {
+                break;
+            }
+        }
+        let mut buf = self.read_pool.get();
+        buf.resize(total, 0x5a);
+        buf
+    }
+
+    /// Returns a buffer obtained from [`SocketSet::take_readable_pooled`] to
+    /// the read pool.
+    pub fn recycle_buffer(&mut self, buf: Vec<u8>) {
+        self.read_pool.put(buf);
+    }
+
+    /// Behaviour counters of the pooled read-buffer free list.
+    pub fn read_pool_stats(&self) -> crate::pool::PoolStats {
+        self.read_pool.stats()
     }
 
     /// The earliest time at which more data becomes readable, if any.
@@ -503,6 +546,36 @@ mod tests {
         assert_eq!(total, 32 * 1024);
         assert!(set.read_exhausted(id));
         assert_eq!(set.byte_counters(id), (32 * 1024, 400));
+    }
+
+    #[test]
+    fn pooled_reads_reuse_buffers_and_count_bytes() {
+        let mut net = net();
+        let mut set = SocketSet::new();
+        let id = set.create(SocketMode::NonBlocking);
+        let outcome = set.connect(&mut net, id, google(), SimTime::ZERO);
+        set.poll_connect(id, outcome.completed_at);
+        set.buffer_write(id, 400);
+        set.flush_writes(&mut net, id, outcome.completed_at);
+        let buf = set.take_readable_pooled(id, SimTime::from_secs(120));
+        assert_eq!(buf.len(), 32 * 1024);
+        assert!(buf.iter().all(|b| *b == 0x5a));
+        assert!(set.read_exhausted(id));
+        assert_eq!(set.byte_counters(id), (32 * 1024, 400));
+        set.recycle_buffer(buf);
+        // A second read round trips through the free list, not the allocator.
+        set.schedule_read(id, SimTime::from_secs(121), 100);
+        let buf = set.take_readable_pooled(id, SimTime::from_secs(121));
+        assert_eq!(buf.len(), 100);
+        set.recycle_buffer(buf);
+        let stats = set.read_pool_stats();
+        assert_eq!(stats.allocations, 1);
+        assert_eq!(stats.reuses, 1);
+        assert_eq!(stats.recycled, 2);
+        // An idle socket yields an empty pooled buffer.
+        let empty = set.take_readable_pooled(id, SimTime::from_secs(122));
+        assert!(empty.is_empty());
+        set.recycle_buffer(empty);
     }
 
     #[test]

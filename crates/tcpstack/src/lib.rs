@@ -22,6 +22,6 @@ pub mod state;
 pub mod udp;
 
 pub use client::{ClientRegistry, TcpClient};
-pub use machine::{RelayAction, SegmentVerdict, TcpStateMachine};
+pub use machine::{RelayAction, SegmentRef, SegmentVerdict, TcpStateMachine};
 pub use state::TcpState;
 pub use udp::{DnsTransaction, UdpAssociation, UdpRegistry};

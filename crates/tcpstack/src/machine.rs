@@ -18,9 +18,39 @@
 //! flow control inside the tunnel).
 
 use mop_packet::tcp::MOPEYE_MSS;
-use mop_packet::{Endpoint, FourTuple, Packet, PacketBuilder, TcpFlags, TcpSegment};
+use mop_packet::{Endpoint, FourTuple, Packet, PacketBuilder, TcpFlags, TcpSegment, TcpSegmentView};
 
 use crate::state::TcpState;
+
+/// A borrowed view of the tunnel-segment fields the relay decision needs.
+///
+/// Both the owned [`TcpSegment`] and the zero-copy [`TcpSegmentView`] convert
+/// into this, so the state machine runs the exact same logic whether the
+/// caller parsed a packet into owned structs or is borrowing straight from
+/// the TUN buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentRef<'a> {
+    /// Sequence number.
+    pub seq: u32,
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// Application payload.
+    pub payload: &'a [u8],
+    /// MSS option value, if the segment carries one.
+    pub mss: Option<u16>,
+}
+
+impl<'a> From<&'a TcpSegment> for SegmentRef<'a> {
+    fn from(seg: &'a TcpSegment) -> Self {
+        Self { seq: seg.seq, flags: seg.flags, payload: &seg.payload, mss: seg.mss() }
+    }
+}
+
+impl<'a> From<&TcpSegmentView<'a>> for SegmentRef<'a> {
+    fn from(seg: &TcpSegmentView<'a>) -> Self {
+        Self { seq: seg.seq(), flags: seg.flags(), payload: seg.payload(), mss: seg.mss() }
+    }
+}
 
 /// An instruction for the relay engine, produced while processing a segment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,10 +160,27 @@ impl TcpStateMachine {
         &mut self,
         seg: &TcpSegment,
     ) -> (Vec<Packet>, Vec<RelayAction>, SegmentVerdict) {
+        self.on_segment(seg.into())
+    }
+
+    /// Processes a tunnel segment borrowed straight from the TUN buffer —
+    /// the zero-copy entry point the relay's MainWorker uses.
+    pub fn on_tunnel_segment_view(
+        &mut self,
+        seg: &TcpSegmentView<'_>,
+    ) -> (Vec<Packet>, Vec<RelayAction>, SegmentVerdict) {
+        self.on_segment(seg.into())
+    }
+
+    /// Processes a tunnel segment given as a borrowed field view.
+    pub fn on_segment(
+        &mut self,
+        seg: SegmentRef<'_>,
+    ) -> (Vec<Packet>, Vec<RelayAction>, SegmentVerdict) {
         if seg.flags.contains(TcpFlags::RST) {
             return self.on_app_rst();
         }
-        if seg.is_syn() {
+        if seg.flags.contains(TcpFlags::SYN) && !seg.flags.contains(TcpFlags::ACK) {
             return self.on_app_syn(seg);
         }
         if seg.flags.contains(TcpFlags::FIN) {
@@ -145,11 +192,11 @@ impl TcpStateMachine {
         self.on_app_pure_ack(seg)
     }
 
-    fn on_app_syn(&mut self, seg: &TcpSegment) -> (Vec<Packet>, Vec<RelayAction>, SegmentVerdict) {
+    fn on_app_syn(&mut self, seg: SegmentRef<'_>) -> (Vec<Packet>, Vec<RelayAction>, SegmentVerdict) {
         match self.state {
             TcpState::Listen => {
                 self.peer_next = seg.seq.wrapping_add(1);
-                self.peer_mss = seg.mss();
+                self.peer_mss = seg.mss;
                 self.state = TcpState::SynReceivedPendingExternal;
                 (
                     Vec::new(),
@@ -172,7 +219,7 @@ impl TcpStateMachine {
         }
     }
 
-    fn on_app_data(&mut self, seg: &TcpSegment) -> (Vec<Packet>, Vec<RelayAction>, SegmentVerdict) {
+    fn on_app_data(&mut self, seg: SegmentRef<'_>) -> (Vec<Packet>, Vec<RelayAction>, SegmentVerdict) {
         // The app's ACK of our SYN/ACK may be piggy-backed on its first data
         // segment; promote to Established first.
         if self.state == TcpState::SynAckSent && seg.flags.contains(TcpFlags::ACK) {
@@ -192,12 +239,12 @@ impl TcpStateMachine {
         self.bytes_from_app += len as u64;
         (
             Vec::new(),
-            vec![RelayAction::RelayData { bytes: seg.payload.clone() }],
+            vec![RelayAction::RelayData { bytes: seg.payload.to_vec() }],
             SegmentVerdict::Data(len),
         )
     }
 
-    fn on_app_pure_ack(&mut self, seg: &TcpSegment) -> (Vec<Packet>, Vec<RelayAction>, SegmentVerdict) {
+    fn on_app_pure_ack(&mut self, seg: SegmentRef<'_>) -> (Vec<Packet>, Vec<RelayAction>, SegmentVerdict) {
         match self.state {
             TcpState::SynAckSent if seg.flags.contains(TcpFlags::ACK) => {
                 self.state = TcpState::Established;
@@ -213,7 +260,7 @@ impl TcpStateMachine {
         }
     }
 
-    fn on_app_fin(&mut self, seg: &TcpSegment) -> (Vec<Packet>, Vec<RelayAction>, SegmentVerdict) {
+    fn on_app_fin(&mut self, seg: SegmentRef<'_>) -> (Vec<Packet>, Vec<RelayAction>, SegmentVerdict) {
         match self.state {
             TcpState::Established | TcpState::SynAckSent => {
                 // Any data on the FIN segment is still relayed.
@@ -221,7 +268,7 @@ impl TcpStateMachine {
                 if !seg.payload.is_empty() && seg.seq == self.peer_next {
                     self.peer_next = self.peer_next.wrapping_add(seg.payload.len() as u32);
                     self.bytes_from_app += seg.payload.len() as u64;
-                    actions.push(RelayAction::RelayData { bytes: seg.payload.clone() });
+                    actions.push(RelayAction::RelayData { bytes: seg.payload.to_vec() });
                 }
                 self.peer_next = self.peer_next.wrapping_add(1);
                 self.state = TcpState::CloseWait;

@@ -23,6 +23,13 @@ pub struct TunStats {
 /// Apps enqueue raw IP packets on the *outbound* queue (they are leaving the
 /// apps); MopEye's TunReader retrieves them from there. MopEye's TunWriter
 /// enqueues packets on the *inbound* queue, which the apps consume.
+///
+/// Two usage modes exist: standalone consumers (tests, future multi-process
+/// harnesses) drive the queues with [`TunDevice::app_write`] /
+/// [`TunDevice::read_outbound`] / [`TunDevice::drain_inbound`], while the
+/// relay engine's zero-copy datapath carries packet bytes through pooled
+/// buffers itself and only records the counters here via
+/// [`TunDevice::record_app_write`] / [`TunDevice::record_relay_write`].
 #[derive(Debug, Default)]
 pub struct TunDevice {
     outbound: VecDeque<(SimTime, Packet)>,
@@ -41,16 +48,31 @@ impl TunDevice {
 
     /// An app writes `packet` into the tunnel at time `at`.
     pub fn app_write(&mut self, at: SimTime, packet: Packet) {
-        self.stats.packets_from_apps += 1;
-        self.stats.bytes_from_apps += packet.wire_len() as u64;
+        self.record_app_write(packet.wire_len());
         self.outbound.push_back((at, packet));
     }
 
     /// MopEye writes `packet` towards the apps at time `at`.
     pub fn relay_write(&mut self, at: SimTime, packet: Packet) {
-        self.stats.packets_to_apps += 1;
-        self.stats.bytes_to_apps += packet.wire_len() as u64;
+        self.record_relay_write(packet.wire_len());
         self.inbound.push_back((at, packet));
+    }
+
+    /// Records an app write of `wire_len` bytes without queueing the packet.
+    ///
+    /// The engine's zero-copy datapath serialises app packets into pooled
+    /// buffers and hands those to the MainWorker directly, so the device only
+    /// keeps the counters — queueing a second owned copy here would be a
+    /// clone per packet for nothing.
+    pub fn record_app_write(&mut self, wire_len: usize) {
+        self.stats.packets_from_apps += 1;
+        self.stats.bytes_from_apps += wire_len as u64;
+    }
+
+    /// Records a relay write of `wire_len` bytes without queueing the packet.
+    pub fn record_relay_write(&mut self, wire_len: usize) {
+        self.stats.packets_to_apps += 1;
+        self.stats.bytes_to_apps += wire_len as u64;
     }
 
     /// Injects the dummy packet MopEye uses to release a blocked `read()`

@@ -11,19 +11,67 @@
 //! ns/iteration over the samples. Results are printed one line per benchmark
 //! in a stable `group/function: median ns/iter` format so bench output can be
 //! diffed between runs.
+//!
+//! Two command-line flags (passed as `cargo bench -- <flags>`) extend the
+//! vendored harness:
+//!
+//! * `--save-baseline <name>` — besides printing, dump every result as JSON
+//!   to `target/criterion-baselines/<name>/<bench>.json`, in the same shape
+//!   as the workspace's `BENCH_baseline.json` `criterion` section, so perf
+//!   deltas between PRs are machine-checkable.
+//! * `--quick` — smoke mode for CI: skip batch calibration and take the
+//!   minimum number of samples, so a full bench binary runs in milliseconds
+//!   and bench rot (compile errors, panics) is caught on every PR without
+//!   paying for real measurements.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// One finished benchmark, as recorded for `--save-baseline`.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    id: String,
+    median_ns: f64,
+    best_ns: f64,
+    worst_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Process-wide result collector, flushed by [`finalize`].
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Harness options parsed from the process arguments.
+#[derive(Debug, Clone, Default)]
+struct Options {
+    quick: bool,
+    save_baseline: Option<String>,
+}
+
+fn parse_options() -> Options {
+    let mut options = Options::default();
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--save-baseline" => options.save_baseline = args.next(),
+            _ => {}
+        }
+    }
+    options
+}
+
 /// Top-level benchmark driver.
 pub struct Criterion {
     default_sample_size: usize,
+    options: Options,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { default_sample_size: 20 }
+        Self { default_sample_size: 20, options: parse_options() }
     }
 }
 
@@ -31,7 +79,7 @@ impl Criterion {
     /// Starts a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.default_sample_size;
-        BenchmarkGroup { _parent: self, name: name.into(), sample_size }
+        BenchmarkGroup { parent: self, name: name.into(), sample_size }
     }
 
     /// Benchmarks a single function outside any group.
@@ -41,14 +89,14 @@ impl Criterion {
         f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let sample_size = self.default_sample_size;
-        run_benchmark(id, sample_size, f);
+        run_benchmark(id, sample_size, self.options.quick, f);
         self
     }
 }
 
 /// A named set of related benchmarks.
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
     sample_size: usize,
 }
@@ -62,7 +110,12 @@ impl BenchmarkGroup<'_> {
 
     /// Runs one benchmark within the group.
     pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
-        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.parent.options.quick,
+            f,
+        );
         self
     }
 
@@ -87,19 +140,23 @@ impl Bencher {
     }
 }
 
-fn run_benchmark(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+fn run_benchmark(id: &str, sample_size: usize, quick: bool, mut f: impl FnMut(&mut Bencher)) {
     // Calibrate: grow the batch until one batch takes at least ~200µs so
     // per-sample timer resolution noise stays small for nanosecond routines.
+    // Quick mode skips calibration entirely — it only proves the bench runs.
     let mut batch: u64 = 1;
-    loop {
-        let mut bencher = Bencher { batch, elapsed: Duration::ZERO };
-        f(&mut bencher);
-        if bencher.elapsed >= Duration::from_micros(200) || batch >= 1 << 20 {
-            break;
+    if !quick {
+        loop {
+            let mut bencher = Bencher { batch, elapsed: Duration::ZERO };
+            f(&mut bencher);
+            if bencher.elapsed >= Duration::from_micros(200) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 8;
         }
-        batch *= 8;
     }
-    let mut per_iter_ns: Vec<f64> = (0..sample_size.max(2))
+    let samples = if quick { 2 } else { sample_size.max(2) };
+    let mut per_iter_ns: Vec<f64> = (0..samples)
         .map(|_| {
             let mut bencher = Bencher { batch, elapsed: Duration::ZERO };
             f(&mut bencher);
@@ -118,6 +175,14 @@ fn run_benchmark(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) 
         per_iter_ns.len(),
         batch,
     );
+    RESULTS.lock().expect("results poisoned").push(BenchResult {
+        id: id.to_string(),
+        median_ns: median,
+        best_ns: best,
+        worst_ns: worst,
+        samples: per_iter_ns.len(),
+        iters_per_sample: batch,
+    });
 }
 
 fn format_ns(ns: f64) -> String {
@@ -129,6 +194,92 @@ fn format_ns(ns: f64) -> String {
         format!("{:.3} µs/iter", ns / 1e3)
     } else {
         format!("{ns:.1} ns/iter")
+    }
+}
+
+/// Strips the trailing `-<16 hex char build hash>` cargo appends to binary
+/// stems (e.g. `packet_codec-1a2b3c4d5e6f7890` → `packet_codec`).
+fn strip_build_hash(stem: &str) -> &str {
+    match stem.rsplit_once('-') {
+        Some((name, hash))
+            if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            name
+        }
+        _ => stem,
+    }
+}
+
+/// The bench-binary stem with any cargo build hash stripped.
+fn bench_stem() -> String {
+    let argv0 = std::env::args().next().unwrap_or_else(|| "bench".to_string());
+    let stem = std::path::Path::new(&argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    strip_build_hash(stem).to_string()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The directory baselines are written under: `<workspace>/target`, found by
+/// walking up from the current directory to the `Cargo.lock` (cargo runs
+/// bench binaries with the *package* directory as cwd, not the workspace).
+fn target_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return std::path::PathBuf::from(dir);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("target");
+        }
+        if !dir.pop() {
+            return std::path::PathBuf::from("target");
+        }
+    }
+}
+
+/// Writes collected results as JSON when `--save-baseline <name>` was given.
+///
+/// Called automatically by [`criterion_main!`] after every group has run.
+/// The file lands at `target/criterion-baselines/<name>/<bench>.json` (under
+/// the workspace target directory) and mirrors the `criterion` section of
+/// `BENCH_baseline.json`, one key per `group/function` id.
+pub fn finalize() {
+    let options = parse_options();
+    let Some(name) = options.save_baseline else { return };
+    let results = RESULTS.lock().expect("results poisoned");
+    if results.is_empty() {
+        return;
+    }
+    let dir = target_dir().join("criterion-baselines").join(&name);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("save-baseline: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let mut json = String::from("{\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  \"{}\": {{\"median_ns\": {}, \"best_ns\": {}, \"worst_ns\": {}, \
+             \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            json_escape(&r.id),
+            r.median_ns,
+            r.best_ns,
+            r.worst_ns,
+            r.samples,
+            r.iters_per_sample,
+            comma,
+        ));
+    }
+    json.push_str("}\n");
+    let path = dir.join(format!("{}.json", bench_stem()));
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("save-baseline: wrote {}", path.display()),
+        Err(e) => eprintln!("save-baseline: cannot write {}: {e}", path.display()),
     }
 }
 
@@ -149,6 +300,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
 }
@@ -170,6 +322,23 @@ mod tests {
         group.finish();
         // Calibration plus each sample invokes the closure at least once.
         assert!(ran >= 3);
+        // The result collector saw the run under its full id.
+        let results = RESULTS.lock().unwrap();
+        assert!(results.iter().any(|r| r.id == "selftest/noop"));
+    }
+
+    #[test]
+    fn quick_mode_takes_two_uncalibrated_samples() {
+        let mut calls = 0u32;
+        run_benchmark("selftest/quick", 20, true, |b| {
+            calls += 1;
+            b.iter(|| black_box(1u64));
+        });
+        assert_eq!(calls, 2, "quick mode must skip calibration");
+        let results = RESULTS.lock().unwrap();
+        let r = results.iter().find(|r| r.id == "selftest/quick").unwrap();
+        assert_eq!(r.samples, 2);
+        assert_eq!(r.iters_per_sample, 1);
     }
 
     #[test]
@@ -178,5 +347,21 @@ mod tests {
         assert!(format_ns(12_300.0).contains("µs"));
         assert!(format_ns(12_300_000.0).contains("ms"));
         assert!(format_ns(2.3e9).contains("s/iter"));
+    }
+
+    #[test]
+    fn bench_stem_strips_cargo_hash() {
+        assert_eq!(strip_build_hash("packet_codec-1a2b3c4d5e6f7890"), "packet_codec");
+        assert_eq!(strip_build_hash("multi-word-name-0123456789abcdef"), "multi-word-name");
+        // Non-hash suffixes and hashes of the wrong length are kept.
+        assert_eq!(strip_build_hash("tun_read"), "tun_read");
+        assert_eq!(strip_build_hash("name-notahash"), "name-notahash");
+        assert_eq!(strip_build_hash("name-1a2b3c"), "name-1a2b3c");
+        assert!(!bench_stem().is_empty());
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
     }
 }
