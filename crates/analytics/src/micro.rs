@@ -197,6 +197,7 @@ impl Table2Accuracy {
                     at: SimTime::from_millis(500 * i as u64 + 20),
                     uid: 10_100,
                     package: "com.measurement.app".into(),
+                    src: None,
                     dst,
                     domain: None,
                     request_bytes: 200,

@@ -58,6 +58,44 @@ pub enum ClockGranularity {
     Millisecond,
 }
 
+/// How the engine keys its stochastic and contended per-flow state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineDiscipline {
+    /// One device: a single RNG stream, a shared TunWriter queue and
+    /// sequential port allocation — the faithful single-handset model every
+    /// paper experiment uses.
+    #[default]
+    SharedDevice,
+    /// A fleet of devices: every connection four-tuple gets its own RNG
+    /// stream (derived from `seed ^ flow.stable_hash()`), its own
+    /// writer-queue timing lane and a pre-assigned source endpoint. A flow's
+    /// entire timeline then depends only on the flow itself, which makes a
+    /// sharded run produce *identical* merged results for any shard count.
+    ///
+    /// Flow-keyed runs expect [`mop_tun::ReadStrategy::Blocking`] reads and
+    /// pre-assigned [`mop_tun::FlowSpec::src`] endpoints; polling readers
+    /// keep cross-flow poll-loop state that would reintroduce
+    /// partition-dependence.
+    FlowKeyed,
+}
+
+/// How the MainWorker's CPU capacity constrains the relay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkerModel {
+    /// Packet processing is charged to the CPU ledger but never delays the
+    /// relay — the original engine behaviour, right for accuracy and
+    /// overhead experiments where the device is far from saturation.
+    #[default]
+    Unbounded,
+    /// The MainWorker is a serial resource: each packet's processing cost
+    /// occupies the worker, and packets arriving faster than it can drain
+    /// them queue behind it. Under this model a single event loop saturates
+    /// at its per-packet cost, and a sharded engine's aggregate relay
+    /// capacity scales with the number of shards — the effect the fleet
+    /// benchmark measures.
+    Saturating,
+}
+
 /// The engine configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MopEyeConfig {
@@ -80,7 +118,17 @@ pub struct MopEyeConfig {
     pub content_inspection: bool,
     /// Random seed for the engine's own noise (thread scheduling, costs).
     pub seed: u64,
+    /// How stochastic and contended per-flow state is keyed.
+    pub discipline: EngineDiscipline,
+    /// Whether the MainWorker's CPU capacity back-pressures the relay.
+    pub worker: WorkerModel,
+    /// Safety valve: a run aborts after this many events. Fleet scenarios
+    /// with 100k+ connections need far more than the single-device default.
+    pub max_events: u64,
 }
+
+/// The default event-count safety valve (single-device scale).
+pub const DEFAULT_MAX_EVENTS: u64 = 5_000_000;
 
 impl Default for MopEyeConfig {
     fn default() -> Self {
@@ -104,6 +152,9 @@ impl MopEyeConfig {
             clock: ClockGranularity::Nanosecond,
             content_inspection: false,
             seed: 0x4d6f_7045,
+            discipline: EngineDiscipline::SharedDevice,
+            worker: WorkerModel::Unbounded,
+            max_events: DEFAULT_MAX_EVENTS,
         }
     }
 
@@ -120,6 +171,9 @@ impl MopEyeConfig {
             clock: ClockGranularity::Millisecond,
             content_inspection: true,
             seed: 0x4861_7973,
+            discipline: EngineDiscipline::SharedDevice,
+            worker: WorkerModel::Unbounded,
+            max_events: DEFAULT_MAX_EVENTS,
         }
     }
 
@@ -136,6 +190,9 @@ impl MopEyeConfig {
             clock: ClockGranularity::Nanosecond,
             content_inspection: false,
             seed: 0x546f_7956,
+            discipline: EngineDiscipline::SharedDevice,
+            worker: WorkerModel::Unbounded,
+            max_events: DEFAULT_MAX_EVENTS,
         }
     }
 
@@ -174,6 +231,31 @@ impl MopEyeConfig {
     pub fn with_protect(mut self, protect: ProtectMode) -> Self {
         self.protect = protect;
         self
+    }
+
+    /// Sets the state-keying discipline.
+    pub fn with_discipline(mut self, discipline: EngineDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Sets the MainWorker capacity model.
+    pub fn with_worker(mut self, worker: WorkerModel) -> Self {
+        self.worker = worker;
+        self
+    }
+
+    /// Sets the event-count safety valve.
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// The configuration one shard of a fleet engine runs: the released
+    /// MopEye behaviour with flow-keyed state, so a run's merged results are
+    /// independent of the shard count.
+    pub fn fleet_shard() -> Self {
+        Self::mopeye().with_discipline(EngineDiscipline::FlowKeyed)
     }
 }
 

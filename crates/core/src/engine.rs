@@ -32,12 +32,20 @@ use mop_simnet::{
 use mop_tcpstack::{ClientRegistry, RelayAction, SegmentVerdict, UdpRegistry};
 use mop_tun::{AppEndpoint, DnsClient, FlowKind, FlowSpec, ReaderSim, TunDevice, TunStats, Workload};
 
-use crate::config::{ClockGranularity, MopEyeConfig, ProtectMode, TimestampMode};
+use crate::config::{
+    ClockGranularity, EngineDiscipline, MopEyeConfig, ProtectMode, TimestampMode, WorkerModel,
+};
 use crate::stats::{FlowOutcome, RelayStats, RttSample, SampleKind};
-use crate::tun_writer::{TunWriter, WriteDelayStats};
+use crate::tun_writer::{TunWriter, WriteDelayStats, WriterLane};
 
-/// Safety valve: the engine aborts a run after this many events.
-const MAX_EVENTS: u64 = 5_000_000;
+/// Salt mixed into per-flow RNG seeds so the engine's flow-keyed streams do
+/// not collide with the network's (which key off the same seed and hash).
+const ENGINE_KEY_SALT: u64 = 0x656e_675f_6b65_7973; // "eng_keys"
+/// Salt for the throwaway streams that absorb variable-draw-count work
+/// (packet-to-app mapping walks the whole connection table, whose size
+/// depends on co-resident flows; those draws must not advance a flow's main
+/// stream or the stream would become partition-dependent).
+const MAPPING_KEY_SALT: u64 = 0x6d61_705f_6b65_7973; // "map_keys"
 
 /// Internal events driving the engine loop.
 #[derive(Debug)]
@@ -172,6 +180,14 @@ pub struct MopEyeEngine {
     /// Free list backing the per-packet tunnel buffers: TunReader fills a
     /// pooled buffer, MainWorker parses it by reference, then it is recycled.
     pool: BufferPool,
+    /// Per-connection RNG streams (flow-keyed discipline). Keyed by the
+    /// canonical four-tuple so both directions of a connection share one
+    /// stream.
+    flow_rngs: HashMap<FourTuple, SimRng>,
+    /// Per-connection TunWriter timing lanes (flow-keyed discipline).
+    writer_lanes: HashMap<FourTuple, WriterLane>,
+    /// When the MainWorker frees up ([`WorkerModel::Saturating`] only).
+    worker_busy_until: SimTime,
     queue: EventQueue<Event>,
     apps: HashMap<FourTuple, AppEndpoint>,
     dns_clients: HashMap<FourTuple, DnsClient>,
@@ -222,6 +238,9 @@ impl MopEyeEngine {
             cost: CostModel::android_phone(),
             ledger: CpuLedger::new(),
             pool: BufferPool::for_packets(),
+            flow_rngs: HashMap::new(),
+            writer_lanes: HashMap::new(),
+            worker_busy_until: SimTime::ZERO,
             queue: EventQueue::new(),
             apps: HashMap::new(),
             dns_clients: HashMap::new(),
@@ -263,19 +282,99 @@ impl MopEyeEngine {
 
     /// Runs an explicit list of flows to completion and reports.
     pub fn run_flows(&mut self, flows: Vec<FlowSpec>) -> RunReport {
+        self.reserve_flows(flows.len());
         for spec in flows {
             self.packages.install(spec.uid, &spec.package);
             self.queue.schedule(spec.at, Event::FlowStart(spec));
         }
+        let max_events = self.config.max_events;
         while let Some((at, event)) = self.queue.pop() {
             self.clock.advance_to(at);
             self.events_processed += 1;
-            if self.events_processed > MAX_EVENTS {
+            if self.events_processed > max_events {
                 break;
             }
             self.handle(at, event);
         }
         self.report()
+    }
+
+    /// Pre-sizes the per-flow tables for `flows` concurrent connections, so
+    /// a fleet-scale run pays its table growth up front rather than on the
+    /// packet path.
+    pub fn reserve_flows(&mut self, flows: usize) {
+        self.apps.reserve(flows);
+        self.flow_meta.reserve(flows);
+        self.flow_registered_at.reserve(flows);
+        self.socket_by_flow.reserve(flows);
+        if self.config.discipline == EngineDiscipline::FlowKeyed {
+            self.flow_rngs.reserve(flows);
+            self.writer_lanes.reserve(flows);
+        }
+    }
+
+    // ----- flow-keyed state -----------------------------------------------
+
+    /// Checks out the RNG stream backing `flow`'s noise: the device-wide
+    /// stream under [`EngineDiscipline::SharedDevice`], the flow's own
+    /// stream (seeded from `config.seed ^ hash(flow)`) under
+    /// [`EngineDiscipline::FlowKeyed`]. Pair with
+    /// [`MopEyeEngine::checkin_rng`].
+    fn checkout_rng(&mut self, flow: FourTuple) -> SimRng {
+        match self.config.discipline {
+            EngineDiscipline::SharedDevice => {
+                std::mem::replace(&mut self.rng, SimRng::seed_from_u64(0))
+            }
+            EngineDiscipline::FlowKeyed => {
+                let key = flow.canonical();
+                self.flow_rngs.remove(&key).unwrap_or_else(|| {
+                    SimRng::seed_from_u64(
+                        self.config.seed ^ key.stable_hash() ^ ENGINE_KEY_SALT,
+                    )
+                })
+            }
+        }
+    }
+
+    /// Returns a stream checked out with [`MopEyeEngine::checkout_rng`].
+    fn checkin_rng(&mut self, flow: FourTuple, rng: SimRng) {
+        match self.config.discipline {
+            EngineDiscipline::SharedDevice => self.rng = rng,
+            EngineDiscipline::FlowKeyed => {
+                self.flow_rngs.insert(flow.canonical(), rng);
+            }
+        }
+    }
+
+    /// [`MopEyeEngine::checkout_rng`] for packets whose four-tuple may be
+    /// absent (malformed or non-IP): those fall back to the shared stream.
+    fn checkout_rng_opt(&mut self, flow: Option<FourTuple>) -> SimRng {
+        match flow {
+            Some(flow) => self.checkout_rng(flow),
+            None => std::mem::replace(&mut self.rng, SimRng::seed_from_u64(0)),
+        }
+    }
+
+    /// Returns a stream checked out with [`MopEyeEngine::checkout_rng_opt`].
+    fn checkin_rng_opt(&mut self, flow: Option<FourTuple>, rng: SimRng) {
+        match flow {
+            Some(flow) => self.checkin_rng(flow, rng),
+            None => self.rng = rng,
+        }
+    }
+
+    /// The start time of a MainWorker processing step that costs `cost`:
+    /// immediate under [`WorkerModel::Unbounded`]; queued behind the worker's
+    /// backlog (and occupying it) under [`WorkerModel::Saturating`].
+    fn worker_start(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
+        match self.config.worker {
+            WorkerModel::Unbounded => now,
+            WorkerModel::Saturating => {
+                let start = now.max(self.worker_busy_until);
+                self.worker_busy_until = start + cost;
+                start
+            }
+        }
     }
 
     fn report(&mut self) -> RunReport {
@@ -326,7 +425,13 @@ impl MopEyeEngine {
     }
 
     fn on_flow_start(&mut self, now: SimTime, spec: FlowSpec) {
-        let src = Endpoint::v4(10, 0, 0, 2, self.alloc_port());
+        // Fleet scenarios pre-assign the source endpoint so the four-tuple is
+        // a pure function of the spec; single-device flows draw from the
+        // engine's sequential port pool.
+        let src = match spec.src {
+            Some(src) => src,
+            None => Endpoint::v4(10, 0, 0, 2, self.alloc_port()),
+        };
         match spec.kind {
             FlowKind::Tcp => {
                 let flow = FourTuple::new(src, spec.dst);
@@ -388,25 +493,58 @@ impl MopEyeEngine {
     /// device hands MopEye bytes, not parsed structures — and recycles the
     /// buffer once the MainWorker has processed it.
     fn inject_app_packet(&mut self, at: SimTime, packet: Packet) {
+        let flow_key = packet.four_tuple();
         let mut buf = self.pool.get();
         packet.encode_into(&mut buf);
         self.tun.record_app_write(buf.len());
-        let retrieval = self.reader.retrieve(at, &self.cost, &mut self.rng);
-        self.ledger.charge("TunReader", retrieval.polling_cpu + self.cost.tun_read.sample(&mut self.rng));
+        let mut rng = self.checkout_rng_opt(flow_key);
+        let retrieval = self.reader.retrieve(at, &self.cost, &mut rng);
+        self.ledger.charge("TunReader", retrieval.polling_cpu + self.cost.tun_read.sample(&mut rng));
         // TunReader puts the packet in the read queue and wakes the selector
         // so MainWorker notices it (§3.2).
         self.selector.wakeup();
-        let handoff = self.cost.context_switch.sample(&mut self.rng);
+        let handoff = self.cost.context_switch.sample(&mut rng);
+        self.checkin_rng_opt(flow_key, rng);
         self.queue.schedule(retrieval.retrieved_at + handoff, Event::ProcessTunPacket(buf));
     }
 
     /// Writes a packet towards the apps through the TunWriter and schedules
     /// its delivery. The one owned packet travels straight into the delivery
     /// event; the device and the writer only see its wire length.
+    ///
+    /// Under the shared-device discipline every packet goes through the one
+    /// writer-thread timing lane (queue serialisation couples flows, as on a
+    /// real handset). Under the flow-keyed discipline each connection has its
+    /// own lane and a fixed concurrent-writer count, so the write timing of a
+    /// flow depends only on that flow's own packet train.
     fn write_to_tunnel(&mut self, now: SimTime, packet: Packet) {
-        let writers = 1 + usize::from(!self.connect_pre_ts.is_empty());
-        let outcome =
-            self.writer.submit(now, writers, &self.cost, &mut self.rng, &mut self.ledger);
+        let flow_key = packet.four_tuple();
+        let mut rng = self.checkout_rng_opt(flow_key);
+        let outcome = match self.config.discipline {
+            EngineDiscipline::SharedDevice => {
+                let writers = 1 + usize::from(!self.connect_pre_ts.is_empty());
+                self.writer.submit(now, writers, &self.cost, &mut rng, &mut self.ledger)
+            }
+            EngineDiscipline::FlowKeyed => {
+                let key = flow_key.map(|f| f.canonical());
+                let mut lane = key
+                    .and_then(|k| self.writer_lanes.get(&k).copied())
+                    .unwrap_or_default();
+                let outcome = self.writer.submit_lane(
+                    &mut lane,
+                    now,
+                    2,
+                    &self.cost,
+                    &mut rng,
+                    &mut self.ledger,
+                );
+                if let Some(k) = key {
+                    self.writer_lanes.insert(k, lane);
+                }
+                outcome
+            }
+        };
+        self.checkin_rng_opt(flow_key, rng);
         self.tun.record_relay_write(packet.wire_len());
         self.queue.schedule(outcome.written_at, Event::DeliverToApp(packet));
     }
@@ -426,10 +564,20 @@ impl MopEyeEngine {
     }
 
     fn on_process_tun_packet(&mut self, now: SimTime, buf: Vec<u8>) {
-        // MainWorker parses the IP/TCP headers: a small per-packet cost.
-        self.ledger.charge("MainWorker", SimDuration::from_micros(self.rng.int_inclusive(4, 25)));
         match PacketView::parse(&buf) {
-            Ok(packet) => self.relay_tun_packet(now, &packet),
+            Ok(packet) => {
+                // MainWorker parses the IP/TCP headers: a small per-packet
+                // cost, drawn from the flow's stream and — under the
+                // saturating worker model — occupying the worker, so packets
+                // arriving faster than it drains them queue behind it.
+                let flow_key = packet.four_tuple();
+                let mut rng = self.checkout_rng_opt(flow_key);
+                let parse_cost = SimDuration::from_micros(rng.int_inclusive(4, 25));
+                self.checkin_rng_opt(flow_key, rng);
+                self.ledger.charge("MainWorker", parse_cost);
+                let start = self.worker_start(now, parse_cost);
+                self.relay_tun_packet(start, &packet);
+            }
             Err(_) => self.relay.parse_errors += 1,
         }
         self.pool.put(buf);
@@ -470,6 +618,23 @@ impl MopEyeEngine {
                 for action in actions {
                     self.apply_action(now, flow, action);
                 }
+                // A torn-down connection's tail (the app's final ACK after
+                // RemoveClient already ran) lands on a freshly created
+                // machine and is discarded; the machine is still in Listen
+                // because only a SYN moves it off. Drop that zombie client
+                // and the keyed state the tail packet recreated, so a fleet
+                // run's memory tracks live connections. (Flow-keyed only:
+                // the single-device engine keeps its historical behaviour
+                // bit-for-bit.)
+                if self.config.discipline == EngineDiscipline::FlowKeyed
+                    && self
+                        .clients
+                        .get(flow)
+                        .is_some_and(|c| c.state() == mop_tcpstack::TcpState::Listen)
+                {
+                    self.clients.remove(flow);
+                    self.release_flow_state(flow);
+                }
                 self.update_memory_ledger();
             }
             TransportView::Udp(datagram) => {
@@ -498,15 +663,26 @@ impl MopEyeEngine {
     /// The socket-connect thread (§2.4): blocking connect with clean
     /// timestamps, then lazy mapping and selector registration.
     fn start_connect(&mut self, now: SimTime, flow: FourTuple, dst: Endpoint) {
-        let spawn = self.cost.thread_spawn.sample(&mut self.rng);
+        let mut rng = self.checkout_rng(flow);
+        let spawn = self.cost.thread_spawn.sample(&mut rng);
         self.ledger.charge("ConnectThreads", spawn);
         let mut t = now + spawn;
         if self.config.protect == ProtectMode::PerSocket {
-            let protect = self.cost.protect_call.sample(&mut self.rng);
+            let protect = self.cost.protect_call.sample(&mut rng);
             self.ledger.charge("ConnectThreads", protect);
             t += protect;
         }
-        let socket = self.sockets.create(SocketMode::Blocking);
+        self.checkin_rng(flow, rng);
+        // Flow-keyed runs bind the external socket to the app flow's source,
+        // so the external four-tuple (which keys the network's per-flow RNG
+        // stream and the wire tap) is a pure function of the flow rather
+        // than of socket-creation order.
+        let socket = match self.config.discipline {
+            EngineDiscipline::SharedDevice => self.sockets.create(SocketMode::Blocking),
+            EngineDiscipline::FlowKeyed => {
+                self.sockets.create_bound(SocketMode::Blocking, flow.src)
+            }
+        };
         if self.config.protect == ProtectMode::PerSocket {
             self.sockets.protect(socket);
         }
@@ -525,17 +701,25 @@ impl MopEyeEngine {
         let Some(&socket) = self.socket_by_flow.get(&flow) else { return };
         let state = self.sockets.poll_connect(socket, now);
         let pre = self.connect_pre_ts.remove(&flow).unwrap_or(now);
+        let mut rng = self.checkout_rng(flow);
         // Post-connect timestamp: exact in the blocking connect thread, or
         // delayed by the selector dispatch when taken from the event loop.
         let mut post = now;
         if self.config.timestamp_mode == TimestampMode::SelectorNotification {
-            post += self.cost.sample_dispatch_delay(&mut self.rng);
+            post += self.cost.sample_dispatch_delay(&mut rng);
         }
         let post = self.timestamp(post);
         let outcome = self.sockets.connect_outcome(socket);
         match state {
             SocketState::Connected => {
                 self.relay.connects_ok += 1;
+                // Register the channel with the selector only after the
+                // internal handshake work is done (§3.4). The cost is drawn
+                // from the flow's stream before the mapper runs, because the
+                // mapper's draw count depends on the co-resident connection
+                // table and must not advance this stream.
+                let register = self.cost.selector_register.sample(&mut rng);
+                self.checkin_rng(flow, rng);
                 // Lazy mapping happens here, in the connect thread, after the
                 // handshake with the server is complete (§3.3).
                 let (uid, package) = self.map_flow(flow, now);
@@ -544,9 +728,6 @@ impl MopEyeEngine {
                     client.app_uid = uid;
                     client.app_package = package.clone();
                 }
-                // Register the channel with the selector only after the
-                // internal handshake work is done (§3.4).
-                let register = self.cost.selector_register.sample(&mut self.rng);
                 self.ledger.charge("ConnectThreads", register);
                 self.selector.register(socket);
                 self.sockets.set_mode(socket, SocketMode::NonBlocking);
@@ -577,6 +758,7 @@ impl MopEyeEngine {
                 }
             }
             SocketState::ConnectFailed { refused } => {
+                self.checkin_rng(flow, rng);
                 self.relay.connects_failed += 1;
                 if let Some(client) = self.clients.get_mut(flow) {
                     let packets = client.machine_mut().on_external_connect_failed(refused);
@@ -586,26 +768,45 @@ impl MopEyeEngine {
                 }
                 self.finish_flow(flow, now, false);
             }
-            _ => {}
+            _ => self.checkin_rng(flow, rng),
         }
     }
 
     fn map_flow(&mut self, flow: FourTuple, now: SimTime) -> (Option<u32>, Option<String>) {
         let registered_at = self.flow_registered_at.get(&flow).copied().unwrap_or(now);
-        let outcome = match &mut self.mapper {
-            Mapper::Eager(m) => m.map(&self.conn_table, &self.cost, &mut self.rng, flow),
-            Mapper::Cached(m) => m.map(&self.conn_table, &self.cost, &mut self.rng, flow),
-            Mapper::Lazy(m) => {
-                m.map(&self.conn_table, &self.cost, &mut self.rng, flow, registered_at, now)
+        // The mapper's draw count scales with the connection table (a
+        // `/proc/net` parse samples a cost per entry), and the table holds
+        // whatever flows happen to be co-resident. Under the flow-keyed
+        // discipline those draws come from a throwaway stream derived for
+        // this flow, so they cannot perturb any flow's main stream; only the
+        // CPU ledger sees the variance.
+        let mut keyed_rng;
+        let rng: &mut SimRng = match self.config.discipline {
+            EngineDiscipline::SharedDevice => &mut self.rng,
+            EngineDiscipline::FlowKeyed => {
+                keyed_rng = SimRng::seed_from_u64(
+                    self.config.seed ^ flow.canonical().stable_hash() ^ MAPPING_KEY_SALT,
+                );
+                &mut keyed_rng
             }
         };
+        let outcome = match &mut self.mapper {
+            Mapper::Eager(m) => m.map(&self.conn_table, &self.cost, rng, flow),
+            Mapper::Cached(m) => m.map(&self.conn_table, &self.cost, rng, flow),
+            Mapper::Lazy(m) => {
+                m.map(&self.conn_table, &self.cost, rng, flow, registered_at, now)
+            }
+        };
+        let lookup_cost = outcome
+            .uid
+            .map(|_| SimDuration::from_millis_f64(self.cost.package_lookup.sample_ms(rng)));
         let charge_to = match self.config.mapping {
             MappingStrategy::Lazy => "ConnectThreads",
             _ => "MainWorker",
         };
         self.ledger.charge(charge_to, outcome.cpu_cost);
         let package = outcome.uid.and_then(|uid| {
-            self.ledger.charge(charge_to, self.cost.package_lookup.sample(&mut self.rng));
+            self.ledger.charge(charge_to, lookup_cost.unwrap_or(SimDuration::ZERO));
             self.packages.name_for_uid_cached(uid)
         });
         (outcome.uid, package)
@@ -613,7 +814,9 @@ impl MopEyeEngine {
 
     fn relay_data(&mut self, now: SimTime, flow: FourTuple, bytes: &[u8]) {
         if self.config.content_inspection {
-            let inspect = self.cost.sample_content_inspection(bytes.len(), &mut self.rng);
+            let mut rng = self.checkout_rng(flow);
+            let inspect = self.cost.sample_content_inspection(bytes.len(), &mut rng);
+            self.checkin_rng(flow, rng);
             self.ledger.charge("Inspection", inspect);
         }
         let Some(&socket) = self.socket_by_flow.get(&flow) else { return };
@@ -644,17 +847,23 @@ impl MopEyeEngine {
         let data = self.sockets.take_readable_pooled(socket, now);
         let total = data.len();
         if total > 0 {
+            let mut rng = self.checkout_rng(flow);
             if self.config.content_inspection {
-                let inspect = self.cost.sample_content_inspection(total, &mut self.rng);
+                let inspect = self.cost.sample_content_inspection(total, &mut rng);
                 self.ledger.charge("Inspection", inspect);
             }
-            self.ledger.charge("MainWorker", SimDuration::from_micros(self.rng.int_inclusive(10, 60)));
+            let segment_cost = SimDuration::from_micros(rng.int_inclusive(10, 60));
+            self.checkin_rng(flow, rng);
+            self.ledger.charge("MainWorker", segment_cost);
+            // Segmenting server data back towards the app is MainWorker
+            // work: under the saturating model it queues behind the backlog.
+            let start = self.worker_start(now, segment_cost);
             if let Some(client) = self.clients.get_mut(flow) {
                 let packets = client.machine_mut().on_external_data(&data);
                 self.relay.data_segments_in += packets.len() as u64;
                 self.relay.bytes_in += total as u64;
                 for pkt in packets {
-                    self.write_to_tunnel(now, pkt);
+                    self.write_to_tunnel(start, pkt);
                 }
             }
         }
@@ -704,7 +913,24 @@ impl MopEyeEngine {
         self.clients.remove(flow);
         self.conn_table.remove(flow);
         self.finish_flow(flow, now, true);
+        self.release_flow_state(flow);
         self.update_memory_ledger();
+    }
+
+    /// Evicts a finished flow's keyed stochastic state (RNG stream, writer
+    /// lane, network context), so shard memory is bounded by *concurrent*
+    /// flows, not by every flow a fleet run has ever seen.
+    ///
+    /// Safe for determinism: if a stray late packet recreates the state, the
+    /// fresh stream restarts from the flow's seed — still a pure function of
+    /// `(seed, four-tuple)`, so every shard count recreates it identically.
+    fn release_flow_state(&mut self, flow: FourTuple) {
+        if self.config.discipline == EngineDiscipline::FlowKeyed {
+            let key = flow.canonical();
+            self.flow_rngs.remove(&key);
+            self.writer_lanes.remove(&key);
+            self.net.release_flow(flow);
+        }
     }
 
     fn finish_flow(&mut self, flow: FourTuple, now: SimTime, completed: bool) {
@@ -722,7 +948,9 @@ impl MopEyeEngine {
     fn start_dns_measurement(&mut self, now: SimTime, flow: FourTuple, id: u16, name: &str) {
         // The whole DNS processing runs in a temporary blocking-mode thread
         // (§2.4): socket set-up, then a blocking send/receive pair.
-        let spawn = self.cost.thread_spawn.sample(&mut self.rng);
+        let mut rng = self.checkout_rng(flow);
+        let spawn = self.cost.thread_spawn.sample(&mut rng);
+        self.checkin_rng(flow, rng);
         self.ledger.charge("DnsThreads", spawn);
         let send_at = now + spawn;
         let outcome = self.net.dns_lookup(flow.src, name, send_at);
@@ -769,6 +997,9 @@ impl MopEyeEngine {
             let _ = assoc;
         }
         self.write_to_tunnel(now, packet);
+        // The DNS exchange is complete; its keyed state will not be used
+        // again (the response delivery draws nothing).
+        self.release_flow_state(flow);
     }
 
     // ----- app side -------------------------------------------------------
@@ -838,6 +1069,7 @@ mod tests {
             at: SimTime::from_millis(10),
             uid: 10_100,
             package: "com.android.chrome".into(),
+            src: None,
             dst: google(),
             domain: Some("www.google.com".into()),
             request_bytes: request,
@@ -877,6 +1109,7 @@ mod tests {
             at: SimTime::from_millis(5),
             uid: 10_100,
             package: "com.android.chrome".into(),
+            src: None,
             dst: Endpoint::v4(192, 168, 1, 1, 53),
             domain: Some("www.google.com".into()),
             request_bytes: 0,
@@ -1000,6 +1233,27 @@ mod tests {
         let hay_cpu = hay_report.ledger.cpu_percent(hay_report.finished_at - SimTime::ZERO);
         assert!(hay_cpu > mop_cpu, "haystack {hay_cpu}% vs mopeye {mop_cpu}%");
         assert!(hay_report.ledger.memory_peak_bytes() > mop_report.ledger.memory_peak_bytes() * 5);
+    }
+
+    #[test]
+    fn flow_keyed_engine_evicts_finished_flow_state() {
+        let flows: Vec<FlowSpec> = (0..30)
+            .map(|i| {
+                let mut f = one_flow(300, 2048);
+                f.src = Some(Endpoint::v4(10, 1, 0, i as u8, 40_000));
+                f.at = SimTime::from_millis(10 + 40 * i as u64);
+                f
+            })
+            .collect();
+        let mut engine = MopEyeEngine::new(MopEyeConfig::fleet_shard(), network());
+        let report = engine.run_flows(flows);
+        assert_eq!(report.relay.connects_ok, 30);
+        // Teardown released the keyed state: memory is bounded by concurrent
+        // flows, not total flows — entries recreated by the app's final ACKs
+        // are swept by the zombie-client cleanup.
+        assert_eq!(engine.flow_rngs.len(), 0, "flow RNG streams not evicted");
+        assert_eq!(engine.writer_lanes.len(), 0, "writer lanes not evicted");
+        assert_eq!(engine.clients.len(), 0, "zombie clients not removed");
     }
 
     #[test]

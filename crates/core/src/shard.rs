@@ -1,0 +1,454 @@
+//! The sharded multi-worker relay engine.
+//!
+//! A single [`MopEyeEngine`] is one event loop — one core, no matter how fast
+//! the per-packet code is. [`FleetEngine`] scales the relay out the way a
+//! production deployment would: every connection four-tuple is hashed
+//! ([`mop_packet::FourTuple::stable_hash`]) to one of N *shards*, and each
+//! shard is a complete engine of its own — its own event loop, buffer pool,
+//! TCP machine set, connection table and simulated network — running on its
+//! own worker thread.
+//!
+//! ```text
+//!                      ┌─ SPSC ─▶ shard 0 (engine, pool, tcpstack, procnet) ─ SPSC ─┐
+//!  TUN ingress ── hash ┼─ SPSC ─▶ shard 1 (engine, pool, tcpstack, procnet) ─ SPSC ─┼─▶ sink
+//!  (dispatcher)        └─ SPSC ─▶ shard N (engine, pool, tcpstack, procnet) ─ SPSC ─┘  (merge)
+//! ```
+//!
+//! The dispatcher feeds each shard through a bounded
+//! [`mop_simnet::spsc`] queue (back-pressure instead of unbounded buffering),
+//! and each shard hands its results to the measurement sink the same way.
+//! In steady state nothing on the path allocates: the queues are
+//! pre-allocated rings and each shard's packet loop runs on its own pools.
+//!
+//! # Determinism
+//!
+//! Shard workers always run the [`EngineDiscipline::FlowKeyed`] discipline:
+//! every flow's RNG streams, link reservations, writer-queue lane and source
+//! endpoint are pure functions of `(seed, four-tuple)`. A flow's timeline is
+//! therefore identical no matter which shard executes it — so the *merged*
+//! report is identical for 1, 2 or 8 shards, bit for bit, which
+//! [`FleetReport::digest`] makes checkable in one comparison.
+//!
+//! # Scaling
+//!
+//! With [`WorkerModel::Saturating`], each shard's MainWorker is a serial
+//! resource; a workload that saturates one worker completes ~N× faster in
+//! virtual time on N shards. The fleet benchmark measures exactly that
+//! (aggregate relay goodput at 1/2/4/8 shards).
+
+use mop_simnet::{spsc_channel, SimNetworkBuilder, SimTime};
+use mop_tun::FlowSpec;
+use mop_packet::{FourTuple, StableHasher};
+
+use crate::config::{EngineDiscipline, MopEyeConfig, WorkerModel};
+use crate::engine::{MopEyeEngine, RunReport};
+use crate::stats::SampleKind;
+
+/// Configuration of a [`FleetEngine`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of shards (worker threads). Clamped to at least 1.
+    pub shards: usize,
+    /// The per-shard engine configuration. The discipline is forced to
+    /// [`EngineDiscipline::FlowKeyed`] — the sharded merge is only
+    /// well-defined under flow-keyed state.
+    pub engine: MopEyeConfig,
+    /// Slot count of each shard's ingress queue; the dispatcher blocks (and
+    /// yields) when a shard falls this far behind.
+    pub ingress_capacity: usize,
+}
+
+impl FleetConfig {
+    /// A fleet of `shards` relay workers running the released MopEye
+    /// configuration with a generous event budget.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+            engine: MopEyeConfig::fleet_shard().with_max_events(u64::MAX),
+            ingress_capacity: 4096,
+        }
+    }
+
+    /// Enables the saturating MainWorker model (see [`WorkerModel`]), under
+    /// which relay capacity scales with the shard count.
+    pub fn saturating(mut self) -> Self {
+        self.engine = self.engine.with_worker(WorkerModel::Saturating);
+        self
+    }
+
+    /// Sets the engine seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.engine = self.engine.with_seed(seed);
+        self
+    }
+}
+
+/// What one shard did during a fleet run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardOutcome {
+    /// The shard index.
+    pub shard: usize,
+    /// Connections hashed to this shard.
+    pub flows_assigned: usize,
+    /// Events the shard's loop processed.
+    pub events_processed: u64,
+    /// Virtual time at which the shard drained its last event.
+    pub finished_at: SimTime,
+    /// RTT samples the shard produced.
+    pub samples: usize,
+}
+
+/// The merged result of a fleet run plus the per-shard breakdown.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Shard count the run used.
+    pub shards: usize,
+    /// The cross-shard merge: samples and flows in canonical order, counters
+    /// summed, `finished_at` the maximum over shards. Under the flow-keyed
+    /// discipline this is identical for every shard count.
+    pub merged: RunReport,
+    /// Per-shard outcomes, ordered by shard index.
+    pub per_shard: Vec<ShardOutcome>,
+}
+
+impl FleetReport {
+    /// A stable 64-bit digest of the merged report's semantic content
+    /// (samples, relay counters, flow outcomes, TUN counters, finish time,
+    /// event count). Two runs are behaviourally identical iff their digests
+    /// match — the one-line determinism check.
+    pub fn digest(&self) -> u64 {
+        self.merged.fleet_digest()
+    }
+
+    /// Aggregate relay goodput over the whole fleet: response bytes
+    /// delivered to apps divided by the busy interval, in Mbit/s. Under the
+    /// saturating worker model this is the relay's modelled capacity.
+    pub fn relay_throughput_mbps(&self) -> Option<f64> {
+        self.merged.download_goodput_mbps()
+    }
+}
+
+/// The sharded multi-worker relay engine. See the [module docs](self).
+#[derive(Debug)]
+pub struct FleetEngine {
+    config: FleetConfig,
+    net_builder: SimNetworkBuilder,
+}
+
+impl FleetEngine {
+    /// Creates a fleet over the network described by `net_builder` (each
+    /// shard builds its own copy, switched to flow-keyed mode).
+    pub fn new(mut config: FleetConfig, net_builder: SimNetworkBuilder) -> Self {
+        config.shards = config.shards.max(1);
+        config.ingress_capacity = config.ingress_capacity.max(1);
+        config.engine = config.engine.with_discipline(EngineDiscipline::FlowKeyed);
+        Self { config, net_builder }
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The shard a flow spec is dispatched to: a stable hash of its
+    /// four-tuple modulo the shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no pre-assigned source endpoint — fleet flows
+    /// must carry one (scenario generators do), because the four-tuple *is*
+    /// the shard key.
+    pub fn shard_of(spec: &FlowSpec, shards: usize) -> usize {
+        let src = spec
+            .src
+            .expect("fleet flows must pre-assign FlowSpec::src (the four-tuple is the shard key)");
+        (FourTuple::new(src, spec.dst).stable_hash() % shards.max(1) as u64) as usize
+    }
+
+    /// Runs `flows` across the shards to completion and merges the results.
+    pub fn run(&self, flows: Vec<FlowSpec>) -> FleetReport {
+        let shards = self.config.shards;
+        // Hash each four-tuple once: the counting pass remembers every
+        // flow's shard so the dispatch loop below just indexes.
+        let assignment: Vec<usize> =
+            flows.iter().map(|spec| Self::shard_of(spec, shards)).collect();
+        let mut flows_assigned = vec![0usize; shards];
+        for &shard in &assignment {
+            flows_assigned[shard] += 1;
+        }
+
+        let mut shard_reports: Vec<(usize, RunReport)> = Vec::with_capacity(shards);
+        std::thread::scope(|scope| {
+            let mut ingress = Vec::with_capacity(shards);
+            let mut sinks = Vec::with_capacity(shards);
+            for &expected in flows_assigned.iter().take(shards) {
+                let (flow_tx, flow_rx) = spsc_channel::<FlowSpec>(self.config.ingress_capacity);
+                let (report_tx, report_rx) = spsc_channel::<RunReport>(1);
+                let engine_config = self.config.engine.clone();
+                let builder = self.net_builder.clone();
+                scope.spawn(move || {
+                    let net = builder.flow_keyed().build();
+                    let mut engine = MopEyeEngine::new(engine_config, net);
+                    let mut shard_flows = Vec::with_capacity(expected);
+                    while let Some(spec) = flow_rx.recv() {
+                        shard_flows.push(spec);
+                    }
+                    let report = engine.run_flows(shard_flows);
+                    let _ = report_tx.send(report);
+                });
+                ingress.push(flow_tx);
+                sinks.push(report_rx);
+            }
+            // The TUN ingress: push every connection to its shard through
+            // the bounded queue (back-pressure when a shard lags).
+            for (spec, shard) in flows.into_iter().zip(assignment) {
+                ingress[shard].send(spec).expect("shard worker hung up");
+            }
+            drop(ingress); // Close the queues; workers drain and run.
+            for (shard, sink) in sinks.into_iter().enumerate() {
+                let report = sink.recv().expect("shard delivers exactly one report");
+                shard_reports.push((shard, report));
+            }
+        });
+
+        let mut merged = RunReport::empty();
+        let mut per_shard = Vec::with_capacity(shards);
+        for (shard, report) in shard_reports {
+            per_shard.push(ShardOutcome {
+                shard,
+                flows_assigned: flows_assigned[shard],
+                events_processed: report.events_processed,
+                finished_at: report.finished_at,
+                samples: report.samples.len(),
+            });
+            merged.absorb(report);
+        }
+        merged.canonicalise();
+        FleetReport { shards, merged, per_shard }
+    }
+}
+
+impl RunReport {
+    /// An all-zero report, the identity element of [`RunReport::absorb`].
+    pub fn empty() -> Self {
+        Self {
+            samples: Vec::new(),
+            relay: Default::default(),
+            mapping: Default::default(),
+            write_delays: Default::default(),
+            tun: Default::default(),
+            ledger: Default::default(),
+            buffer_pool: Default::default(),
+            socket_read_pool: Default::default(),
+            flows: Vec::new(),
+            finished_at: SimTime::ZERO,
+            events_processed: 0,
+        }
+    }
+
+    /// Merges another (shard's) report into this one: samples and flows are
+    /// concatenated, counters summed, `finished_at` maximised. Call
+    /// [`RunReport::canonicalise`] after the last merge.
+    pub fn absorb(&mut self, other: RunReport) {
+        self.samples.extend(other.samples);
+        self.relay.merge(&other.relay);
+        self.mapping.merge(&other.mapping);
+        self.write_delays.merge(&other.write_delays);
+        self.tun.merge(&other.tun);
+        self.ledger.merge(&other.ledger);
+        self.buffer_pool.merge(&other.buffer_pool);
+        self.socket_read_pool.merge(&other.socket_read_pool);
+        self.flows.extend(other.flows);
+        self.finished_at = self.finished_at.max(other.finished_at);
+        self.events_processed += other.events_processed;
+    }
+
+    /// Sorts samples and flow outcomes into their canonical order
+    /// (measurement time, then flow), so equal flow sets produce equal
+    /// reports regardless of how they were partitioned.
+    pub fn canonicalise(&mut self) {
+        self.samples.sort_by(|a, b| {
+            (a.at, a.flow, sample_kind_tag(a.kind)).cmp(&(b.at, b.flow, sample_kind_tag(b.kind)))
+        });
+        self.flows.sort_by_key(|f| f.flow);
+    }
+
+    /// A stable FNV-1a digest over the report's semantic content: every RTT
+    /// sample, the relay counters, every flow outcome, the TUN counters, the
+    /// finish time and the event count.
+    ///
+    /// Resource *accounting* (CPU ledger, pool statistics, mapping cost
+    /// samples, write-delay histograms) is deliberately excluded: how much a
+    /// shard's `/proc/net` parse cost or how many buffers a pool pre-grew
+    /// depends on which flows were co-resident, which is partition-specific
+    /// bookkeeping, not relay behaviour.
+    pub fn fleet_digest(&self) -> u64 {
+        let mut fnv = StableHasher::new();
+        let mut order: Vec<usize> = (0..self.samples.len()).collect();
+        order.sort_by(|&i, &j| {
+            let a = &self.samples[i];
+            let b = &self.samples[j];
+            (a.at, a.flow, sample_kind_tag(a.kind)).cmp(&(b.at, b.flow, sample_kind_tag(b.kind)))
+        });
+        fnv.write_u64(order.len() as u64);
+        for i in order {
+            let s = &self.samples[i];
+            fnv.write_u64(u64::from(sample_kind_tag(s.kind)));
+            fnv.write_u64(s.flow.stable_hash());
+            fnv.write_u64(u64::from(s.uid.unwrap_or(u32::MAX)));
+            fnv.write_str(s.package.as_deref().unwrap_or(""));
+            fnv.write_str(s.domain.as_deref().unwrap_or(""));
+            fnv.write_f64(s.measured_ms);
+            fnv.write_f64(s.true_ms);
+            fnv.write_f64(s.tcpdump_ms.unwrap_or(f64::NEG_INFINITY));
+            fnv.write_u64(s.at.as_nanos());
+        }
+        for c in [
+            self.relay.syns,
+            self.relay.connects_ok,
+            self.relay.connects_failed,
+            self.relay.data_segments_out,
+            self.relay.data_segments_in,
+            self.relay.pure_acks_discarded,
+            self.relay.fins,
+            self.relay.rsts,
+            self.relay.udp_datagrams,
+            self.relay.dns_queries,
+            self.relay.bytes_out,
+            self.relay.bytes_in,
+            self.relay.parse_errors,
+        ] {
+            fnv.write_u64(c);
+        }
+        let mut flow_order: Vec<usize> = (0..self.flows.len()).collect();
+        flow_order.sort_by(|&i, &j| self.flows[i].flow.cmp(&self.flows[j].flow));
+        fnv.write_u64(flow_order.len() as u64);
+        for i in flow_order {
+            let f = &self.flows[i];
+            fnv.write_u64(f.flow.stable_hash());
+            fnv.write_str(&f.package);
+            fnv.write_u64(f.started_at.as_nanos());
+            fnv.write_u64(f.finished_at.as_nanos());
+            fnv.write_u64(f.bytes_received as u64);
+            fnv.write_u64(u64::from(f.completed));
+        }
+        for c in [
+            self.tun.packets_from_apps,
+            self.tun.bytes_from_apps,
+            self.tun.packets_to_apps,
+            self.tun.bytes_to_apps,
+        ] {
+            fnv.write_u64(c);
+        }
+        fnv.write_u64(self.finished_at.as_nanos());
+        fnv.write_u64(self.events_processed);
+        fnv.finish()
+    }
+}
+
+fn sample_kind_tag(kind: SampleKind) -> u8 {
+    match kind {
+        SampleKind::Tcp => 0,
+        SampleKind::Dns => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mop_packet::Endpoint;
+    use mop_simnet::SimNetwork;
+    use mop_tun::FlowKind;
+
+    fn fleet_flows(n: usize) -> Vec<FlowSpec> {
+        (0..n)
+            .map(|i| {
+                let user = i as u32;
+                let src = Endpoint::v4(
+                    10,
+                    (user >> 16) as u8,
+                    (user >> 8) as u8,
+                    user as u8,
+                    40_000 + (i % 1000) as u16,
+                );
+                FlowSpec {
+                    at: SimTime::from_millis(5 + (i as u64 * 7) % 2000),
+                    uid: 10_100 + (user % 7),
+                    package: format!("com.fleet.app{}", user % 7),
+                    src: Some(src),
+                    dst: Endpoint::v4(216, 58, 221, 132, 443),
+                    domain: Some("www.google.com".into()),
+                    request_bytes: 300,
+                    close_after: 4 * 1024,
+                    kind: FlowKind::Tcp,
+                }
+            })
+            .collect()
+    }
+
+    fn builder() -> SimNetworkBuilder {
+        SimNetwork::builder().seed(99).with_table2_destinations()
+    }
+
+    #[test]
+    fn sharding_covers_all_shards_and_is_stable() {
+        let flows = fleet_flows(256);
+        let mut counts = [0usize; 8];
+        for f in &flows {
+            let s = FleetEngine::shard_of(f, 8);
+            assert_eq!(s, FleetEngine::shard_of(f, 8), "assignment is stable");
+            counts[s] += 1;
+        }
+        assert!(counts.iter().all(|c| *c > 8), "uneven sharding: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "pre-assign FlowSpec::src")]
+    fn fleet_flows_without_src_panic() {
+        let mut flow = fleet_flows(1).remove(0);
+        flow.src = None;
+        FleetEngine::shard_of(&flow, 4);
+    }
+
+    #[test]
+    fn merged_report_is_identical_across_shard_counts() {
+        let flows = fleet_flows(300);
+        let mut digests = Vec::new();
+        for shards in [1usize, 3, 8] {
+            let fleet = FleetEngine::new(FleetConfig::new(shards), builder());
+            let report = fleet.run(flows.clone());
+            assert_eq!(report.per_shard.len(), shards);
+            assert_eq!(report.merged.flows.len(), 300);
+            assert_eq!(report.merged.relay.syns, 300);
+            digests.push((report.digest(), report.merged.relay.clone(), report.merged.finished_at));
+        }
+        assert_eq!(digests[0], digests[1], "1 vs 3 shards");
+        assert_eq!(digests[1], digests[2], "3 vs 8 shards");
+    }
+
+    #[test]
+    fn different_seeds_produce_different_digests() {
+        let flows = fleet_flows(60);
+        let a = FleetEngine::new(FleetConfig::new(2).with_seed(1), builder()).run(flows.clone());
+        let b = FleetEngine::new(FleetConfig::new(2).with_seed(2), builder()).run(flows);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn saturating_worker_stretches_a_single_shard() {
+        // A burst far above one worker's capacity: with one shard the
+        // backlog stretches the finish time well past the eight-shard run.
+        let flows = fleet_flows(600);
+        let one = FleetEngine::new(FleetConfig::new(1).saturating(), builder()).run(flows.clone());
+        let eight = FleetEngine::new(FleetConfig::new(8).saturating(), builder()).run(flows);
+        assert!(
+            one.merged.finished_at > eight.merged.finished_at,
+            "1-shard {:?} vs 8-shard {:?}",
+            one.merged.finished_at,
+            eight.merged.finished_at
+        );
+        let t1 = one.relay_throughput_mbps().unwrap();
+        let t8 = eight.relay_throughput_mbps().unwrap();
+        assert!(t8 > t1, "throughput should scale: 1-shard {t1} vs 8-shard {t8}");
+    }
+}

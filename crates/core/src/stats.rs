@@ -77,6 +77,27 @@ pub struct RelayStats {
     pub parse_errors: u64,
 }
 
+impl RelayStats {
+    /// Adds another relay's counters into this one (cross-shard
+    /// aggregation). Every field is a sum, so the merge of any partition of
+    /// a flow set equals the unpartitioned counters.
+    pub fn merge(&mut self, other: &RelayStats) {
+        self.syns += other.syns;
+        self.connects_ok += other.connects_ok;
+        self.connects_failed += other.connects_failed;
+        self.data_segments_out += other.data_segments_out;
+        self.data_segments_in += other.data_segments_in;
+        self.pure_acks_discarded += other.pure_acks_discarded;
+        self.fins += other.fins;
+        self.rsts += other.rsts;
+        self.udp_datagrams += other.udp_datagrams;
+        self.dns_queries += other.dns_queries;
+        self.bytes_out += other.bytes_out;
+        self.bytes_in += other.bytes_in;
+        self.parse_errors += other.parse_errors;
+    }
+}
+
 /// The fate of one app flow at the end of a run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowOutcome {

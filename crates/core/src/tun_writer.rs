@@ -45,6 +45,14 @@ pub struct WriteDelayStats {
 }
 
 impl WriteDelayStats {
+    /// Adds another writer's recorded delays into this one (cross-shard
+    /// aggregation).
+    pub fn merge(&mut self, other: &WriteDelayStats) {
+        self.write_delays_ms.extend_from_slice(&other.write_delays_ms);
+        self.enqueue_delays_ms.extend_from_slice(&other.enqueue_delays_ms);
+        self.consumer_parked_hits += other.consumer_parked_hits;
+    }
+
     /// The fraction of recorded delays of `which` kind that exceed 1 ms — the
     /// paper's "large overheads" rate.
     pub fn large_fraction(values: &[f64]) -> f64 {
@@ -55,12 +63,16 @@ impl WriteDelayStats {
     }
 }
 
-/// The tunnel writer: either a pass-through (direct) or a queue plus a
-/// dedicated writer thread (queued).
-#[derive(Debug)]
-pub struct TunWriter {
-    scheme: WriteScheme,
-    enqueue: EnqueueScheme,
+/// The timing state of one tunnel-writer consumer: when its dedicated writer
+/// thread frees up and when it will give up checking an empty queue and park
+/// in `wait()`.
+///
+/// The single-device engine has exactly one of these (owned by the
+/// [`TunWriter`]). The flow-keyed fleet engine keeps one *per connection*, so
+/// a flow's writer timing depends only on that flow's own packet train — one
+/// of the invariants behind shard-count-independent determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WriterLane {
     /// When the dedicated writer thread becomes free (queued scheme).
     writer_busy_until: SimTime,
     /// When the writer thread last saw the queue become empty.
@@ -68,6 +80,23 @@ pub struct TunWriter {
     /// Time after which the consumer will have parked in `wait()` if no new
     /// packet arrives (depends on the enqueue scheme).
     consumer_parks_at: SimTime,
+}
+
+impl WriterLane {
+    /// A fresh lane with an idle writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The tunnel writer: either a pass-through (direct) or a queue plus a
+/// dedicated writer thread (queued).
+#[derive(Debug)]
+pub struct TunWriter {
+    scheme: WriteScheme,
+    enqueue: EnqueueScheme,
+    /// The single device-wide timing lane used by [`TunWriter::submit`].
+    lane: WriterLane,
     stats: WriteDelayStats,
     packets_written: u64,
 }
@@ -78,9 +107,7 @@ impl TunWriter {
         Self {
             scheme,
             enqueue,
-            writer_busy_until: SimTime::ZERO,
-            queue_empty_since: SimTime::ZERO,
-            consumer_parks_at: SimTime::ZERO,
+            lane: WriterLane::new(),
             stats: WriteDelayStats::default(),
             packets_written: 0,
         }
@@ -91,7 +118,8 @@ impl TunWriter {
         self.scheme
     }
 
-    /// Submits one packet for writing to the tunnel at time `now`.
+    /// Submits one packet for writing to the tunnel at time `now`, using the
+    /// writer's own device-wide timing lane.
     ///
     /// `concurrent_writers` is how many threads currently want to write
     /// (MainWorker plus any socket-connect threads); it only matters for the
@@ -108,6 +136,24 @@ impl TunWriter {
         rng: &mut SimRng,
         ledger: &mut CpuLedger,
     ) -> SubmitOutcome {
+        let mut lane = self.lane;
+        let outcome = self.submit_lane(&mut lane, now, concurrent_writers, cost_model, rng, ledger);
+        self.lane = lane;
+        outcome
+    }
+
+    /// Submits one packet against a caller-owned timing [`WriterLane`]
+    /// (the flow-keyed engine passes each connection's own lane). Statistics
+    /// still accumulate centrally on the writer.
+    pub fn submit_lane(
+        &mut self,
+        lane: &mut WriterLane,
+        now: SimTime,
+        concurrent_writers: usize,
+        cost_model: &CostModel,
+        rng: &mut SimRng,
+        ledger: &mut CpuLedger,
+    ) -> SubmitOutcome {
         self.packets_written += 1;
         match self.scheme {
             WriteScheme::Direct => {
@@ -117,7 +163,7 @@ impl TunWriter {
                 SubmitOutcome { producer_delay: delay, written_at: now + delay }
             }
             WriteScheme::Queue => {
-                let enqueue_delay = self.enqueue_cost(now, cost_model, rng);
+                let enqueue_delay = self.enqueue_cost(lane, now, cost_model, rng);
                 self.stats.enqueue_delays_ms.push(enqueue_delay.as_millis_f64());
                 ledger.charge("MainWorker", enqueue_delay);
                 // The dedicated writer thread drains the queue; it is the only
@@ -125,13 +171,13 @@ impl TunWriter {
                 let write_cost = cost_model.sample_tun_write(1, rng);
                 self.stats.write_delays_ms.push(write_cost.as_millis_f64());
                 ledger.charge("TunWriter", write_cost);
-                let start = (now + enqueue_delay).max(self.writer_busy_until);
+                let start = (now + enqueue_delay).max(lane.writer_busy_until);
                 let written_at = start + write_cost;
-                self.writer_busy_until = written_at;
+                lane.writer_busy_until = written_at;
                 // After finishing this packet the queue is empty again; the
                 // consumer starts its empty-check countdown.
-                self.queue_empty_since = written_at;
-                self.consumer_parks_at = match self.enqueue {
+                lane.queue_empty_since = written_at;
+                lane.consumer_parks_at = match self.enqueue {
                     // Traditional put: the consumer calls `wait()` as soon as
                     // it finds the queue empty.
                     EnqueueScheme::OldPut => written_at,
@@ -146,8 +192,14 @@ impl TunWriter {
         }
     }
 
-    fn enqueue_cost(&mut self, now: SimTime, cost_model: &CostModel, rng: &mut SimRng) -> SimDuration {
-        let consumer_parked = now >= self.consumer_parks_at;
+    fn enqueue_cost(
+        &mut self,
+        lane: &WriterLane,
+        now: SimTime,
+        cost_model: &CostModel,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        let consumer_parked = now >= lane.consumer_parks_at;
         if consumer_parked {
             self.stats.consumer_parked_hits += 1;
             // Waking a parked consumer goes through wait/notify; the producer

@@ -13,12 +13,16 @@
 //! * [`calibration`] — the constants lifted from the paper,
 //! * [`catalog`] — the app, ISP, country and WhatsApp-domain catalogues,
 //! * [`generator`] — the generator proper, producing a
-//!   [`mop_measure::MeasurementStore`].
+//!   [`mop_measure::MeasurementStore`],
+//! * [`scenario`] — declarative fleet-scale traffic scenarios (workload
+//!   mixes × network profiles) for the sharded relay engine.
 
 pub mod calibration;
 pub mod catalog;
 pub mod generator;
+pub mod scenario;
 
 pub use calibration::Calibration;
 pub use catalog::{AppEntry, Catalog, CountryEntry, IspEntry};
 pub use generator::{DatasetSpec, SyntheticDataset};
+pub use scenario::{NetProfile, Scenario, ScenarioSpec, TrafficMix};

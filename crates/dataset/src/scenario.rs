@@ -1,0 +1,382 @@
+//! Declarative fleet-scale traffic scenarios.
+//!
+//! The paper's evaluation drives the relay with one workload at a time on
+//! one handset. The fleet engine needs the opposite: *mixes* of app
+//! behaviours (web browsing, video streaming, bulk download, DNS-heavy,
+//! idle-chatty background apps) crossed with *network profiles* (Wi-Fi, LTE,
+//! lossy 3G, mid-session handover), at 100k+ concurrent connections, and all
+//! of it reproducible from one seed — the WLCG workload-study lesson that
+//! realistic mixed workloads, not single microbenchmarks, expose scaling
+//! limits.
+//!
+//! A [`Scenario`] is pure data: it expands to a network description
+//! (a flow-keyed [`SimNetworkBuilder`]) and a flow schedule
+//! (`Vec<FlowSpec>`, every flow with a pre-assigned unique source endpoint,
+//! so its four-tuple — and therefore its shard, its RNG streams and its
+//! whole timeline — is a pure function of the spec). Feed both to a
+//! `FleetEngine` and the run is deterministic at any shard count.
+
+use std::net::Ipv4Addr;
+
+use mop_packet::Endpoint;
+use mop_simnet::{AccessProfile, SimDuration, SimNetwork, SimNetworkBuilder, SimRng, SimTime};
+use mop_tun::{FlowSpec, Workload, WorkloadKind};
+
+/// Salt for the per-user RNG streams (`seed ^ user * GOLDEN ^ SALT`).
+const USER_KEY_SALT: u64 = 0x7573_6572_5f6b_6579; // "user_key"
+/// Weyl increment decorrelating consecutive user indices.
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+/// First port of each user's per-flow source-port range.
+const USER_PORT_BASE: u16 = 30_000;
+
+/// One class of app behaviour in a workload mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrafficMix {
+    /// Page bursts: a DNS query plus 6–14 short connections per page.
+    WebBrowsing,
+    /// A manifest fetch plus periodic chunk requests to one host.
+    VideoStreaming,
+    /// Back-to-back large transfers, speed-test style.
+    BulkDownload,
+    /// Bursts of DNS queries with no follow-up connections.
+    DnsHeavy,
+    /// Sparse small exchanges: chat apps and sync agents idling along.
+    BackgroundChatter,
+}
+
+impl TrafficMix {
+    /// Every mix, in presentation order.
+    pub const ALL: [TrafficMix; 5] = [
+        TrafficMix::WebBrowsing,
+        TrafficMix::VideoStreaming,
+        TrafficMix::BulkDownload,
+        TrafficMix::DnsHeavy,
+        TrafficMix::BackgroundChatter,
+    ];
+
+    /// A stable kebab-case label (scenario names, benchmark ids).
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficMix::WebBrowsing => "web-browsing",
+            TrafficMix::VideoStreaming => "video-streaming",
+            TrafficMix::BulkDownload => "bulk-download",
+            TrafficMix::DnsHeavy => "dns-heavy",
+            TrafficMix::BackgroundChatter => "background-chatter",
+        }
+    }
+
+    /// The `mop_tun` workload shape this mix expands to.
+    pub fn workload_kind(self) -> WorkloadKind {
+        match self {
+            TrafficMix::WebBrowsing => WorkloadKind::WebBrowsing,
+            TrafficMix::VideoStreaming => WorkloadKind::VideoStreaming,
+            TrafficMix::BulkDownload => WorkloadKind::BulkTransfer,
+            TrafficMix::DnsHeavy => WorkloadKind::DnsBurst,
+            TrafficMix::BackgroundChatter => WorkloadKind::Messaging,
+        }
+    }
+
+    /// The app generating this traffic: (package, Android-style shared UID).
+    pub fn app(self) -> (&'static str, u32) {
+        match self {
+            TrafficMix::WebBrowsing => ("com.android.chrome", 10_100),
+            TrafficMix::VideoStreaming => ("com.google.android.youtube", 10_200),
+            TrafficMix::BulkDownload => ("org.zwanoo.android.speedtest", 10_300),
+            TrafficMix::DnsHeavy => ("com.whatsapp", 10_400),
+            TrafficMix::BackgroundChatter => ("com.google.android.gm", 10_500),
+        }
+    }
+
+    /// Per-user intensity (pages / transfers / queries / messages), drawn
+    /// from the user's stream.
+    fn intensity(self, rng: &mut SimRng) -> u32 {
+        match self {
+            TrafficMix::WebBrowsing => rng.int_inclusive(1, 2) as u32,
+            TrafficMix::VideoStreaming => 1,
+            TrafficMix::BulkDownload => 1,
+            TrafficMix::DnsHeavy => rng.int_inclusive(4, 10) as u32,
+            TrafficMix::BackgroundChatter => rng.int_inclusive(2, 6) as u32,
+        }
+    }
+}
+
+/// The access network a scenario's users sit on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NetProfile {
+    /// Home/office Wi-Fi (25 Mbps, low loss).
+    Wifi,
+    /// 4G LTE.
+    Lte,
+    /// Cell-edge 3G: long tail, 3 % loss, sub-megabit uplink.
+    Lossy3g,
+    /// Starts on Wi-Fi, hands over to LTE halfway through the scenario.
+    WifiLteHandover,
+}
+
+impl NetProfile {
+    /// Every profile, in presentation order.
+    pub const ALL: [NetProfile; 4] =
+        [NetProfile::Wifi, NetProfile::Lte, NetProfile::Lossy3g, NetProfile::WifiLteHandover];
+
+    /// A stable kebab-case label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetProfile::Wifi => "wifi",
+            NetProfile::Lte => "lte",
+            NetProfile::Lossy3g => "lossy-3g",
+            NetProfile::WifiLteHandover => "wifi-lte-handover",
+        }
+    }
+
+    /// Applies the profile (and its impairments) to a network builder.
+    /// `handover_at` is when the mid-session handover fires, for the profile
+    /// that has one.
+    pub fn apply(self, builder: SimNetworkBuilder, handover_at: SimTime) -> SimNetworkBuilder {
+        match self {
+            NetProfile::Wifi => builder.access(AccessProfile::wifi()),
+            NetProfile::Lte => builder.access(AccessProfile::lte()),
+            NetProfile::Lossy3g => builder.access(AccessProfile::lossy_3g()),
+            NetProfile::WifiLteHandover => builder
+                .access(AccessProfile::wifi())
+                .handover_at(handover_at, AccessProfile::lte()),
+        }
+    }
+}
+
+/// The declarative description of one fleet scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name (report and benchmark ids).
+    pub name: String,
+    /// The seed everything derives from.
+    pub seed: u64,
+    /// Number of simulated users (each with their own handset and source
+    /// address).
+    pub users: usize,
+    /// The window over which each user's flows are scheduled.
+    pub duration: SimDuration,
+    /// Workload mixes and their relative weights.
+    pub mix: Vec<(TrafficMix, f64)>,
+    /// The access network everyone is on.
+    pub profile: NetProfile,
+}
+
+/// A scenario: expands a [`ScenarioSpec`] into a network and a flow
+/// schedule. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    spec: ScenarioSpec,
+}
+
+impl Scenario {
+    /// Wraps a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no users or an empty mix.
+    pub fn new(spec: ScenarioSpec) -> Self {
+        assert!(spec.users > 0, "a scenario needs at least one user");
+        assert!(!spec.mix.is_empty(), "a scenario needs at least one traffic mix");
+        Self { spec }
+    }
+
+    /// The spec.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// One single-mix scenario: `mix` on `profile` with `users` users.
+    pub fn single(
+        mix: TrafficMix,
+        profile: NetProfile,
+        users: usize,
+        duration: SimDuration,
+        seed: u64,
+    ) -> Self {
+        Self::new(ScenarioSpec {
+            name: format!("{}@{}", mix.label(), profile.label()),
+            seed,
+            users,
+            duration,
+            mix: vec![(mix, 1.0)],
+            profile,
+        })
+    }
+
+    /// The full scenario matrix: every workload mix crossed with every
+    /// network profile (20 scenarios), `users` users each.
+    pub fn matrix(users: usize, duration: SimDuration, seed: u64) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for mix in TrafficMix::ALL {
+            for profile in NetProfile::ALL {
+                out.push(Self::single(mix, profile, users, duration, seed));
+            }
+        }
+        out
+    }
+
+    /// The fleet benchmark scenario: a realistic evening mix (mostly
+    /// browsing and background chatter, some video, a few bulk downloads and
+    /// DNS storms) compressed into a short arrival window, so the aggregate
+    /// packet rate is far above what one relay worker can drain — the
+    /// workload that exposes the sharding win.
+    pub fn rush_hour(users: usize, seed: u64) -> Self {
+        Self::new(ScenarioSpec {
+            name: "rush-hour".into(),
+            seed,
+            users,
+            duration: SimDuration::from_secs(2),
+            mix: vec![
+                (TrafficMix::WebBrowsing, 0.30),
+                (TrafficMix::BackgroundChatter, 0.40),
+                (TrafficMix::VideoStreaming, 0.10),
+                (TrafficMix::BulkDownload, 0.05),
+                (TrafficMix::DnsHeavy, 0.15),
+            ],
+            profile: NetProfile::Wifi,
+        })
+    }
+
+    /// The network this scenario runs on: seeded from the spec, flow-keyed,
+    /// with the paper's Table 2 destinations and the profile's impairments
+    /// (a handover, if the profile has one, fires halfway through the
+    /// window).
+    pub fn network(&self) -> SimNetworkBuilder {
+        let handover_at =
+            SimTime::ZERO + SimDuration::from_nanos(self.spec.duration.as_nanos() / 2);
+        self.spec
+            .profile
+            .apply(
+                SimNetwork::builder()
+                    .seed(self.spec.seed)
+                    .flow_keyed()
+                    .with_table2_destinations(),
+                handover_at,
+            )
+    }
+
+    /// The destinations scenario workloads spread their connections over
+    /// (the Table 2 hosts the scenario network serves).
+    pub fn destinations() -> Vec<(Endpoint, String)> {
+        vec![
+            (Endpoint::v4(216, 58, 221, 132, 443), "www.google.com".to_string()),
+            (Endpoint::v4(31, 13, 79, 251, 443), "graph.facebook.com".to_string()),
+            (Endpoint::v4(108, 160, 166, 126, 443), "www.dropbox.com".to_string()),
+        ]
+    }
+
+    /// The source address of one simulated user's handset (unique per user).
+    pub fn user_addr(user: usize) -> Ipv4Addr {
+        // Skip the low host numbers so no user collides with the engine's
+        // single-device default of 10.0.0.2.
+        let host = user as u32 + 0x100;
+        Ipv4Addr::new(10, (host >> 16) as u8, (host >> 8) as u8, host as u8)
+    }
+
+    /// Expands the scenario into its flow schedule, sorted by start time.
+    ///
+    /// Deterministic: every user draws from a stream derived from
+    /// `(seed, user index)`, and every flow gets a unique pre-assigned
+    /// source endpoint (`user_addr(user)` plus a per-flow port), so the
+    /// result — and everything a flow-keyed engine does with it — depends
+    /// only on the spec.
+    pub fn generate(&self) -> Vec<FlowSpec> {
+        let weights: Vec<f64> = self.spec.mix.iter().map(|(_, w)| *w).collect();
+        let destinations = Self::destinations();
+        let mut flows = Vec::new();
+        for user in 0..self.spec.users {
+            let mut rng = SimRng::seed_from_u64(
+                self.spec.seed ^ (user as u64).wrapping_mul(GOLDEN) ^ USER_KEY_SALT,
+            );
+            let mix_index = rng.weighted_index(&weights).expect("mix weights are positive");
+            let mix = self.spec.mix[mix_index].0;
+            let (package, uid) = mix.app();
+            let workload = Workload::new(
+                mix.workload_kind(),
+                uid,
+                package,
+                destinations.clone(),
+                self.spec.duration,
+                mix.intensity(&mut rng),
+            );
+            let addr = Self::user_addr(user);
+            let mut user_flows = workload.generate(&mut rng);
+            for (i, flow) in user_flows.iter_mut().enumerate() {
+                flow.src = Some(Endpoint::new(addr, USER_PORT_BASE + i as u16));
+            }
+            flows.extend(user_flows);
+        }
+        flows.sort_by_key(|f| (f.at, f.src));
+        flows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generation_is_deterministic_and_sources_are_unique() {
+        let scenario = Scenario::rush_hour(400, 7);
+        let a = scenario.generate();
+        let b = scenario.generate();
+        assert_eq!(a, b, "same spec, same schedule");
+        let sources: HashSet<_> = a.iter().map(|f| f.src.expect("pre-assigned src")).collect();
+        assert_eq!(sources.len(), a.len(), "every flow has a unique source endpoint");
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "sorted by start time");
+        assert!(a.len() >= 400, "at least one flow per user, got {}", a.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Scenario::rush_hour(50, 1).generate();
+        let b = Scenario::rush_hour(50, 2).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn matrix_crosses_every_mix_with_every_profile() {
+        let matrix = Scenario::matrix(10, SimDuration::from_secs(5), 3);
+        assert_eq!(matrix.len(), TrafficMix::ALL.len() * NetProfile::ALL.len());
+        let names: HashSet<_> = matrix.iter().map(|s| s.spec().name.clone()).collect();
+        assert_eq!(names.len(), matrix.len(), "scenario names are unique");
+        assert!(names.contains("bulk-download@lossy-3g"));
+        assert!(names.contains("web-browsing@wifi-lte-handover"));
+        for scenario in &matrix {
+            assert!(!scenario.generate().is_empty());
+        }
+    }
+
+    #[test]
+    fn mix_weights_shape_the_population() {
+        let flows = Scenario::rush_hour(2000, 11).generate();
+        let chatter = flows.iter().filter(|f| f.package == "com.google.android.gm").count();
+        let bulk =
+            flows.iter().filter(|f| f.package == "org.zwanoo.android.speedtest").count();
+        assert!(chatter > bulk, "chatter (40%) should outnumber bulk (5%)");
+    }
+
+    #[test]
+    fn handover_profile_builds_a_network_with_midpoint_switch() {
+        let scenario = Scenario::single(
+            TrafficMix::WebBrowsing,
+            NetProfile::WifiLteHandover,
+            5,
+            SimDuration::from_secs(10),
+            1,
+        );
+        let net = scenario.network().build();
+        use mop_simnet::NetworkType;
+        assert_eq!(net.access_at(SimTime::from_secs(1)).network_type, NetworkType::Wifi);
+        assert_eq!(net.access_at(SimTime::from_secs(6)).network_type, NetworkType::Lte);
+    }
+
+    #[test]
+    fn user_addresses_avoid_the_single_device_ip() {
+        for user in 0..1000 {
+            assert_ne!(Scenario::user_addr(user), Ipv4Addr::new(10, 0, 0, 2));
+        }
+        assert_ne!(Scenario::user_addr(0), Scenario::user_addr(65_536));
+    }
+}

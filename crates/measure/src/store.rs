@@ -33,6 +33,28 @@ impl MeasurementStore {
         self.records.extend(records);
     }
 
+    /// Absorbs another store's records (cross-shard aggregation: each shard
+    /// of a fleet run collects its own store, and the measurement sink folds
+    /// them together with this).
+    pub fn merge_from(&mut self, other: MeasurementStore) {
+        self.records.extend(other.records);
+    }
+
+    /// Sorts the records into a canonical order (timestamp, device, app,
+    /// domain, RTT bits), so stores merged from differently-partitioned
+    /// shards compare equal.
+    pub fn canonicalise(&mut self) {
+        self.records.sort_by(|a, b| {
+            (a.timestamp_s, a.device, &a.app, &a.domain, a.rtt_ms.to_bits()).cmp(&(
+                b.timestamp_s,
+                b.device,
+                &b.app,
+                &b.domain,
+                b.rtt_ms.to_bits(),
+            ))
+        });
+    }
+
     /// All records.
     pub fn records(&self) -> &[RttRecord] {
         &self.records
@@ -268,6 +290,25 @@ mod tests {
         // Malformed lines are skipped.
         let partial = MeasurementStore::from_json_lines("not json\n{}\n");
         assert_eq!(partial.len(), 0);
+    }
+
+    #[test]
+    fn merge_from_and_canonicalise_are_partition_invariant() {
+        let full = store();
+        // Split the records across three "shards" by index, merge back in a
+        // different order, and canonicalise both sides.
+        let mut shards = vec![MeasurementStore::new(), MeasurementStore::new(), MeasurementStore::new()];
+        for (i, r) in full.records().iter().enumerate() {
+            shards[i % 3].push(r.clone());
+        }
+        let mut merged = MeasurementStore::new();
+        for shard in shards.into_iter().rev() {
+            merged.merge_from(shard);
+        }
+        merged.canonicalise();
+        let mut reference = full.clone();
+        reference.canonicalise();
+        assert_eq!(merged.records(), reference.records());
     }
 
     #[test]

@@ -16,11 +16,32 @@
 //!
 //! Everything round-trips: `parse(bytes).to_bytes() == bytes` for well-formed
 //! input, which is enforced by property tests.
+//!
+//! # Examples
+//!
+//! Parse a packet an app wrote into the tunnel without copying its payload:
+//!
+//! ```
+//! use mop_packet::{Endpoint, PacketBuilder, PacketView, TransportView};
+//!
+//! let app = PacketBuilder::new(
+//!     Endpoint::v4(10, 0, 0, 2, 40_000),
+//!     Endpoint::v4(216, 58, 221, 132, 443),
+//! );
+//! let bytes = app.tcp_syn(1000).to_bytes();
+//! let view = PacketView::parse(&bytes).unwrap();
+//! let flow = view.four_tuple().unwrap();
+//! assert_eq!(flow.dst.port, 443);
+//! assert!(matches!(view.transport(), TransportView::Tcp(_)));
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod builder;
 pub mod checksum;
 pub mod dns;
 pub mod error;
+pub mod hash;
 pub mod ipv4;
 pub mod ipv6;
 pub mod packet;
@@ -31,6 +52,7 @@ pub mod view;
 pub use builder::PacketBuilder;
 pub use dns::{DnsFlags, DnsMessage, DnsQuestion, DnsRecord, DnsRecordData, DnsType};
 pub use error::{PacketError, Result};
+pub use hash::StableHasher;
 pub use ipv4::Ipv4Packet;
 pub use ipv6::Ipv6Packet;
 pub use packet::{IpPacket, Packet, Transport};
@@ -105,6 +127,58 @@ impl FourTuple {
     /// Useful for matching the return direction of a flow.
     pub fn reversed(&self) -> Self {
         Self { src: self.dst, dst: self.src }
+    }
+
+    /// The direction-normalised form of the tuple: the same value for a flow
+    /// and its reverse, so both directions of a connection key the same
+    /// per-connection state.
+    ///
+    /// ```
+    /// use mop_packet::{Endpoint, FourTuple};
+    /// let t = FourTuple::new(Endpoint::v4(10, 0, 0, 2, 40_000), Endpoint::v4(8, 8, 8, 8, 53));
+    /// assert_eq!(t.canonical(), t.reversed().canonical());
+    /// ```
+    pub fn canonical(&self) -> Self {
+        if (self.src, self.dst) <= (self.dst, self.src) {
+            *self
+        } else {
+            self.reversed()
+        }
+    }
+
+    /// A platform- and process-stable 64-bit hash of the tuple (FNV-1a over
+    /// the address bytes and ports, finished with an avalanche mix so the
+    /// low bits are usable as a modulo shard index).
+    ///
+    /// Unlike [`std::hash::Hash`] (whose `HashMap` hasher is seeded per
+    /// process on some configurations), this value is reproducible across
+    /// runs, machines and toolchains, which is what makes it usable as a
+    /// *shard key*: a fleet engine hashes every connection four-tuple with
+    /// `stable_hash() % shards` and the assignment never changes between
+    /// runs.
+    ///
+    /// ```
+    /// use mop_packet::{Endpoint, FourTuple};
+    /// let t = FourTuple::new(Endpoint::v4(10, 0, 0, 2, 40_000), Endpoint::v4(8, 8, 8, 8, 53));
+    /// assert_eq!(t.stable_hash(), t.stable_hash());
+    /// assert_ne!(t.stable_hash(), t.reversed().stable_hash());
+    /// ```
+    pub fn stable_hash(&self) -> u64 {
+        let mut hasher = StableHasher::new();
+        for endpoint in [&self.src, &self.dst] {
+            match endpoint.addr {
+                std::net::IpAddr::V4(v4) => {
+                    hasher.write_u8(4);
+                    hasher.write_bytes(&v4.octets());
+                }
+                std::net::IpAddr::V6(v6) => {
+                    hasher.write_u8(6);
+                    hasher.write_bytes(&v6.octets());
+                }
+            }
+            hasher.write_bytes(&endpoint.port.to_be_bytes());
+        }
+        hasher.finish_mixed()
     }
 }
 

@@ -78,6 +78,17 @@ pub struct MappingStats {
 }
 
 impl MappingStats {
+    /// Adds another run's counters and cost samples into this one
+    /// (cross-shard aggregation).
+    pub fn merge(&mut self, other: &MappingStats) {
+        self.requests += other.requests;
+        self.parses += other.parses;
+        self.waits += other.waits;
+        self.hits += other.hits;
+        self.mismapped += other.mismapped;
+        self.cpu_cost_ms.extend_from_slice(&other.cpu_cost_ms);
+    }
+
     /// Records one outcome.
     pub fn record(&mut self, outcome: &MappingOutcome) {
         self.requests += 1;

@@ -22,8 +22,26 @@
 //!   and non-blocking modes plus `protect()` cost modelling,
 //! * [`pool`] — a free-list buffer pool so the packet datapath recycles
 //!   buffers instead of allocating per packet,
+//! * [`spsc`] — bounded single-producer/single-consumer queues connecting
+//!   the sharded fleet engine's dispatcher, workers and measurement sink,
 //! * [`cost`] — calibrated cost models for the system calls and scheduler
 //!   effects the paper's optimisations target.
+//!
+//! # Examples
+//!
+//! Deterministic sampling against a simulated path:
+//!
+//! ```
+//! use mop_simnet::{SimNetwork, SimTime};
+//! use mop_packet::{Endpoint, FourTuple};
+//!
+//! let mut net = SimNetwork::builder().seed(7).with_table2_destinations().build();
+//! let flow = FourTuple::new(Endpoint::v4(10, 0, 0, 2, 40_000), Endpoint::v4(216, 58, 221, 132, 443));
+//! let outcome = net.connect(flow, SimTime::from_millis(10));
+//! assert!(outcome.success);
+//! // The wire tap saw the same handshake tcpdump would have seen.
+//! assert_eq!(net.tap().handshake_rtt(flow).unwrap(), outcome.completed_at - outcome.syn_sent);
+//! ```
 
 pub mod clock;
 pub mod cost;
@@ -36,6 +54,7 @@ pub mod queue;
 pub mod rng;
 pub mod server;
 pub mod socket;
+pub mod spsc;
 pub mod tap;
 pub mod time;
 
@@ -43,12 +62,15 @@ pub use clock::SimClock;
 pub use cost::{CostModel, CpuLedger};
 pub use dnssrv::DnsServerConfig;
 pub use latency::LatencyModel;
-pub use network::{ConnectOutcome, DataExchange, DnsOutcome, SimNetwork, SimNetworkBuilder};
+pub use network::{
+    ConnectOutcome, DataExchange, DnsOutcome, NetKeying, SimNetwork, SimNetworkBuilder,
+};
 pub use pool::{BufferPool, PoolStats};
 pub use profile::{AccessProfile, IspProfile, NetworkType};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use server::{ServerConfig, Service};
 pub use socket::{Selector, SelectorEvent, SocketId, SocketMode, SocketSet, SocketState};
+pub use spsc::{spsc_channel, SpscReceiver, SpscSendError, SpscSender};
 pub use tap::{TapDirection, TapRecord, WireTap};
 pub use time::{SimDuration, SimTime};

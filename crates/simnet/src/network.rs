@@ -7,6 +7,7 @@
 //! Every answer is also recorded on the [`WireTap`] so that ground-truth
 //! (tcpdump-equivalent) RTTs are available to the accuracy experiments.
 
+use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
 
 use mop_packet::{Endpoint, FourTuple};
@@ -23,6 +24,38 @@ use crate::time::{SimDuration, SimTime};
 const SEGMENT_BYTES: usize = 1460;
 /// Connect timeout used for blackholed destinations.
 const CONNECT_TIMEOUT: SimDuration = SimDuration::from_secs(30);
+/// Salt mixed into per-flow RNG seeds so the network's streams do not collide
+/// with other flow-keyed components using the same seed and hash.
+const NET_KEY_SALT: u64 = 0x6e65_745f_6b65_7973; // "net_keys"
+
+/// How the network draws randomness and reserves the access link.
+///
+/// [`NetKeying::Shared`] models one handset: a single RNG stream and one
+/// shared uplink/downlink whose serialisation delays couple concurrent flows
+/// (the Table 3 bandwidth-contention behaviour). [`NetKeying::FlowKeyed`]
+/// models a *fleet* of handsets: every four-tuple gets its own RNG stream
+/// (seeded from `seed ^ flow.stable_hash()`) and its own link reservation, so
+/// a flow's timeline depends only on the flow itself — which is what lets a
+/// sharded engine produce identical results regardless of how flows are
+/// partitioned across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetKeying {
+    /// One device, one RNG stream, one contended access link.
+    #[default]
+    Shared,
+    /// Per-flow RNG streams and per-flow link reservations (fleet mode).
+    FlowKeyed,
+}
+
+/// The mutable state one exchange samples against: an RNG stream plus the
+/// link-reservation cursors. Checked out of the network (either the shared
+/// copy or the flow's own) for the duration of one call.
+#[derive(Debug)]
+struct FlowNetCtx {
+    rng: SimRng,
+    uplink_busy: SimTime,
+    downlink_busy: SimTime,
+}
 
 /// Result of a TCP connection attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +121,8 @@ pub struct SimNetworkBuilder {
     dns_latency: Option<LatencyModel>,
     tap_enabled: bool,
     default_path: LatencyModel,
+    keying: NetKeying,
+    handover: Option<(SimTime, AccessProfile)>,
 }
 
 impl Default for SimNetworkBuilder {
@@ -107,7 +142,24 @@ impl SimNetworkBuilder {
             dns_latency: None,
             tap_enabled: true,
             default_path: LatencyModel::lognormal_with(45.0, 0.5, 5.0),
+            keying: NetKeying::Shared,
+            handover: None,
         }
+    }
+
+    /// Switches the network to per-flow keyed randomness and link
+    /// reservations (see [`NetKeying::FlowKeyed`]).
+    pub fn flow_keyed(mut self) -> Self {
+        self.keying = NetKeying::FlowKeyed;
+        self
+    }
+
+    /// Schedules a mid-session handover: from virtual time `at` onwards,
+    /// every new exchange uses `to` as the access profile (latency,
+    /// bandwidth and loss) instead of the one configured at build time.
+    pub fn handover_at(mut self, at: SimTime, to: AccessProfile) -> Self {
+        self.handover = Some((at, to));
+        self
     }
 
     /// Sets the deterministic seed.
@@ -180,10 +232,14 @@ impl SimNetworkBuilder {
             servers: self.servers,
             dns,
             rng: SimRng::seed_from_u64(self.seed),
+            seed: self.seed,
             tap: if self.tap_enabled { WireTap::new() } else { WireTap::disabled() },
             default_path: self.default_path,
             downlink_busy_until: SimTime::ZERO,
             uplink_busy_until: SimTime::ZERO,
+            keying: self.keying,
+            handover: self.handover,
+            flow_ctx: HashMap::new(),
         }
     }
 }
@@ -200,10 +256,14 @@ pub struct SimNetwork {
     servers: Vec<ServerConfig>,
     dns: DnsServerConfig,
     rng: SimRng,
+    seed: u64,
     tap: WireTap,
     default_path: LatencyModel,
     downlink_busy_until: SimTime,
     uplink_busy_until: SimTime,
+    keying: NetKeying,
+    handover: Option<(SimTime, AccessProfile)>,
+    flow_ctx: HashMap<FourTuple, FlowNetCtx>,
 }
 
 impl SimNetwork {
@@ -243,6 +303,66 @@ impl SimNetwork {
         &mut self.rng
     }
 
+    /// The keying discipline in use.
+    pub fn keying(&self) -> NetKeying {
+        self.keying
+    }
+
+    /// The access profile governing an exchange that starts at `at`,
+    /// accounting for a scheduled handover.
+    pub fn access_at(&self, at: SimTime) -> &AccessProfile {
+        match &self.handover {
+            Some((when, to)) if at >= *when => to,
+            _ => &self.access,
+        }
+    }
+
+    /// Checks out the sampling context for one exchange on `flow`: the
+    /// shared state under [`NetKeying::Shared`], the flow's own stream and
+    /// link cursors under [`NetKeying::FlowKeyed`]. Must be paired with
+    /// [`SimNetwork::checkin`].
+    fn checkout(&mut self, flow: FourTuple) -> FlowNetCtx {
+        match self.keying {
+            NetKeying::Shared => FlowNetCtx {
+                rng: std::mem::replace(&mut self.rng, SimRng::seed_from_u64(0)),
+                uplink_busy: self.uplink_busy_until,
+                downlink_busy: self.downlink_busy_until,
+            },
+            NetKeying::FlowKeyed => {
+                self.flow_ctx.remove(&flow).unwrap_or_else(|| FlowNetCtx {
+                    rng: SimRng::seed_from_u64(
+                        self.seed ^ flow.stable_hash() ^ NET_KEY_SALT,
+                    ),
+                    uplink_busy: SimTime::ZERO,
+                    downlink_busy: SimTime::ZERO,
+                })
+            }
+        }
+    }
+
+    /// Drops the per-flow sampling context of a finished flow (a no-op
+    /// under [`NetKeying::Shared`]). The engine calls this on teardown so a
+    /// long fleet run's memory is bounded by concurrent flows; if a late
+    /// exchange recreates the context, it restarts from the flow's seed —
+    /// still a pure function of `(seed, four-tuple)`.
+    pub fn release_flow(&mut self, flow: FourTuple) {
+        self.flow_ctx.remove(&flow);
+    }
+
+    /// Returns a context checked out with [`SimNetwork::checkout`].
+    fn checkin(&mut self, flow: FourTuple, ctx: FlowNetCtx) {
+        match self.keying {
+            NetKeying::Shared => {
+                self.rng = ctx.rng;
+                self.uplink_busy_until = ctx.uplink_busy;
+                self.downlink_busy_until = ctx.downlink_busy;
+            }
+            NetKeying::FlowKeyed => {
+                self.flow_ctx.insert(flow, ctx);
+            }
+        }
+    }
+
     /// Registers an additional server after construction.
     pub fn add_server(&mut self, server: ServerConfig) {
         self.dns.add_server(&server);
@@ -258,30 +378,48 @@ impl SimNetwork {
         self.server_for(addr).map(|s| s.path_rtt.clone()).unwrap_or_else(|| self.default_path.clone())
     }
 
-    /// Samples the full handset-to-server RTT for `dst`: access network +
-    /// ISP core penalty + Internet path.
-    pub fn sample_path_rtt(&mut self, dst: IpAddr) -> SimDuration {
+    /// Samples the full handset-to-server RTT for `dst` at time `at` with a
+    /// caller-provided RNG stream: access network + ISP core penalty +
+    /// Internet path.
+    fn path_rtt_sample(&self, rng: &mut SimRng, dst: IpAddr, at: SimTime) -> SimDuration {
         let path = self.path_model_for(dst);
-        let access = self.access.access_rtt.sample_ms(&mut self.rng);
-        let core = self
-            .isp
-            .as_ref()
-            .map(|isp| isp.core_extra_rtt.sample_ms(&mut self.rng))
-            .unwrap_or(0.0);
-        SimDuration::from_millis_f64(access + core + path.sample_ms(&mut self.rng))
+        let access = self.access_at(at).access_rtt.sample_ms(rng);
+        let core =
+            self.isp.as_ref().map(|isp| isp.core_extra_rtt.sample_ms(rng)).unwrap_or(0.0);
+        SimDuration::from_millis_f64(access + core + path.sample_ms(rng))
+    }
+
+    /// Samples the full handset-to-server RTT for `dst`: access network +
+    /// ISP core penalty + Internet path. Draws from the shared stream and
+    /// uses the *initial* access profile — on a network with a scheduled
+    /// handover, use [`SimNetwork::sample_path_rtt_at`] instead.
+    pub fn sample_path_rtt(&mut self, dst: IpAddr) -> SimDuration {
+        self.sample_path_rtt_at(dst, SimTime::ZERO)
+    }
+
+    /// Samples the full handset-to-server RTT for `dst` as of virtual time
+    /// `at`, so a scheduled handover's access profile applies.
+    pub fn sample_path_rtt_at(&mut self, dst: IpAddr, at: SimTime) -> SimDuration {
+        let mut rng = std::mem::replace(&mut self.rng, SimRng::seed_from_u64(0));
+        let rtt = self.path_rtt_sample(&mut rng, dst, at);
+        self.rng = rng;
+        rtt
     }
 
     /// Attempts a TCP handshake from `flow.src` to `flow.dst`, with the SYN
     /// leaving the handset at `at`.
     pub fn connect(&mut self, flow: FourTuple, at: SimTime) -> ConnectOutcome {
-        let rtt = self.sample_path_rtt(flow.dst.addr);
-        let syn_sent = at + SimDuration::from_millis_f64(self.access.uplink_tx_delay_ms(60));
+        let mut ctx = self.checkout(flow);
+        let rtt = self.path_rtt_sample(&mut ctx.rng, flow.dst.addr, at);
+        let access = self.access_at(at);
+        let syn_sent = at + SimDuration::from_millis_f64(access.uplink_tx_delay_ms(60));
+        let loss = access.loss;
         self.tap.record(syn_sent, TapDirection::Outbound, TapKind::Syn, flow);
         let service_accepts = self
             .server_for(flow.dst.addr)
             .map(|s| s.service.clone())
             .unwrap_or(Service::Echo);
-        match service_accepts {
+        let outcome = match service_accepts {
             Service::Refuse => {
                 let completed_at = syn_sent + rtt;
                 self.tap.record(completed_at, TapDirection::Inbound, TapKind::Rst, flow);
@@ -293,7 +431,7 @@ impl SimNetwork {
             }
             _ => {
                 // Model rare SYN loss as one retransmission after 1 s.
-                let lost = self.rng.chance(self.access.loss);
+                let lost = ctx.rng.chance(loss);
                 let completed_at = if lost {
                     syn_sent + SimDuration::from_secs(1) + rtt
                 } else {
@@ -302,7 +440,9 @@ impl SimNetwork {
                 self.tap.record(completed_at, TapDirection::Inbound, TapKind::SynAck, flow);
                 ConnectOutcome { syn_sent, completed_at, success: true, refused: false, true_rtt: rtt }
             }
-        }
+        };
+        self.checkin(flow, ctx);
+        outcome
     }
 
     /// Sends `request_bytes` on an established connection at `at` and returns
@@ -314,10 +454,12 @@ impl SimNetwork {
         request_bytes: usize,
         at: SimTime,
     ) -> DataExchange {
-        let rtt = self.sample_path_rtt(flow.dst.addr);
+        let mut ctx = self.checkout(flow);
+        let rtt = self.path_rtt_sample(&mut ctx.rng, flow.dst.addr, at);
         let half_rtt = SimDuration::from_millis_f64(rtt.as_millis_f64() / 2.0);
-        let tx_up = SimDuration::from_millis_f64(self.access.uplink_tx_delay_ms(request_bytes));
-        let depart = self.reserve_uplink(at, tx_up);
+        let tx_up =
+            SimDuration::from_millis_f64(self.access_at(at).uplink_tx_delay_ms(request_bytes));
+        let depart = reserve(&mut ctx.uplink_busy, at, tx_up);
         self.tap.record(depart, TapDirection::Outbound, TapKind::Data(request_bytes), flow);
         let arrives_at_server = depart + half_rtt;
         let request_acked_at = depart + rtt;
@@ -329,7 +471,7 @@ impl SimNetwork {
             Service::Silent | Service::Refuse | Service::Blackhole => (0usize, 0.0),
             Service::Echo => (request_bytes, 0.1),
             Service::Request { response_bytes, processing } => {
-                (*response_bytes, processing.sample_ms(&mut self.rng))
+                (*response_bytes, processing.sample_ms(&mut ctx.rng))
             }
             Service::Bulk => (256 * 1024, 0.5),
         };
@@ -340,13 +482,18 @@ impl SimNetwork {
             let mut cursor = first_byte_leaves + half_rtt;
             while remaining > 0 {
                 let chunk = remaining.min(SEGMENT_BYTES);
-                let tx = SimDuration::from_millis_f64(self.access.downlink_tx_delay_ms(chunk));
-                cursor = self.reserve_downlink(cursor, tx);
+                // A handover mid-download changes the serialisation rate of
+                // the chunks that follow it.
+                let tx = SimDuration::from_millis_f64(
+                    self.access_at(cursor).downlink_tx_delay_ms(chunk),
+                );
+                cursor = reserve(&mut ctx.downlink_busy, cursor, tx);
                 self.tap.record(cursor, TapDirection::Inbound, TapKind::Data(chunk), flow);
                 response_chunks.push((cursor, chunk));
                 remaining -= chunk;
             }
         }
+        self.checkin(flow, ctx);
         DataExchange { request_acked_at, response_chunks, response_total }
     }
 
@@ -354,17 +501,20 @@ impl SimNetwork {
     /// (a bulk download, bounded by the downlink capacity). Returns the chunk
     /// arrival schedule.
     pub fn bulk_download(&mut self, flow: FourTuple, bytes: usize, at: SimTime) -> Vec<(SimTime, usize)> {
-        let rtt = self.sample_path_rtt(flow.dst.addr);
+        let mut ctx = self.checkout(flow);
+        let rtt = self.path_rtt_sample(&mut ctx.rng, flow.dst.addr, at);
         let mut cursor = at + rtt; // Request propagation + first byte.
         let mut remaining = bytes;
         let mut chunks = Vec::with_capacity(bytes / SEGMENT_BYTES + 1);
         while remaining > 0 {
             let chunk = remaining.min(SEGMENT_BYTES);
-            let tx = SimDuration::from_millis_f64(self.access.downlink_tx_delay_ms(chunk));
-            cursor = self.reserve_downlink(cursor, tx);
+            let tx =
+                SimDuration::from_millis_f64(self.access_at(cursor).downlink_tx_delay_ms(chunk));
+            cursor = reserve(&mut ctx.downlink_busy, cursor, tx);
             chunks.push((cursor, chunk));
             remaining -= chunk;
         }
+        self.checkin(flow, ctx);
         chunks
     }
 
@@ -372,17 +522,20 @@ impl SimNetwork {
     /// (a bulk upload, bounded by the uplink capacity). Returns the chunk
     /// departure schedule; each entry is when the chunk finished serialising
     /// onto the access link.
-    pub fn bulk_upload(&mut self, _flow: FourTuple, bytes: usize, at: SimTime) -> Vec<(SimTime, usize)> {
+    pub fn bulk_upload(&mut self, flow: FourTuple, bytes: usize, at: SimTime) -> Vec<(SimTime, usize)> {
+        let mut ctx = self.checkout(flow);
         let mut cursor = at;
         let mut remaining = bytes;
         let mut chunks = Vec::with_capacity(bytes / SEGMENT_BYTES + 1);
         while remaining > 0 {
             let chunk = remaining.min(SEGMENT_BYTES);
-            let tx = SimDuration::from_millis_f64(self.access.uplink_tx_delay_ms(chunk));
-            cursor = self.reserve_uplink(cursor, tx);
+            let tx =
+                SimDuration::from_millis_f64(self.access_at(cursor).uplink_tx_delay_ms(chunk));
+            cursor = reserve(&mut ctx.uplink_busy, cursor, tx);
             chunks.push((cursor, chunk));
             remaining -= chunk;
         }
+        self.checkin(flow, ctx);
         chunks
     }
 
@@ -390,10 +543,13 @@ impl SimNetwork {
     /// handset at `at`.
     pub fn dns_lookup(&mut self, src: Endpoint, name: &str, at: SimTime) -> DnsOutcome {
         let flow = FourTuple::new(src, Endpoint::new(self.dns.addr, 53));
-        let query_sent = at + SimDuration::from_millis_f64(self.access.uplink_tx_delay_ms(64));
+        let mut ctx = self.checkout(flow);
+        let query_sent =
+            at + SimDuration::from_millis_f64(self.access_at(at).uplink_tx_delay_ms(64));
         self.tap.record(query_sent, TapDirection::Outbound, TapKind::DnsQuery, flow);
-        let answer = self.dns.resolve(name, &mut self.rng);
-        let rtt = SimDuration::from_millis_f64(self.dns.sample_rtt_ms(&mut self.rng));
+        let answer = self.dns.resolve(name, &mut ctx.rng);
+        let rtt = SimDuration::from_millis_f64(self.dns.sample_rtt_ms(&mut ctx.rng));
+        self.checkin(flow, ctx);
         match answer {
             DnsAnswer::Timeout => {
                 DnsOutcome { query_sent, response_at: None, addrs: Vec::new(), nxdomain: false }
@@ -411,19 +567,16 @@ impl SimNetwork {
         }
     }
 
-    fn reserve_downlink(&mut self, earliest: SimTime, tx: SimDuration) -> SimTime {
-        let start = earliest.max(self.downlink_busy_until);
-        let done = start + tx;
-        self.downlink_busy_until = done;
-        done
-    }
+}
 
-    fn reserve_uplink(&mut self, earliest: SimTime, tx: SimDuration) -> SimTime {
-        let start = earliest.max(self.uplink_busy_until);
-        let done = start + tx;
-        self.uplink_busy_until = done;
-        done
-    }
+/// Reserves `tx` of serialisation time on a link whose cursor is `busy`,
+/// starting no earlier than `earliest`. Returns when the transmission
+/// finishes and advances the cursor there.
+fn reserve(busy: &mut SimTime, earliest: SimTime, tx: SimDuration) -> SimTime {
+    let start = earliest.max(*busy);
+    let done = start + tx;
+    *busy = done;
+    done
 }
 
 #[cfg(test)]

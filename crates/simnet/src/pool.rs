@@ -20,6 +20,13 @@ pub struct PoolStats {
 }
 
 impl PoolStats {
+    /// Adds another pool's counters into this one (cross-shard aggregation).
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.allocations += other.allocations;
+        self.reuses += other.reuses;
+        self.recycled += other.recycled;
+    }
+
     /// Fraction of `get` calls served without allocating.
     pub fn reuse_rate(&self) -> f64 {
         let total = self.allocations + self.reuses;

@@ -115,6 +115,20 @@ impl AccessProfile {
         }
     }
 
+    /// A degraded 3G profile: UMTS latencies with a longer tail, heavy loss
+    /// and half the nominal bandwidth — the "lossy 3G" cell-edge network of
+    /// the fleet scenario matrix.
+    pub fn lossy_3g() -> Self {
+        Self {
+            network_type: NetworkType::Umts3g,
+            access_rtt: LatencyModel::lognormal_with(95.0, 0.65, 25.0),
+            dns_rtt: LatencyModel::lognormal_with(110.0, 0.65, 30.0),
+            downlink_mbps: 2.0,
+            uplink_mbps: 0.75,
+            loss: 0.03,
+        }
+    }
+
     /// The default profile for a given technology.
     pub fn for_type(network_type: NetworkType) -> Self {
         match network_type {

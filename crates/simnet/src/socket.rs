@@ -114,16 +114,26 @@ impl SocketSet {
 
     /// Creates a socket with the given mode, bound to a fresh local port.
     pub fn create(&mut self, mode: SocketMode) -> SocketId {
-        let id = self.next_id;
-        self.next_id += 1;
         let port = self.next_port;
         self.next_port = self.next_port.checked_add(1).unwrap_or(42000);
+        self.create_bound(mode, Endpoint::v4(10, 0, 0, 2, port))
+    }
+
+    /// Creates a socket bound to a caller-chosen local endpoint.
+    ///
+    /// The flow-keyed fleet engine binds each external socket to its app
+    /// flow's source endpoint, so the external connection's four-tuple is a
+    /// pure function of the flow rather than of socket-creation order —
+    /// one of the invariants behind shard-count-independent determinism.
+    pub fn create_bound(&mut self, mode: SocketMode, local: Endpoint) -> SocketId {
+        let id = self.next_id;
+        self.next_id += 1;
         self.sockets.insert(
             id,
             SocketEntry {
                 mode,
                 state: SocketState::Unconnected,
-                local: Endpoint::v4(10, 0, 0, 2, port),
+                local,
                 remote: None,
                 protected: false,
                 connect_outcome: None,

@@ -1,0 +1,342 @@
+//! Bounded single-producer/single-consumer queues.
+//!
+//! The sharded fleet engine moves work between exactly-one-producer /
+//! exactly-one-consumer pairs: the TUN ingress dispatcher feeds each shard
+//! worker through one queue, and each shard worker feeds the measurement
+//! sink through another. A bounded SPSC ring is the right primitive for that
+//! topology: the slots are allocated once at construction, pushes and pops in
+//! steady state touch only two atomic indices (no locks, no allocation), and
+//! the bound gives natural back-pressure when a shard falls behind.
+//!
+//! This is a classic Lamport ring buffer: the producer owns `tail`, the
+//! consumer owns `head`, both indices grow monotonically, and `index % cap`
+//! addresses the slot. The producer publishes a slot with a `Release` store
+//! of `tail`; the consumer observes it with an `Acquire` load, so the slot
+//! write *happens-before* the read.
+//!
+//! # Examples
+//!
+//! ```
+//! use mop_simnet::spsc_channel;
+//!
+//! let (tx, rx) = spsc_channel::<u32>(4);
+//! let worker = std::thread::spawn(move || {
+//!     let mut sum = 0;
+//!     while let Some(v) = rx.recv() {
+//!         sum += v;
+//!     }
+//!     sum
+//! });
+//! for v in 1..=100 {
+//!     tx.send(v).unwrap();
+//! }
+//! drop(tx); // Closes the channel; `recv` returns `None` once drained.
+//! assert_eq!(worker.join().unwrap(), 5050);
+//! ```
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// How many spin-loop iterations a blocked side burns before yielding the
+/// thread. Bounded waits keep latency low without monopolising a core.
+const SPINS_BEFORE_YIELD: u32 = 64;
+
+struct Ring<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next index the consumer will pop. Only the consumer advances it.
+    head: AtomicUsize,
+    /// Next index the producer will push. Only the producer advances it.
+    tail: AtomicUsize,
+    /// Set when either side is dropped.
+    closed: AtomicBool,
+}
+
+// The ring hands each `T` from exactly one thread to exactly one other
+// thread; the release/acquire pair on `tail` (and `head`) orders the slot
+// accesses, so sharing the ring is sound whenever `T` itself may move
+// between threads.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Ring<T> {
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Both handles are gone; indices are quiescent. Drop the undrained
+        // items in place.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in head..tail {
+            let slot = self.slots[i % self.capacity()].get();
+            // SAFETY: slots in [head, tail) were initialised by the producer
+            // and never consumed; we drop each exactly once.
+            unsafe { (*slot).assume_init_drop() };
+        }
+    }
+}
+
+/// The error returned by [`SpscSender::send`] and [`SpscSender::try_send`]
+/// when the item could not be enqueued; the item is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SpscSendError<T> {
+    /// The queue is full (only returned by `try_send`; `send` waits instead).
+    Full(T),
+    /// The receiver was dropped; nothing will ever drain the queue.
+    Disconnected(T),
+}
+
+/// The producing half of a bounded SPSC queue. Not clonable — there is
+/// exactly one producer.
+pub struct SpscSender<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// The consuming half of a bounded SPSC queue. Not clonable — there is
+/// exactly one consumer.
+pub struct SpscReceiver<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// Creates a bounded SPSC queue with room for `capacity` in-flight items.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn spsc_channel<T: Send>(capacity: usize) -> (SpscSender<T>, SpscReceiver<T>) {
+    assert!(capacity > 0, "an SPSC queue needs at least one slot");
+    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> =
+        (0..capacity).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let ring = Arc::new(Ring {
+        slots,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+    });
+    (SpscSender { ring: Arc::clone(&ring) }, SpscReceiver { ring })
+}
+
+impl<T: Send> SpscSender<T> {
+    /// Enqueues `value` without waiting. Returns it back if the queue is full
+    /// or the receiver is gone.
+    pub fn try_send(&self, value: T) -> Result<(), SpscSendError<T>> {
+        if self.ring.closed.load(Ordering::Acquire) {
+            return Err(SpscSendError::Disconnected(value));
+        }
+        let tail = self.ring.tail.load(Ordering::Relaxed);
+        let head = self.ring.head.load(Ordering::Acquire);
+        if tail - head == self.ring.capacity() {
+            return Err(SpscSendError::Full(value));
+        }
+        let slot = self.ring.slots[tail % self.ring.capacity()].get();
+        // SAFETY: `tail - head < cap` means the consumer is done with this
+        // slot, and we are the only producer.
+        unsafe { (*slot).write(value) };
+        self.ring.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Enqueues `value`, waiting (spin, then yield) while the queue is full —
+    /// the back-pressure path. Fails only if the receiver is dropped.
+    pub fn send(&self, mut value: T) -> Result<(), SpscSendError<T>> {
+        let mut spins = 0u32;
+        loop {
+            match self.try_send(value) {
+                Ok(()) => return Ok(()),
+                Err(SpscSendError::Disconnected(v)) => {
+                    return Err(SpscSendError::Disconnected(v))
+                }
+                Err(SpscSendError::Full(v)) => {
+                    value = v;
+                    spins += 1;
+                    if spins > SPINS_BEFORE_YIELD {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of items currently in flight.
+    pub fn len(&self) -> usize {
+        self.ring.tail.load(Ordering::Relaxed) - self.ring.head.load(Ordering::Acquire)
+    }
+
+    /// True if nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed slot count.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+}
+
+impl<T> Drop for SpscSender<T> {
+    fn drop(&mut self) {
+        self.ring.closed.store(true, Ordering::Release);
+    }
+}
+
+impl<T: Send> SpscReceiver<T> {
+    /// Dequeues one item without waiting. `None` means *currently empty*, not
+    /// closed — pair with [`SpscReceiver::is_closed`] when draining.
+    pub fn try_recv(&self) -> Option<T> {
+        let head = self.ring.head.load(Ordering::Relaxed);
+        let tail = self.ring.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = self.ring.slots[head % self.ring.capacity()].get();
+        // SAFETY: `head < tail` means the producer published this slot, and
+        // we are the only consumer.
+        let value = unsafe { (*slot).assume_init_read() };
+        self.ring.head.store(head + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Dequeues one item, waiting (spin, then yield) while the queue is
+    /// empty. Returns `None` only when the sender is dropped *and* the queue
+    /// has been fully drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut spins = 0u32;
+        loop {
+            if let Some(value) = self.try_recv() {
+                return Some(value);
+            }
+            if self.ring.closed.load(Ordering::Acquire) {
+                // Re-check: the producer may have pushed between our failed
+                // `try_recv` and the closed read.
+                return self.try_recv();
+            }
+            spins += 1;
+            if spins > SPINS_BEFORE_YIELD {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// True once the sender has been dropped (items may still be in flight).
+    pub fn is_closed(&self) -> bool {
+        self.ring.closed.load(Ordering::Acquire)
+    }
+
+    /// Number of items currently in flight.
+    pub fn len(&self) -> usize {
+        self.ring.tail.load(Ordering::Acquire) - self.ring.head.load(Ordering::Relaxed)
+    }
+
+    /// True if nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for SpscReceiver<T> {
+    fn drop(&mut self) {
+        self.ring.closed.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (tx, rx) = spsc_channel::<u32>(8);
+        for v in 0..8 {
+            tx.try_send(v).unwrap();
+        }
+        assert_eq!(tx.len(), 8);
+        assert!(matches!(tx.try_send(99), Err(SpscSendError::Full(99))));
+        let drained: Vec<u32> = std::iter::from_fn(|| rx.try_recv()).collect();
+        assert_eq!(drained, (0..8).collect::<Vec<_>>());
+        assert!(rx.is_empty() && tx.is_empty());
+        assert_eq!(tx.capacity(), 8);
+    }
+
+    #[test]
+    fn wraparound_reuses_slots() {
+        let (tx, rx) = spsc_channel::<u64>(2);
+        for round in 0..1000u64 {
+            tx.try_send(round).unwrap();
+            assert_eq!(rx.try_recv(), Some(round));
+        }
+    }
+
+    #[test]
+    fn cross_thread_handoff_preserves_order_under_backpressure() {
+        let (tx, rx) = spsc_channel::<u64>(4);
+        const N: u64 = 100_000;
+        let producer = std::thread::spawn(move || {
+            for v in 0..N {
+                tx.send(v).unwrap();
+            }
+        });
+        let mut expected = 0;
+        while let Some(v) = rx.recv() {
+            assert_eq!(v, expected);
+            expected += 1;
+        }
+        assert_eq!(expected, N);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn dropping_receiver_disconnects_sender() {
+        let (tx, rx) = spsc_channel::<u8>(2);
+        drop(rx);
+        assert!(matches!(tx.send(1), Err(SpscSendError::Disconnected(1))));
+        assert!(matches!(tx.try_send(2), Err(SpscSendError::Disconnected(2))));
+    }
+
+    #[test]
+    fn dropping_sender_lets_receiver_drain_then_close() {
+        let (tx, rx) = spsc_channel::<String>(4);
+        tx.try_send("a".into()).unwrap();
+        tx.try_send("b".into()).unwrap();
+        drop(tx);
+        assert!(rx.is_closed());
+        assert_eq!(rx.recv().as_deref(), Some("a"));
+        assert_eq!(rx.recv().as_deref(), Some("b"));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn undrained_items_are_dropped_with_the_ring() {
+        use std::sync::atomic::AtomicU32;
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        #[derive(Debug)]
+        struct Probe;
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (tx, rx) = spsc_channel::<Probe>(4);
+        tx.try_send(Probe).unwrap();
+        tx.try_send(Probe).unwrap();
+        tx.try_send(Probe).unwrap();
+        drop(rx.try_recv()); // One consumed and dropped.
+        drop(tx);
+        drop(rx); // Two still in the ring.
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_panics() {
+        let _ = spsc_channel::<u8>(0);
+    }
+}

@@ -108,6 +108,18 @@ impl ClientRegistry {
         Self { clients: HashMap::new(), isn_counter: 0x1000, created_total: 0, removed_total: 0 }
     }
 
+    /// Creates an empty registry with room for `capacity` concurrent clients,
+    /// so a shard expecting a known fleet share pays its table growth up
+    /// front instead of on the packet path.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            clients: HashMap::with_capacity(capacity),
+            isn_counter: 0x1000,
+            created_total: 0,
+            removed_total: 0,
+        }
+    }
+
     /// Returns the client for `flow`, creating it (with a fresh ISN) if absent.
     pub fn get_or_create(&mut self, flow: FourTuple) -> &mut TcpClient {
         if !self.clients.contains_key(&flow) {

@@ -124,6 +124,13 @@ impl UdpRegistry {
         Self::default()
     }
 
+    /// Creates an empty registry with room for `capacity` concurrent
+    /// associations (shard-sized pre-allocation, like
+    /// [`crate::ClientRegistry::with_capacity`]).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { associations: HashMap::with_capacity(capacity) }
+    }
+
     /// Returns the association for `flow`, creating it if absent.
     pub fn get_or_create(&mut self, flow: FourTuple) -> &mut UdpAssociation {
         self.associations.entry(flow).or_insert_with(|| UdpAssociation::new(flow))

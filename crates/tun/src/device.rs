@@ -18,6 +18,17 @@ pub struct TunStats {
     pub bytes_to_apps: u64,
 }
 
+impl TunStats {
+    /// Adds another device's counters into this one (cross-shard
+    /// aggregation).
+    pub fn merge(&mut self, other: &TunStats) {
+        self.packets_from_apps += other.packets_from_apps;
+        self.bytes_from_apps += other.bytes_from_apps;
+        self.packets_to_apps += other.packets_to_apps;
+        self.bytes_to_apps += other.bytes_to_apps;
+    }
+}
+
 /// The simulated `/dev/tun` interface.
 ///
 /// Apps enqueue raw IP packets on the *outbound* queue (they are leaving the

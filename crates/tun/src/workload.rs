@@ -27,6 +27,14 @@ pub struct FlowSpec {
     pub uid: u32,
     /// Package name of the owning app.
     pub package: String,
+    /// The app-side source endpoint, when pre-assigned.
+    ///
+    /// `None` lets the engine allocate a port from its sequential pool (the
+    /// single-device behaviour). Fleet scenarios pre-assign a unique source
+    /// per connection so the flow's four-tuple — and therefore its shard,
+    /// its RNG streams and its whole timeline — is a pure function of the
+    /// spec.
+    pub src: Option<Endpoint>,
     /// Destination endpoint (server for TCP, resolver for DNS).
     pub dst: Endpoint,
     /// The domain being contacted (used for DNS and for per-domain analysis).
@@ -118,6 +126,7 @@ impl Workload {
             at,
             uid: self.uid,
             package: self.package.clone(),
+            src: None,
             dst: dst.0,
             domain: Some(dst.1),
             request_bytes: request,
@@ -139,6 +148,7 @@ impl Workload {
                 at: cursor,
                 uid: self.uid,
                 package: self.package.clone(),
+                src: None,
                 dst: Endpoint::v4(192, 168, 1, 1, 53),
                 domain: Some(domain.clone()),
                 request_bytes: 0,
@@ -210,6 +220,7 @@ impl Workload {
                 at,
                 uid: self.uid,
                 package: self.package.clone(),
+                src: None,
                 dst: Endpoint::v4(192, 168, 1, 1, 53),
                 domain: Some(domain),
                 request_bytes: 0,

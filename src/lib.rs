@@ -10,9 +10,10 @@
 //! * [`tun`] — the simulated TUN device, read strategies and app workloads,
 //! * [`procnet`] — `/proc/net` tables and packet-to-app mapping,
 //! * [`tcpstack`] — the user-space TCP state machine and client registry,
-//! * [`engine`] — the MopEye relay engine itself,
+//! * [`engine`] — the MopEye relay engine and the sharded `FleetEngine`,
 //! * [`measure`] — measurement records and statistics,
-//! * [`dataset`] — the synthetic crowdsourcing dataset generator,
+//! * [`dataset`] — the synthetic crowdsourcing dataset generator and the
+//!   fleet scenario matrix (workload mixes × network profiles),
 //! * [`baselines`] — tcpdump/MobiPerf/Haystack/Speedtest baselines,
 //! * [`analytics`] — reproduction of every table and figure in the paper.
 //!

@@ -60,6 +60,7 @@ fn accuracy_holds_across_rtt_scales_like_table2() {
                 at: mopeye::simnet::SimTime::from_millis(400 * i + 5),
                 uid: 10_100,
                 package: "com.measurement.app".into(),
+                src: None,
                 dst,
                 domain: None,
                 request_bytes: 300,
@@ -183,6 +184,7 @@ fn failed_and_refused_servers_are_reported_not_measured() {
             at: mopeye::simnet::SimTime::from_millis(10 + i as u64),
             uid: 10_100,
             package: "com.unlucky.app".into(),
+            src: None,
             dst: *dst,
             domain: None,
             request_bytes: 100,
