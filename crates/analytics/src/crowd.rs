@@ -1,10 +1,23 @@
 //! Crowdsourced-dataset analyses: Figures 6–11, Tables 5–6 and the two case
 //! studies of §4.2.
+//!
+//! Every computation here runs against the dataset's **streaming
+//! aggregates** ([`mop_dataset::SyntheticDataset::aggregates`]): mergeable
+//! per-(app, kind, network, ISP) RTT sketches plus a per-device activity
+//! plane, folded in as records arrive. No analysis touches the raw record
+//! vector, so the cost and memory of producing a full crowd report are
+//! independent of the number of samples — the property that lets the fleet
+//! `report` binary emit the same analyses from a 100k-connection run without
+//! ever materialising the samples.
+//!
+//! Medians and CDF fractions therefore carry the sketch guarantee: within
+//! [`RttSketch::RELATIVE_ERROR`] (1 %) of the exact vector-based statistic,
+//! with counts, minima and maxima exact.
 
 use std::collections::BTreeMap;
 
 use mop_dataset::SyntheticDataset;
-use mop_measure::{Cdf, MeasurementKind, NetKind};
+use mop_measure::{AggregateKey, AggregateStore, MeasurementKind, NetKind, RttSketch};
 
 /// Figure 6: number of users / apps per measurement-contribution bucket.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,7 +30,7 @@ pub struct Fig6Contribution {
 }
 
 impl Fig6Contribution {
-    /// Computes the contribution buckets.
+    /// Computes the contribution buckets from the aggregate counts.
     pub fn compute(dataset: &SyntheticDataset) -> Self {
         let scale = dataset.spec.scale;
         let edges = [
@@ -40,13 +53,13 @@ impl Fig6Contribution {
             }
         };
         let mut users = [0u64; 4];
-        for count in dataset.store.counts_per_device().values() {
+        for count in dataset.aggregates.counts_per_device().values() {
             if let Some(b) = bucket_of(*count) {
                 users[b] += 1;
             }
         }
         let mut apps = [0u64; 4];
-        for count in dataset.store.counts_per_app().values() {
+        for count in dataset.aggregates.counts_per_app().values() {
             if let Some(b) = bucket_of(*count) {
                 apps[b] += 1;
             }
@@ -63,10 +76,10 @@ pub struct Fig7Countries {
 }
 
 impl Fig7Countries {
-    /// Computes the top-20 countries by device count.
+    /// Computes the top-20 countries by device count from the device plane.
     pub fn compute(dataset: &SyntheticDataset) -> Self {
         let mut counts: Vec<(String, u64)> =
-            dataset.store.devices_per_country().into_iter().collect();
+            dataset.aggregates.devices_per_country().into_iter().collect();
         counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         counts.truncate(20);
         Self { top: counts }
@@ -90,42 +103,43 @@ impl Fig8Locations {
 /// Figure 9: per-app RTT distributions.
 #[derive(Debug, Clone)]
 pub struct Fig9AppRtt {
-    /// CDF of all raw app RTTs.
-    pub all: Cdf,
-    /// CDF of WiFi app RTTs.
-    pub wifi: Cdf,
-    /// CDF of cellular app RTTs.
-    pub cellular: Cdf,
-    /// CDF of LTE app RTTs.
-    pub lte: Cdf,
-    /// CDF of the per-app median RTTs of apps with enough measurements
+    /// Sketch of all raw app RTTs.
+    pub all: RttSketch,
+    /// Sketch of WiFi app RTTs.
+    pub wifi: RttSketch,
+    /// Sketch of cellular app RTTs.
+    pub cellular: RttSketch,
+    /// Sketch of LTE app RTTs.
+    pub lte: RttSketch,
+    /// Sketch of the per-app median RTTs of apps with enough measurements
     /// (Figure 9b; 424 apps with more than 1K measurements in the paper).
-    pub per_app_medians: Cdf,
+    pub per_app_medians: RttSketch,
     /// Number of apps included in `per_app_medians`.
     pub qualifying_apps: usize,
 }
 
 impl Fig9AppRtt {
-    /// Computes the Figure 9 distributions.
+    /// Computes the Figure 9 distributions from the aggregates.
     pub fn compute(dataset: &SyntheticDataset) -> Self {
-        let store = &dataset.store;
-        let tcp = |pred: &dyn Fn(NetKind) -> bool| -> Vec<f64> {
-            store.rtts_where(|r| r.kind == MeasurementKind::Tcp && pred(r.network))
+        let agg = &dataset.aggregates;
+        let tcp = |pred: &dyn Fn(NetKind) -> bool| -> RttSketch {
+            agg.sketch_where(|k| k.kind == MeasurementKind::Tcp && pred(k.network))
         };
         let threshold = dataset.spec.scaled_threshold(1_000);
-        let per_app = store.group_rtts_by(|r| r.app.clone(), |r| r.kind == MeasurementKind::Tcp);
+        let per_app =
+            agg.group_by(|k| k.app.clone(), |k| k.kind == MeasurementKind::Tcp);
         let medians: Vec<f64> = per_app
             .values()
-            .filter(|rtts| rtts.len() as u64 >= threshold)
-            .filter_map(|rtts| Cdf::from_values(rtts).median())
+            .filter(|sketch| sketch.count() >= threshold)
+            .filter_map(RttSketch::median)
             .collect();
         Self {
-            all: Cdf::from_values(&tcp(&|_| true)),
-            wifi: Cdf::from_values(&tcp(&|n| n == NetKind::Wifi)),
-            cellular: Cdf::from_values(&tcp(&NetKind::is_cellular)),
-            lte: Cdf::from_values(&tcp(&|n| n == NetKind::Lte)),
+            all: tcp(&|_| true),
+            wifi: tcp(&|n| n == NetKind::Wifi),
+            cellular: tcp(&NetKind::is_cellular),
+            lte: tcp(&|n| n == NetKind::Lte),
             qualifying_apps: medians.len(),
-            per_app_medians: Cdf::from_values(&medians),
+            per_app_medians: medians.into_iter().collect(),
         }
     }
 }
@@ -140,7 +154,7 @@ pub struct Table5Apps {
 impl Table5Apps {
     /// Computes the per-app statistics for the 16 representative apps.
     pub fn compute(dataset: &SyntheticDataset) -> Self {
-        let counts = dataset.store.counts_per_app();
+        let counts = dataset.aggregates.counts_per_app();
         let rows = dataset
             .catalog
             .apps
@@ -148,8 +162,8 @@ impl Table5Apps {
             .map(|app| {
                 let count = counts.get(&app.package).copied().unwrap_or(0);
                 let median = dataset
-                    .store
-                    .median_where(|r| r.app == app.package)
+                    .aggregates
+                    .median_where(|k| k.app == app.package)
                     .unwrap_or(f64::NAN);
                 (app.category.to_string(), app.package.clone(), count, median, app.median_rtt_ms)
             })
@@ -161,29 +175,27 @@ impl Table5Apps {
 /// Figure 10: DNS RTT distributions.
 #[derive(Debug, Clone)]
 pub struct Fig10Dns {
-    /// CDF of all DNS RTTs.
-    pub all: Cdf,
-    /// CDF of WiFi DNS RTTs.
-    pub wifi: Cdf,
-    /// CDF of cellular DNS RTTs.
-    pub cellular: Cdf,
-    /// CDF of 4G DNS RTTs.
-    pub lte: Cdf,
-    /// CDF of 3G DNS RTTs.
-    pub umts3g: Cdf,
-    /// CDF of 2G DNS RTTs.
-    pub gprs2g: Cdf,
+    /// Sketch of all DNS RTTs.
+    pub all: RttSketch,
+    /// Sketch of WiFi DNS RTTs.
+    pub wifi: RttSketch,
+    /// Sketch of cellular DNS RTTs.
+    pub cellular: RttSketch,
+    /// Sketch of 4G DNS RTTs.
+    pub lte: RttSketch,
+    /// Sketch of 3G DNS RTTs.
+    pub umts3g: RttSketch,
+    /// Sketch of 2G DNS RTTs.
+    pub gprs2g: RttSketch,
 }
 
 impl Fig10Dns {
-    /// Computes the Figure 10 distributions.
+    /// Computes the Figure 10 distributions from the aggregates.
     pub fn compute(dataset: &SyntheticDataset) -> Self {
-        let dns = |pred: &dyn Fn(NetKind) -> bool| -> Cdf {
-            Cdf::from_values(
-                &dataset
-                    .store
-                    .rtts_where(|r| r.kind == MeasurementKind::Dns && pred(r.network)),
-            )
+        let dns = |pred: &dyn Fn(NetKind) -> bool| -> RttSketch {
+            dataset
+                .aggregates
+                .sketch_where(|k| k.kind == MeasurementKind::Dns && pred(k.network))
         };
         Self {
             all: dns(&|_| true),
@@ -211,11 +223,13 @@ impl Table6IspDns {
             .isps
             .iter()
             .map(|isp| {
-                let rtts = dataset.store.rtts_where(|r| {
-                    r.kind == MeasurementKind::Dns && r.isp == isp.name && r.network.is_cellular()
+                let sketch = dataset.aggregates.sketch_where(|k| {
+                    k.kind == MeasurementKind::Dns
+                        && k.isp == isp.name
+                        && k.network.is_cellular()
                 });
-                let median = Cdf::from_values(&rtts).median().unwrap_or(f64::NAN);
-                (isp.name.clone(), isp.country.clone(), rtts.len() as u64, median, isp.dns_median_ms)
+                let median = sketch.median().unwrap_or(f64::NAN);
+                (isp.name.clone(), isp.country.clone(), sketch.count(), median, isp.dns_median_ms)
             })
             .collect();
         Self { rows }
@@ -225,23 +239,23 @@ impl Table6IspDns {
 /// Figure 11: DNS CDFs of four selected LTE ISPs.
 #[derive(Debug, Clone)]
 pub struct Fig11IspDns {
-    /// (ISP name, CDF of its LTE DNS RTTs).
-    pub isps: Vec<(String, Cdf)>,
+    /// (ISP name, sketch of its LTE DNS RTTs).
+    pub isps: Vec<(String, RttSketch)>,
 }
 
 impl Fig11IspDns {
     /// The four operators the paper plots.
     pub const SELECTED: [&'static str; 4] = ["Verizon", "Singtel", "Cricket", "U.S. Cellular"];
 
-    /// Computes the per-ISP CDFs.
+    /// Computes the per-ISP sketches.
     pub fn compute(dataset: &SyntheticDataset) -> Self {
         let isps = Self::SELECTED
             .iter()
             .map(|name| {
-                let rtts = dataset.store.rtts_where(|r| {
-                    r.kind == MeasurementKind::Dns && r.isp == *name && r.network == NetKind::Lte
+                let sketch = dataset.aggregates.sketch_where(|k| {
+                    k.kind == MeasurementKind::Dns && k.isp == *name && k.network == NetKind::Lte
                 });
-                (name.to_string(), Cdf::from_values(&rtts))
+                (name.to_string(), sketch)
             })
             .collect();
         Self { isps }
@@ -250,13 +264,16 @@ impl Fig11IspDns {
     /// The fraction of an ISP's DNS RTTs below 10 ms (Singtel: 14.7 %,
     /// Verizon: < 1 %).
     pub fn fraction_below_10ms(&self, isp: &str) -> Option<f64> {
-        self.isps.iter().find(|(n, _)| n == isp).map(|(_, cdf)| cdf.fraction_at_or_below(10.0))
+        self.isps
+            .iter()
+            .find(|(n, _)| n == isp)
+            .map(|(_, sketch)| sketch.fraction_at_or_below(10.0))
     }
 
     /// The minimum DNS RTT observed for an ISP (Cricket / U.S. Cellular:
-    /// ≈ 43 ms).
+    /// ≈ 43 ms). Exact — the sketch tracks the true minimum.
     pub fn min_rtt(&self, isp: &str) -> Option<f64> {
-        self.isps.iter().find(|(n, _)| n == isp).and_then(|(_, cdf)| cdf.quantile(0.0))
+        self.isps.iter().find(|(n, _)| n == isp).and_then(|(_, sketch)| sketch.min())
     }
 }
 
@@ -278,40 +295,41 @@ pub struct CaseWhatsapp {
     pub networks_analysed: usize,
 }
 
+fn is_whatsapp(domain: &str) -> bool {
+    domain.ends_with("whatsapp.net")
+}
+
+fn is_whatsapp_cdn(domain: &str) -> bool {
+    domain.starts_with("mme.") || domain.starts_with("mmg.") || domain.starts_with("pps.")
+}
+
 impl CaseWhatsapp {
-    /// Runs the Case 1 analysis.
+    /// Runs the Case 1 analysis from the aggregates.
     pub fn compute(dataset: &SyntheticDataset) -> Self {
-        let store = &dataset.store;
-        let is_wa = |domain: &str| domain.ends_with("whatsapp.net");
-        let is_cdn = |domain: &str| {
-            domain.starts_with("mme.") || domain.starts_with("mmg.") || domain.starts_with("pps.")
-        };
-        let domains: std::collections::BTreeSet<String> = store
-            .records()
-            .iter()
-            .filter(|r| is_wa(&r.domain))
-            .map(|r| r.domain.clone())
-            .collect();
-        let softlayer_median_ms = store
-            .median_where(|r| is_wa(&r.domain) && !is_cdn(&r.domain))
+        let agg = &dataset.aggregates;
+        let domains = agg.distinct_domains(|k| is_whatsapp(&k.domain));
+        let softlayer_median_ms = agg
+            .median_where(|k| is_whatsapp(&k.domain) && !is_whatsapp_cdn(&k.domain))
             .unwrap_or(f64::NAN);
-        let cdn_median_ms =
-            store.median_where(|r| is_wa(&r.domain) && is_cdn(&r.domain)).unwrap_or(f64::NAN);
-        let overall_median_ms = store.median_where(|r| is_wa(&r.domain)).unwrap_or(f64::NAN);
+        let cdn_median_ms = agg
+            .median_where(|k| is_whatsapp(&k.domain) && is_whatsapp_cdn(&k.domain))
+            .unwrap_or(f64::NAN);
+        let overall_median_ms =
+            agg.median_where(|k| is_whatsapp(&k.domain)).unwrap_or(f64::NAN);
         // Per-network medians over the SoftLayer domains, for the networks
         // with the most whatsapp.net measurements.
         let threshold = dataset.spec.scaled_threshold(100);
-        let by_network: BTreeMap<String, Vec<f64>> = store.group_rtts_by(
-            |r| r.isp.clone(),
-            |r| is_wa(&r.domain) && !is_cdn(&r.domain),
+        let by_network: BTreeMap<String, RttSketch> = agg.group_by(
+            |k| k.isp.clone(),
+            |k| is_whatsapp(&k.domain) && !is_whatsapp_cdn(&k.domain),
         );
-        let mut networks: Vec<(&String, &Vec<f64>)> =
-            by_network.iter().filter(|(_, v)| v.len() as u64 >= threshold).collect();
-        networks.sort_by_key(|(_, v)| std::cmp::Reverse(v.len()));
+        let mut networks: Vec<(&String, &RttSketch)> =
+            by_network.iter().filter(|(_, s)| s.count() >= threshold).collect();
+        networks.sort_by_key(|(_, s)| std::cmp::Reverse(s.count()));
         networks.truncate(20);
         let mut buckets = [0usize; 4];
-        for (_, rtts) in &networks {
-            let median = Cdf::from_values(rtts).median().unwrap_or(f64::NAN);
+        for (_, sketch) in &networks {
+            let median = sketch.median().unwrap_or(f64::NAN);
             let idx = if median < 100.0 {
                 0
             } else if median < 200.0 {
@@ -355,23 +373,23 @@ pub struct CaseJio {
 }
 
 impl CaseJio {
-    /// Runs the Case 2 analysis.
+    /// Runs the Case 2 analysis from the aggregates.
     pub fn compute(dataset: &SyntheticDataset) -> Self {
-        let store = &dataset.store;
-        let app_rtts =
-            store.rtts_where(|r| r.isp == "Jio 4G" && r.kind == MeasurementKind::Tcp);
-        let app_median_ms = Cdf::from_values(&app_rtts).median().unwrap_or(f64::NAN);
-        let dns_median_ms = store
-            .median_where(|r| r.isp == "Jio 4G" && r.kind == MeasurementKind::Dns)
+        let agg = &dataset.aggregates;
+        let jio_apps = agg
+            .sketch_where(|k| k.isp == "Jio 4G" && k.kind == MeasurementKind::Tcp);
+        let app_median_ms = jio_apps.median().unwrap_or(f64::NAN);
+        let dns_median_ms = agg
+            .median_where(|k| k.isp == "Jio 4G" && k.kind == MeasurementKind::Dns)
             .unwrap_or(f64::NAN);
         let threshold = dataset.spec.scaled_threshold(100);
-        let jio_domains: BTreeMap<String, Vec<f64>> = store.group_rtts_by(
-            |r| r.domain.clone(),
-            |r| r.isp == "Jio 4G" && r.kind == MeasurementKind::Tcp && !r.domain.is_empty(),
+        let jio_domains: BTreeMap<String, RttSketch> = agg.group_by(
+            |k| k.domain.clone(),
+            |k| k.isp == "Jio 4G" && k.kind == MeasurementKind::Tcp && !k.domain.is_empty(),
         );
         let mut domain_buckets = [0usize; 5];
-        for (_, rtts) in jio_domains.iter().filter(|(_, v)| v.len() as u64 >= threshold) {
-            let m = Cdf::from_values(rtts).median().unwrap_or(f64::NAN);
+        for (_, sketch) in jio_domains.iter().filter(|(_, s)| s.count() >= threshold) {
+            let m = sketch.median().unwrap_or(f64::NAN);
             let idx = if m < 100.0 {
                 0
             } else if m < 200.0 {
@@ -386,28 +404,28 @@ impl CaseJio {
             domain_buckets[idx] += 1;
         }
         // Compare with non-Jio LTE networks.
-        let other_domains: BTreeMap<String, Vec<f64>> = store.group_rtts_by(
-            |r| r.domain.clone(),
-            |r| {
-                r.isp != "Jio 4G"
-                    && r.network == NetKind::Lte
-                    && r.kind == MeasurementKind::Tcp
-                    && !r.domain.is_empty()
+        let other_domains: BTreeMap<String, RttSketch> = agg.group_by(
+            |k| k.domain.clone(),
+            |k| {
+                k.isp != "Jio 4G"
+                    && k.network == NetKind::Lte
+                    && k.kind == MeasurementKind::Tcp
+                    && !k.domain.is_empty()
             },
         );
         let mut compared = 0usize;
         let mut better = 0usize;
         let mut advantage_sum = 0.0;
-        for (domain, jio_rtts) in &jio_domains {
-            if (jio_rtts.len() as u64) < threshold {
+        for (domain, jio_sketch) in &jio_domains {
+            if jio_sketch.count() < threshold {
                 continue;
             }
-            let Some(other_rtts) = other_domains.get(domain) else { continue };
-            if (other_rtts.len() as u64) < threshold {
+            let Some(other_sketch) = other_domains.get(domain) else { continue };
+            if other_sketch.count() < threshold {
                 continue;
             }
-            let jio_median = Cdf::from_values(jio_rtts).median().unwrap_or(f64::NAN);
-            let other_median = Cdf::from_values(other_rtts).median().unwrap_or(f64::NAN);
+            let jio_median = jio_sketch.median().unwrap_or(f64::NAN);
+            let other_median = other_sketch.median().unwrap_or(f64::NAN);
             compared += 1;
             if other_median < jio_median {
                 better += 1;
@@ -417,11 +435,63 @@ impl CaseJio {
         Self {
             app_median_ms,
             dns_median_ms,
-            app_measurements: app_rtts.len() as u64,
+            app_measurements: jio_apps.count(),
             domain_buckets,
             domains_better_off_jio: better,
             domains_compared: compared,
             mean_advantage_ms: if better > 0 { advantage_sum / better as f64 } else { 0.0 },
+        }
+    }
+}
+
+/// The full §4.2 crowd report computed from any [`AggregateStore`] — the
+/// entry point the fleet `report` binary uses on a live run's merged
+/// aggregates (a [`SyntheticDataset`] is not required).
+#[derive(Debug, Clone)]
+pub struct CrowdSummary {
+    /// Sketch of all TCP RTTs.
+    pub tcp: RttSketch,
+    /// Sketch of all DNS RTTs.
+    pub dns: RttSketch,
+    /// Per-network-kind TCP sketches, in [`NetKind::ALL`] order.
+    pub tcp_by_network: Vec<(NetKind, RttSketch)>,
+    /// Per-network-kind DNS sketches, in [`NetKind::ALL`] order.
+    pub dns_by_network: Vec<(NetKind, RttSketch)>,
+    /// Per-app TCP sketches (app, count, sketch), sorted by count descending.
+    pub apps: Vec<(String, u64, RttSketch)>,
+    /// Distinct devices observed.
+    pub devices: usize,
+}
+
+impl CrowdSummary {
+    /// Computes the summary from a store of aggregates.
+    pub fn compute(aggregates: &AggregateStore) -> Self {
+        let kind_sketch = |kind: MeasurementKind| {
+            aggregates.sketch_where(|k: &AggregateKey| k.kind == kind)
+        };
+        let by_network = |kind: MeasurementKind| -> Vec<(NetKind, RttSketch)> {
+            NetKind::ALL
+                .iter()
+                .map(|net| {
+                    (*net, aggregates.sketch_where(|k| k.kind == kind && k.network == *net))
+                })
+                .collect()
+        };
+        let mut apps: Vec<(String, u64, RttSketch)> = aggregates
+            .group_by(|k| k.app.clone(), |k| {
+                k.kind == MeasurementKind::Tcp && !k.app.is_empty()
+            })
+            .into_iter()
+            .map(|(app, sketch)| (app, sketch.count(), sketch))
+            .collect();
+        apps.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        Self {
+            tcp: kind_sketch(MeasurementKind::Tcp),
+            dns: kind_sketch(MeasurementKind::Dns),
+            tcp_by_network: by_network(MeasurementKind::Tcp),
+            dns_by_network: by_network(MeasurementKind::Dns),
+            apps,
+            devices: aggregates.counts_per_device().len(),
         }
     }
 }
@@ -487,6 +557,36 @@ mod tests {
     }
 
     #[test]
+    fn sketch_based_figures_match_the_vector_based_store() {
+        // The acceptance bar for the aggregate rebuild: every headline median
+        // reproduced from sketches is within 1 % of the same median computed
+        // from the raw record vectors.
+        let d = dataset();
+        let fig9 = Fig9AppRtt::compute(&d);
+        let pairs = [
+            (fig9.all.median().unwrap(), d.store.median_where(|r| r.kind == MeasurementKind::Tcp)),
+            (
+                fig9.wifi.median().unwrap(),
+                d.store.median_where(|r| {
+                    r.kind == MeasurementKind::Tcp && r.network == NetKind::Wifi
+                }),
+            ),
+            (
+                fig9.lte.median().unwrap(),
+                d.store
+                    .median_where(|r| r.kind == MeasurementKind::Tcp && r.network == NetKind::Lte),
+            ),
+        ];
+        for (sketch_median, exact) in pairs {
+            let exact = exact.unwrap();
+            let err = (sketch_median - exact).abs() / exact;
+            assert!(err <= 0.011, "sketch {sketch_median} vs exact {exact} (err {err})");
+        }
+        // Counts are exact, not approximate.
+        assert_eq!(fig9.all.count() as usize, d.store.tcp_rtts().len());
+    }
+
+    #[test]
     fn table5_and_table6_track_their_paper_targets() {
         let d = dataset();
         let t5 = Table5Apps::compute(&d);
@@ -547,5 +647,19 @@ mod tests {
         assert!(jio.domains_compared > 3);
         assert!(jio.domains_better_off_jio * 10 >= jio.domains_compared * 8);
         assert!(jio.mean_advantage_ms > 80.0, "advantage {}", jio.mean_advantage_ms);
+    }
+
+    #[test]
+    fn crowd_summary_computes_from_bare_aggregates() {
+        let d = dataset();
+        let summary = CrowdSummary::compute(&d.aggregates);
+        assert_eq!(summary.tcp.count() as usize, d.store.tcp_rtts().len());
+        assert_eq!(summary.dns.count() as usize, d.store.dns_rtts().len());
+        assert_eq!(summary.devices, d.store.counts_per_device().len());
+        assert!(summary.apps.len() > 300);
+        // Apps are sorted by contribution.
+        assert!(summary.apps.windows(2).all(|w| w[0].1 >= w[1].1));
+        let by_net: u64 = summary.tcp_by_network.iter().map(|(_, s)| s.count()).sum();
+        assert_eq!(by_net, summary.tcp.count());
     }
 }

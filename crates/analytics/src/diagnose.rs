@@ -1,0 +1,281 @@
+//! Per-app and per-ISP diagnosis from streaming aggregates.
+//!
+//! The point of MopEye's per-app measurement (§1, §4.2.4 of the paper) is to
+//! answer the user's actual question: *is this app slow because its servers
+//! are slow, or because my network is slow?* The two case studies answer it
+//! by hand (WhatsApp: the SoftLayer servers; Jio: the LTE core); this module
+//! mechanises the same reasoning over any [`AggregateStore`]:
+//!
+//! * [`diagnose_apps`] classifies each app by comparing its median RTT on
+//!   each network against that network's all-apps baseline — the crowd
+//!   control group that a single handset cannot provide,
+//! * [`rank_isps`] orders operators by their median RTT for a measurement
+//!   kind, the per-ISP league table behind Table 6 and Figure 11.
+//!
+//! Both run on sketches, so diagnosing a deployment costs O(cells), not
+//! O(samples).
+
+use mop_measure::{AggregateStore, MeasurementKind, RttSketch};
+
+/// The verdict of a per-app diagnosis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The app is much slower than other apps on the same networks: its
+    /// server side (placement, peering, hosting) is the bottleneck — the
+    /// WhatsApp/SoftLayer situation of Case 1.
+    AppSlow,
+    /// The app tracks the network baseline, but the baseline itself is slow:
+    /// the access network is the bottleneck — the Jio situation of Case 2.
+    NetworkSlow,
+    /// The app tracks a healthy network baseline.
+    Healthy,
+}
+
+impl Verdict {
+    /// A stable lower-case label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::AppSlow => "app-slow",
+            Verdict::NetworkSlow => "network-slow",
+            Verdict::Healthy => "healthy",
+        }
+    }
+}
+
+/// The diagnosis of one app.
+#[derive(Debug, Clone)]
+pub struct AppDiagnosis {
+    /// Package name.
+    pub app: String,
+    /// TCP measurements behind the diagnosis.
+    pub samples: u64,
+    /// The app's median RTT, in ms.
+    pub app_median_ms: f64,
+    /// The baseline: the median RTT of *all* apps, weighted to the networks
+    /// this app was measured on, in ms.
+    pub baseline_median_ms: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Tuning knobs for [`diagnose_apps`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiagnosisConfig {
+    /// Apps with fewer TCP samples than this are skipped (no stable median).
+    pub min_samples: u64,
+    /// An app whose median exceeds `baseline × app_slow_ratio` is
+    /// [`Verdict::AppSlow`].
+    pub app_slow_ratio: f64,
+    /// A baseline above this (ms) makes a non-app-slow app
+    /// [`Verdict::NetworkSlow`].
+    pub network_slow_ms: f64,
+}
+
+impl Default for DiagnosisConfig {
+    fn default() -> Self {
+        // An app at twice its peers' latency is an outlier among apps; a
+        // 150 ms all-apps median is a congested or badly-routed access
+        // network by the paper's Figure 9/10 standards.
+        Self { min_samples: 30, app_slow_ratio: 2.0, network_slow_ms: 150.0 }
+    }
+}
+
+/// Classifies every app in the aggregates as app-slow, network-slow or
+/// healthy. Results are sorted worst-first: app-slow apps by how far they
+/// exceed their baseline, then network-slow, then healthy.
+pub fn diagnose_apps(aggregates: &AggregateStore, config: DiagnosisConfig) -> Vec<AppDiagnosis> {
+    // Three single passes over the cells: per-network all-apps baselines,
+    // per-app sketches, and per-(app, network) sample counts. Everything
+    // below is lookups, so the whole diagnosis is O(cells), not
+    // O(apps × networks × cells).
+    let baselines = aggregates.group_by(
+        |k| k.network,
+        |k| k.kind == MeasurementKind::Tcp && !k.app.is_empty(),
+    );
+    let per_app = aggregates.group_by(
+        |k| k.app.clone(),
+        |k| k.kind == MeasurementKind::Tcp && !k.app.is_empty(),
+    );
+    let per_app_network = aggregates.group_by(
+        |k| (k.app.clone(), k.network),
+        |k| k.kind == MeasurementKind::Tcp && !k.app.is_empty(),
+    );
+    let mut out = Vec::new();
+    for (app, sketch) in per_app {
+        if sketch.count() < config.min_samples {
+            continue;
+        }
+        let Some(app_median) = sketch.median() else { continue };
+        // Weight each network's baseline by this app's sample share on it, so
+        // an LTE-heavy app is compared against LTE peers, not WiFi ones.
+        let mut weighted = 0.0;
+        let mut weight = 0.0;
+        for (network, baseline) in &baselines {
+            let share = per_app_network
+                .get(&(app.clone(), *network))
+                .map_or(0, RttSketch::count);
+            if share > 0 {
+                if let Some(median) = baseline.median() {
+                    weighted += median * share as f64;
+                    weight += share as f64;
+                }
+            }
+        }
+        let baseline_median = if weight > 0.0 { weighted / weight } else { app_median };
+        let verdict = if app_median > baseline_median * config.app_slow_ratio {
+            Verdict::AppSlow
+        } else if baseline_median > config.network_slow_ms {
+            Verdict::NetworkSlow
+        } else {
+            Verdict::Healthy
+        };
+        out.push(AppDiagnosis {
+            app,
+            samples: sketch.count(),
+            app_median_ms: app_median,
+            baseline_median_ms: baseline_median,
+            verdict,
+        });
+    }
+    out.sort_by(|a, b| {
+        let severity = |d: &AppDiagnosis| match d.verdict {
+            Verdict::AppSlow => 0,
+            Verdict::NetworkSlow => 1,
+            Verdict::Healthy => 2,
+        };
+        severity(a)
+            .cmp(&severity(b))
+            .then(
+                (b.app_median_ms / b.baseline_median_ms)
+                    .total_cmp(&(a.app_median_ms / a.baseline_median_ms)),
+            )
+            .then(a.app.cmp(&b.app))
+    });
+    out
+}
+
+/// One row of the per-ISP ranking.
+#[derive(Debug, Clone)]
+pub struct IspRank {
+    /// Operator / Wi-Fi network name.
+    pub isp: String,
+    /// Measurements behind the row.
+    pub samples: u64,
+    /// Median RTT, in ms.
+    pub median_ms: f64,
+    /// 95th-percentile RTT, in ms — the tail the median hides.
+    pub p95_ms: f64,
+}
+
+/// Ranks ISPs by median RTT for one measurement kind, fastest first
+/// (operators with fewer than `min_samples` measurements are skipped). The
+/// Table 6 / Figure 11 league table, computed from sketches.
+pub fn rank_isps(
+    aggregates: &AggregateStore,
+    kind: MeasurementKind,
+    min_samples: u64,
+) -> Vec<IspRank> {
+    let per_isp =
+        aggregates.group_by(|k| k.isp.clone(), |k| k.kind == kind && !k.isp.is_empty());
+    let mut rows: Vec<IspRank> = per_isp
+        .into_iter()
+        .filter(|(_, sketch)| sketch.count() >= min_samples)
+        .filter_map(|(isp, sketch)| {
+            Some(IspRank {
+                samples: sketch.count(),
+                median_ms: sketch.median()?,
+                p95_ms: sketch.quantile(0.95)?,
+                isp,
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| a.median_ms.total_cmp(&b.median_ms).then(a.isp.cmp(&b.isp)));
+    rows
+}
+
+/// Convenience: the sketch of one app's TCP RTTs, for drill-down displays.
+pub fn app_sketch(aggregates: &AggregateStore, app: &str) -> RttSketch {
+    aggregates.sketch_where(|k| k.kind == MeasurementKind::Tcp && k.app == app)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mop_measure::{NetKind, RttRecord};
+
+    /// A small deployment: two healthy apps, one with a slow server, all on
+    /// a fast network — plus one app on a slow network.
+    fn aggregates() -> AggregateStore {
+        let mut agg = AggregateStore::new();
+        for i in 0..200u32 {
+            let jitter = f64::from(i % 17);
+            agg.observe(&RttRecord::tcp(40.0 + jitter, 1, "com.fast.a", NetKind::Wifi));
+            agg.observe(&RttRecord::tcp(48.0 + jitter, 1, "com.fast.b", NetKind::Wifi));
+            // Same network, far-away servers (the WhatsApp shape).
+            agg.observe(&RttRecord::tcp(260.0 + jitter, 2, "com.slowserver", NetKind::Wifi));
+            // Slow network, server no slower than its peers (the Jio shape).
+            agg.observe(&RttRecord::tcp(290.0 + jitter, 3, "com.on3g", NetKind::Umts3g));
+        }
+        agg
+    }
+
+    #[test]
+    fn classifies_app_slow_vs_network_slow() {
+        let diagnoses = diagnose_apps(&aggregates(), DiagnosisConfig::default());
+        let verdict_of = |app: &str| {
+            diagnoses.iter().find(|d| d.app == app).map(|d| d.verdict).unwrap()
+        };
+        assert_eq!(verdict_of("com.fast.a"), Verdict::Healthy);
+        assert_eq!(verdict_of("com.fast.b"), Verdict::Healthy);
+        assert_eq!(verdict_of("com.slowserver"), Verdict::AppSlow);
+        assert_eq!(verdict_of("com.on3g"), Verdict::NetworkSlow);
+        // Worst first: the app-slow app leads the report.
+        assert_eq!(diagnoses[0].app, "com.slowserver");
+        assert!(diagnoses[0].app_median_ms > diagnoses[0].baseline_median_ms * 2.0);
+    }
+
+    #[test]
+    fn small_apps_are_skipped_and_labels_are_stable() {
+        let mut agg = aggregates();
+        for _ in 0..5 {
+            agg.observe(&RttRecord::tcp(900.0, 4, "com.tiny", NetKind::Wifi));
+        }
+        let diagnoses = diagnose_apps(&agg, DiagnosisConfig::default());
+        assert!(diagnoses.iter().all(|d| d.app != "com.tiny"), "below min_samples");
+        assert_eq!(Verdict::AppSlow.label(), "app-slow");
+        assert_eq!(Verdict::NetworkSlow.label(), "network-slow");
+        assert_eq!(Verdict::Healthy.label(), "healthy");
+    }
+
+    #[test]
+    fn isp_ranking_orders_by_median() {
+        let mut agg = AggregateStore::new();
+        for i in 0..100u32 {
+            let jitter = f64::from(i % 13);
+            agg.observe(
+                &RttRecord::dns(20.0 + jitter, 1, NetKind::Lte).with_isp("FastTel"),
+            );
+            agg.observe(
+                &RttRecord::dns(95.0 + jitter, 2, NetKind::Lte).with_isp("SlowTel"),
+            );
+        }
+        let ranks = rank_isps(&agg, MeasurementKind::Dns, 10);
+        assert_eq!(ranks.len(), 2);
+        assert_eq!(ranks[0].isp, "FastTel");
+        assert_eq!(ranks[1].isp, "SlowTel");
+        assert!(ranks[0].median_ms < ranks[1].median_ms);
+        assert!(ranks[0].p95_ms >= ranks[0].median_ms);
+        assert_eq!(ranks[0].samples, 100);
+        // Nothing ranks for a kind with no samples above the floor.
+        assert!(rank_isps(&agg, MeasurementKind::Tcp, 10).is_empty());
+    }
+
+    #[test]
+    fn app_sketch_drills_down() {
+        let agg = aggregates();
+        let sketch = app_sketch(&agg, "com.slowserver");
+        assert_eq!(sketch.count(), 200);
+        assert!(sketch.median().unwrap() > 200.0);
+        assert!(app_sketch(&agg, "com.absent").is_empty());
+    }
+}

@@ -203,6 +203,8 @@ impl Table2Accuracy {
                     request_bytes: 200,
                     close_after: 1024,
                     kind: FlowKind::Tcp,
+                    network: None,
+                    isp: None,
                 })
                 .collect();
             let report = engine.run_flows(flows);

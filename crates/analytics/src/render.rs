@@ -1,7 +1,7 @@
 //! Plain-text rendering of tables and CDF series for `EXPERIMENTS.md` and the
 //! `repro` binary.
 
-use mop_measure::Cdf;
+use mop_measure::{Cdf, RttSketch};
 
 /// Renders a table with a header row and aligned columns.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
@@ -45,6 +45,17 @@ pub fn render_cdf_series(label: &str, cdf: &Cdf, x_max: f64, points: usize) -> S
     out
 }
 
+/// Renders a sketch's CDF as `x<TAB>F(x)` rows — the same format as
+/// [`render_cdf_series`], read from the constant-memory aggregate instead of
+/// a sample vector.
+pub fn render_sketch_series(label: &str, sketch: &RttSketch, x_max: f64, points: usize) -> String {
+    let mut out = format!("# CDF: {label} ({} samples)\n", sketch.count());
+    for (x, f) in sketch.series(x_max, points) {
+        out.push_str(&format!("{x:.1}\t{f:.4}\n"));
+    }
+    out
+}
+
 /// Formats a float with one decimal, using "n/a" for non-finite values.
 pub fn fmt_ms(v: f64) -> String {
     if v.is_finite() {
@@ -78,6 +89,15 @@ mod tests {
     fn cdf_series_renders_requested_points() {
         let cdf = Cdf::from_values(&[10.0, 20.0, 30.0, 40.0]);
         let text = render_cdf_series("demo", &cdf, 40.0, 5);
+        assert!(text.starts_with("# CDF: demo (4 samples)"));
+        assert_eq!(text.lines().count(), 6);
+        assert!(text.trim_end().ends_with("1.0000"));
+    }
+
+    #[test]
+    fn sketch_series_matches_the_cdf_format() {
+        let sketch: RttSketch = [10.0, 20.0, 30.0, 40.0].into_iter().collect();
+        let text = render_sketch_series("demo", &sketch, 40.0, 5);
         assert!(text.starts_with("# CDF: demo (4 samples)"));
         assert_eq!(text.lines().count(), 6);
         assert!(text.trim_end().ends_with("1.0000"));

@@ -1,0 +1,113 @@
+//! Sketch-path vs vector-path crowd-report cost.
+//!
+//! The streaming aggregation's claim is that producing the crowd report from
+//! sketches costs O(cells) while the vector path costs O(samples) (filter,
+//! copy, sort per statistic). Two workload shapes:
+//!
+//! * `fleet_report/*` — a deployment-shaped stream: a bounded key population
+//!   (40 apps × networks × ISPs ≈ 120 cells) observed at 50k and 500k
+//!   samples. The sketch-path report cost is flat across the 10× sample
+//!   growth; the vector path scales linearly. This is the shape the fleet
+//!   `report` binary sees (a rush-hour run folds ~16k samples into 18
+//!   cells).
+//! * `crowd_report/*` — the adversarial shape: the §4.2 synthetic dataset,
+//!   whose key cardinality (long-tail apps × per-country ISPs) grows with
+//!   the dataset itself, so the sketch path's advantage narrows to the
+//!   constant-factor win of pre-grouped cells.
+//!
+//! `fold_records` prices the sink-side fold itself (amortised per record).
+//! `BENCH_pr4.json` records the headlines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mop_bench::crowd_dataset;
+use mop_measure::{AggregateStore, Cdf, MeasurementKind, NetKind, RttRecord};
+
+/// A deployment-shaped record stream: fixed key population, arbitrary
+/// sample count (the `analytics_memory` test uses the same shape).
+fn fleet_record(i: u64) -> RttRecord {
+    let app = format!("com.fleet.app{:02}", i % 40);
+    let network = if i % 3 == 0 { NetKind::Wifi } else { NetKind::Lte };
+    let isp = ["HomeWiFi", "SimTel LTE", "Jio 4G"][(i % 3) as usize];
+    let rtt = 20.0 + (i % 499) as f64 * 0.7;
+    RttRecord::tcp(rtt, (i % 64) as u32, &app, network).with_isp(isp)
+}
+
+fn headline_from_sketches(agg: &AggregateStore) -> f64 {
+    let mut acc = 0.0f64;
+    for kind in [MeasurementKind::Tcp, MeasurementKind::Dns] {
+        for net in NetKind::ALL {
+            let sketch = agg.sketch_where(|k| k.kind == kind && k.network == net);
+            acc += sketch.median().unwrap_or(0.0) + sketch.quantile(0.95).unwrap_or(0.0);
+        }
+    }
+    acc
+}
+
+fn headline_from_vectors(records: &[RttRecord]) -> f64 {
+    let mut acc = 0.0f64;
+    for kind in [MeasurementKind::Tcp, MeasurementKind::Dns] {
+        for net in NetKind::ALL {
+            let values: Vec<f64> = records
+                .iter()
+                .filter(|r| r.kind == kind && r.network == net)
+                .map(|r| r.rtt_ms)
+                .collect();
+            let cdf = Cdf::from_values(&values);
+            acc += cdf.median().unwrap_or(0.0) + cdf.quantile(0.95).unwrap_or(0.0);
+        }
+    }
+    acc
+}
+
+fn bench_fleet_shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_report");
+    for samples in [50_000u64, 500_000] {
+        let records: Vec<RttRecord> = (0..samples).map(fleet_record).collect();
+        let mut agg = AggregateStore::new();
+        for r in &records {
+            agg.observe(r);
+        }
+        eprintln!(
+            "analytics_sketch: fleet shape: {} samples in {} cells",
+            samples,
+            agg.cell_count()
+        );
+        let tag = format!("{}k_samples", samples / 1000);
+        group.bench_function(&format!("report_from_sketches_{tag}"), |b| {
+            b.iter(|| headline_from_sketches(&agg))
+        });
+        group.bench_function(&format!("report_from_vectors_{tag}"), |b| {
+            b.iter(|| headline_from_vectors(&records))
+        });
+    }
+    group.finish();
+}
+
+fn bench_crowd_shape(c: &mut Criterion) {
+    let dataset = crowd_dataset(0.01);
+    eprintln!(
+        "analytics_sketch: crowd shape: {} records, {} sketch cells",
+        dataset.store.len(),
+        dataset.aggregates.cell_count()
+    );
+    let mut group = c.benchmark_group("crowd_report");
+    group.bench_function("report_from_sketches", |b| {
+        b.iter(|| headline_from_sketches(&dataset.aggregates))
+    });
+    group.bench_function("report_from_vectors", |b| {
+        b.iter(|| headline_from_vectors(dataset.store.records()))
+    });
+    group.bench_function("fold_records", |b| {
+        b.iter(|| {
+            let mut agg = AggregateStore::new();
+            for record in dataset.store.records() {
+                agg.observe(record);
+            }
+            agg.sample_count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_shape, bench_crowd_shape);
+criterion_main!(benches);

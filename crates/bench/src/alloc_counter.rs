@@ -27,6 +27,8 @@ pub struct CountingAllocator {
     allocations: AtomicU64,
     deallocations: AtomicU64,
     bytes_allocated: AtomicU64,
+    live_bytes: AtomicU64,
+    peak_bytes: AtomicU64,
 }
 
 impl CountingAllocator {
@@ -36,6 +38,8 @@ impl CountingAllocator {
             allocations: AtomicU64::new(0),
             deallocations: AtomicU64::new(0),
             bytes_allocated: AtomicU64::new(0),
+            live_bytes: AtomicU64::new(0),
+            peak_bytes: AtomicU64::new(0),
         }
     }
 
@@ -53,6 +57,37 @@ impl CountingAllocator {
     pub fn bytes_allocated(&self) -> u64 {
         self.bytes_allocated.load(Ordering::Relaxed)
     }
+
+    /// Bytes currently live (allocated minus deallocated) — the retained
+    /// footprint a memory-independence test diffs around a workload.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`CountingAllocator::live_bytes`] — the peak
+    /// memory the process has held. Monotone; compare marks taken before
+    /// and after a workload to bound its peak working set.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes.load(Ordering::Relaxed)
+    }
+
+    fn on_alloc(&self, size: u64) {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated.fetch_add(size, Ordering::Relaxed);
+        let live = self.live_bytes.fetch_add(size, Ordering::Relaxed) + size;
+        self.peak_bytes.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn on_dealloc(&self, size: u64) {
+        self.deallocations.fetch_add(1, Ordering::Relaxed);
+        // Saturating: frees of memory allocated before the counters existed
+        // (or racing with them) must not wrap the gauge.
+        self.live_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |live| {
+                Some(live.saturating_sub(size))
+            })
+            .ok();
+    }
 }
 
 impl Default for CountingAllocator {
@@ -65,25 +100,24 @@ impl Default for CountingAllocator {
 // plain relaxed atomics with no effect on allocation behaviour.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        self.allocations.fetch_add(1, Ordering::Relaxed);
-        self.bytes_allocated.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        self.on_alloc(layout.size() as u64);
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        self.deallocations.fetch_add(1, Ordering::Relaxed);
+        self.on_dealloc(layout.size() as u64);
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        self.allocations.fetch_add(1, Ordering::Relaxed);
-        self.bytes_allocated.fetch_add(new_size as u64, Ordering::Relaxed);
+        self.on_alloc(new_size as u64);
+        self.on_dealloc(layout.size() as u64);
+        self.deallocations.fetch_sub(1, Ordering::Relaxed); // a realloc is one event, not two
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        self.allocations.fetch_add(1, Ordering::Relaxed);
-        self.bytes_allocated.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        self.on_alloc(layout.size() as u64);
         unsafe { System.alloc_zeroed(layout) }
     }
 }

@@ -2,13 +2,16 @@
 
 pub mod alloc_counter;
 
+use mop_analytics::diagnose::{diagnose_apps, rank_isps, DiagnosisConfig};
 use mop_analytics::{
-    CaseJio, CaseWhatsapp, Fig10Dns, Fig11IspDns, Fig5Mapping, Fig6Contribution, Fig7Countries,
-    Fig8Locations, Fig9AppRtt, Table1TunnelWrite, Table2Accuracy, Table3Throughput,
-    Table4Resources, Table5Apps, Table6IspDns,
+    CaseJio, CaseWhatsapp, CrowdSummary, Fig10Dns, Fig11IspDns, Fig5Mapping, Fig6Contribution,
+    Fig7Countries, Fig8Locations, Fig9AppRtt, Table1TunnelWrite, Table2Accuracy,
+    Table3Throughput, Table4Resources, Table5Apps, Table6IspDns,
 };
-use mop_analytics::render::{fmt_ms, render_cdf_series, render_table};
-use mop_dataset::{DatasetSpec, SyntheticDataset};
+use mop_analytics::render::{fmt_ms, render_cdf_series, render_sketch_series, render_table};
+use mop_dataset::{DatasetSpec, Scenario, SyntheticDataset};
+use mop_measure::{AggregateStore, MeasurementKind};
+use mopeye_core::{FleetConfig, FleetEngine, FleetReport};
 
 /// Default seed used by the repro binary.
 pub const REPRO_SEED: u64 = 20170712; // USENIX ATC '17 presentation date.
@@ -294,10 +297,10 @@ pub fn run_crowd_experiments(dataset: &SyntheticDataset) -> Vec<ExperimentOutput
         ],
     );
     fig9_text.push_str("(paper: all 65, WiFi 58, cellular 84, LTE 76)\n");
-    fig9_text.push_str(&render_cdf_series("fig9a-all", &fig9.all, 400.0, 41));
-    fig9_text.push_str(&render_cdf_series("fig9a-wifi", &fig9.wifi, 400.0, 41));
-    fig9_text.push_str(&render_cdf_series("fig9a-cellular", &fig9.cellular, 400.0, 41));
-    fig9_text.push_str(&render_cdf_series("fig9b-per-app-medians", &fig9.per_app_medians, 400.0, 41));
+    fig9_text.push_str(&render_sketch_series("fig9a-all", &fig9.all, 400.0, 41));
+    fig9_text.push_str(&render_sketch_series("fig9a-wifi", &fig9.wifi, 400.0, 41));
+    fig9_text.push_str(&render_sketch_series("fig9a-cellular", &fig9.cellular, 400.0, 41));
+    fig9_text.push_str(&render_sketch_series("fig9b-per-app-medians", &fig9.per_app_medians, 400.0, 41));
     out.push(ExperimentOutput {
         id: "fig9".into(),
         text: fig9_text,
@@ -343,10 +346,10 @@ pub fn run_crowd_experiments(dataset: &SyntheticDataset) -> Vec<ExperimentOutput
         ],
     );
     fig10_text.push_str("(paper: all 42, WiFi 33, cellular 61, 4G 56, 3G 105, 2G 755)\n");
-    fig10_text.push_str(&render_cdf_series("fig10a-all", &fig10.all, 400.0, 41));
-    fig10_text.push_str(&render_cdf_series("fig10b-4g", &fig10.lte, 400.0, 41));
-    fig10_text.push_str(&render_cdf_series("fig10b-3g", &fig10.umts3g, 400.0, 41));
-    fig10_text.push_str(&render_cdf_series("fig10b-2g", &fig10.gprs2g, 400.0, 41));
+    fig10_text.push_str(&render_sketch_series("fig10a-all", &fig10.all, 400.0, 41));
+    fig10_text.push_str(&render_sketch_series("fig10b-4g", &fig10.lte, 400.0, 41));
+    fig10_text.push_str(&render_sketch_series("fig10b-3g", &fig10.umts3g, 400.0, 41));
+    fig10_text.push_str(&render_sketch_series("fig10b-2g", &fig10.gprs2g, 400.0, 41));
     out.push(ExperimentOutput {
         id: "fig10".into(),
         text: fig10_text,
@@ -393,7 +396,7 @@ pub fn run_crowd_experiments(dataset: &SyntheticDataset) -> Vec<ExperimentOutput
             .collect::<Vec<_>>(),
     );
     for (name, cdf) in &fig11.isps {
-        fig11_text.push_str(&render_cdf_series(&format!("fig11-{name}"), cdf, 400.0, 41));
+        fig11_text.push_str(&render_sketch_series(&format!("fig11-{name}"), cdf, 400.0, 41));
     }
     out.push(ExperimentOutput {
         id: "fig11".into(),
@@ -466,6 +469,154 @@ pub fn run_crowd_experiments(dataset: &SyntheticDataset) -> Vec<ExperimentOutput
     out
 }
 
+/// Runs a rush-hour fleet scenario with raw-sample retention disabled and
+/// returns the fleet report — every measurement lives only in the merged
+/// [`AggregateStore`], so analytics memory is O(apps × networks), not
+/// O(samples). This is the engine side of the `report` binary.
+pub fn run_fleet_scenario_lean(users: usize, shards: usize, seed: u64) -> FleetReport {
+    let scenario = Scenario::rush_hour(users, seed);
+    let mut config = FleetConfig::new(shards).with_seed(seed);
+    config.engine = config.engine.with_retain_samples(false);
+    let fleet = FleetEngine::new(config, scenario.network());
+    fleet.run(scenario.generate())
+}
+
+/// Renders the full crowd report (per-network medians and CDFs, top apps,
+/// per-app diagnosis, ISP ranking) from a run's merged aggregates.
+pub fn render_crowd_report(aggregates: &AggregateStore) -> ExperimentOutput {
+    let summary = CrowdSummary::compute(aggregates);
+    let mut text = String::new();
+    // --- per-network overview -------------------------------------------
+    let mut rows = Vec::new();
+    let overview = |label: &str, sketch: &mop_measure::RttSketch| -> Vec<String> {
+        vec![
+            label.to_string(),
+            sketch.count().to_string(),
+            fmt_ms(sketch.median().unwrap_or(f64::NAN)),
+            fmt_ms(sketch.quantile(0.95).unwrap_or(f64::NAN)),
+            fmt_ms(sketch.min().unwrap_or(f64::NAN)),
+            fmt_ms(sketch.max().unwrap_or(f64::NAN)),
+        ]
+    };
+    rows.push(overview("TCP (all)", &summary.tcp));
+    for (net, sketch) in &summary.tcp_by_network {
+        if !sketch.is_empty() {
+            rows.push(overview(&format!("TCP {}", net.label()), sketch));
+        }
+    }
+    rows.push(overview("DNS (all)", &summary.dns));
+    for (net, sketch) in &summary.dns_by_network {
+        if !sketch.is_empty() {
+            rows.push(overview(&format!("DNS {}", net.label()), sketch));
+        }
+    }
+    text.push_str(&render_table(
+        &format!("Crowd report: {} devices, streaming sketches", summary.devices),
+        &["slice", "# RTT", "median", "p95", "min", "max"],
+        &rows,
+    ));
+    // --- top apps --------------------------------------------------------
+    let app_rows: Vec<Vec<String>> = summary
+        .apps
+        .iter()
+        .take(10)
+        .map(|(app, count, sketch)| {
+            vec![
+                app.clone(),
+                count.to_string(),
+                fmt_ms(sketch.median().unwrap_or(f64::NAN)),
+                fmt_ms(sketch.quantile(0.95).unwrap_or(f64::NAN)),
+            ]
+        })
+        .collect();
+    text.push_str(&render_table(
+        "Top apps by contribution",
+        &["app", "# RTT", "median", "p95"],
+        &app_rows,
+    ));
+    // --- diagnosis -------------------------------------------------------
+    let diagnoses = diagnose_apps(aggregates, DiagnosisConfig::default());
+    let diag_rows: Vec<Vec<String>> = diagnoses
+        .iter()
+        .map(|d| {
+            vec![
+                d.app.clone(),
+                d.verdict.label().to_string(),
+                fmt_ms(d.app_median_ms),
+                fmt_ms(d.baseline_median_ms),
+                d.samples.to_string(),
+            ]
+        })
+        .collect();
+    text.push_str(&render_table(
+        "Per-app diagnosis (app-slow vs network-slow)",
+        &["app", "verdict", "app median", "net baseline", "# RTT"],
+        &diag_rows,
+    ));
+    // --- ISP ranking -----------------------------------------------------
+    let ranking = rank_isps(aggregates, MeasurementKind::Tcp, 20);
+    let isp_rows: Vec<Vec<String>> = ranking
+        .iter()
+        .map(|r| {
+            vec![
+                r.isp.clone(),
+                fmt_ms(r.median_ms),
+                fmt_ms(r.p95_ms),
+                r.samples.to_string(),
+            ]
+        })
+        .collect();
+    text.push_str(&render_table(
+        "ISP ranking (TCP, fastest first)",
+        &["isp", "median", "p95", "# RTT"],
+        &isp_rows,
+    ));
+    text.push_str(&render_sketch_series("crowd-tcp", &summary.tcp, 400.0, 41));
+    if !summary.dns.is_empty() {
+        text.push_str(&render_sketch_series("crowd-dns", &summary.dns, 400.0, 41));
+    }
+    let json = mop_json::json!({
+        "devices": summary.devices as u64,
+        "cells": aggregates.cell_count() as u64,
+        "samples": aggregates.sample_count(),
+        "tcp": mop_json::json!({
+            "count": summary.tcp.count(),
+            "median_ms": summary.tcp.median(),
+            "p95_ms": summary.tcp.quantile(0.95),
+            "cdf": summary.tcp.series(400.0, 41),
+        }),
+        "dns": mop_json::json!({
+            "count": summary.dns.count(),
+            "median_ms": summary.dns.median(),
+            "p95_ms": summary.dns.quantile(0.95),
+        }),
+        "by_network": summary.tcp_by_network.iter().filter(|(_, s)| !s.is_empty()).map(|(net, s)| mop_json::json!({
+            "network": net.label(),
+            "count": s.count(),
+            "median_ms": s.median(),
+        })).collect::<Vec<_>>(),
+        "apps": summary.apps.iter().take(10).map(|(app, count, s)| mop_json::json!({
+            "app": app,
+            "count": *count,
+            "median_ms": s.median(),
+        })).collect::<Vec<_>>(),
+        "diagnosis": diagnoses.iter().map(|d| mop_json::json!({
+            "app": &d.app,
+            "verdict": d.verdict.label(),
+            "app_median_ms": d.app_median_ms,
+            "baseline_median_ms": d.baseline_median_ms,
+            "samples": d.samples,
+        })).collect::<Vec<_>>(),
+        "isps": ranking.iter().map(|r| mop_json::json!({
+            "isp": &r.isp,
+            "median_ms": r.median_ms,
+            "p95_ms": r.p95_ms,
+            "samples": r.samples,
+        })).collect::<Vec<_>>(),
+    });
+    ExperimentOutput { id: "fleet-crowd".into(), text, json }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +630,20 @@ mod tests {
         let t1 = run_table1(1, 800);
         assert!(t1.text.contains("directWrite"));
         assert!(t1.json["large_fractions"].as_array().unwrap().len() == 4);
+    }
+
+    #[test]
+    fn fleet_crowd_report_renders_from_a_lean_run() {
+        let report = run_fleet_scenario_lean(120, 2, 7);
+        // Lean mode: no raw samples, everything in the aggregates.
+        assert!(report.merged.samples.is_empty());
+        assert!(report.merged.aggregates.sample_count() > 100);
+        let output = render_crowd_report(&report.merged.aggregates);
+        assert_eq!(output.id, "fleet-crowd");
+        assert!(output.text.contains("Per-app diagnosis"));
+        assert!(output.text.contains("ISP ranking"));
+        assert!(output.json["samples"].as_u64().unwrap() > 100);
+        assert!(!output.json["apps"].as_array().unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Regression test: peak analytics memory is independent of the sample
+//! count.
+//!
+//! The streaming `AggregateStore` exists so that a shard sink's measurement
+//! state is bounded by the number of aggregation *cells* (apps × kinds ×
+//! networks × ISPs), never by the number of samples. This test pins that
+//! with the counting allocator: folding 10× more samples through the same
+//! key population must leave the retained footprint (and the process peak)
+//! essentially unchanged, while the vector path grows linearly by
+//! construction.
+//!
+//! This file intentionally contains a single test: the counting allocator is
+//! process-global, so a concurrently running test would pollute the window.
+
+use mop_bench::alloc_counter::CountingAllocator;
+use mop_measure::{AggregateStore, MeasurementKind, NetKind, RttRecord};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+/// A deterministic record stream over a fixed key population (40 apps × 2
+/// networks × 3 ISPs, 64 devices) — the shape a steady deployment has: new
+/// samples keep arriving, new cells do not.
+fn record(i: u64) -> RttRecord {
+    let app = format!("com.fleet.app{:02}", i % 40);
+    let network = if i % 3 == 0 { NetKind::Wifi } else { NetKind::Lte };
+    let isp = ["HomeWiFi", "SimTel LTE", "Jio 4G"][(i % 3) as usize];
+    let rtt = 20.0 + (i % 499) as f64 * 0.7;
+    RttRecord::tcp(rtt, (i % 64) as u32, &app, network)
+        .with_domain("api.fleet.example")
+        .with_isp(isp)
+        .with_country("USA")
+}
+
+fn fold(samples: u64) -> AggregateStore {
+    let mut agg = AggregateStore::new();
+    for i in 0..samples {
+        agg.observe(&record(i));
+    }
+    agg
+}
+
+#[test]
+fn aggregate_memory_is_independent_of_sample_count() {
+    // Large enough that every cell's bucket population is saturated in the
+    // warm-up pass (~500 samples per cell against a 499-value cycle), so the
+    // 10× pass adds samples but no new state.
+    const BASE: u64 = 60_000;
+
+    // Warm-up pass: size the retained footprint of the cell population and
+    // establish the process high-water mark.
+    let live_before_small = ALLOC.live_bytes();
+    let small = fold(BASE);
+    let retained_small = ALLOC.live_bytes().saturating_sub(live_before_small);
+    assert_eq!(small.sample_count(), BASE);
+    let cells = small.cell_count();
+    drop(small);
+    let peak_after_small = ALLOC.peak_bytes();
+
+    // 10× the samples through the same key population.
+    let live_before_large = ALLOC.live_bytes();
+    let large = fold(10 * BASE);
+    let retained_large = ALLOC.live_bytes().saturating_sub(live_before_large);
+    let peak_after_large = ALLOC.peak_bytes();
+    assert_eq!(large.sample_count(), 10 * BASE);
+    assert_eq!(large.cell_count(), cells, "same keys must mean same cells");
+
+    // Retained footprint: same cells → same memory. Allow 25 % slack for
+    // sketch buckets that only fill in at the larger sample count.
+    assert!(
+        retained_large as f64 <= retained_small as f64 * 1.25,
+        "retained bytes grew with samples: {retained_small} -> {retained_large}"
+    );
+
+    // Peak: the 10× pass must not raise the process high-water mark by more
+    // than the small pass's own footprint (i.e. no component scaled with the
+    // sample count).
+    assert!(
+        peak_after_large.saturating_sub(peak_after_small) <= retained_small,
+        "peak grew with samples: {peak_after_small} -> {peak_after_large} \
+         (small footprint {retained_small})"
+    );
+
+    // Contrast: materialising the records themselves is O(samples) — at
+    // least an order of magnitude above the aggregate for the 10× stream.
+    let live_before_vec = ALLOC.live_bytes();
+    let records: Vec<RttRecord> = (0..10 * BASE).map(record).collect();
+    let retained_vec = ALLOC.live_bytes().saturating_sub(live_before_vec);
+    assert!(
+        retained_vec > retained_large * 10,
+        "vector path should dwarf the sketch path: vec {retained_vec} vs agg {retained_large}"
+    );
+    drop(records);
+
+    // Steady state: folding more samples into the warm store allocates
+    // (almost) nothing — the scratch key reuses its capacity and every cell
+    // exists. (The records are pre-built so only the fold is measured.)
+    let mut warm = large;
+    let extra: Vec<RttRecord> = (0..5_000).map(record).collect();
+    let allocs_before = ALLOC.allocations();
+    for r in &extra {
+        warm.observe(r);
+    }
+    let allocs = ALLOC.allocations() - allocs_before;
+    assert!(allocs <= 16, "steady-state observe allocated {allocs} times in 5000 folds");
+    assert!(warm.median_where(|k| k.kind == MeasurementKind::Tcp).is_some());
+}

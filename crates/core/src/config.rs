@@ -125,6 +125,15 @@ pub struct MopEyeConfig {
     /// Safety valve: a run aborts after this many events. Fleet scenarios
     /// with 100k+ connections need far more than the single-device default.
     pub max_events: u64,
+    /// Whether the report retains the raw per-sample vector
+    /// (`RunReport::samples`) alongside the streaming aggregates.
+    ///
+    /// `true` (the default) keeps the vector — the accuracy experiments and
+    /// the fleet digest need every sample. `false` drops each sample after
+    /// folding it into `RunReport::aggregates`, making a run's measurement
+    /// memory O(apps × networks) instead of O(samples) — the mode the crowd
+    /// `report` binary uses.
+    pub retain_samples: bool,
 }
 
 /// The default event-count safety valve (single-device scale).
@@ -155,6 +164,7 @@ impl MopEyeConfig {
             discipline: EngineDiscipline::SharedDevice,
             worker: WorkerModel::Unbounded,
             max_events: DEFAULT_MAX_EVENTS,
+            retain_samples: true,
         }
     }
 
@@ -174,6 +184,7 @@ impl MopEyeConfig {
             discipline: EngineDiscipline::SharedDevice,
             worker: WorkerModel::Unbounded,
             max_events: DEFAULT_MAX_EVENTS,
+            retain_samples: true,
         }
     }
 
@@ -193,6 +204,7 @@ impl MopEyeConfig {
             discipline: EngineDiscipline::SharedDevice,
             worker: WorkerModel::Unbounded,
             max_events: DEFAULT_MAX_EVENTS,
+            retain_samples: true,
         }
     }
 
@@ -248,6 +260,13 @@ impl MopEyeConfig {
     /// Sets the event-count safety valve.
     pub fn with_max_events(mut self, max_events: u64) -> Self {
         self.max_events = max_events;
+        self
+    }
+
+    /// Sets whether the report retains the raw sample vector (see
+    /// [`MopEyeConfig::retain_samples`]).
+    pub fn with_retain_samples(mut self, retain: bool) -> Self {
+        self.retain_samples = retain;
         self
     }
 

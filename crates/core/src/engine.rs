@@ -20,6 +20,7 @@
 use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
 
+use mop_measure::{AggregateStore, MeasurementKind, NetKind};
 use mop_packet::{DnsMessage, Endpoint, FourTuple, Packet, PacketBuilder, PacketView, TransportView};
 use mop_procnet::{
     CachedMapper, ConnectionTable, EagerMapper, LazyMapper, MappingStats, MappingStrategy,
@@ -80,13 +81,28 @@ struct FlowMeta {
     finished_at: SimTime,
     bytes_received: usize,
     completed: bool,
+    /// Network label carried by the flow spec (scenario-assigned); `None`
+    /// falls back to the simulated access profile at measurement time.
+    network: Option<NetKind>,
+    /// ISP label carried by the flow spec.
+    isp: Option<String>,
 }
 
 /// Everything a run produced.
 #[derive(Debug)]
 pub struct RunReport {
     /// RTT samples (TCP and DNS) with ground truth.
+    ///
+    /// Empty when the engine ran with `retain_samples: false` — the
+    /// streaming [`RunReport::aggregates`] then carry the run's measurement
+    /// content in constant memory.
     pub samples: Vec<RttSample>,
+    /// Streaming aggregation of every RTT sample: mergeable quantile
+    /// sketches keyed by (kind, network, app, domain, ISP), folded in at the
+    /// measurement sink as samples are produced. Merged cross-shard exactly
+    /// like the sample vector, and bit-identical for any shard count under
+    /// the flow-keyed discipline.
+    pub aggregates: AggregateStore,
     /// Relay counters.
     pub relay: RelayStats,
     /// Packet-to-app mapping statistics.
@@ -198,6 +214,7 @@ pub struct MopEyeEngine {
     pending_half_close: HashSet<FourTuple>,
     ip_to_domain: HashMap<IpAddr, String>,
     samples: Vec<RttSample>,
+    aggregates: AggregateStore,
     relay: RelayStats,
     next_app_port: u16,
     next_dns_id: u16,
@@ -251,6 +268,7 @@ impl MopEyeEngine {
             pending_half_close: HashSet::new(),
             ip_to_domain: HashMap::new(),
             samples: Vec::new(),
+            aggregates: AggregateStore::new(),
             relay: RelayStats::default(),
             next_app_port: 36_000,
             next_dns_id: 1,
@@ -377,6 +395,40 @@ impl MopEyeEngine {
         }
     }
 
+    /// The measurement sink: folds a finished sample into the streaming
+    /// aggregates (constant memory) and, unless the run opted out, retains
+    /// the raw sample too.
+    ///
+    /// The aggregation labels come from the flow's spec where the scenario
+    /// assigned them; otherwise the network kind falls back to the simulated
+    /// access profile at measurement time and the ISP label stays empty. The
+    /// synthetic "device" is the flow's source address, which fleet
+    /// scenarios assign uniquely per simulated user.
+    fn record_sample(&mut self, sample: RttSample) {
+        let kind = match sample.kind {
+            SampleKind::Tcp => MeasurementKind::Tcp,
+            SampleKind::Dns => MeasurementKind::Dns,
+        };
+        let meta = self.flow_meta.get(&sample.flow);
+        let network = meta.and_then(|m| m.network).unwrap_or_else(|| {
+            net_kind_of(self.net.access_at(sample.at).network_type)
+        });
+        let isp = meta.and_then(|m| m.isp.as_deref()).unwrap_or("");
+        self.aggregates.observe_parts(
+            kind,
+            network,
+            sample.package.as_deref().unwrap_or(""),
+            sample.domain.as_deref().unwrap_or(""),
+            isp,
+            device_of(sample.flow.src.addr),
+            "",
+            sample.measured_ms,
+        );
+        if self.config.retain_samples {
+            self.samples.push(sample);
+        }
+    }
+
     fn report(&mut self) -> RunReport {
         let flows = self
             .flow_meta
@@ -392,6 +444,7 @@ impl MopEyeEngine {
             .collect();
         RunReport {
             samples: std::mem::take(&mut self.samples),
+            aggregates: std::mem::take(&mut self.aggregates),
             relay: std::mem::take(&mut self.relay),
             mapping: self.mapper.stats(),
             write_delays: self.writer.stats().clone(),
@@ -452,6 +505,8 @@ impl MopEyeEngine {
                         finished_at: now,
                         bytes_received: 0,
                         completed: false,
+                        network: spec.network,
+                        isp: spec.isp.clone(),
                     },
                 );
                 self.conn_table.register(flow, true, spec.uid, SocketStateCode::SynSent);
@@ -478,6 +533,8 @@ impl MopEyeEngine {
                         finished_at: now,
                         bytes_received: 0,
                         completed: false,
+                        network: spec.network,
+                        isp: spec.isp.clone(),
                     },
                 );
                 self.conn_table.register(flow, false, spec.uid, SocketStateCode::Close);
@@ -738,7 +795,7 @@ impl MopEyeEngine {
                     .flow(socket)
                     .and_then(|f| self.net.tap().handshake_rtt(f))
                     .map(|d| d.as_millis_f64());
-                self.samples.push(RttSample {
+                self.record_sample(RttSample {
                     kind: SampleKind::Tcp,
                     flow,
                     uid,
@@ -980,7 +1037,7 @@ impl MopEyeEngine {
         let uid = self.conn_table.uid_of(flow);
         let package = uid.and_then(|u| self.packages.name_for_uid_cached(u));
         let tcpdump_ms = self.net.tap().dns_rtt(flow).map(|d| d.as_millis_f64());
-        self.samples.push(RttSample {
+        self.record_sample(RttSample {
             kind: SampleKind::Dns,
             flow,
             uid,
@@ -1050,6 +1107,34 @@ impl MopEyeEngine {
     }
 }
 
+/// Maps the simulator's access-network technology onto the measurement
+/// schema's independent [`NetKind`] (the two enums are deliberately distinct:
+/// records could come from a real deployment).
+fn net_kind_of(network_type: mop_simnet::NetworkType) -> NetKind {
+    match network_type {
+        mop_simnet::NetworkType::Wifi => NetKind::Wifi,
+        mop_simnet::NetworkType::Lte => NetKind::Lte,
+        mop_simnet::NetworkType::Umts3g => NetKind::Umts3g,
+        mop_simnet::NetworkType::Gprs2g => NetKind::Gprs2g,
+    }
+}
+
+/// The synthetic device identifier of a flow: its source address folded to a
+/// `u32`. Fleet scenarios assign each simulated user a unique source address,
+/// so this is a stable per-user id; the single-device engine maps everything
+/// to the one handset address.
+fn device_of(addr: IpAddr) -> u32 {
+    match addr {
+        IpAddr::V4(v4) => u32::from(v4),
+        IpAddr::V6(v6) => v6
+            .octets()
+            .chunks_exact(4)
+            .fold(0u32, |acc, c| {
+                acc.rotate_left(9) ^ u32::from_be_bytes([c[0], c[1], c[2], c[3]])
+            }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1075,6 +1160,8 @@ mod tests {
             request_bytes: request,
             close_after,
             kind: FlowKind::Tcp,
+            network: None,
+            isp: None,
         }
     }
 
@@ -1115,6 +1202,8 @@ mod tests {
             request_bytes: 0,
             close_after: 0,
             kind: FlowKind::Dns,
+            network: None,
+            isp: None,
         };
         let report = engine.run_flows(vec![spec]);
         assert_eq!(report.relay.dns_queries, 1);

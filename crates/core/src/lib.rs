@@ -52,6 +52,8 @@
 //!         request_bytes: 200,
 //!         close_after: 1024,
 //!         kind: FlowKind::Tcp,
+//!         network: None,
+//!         isp: None,
 //!     })
 //!     .collect();
 //! let builder = SimNetwork::builder().seed(7).with_table2_destinations();

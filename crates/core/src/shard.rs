@@ -233,6 +233,7 @@ impl RunReport {
     pub fn empty() -> Self {
         Self {
             samples: Vec::new(),
+            aggregates: Default::default(),
             relay: Default::default(),
             mapping: Default::default(),
             write_delays: Default::default(),
@@ -247,10 +248,20 @@ impl RunReport {
     }
 
     /// Merges another (shard's) report into this one: samples and flows are
-    /// concatenated, counters summed, `finished_at` maximised. Call
-    /// [`RunReport::canonicalise`] after the last merge.
+    /// concatenated, aggregate sketches merged cell-wise, counters summed,
+    /// `finished_at` maximised. Call [`RunReport::canonicalise`] after the
+    /// last merge.
+    ///
+    /// # Ordering contract
+    ///
+    /// Like `MeasurementStore::merge_from`, the sample and flow vectors are
+    /// **appended** in merge order and only become canonical after
+    /// [`RunReport::canonicalise`]. The aggregate sketches need no such
+    /// step: their merge is integral and commutative, so they are already
+    /// bit-identical for any merge order.
     pub fn absorb(&mut self, other: RunReport) {
         self.samples.extend(other.samples);
+        self.aggregates.merge_from(&other.aggregates);
         self.relay.merge(&other.relay);
         self.mapping.merge(&other.mapping);
         self.write_delays.merge(&other.write_delays);
@@ -342,6 +353,10 @@ impl RunReport {
         }
         fnv.write_u64(self.finished_at.as_nanos());
         fnv.write_u64(self.events_processed);
+        // The streaming aggregates are part of the run's semantic content:
+        // their own digest is canonical (BTreeMap order, integral sketches),
+        // so folding it in keeps the fleet digest shard-count-invariant.
+        fnv.write_u64(self.aggregates.digest());
         fnv.finish()
     }
 }
@@ -381,6 +396,8 @@ mod tests {
                     request_bytes: 300,
                     close_after: 4 * 1024,
                     kind: FlowKind::Tcp,
+                    network: None,
+                    isp: None,
                 }
             })
             .collect()

@@ -7,7 +7,7 @@
 //! relative activity) so tests and benches can run on a laptop; analyses
 //! that use absolute count thresholds scale them by the same factor.
 
-use mop_measure::{MeasurementStore, NetKind, RttRecord};
+use mop_measure::{AggregateStore, MeasurementStore, NetKind, RttRecord};
 use mop_simnet::SimRng;
 
 use crate::calibration::Calibration;
@@ -68,6 +68,11 @@ pub struct SyntheticDataset {
     pub spec: DatasetSpec,
     /// The measurement records.
     pub store: MeasurementStore,
+    /// The streaming aggregation of the same records: per-(app, kind,
+    /// network, ISP) sketches plus the device plane. The §4.2 analyses in
+    /// `mop_analytics` compute from this, so their cost and memory are
+    /// independent of the record count.
+    pub aggregates: AggregateStore,
     /// The catalogue used.
     pub catalog: Catalog,
     /// The paper constants used for calibration.
@@ -88,7 +93,13 @@ impl SyntheticDataset {
         for device in &devices {
             emit_device(device, &catalog, &calibration, &mut rng, &mut store);
         }
-        Self { spec, store, catalog, calibration, locations }
+        // Fold the same records into the streaming aggregates (a deployment
+        // sink would do this instead of retaining the records at all).
+        let mut aggregates = AggregateStore::new();
+        for record in store.records() {
+            aggregates.observe(record);
+        }
+        Self { spec, store, aggregates, catalog, calibration, locations }
     }
 }
 

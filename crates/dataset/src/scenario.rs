@@ -18,6 +18,7 @@
 
 use std::net::Ipv4Addr;
 
+use mop_measure::NetKind;
 use mop_packet::Endpoint;
 use mop_simnet::{AccessProfile, SimDuration, SimNetwork, SimNetworkBuilder, SimRng, SimTime};
 use mop_tun::{FlowSpec, Workload, WorkloadKind};
@@ -139,6 +140,41 @@ impl NetProfile {
             NetProfile::WifiLteHandover => builder
                 .access(AccessProfile::wifi())
                 .handover_at(handover_at, AccessProfile::lte()),
+        }
+    }
+
+    /// The measurement-schema network kind a flow starting at `at` is
+    /// labelled with (`handover_at` is when the profile's handover fires, if
+    /// it has one). This is the label the shard sinks aggregate under.
+    pub fn net_kind_at(self, at: SimTime, handover_at: SimTime) -> NetKind {
+        match self {
+            NetProfile::Wifi => NetKind::Wifi,
+            NetProfile::Lte => NetKind::Lte,
+            NetProfile::Lossy3g => NetKind::Umts3g,
+            NetProfile::WifiLteHandover => {
+                if at >= handover_at {
+                    NetKind::Lte
+                } else {
+                    NetKind::Wifi
+                }
+            }
+        }
+    }
+
+    /// The operator / Wi-Fi network name flows on this profile are labelled
+    /// with — the key the per-ISP analyses group by.
+    pub fn isp_label_at(self, at: SimTime, handover_at: SimTime) -> &'static str {
+        match self {
+            NetProfile::Wifi => "HomeWiFi",
+            NetProfile::Lte => "SimTel LTE",
+            NetProfile::Lossy3g => "SimTel 3G",
+            NetProfile::WifiLteHandover => {
+                if at >= handover_at {
+                    "SimTel LTE"
+                } else {
+                    "HomeWiFi"
+                }
+            }
         }
     }
 }
@@ -280,9 +316,15 @@ impl Scenario {
     /// source endpoint (`user_addr(user)` plus a per-flow port), so the
     /// result — and everything a flow-keyed engine does with it — depends
     /// only on the spec.
+    ///
+    /// Every flow also carries the network/ISP labels of the profile at its
+    /// start time ([`NetProfile::net_kind_at`] / [`NetProfile::isp_label_at`]),
+    /// which is what the shard sinks aggregate the crowd report under.
     pub fn generate(&self) -> Vec<FlowSpec> {
         let weights: Vec<f64> = self.spec.mix.iter().map(|(_, w)| *w).collect();
         let destinations = Self::destinations();
+        let handover_at =
+            SimTime::ZERO + SimDuration::from_nanos(self.spec.duration.as_nanos() / 2);
         let mut flows = Vec::new();
         for user in 0..self.spec.users {
             let mut rng = SimRng::seed_from_u64(
@@ -303,6 +345,9 @@ impl Scenario {
             let mut user_flows = workload.generate(&mut rng);
             for (i, flow) in user_flows.iter_mut().enumerate() {
                 flow.src = Some(Endpoint::new(addr, USER_PORT_BASE + i as u16));
+                flow.network = Some(self.spec.profile.net_kind_at(flow.at, handover_at));
+                flow.isp =
+                    Some(self.spec.profile.isp_label_at(flow.at, handover_at).to_string());
             }
             flows.extend(user_flows);
         }

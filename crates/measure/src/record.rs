@@ -2,7 +2,7 @@
 
 
 /// Whether a measurement timed a TCP handshake or a DNS exchange.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum MeasurementKind {
     /// SYN ↔ SYN/ACK of an app's TCP connection.
     Tcp,

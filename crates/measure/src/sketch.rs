@@ -1,0 +1,508 @@
+//! A deterministic, mergeable quantile sketch for RTT samples.
+//!
+//! The crowdsourcing analyses (§4.2 of the paper) are all order statistics —
+//! medians, CDF fractions, percentiles — over very large sample sets. Keeping
+//! every sample costs memory and merge time proportional to the deployment,
+//! which is exactly what a "millions of users" pipeline cannot afford. An
+//! [`RttSketch`] replaces the sample vector with a fixed-boundary log-bucket
+//! histogram:
+//!
+//! * **Constant memory.** At most [`RttSketch::MAX_BUCKETS`] buckets exist,
+//!   whatever the sample count; a typical per-app cell occupies a few dozen.
+//! * **Bounded quantile error.** Every reported quantile is the
+//!   representative value of the bucket containing the exact order statistic,
+//!   at most [`RttSketch::RELATIVE_ERROR`] (1 %) away from it in relative
+//!   terms — for observations inside the sketch's resolution range of
+//!   ~31 µs to ~17.5 min, which covers every RTT the relay can produce.
+//!   Values outside it land in the under/overflow buckets, where quantiles
+//!   are clamped to the exact `[min, max]` but carry no relative-error
+//!   bound. `count`, `sum` (at 1 ns resolution), `min` and `max` are always
+//!   exact.
+//! * **Deterministic, order-free merging.** Bucket boundaries are fixed
+//!   functions of the value (no per-sketch calibration), and all accumulator
+//!   state is integral, so merging any partition of a sample set in any
+//!   order produces the *bit-identical* sketch. That is the property the
+//!   sharded fleet engine's cross-shard merge relies on.
+//!
+//! Bucket boundaries are log-linear, HDR-histogram style: each power of two
+//! of milliseconds is split into 64 equal-width linear
+//! subbuckets. Bucket indices are computed from the raw bits of the `f64`
+//! (exponent plus the top mantissa bits), so no transcendental functions are
+//! involved and the mapping is exact on every platform.
+//!
+//! # Examples
+//!
+//! ```
+//! use mop_measure::RttSketch;
+//!
+//! // Two shards observe disjoint halves of the same samples...
+//! let (mut a, mut b) = (RttSketch::new(), RttSketch::new());
+//! for ms in 1..=1000 {
+//!     if ms % 2 == 0 { a.observe(ms as f64) } else { b.observe(ms as f64) }
+//! }
+//! // ...and the merge, in either order, is the same sketch.
+//! let mut ab = a.clone();
+//! ab.merge_from(&b);
+//! let mut ba = b.clone();
+//! ba.merge_from(&a);
+//! assert_eq!(ab, ba);
+//! assert_eq!(ab.count(), 1000);
+//! let median = ab.median().unwrap();
+//! assert!((median - 500.0).abs() / 500.0 < 0.01, "median {median}");
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Number of linear subbuckets per power of two. 64 subbuckets bound the
+/// relative width of one bucket by 1/64 ≈ 1.6 %, so the bucket midpoint is
+/// within 0.79 % of any value in the bucket — comfortably inside the 1 %
+/// error budget.
+const SUBBUCKETS: u64 = 64;
+/// log2(SUBBUCKETS), the mantissa bits that select the subbucket.
+const SUBBUCKET_BITS: u32 = 6;
+/// Values below this (in ms) land in the underflow bucket. 2^-5 ms = ~31 µs,
+/// far below any RTT the relay can measure.
+const MIN_MS: f64 = 0.03125;
+/// Values above this (in ms) land in the overflow bucket. 2^20 ms ≈ 17.5
+/// minutes, far above any RTT the relay reports.
+const MAX_MS: f64 = 1_048_576.0;
+/// Exponent (biased) of `MIN_MS`, the origin of the bucket index space.
+const MIN_EXPONENT: i32 = -5;
+/// Number of powers of two between `MIN_MS` and `MAX_MS`.
+const OCTAVES: u64 = 25;
+/// Nanoseconds-per-millisecond fixed-point scale of the exact sum.
+const SUM_SCALE: f64 = 1_000_000.0;
+
+/// A mergeable fixed-boundary log-bucket histogram of RTT values in
+/// milliseconds. See the [module docs](self) for the guarantees.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RttSketch {
+    /// Sparse bucket counts, keyed by bucket index. Index 0 is the underflow
+    /// bucket; the last index is the overflow bucket.
+    buckets: BTreeMap<u16, u64>,
+    /// Total observations.
+    count: u64,
+    /// Exact sum of all observed values, in nanoseconds (integral so that
+    /// merges are associative and commutative bit-for-bit).
+    sum_ns: u128,
+    /// Raw bits of the smallest observed value (positive finite `f64`s order
+    /// the same as their bit patterns). `u64::MAX` while empty.
+    min_bits: u64,
+    /// Raw bits of the largest observed value. `0` while empty.
+    max_bits: u64,
+}
+
+/// Index of the first regular (non-underflow) bucket.
+const FIRST_REGULAR: u16 = 1;
+
+/// Index of the overflow bucket.
+const OVERFLOW: u16 = FIRST_REGULAR + (OCTAVES * SUBBUCKETS) as u16;
+
+impl RttSketch {
+    /// The guaranteed bound on the relative error of any reported quantile,
+    /// for observations inside the sketch's resolution range (~31 µs to
+    /// ~17.5 min; see the [module docs](self) for what happens outside it).
+    pub const RELATIVE_ERROR: f64 = 0.01;
+
+    /// The largest number of buckets a sketch can ever hold (underflow +
+    /// `OCTAVES × SUBBUCKETS` regular buckets + overflow): the constant that
+    /// makes its memory independent of the sample count.
+    pub const MAX_BUCKETS: usize = OVERFLOW as usize + 1;
+
+    /// Creates an empty sketch.
+    pub fn new() -> Self {
+        Self { buckets: BTreeMap::new(), count: 0, sum_ns: 0, min_bits: u64::MAX, max_bits: 0 }
+    }
+
+    /// The bucket index of a value already clamped to `[MIN_MS, MAX_MS)`:
+    /// the octave (exponent above `MIN_EXPONENT`) times `SUBBUCKETS`, plus
+    /// the subbucket selected by the top mantissa bits. Pure bit
+    /// manipulation — exact and identical on every platform.
+    fn index_of(ms: f64) -> u16 {
+        if ms < MIN_MS {
+            return 0;
+        }
+        if ms >= MAX_MS {
+            return OVERFLOW;
+        }
+        let bits = ms.to_bits();
+        let exponent = ((bits >> 52) & 0x7ff) as i32 - 1023;
+        let subbucket = (bits >> (52 - SUBBUCKET_BITS)) & (SUBBUCKETS - 1);
+        let octave = (exponent - MIN_EXPONENT) as u64;
+        FIRST_REGULAR + (octave * SUBBUCKETS + subbucket) as u16
+    }
+
+    /// The representative value reported for a bucket: the arithmetic
+    /// midpoint of its edges, which is within `RELATIVE_ERROR` of every
+    /// value the bucket can contain.
+    fn representative(index: u16) -> f64 {
+        if index == 0 {
+            return MIN_MS;
+        }
+        if index >= OVERFLOW {
+            return MAX_MS;
+        }
+        let linear = u64::from(index - FIRST_REGULAR);
+        let octave = linear / SUBBUCKETS;
+        let subbucket = linear % SUBBUCKETS;
+        let base = MIN_MS * (1u64 << octave) as f64;
+        let width = base / SUBBUCKETS as f64;
+        base + width * (subbucket as f64 + 0.5)
+    }
+
+    /// The exclusive upper edge of a bucket (used by the invariant tests).
+    #[cfg(test)]
+    fn upper_edge(index: u16) -> f64 {
+        if index == 0 {
+            return MIN_MS;
+        }
+        if index >= OVERFLOW {
+            return f64::INFINITY;
+        }
+        let linear = u64::from(index - FIRST_REGULAR);
+        let octave = linear / SUBBUCKETS;
+        let subbucket = linear % SUBBUCKETS;
+        let base = MIN_MS * (1u64 << octave) as f64;
+        base + base / SUBBUCKETS as f64 * (subbucket as f64 + 1.0)
+    }
+
+    /// Folds one RTT value (milliseconds) into the sketch. Non-finite and
+    /// negative values are ignored — they carry no measurement.
+    pub fn observe(&mut self, ms: f64) {
+        if !ms.is_finite() || ms < 0.0 {
+            return;
+        }
+        *self.buckets.entry(Self::index_of(ms)).or_insert(0) += 1;
+        self.count += 1;
+        self.sum_ns += (ms * SUM_SCALE).round() as u128;
+        let bits = ms.to_bits();
+        self.min_bits = self.min_bits.min(bits);
+        self.max_bits = self.max_bits.max(bits);
+    }
+
+    /// Merges another sketch into this one. Integral element-wise addition,
+    /// so any merge order over any partition of the same observations yields
+    /// the bit-identical result.
+    pub fn merge_from(&mut self, other: &RttSketch) {
+        for (&index, &count) in &other.buckets {
+            *self.buckets.entry(index).or_insert(0) += count;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_bits = self.min_bits.min(other.min_bits);
+        self.max_bits = self.max_bits.max(other.max_bits);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of the observations, in milliseconds (accumulated at 1 ns
+    /// resolution).
+    pub fn sum_ms(&self) -> f64 {
+        self.sum_ns as f64 / SUM_SCALE
+    }
+
+    /// Exact arithmetic mean, if any values were observed.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_ms() / self.count as f64)
+    }
+
+    /// Exact minimum observed value.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then(|| f64::from_bits(self.min_bits))
+    }
+
+    /// Exact maximum observed value.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then(|| f64::from_bits(self.max_bits))
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the observations: the representative
+    /// value of the bucket containing the nearest-rank order statistic,
+    /// clamped to the exact `[min, max]` range. Within
+    /// [`RttSketch::RELATIVE_ERROR`] of that order statistic when it lies in
+    /// the sketch's resolution range (order statistics in the under/overflow
+    /// buckets are only clamped to the exact extremes); `q = 0` and `q = 1`
+    /// are exact. `None` if the sketch is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank (0-based) target, matching the order statistic that
+        // `mop_measure::percentile` interpolates around.
+        let rank = (q * (self.count - 1) as f64).round() as u64;
+        if rank == 0 {
+            return self.min();
+        }
+        if rank == self.count - 1 {
+            return self.max();
+        }
+        let mut cumulative = 0u64;
+        for (&index, &count) in &self.buckets {
+            cumulative += count;
+            if cumulative > rank {
+                let rep = Self::representative(index);
+                return Some(rep.clamp(self.min().unwrap_or(rep), self.max().unwrap_or(rep)));
+            }
+        }
+        self.max()
+    }
+
+    /// The median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// The fraction of observations at or below `x`. The reported fraction
+    /// equals the exact fraction evaluated at some `x'` within one bucket
+    /// width (≤ 2 × [`RttSketch::RELATIVE_ERROR`]) of `x` — the horizontal
+    /// error bound a fixed-bucket CDF provides.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if let Some(min) = self.min() {
+            if x < min {
+                return 0.0;
+            }
+        }
+        if let Some(max) = self.max() {
+            if x >= max {
+                return 1.0;
+            }
+        }
+        let limit = Self::index_of(x.max(0.0));
+        let below: u64 = self
+            .buckets
+            .iter()
+            .take_while(|(&index, _)| index <= limit)
+            .map(|(_, &count)| count)
+            .sum();
+        below as f64 / self.count as f64
+    }
+
+    /// Evaluates the sketch's CDF at evenly spaced points over `[0, x_max]`,
+    /// producing `(x, F(x))` pairs — the series a figure plots, mirroring
+    /// [`crate::Cdf::series`].
+    pub fn series(&self, x_max: f64, points: usize) -> Vec<(f64, f64)> {
+        let points = points.max(2);
+        (0..points)
+            .map(|i| {
+                let x = x_max * i as f64 / (points - 1) as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+
+    /// Number of occupied buckets — the sketch's actual footprint, bounded
+    /// by [`RttSketch::MAX_BUCKETS`] regardless of the observation count.
+    pub fn occupied_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// A stable FNV-1a digest of the full sketch state (buckets, count, sum,
+    /// min/max bits). Two sketches are bit-identical iff their digests match
+    /// — the one-line check the merge-determinism tests use.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_u64(self.count);
+        h.write_u64((self.sum_ns >> 64) as u64);
+        h.write_u64(self.sum_ns as u64);
+        h.write_u64(self.min_bits);
+        h.write_u64(self.max_bits);
+        for (&index, &count) in &self.buckets {
+            h.write_u64(u64::from(index));
+            h.write_u64(count);
+        }
+        h.finish()
+    }
+}
+
+impl Extend<f64> for RttSketch {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.observe(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for RttSketch {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut sketch = Self::new();
+        sketch.extend(iter);
+        sketch
+    }
+}
+
+/// A minimal FNV-1a accumulator (kept local so `mop_measure` stays free of
+/// simulator and packet dependencies).
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        for byte in s.bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_bounded() {
+        let mut last = 0u16;
+        let mut v = MIN_MS / 2.0;
+        while v < MAX_MS * 2.0 {
+            let idx = RttSketch::index_of(v);
+            assert!(idx >= last, "index must not decrease: {v} -> {idx} after {last}");
+            assert!((idx as usize) < RttSketch::MAX_BUCKETS);
+            last = idx;
+            v *= 1.003;
+        }
+        assert_eq!(RttSketch::index_of(0.0), 0);
+        assert_eq!(RttSketch::index_of(MAX_MS * 10.0), OVERFLOW);
+    }
+
+    #[test]
+    fn representative_lies_inside_the_bucket() {
+        let mut v = MIN_MS;
+        while v < MAX_MS {
+            let idx = RttSketch::index_of(v);
+            let rep = RttSketch::representative(idx);
+            let upper = RttSketch::upper_edge(idx);
+            assert!(rep <= upper, "rep {rep} above upper edge {upper} for {v}");
+            let err = (rep - v).abs() / v;
+            assert!(err <= RttSketch::RELATIVE_ERROR, "value {v} rep {rep} err {err}");
+            v *= 1.007;
+        }
+    }
+
+    #[test]
+    fn count_sum_min_max_are_exact() {
+        let values = [0.5, 3.25, 100.0, 99.75, 760.5];
+        let sketch: RttSketch = values.iter().copied().collect();
+        assert_eq!(sketch.count(), 5);
+        assert_eq!(sketch.min(), Some(0.5));
+        assert_eq!(sketch.max(), Some(760.5));
+        let exact_sum: f64 = values.iter().sum();
+        assert!((sketch.sum_ms() - exact_sum).abs() < 1e-3);
+        assert!((sketch.mean().unwrap() - exact_sum / 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quantiles_track_exact_order_statistics() {
+        let values: Vec<f64> = (1..=10_000).map(|i| i as f64 / 7.0).collect();
+        let sketch: RttSketch = values.iter().copied().collect();
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let exact = sorted[(q * (sorted.len() - 1) as f64).round() as usize];
+            let approx = sketch.quantile(q).unwrap();
+            let err = (approx - exact).abs() / exact;
+            assert!(err <= RttSketch::RELATIVE_ERROR, "q {q}: exact {exact} approx {approx}");
+        }
+        assert_eq!(sketch.quantile(0.0), sketch.min());
+        assert_eq!(sketch.quantile(1.0), sketch.max());
+    }
+
+    #[test]
+    fn fraction_and_series_are_monotone() {
+        let sketch: RttSketch = (1..=1000).map(|i| i as f64).collect();
+        assert_eq!(sketch.fraction_at_or_below(0.1), 0.0);
+        assert_eq!(sketch.fraction_at_or_below(5000.0), 1.0);
+        let half = sketch.fraction_at_or_below(500.0);
+        assert!((half - 0.5).abs() < 0.02, "fraction at 500: {half}");
+        let series = sketch.series(1000.0, 21);
+        assert_eq!(series.len(), 21);
+        assert!(series.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(series.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn merging_any_partition_is_bit_identical() {
+        let values: Vec<f64> = (0..5000).map(|i| 1.0 + (i % 997) as f64 * 0.73).collect();
+        let whole: RttSketch = values.iter().copied().collect();
+        // Three shards, merged in both orders.
+        let mut shards = vec![RttSketch::new(), RttSketch::new(), RttSketch::new()];
+        for (i, v) in values.iter().enumerate() {
+            shards[i % 3].observe(*v);
+        }
+        let mut forward = RttSketch::new();
+        for s in &shards {
+            forward.merge_from(s);
+        }
+        let mut backward = RttSketch::new();
+        for s in shards.iter().rev() {
+            backward.merge_from(s);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward, whole);
+        assert_eq!(forward.digest(), whole.digest());
+    }
+
+    #[test]
+    fn empty_sketch_reports_nothing() {
+        let sketch = RttSketch::new();
+        assert!(sketch.is_empty());
+        assert_eq!(sketch.median(), None);
+        assert_eq!(sketch.min(), None);
+        assert_eq!(sketch.max(), None);
+        assert_eq!(sketch.mean(), None);
+        assert_eq!(sketch.fraction_at_or_below(100.0), 0.0);
+        assert_eq!(sketch.occupied_buckets(), 0);
+    }
+
+    #[test]
+    fn out_of_range_and_invalid_values() {
+        let mut sketch = RttSketch::new();
+        sketch.observe(f64::NAN);
+        sketch.observe(f64::INFINITY);
+        sketch.observe(-5.0);
+        assert!(sketch.is_empty(), "invalid values must be ignored");
+        sketch.observe(0.000001); // underflow bucket, min still exact
+        sketch.observe(10_000_000.0); // overflow bucket, max still exact
+        assert_eq!(sketch.count(), 2);
+        assert_eq!(sketch.min(), Some(0.000001));
+        assert_eq!(sketch.max(), Some(10_000_000.0));
+        // Quantiles stay inside the exact range even for clamped buckets.
+        let q = sketch.quantile(0.5).unwrap();
+        assert!((0.000001..=10_000_000.0).contains(&q));
+    }
+
+    #[test]
+    fn memory_is_bounded_by_the_bucket_space() {
+        let mut sketch = RttSketch::new();
+        for i in 0..200_000u64 {
+            sketch.observe(0.01 + (i % 40_000) as f64 * 0.05);
+        }
+        assert!(sketch.occupied_buckets() <= RttSketch::MAX_BUCKETS);
+        assert_eq!(sketch.count(), 200_000);
+    }
+}

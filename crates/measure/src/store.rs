@@ -36,13 +36,47 @@ impl MeasurementStore {
     /// Absorbs another store's records (cross-shard aggregation: each shard
     /// of a fleet run collects its own store, and the measurement sink folds
     /// them together with this).
+    ///
+    /// # Ordering contract
+    ///
+    /// `merge_from` **appends** `other`'s records after this store's, in
+    /// `other`'s existing order — it does not interleave or sort. The
+    /// resulting order therefore depends on the merge order, and two stores
+    /// holding the same records merged from differently-partitioned shards
+    /// are *not* equal until [`MeasurementStore::canonicalise`] has run on
+    /// both. Callers that compare stores (or digest them, as the
+    /// `fleet_determinism` suite does for the engine's report-level state)
+    /// must canonicalise after the last merge.
     pub fn merge_from(&mut self, other: MeasurementStore) {
         self.records.extend(other.records);
     }
 
-    /// Sorts the records into a canonical order (timestamp, device, app,
-    /// domain, RTT bits), so stores merged from differently-partitioned
-    /// shards compare equal.
+    /// Sorts the records into the canonical total order, so stores merged
+    /// from differently-partitioned shards compare equal.
+    ///
+    /// # Ordering contract
+    ///
+    /// The canonical order is the lexicographic tuple
+    /// `(timestamp_s, device, app, domain, rtt_ms.to_bits())`, ascending.
+    /// Two guarantees follow:
+    ///
+    /// * **Partition invariance.** For any partition of a record set across
+    ///   shards, merging the parts with [`MeasurementStore::merge_from`] (in
+    ///   any order) and canonicalising yields the same record sequence as
+    ///   canonicalising the unpartitioned set — the property the fleet
+    ///   determinism tests rely on.
+    /// * **Stability of duplicates.** Records identical in all five key
+    ///   fields are mutually interchangeable under this order, so their
+    ///   relative placement cannot affect any comparison or digest. RTT ties
+    ///   are broken on the *bit pattern* of the `f64` (total order, no NaN
+    ///   ambiguity), not on an epsilon comparison.
+    ///
+    /// Fields outside the tuple (`dst_ip`, `dst_port`, `isp`, `country`,
+    /// `kind`) do not participate in the order; records differing only in
+    /// those fields keep their merge-dependent relative order. Every
+    /// producer in this workspace derives them deterministically from the
+    /// keyed fields, which is why the weaker tuple is sufficient — but a new
+    /// producer that violates that assumption must extend the sort key.
     pub fn canonicalise(&mut self) {
         self.records.sort_by(|a, b| {
             (a.timestamp_s, a.device, &a.app, &a.domain, a.rtt_ms.to_bits()).cmp(&(

@@ -4,7 +4,10 @@
 
 use proptest::prelude::*;
 
-use mop_measure::{percentile, Cdf, ConfidenceInterval, Histogram, MeasurementStore, NetKind, RttRecord, Summary};
+use mop_measure::{
+    percentile, AggregateStore, Cdf, ConfidenceInterval, Histogram, MeasurementKind,
+    MeasurementStore, NetKind, RttRecord, RttSketch, Summary,
+};
 
 fn arb_rtts() -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(0.1f64..2_000.0, 1..300)
@@ -79,5 +82,117 @@ proptest! {
         // JSON-lines round trip preserves every record.
         let back = MeasurementStore::from_json_lines(&store.to_json_lines());
         prop_assert_eq!(back.len(), store.len());
+    }
+
+    // ----- streaming sketch / aggregate properties ------------------------
+
+    #[test]
+    fn sketch_quantiles_stay_within_one_percent_of_exact(
+        values in arb_rtts(),
+        q in 0.0f64..=1.0,
+    ) {
+        let sketch: RttSketch = values.iter().copied().collect();
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        // The exact nearest-rank order statistic the sketch approximates.
+        let exact = sorted[(q * (sorted.len() - 1) as f64).round() as usize];
+        let approx = sketch.quantile(q).unwrap();
+        prop_assert!(
+            (approx - exact).abs() / exact <= RttSketch::RELATIVE_ERROR + 1e-12,
+            "q {} exact {} approx {}", q, exact, approx
+        );
+        // Count, sum, min and max are exact (sum at 1 ns resolution).
+        prop_assert_eq!(sketch.count() as usize, values.len());
+        prop_assert_eq!(sketch.min().unwrap(), sorted[0]);
+        prop_assert_eq!(sketch.max().unwrap(), *sorted.last().unwrap());
+        let exact_sum: f64 = values.iter().sum();
+        prop_assert!((sketch.sum_ms() - exact_sum).abs() <= 1e-6 * values.len() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn sketch_cdf_is_monotone_and_bracketed(values in arb_rtts()) {
+        let sketch: RttSketch = values.iter().copied().collect();
+        let series = sketch.series(2_000.0, 40);
+        prop_assert!(series.windows(2).all(|w| w[0].1 <= w[1].1));
+        prop_assert!((series.last().unwrap().1 - 1.0).abs() < 1e-9);
+        // The sketch CDF is the exact CDF read at a point within one bucket
+        // width: bracket it by evaluating the exact CDF slightly wider.
+        let exact = Cdf::from_values(&values);
+        let slack = 2.0 * RttSketch::RELATIVE_ERROR;
+        for (x, f) in series {
+            let lo = exact.fraction_at_or_below(x * (1.0 - slack) - 1e-9);
+            let hi = exact.fraction_at_or_below(x * (1.0 + slack) + 1e-9);
+            prop_assert!((lo..=hi).contains(&f), "x {}: sketch {} outside [{}, {}]", x, f, lo, hi);
+        }
+    }
+
+    #[test]
+    fn aggregate_merge_is_bit_identical_for_any_shard_permutation(
+        values in proptest::collection::vec(0.5f64..1_500.0, 1..200),
+        shards in 1usize..6,
+        rotate in 0usize..6,
+    ) {
+        // Deterministic but varied cell keys derived from the sample index.
+        let record = |i: usize, v: f64| {
+            let apps = ["com.whatsapp", "com.android.chrome", "com.google.android.youtube"];
+            let isps = ["Jio 4G", "Verizon", "HomeWiFi"];
+            let network = if i % 4 == 0 { NetKind::Wifi } else { NetKind::Lte };
+            // Country is a function of the device (a device has one country),
+            // so the device plane is partition-independent.
+            RttRecord::tcp(v, (i % 7) as u32, apps[i % apps.len()], network)
+                .with_isp(isps[i % isps.len()])
+                .with_country(if (i % 7) % 2 == 0 { "USA" } else { "India" })
+        };
+        let mut whole = AggregateStore::new();
+        for (i, v) in values.iter().enumerate() {
+            whole.observe(&record(i, *v));
+        }
+        // Partition across shards, then merge starting from an arbitrary
+        // rotation — every order must produce the bit-identical store.
+        let mut parts = vec![AggregateStore::new(); shards];
+        for (i, v) in values.iter().enumerate() {
+            parts[i % shards].observe(&record(i, *v));
+        }
+        let mut merged = AggregateStore::new();
+        for k in 0..shards {
+            merged.merge_from(&parts[(k + rotate) % shards]);
+        }
+        prop_assert_eq!(merged.digest(), whole.digest());
+        prop_assert!(merged == whole, "merged store must equal the unpartitioned store");
+        prop_assert_eq!(merged.sample_count() as usize, values.len());
+        // The per-app counts agree with the batch store's.
+        let mut batch = MeasurementStore::new();
+        for (i, v) in values.iter().enumerate() {
+            batch.push(record(i, *v));
+        }
+        prop_assert_eq!(merged.counts_per_app(), batch.counts_per_app());
+        prop_assert_eq!(merged.counts_per_device(), batch.counts_per_device());
+    }
+
+    #[test]
+    fn aggregate_medians_track_the_batch_store(values in proptest::collection::vec(1.0f64..900.0, 4..250)) {
+        let mut agg = AggregateStore::new();
+        let mut batch = MeasurementStore::new();
+        for (i, v) in values.iter().enumerate() {
+            let kind = if i % 3 == 0 { NetKind::Lte } else { NetKind::Wifi };
+            let r = RttRecord::tcp(*v, 1, "com.app", kind);
+            agg.observe(&r);
+            batch.push(r);
+        }
+        for net in [NetKind::Wifi, NetKind::Lte] {
+            let mut exact: Vec<f64> = batch.rtts_where(|r| r.network == net);
+            if exact.is_empty() { continue; }
+            exact.sort_by(f64::total_cmp);
+            let exact_median = exact[(0.5 * (exact.len() - 1) as f64).round() as usize];
+            let sketch_median = agg.median_where(|k| k.network == net).unwrap();
+            prop_assert!(
+                (sketch_median - exact_median).abs() / exact_median <= RttSketch::RELATIVE_ERROR + 1e-12,
+                "net {:?}: exact {} sketch {}", net, exact_median, sketch_median
+            );
+        }
+        prop_assert_eq!(
+            agg.sketch_where(|k| k.kind == MeasurementKind::Tcp).count() as usize,
+            values.len()
+        );
     }
 }

@@ -6,6 +6,7 @@
 //! (Table 3), video streaming for the resource experiment (Table 4), and a
 //! messaging mix for general end-to-end runs.
 
+use mop_measure::NetKind;
 use mop_packet::Endpoint;
 use mop_simnet::{SimDuration, SimRng, SimTime};
 
@@ -45,6 +46,27 @@ pub struct FlowSpec {
     pub close_after: usize,
     /// TCP or DNS.
     pub kind: FlowKind,
+    /// The access-network technology this flow's measurements should be
+    /// labelled with in the aggregated crowd report.
+    ///
+    /// `None` lets the engine derive the label from the simulated network's
+    /// access profile at measurement time. Scenario generators set it from
+    /// their network profile so the label survives even when the report is
+    /// produced far from the network description.
+    pub network: Option<NetKind>,
+    /// The operator / Wi-Fi network name this flow's measurements should be
+    /// labelled with (the per-ISP analyses group by it). `None` leaves the
+    /// label empty.
+    pub isp: Option<String>,
+}
+
+impl FlowSpec {
+    /// Sets the network/ISP labels carried into the aggregated crowd report.
+    pub fn with_net_label(mut self, network: NetKind, isp: &str) -> Self {
+        self.network = Some(network);
+        self.isp = Some(isp.to_string());
+        self
+    }
 }
 
 /// The built-in workload shapes.
@@ -132,6 +154,8 @@ impl Workload {
             request_bytes: request,
             close_after,
             kind: FlowKind::Tcp,
+            network: None,
+            isp: None,
         }
     }
 
@@ -154,6 +178,8 @@ impl Workload {
                 request_bytes: 0,
                 close_after: 0,
                 kind: FlowKind::Dns,
+                network: None,
+                isp: None,
             });
             let connections = rng.int_inclusive(6, 14);
             for c in 0..connections {
@@ -226,6 +252,8 @@ impl Workload {
                 request_bytes: 0,
                 close_after: 0,
                 kind: FlowKind::Dns,
+                network: None,
+                isp: None,
             });
         }
         flows

@@ -66,6 +66,8 @@ fn accuracy_holds_across_rtt_scales_like_table2() {
                 request_bytes: 300,
                 close_after: 2048,
                 kind: FlowKind::Tcp,
+                network: None,
+                isp: None,
             })
             .collect();
         let report = engine.run_flows(flows);
@@ -190,6 +192,8 @@ fn failed_and_refused_servers_are_reported_not_measured() {
             request_bytes: 100,
             close_after: 100,
             kind: FlowKind::Tcp,
+            network: None,
+            isp: None,
         })
         .collect();
     let report = engine.run_flows(flows);

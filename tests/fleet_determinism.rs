@@ -31,6 +31,8 @@ fn same_seed_same_scenario_identical_report_at_1_2_8_shards() {
     for pair in reports.windows(2) {
         let (a, b) = (&pair[0].merged, &pair[1].merged);
         assert_eq!(a.samples, b.samples, "RTT samples must match exactly");
+        assert_eq!(a.aggregates, b.aggregates, "merged sketch aggregates must be bit-identical");
+        assert_eq!(a.aggregates.digest(), b.aggregates.digest());
         assert_eq!(a.relay, b.relay, "relay counters must match");
         assert_eq!(a.flows, b.flows, "flow outcomes must match");
         assert_eq!(a.tun, b.tun, "TUN counters must match");
@@ -44,6 +46,13 @@ fn same_seed_same_scenario_identical_report_at_1_2_8_shards() {
     assert!(merged.relay.connects_ok > 200, "connects: {:?}", merged.relay);
     assert!(merged.samples.len() as u64 >= merged.relay.connects_ok);
     assert!(merged.buffer_pool.reuse_rate() > 0.9, "{:?}", merged.buffer_pool);
+    // The streaming aggregates saw exactly the samples the vector retained,
+    // labelled with the scenario's network profile.
+    assert_eq!(merged.aggregates.sample_count() as usize, merged.samples.len());
+    assert!(merged
+        .aggregates
+        .cells()
+        .all(|(key, _)| key.isp == "HomeWiFi" && key.network == mopeye::measure::NetKind::Wifi));
 }
 
 #[test]

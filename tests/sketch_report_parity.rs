@@ -1,0 +1,98 @@
+//! Acceptance: the crowd report produced from the shard sinks' streaming
+//! sketches matches the vector-based report on the rush-hour scenario.
+//!
+//! PR 4's contract is that replacing the retained sample vector with
+//! mergeable sketches changes the *cost* of the analytics, not the answers:
+//! headline medians and CDF fractions agree within the sketch's 1 % relative
+//! error, counts exactly, and the lean (no-vector) run produces the
+//! bit-identical aggregates the full run does.
+
+use mopeye::dataset::Scenario;
+use mopeye::engine::{FleetConfig, FleetEngine, FleetReport, SampleKind};
+use mopeye::measure::{MeasurementKind, RttSketch};
+
+fn run(users: usize, shards: usize, retain_samples: bool) -> FleetReport {
+    let scenario = Scenario::rush_hour(users, 20_170_712);
+    let mut config = FleetConfig::new(shards).with_seed(77);
+    config.engine = config.engine.with_retain_samples(retain_samples);
+    let fleet = FleetEngine::new(config, scenario.network());
+    fleet.run(scenario.generate())
+}
+
+/// Exact nearest-rank median of a sample vector.
+fn exact_median(mut values: Vec<f64>) -> f64 {
+    assert!(!values.is_empty());
+    values.sort_by(f64::total_cmp);
+    values[(0.5 * (values.len() - 1) as f64).round() as usize]
+}
+
+#[test]
+fn sketch_report_matches_vector_report_on_rush_hour() {
+    let report = run(400, 2, true);
+    let merged = &report.merged;
+    assert!(merged.samples.len() > 500, "need a real run, got {}", merged.samples.len());
+
+    for (kind, sample_kind) in
+        [(MeasurementKind::Tcp, SampleKind::Tcp), (MeasurementKind::Dns, SampleKind::Dns)]
+    {
+        let vector: Vec<f64> = merged
+            .samples
+            .iter()
+            .filter(|s| s.kind == sample_kind)
+            .map(|s| s.measured_ms)
+            .collect();
+        let sketch = merged.aggregates.sketch_where(|k| k.kind == kind);
+        // Counts agree exactly.
+        assert_eq!(sketch.count() as usize, vector.len(), "{kind:?} counts");
+        if vector.is_empty() {
+            continue;
+        }
+        // Headline median within the sketch's 1 % guarantee.
+        let exact = exact_median(vector.clone());
+        let approx = sketch.median().unwrap();
+        let err = (approx - exact).abs() / exact;
+        assert!(
+            err <= RttSketch::RELATIVE_ERROR + 1e-12,
+            "{kind:?} median: exact {exact} sketch {approx} (err {err})"
+        );
+        // CDF fractions: the sketch fraction at x equals the exact fraction
+        // at some x' within one bucket of x.
+        for x in [25.0, 50.0, 100.0, 200.0] {
+            let f = sketch.fraction_at_or_below(x);
+            let slack = 2.0 * RttSketch::RELATIVE_ERROR;
+            let lo = vector.iter().filter(|v| **v <= x * (1.0 - slack)).count() as f64
+                / vector.len() as f64;
+            let hi = vector.iter().filter(|v| **v <= x * (1.0 + slack)).count() as f64
+                / vector.len() as f64;
+            assert!(
+                (lo..=hi).contains(&f),
+                "{kind:?} fraction at {x}: sketch {f} outside [{lo}, {hi}]"
+            );
+        }
+        // Extremes are exact.
+        let min = vector.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = vector.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(sketch.min().unwrap(), min);
+        assert_eq!(sketch.max().unwrap(), max);
+    }
+}
+
+#[test]
+fn lean_run_drops_the_vector_but_keeps_identical_aggregates() {
+    let full = run(150, 2, true);
+    let lean = run(150, 2, false);
+    // The lean run never materialises the record vector...
+    assert!(lean.merged.samples.is_empty());
+    assert!(!full.merged.samples.is_empty());
+    // ...but its aggregates are bit-identical to the full run's.
+    assert_eq!(full.merged.aggregates, lean.merged.aggregates);
+    assert_eq!(full.merged.aggregates.digest(), lean.merged.aggregates.digest());
+    assert_eq!(
+        lean.merged.aggregates.sample_count() as usize,
+        full.merged.samples.len(),
+        "every sample the full run retained was folded into the lean aggregates"
+    );
+    // And the lean aggregates are themselves shard-count-invariant.
+    let lean8 = run(150, 8, false);
+    assert_eq!(lean.merged.aggregates.digest(), lean8.merged.aggregates.digest());
+}
