@@ -1,0 +1,152 @@
+//! Scheduler bench: the timing wheel vs the binary heap.
+//!
+//! Two parts:
+//!
+//! * a criterion-timed microbench of the steady-state *hold* model — pop the
+//!   earliest event, schedule a replacement at a random future offset — at
+//!   1k / 10k / 100k / 1M pending events. This isolates the per-operation
+//!   cost at a given occupancy: the heap pays O(log n) sift steps on a
+//!   cache-hostile array, the wheel pays O(1) slot arithmetic regardless of
+//!   how many timers are pending. A cancel-heavy variant times the wheel's
+//!   O(1) `cancel` against schedule/cancel churn.
+//! * the headline sweep printed to stderr: the rush-hour scenario (and the
+//!   flash-crowd churn scenario with per-connection idle timers armed) run
+//!   end-to-end on the wheel engine vs the reference heap engine, asserting
+//!   identical digests while comparing wall time. `BENCH_pr5.json` records
+//!   these numbers.
+//!
+//! `SCHED_BENCH_USERS` scales the end-to-end sweep (default 2_000 users).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mop_dataset::Scenario;
+use mop_simnet::{SchedulerKind, SimDuration, SimTime, TimerScheduler};
+use mopeye_core::{FleetConfig, FleetEngine};
+
+/// A cheap deterministic offset stream (xorshift) for the hold model.
+struct Offsets(u64);
+
+impl Offsets {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+fn prefill(kind: SchedulerKind, pending: usize) -> (TimerScheduler<u64>, Offsets) {
+    let mut sched = TimerScheduler::new(kind, SimDuration::from_nanos(1024));
+    let mut offsets = Offsets(0x9e37_79b9_7f4a_7c15);
+    for i in 0..pending as u64 {
+        // Spread the initial population over ~100 ms of virtual time.
+        let at = SimTime::from_nanos(offsets.next() % 100_000_000);
+        sched.schedule(at, i);
+    }
+    (sched, offsets)
+}
+
+fn bench_hold_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_hold");
+    group.sample_size(20);
+    for &pending in &[1_000usize, 10_000, 100_000, 1_000_000] {
+        for (label, kind) in [("wheel", SchedulerKind::Wheel), ("heap", SchedulerKind::Heap)] {
+            let (mut sched, mut offsets) = prefill(kind, pending);
+            group.bench_function(&format!("{label}_pop_schedule_{pending}"), |b| {
+                b.iter(|| {
+                    let (at, event) = sched.pop().expect("population stays constant");
+                    // Replace the popped event at a random future offset, so
+                    // occupancy holds steady at `pending`.
+                    let next = at + SimDuration::from_nanos(offsets.next() % 10_000_000);
+                    sched.schedule(next, event);
+                    black_box(event);
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // Schedule/cancel churn at 100k pending: the flash-crowd shape, where
+    // almost every timer is cancelled before it fires.
+    for (label, kind) in [("wheel", SchedulerKind::Wheel), ("heap", SchedulerKind::Heap)] {
+        let (mut sched, mut offsets) = prefill(kind, 100_000);
+        let now = sched.peek_time().unwrap_or(SimTime::ZERO);
+        c.benchmark_group("scheduler_churn").sample_size(20).bench_function(
+            &format!("{label}_schedule_cancel_100k"),
+            |b| {
+                b.iter(|| {
+                    let at = now + SimDuration::from_nanos(offsets.next() % 10_000_000);
+                    let handle = sched.schedule(at, 1);
+                    black_box(sched.cancel(handle));
+                })
+            },
+        );
+    }
+}
+
+fn bench_end_to_end(_c: &mut Criterion) {
+    let users: usize = std::env::var("SCHED_BENCH_USERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+
+    // Rush hour: the PR3 fleet workload, timers off — pure event-loop cost.
+    let rush = Scenario::rush_hour(users, 2017);
+    let rush_flows = rush.generate();
+    eprintln!("scheduler: rush-hour end-to-end, {} users, {} connections", users, rush_flows.len());
+    let mut rush_walls = Vec::new();
+    for (label, kind) in [("wheel", SchedulerKind::Wheel), ("heap", SchedulerKind::Heap)] {
+        let fleet =
+            FleetEngine::new(FleetConfig::new(1).with_scheduler(kind), rush.network());
+        let started = std::time::Instant::now();
+        let report = fleet.run(rush_flows.clone());
+        let wall = started.elapsed().as_secs_f64();
+        eprintln!(
+            "scheduler: rush-hour {label}: {wall:.2}s wall, {} events, digest {:016x}",
+            report.merged.events_processed,
+            report.digest()
+        );
+        rush_walls.push((label, wall, report.digest()));
+    }
+    assert_eq!(rush_walls[0].2, rush_walls[1].2, "wheel and heap digests must match");
+    eprintln!(
+        "scheduler: rush-hour heap/wheel wall ratio: {:.3}",
+        rush_walls[1].1 / rush_walls[0].1
+    );
+
+    // Flash crowd: churny short flows with per-connection idle timers armed,
+    // so the run is dominated by mass schedule/cancel.
+    let crowd = Scenario::flash_crowd(users, 2017);
+    let crowd_flows = crowd.generate();
+    eprintln!(
+        "scheduler: flash-crowd end-to-end, {} users, {} connections, idle timers on",
+        users,
+        crowd_flows.len()
+    );
+    let mut crowd_walls = Vec::new();
+    for (label, kind) in [("wheel", SchedulerKind::Wheel), ("heap", SchedulerKind::Heap)] {
+        let fleet = FleetEngine::new(
+            FleetConfig::new(1)
+                .with_scheduler(kind)
+                .with_idle_timeout(SimDuration::from_secs(30)),
+            crowd.network(),
+        );
+        let started = std::time::Instant::now();
+        let report = fleet.run(crowd_flows.clone());
+        let wall = started.elapsed().as_secs_f64();
+        eprintln!(
+            "scheduler: flash-crowd {label}: {wall:.2}s wall, {} events processed, {} scheduled, digest {:016x}",
+            report.merged.events_processed,
+            report.merged.events_scheduled,
+            report.digest()
+        );
+        crowd_walls.push((label, wall, report.digest()));
+    }
+    assert_eq!(crowd_walls[0].2, crowd_walls[1].2, "wheel and heap digests must match");
+    eprintln!(
+        "scheduler: flash-crowd heap/wheel wall ratio: {:.3}",
+        crowd_walls[1].1 / crowd_walls[0].1
+    );
+}
+
+criterion_group!(benches, bench_hold_model, bench_end_to_end);
+criterion_main!(benches);

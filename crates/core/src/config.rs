@@ -3,6 +3,7 @@
 //! alternatives used by ToyVpn, PrivacyGuard, Haystack and MobiPerf.
 
 use mop_procnet::MappingStrategy;
+use mop_simnet::{wheel::DEFAULT_GRANULARITY, SchedulerKind, SimDuration};
 use mop_tun::ReadStrategy;
 
 /// How packets are written back to the VPN tunnel (§3.5.1).
@@ -134,6 +135,22 @@ pub struct MopEyeConfig {
     /// memory O(apps × networks) instead of O(samples) — the mode the crowd
     /// `report` binary uses.
     pub retain_samples: bool,
+    /// Which scheduler backs the event loop: the O(1) timing wheel (the
+    /// default) or the legacy O(log n) binary heap, kept for reference and
+    /// for the wheel-vs-heap equivalence pins.
+    pub scheduler: SchedulerKind,
+    /// Tick granularity of the timing wheel (rounded up to a power of two
+    /// nanoseconds; ignored by the heap scheduler). Coarser ticks cascade
+    /// less but batch more entries per slot sort.
+    pub wheel_granularity: SimDuration,
+    /// Tear down TCP connections that have relayed nothing for this long.
+    ///
+    /// `None` (the default) arms no timers and reproduces the historical
+    /// engine bit for bit. `Some(d)` arms a cancellable idle timer per
+    /// connection, re-armed on every relayed segment — the mass
+    /// schedule/cancel churn the timing wheel absorbs at O(1), and the home
+    /// future retransmission/keepalive timers will share.
+    pub idle_timeout: Option<SimDuration>,
 }
 
 /// The default event-count safety valve (single-device scale).
@@ -165,6 +182,9 @@ impl MopEyeConfig {
             worker: WorkerModel::Unbounded,
             max_events: DEFAULT_MAX_EVENTS,
             retain_samples: true,
+            scheduler: SchedulerKind::Wheel,
+            wheel_granularity: DEFAULT_GRANULARITY,
+            idle_timeout: None,
         }
     }
 
@@ -185,6 +205,9 @@ impl MopEyeConfig {
             worker: WorkerModel::Unbounded,
             max_events: DEFAULT_MAX_EVENTS,
             retain_samples: true,
+            scheduler: SchedulerKind::Wheel,
+            wheel_granularity: DEFAULT_GRANULARITY,
+            idle_timeout: None,
         }
     }
 
@@ -205,6 +228,9 @@ impl MopEyeConfig {
             worker: WorkerModel::Unbounded,
             max_events: DEFAULT_MAX_EVENTS,
             retain_samples: true,
+            scheduler: SchedulerKind::Wheel,
+            wheel_granularity: DEFAULT_GRANULARITY,
+            idle_timeout: None,
         }
     }
 
@@ -267,6 +293,26 @@ impl MopEyeConfig {
     /// [`MopEyeConfig::retain_samples`]).
     pub fn with_retain_samples(mut self, retain: bool) -> Self {
         self.retain_samples = retain;
+        self
+    }
+
+    /// Sets the event-loop scheduler backend.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the timing-wheel tick granularity (see
+    /// [`MopEyeConfig::wheel_granularity`]).
+    pub fn with_wheel_granularity(mut self, granularity: SimDuration) -> Self {
+        self.wheel_granularity = granularity;
+        self
+    }
+
+    /// Sets (or clears) the per-connection idle timeout (see
+    /// [`MopEyeConfig::idle_timeout`]).
+    pub fn with_idle_timeout(mut self, timeout: Option<SimDuration>) -> Self {
+        self.idle_timeout = timeout;
         self
     }
 

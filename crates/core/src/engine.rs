@@ -11,58 +11,50 @@
 //!                                                        threads (RTT!)
 //! ```
 //!
+//! The module itself is only the *loop*: pending work lives on a
+//! [`TimerScheduler`] (the O(1) timing wheel by default, the legacy heap for
+//! reference), and each popped event is routed to the pipeline stage that
+//! owns it — [`IngressStage`] (TUN retrieval + parse + app endpoints),
+//! [`RelayStage`] (TCP/UDP/DNS state-machine dispatch and per-connection
+//! timers), [`EgressStage`] (TunWriter lanes) and [`SinkStage`] (the
+//! measurement fold). See [`crate::stages`] for the pipeline diagram and
+//! `docs/ARCHITECTURE.md` for the life of a packet and of a timer.
+//!
 //! Each run consumes a set of app workloads, relays every packet they
 //! generate, and produces a [`RunReport`] with the RTT samples (against
 //! ground truth), the relay counters, the mapping statistics, the
 //! tunnel-write delay distributions and the resource ledger — everything the
 //! paper's evaluation sections need.
 
-use std::collections::{HashMap, HashSet};
-use std::net::IpAddr;
+use mop_packet::{FourTuple, Packet, PacketView};
+use mop_simnet::{SimNetwork, SimTime, TimerScheduler};
+use mop_tun::{FlowSpec, ReaderSim, Workload};
 
-use mop_measure::{AggregateStore, MeasurementKind, NetKind};
-use mop_packet::{DnsMessage, Endpoint, FourTuple, Packet, PacketBuilder, PacketView, TransportView};
-use mop_procnet::{
-    CachedMapper, ConnectionTable, EagerMapper, LazyMapper, MappingStats, MappingStrategy,
-    PackageManager, SocketStateCode,
-};
-use mop_simnet::{
-    BufferPool, CostModel, CpuLedger, EventQueue, PoolStats, SimClock, SimDuration, SimNetwork,
-    SimRng, SimTime, SocketId, SocketMode, SocketSet, SocketState, Selector,
-};
-use mop_tcpstack::{ClientRegistry, RelayAction, SegmentVerdict, UdpRegistry};
-use mop_tun::{AppEndpoint, DnsClient, FlowKind, FlowSpec, ReaderSim, TunDevice, TunStats, Workload};
+use crate::config::MopEyeConfig;
+use crate::stages::{EgressStage, EngineShared, IngressStage, RelayStage, SinkStage, Stage};
+use crate::tun_writer::TunWriter;
 
-use crate::config::{
-    ClockGranularity, EngineDiscipline, MopEyeConfig, ProtectMode, TimestampMode, WorkerModel,
-};
-use crate::stats::{FlowOutcome, RelayStats, RttSample, SampleKind};
-use crate::tun_writer::{TunWriter, WriteDelayStats, WriterLane};
+pub use crate::report::RunReport;
 
-/// Salt mixed into per-flow RNG seeds so the engine's flow-keyed streams do
-/// not collide with the network's (which key off the same seed and hash).
-const ENGINE_KEY_SALT: u64 = 0x656e_675f_6b65_7973; // "eng_keys"
-/// Salt for the throwaway streams that absorb variable-draw-count work
-/// (packet-to-app mapping walks the whole connection table, whose size
-/// depends on co-resident flows; those draws must not advance a flow's main
-/// stream or the stream would become partition-dependent).
-const MAPPING_KEY_SALT: u64 = 0x6d61_705f_6b65_7973; // "map_keys"
-
-/// Internal events driving the engine loop.
+/// Internal events driving the engine loop, routed between stages.
 #[derive(Debug)]
-enum Event {
-    /// An app opens a flow described by the spec.
+pub(crate) enum Event {
+    /// An app opens a flow described by the spec. (→ ingress)
     FlowStart(FlowSpec),
     /// The MainWorker processes raw packet bytes retrieved from the tunnel.
+    /// (→ ingress parse, then relay)
     ///
-    /// The buffer comes from (and returns to) the engine's [`BufferPool`];
-    /// the MainWorker parses it in place with the zero-copy views.
+    /// The buffer comes from (and returns to) the ingress stage's buffer
+    /// pool; the relay parses it in place with the zero-copy views.
     ProcessTunPacket(Vec<u8>),
     /// The external connect for `flow` has completed (successfully or not).
+    /// (→ relay)
     ExternalConnected(FourTuple),
     /// Response data has become readable on the external socket of `flow`.
+    /// (→ relay)
     SocketReadable(FourTuple),
     /// The DNS response for `flow` has arrived; relay it to the app.
+    /// (→ relay)
     DnsResponse {
         /// The app-side DNS flow.
         flow: FourTuple,
@@ -70,1287 +62,206 @@ enum Event {
         packet: Packet,
     },
     /// A packet written to the tunnel is delivered to the app side.
+    /// (→ ingress)
     DeliverToApp(Packet),
+    /// The cancellable idle timer of `flow` expired with no relay activity.
+    /// (→ relay)
+    IdleTimeout(FourTuple),
 }
 
-/// Per-flow bookkeeping kept by the engine.
-#[derive(Debug)]
-struct FlowMeta {
-    package: String,
-    started_at: SimTime,
-    finished_at: SimTime,
-    bytes_received: usize,
-    completed: bool,
-    /// Network label carried by the flow spec (scenario-assigned); `None`
-    /// falls back to the simulated access profile at measurement time.
-    network: Option<NetKind>,
-    /// ISP label carried by the flow spec.
-    isp: Option<String>,
-}
-
-/// Everything a run produced.
-#[derive(Debug)]
-pub struct RunReport {
-    /// RTT samples (TCP and DNS) with ground truth.
-    ///
-    /// Empty when the engine ran with `retain_samples: false` — the
-    /// streaming [`RunReport::aggregates`] then carry the run's measurement
-    /// content in constant memory.
-    pub samples: Vec<RttSample>,
-    /// Streaming aggregation of every RTT sample: mergeable quantile
-    /// sketches keyed by (kind, network, app, domain, ISP), folded in at the
-    /// measurement sink as samples are produced. Merged cross-shard exactly
-    /// like the sample vector, and bit-identical for any shard count under
-    /// the flow-keyed discipline.
-    pub aggregates: AggregateStore,
-    /// Relay counters.
-    pub relay: RelayStats,
-    /// Packet-to-app mapping statistics.
-    pub mapping: MappingStats,
-    /// Tunnel-write delay statistics.
-    pub write_delays: WriteDelayStats,
-    /// TUN device counters.
-    pub tun: TunStats,
-    /// CPU / memory / battery ledger.
-    pub ledger: CpuLedger,
-    /// Behaviour of the tunnel-packet buffer pool (allocations vs reuses).
-    pub buffer_pool: PoolStats,
-    /// Behaviour of the socket read-buffer pool.
-    pub socket_read_pool: PoolStats,
-    /// Per-flow outcomes.
-    pub flows: Vec<FlowOutcome>,
-    /// Virtual time at which the run finished.
-    pub finished_at: SimTime,
-    /// Events processed.
-    pub events_processed: u64,
-}
-
-impl RunReport {
-    /// TCP RTT samples only.
-    pub fn tcp_samples(&self) -> Vec<&RttSample> {
-        self.samples.iter().filter(|s| s.kind == SampleKind::Tcp).collect()
-    }
-
-    /// DNS RTT samples only.
-    pub fn dns_samples(&self) -> Vec<&RttSample> {
-        self.samples.iter().filter(|s| s.kind == SampleKind::Dns).collect()
-    }
-
-    /// Total response bytes delivered to apps divided by the busy interval,
-    /// in Mbit/s — the downlink goodput seen through the relay.
-    pub fn download_goodput_mbps(&self) -> Option<f64> {
-        let total: usize = self.flows.iter().map(|f| f.bytes_received).sum();
-        let start = self.flows.iter().map(|f| f.started_at).min()?;
-        let end = self.flows.iter().map(|f| f.finished_at).max()?;
-        let secs = (end - start).as_secs_f64();
-        if secs <= 0.0 || total == 0 {
-            return None;
-        }
-        Some(total as f64 * 8.0 / 1_000_000.0 / secs)
-    }
-
-    /// Mean absolute RTT error against the tcpdump reference, in ms.
-    pub fn mean_tcp_error_ms(&self) -> Option<f64> {
-        let errors: Vec<f64> = self.tcp_samples().iter().map(|s| s.error_ms()).collect();
-        if errors.is_empty() {
-            return None;
-        }
-        Some(errors.iter().sum::<f64>() / errors.len() as f64)
-    }
-}
-
-enum Mapper {
-    Eager(EagerMapper),
-    Cached(CachedMapper),
-    Lazy(LazyMapper),
-}
-
-impl Mapper {
-    fn stats(&self) -> MappingStats {
-        match self {
-            Mapper::Eager(m) => m.stats().clone(),
-            Mapper::Cached(m) => m.stats().clone(),
-            Mapper::Lazy(m) => m.stats().clone(),
-        }
-    }
-}
-
-/// The MopEye relay engine.
+/// The MopEye relay engine: the event loop over the four pipeline stages.
 pub struct MopEyeEngine {
-    config: MopEyeConfig,
-    clock: SimClock,
-    net: SimNetwork,
-    tun: TunDevice,
-    reader: ReaderSim,
-    writer: TunWriter,
-    sockets: SocketSet,
-    selector: Selector,
-    clients: ClientRegistry,
-    udp: UdpRegistry,
-    conn_table: ConnectionTable,
-    packages: PackageManager,
-    mapper: Mapper,
-    cost: CostModel,
-    rng: SimRng,
-    ledger: CpuLedger,
-    /// Free list backing the per-packet tunnel buffers: TunReader fills a
-    /// pooled buffer, MainWorker parses it by reference, then it is recycled.
-    pool: BufferPool,
-    /// Per-connection RNG streams (flow-keyed discipline). Keyed by the
-    /// canonical four-tuple so both directions of a connection share one
-    /// stream.
-    flow_rngs: HashMap<FourTuple, SimRng>,
-    /// Per-connection TunWriter timing lanes (flow-keyed discipline).
-    writer_lanes: HashMap<FourTuple, WriterLane>,
-    /// When the MainWorker frees up ([`WorkerModel::Saturating`] only).
-    worker_busy_until: SimTime,
-    queue: EventQueue<Event>,
-    apps: HashMap<FourTuple, AppEndpoint>,
-    dns_clients: HashMap<FourTuple, DnsClient>,
-    flow_meta: HashMap<FourTuple, FlowMeta>,
-    flow_registered_at: HashMap<FourTuple, SimTime>,
-    socket_by_flow: HashMap<FourTuple, SocketId>,
-    connect_pre_ts: HashMap<FourTuple, SimTime>,
-    pending_half_close: HashSet<FourTuple>,
-    ip_to_domain: HashMap<IpAddr, String>,
-    samples: Vec<RttSample>,
-    aggregates: AggregateStore,
-    relay: RelayStats,
-    next_app_port: u16,
-    next_dns_id: u16,
-    dns_pending: HashMap<FourTuple, (SimTime, String)>,
+    pub(crate) shared: EngineShared,
+    pub(crate) ingress: IngressStage,
+    pub(crate) relay: RelayStage,
+    pub(crate) egress: EgressStage,
+    pub(crate) sink: SinkStage,
+    pub(crate) sched: TimerScheduler<Event>,
     events_processed: u64,
 }
 
 impl MopEyeEngine {
     /// Creates an engine over `net` with the given configuration.
     pub fn new(config: MopEyeConfig, net: SimNetwork) -> Self {
-        let mut sockets = SocketSet::new();
-        if config.protect == ProtectMode::DisallowedApplication {
-            sockets.set_disallowed_application(true);
-        }
-        let mapper = match config.mapping {
-            MappingStrategy::Eager => Mapper::Eager(EagerMapper::new()),
-            MappingStrategy::Cached => Mapper::Cached(CachedMapper::new()),
-            MappingStrategy::Lazy => Mapper::Lazy(LazyMapper::new()),
-        };
-        let rng = SimRng::seed_from_u64(config.seed);
-        let reader = ReaderSim::new(config.read_strategy);
-        let writer = TunWriter::new(config.write_scheme, config.enqueue_scheme);
+        let ingress = IngressStage::new(ReaderSim::new(config.read_strategy));
+        let relay = RelayStage::new(config.mapping, config.protect);
+        let egress = EgressStage::new(TunWriter::new(config.write_scheme, config.enqueue_scheme));
+        let sched = TimerScheduler::new(config.scheduler, config.wheel_granularity);
         Self {
-            reader,
-            writer,
-            sockets,
-            mapper,
-            rng,
-            config,
-            clock: SimClock::new(),
-            net,
-            tun: TunDevice::new(),
-            selector: Selector::new(),
-            clients: ClientRegistry::new(),
-            udp: UdpRegistry::new(),
-            conn_table: ConnectionTable::new(),
-            packages: PackageManager::new(),
-            cost: CostModel::android_phone(),
-            ledger: CpuLedger::new(),
-            pool: BufferPool::for_packets(),
-            flow_rngs: HashMap::new(),
-            writer_lanes: HashMap::new(),
-            worker_busy_until: SimTime::ZERO,
-            queue: EventQueue::new(),
-            apps: HashMap::new(),
-            dns_clients: HashMap::new(),
-            flow_meta: HashMap::new(),
-            flow_registered_at: HashMap::new(),
-            socket_by_flow: HashMap::new(),
-            connect_pre_ts: HashMap::new(),
-            pending_half_close: HashSet::new(),
-            ip_to_domain: HashMap::new(),
-            samples: Vec::new(),
-            aggregates: AggregateStore::new(),
-            relay: RelayStats::default(),
-            next_app_port: 36_000,
-            next_dns_id: 1,
-            dns_pending: HashMap::new(),
+            shared: EngineShared::new(config, net),
+            ingress,
+            relay,
+            egress,
+            sink: SinkStage::new(),
+            sched,
             events_processed: 0,
         }
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &MopEyeConfig {
-        &self.config
+        &self.shared.config
     }
 
     /// Access to the underlying network (e.g. to inspect the wire tap).
     pub fn network(&self) -> &SimNetwork {
-        &self.net
+        &self.shared.net
+    }
+
+    /// The pipeline stages, in datapath order.
+    pub(crate) fn stages(&mut self) -> [&mut dyn Stage; 4] {
+        [&mut self.ingress, &mut self.relay, &mut self.egress, &mut self.sink]
+    }
+
+    /// The stage names, in datapath order (diagnostics and docs).
+    pub fn stage_names(&self) -> [&'static str; 4] {
+        let stages: [&dyn Stage; 4] = [&self.ingress, &self.relay, &self.egress, &self.sink];
+        stages.map(|s| s.name())
     }
 
     /// Runs a set of workloads to completion and reports.
     pub fn run(&mut self, workloads: &[Workload]) -> RunReport {
         let mut flows = Vec::new();
-        let mut wl_rng = self.rng.fork("workloads");
+        let mut wl_rng = self.shared.rng.fork("workloads");
         for workload in workloads {
-            self.packages.install(workload.uid, &workload.package);
+            self.relay.packages.install(workload.uid, &workload.package);
             flows.extend(workload.generate(&mut wl_rng));
         }
         self.run_flows(flows)
     }
 
     /// Runs an explicit list of flows to completion and reports.
+    ///
+    /// The loop drains the scheduler in timestamp batches: pops are
+    /// nondecreasing in time with FIFO order at equal instants, so every
+    /// event due at one instant is dispatched consecutively and the
+    /// (monotone) clock advance is a no-op within a batch.
     pub fn run_flows(&mut self, flows: Vec<FlowSpec>) -> RunReport {
         self.reserve_flows(flows.len());
         for spec in flows {
-            self.packages.install(spec.uid, &spec.package);
-            self.queue.schedule(spec.at, Event::FlowStart(spec));
+            self.relay.packages.install(spec.uid, &spec.package);
+            self.sched.schedule(spec.at, Event::FlowStart(spec));
         }
-        let max_events = self.config.max_events;
-        while let Some((at, event)) = self.queue.pop() {
-            self.clock.advance_to(at);
-            self.events_processed += 1;
-            if self.events_processed > max_events {
+        while let Some((at, event)) = self.sched.pop() {
+            self.shared.clock.advance_to(at);
+            if !self.dispatch(at, event) {
                 break;
             }
-            self.handle(at, event);
         }
         self.report()
     }
 
-    /// Pre-sizes the per-flow tables for `flows` concurrent connections, so
-    /// a fleet-scale run pays its table growth up front rather than on the
-    /// packet path.
+    /// Pre-sizes every stage's per-flow tables for `flows` concurrent
+    /// connections, so a fleet-scale run pays its table growth up front
+    /// rather than on the packet path.
     pub fn reserve_flows(&mut self, flows: usize) {
-        self.apps.reserve(flows);
-        self.flow_meta.reserve(flows);
-        self.flow_registered_at.reserve(flows);
-        self.socket_by_flow.reserve(flows);
-        if self.config.discipline == EngineDiscipline::FlowKeyed {
-            self.flow_rngs.reserve(flows);
-            self.writer_lanes.reserve(flows);
+        for stage in self.stages() {
+            stage.reserve_flows(flows);
         }
+        self.shared.reserve_flows(flows);
     }
 
-    // ----- flow-keyed state -----------------------------------------------
+    /// Counts and dispatches one event; false stops the run (event budget).
+    fn dispatch(&mut self, at: SimTime, event: Event) -> bool {
+        self.events_processed += 1;
+        if self.events_processed > self.shared.config.max_events {
+            return false;
+        }
+        self.route(at, event);
+        true
+    }
 
-    /// Checks out the RNG stream backing `flow`'s noise: the device-wide
-    /// stream under [`EngineDiscipline::SharedDevice`], the flow's own
-    /// stream (seeded from `config.seed ^ hash(flow)`) under
-    /// [`EngineDiscipline::FlowKeyed`]. Pair with
-    /// [`MopEyeEngine::checkin_rng`].
-    fn checkout_rng(&mut self, flow: FourTuple) -> SimRng {
-        match self.config.discipline {
-            EngineDiscipline::SharedDevice => {
-                std::mem::replace(&mut self.rng, SimRng::seed_from_u64(0))
+    /// Routes one event to the stage that owns it. Cross-stage effects
+    /// travel either as scheduler events or through the explicitly passed
+    /// downstream stages.
+    fn route(&mut self, now: SimTime, event: Event) {
+        let (shared, sched) = (&mut self.shared, &mut self.sched);
+        match event {
+            Event::FlowStart(spec) => self.ingress.on_flow_start(
+                shared,
+                &mut self.relay,
+                &mut self.sink,
+                sched,
+                now,
+                spec,
+            ),
+            Event::ProcessTunPacket(buf) => {
+                self.on_tun_packet(now, buf);
             }
-            EngineDiscipline::FlowKeyed => {
-                let key = flow.canonical();
-                self.flow_rngs.remove(&key).unwrap_or_else(|| {
-                    SimRng::seed_from_u64(
-                        self.config.seed ^ key.stable_hash() ^ ENGINE_KEY_SALT,
-                    )
-                })
+            Event::ExternalConnected(flow) => self.relay.on_external_connected(
+                shared,
+                &mut self.egress,
+                &mut self.sink,
+                sched,
+                now,
+                flow,
+            ),
+            Event::SocketReadable(flow) => {
+                self.relay.on_socket_readable(shared, &mut self.egress, sched, now, flow)
             }
-        }
-    }
-
-    /// Returns a stream checked out with [`MopEyeEngine::checkout_rng`].
-    fn checkin_rng(&mut self, flow: FourTuple, rng: SimRng) {
-        match self.config.discipline {
-            EngineDiscipline::SharedDevice => self.rng = rng,
-            EngineDiscipline::FlowKeyed => {
-                self.flow_rngs.insert(flow.canonical(), rng);
-            }
-        }
-    }
-
-    /// [`MopEyeEngine::checkout_rng`] for packets whose four-tuple may be
-    /// absent (malformed or non-IP): those fall back to the shared stream.
-    fn checkout_rng_opt(&mut self, flow: Option<FourTuple>) -> SimRng {
-        match flow {
-            Some(flow) => self.checkout_rng(flow),
-            None => std::mem::replace(&mut self.rng, SimRng::seed_from_u64(0)),
-        }
-    }
-
-    /// Returns a stream checked out with [`MopEyeEngine::checkout_rng_opt`].
-    fn checkin_rng_opt(&mut self, flow: Option<FourTuple>, rng: SimRng) {
-        match flow {
-            Some(flow) => self.checkin_rng(flow, rng),
-            None => self.rng = rng,
-        }
-    }
-
-    /// The start time of a MainWorker processing step that costs `cost`:
-    /// immediate under [`WorkerModel::Unbounded`]; queued behind the worker's
-    /// backlog (and occupying it) under [`WorkerModel::Saturating`].
-    fn worker_start(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
-        match self.config.worker {
-            WorkerModel::Unbounded => now,
-            WorkerModel::Saturating => {
-                let start = now.max(self.worker_busy_until);
-                self.worker_busy_until = start + cost;
-                start
+            Event::DnsResponse { flow, packet } => self.relay.on_dns_response(
+                shared,
+                &mut self.egress,
+                &mut self.sink,
+                sched,
+                now,
+                flow,
+                packet,
+            ),
+            Event::DeliverToApp(packet) => self.ingress.on_deliver_to_app(
+                shared,
+                &mut self.relay,
+                &mut self.sink,
+                sched,
+                now,
+                packet,
+            ),
+            Event::IdleTimeout(flow) => {
+                self.relay.on_idle_timeout(shared, &mut self.egress, &mut self.sink, now, flow)
             }
         }
     }
 
-    /// The measurement sink: folds a finished sample into the streaming
-    /// aggregates (constant memory) and, unless the run opted out, retains
-    /// the raw sample too.
-    ///
-    /// The aggregation labels come from the flow's spec where the scenario
-    /// assigned them; otherwise the network kind falls back to the simulated
-    /// access profile at measurement time and the ISP label stays empty. The
-    /// synthetic "device" is the flow's source address, which fleet
-    /// scenarios assign uniquely per simulated user.
-    fn record_sample(&mut self, sample: RttSample) {
-        let kind = match sample.kind {
-            SampleKind::Tcp => MeasurementKind::Tcp,
-            SampleKind::Dns => MeasurementKind::Dns,
-        };
-        let meta = self.flow_meta.get(&sample.flow);
-        let network = meta.and_then(|m| m.network).unwrap_or_else(|| {
-            net_kind_of(self.net.access_at(sample.at).network_type)
-        });
-        let isp = meta.and_then(|m| m.isp.as_deref()).unwrap_or("");
-        self.aggregates.observe_parts(
-            kind,
-            network,
-            sample.package.as_deref().unwrap_or(""),
-            sample.domain.as_deref().unwrap_or(""),
-            isp,
-            device_of(sample.flow.src.addr),
-            "",
-            sample.measured_ms,
-        );
-        if self.config.retain_samples {
-            self.samples.push(sample);
+    /// The ingress → relay handoff for one retrieved tunnel buffer: parse it
+    /// zero-copy, charge the MainWorker's parse cost (which occupies the
+    /// worker under the saturating model), let the relay decide, and recycle
+    /// the buffer.
+    fn on_tun_packet(&mut self, now: SimTime, buf: Vec<u8>) {
+        match PacketView::parse(&buf) {
+            Ok(packet) => {
+                let flow_key = packet.four_tuple();
+                let parse_cost = IngressStage::parse_cost(&mut self.shared, flow_key);
+                self.shared.ledger.charge("MainWorker", parse_cost);
+                let start = self.shared.worker_start(now, parse_cost);
+                self.relay.on_packet(
+                    &mut self.shared,
+                    &mut self.egress,
+                    &mut self.sink,
+                    &mut self.sched,
+                    start,
+                    &packet,
+                );
+            }
+            Err(_) => self.relay.stats.parse_errors += 1,
         }
+        self.ingress.recycle(buf);
     }
 
     fn report(&mut self) -> RunReport {
-        let flows = self
-            .flow_meta
-            .iter()
-            .map(|(flow, meta)| FlowOutcome {
-                flow: *flow,
-                package: meta.package.clone(),
-                started_at: meta.started_at,
-                finished_at: meta.finished_at,
-                bytes_received: meta.bytes_received,
-                completed: meta.completed,
-            })
-            .collect();
         RunReport {
-            samples: std::mem::take(&mut self.samples),
-            aggregates: std::mem::take(&mut self.aggregates),
-            relay: std::mem::take(&mut self.relay),
-            mapping: self.mapper.stats(),
-            write_delays: self.writer.stats().clone(),
-            tun: self.tun.stats(),
-            ledger: self.ledger.clone(),
-            buffer_pool: self.pool.stats(),
-            socket_read_pool: self.sockets.read_pool_stats(),
-            flows,
-            finished_at: self.clock.now(),
+            flows: self.sink.flow_outcomes(),
+            samples: std::mem::take(&mut self.sink.samples),
+            aggregates: std::mem::take(&mut self.sink.aggregates),
+            relay: std::mem::take(&mut self.relay.stats),
+            mapping: self.relay.mapper.stats(),
+            write_delays: self.egress.writer.stats().clone(),
+            tun: self.shared.tun.stats(),
+            ledger: self.shared.ledger.clone(),
+            buffer_pool: self.ingress.pool.stats(),
+            socket_read_pool: self.relay.sockets.read_pool_stats(),
+            finished_at: self.shared.clock.now(),
             events_processed: self.events_processed,
+            events_scheduled: self.sched.scheduled_total(),
         }
-    }
-
-    // ----- event handling -------------------------------------------------
-
-    fn handle(&mut self, now: SimTime, event: Event) {
-        match event {
-            Event::FlowStart(spec) => self.on_flow_start(now, spec),
-            Event::ProcessTunPacket(buf) => self.on_process_tun_packet(now, buf),
-            Event::ExternalConnected(flow) => self.on_external_connected(now, flow),
-            Event::SocketReadable(flow) => self.on_socket_readable(now, flow),
-            Event::DnsResponse { flow, packet } => self.on_dns_response(now, flow, packet),
-            Event::DeliverToApp(packet) => self.on_deliver_to_app(now, packet),
-        }
-    }
-
-    fn alloc_port(&mut self) -> u16 {
-        let port = self.next_app_port;
-        self.next_app_port = if self.next_app_port >= 64_000 { 36_000 } else { self.next_app_port + 1 };
-        port
-    }
-
-    fn on_flow_start(&mut self, now: SimTime, spec: FlowSpec) {
-        // Fleet scenarios pre-assign the source endpoint so the four-tuple is
-        // a pure function of the spec; single-device flows draw from the
-        // engine's sequential port pool.
-        let src = match spec.src {
-            Some(src) => src,
-            None => Endpoint::v4(10, 0, 0, 2, self.alloc_port()),
-        };
-        match spec.kind {
-            FlowKind::Tcp => {
-                let flow = FourTuple::new(src, spec.dst);
-                let mut app = AppEndpoint::new(
-                    spec.uid,
-                    &spec.package,
-                    flow,
-                    vec![0x47; spec.request_bytes.max(1)],
-                    spec.close_after,
-                );
-                let syn = app.syn_packet();
-                self.apps.insert(flow, app);
-                self.flow_meta.insert(
-                    flow,
-                    FlowMeta {
-                        package: spec.package.clone(),
-                        started_at: now,
-                        finished_at: now,
-                        bytes_received: 0,
-                        completed: false,
-                        network: spec.network,
-                        isp: spec.isp.clone(),
-                    },
-                );
-                self.conn_table.register(flow, true, spec.uid, SocketStateCode::SynSent);
-                self.flow_registered_at.insert(flow, now);
-                if let Some(domain) = &spec.domain {
-                    self.ip_to_domain.insert(spec.dst.addr, domain.clone());
-                }
-                self.inject_app_packet(now, syn);
-            }
-            FlowKind::Dns => {
-                let resolver = Endpoint::new(self.net.dns_config().addr, 53);
-                let flow = FourTuple::new(src, resolver);
-                let id = self.next_dns_id;
-                self.next_dns_id = self.next_dns_id.wrapping_add(1).max(1);
-                let name = spec.domain.clone().unwrap_or_else(|| "unknown.example".to_string());
-                let client = DnsClient::new(spec.uid, &spec.package, src, resolver, id, &name);
-                let query = client.query_packet();
-                self.dns_clients.insert(flow, client);
-                self.flow_meta.insert(
-                    flow,
-                    FlowMeta {
-                        package: spec.package.clone(),
-                        started_at: now,
-                        finished_at: now,
-                        bytes_received: 0,
-                        completed: false,
-                        network: spec.network,
-                        isp: spec.isp.clone(),
-                    },
-                );
-                self.conn_table.register(flow, false, spec.uid, SocketStateCode::Close);
-                self.flow_registered_at.insert(flow, now);
-                self.inject_app_packet(now, query);
-            }
-        }
-    }
-
-    /// An app wrote a packet into the tunnel: the raw IP bytes land in a
-    /// pooled buffer, the TunReader's retrieval is simulated and the buffer
-    /// is handed to the MainWorker. This mirrors the real datapath — the TUN
-    /// device hands MopEye bytes, not parsed structures — and recycles the
-    /// buffer once the MainWorker has processed it.
-    fn inject_app_packet(&mut self, at: SimTime, packet: Packet) {
-        let flow_key = packet.four_tuple();
-        let mut buf = self.pool.get();
-        packet.encode_into(&mut buf);
-        self.tun.record_app_write(buf.len());
-        let mut rng = self.checkout_rng_opt(flow_key);
-        let retrieval = self.reader.retrieve(at, &self.cost, &mut rng);
-        self.ledger.charge("TunReader", retrieval.polling_cpu + self.cost.tun_read.sample(&mut rng));
-        // TunReader puts the packet in the read queue and wakes the selector
-        // so MainWorker notices it (§3.2).
-        self.selector.wakeup();
-        let handoff = self.cost.context_switch.sample(&mut rng);
-        self.checkin_rng_opt(flow_key, rng);
-        self.queue.schedule(retrieval.retrieved_at + handoff, Event::ProcessTunPacket(buf));
-    }
-
-    /// Writes a packet towards the apps through the TunWriter and schedules
-    /// its delivery. The one owned packet travels straight into the delivery
-    /// event; the device and the writer only see its wire length.
-    ///
-    /// Under the shared-device discipline every packet goes through the one
-    /// writer-thread timing lane (queue serialisation couples flows, as on a
-    /// real handset). Under the flow-keyed discipline each connection has its
-    /// own lane and a fixed concurrent-writer count, so the write timing of a
-    /// flow depends only on that flow's own packet train.
-    fn write_to_tunnel(&mut self, now: SimTime, packet: Packet) {
-        let flow_key = packet.four_tuple();
-        let mut rng = self.checkout_rng_opt(flow_key);
-        let outcome = match self.config.discipline {
-            EngineDiscipline::SharedDevice => {
-                let writers = 1 + usize::from(!self.connect_pre_ts.is_empty());
-                self.writer.submit(now, writers, &self.cost, &mut rng, &mut self.ledger)
-            }
-            EngineDiscipline::FlowKeyed => {
-                let key = flow_key.map(|f| f.canonical());
-                let mut lane = key
-                    .and_then(|k| self.writer_lanes.get(&k).copied())
-                    .unwrap_or_default();
-                let outcome = self.writer.submit_lane(
-                    &mut lane,
-                    now,
-                    2,
-                    &self.cost,
-                    &mut rng,
-                    &mut self.ledger,
-                );
-                if let Some(k) = key {
-                    self.writer_lanes.insert(k, lane);
-                }
-                outcome
-            }
-        };
-        self.checkin_rng_opt(flow_key, rng);
-        self.tun.record_relay_write(packet.wire_len());
-        self.queue.schedule(outcome.written_at, Event::DeliverToApp(packet));
-    }
-
-    fn timestamp(&self, t: SimTime) -> SimTime {
-        match self.config.clock {
-            ClockGranularity::Nanosecond => t,
-            ClockGranularity::Millisecond => self.cost.coarse_timestamp(t),
-        }
-    }
-
-    fn domain_for(&self, addr: IpAddr) -> Option<String> {
-        if let Some(d) = self.ip_to_domain.get(&addr) {
-            return Some(d.clone());
-        }
-        self.net.server_for(addr).and_then(|s| s.domains.first().cloned())
-    }
-
-    fn on_process_tun_packet(&mut self, now: SimTime, buf: Vec<u8>) {
-        match PacketView::parse(&buf) {
-            Ok(packet) => {
-                // MainWorker parses the IP/TCP headers: a small per-packet
-                // cost, drawn from the flow's stream and — under the
-                // saturating worker model — occupying the worker, so packets
-                // arriving faster than it drains them queue behind it.
-                let flow_key = packet.four_tuple();
-                let mut rng = self.checkout_rng_opt(flow_key);
-                let parse_cost = SimDuration::from_micros(rng.int_inclusive(4, 25));
-                self.checkin_rng_opt(flow_key, rng);
-                self.ledger.charge("MainWorker", parse_cost);
-                let start = self.worker_start(now, parse_cost);
-                self.relay_tun_packet(start, &packet);
-            }
-            Err(_) => self.relay.parse_errors += 1,
-        }
-        self.pool.put(buf);
-    }
-
-    /// The MainWorker's relay decision, working entirely on borrowed views —
-    /// no payload is copied unless data actually has to cross to the socket
-    /// channel.
-    fn relay_tun_packet(&mut self, now: SimTime, packet: &PacketView<'_>) {
-        if matches!(packet.transport(), TransportView::Other(..)) {
-            // A well-formed packet of an unsupported transport: forwarded
-            // opaquely, nothing to measure and nothing to count as an error.
-            return;
-        }
-        let Some(flow) = packet.four_tuple() else {
-            self.relay.parse_errors += 1;
-            return;
-        };
-        match packet.transport() {
-            TransportView::Tcp(segment) => {
-                let client = self.clients.get_or_create(flow);
-                let (packets, actions, verdict) =
-                    client.machine_mut().on_tunnel_segment_view(segment);
-                match verdict {
-                    SegmentVerdict::Syn => self.relay.syns += 1,
-                    SegmentVerdict::Data(len) => {
-                        self.relay.data_segments_out += 1;
-                        self.relay.bytes_out += len as u64;
-                    }
-                    SegmentVerdict::PureAckDiscarded => self.relay.pure_acks_discarded += 1,
-                    SegmentVerdict::Fin => self.relay.fins += 1,
-                    SegmentVerdict::Rst => self.relay.rsts += 1,
-                    SegmentVerdict::Retransmission | SegmentVerdict::OutOfState => {}
-                }
-                for pkt in packets {
-                    self.write_to_tunnel(now, pkt);
-                }
-                for action in actions {
-                    self.apply_action(now, flow, action);
-                }
-                // A torn-down connection's tail (the app's final ACK after
-                // RemoveClient already ran) lands on a freshly created
-                // machine and is discarded; the machine is still in Listen
-                // because only a SYN moves it off. Drop that zombie client
-                // and the keyed state the tail packet recreated, so a fleet
-                // run's memory tracks live connections. (Flow-keyed only:
-                // the single-device engine keeps its historical behaviour
-                // bit-for-bit.)
-                if self.config.discipline == EngineDiscipline::FlowKeyed
-                    && self
-                        .clients
-                        .get(flow)
-                        .is_some_and(|c| c.state() == mop_tcpstack::TcpState::Listen)
-                {
-                    self.clients.remove(flow);
-                    self.release_flow_state(flow);
-                }
-                self.update_memory_ledger();
-            }
-            TransportView::Udp(datagram) => {
-                self.relay.udp_datagrams += 1;
-                let assoc = self.udp.get_or_create(flow);
-                let transaction = assoc.on_outgoing(datagram.payload(), now.as_nanos()).cloned();
-                if let Some(tx) = transaction {
-                    self.relay.dns_queries += 1;
-                    self.start_dns_measurement(now, flow, tx.id, &tx.name);
-                }
-            }
-            TransportView::Other(..) => unreachable!("handled before the four-tuple guard"),
-        }
-    }
-
-    fn apply_action(&mut self, now: SimTime, flow: FourTuple, action: RelayAction) {
-        match action {
-            RelayAction::ConnectExternal { dst } => self.start_connect(now, flow, dst),
-            RelayAction::RelayData { bytes } => self.relay_data(now, flow, &bytes),
-            RelayAction::HalfCloseExternal => self.half_close(now, flow),
-            RelayAction::CloseExternal => self.close_external(flow),
-            RelayAction::RemoveClient => self.remove_client(now, flow),
-        }
-    }
-
-    /// The socket-connect thread (§2.4): blocking connect with clean
-    /// timestamps, then lazy mapping and selector registration.
-    fn start_connect(&mut self, now: SimTime, flow: FourTuple, dst: Endpoint) {
-        let mut rng = self.checkout_rng(flow);
-        let spawn = self.cost.thread_spawn.sample(&mut rng);
-        self.ledger.charge("ConnectThreads", spawn);
-        let mut t = now + spawn;
-        if self.config.protect == ProtectMode::PerSocket {
-            let protect = self.cost.protect_call.sample(&mut rng);
-            self.ledger.charge("ConnectThreads", protect);
-            t += protect;
-        }
-        self.checkin_rng(flow, rng);
-        // Flow-keyed runs bind the external socket to the app flow's source,
-        // so the external four-tuple (which keys the network's per-flow RNG
-        // stream and the wire tap) is a pure function of the flow rather
-        // than of socket-creation order.
-        let socket = match self.config.discipline {
-            EngineDiscipline::SharedDevice => self.sockets.create(SocketMode::Blocking),
-            EngineDiscipline::FlowKeyed => {
-                self.sockets.create_bound(SocketMode::Blocking, flow.src)
-            }
-        };
-        if self.config.protect == ProtectMode::PerSocket {
-            self.sockets.protect(socket);
-        }
-        // Pre-connect timestamp, taken immediately before connect() (§4.1.1).
-        self.connect_pre_ts.insert(flow, self.timestamp(t));
-        let outcome = self.sockets.connect(&mut self.net, socket, dst, t);
-        self.socket_by_flow.insert(flow, socket);
-        if let Some(client) = self.clients.get_mut(flow) {
-            client.attach_external(socket.to_string().trim_start_matches("sock#").parse().unwrap_or(0));
-            client.connect_started_ns = Some(t.as_nanos());
-        }
-        self.queue.schedule(outcome.completed_at, Event::ExternalConnected(flow));
-    }
-
-    fn on_external_connected(&mut self, now: SimTime, flow: FourTuple) {
-        let Some(&socket) = self.socket_by_flow.get(&flow) else { return };
-        let state = self.sockets.poll_connect(socket, now);
-        let pre = self.connect_pre_ts.remove(&flow).unwrap_or(now);
-        let mut rng = self.checkout_rng(flow);
-        // Post-connect timestamp: exact in the blocking connect thread, or
-        // delayed by the selector dispatch when taken from the event loop.
-        let mut post = now;
-        if self.config.timestamp_mode == TimestampMode::SelectorNotification {
-            post += self.cost.sample_dispatch_delay(&mut rng);
-        }
-        let post = self.timestamp(post);
-        let outcome = self.sockets.connect_outcome(socket);
-        match state {
-            SocketState::Connected => {
-                self.relay.connects_ok += 1;
-                // Register the channel with the selector only after the
-                // internal handshake work is done (§3.4). The cost is drawn
-                // from the flow's stream before the mapper runs, because the
-                // mapper's draw count depends on the co-resident connection
-                // table and must not advance this stream.
-                let register = self.cost.selector_register.sample(&mut rng);
-                self.checkin_rng(flow, rng);
-                // Lazy mapping happens here, in the connect thread, after the
-                // handshake with the server is complete (§3.3).
-                let (uid, package) = self.map_flow(flow, now);
-                if let Some(client) = self.clients.get_mut(flow) {
-                    client.connect_finished_ns = Some(now.as_nanos());
-                    client.app_uid = uid;
-                    client.app_package = package.clone();
-                }
-                self.ledger.charge("ConnectThreads", register);
-                self.selector.register(socket);
-                self.sockets.set_mode(socket, SocketMode::NonBlocking);
-                self.conn_table.set_state(flow, SocketStateCode::Established);
-                // Record the per-app RTT sample.
-                let tcpdump_ms = self
-                    .sockets
-                    .flow(socket)
-                    .and_then(|f| self.net.tap().handshake_rtt(f))
-                    .map(|d| d.as_millis_f64());
-                self.record_sample(RttSample {
-                    kind: SampleKind::Tcp,
-                    flow,
-                    uid,
-                    package,
-                    domain: self.domain_for(flow.dst.addr),
-                    measured_ms: (post - pre).as_millis_f64(),
-                    true_ms: outcome.map(|o| o.true_rtt.as_millis_f64()).unwrap_or(0.0),
-                    tcpdump_ms,
-                    at: now,
-                });
-                // Complete the handshake with the app (§2.3).
-                if let Some(client) = self.clients.get_mut(flow) {
-                    let packets = client.machine_mut().on_external_connected();
-                    for pkt in packets {
-                        self.write_to_tunnel(now, pkt);
-                    }
-                }
-            }
-            SocketState::ConnectFailed { refused } => {
-                self.checkin_rng(flow, rng);
-                self.relay.connects_failed += 1;
-                if let Some(client) = self.clients.get_mut(flow) {
-                    let packets = client.machine_mut().on_external_connect_failed(refused);
-                    for pkt in packets {
-                        self.write_to_tunnel(now, pkt);
-                    }
-                }
-                self.finish_flow(flow, now, false);
-            }
-            _ => self.checkin_rng(flow, rng),
-        }
-    }
-
-    fn map_flow(&mut self, flow: FourTuple, now: SimTime) -> (Option<u32>, Option<String>) {
-        let registered_at = self.flow_registered_at.get(&flow).copied().unwrap_or(now);
-        // The mapper's draw count scales with the connection table (a
-        // `/proc/net` parse samples a cost per entry), and the table holds
-        // whatever flows happen to be co-resident. Under the flow-keyed
-        // discipline those draws come from a throwaway stream derived for
-        // this flow, so they cannot perturb any flow's main stream; only the
-        // CPU ledger sees the variance.
-        let mut keyed_rng;
-        let rng: &mut SimRng = match self.config.discipline {
-            EngineDiscipline::SharedDevice => &mut self.rng,
-            EngineDiscipline::FlowKeyed => {
-                keyed_rng = SimRng::seed_from_u64(
-                    self.config.seed ^ flow.canonical().stable_hash() ^ MAPPING_KEY_SALT,
-                );
-                &mut keyed_rng
-            }
-        };
-        let outcome = match &mut self.mapper {
-            Mapper::Eager(m) => m.map(&self.conn_table, &self.cost, rng, flow),
-            Mapper::Cached(m) => m.map(&self.conn_table, &self.cost, rng, flow),
-            Mapper::Lazy(m) => {
-                m.map(&self.conn_table, &self.cost, rng, flow, registered_at, now)
-            }
-        };
-        let lookup_cost = outcome
-            .uid
-            .map(|_| SimDuration::from_millis_f64(self.cost.package_lookup.sample_ms(rng)));
-        let charge_to = match self.config.mapping {
-            MappingStrategy::Lazy => "ConnectThreads",
-            _ => "MainWorker",
-        };
-        self.ledger.charge(charge_to, outcome.cpu_cost);
-        let package = outcome.uid.and_then(|uid| {
-            self.ledger.charge(charge_to, lookup_cost.unwrap_or(SimDuration::ZERO));
-            self.packages.name_for_uid_cached(uid)
-        });
-        (outcome.uid, package)
-    }
-
-    fn relay_data(&mut self, now: SimTime, flow: FourTuple, bytes: &[u8]) {
-        if self.config.content_inspection {
-            let mut rng = self.checkout_rng(flow);
-            let inspect = self.cost.sample_content_inspection(bytes.len(), &mut rng);
-            self.checkin_rng(flow, rng);
-            self.ledger.charge("Inspection", inspect);
-        }
-        let Some(&socket) = self.socket_by_flow.get(&flow) else { return };
-        if !matches!(
-            self.sockets.state(socket),
-            SocketState::Connected | SocketState::HalfClosed
-        ) {
-            return;
-        }
-        self.sockets.buffer_write(socket, bytes.len());
-        self.sockets.flush_writes(&mut self.net, socket, now);
-        // The socket write completes locally; acknowledge the app's data.
-        if let Some(client) = self.clients.get_mut(flow) {
-            let packets = client.machine_mut().on_external_write_complete();
-            for pkt in packets {
-                self.write_to_tunnel(now, pkt);
-            }
-        }
-        if let Some(ready_at) = self.sockets.next_read_ready_at(socket) {
-            self.queue.schedule(ready_at.max(now), Event::SocketReadable(flow));
-        }
-    }
-
-    fn on_socket_readable(&mut self, now: SimTime, flow: FourTuple) {
-        let Some(&socket) = self.socket_by_flow.get(&flow) else { return };
-        // The socket layer hands out a pooled buffer for the readable bytes,
-        // so the read loop performs no per-read allocation in steady state.
-        let data = self.sockets.take_readable_pooled(socket, now);
-        let total = data.len();
-        if total > 0 {
-            let mut rng = self.checkout_rng(flow);
-            if self.config.content_inspection {
-                let inspect = self.cost.sample_content_inspection(total, &mut rng);
-                self.ledger.charge("Inspection", inspect);
-            }
-            let segment_cost = SimDuration::from_micros(rng.int_inclusive(10, 60));
-            self.checkin_rng(flow, rng);
-            self.ledger.charge("MainWorker", segment_cost);
-            // Segmenting server data back towards the app is MainWorker
-            // work: under the saturating model it queues behind the backlog.
-            let start = self.worker_start(now, segment_cost);
-            if let Some(client) = self.clients.get_mut(flow) {
-                let packets = client.machine_mut().on_external_data(&data);
-                self.relay.data_segments_in += packets.len() as u64;
-                self.relay.bytes_in += total as u64;
-                for pkt in packets {
-                    self.write_to_tunnel(start, pkt);
-                }
-            }
-        }
-        self.sockets.recycle_buffer(data);
-        if let Some(next) = self.sockets.next_read_ready_at(socket) {
-            self.queue.schedule(next, Event::SocketReadable(flow));
-        } else if self.pending_half_close.contains(&flow) {
-            self.finish_half_close(now, flow);
-        }
-    }
-
-    fn half_close(&mut self, now: SimTime, flow: FourTuple) {
-        let Some(&socket) = self.socket_by_flow.get(&flow) else { return };
-        self.sockets.half_close(socket);
-        if self.sockets.read_exhausted(socket) {
-            self.finish_half_close(now, flow);
-        } else {
-            self.pending_half_close.insert(flow);
-        }
-    }
-
-    /// The half-close write event: close the external connection and send a
-    /// FIN to the app (§2.3, socket-write handling).
-    fn finish_half_close(&mut self, now: SimTime, flow: FourTuple) {
-        self.pending_half_close.remove(&flow);
-        if let Some(&socket) = self.socket_by_flow.get(&flow) {
-            self.sockets.close(socket);
-            self.selector.deregister(socket);
-        }
-        if let Some(client) = self.clients.get_mut(flow) {
-            let packets = client.machine_mut().on_external_closed(false);
-            for pkt in packets {
-                self.write_to_tunnel(now, pkt);
-            }
-        }
-    }
-
-    fn close_external(&mut self, flow: FourTuple) {
-        if let Some(&socket) = self.socket_by_flow.get(&flow) {
-            self.sockets.close(socket);
-            self.selector.deregister(socket);
-        }
-        self.conn_table.remove(flow);
-    }
-
-    fn remove_client(&mut self, now: SimTime, flow: FourTuple) {
-        self.clients.remove(flow);
-        self.conn_table.remove(flow);
-        self.finish_flow(flow, now, true);
-        self.release_flow_state(flow);
-        self.update_memory_ledger();
-    }
-
-    /// Evicts a finished flow's keyed stochastic state (RNG stream, writer
-    /// lane, network context), so shard memory is bounded by *concurrent*
-    /// flows, not by every flow a fleet run has ever seen.
-    ///
-    /// Safe for determinism: if a stray late packet recreates the state, the
-    /// fresh stream restarts from the flow's seed — still a pure function of
-    /// `(seed, four-tuple)`, so every shard count recreates it identically.
-    fn release_flow_state(&mut self, flow: FourTuple) {
-        if self.config.discipline == EngineDiscipline::FlowKeyed {
-            let key = flow.canonical();
-            self.flow_rngs.remove(&key);
-            self.writer_lanes.remove(&key);
-            self.net.release_flow(flow);
-        }
-    }
-
-    fn finish_flow(&mut self, flow: FourTuple, now: SimTime, completed: bool) {
-        if let Some(meta) = self.flow_meta.get_mut(&flow) {
-            meta.finished_at = now;
-            meta.completed = completed;
-            if let Some(app) = self.apps.get(&flow) {
-                meta.bytes_received = app.bytes_received;
-            }
-        }
-    }
-
-    // ----- DNS ------------------------------------------------------------
-
-    fn start_dns_measurement(&mut self, now: SimTime, flow: FourTuple, id: u16, name: &str) {
-        // The whole DNS processing runs in a temporary blocking-mode thread
-        // (§2.4): socket set-up, then a blocking send/receive pair.
-        let mut rng = self.checkout_rng(flow);
-        let spawn = self.cost.thread_spawn.sample(&mut rng);
-        self.checkin_rng(flow, rng);
-        self.ledger.charge("DnsThreads", spawn);
-        let send_at = now + spawn;
-        let outcome = self.net.dns_lookup(flow.src, name, send_at);
-        self.dns_pending.insert(flow, (self.timestamp(send_at), name.to_string()));
-        for addr in &outcome.addrs {
-            self.ip_to_domain.insert(IpAddr::V4(*addr), name.to_string());
-        }
-        let Some(response_at) = outcome.response_at else {
-            // Query lost: the app sees a timeout; nothing is measured.
-            self.finish_flow(flow, send_at, false);
-            return;
-        };
-        // Build the response datagram the relay writes back to the app.
-        let query = DnsMessage::query(id, name);
-        let response = if outcome.nxdomain {
-            DnsMessage::nxdomain(&query)
-        } else {
-            DnsMessage::answer(&query, &outcome.addrs, 300)
-        };
-        let to_app = PacketBuilder::new(flow.dst, flow.src).dns(&response);
-        self.queue.schedule(response_at, Event::DnsResponse { flow, packet: to_app });
-    }
-
-    fn on_dns_response(&mut self, now: SimTime, flow: FourTuple, packet: Packet) {
-        let Some((sent_ts, name)) = self.dns_pending.remove(&flow) else { return };
-        let post = self.timestamp(now);
-        let uid = self.conn_table.uid_of(flow);
-        let package = uid.and_then(|u| self.packages.name_for_uid_cached(u));
-        let tcpdump_ms = self.net.tap().dns_rtt(flow).map(|d| d.as_millis_f64());
-        self.record_sample(RttSample {
-            kind: SampleKind::Dns,
-            flow,
-            uid,
-            package,
-            domain: Some(name),
-            measured_ms: (post - sent_ts).as_millis_f64(),
-            true_ms: tcpdump_ms.unwrap_or_else(|| (post - sent_ts).as_millis_f64()),
-            tcpdump_ms,
-            at: now,
-        });
-        // Record the inbound datagram on the UDP association and forward it.
-        let reply_flow = flow;
-        if let Some(assoc) = self.udp.get(reply_flow) {
-            let _ = assoc;
-        }
-        self.write_to_tunnel(now, packet);
-        // The DNS exchange is complete; its keyed state will not be used
-        // again (the response delivery draws nothing).
-        self.release_flow_state(flow);
-    }
-
-    // ----- app side -------------------------------------------------------
-
-    fn on_deliver_to_app(&mut self, now: SimTime, packet: Packet) {
-        let Some(reverse) = packet.four_tuple() else { return };
-        let flow = reverse.reversed();
-        if let Some(client) = self.dns_clients.get_mut(&flow) {
-            if client.handle(&packet) {
-                if let Some(meta) = self.flow_meta.get_mut(&flow) {
-                    meta.finished_at = now;
-                    meta.completed = true;
-                }
-            }
-            return;
-        }
-        if let Some(app) = self.apps.get_mut(&flow) {
-            let responses = app.handle(&packet);
-            let bytes_received = app.bytes_received;
-            // Only a clean close counts as completion; a reset app stays failed.
-            let done_cleanly = app.state() == mop_tun::AppState::Done;
-            if let Some(meta) = self.flow_meta.get_mut(&flow) {
-                meta.bytes_received = bytes_received;
-                meta.finished_at = now;
-                if done_cleanly {
-                    meta.completed = true;
-                }
-            }
-            for (i, response) in responses.into_iter().enumerate() {
-                // Consecutive packets from the app leave a few microseconds apart.
-                let at = now + SimDuration::from_micros(20 * (i as u64 + 1));
-                self.inject_app_packet(at, response);
-            }
-        }
-    }
-
-    fn update_memory_ledger(&mut self) {
-        // Each live client holds a 64 KiB read and a 64 KiB write buffer
-        // (§3.4); the engine itself has a fixed footprint. Content inspection
-        // keeps reassembled flow buffers that dwarf the relay's own state.
-        let clients = self.clients.len();
-        let base = 6 * 1024 * 1024;
-        let buffers = clients * 2 * 65_535;
-        self.ledger.set_memory("relay", base + buffers);
-        if self.config.content_inspection {
-            self.ledger.set_memory("inspection", 120 * 1024 * 1024 + clients * 1024 * 1024);
-        }
-    }
-}
-
-/// Maps the simulator's access-network technology onto the measurement
-/// schema's independent [`NetKind`] (the two enums are deliberately distinct:
-/// records could come from a real deployment).
-fn net_kind_of(network_type: mop_simnet::NetworkType) -> NetKind {
-    match network_type {
-        mop_simnet::NetworkType::Wifi => NetKind::Wifi,
-        mop_simnet::NetworkType::Lte => NetKind::Lte,
-        mop_simnet::NetworkType::Umts3g => NetKind::Umts3g,
-        mop_simnet::NetworkType::Gprs2g => NetKind::Gprs2g,
-    }
-}
-
-/// The synthetic device identifier of a flow: its source address folded to a
-/// `u32`. Fleet scenarios assign each simulated user a unique source address,
-/// so this is a stable per-user id; the single-device engine maps everything
-/// to the one handset address.
-fn device_of(addr: IpAddr) -> u32 {
-    match addr {
-        IpAddr::V4(v4) => u32::from(v4),
-        IpAddr::V6(v6) => v6
-            .octets()
-            .chunks_exact(4)
-            .fold(0u32, |acc, c| {
-                acc.rotate_left(9) ^ u32::from_be_bytes([c[0], c[1], c[2], c[3]])
-            }),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use mop_simnet::{LatencyModel, ServerConfig, Service};
-    use mop_tun::WorkloadKind;
-
-    fn network() -> SimNetwork {
-        SimNetwork::builder().seed(42).with_table2_destinations().build()
-    }
-
-    fn google() -> Endpoint {
-        Endpoint::v4(216, 58, 221, 132, 443)
-    }
-
-    fn one_flow(request: usize, close_after: usize) -> FlowSpec {
-        FlowSpec {
-            at: SimTime::from_millis(10),
-            uid: 10_100,
-            package: "com.android.chrome".into(),
-            src: None,
-            dst: google(),
-            domain: Some("www.google.com".into()),
-            request_bytes: request,
-            close_after,
-            kind: FlowKind::Tcp,
-            network: None,
-            isp: None,
-        }
-    }
-
-    #[test]
-    fn single_tcp_flow_completes_and_is_measured() {
-        let mut engine = MopEyeEngine::new(MopEyeConfig::mopeye(), network());
-        let report = engine.run_flows(vec![one_flow(400, 8 * 1024)]);
-        assert_eq!(report.relay.syns, 1);
-        assert_eq!(report.relay.connects_ok, 1);
-        assert_eq!(report.relay.connects_failed, 0);
-        assert!(report.relay.data_segments_in > 0);
-        assert!(report.relay.pure_acks_discarded >= 1);
-        assert_eq!(report.flows.len(), 1);
-        let flow = &report.flows[0];
-        assert!(flow.completed, "flow should finish cleanly");
-        assert_eq!(flow.bytes_received, 32 * 1024, "full web response delivered");
-        assert_eq!(flow.package, "com.android.chrome");
-        // One TCP RTT sample with tight accuracy.
-        let samples = report.tcp_samples();
-        assert_eq!(samples.len(), 1);
-        let s = samples[0];
-        assert_eq!(s.package.as_deref(), Some("com.android.chrome"));
-        assert_eq!(s.domain.as_deref(), Some("www.google.com"));
-        assert!(s.error_ms() < 1.0, "MopEye accuracy should be sub-millisecond, got {}", s.error_ms());
-        assert!(s.measured_ms > 1.0, "google RTT should be positive, got {}", s.measured_ms);
-    }
-
-    #[test]
-    fn dns_flow_is_measured_and_answered() {
-        let mut engine = MopEyeEngine::new(MopEyeConfig::mopeye(), network());
-        let spec = FlowSpec {
-            at: SimTime::from_millis(5),
-            uid: 10_100,
-            package: "com.android.chrome".into(),
-            src: None,
-            dst: Endpoint::v4(192, 168, 1, 1, 53),
-            domain: Some("www.google.com".into()),
-            request_bytes: 0,
-            close_after: 0,
-            kind: FlowKind::Dns,
-            network: None,
-            isp: None,
-        };
-        let report = engine.run_flows(vec![spec]);
-        assert_eq!(report.relay.dns_queries, 1);
-        let samples = report.dns_samples();
-        assert_eq!(samples.len(), 1);
-        assert_eq!(samples[0].domain.as_deref(), Some("www.google.com"));
-        assert!(samples[0].measured_ms > 1.0);
-        assert!(samples[0].error_ms() < 1.5, "dns error {}", samples[0].error_ms());
-        assert!(report.flows[0].completed);
-    }
-
-    #[test]
-    fn refused_destination_fails_the_flow() {
-        let mut net = network();
-        net.add_server(ServerConfig::new(
-            "closed",
-            "10.7.7.7".parse().unwrap(),
-            LatencyModel::constant(20.0),
-            Service::Refuse,
-        ));
-        let mut engine = MopEyeEngine::new(MopEyeConfig::mopeye(), net);
-        let mut spec = one_flow(100, 0);
-        spec.dst = Endpoint::v4(10, 7, 7, 7, 80);
-        spec.domain = None;
-        let report = engine.run_flows(vec![spec]);
-        assert_eq!(report.relay.connects_failed, 1);
-        assert_eq!(report.relay.connects_ok, 0);
-        assert!(!report.flows[0].completed);
-        assert!(report.tcp_samples().is_empty(), "failed connects produce no RTT sample");
-    }
-
-    #[test]
-    fn web_browsing_workload_produces_many_accurate_samples() {
-        let mut engine = MopEyeEngine::new(MopEyeConfig::mopeye(), network());
-        let workload = Workload::new(
-            WorkloadKind::WebBrowsing,
-            10_100,
-            "com.android.chrome",
-            vec![
-                (google(), "www.google.com".into()),
-                (Endpoint::v4(31, 13, 79, 251, 443), "graph.facebook.com".into()),
-            ],
-            SimDuration::from_secs(30),
-            5,
-        );
-        let report = engine.run(&[workload]);
-        assert!(report.relay.syns >= 30, "syns {}", report.relay.syns);
-        assert_eq!(report.relay.syns, report.relay.connects_ok + report.relay.connects_failed);
-        let samples = report.tcp_samples();
-        assert_eq!(samples.len() as u64, report.relay.connects_ok);
-        let mean_err = report.mean_tcp_error_ms().unwrap();
-        assert!(mean_err < 1.0, "mean error {mean_err}");
-        // Mapping ran once per successful connection and mostly avoided parses.
-        assert_eq!(report.mapping.requests, report.relay.connects_ok);
-        assert!(report.mapping.mitigation_rate() > 0.3, "mitigation {}", report.mapping.mitigation_rate());
-        assert_eq!(report.mapping.mismapped, 0);
-        // DNS queries from the workload were measured too.
-        assert_eq!(report.dns_samples().len() as u64, report.relay.dns_queries);
-        assert!(report.relay.dns_queries >= 5);
-        // The ledger charged every component of Figure 4.
-        for component in ["TunReader", "MainWorker", "TunWriter", "ConnectThreads"] {
-            assert!(
-                report.ledger.busy_of(component) > SimDuration::ZERO,
-                "{component} should have CPU time"
-            );
-        }
-        assert!(report.ledger.memory_peak_bytes() > 6 * 1024 * 1024);
-        assert!(report.events_processed > 100);
-        // The datapath recycles packet buffers: after warm-up nearly every
-        // tunnel packet reuses a pooled buffer instead of allocating.
-        assert!(
-            report.buffer_pool.reuse_rate() > 0.9,
-            "tunnel buffer reuse {:?}",
-            report.buffer_pool
-        );
-        assert!(report.socket_read_pool.reuses > 0, "{:?}", report.socket_read_pool);
-    }
-
-    #[test]
-    fn selector_timestamps_are_less_accurate_than_blocking_thread() {
-        let flows: Vec<FlowSpec> = (0..40)
-            .map(|i| {
-                let mut f = one_flow(300, 4096);
-                f.at = SimTime::from_millis(200 * i as u64 + 10);
-                f
-            })
-            .collect();
-        let mut accurate = MopEyeEngine::new(MopEyeConfig::mopeye(), network());
-        let report_accurate = accurate.run_flows(flows.clone());
-        let mut sloppy = MopEyeEngine::new(
-            MopEyeConfig::mopeye().with_timestamp_mode(TimestampMode::SelectorNotification),
-            network(),
-        );
-        let report_sloppy = sloppy.run_flows(flows);
-        let e_accurate = report_accurate.mean_tcp_error_ms().unwrap();
-        let e_sloppy = report_sloppy.mean_tcp_error_ms().unwrap();
-        assert!(e_accurate < 1.0, "blocking-thread error {e_accurate}");
-        assert!(e_sloppy > e_accurate * 2.0, "selector error {e_sloppy} vs {e_accurate}");
-    }
-
-    #[test]
-    fn haystack_preset_burns_more_cpu_and_memory() {
-        let flows: Vec<FlowSpec> = (0..30)
-            .map(|i| {
-                let mut f = one_flow(500, 16 * 1024);
-                f.at = SimTime::from_millis(300 * i as u64 + 10);
-                f
-            })
-            .collect();
-        let mut mopeye = MopEyeEngine::new(MopEyeConfig::mopeye(), network());
-        let mop_report = mopeye.run_flows(flows.clone());
-        let mut haystack = MopEyeEngine::new(MopEyeConfig::haystack_like(), network());
-        let hay_report = haystack.run_flows(flows);
-        let wall = mop_report.finished_at - SimTime::ZERO;
-        let mop_cpu = mop_report.ledger.cpu_percent(wall);
-        let hay_cpu = hay_report.ledger.cpu_percent(hay_report.finished_at - SimTime::ZERO);
-        assert!(hay_cpu > mop_cpu, "haystack {hay_cpu}% vs mopeye {mop_cpu}%");
-        assert!(hay_report.ledger.memory_peak_bytes() > mop_report.ledger.memory_peak_bytes() * 5);
-    }
-
-    #[test]
-    fn flow_keyed_engine_evicts_finished_flow_state() {
-        let flows: Vec<FlowSpec> = (0..30)
-            .map(|i| {
-                let mut f = one_flow(300, 2048);
-                f.src = Some(Endpoint::v4(10, 1, 0, i as u8, 40_000));
-                f.at = SimTime::from_millis(10 + 40 * i as u64);
-                f
-            })
-            .collect();
-        let mut engine = MopEyeEngine::new(MopEyeConfig::fleet_shard(), network());
-        let report = engine.run_flows(flows);
-        assert_eq!(report.relay.connects_ok, 30);
-        // Teardown released the keyed state: memory is bounded by concurrent
-        // flows, not total flows — entries recreated by the app's final ACKs
-        // are swept by the zombie-client cleanup.
-        assert_eq!(engine.flow_rngs.len(), 0, "flow RNG streams not evicted");
-        assert_eq!(engine.writer_lanes.len(), 0, "writer lanes not evicted");
-        assert_eq!(engine.clients.len(), 0, "zombie clients not removed");
-    }
-
-    #[test]
-    fn run_report_goodput_reflects_transferred_bytes() {
-        let mut engine = MopEyeEngine::new(MopEyeConfig::mopeye(), network());
-        let report = engine.run_flows(vec![one_flow(400, 16 * 1024)]);
-        let goodput = report.download_goodput_mbps().unwrap();
-        assert!(goodput > 0.1, "goodput {goodput}");
-        assert!(report.tun.bytes_to_apps > report.tun.bytes_from_apps);
     }
 }

@@ -65,7 +65,9 @@
 
 pub mod config;
 pub mod engine;
+pub mod report;
 pub mod shard;
+pub mod stages;
 pub mod stats;
 pub mod tun_writer;
 
@@ -73,7 +75,9 @@ pub use config::{
     EngineDiscipline, EnqueueScheme, MopEyeConfig, ProtectMode, TimestampMode, WorkerModel,
     WriteScheme,
 };
-pub use engine::{MopEyeEngine, RunReport};
+pub use engine::MopEyeEngine;
+pub use report::RunReport;
 pub use shard::{FleetConfig, FleetEngine, FleetReport, ShardOutcome};
+pub use stages::Stage;
 pub use stats::{FlowOutcome, RelayStats, RttSample, SampleKind};
 pub use tun_writer::{SubmitOutcome, TunWriter, WriteDelayStats, WriterLane};

@@ -1,0 +1,91 @@
+//! What a run produced: the [`RunReport`] every engine (and every fleet
+//! shard) emits when its event loop drains.
+//!
+//! The report is assembled by the engine from the four pipeline stages —
+//! relay counters from the relay stage, write-delay histograms from egress,
+//! TUN/pool counters from ingress, samples and aggregates from the sink —
+//! plus the shared substrate's ledger. The cross-shard merge operations
+//! (`empty` / `absorb` / `canonicalise` / `fleet_digest`) live in
+//! [`crate::shard`] next to the fleet engine that uses them.
+
+use mop_measure::AggregateStore;
+use mop_procnet::MappingStats;
+use mop_simnet::{CpuLedger, PoolStats, SimTime};
+use mop_tun::TunStats;
+
+use crate::stats::{FlowOutcome, RelayStats, RttSample, SampleKind};
+use crate::tun_writer::WriteDelayStats;
+
+/// Everything a run produced.
+#[derive(Debug)]
+pub struct RunReport {
+    /// RTT samples (TCP and DNS) with ground truth.
+    ///
+    /// Empty when the engine ran with `retain_samples: false` — the
+    /// streaming [`RunReport::aggregates`] then carry the run's measurement
+    /// content in constant memory.
+    pub samples: Vec<RttSample>,
+    /// Streaming aggregation of every RTT sample: mergeable quantile
+    /// sketches keyed by (kind, network, app, domain, ISP), folded in at the
+    /// measurement sink as samples are produced. Merged cross-shard exactly
+    /// like the sample vector, and bit-identical for any shard count under
+    /// the flow-keyed discipline.
+    pub aggregates: AggregateStore,
+    /// Relay counters.
+    pub relay: RelayStats,
+    /// Packet-to-app mapping statistics.
+    pub mapping: MappingStats,
+    /// Tunnel-write delay statistics.
+    pub write_delays: WriteDelayStats,
+    /// TUN device counters.
+    pub tun: TunStats,
+    /// CPU / memory / battery ledger.
+    pub ledger: CpuLedger,
+    /// Behaviour of the tunnel-packet buffer pool (allocations vs reuses).
+    pub buffer_pool: PoolStats,
+    /// Behaviour of the socket read-buffer pool.
+    pub socket_read_pool: PoolStats,
+    /// Per-flow outcomes.
+    pub flows: Vec<FlowOutcome>,
+    /// Virtual time at which the run finished.
+    pub finished_at: SimTime,
+    /// Events processed.
+    pub events_processed: u64,
+    /// Events ever scheduled (pending + processed + cancelled); cancelled
+    /// timers are scheduled but never processed.
+    pub events_scheduled: u64,
+}
+
+impl RunReport {
+    /// TCP RTT samples only.
+    pub fn tcp_samples(&self) -> Vec<&RttSample> {
+        self.samples.iter().filter(|s| s.kind == SampleKind::Tcp).collect()
+    }
+
+    /// DNS RTT samples only.
+    pub fn dns_samples(&self) -> Vec<&RttSample> {
+        self.samples.iter().filter(|s| s.kind == SampleKind::Dns).collect()
+    }
+
+    /// Total response bytes delivered to apps divided by the busy interval,
+    /// in Mbit/s — the downlink goodput seen through the relay.
+    pub fn download_goodput_mbps(&self) -> Option<f64> {
+        let total: usize = self.flows.iter().map(|f| f.bytes_received).sum();
+        let start = self.flows.iter().map(|f| f.started_at).min()?;
+        let end = self.flows.iter().map(|f| f.finished_at).max()?;
+        let secs = (end - start).as_secs_f64();
+        if secs <= 0.0 || total == 0 {
+            return None;
+        }
+        Some(total as f64 * 8.0 / 1_000_000.0 / secs)
+    }
+
+    /// Mean absolute RTT error against the tcpdump reference, in ms.
+    pub fn mean_tcp_error_ms(&self) -> Option<f64> {
+        let errors: Vec<f64> = self.tcp_samples().iter().map(|s| s.error_ms()).collect();
+        if errors.is_empty() {
+            return None;
+        }
+        Some(errors.iter().sum::<f64>() / errors.len() as f64)
+    }
+}

@@ -81,6 +81,19 @@ impl FleetConfig {
         self.engine = self.engine.with_seed(seed);
         self
     }
+
+    /// Sets the per-shard scheduler backend (wheel vs reference heap).
+    pub fn with_scheduler(mut self, scheduler: mop_simnet::SchedulerKind) -> Self {
+        self.engine = self.engine.with_scheduler(scheduler);
+        self
+    }
+
+    /// Arms per-connection idle timers on every shard (see
+    /// [`MopEyeConfig::idle_timeout`]).
+    pub fn with_idle_timeout(mut self, timeout: mop_simnet::SimDuration) -> Self {
+        self.engine = self.engine.with_idle_timeout(Some(timeout));
+        self
+    }
 }
 
 /// What one shard did during a fleet run.
@@ -244,6 +257,7 @@ impl RunReport {
             flows: Vec::new(),
             finished_at: SimTime::ZERO,
             events_processed: 0,
+            events_scheduled: 0,
         }
     }
 
@@ -272,6 +286,7 @@ impl RunReport {
         self.flows.extend(other.flows);
         self.finished_at = self.finished_at.max(other.finished_at);
         self.events_processed += other.events_processed;
+        self.events_scheduled += other.events_scheduled;
     }
 
     /// Sorts samples and flow outcomes into their canonical order

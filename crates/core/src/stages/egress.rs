@@ -1,0 +1,93 @@
+//! The egress stage: TunWriter lanes carrying packets back to the apps.
+//!
+//! Every packet the relay sends towards an app passes through here: the
+//! enqueue cost and the dedicated writer thread's timing are modelled
+//! against a [`WriterLane`] — the single device-wide lane under the
+//! shared-device discipline, or the connection's own lane under the
+//! flow-keyed discipline (so a flow's write timing depends only on its own
+//! packet train, one of the invariants behind shard-count-independent
+//! determinism). The packet itself travels as a scheduled `DeliverToApp`
+//! event; the writer only ever sees its wire length.
+
+use std::collections::HashMap;
+
+use mop_packet::{FourTuple, Packet};
+use mop_simnet::{SimTime, TimerScheduler};
+
+use super::{EngineShared, Stage};
+use crate::config::EngineDiscipline;
+use crate::engine::Event;
+use crate::tun_writer::{TunWriter, WriterLane};
+
+/// The TunWriter-lane stage. See the [module docs](self).
+#[derive(Debug)]
+pub struct EgressStage {
+    /// The tunnel writer (schemes + delay statistics).
+    pub(crate) writer: TunWriter,
+    /// Per-connection TunWriter timing lanes (flow-keyed discipline).
+    pub(crate) writer_lanes: HashMap<FourTuple, WriterLane>,
+}
+
+impl Stage for EgressStage {
+    fn name(&self) -> &'static str {
+        "egress"
+    }
+
+    fn reserve_flows(&mut self, flows: usize) {
+        self.writer_lanes.reserve(flows);
+    }
+}
+
+impl EgressStage {
+    /// Creates the stage around a configured writer.
+    pub fn new(writer: TunWriter) -> Self {
+        Self { writer, writer_lanes: HashMap::new() }
+    }
+
+    /// Writes a packet towards the apps through the TunWriter and schedules
+    /// its delivery. The one owned packet travels straight into the delivery
+    /// event; the device and the writer only see its wire length.
+    ///
+    /// Under the shared-device discipline every packet goes through the one
+    /// writer-thread timing lane (queue serialisation couples flows, as on a
+    /// real handset); `connect_threads_active` adds the socket-connect
+    /// threads to the contending writer count. Under the flow-keyed
+    /// discipline each connection has its own lane and a fixed
+    /// concurrent-writer count.
+    pub(crate) fn write_to_tunnel(
+        &mut self,
+        sh: &mut EngineShared,
+        sched: &mut TimerScheduler<Event>,
+        now: SimTime,
+        packet: Packet,
+        connect_threads_active: bool,
+    ) {
+        let flow_key = packet.four_tuple();
+        let mut rng = sh.checkout_rng_opt(flow_key);
+        let outcome = match sh.config.discipline {
+            EngineDiscipline::SharedDevice => {
+                let writers = 1 + usize::from(connect_threads_active);
+                self.writer.submit(now, writers, &sh.cost, &mut rng, &mut sh.ledger)
+            }
+            EngineDiscipline::FlowKeyed => {
+                let key = flow_key.map(|f| f.canonical());
+                let mut lane =
+                    key.and_then(|k| self.writer_lanes.get(&k).copied()).unwrap_or_default();
+                let outcome =
+                    self.writer.submit_lane(&mut lane, now, 2, &sh.cost, &mut rng, &mut sh.ledger);
+                if let Some(k) = key {
+                    self.writer_lanes.insert(k, lane);
+                }
+                outcome
+            }
+        };
+        sh.checkin_rng_opt(flow_key, rng);
+        sh.tun.record_relay_write(packet.wire_len());
+        sched.schedule(outcome.written_at, Event::DeliverToApp(packet));
+    }
+
+    /// Evicts a finished connection's writer lane (flow-keyed teardown).
+    pub(crate) fn release_lane(&mut self, key: FourTuple) {
+        self.writer_lanes.remove(&key);
+    }
+}

@@ -1,0 +1,205 @@
+//! The ingress stage: TUN retrieval and parse.
+//!
+//! This is the app-facing end of the pipeline. Simulated app endpoints (and
+//! DNS clients) live here; when one writes a packet "into the tunnel", the
+//! raw IP bytes land in a pooled buffer, the `ReaderSim` models the TUN
+//! retrieval cost for the configured read strategy, and the buffer is
+//! scheduled to the relay stage as a `ProcessTunPacket` event. Packets the
+//! egress stage delivers back to the apps re-enter here
+//! (`DeliverToApp`), where the app endpoints consume them and emit their
+//! next requests.
+
+use std::collections::HashMap;
+
+use mop_packet::{Endpoint, FourTuple, Packet};
+use mop_simnet::{BufferPool, SimDuration, SimTime, TimerScheduler};
+use mop_tun::{AppEndpoint, DnsClient, FlowKind, FlowSpec, ReaderSim};
+use mop_procnet::SocketStateCode;
+
+use super::{EngineShared, RelayStage, SinkStage, Stage};
+use crate::engine::Event;
+
+/// The TUN retrieval + parse stage. See the [module docs](self).
+#[derive(Debug)]
+pub struct IngressStage {
+    /// The TUN read-strategy model (§3.1).
+    pub(crate) reader: ReaderSim,
+    /// Free list backing the per-packet tunnel buffers: the reader fills a
+    /// pooled buffer, the relay parses it by reference, then it is recycled.
+    pub(crate) pool: BufferPool,
+    /// The simulated app endpoints, by app-side flow.
+    pub(crate) apps: HashMap<FourTuple, AppEndpoint>,
+    /// The simulated DNS clients, by query flow.
+    pub(crate) dns_clients: HashMap<FourTuple, DnsClient>,
+    /// Sequential source-port pool (single-device flows only).
+    pub(crate) next_app_port: u16,
+    /// Sequential DNS transaction ids.
+    pub(crate) next_dns_id: u16,
+}
+
+impl Stage for IngressStage {
+    fn name(&self) -> &'static str {
+        "ingress"
+    }
+
+    fn reserve_flows(&mut self, flows: usize) {
+        self.apps.reserve(flows);
+    }
+}
+
+impl IngressStage {
+    /// Creates the stage around a configured reader.
+    pub fn new(reader: ReaderSim) -> Self {
+        Self {
+            reader,
+            pool: BufferPool::for_packets(),
+            apps: HashMap::new(),
+            dns_clients: HashMap::new(),
+            next_app_port: 36_000,
+            next_dns_id: 1,
+        }
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        let port = self.next_app_port;
+        self.next_app_port =
+            if self.next_app_port >= 64_000 { 36_000 } else { self.next_app_port + 1 };
+        port
+    }
+
+    /// An app opens the flow described by `spec`: create the endpoint (TCP)
+    /// or DNS client, register the connection, and inject the opening packet
+    /// into the tunnel.
+    pub(crate) fn on_flow_start(
+        &mut self,
+        sh: &mut EngineShared,
+        relay: &mut RelayStage,
+        sink: &mut SinkStage,
+        sched: &mut TimerScheduler<Event>,
+        now: SimTime,
+        spec: FlowSpec,
+    ) {
+        // Fleet scenarios pre-assign the source endpoint so the four-tuple is
+        // a pure function of the spec; single-device flows draw from the
+        // engine's sequential port pool.
+        let src = match spec.src {
+            Some(src) => src,
+            None => Endpoint::v4(10, 0, 0, 2, self.alloc_port()),
+        };
+        match spec.kind {
+            FlowKind::Tcp => {
+                let flow = FourTuple::new(src, spec.dst);
+                let mut app = AppEndpoint::new(
+                    spec.uid,
+                    &spec.package,
+                    flow,
+                    vec![0x47; spec.request_bytes.max(1)],
+                    spec.close_after,
+                );
+                let syn = app.syn_packet();
+                self.apps.insert(flow, app);
+                sink.flow_started(flow, &spec, now);
+                relay.conn_table.register(flow, true, spec.uid, SocketStateCode::SynSent);
+                relay.flow_registered_at.insert(flow, now);
+                if let Some(domain) = &spec.domain {
+                    relay.ip_to_domain.insert(spec.dst.addr, domain.clone());
+                }
+                self.inject_app_packet(sh, relay, sched, now, syn);
+            }
+            FlowKind::Dns => {
+                let resolver = Endpoint::new(sh.net.dns_config().addr, 53);
+                let flow = FourTuple::new(src, resolver);
+                let id = self.next_dns_id;
+                self.next_dns_id = self.next_dns_id.wrapping_add(1).max(1);
+                let name = spec.domain.clone().unwrap_or_else(|| "unknown.example".to_string());
+                let client = DnsClient::new(spec.uid, &spec.package, src, resolver, id, &name);
+                let query = client.query_packet();
+                self.dns_clients.insert(flow, client);
+                sink.flow_started(flow, &spec, now);
+                relay.conn_table.register(flow, false, spec.uid, SocketStateCode::Close);
+                relay.flow_registered_at.insert(flow, now);
+                self.inject_app_packet(sh, relay, sched, now, query);
+            }
+        }
+    }
+
+    /// An app wrote a packet into the tunnel: the raw IP bytes land in a
+    /// pooled buffer, the TunReader's retrieval is simulated and the buffer
+    /// is handed to the relay stage. This mirrors the real datapath — the
+    /// TUN device hands MopEye bytes, not parsed structures — and recycles
+    /// the buffer once the relay has processed it.
+    pub(crate) fn inject_app_packet(
+        &mut self,
+        sh: &mut EngineShared,
+        relay: &mut RelayStage,
+        sched: &mut TimerScheduler<Event>,
+        at: SimTime,
+        packet: Packet,
+    ) {
+        let flow_key = packet.four_tuple();
+        let mut buf = self.pool.get();
+        packet.encode_into(&mut buf);
+        sh.tun.record_app_write(buf.len());
+        let mut rng = sh.checkout_rng_opt(flow_key);
+        let retrieval = self.reader.retrieve(at, &sh.cost, &mut rng);
+        sh.ledger.charge("TunReader", retrieval.polling_cpu + sh.cost.tun_read.sample(&mut rng));
+        // TunReader puts the packet in the read queue and wakes the selector
+        // so the relay's MainWorker notices it (§3.2).
+        relay.selector.wakeup();
+        let handoff = sh.cost.context_switch.sample(&mut rng);
+        sh.checkin_rng_opt(flow_key, rng);
+        sched.schedule(retrieval.retrieved_at + handoff, Event::ProcessTunPacket(buf));
+    }
+
+    /// The per-packet header-parse cost the relay's MainWorker pays, drawn
+    /// from the flow's stream (the parse itself happens zero-copy on the
+    /// pooled bytes).
+    pub(crate) fn parse_cost(
+        sh: &mut EngineShared,
+        flow_key: Option<FourTuple>,
+    ) -> SimDuration {
+        let mut rng = sh.checkout_rng_opt(flow_key);
+        let cost = SimDuration::from_micros(rng.int_inclusive(4, 25));
+        sh.checkin_rng_opt(flow_key, rng);
+        cost
+    }
+
+    /// A packet written by the egress stage reaches the app side: DNS
+    /// clients consume answers, app endpoints consume data and emit their
+    /// next requests back into the tunnel.
+    pub(crate) fn on_deliver_to_app(
+        &mut self,
+        sh: &mut EngineShared,
+        relay: &mut RelayStage,
+        sink: &mut SinkStage,
+        sched: &mut TimerScheduler<Event>,
+        now: SimTime,
+        packet: Packet,
+    ) {
+        let Some(reverse) = packet.four_tuple() else { return };
+        let flow = reverse.reversed();
+        if let Some(client) = self.dns_clients.get_mut(&flow) {
+            if client.handle(&packet) {
+                sink.finish_flow(flow, now, true);
+            }
+            return;
+        }
+        if let Some(app) = self.apps.get_mut(&flow) {
+            let responses = app.handle(&packet);
+            let bytes_received = app.bytes_received;
+            // Only a clean close counts as completion; a reset app stays failed.
+            let done_cleanly = app.state() == mop_tun::AppState::Done;
+            sink.flow_progress(flow, now, bytes_received, done_cleanly);
+            for (i, response) in responses.into_iter().enumerate() {
+                // Consecutive packets from the app leave a few microseconds apart.
+                let at = now + SimDuration::from_micros(20 * (i as u64 + 1));
+                self.inject_app_packet(sh, relay, sched, at, response);
+            }
+        }
+    }
+
+    /// Recycles a processed tunnel buffer.
+    pub(crate) fn recycle(&mut self, buf: Vec<u8>) {
+        self.pool.put(buf);
+    }
+}

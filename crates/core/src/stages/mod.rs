@@ -1,0 +1,240 @@
+//! The engine datapath, decomposed into explicit pipeline stages.
+//!
+//! The relay used to be one 1,300-line event-loop module; it is now four
+//! stages behind a small [`Stage`] trait, with `engine.rs` reduced to the
+//! loop that drains the timing wheel and routes events between them:
+//!
+//! ```text
+//!             ┌─────────┐   parsed    ┌─────────┐  packets   ┌─────────┐
+//!  TUN ──────▶│ ingress │────views───▶│  relay  │───to app──▶│ egress  │──▶ TUN
+//!  (apps)     └─────────┘             └─────────┘            └─────────┘
+//!   ▲     retrieval + parse      TCP/UDP/DNS machines,    TunWriter lanes
+//!   │     app endpoints          sockets, mapper, timers       │
+//!   └────────────── DeliverToApp events ◀──────────────────────┘
+//!                                     │ samples
+//!                                     ▼
+//!                                ┌─────────┐
+//!                                │  sink   │  measurement fold:
+//!                                └─────────┘  sketches + samples + outcomes
+//! ```
+//!
+//! * [`ingress`] — TUN retrieval and parse: the app endpoints write raw IP
+//!   bytes into pooled buffers, the `ReaderSim` models the retrieval cost,
+//!   and delivered responses re-enter here.
+//! * [`relay`] — the relay decision: per-connection TCP state machines, UDP
+//!   associations, external sockets, the packet-to-app mapper, and the
+//!   cancellable per-connection timers.
+//! * [`egress`] — the TunWriter timing lanes that carry packets back to the
+//!   apps.
+//! * [`sink`] — the measurement fold: every finished sample lands in the
+//!   streaming sketch aggregates (and, optionally, the raw vector), and
+//!   per-flow outcomes accumulate here.
+//!
+//! Stages own their state exclusively; anything genuinely cross-cutting —
+//! the clock, the simulated network, the cost model and CPU ledger, the
+//! flow-keyed RNG streams, the TUN device both ends touch — lives in
+//! [`EngineShared`], passed explicitly into every stage call. Cross-stage
+//! effects travel either as return values routed by the engine or as events
+//! scheduled on the timing wheel; no stage reaches into another's fields.
+
+pub mod egress;
+pub mod ingress;
+pub mod relay;
+pub mod sink;
+
+use std::collections::HashMap;
+
+use mop_packet::FourTuple;
+use mop_simnet::{CostModel, CpuLedger, SimClock, SimDuration, SimNetwork, SimRng, SimTime};
+use mop_tun::TunDevice;
+
+use crate::config::{ClockGranularity, EngineDiscipline, MopEyeConfig, WorkerModel};
+
+pub use egress::EgressStage;
+pub use ingress::IngressStage;
+pub use relay::RelayStage;
+pub use sink::SinkStage;
+
+/// Salt mixed into per-flow RNG seeds so the engine's flow-keyed streams do
+/// not collide with the network's (which key off the same seed and hash).
+const ENGINE_KEY_SALT: u64 = 0x656e_675f_6b65_7973; // "eng_keys"
+
+/// One stage of the engine datapath. The trait is deliberately small: the
+/// engine drives stages through their concrete methods (each stage's inputs
+/// and outputs are its own), and uses the trait where it treats the pipeline
+/// uniformly — naming stages in diagnostics and pre-sizing their tables for
+/// a fleet-scale run.
+pub trait Stage {
+    /// The stage's name in the pipeline diagram.
+    fn name(&self) -> &'static str;
+
+    /// Pre-sizes per-flow tables for `flows` concurrent connections, so a
+    /// fleet-scale run pays its table growth up front rather than on the
+    /// packet path.
+    fn reserve_flows(&mut self, flows: usize) {
+        let _ = flows;
+    }
+}
+
+/// The cross-cutting substrate every stage draws on: virtual time, the
+/// simulated network and TUN device, the calibrated cost model, the CPU
+/// ledger, and the engine's (flow-keyed) RNG streams.
+#[derive(Debug)]
+pub struct EngineShared {
+    /// The engine configuration.
+    pub config: MopEyeConfig,
+    /// The shard's virtual clock.
+    pub clock: SimClock,
+    /// The simulated network (paths, DNS, wire tap).
+    pub net: SimNetwork,
+    /// The TUN device both pipeline ends touch: ingress retrieves app
+    /// writes from it, egress writes relay packets back to it.
+    pub tun: TunDevice,
+    /// Calibrated system-call and scheduler costs.
+    pub cost: CostModel,
+    /// CPU / memory / battery accounting.
+    pub ledger: CpuLedger,
+    /// The device-wide RNG stream ([`EngineDiscipline::SharedDevice`]).
+    pub rng: SimRng,
+    /// Per-connection RNG streams ([`EngineDiscipline::FlowKeyed`]), keyed
+    /// by the canonical four-tuple so both directions share one stream.
+    pub flow_rngs: HashMap<FourTuple, SimRng>,
+    /// When the MainWorker frees up ([`WorkerModel::Saturating`] only).
+    pub worker_busy_until: SimTime,
+}
+
+impl EngineShared {
+    /// Builds the substrate for `config` over `net`.
+    pub fn new(config: MopEyeConfig, net: SimNetwork) -> Self {
+        let rng = SimRng::seed_from_u64(config.seed);
+        Self {
+            config,
+            clock: SimClock::new(),
+            net,
+            tun: TunDevice::new(),
+            cost: CostModel::android_phone(),
+            ledger: CpuLedger::new(),
+            rng,
+            flow_rngs: HashMap::new(),
+            worker_busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// Pre-sizes the keyed-stream table (flow-keyed discipline only).
+    pub fn reserve_flows(&mut self, flows: usize) {
+        if self.config.discipline == EngineDiscipline::FlowKeyed {
+            self.flow_rngs.reserve(flows);
+        }
+    }
+
+    /// Checks out the RNG stream backing `flow`'s noise: the device-wide
+    /// stream under [`EngineDiscipline::SharedDevice`], the flow's own
+    /// stream (seeded from `config.seed ^ hash(flow)`) under
+    /// [`EngineDiscipline::FlowKeyed`]. Pair with [`EngineShared::checkin_rng`].
+    pub fn checkout_rng(&mut self, flow: FourTuple) -> SimRng {
+        match self.config.discipline {
+            EngineDiscipline::SharedDevice => {
+                std::mem::replace(&mut self.rng, SimRng::seed_from_u64(0))
+            }
+            EngineDiscipline::FlowKeyed => {
+                let key = flow.canonical();
+                self.flow_rngs.remove(&key).unwrap_or_else(|| {
+                    SimRng::seed_from_u64(self.config.seed ^ key.stable_hash() ^ ENGINE_KEY_SALT)
+                })
+            }
+        }
+    }
+
+    /// Returns a stream checked out with [`EngineShared::checkout_rng`].
+    pub fn checkin_rng(&mut self, flow: FourTuple, rng: SimRng) {
+        match self.config.discipline {
+            EngineDiscipline::SharedDevice => self.rng = rng,
+            EngineDiscipline::FlowKeyed => {
+                self.flow_rngs.insert(flow.canonical(), rng);
+            }
+        }
+    }
+
+    /// [`EngineShared::checkout_rng`] for packets whose four-tuple may be
+    /// absent (malformed or non-IP): those fall back to the shared stream.
+    pub fn checkout_rng_opt(&mut self, flow: Option<FourTuple>) -> SimRng {
+        match flow {
+            Some(flow) => self.checkout_rng(flow),
+            None => std::mem::replace(&mut self.rng, SimRng::seed_from_u64(0)),
+        }
+    }
+
+    /// Returns a stream checked out with [`EngineShared::checkout_rng_opt`].
+    pub fn checkin_rng_opt(&mut self, flow: Option<FourTuple>, rng: SimRng) {
+        match flow {
+            Some(flow) => self.checkin_rng(flow, rng),
+            None => self.rng = rng,
+        }
+    }
+
+    /// The start time of a MainWorker processing step that costs `cost`:
+    /// immediate under [`WorkerModel::Unbounded`]; queued behind the worker's
+    /// backlog (and occupying it) under [`WorkerModel::Saturating`].
+    pub fn worker_start(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
+        match self.config.worker {
+            WorkerModel::Unbounded => now,
+            WorkerModel::Saturating => {
+                let start = now.max(self.worker_busy_until);
+                self.worker_busy_until = start + cost;
+                start
+            }
+        }
+    }
+
+    /// A timestamp at the configured clock granularity.
+    pub fn timestamp(&self, t: SimTime) -> SimTime {
+        match self.config.clock {
+            ClockGranularity::Nanosecond => t,
+            ClockGranularity::Millisecond => self.cost.coarse_timestamp(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mop_packet::Endpoint;
+    use mop_simnet::SimNetwork;
+    use mop_tun::{FlowKind, FlowSpec};
+
+    use crate::config::MopEyeConfig;
+    use crate::engine::MopEyeEngine;
+
+    /// Teardown must release the cross-stage keyed state: the shared
+    /// substrate's RNG streams, the egress stage's writer lanes and the
+    /// relay stage's clients — so shard memory is bounded by *concurrent*
+    /// flows, not by every flow a fleet run has ever seen. (This needs
+    /// stage internals, hence a unit test rather than an integration test.)
+    #[test]
+    fn flow_keyed_engine_evicts_finished_flow_state() {
+        let flows: Vec<FlowSpec> = (0..30)
+            .map(|i| FlowSpec {
+                at: mop_simnet::SimTime::from_millis(10 + 40 * i as u64),
+                uid: 10_100,
+                package: "com.android.chrome".into(),
+                src: Some(Endpoint::v4(10, 1, 0, i as u8, 40_000)),
+                dst: Endpoint::v4(216, 58, 221, 132, 443),
+                domain: Some("www.google.com".into()),
+                request_bytes: 300,
+                close_after: 2048,
+                kind: FlowKind::Tcp,
+                network: None,
+                isp: None,
+            })
+            .collect();
+        let net = SimNetwork::builder().seed(42).with_table2_destinations().build();
+        let mut engine = MopEyeEngine::new(MopEyeConfig::fleet_shard(), net);
+        let report = engine.run_flows(flows);
+        assert_eq!(report.relay.connects_ok, 30);
+        // Teardown released the keyed state: memory is bounded by concurrent
+        // flows, not total flows — entries recreated by the app's final ACKs
+        // are swept by the zombie-client cleanup.
+        assert_eq!(engine.shared.flow_rngs.len(), 0, "flow RNG streams not evicted");
+        assert_eq!(engine.egress.writer_lanes.len(), 0, "writer lanes not evicted");
+        assert_eq!(engine.relay.clients.len(), 0, "zombie clients not removed");
+    }
+}

@@ -1,0 +1,771 @@
+//! The relay stage: TCP/UDP/DNS state-machine dispatch.
+//!
+//! This is the MainWorker's decision core (§2.3, §3.2–3.4 of the paper):
+//! each parsed packet view drives the per-connection user-space TCP state
+//! machine or UDP association, external connects run in (modelled) blocking
+//! socket-connect threads that take the RTT timestamps, the lazy mapper
+//! attributes flows to apps off the packet path, and DNS queries are
+//! relayed and measured in temporary blocking threads. Outbound packets are
+//! handed to the egress stage's TunWriter lanes; finished measurements are
+//! folded into the sink.
+//!
+//! The stage also owns the per-connection *timers*: when the engine runs
+//! with an idle timeout, every relayed segment re-arms a cancellable timer
+//! on the scheduler (O(1) schedule + cancel on the timing wheel), and a
+//! timer that actually fires reaps the silent connection.
+
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+
+use mop_packet::{DnsMessage, Endpoint, FourTuple, Packet, PacketBuilder, PacketView, TransportView};
+use mop_procnet::{
+    CachedMapper, ConnectionTable, EagerMapper, LazyMapper, MappingStats, MappingStrategy,
+    PackageManager, SocketStateCode,
+};
+use mop_simnet::{
+    Selector, SimDuration, SimTime, SocketId, SocketMode, SocketSet, SocketState, TimerHandle,
+    TimerScheduler,
+};
+use mop_tcpstack::{ClientRegistry, RelayAction, SegmentVerdict, UdpRegistry};
+
+use super::{EgressStage, EngineShared, SinkStage, Stage};
+use crate::config::{EngineDiscipline, ProtectMode, TimestampMode};
+use crate::engine::Event;
+use crate::stats::{RelayStats, RttSample, SampleKind};
+
+/// Salt for the throwaway streams that absorb variable-draw-count work
+/// (packet-to-app mapping walks the whole connection table, whose size
+/// depends on co-resident flows; those draws must not advance a flow's main
+/// stream or the stream would become partition-dependent).
+const MAPPING_KEY_SALT: u64 = 0x6d61_705f_6b65_7973; // "map_keys"
+
+/// The configured packet-to-app mapper.
+pub(crate) enum Mapper {
+    /// Parse `/proc/net` on every packet.
+    Eager(EagerMapper),
+    /// Parse on miss, serve repeats from a cache.
+    Cached(CachedMapper),
+    /// MopEye's choice: map once per connection, off the packet path.
+    Lazy(LazyMapper),
+}
+
+impl std::fmt::Debug for Mapper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mapper::Eager(_) => write!(f, "Mapper::Eager"),
+            Mapper::Cached(_) => write!(f, "Mapper::Cached"),
+            Mapper::Lazy(_) => write!(f, "Mapper::Lazy"),
+        }
+    }
+}
+
+impl Mapper {
+    pub(crate) fn stats(&self) -> MappingStats {
+        match self {
+            Mapper::Eager(m) => m.stats().clone(),
+            Mapper::Cached(m) => m.stats().clone(),
+            Mapper::Lazy(m) => m.stats().clone(),
+        }
+    }
+}
+
+/// The TCP/UDP/DNS dispatch stage. See the [module docs](self).
+#[derive(Debug)]
+pub struct RelayStage {
+    /// The cached TCP client list (state machines + timer tokens).
+    pub(crate) clients: ClientRegistry,
+    /// UDP associations and DNS transaction tracking.
+    pub(crate) udp: UdpRegistry,
+    /// The shard's `/proc/net` view.
+    pub(crate) conn_table: ConnectionTable,
+    /// UID → package resolution.
+    pub(crate) packages: PackageManager,
+    /// The configured packet-to-app mapper.
+    pub(crate) mapper: Mapper,
+    /// External sockets (the regular-socket side of the splice).
+    pub(crate) sockets: SocketSet,
+    /// The selector the MainWorker blocks on.
+    pub(crate) selector: Selector,
+    /// Relay counters.
+    pub(crate) stats: RelayStats,
+    /// External socket of each flow.
+    pub(crate) socket_by_flow: HashMap<FourTuple, SocketId>,
+    /// Pre-`connect()` timestamps, pending until the connect completes.
+    pub(crate) connect_pre_ts: HashMap<FourTuple, SimTime>,
+    /// Flows whose half-close waits for the read side to drain.
+    pub(crate) pending_half_close: HashSet<FourTuple>,
+    /// Destination-address → domain hints (from specs and DNS answers).
+    pub(crate) ip_to_domain: HashMap<IpAddr, String>,
+    /// In-flight DNS measurements: send timestamp and queried name.
+    pub(crate) dns_pending: HashMap<FourTuple, (SimTime, String)>,
+    /// When each flow was registered (lazy-mapping bookkeeping).
+    pub(crate) flow_registered_at: HashMap<FourTuple, SimTime>,
+}
+
+impl Stage for RelayStage {
+    fn name(&self) -> &'static str {
+        "relay"
+    }
+
+    fn reserve_flows(&mut self, flows: usize) {
+        self.flow_registered_at.reserve(flows);
+        self.socket_by_flow.reserve(flows);
+    }
+}
+
+impl RelayStage {
+    /// Creates the stage for the given mapping strategy and protect mode.
+    pub fn new(mapping: MappingStrategy, protect: ProtectMode) -> Self {
+        let mut sockets = SocketSet::new();
+        if protect == ProtectMode::DisallowedApplication {
+            sockets.set_disallowed_application(true);
+        }
+        let mapper = match mapping {
+            MappingStrategy::Eager => Mapper::Eager(EagerMapper::new()),
+            MappingStrategy::Cached => Mapper::Cached(CachedMapper::new()),
+            MappingStrategy::Lazy => Mapper::Lazy(LazyMapper::new()),
+        };
+        Self {
+            clients: ClientRegistry::new(),
+            udp: UdpRegistry::new(),
+            conn_table: ConnectionTable::new(),
+            packages: PackageManager::new(),
+            mapper,
+            sockets,
+            selector: Selector::new(),
+            stats: RelayStats::default(),
+            socket_by_flow: HashMap::new(),
+            connect_pre_ts: HashMap::new(),
+            pending_half_close: HashSet::new(),
+            ip_to_domain: HashMap::new(),
+            dns_pending: HashMap::new(),
+            flow_registered_at: HashMap::new(),
+        }
+    }
+
+    /// The MainWorker's relay decision, working entirely on borrowed views —
+    /// no payload is copied unless data actually has to cross to the socket
+    /// channel.
+    pub(crate) fn on_packet(
+        &mut self,
+        sh: &mut EngineShared,
+        egress: &mut EgressStage,
+        sink: &mut SinkStage,
+        sched: &mut TimerScheduler<Event>,
+        now: SimTime,
+        packet: &PacketView<'_>,
+    ) {
+        if matches!(packet.transport(), TransportView::Other(..)) {
+            // A well-formed packet of an unsupported transport: forwarded
+            // opaquely, nothing to measure and nothing to count as an error.
+            return;
+        }
+        let Some(flow) = packet.four_tuple() else {
+            self.stats.parse_errors += 1;
+            return;
+        };
+        match packet.transport() {
+            TransportView::Tcp(segment) => {
+                let client = self.clients.get_or_create(flow);
+                let (packets, actions, verdict) =
+                    client.machine_mut().on_tunnel_segment_view(segment);
+                match verdict {
+                    SegmentVerdict::Syn => self.stats.syns += 1,
+                    SegmentVerdict::Data(len) => {
+                        self.stats.data_segments_out += 1;
+                        self.stats.bytes_out += len as u64;
+                    }
+                    SegmentVerdict::PureAckDiscarded => self.stats.pure_acks_discarded += 1,
+                    SegmentVerdict::Fin => self.stats.fins += 1,
+                    SegmentVerdict::Rst => self.stats.rsts += 1,
+                    SegmentVerdict::Retransmission | SegmentVerdict::OutOfState => {}
+                }
+                for pkt in packets {
+                    self.write_out(sh, egress, sched, now, pkt);
+                }
+                for action in actions {
+                    self.apply_action(sh, egress, sink, sched, now, flow, action);
+                }
+                // A torn-down connection's tail (the app's final ACK after
+                // RemoveClient already ran) lands on a freshly created
+                // machine and is discarded; the machine is still in Listen
+                // because only a SYN moves it off. Drop that zombie client
+                // and the keyed state the tail packet recreated, so a fleet
+                // run's memory tracks live connections. (Flow-keyed only:
+                // the single-device engine keeps its historical behaviour
+                // bit-for-bit.)
+                if sh.config.discipline == EngineDiscipline::FlowKeyed
+                    && self
+                        .clients
+                        .get(flow)
+                        .is_some_and(|c| c.state() == mop_tcpstack::TcpState::Listen)
+                {
+                    self.disarm_idle(sched, flow);
+                    self.clients.remove(flow);
+                    self.release_flow_state(sh, egress, flow);
+                }
+                // Every relayed segment is activity: re-arm the connection's
+                // cancellable idle timer (a no-op unless configured).
+                self.rearm_idle(sh, sched, now, flow);
+                self.update_memory_ledger(sh);
+            }
+            TransportView::Udp(datagram) => {
+                self.stats.udp_datagrams += 1;
+                let assoc = self.udp.get_or_create(flow);
+                let transaction = assoc.on_outgoing(datagram.payload(), now.as_nanos()).cloned();
+                if let Some(tx) = transaction {
+                    self.stats.dns_queries += 1;
+                    self.start_dns_measurement(sh, sink, sched, now, flow, &tx);
+                }
+            }
+            TransportView::Other(..) => unreachable!("handled before the four-tuple guard"),
+        }
+    }
+
+    /// Routes one outbound packet to the egress stage.
+    fn write_out(
+        &mut self,
+        sh: &mut EngineShared,
+        egress: &mut EgressStage,
+        sched: &mut TimerScheduler<Event>,
+        now: SimTime,
+        packet: Packet,
+    ) {
+        let connect_threads_active = !self.connect_pre_ts.is_empty();
+        egress.write_to_tunnel(sh, sched, now, packet, connect_threads_active);
+    }
+
+    // One parameter per downstream stage the action can touch; grouping them
+    // would only obscure which stage a call reaches.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_action(
+        &mut self,
+        sh: &mut EngineShared,
+        egress: &mut EgressStage,
+        sink: &mut SinkStage,
+        sched: &mut TimerScheduler<Event>,
+        now: SimTime,
+        flow: FourTuple,
+        action: RelayAction,
+    ) {
+        match action {
+            RelayAction::ConnectExternal { dst } => self.start_connect(sh, sched, now, flow, dst),
+            RelayAction::RelayData { bytes } => {
+                self.relay_data(sh, egress, sched, now, flow, &bytes)
+            }
+            RelayAction::HalfCloseExternal => self.half_close(sh, egress, sched, now, flow),
+            RelayAction::CloseExternal => self.close_external(flow),
+            RelayAction::RemoveClient => self.remove_client(sh, egress, sink, sched, now, flow),
+        }
+    }
+
+    /// The socket-connect thread (§2.4): blocking connect with clean
+    /// timestamps, then lazy mapping and selector registration.
+    fn start_connect(
+        &mut self,
+        sh: &mut EngineShared,
+        sched: &mut TimerScheduler<Event>,
+        now: SimTime,
+        flow: FourTuple,
+        dst: Endpoint,
+    ) {
+        let mut rng = sh.checkout_rng(flow);
+        let spawn = sh.cost.thread_spawn.sample(&mut rng);
+        sh.ledger.charge("ConnectThreads", spawn);
+        let mut t = now + spawn;
+        if sh.config.protect == ProtectMode::PerSocket {
+            let protect = sh.cost.protect_call.sample(&mut rng);
+            sh.ledger.charge("ConnectThreads", protect);
+            t += protect;
+        }
+        sh.checkin_rng(flow, rng);
+        // Flow-keyed runs bind the external socket to the app flow's source,
+        // so the external four-tuple (which keys the network's per-flow RNG
+        // stream and the wire tap) is a pure function of the flow rather
+        // than of socket-creation order.
+        let socket = match sh.config.discipline {
+            EngineDiscipline::SharedDevice => self.sockets.create(SocketMode::Blocking),
+            EngineDiscipline::FlowKeyed => self.sockets.create_bound(SocketMode::Blocking, flow.src),
+        };
+        if sh.config.protect == ProtectMode::PerSocket {
+            self.sockets.protect(socket);
+        }
+        // Pre-connect timestamp, taken immediately before connect() (§4.1.1).
+        self.connect_pre_ts.insert(flow, sh.timestamp(t));
+        let outcome = self.sockets.connect(&mut sh.net, socket, dst, t);
+        self.socket_by_flow.insert(flow, socket);
+        if let Some(client) = self.clients.get_mut(flow) {
+            client.attach_external(
+                socket.to_string().trim_start_matches("sock#").parse().unwrap_or(0),
+            );
+            client.connect_started_ns = Some(t.as_nanos());
+        }
+        sched.schedule(outcome.completed_at, Event::ExternalConnected(flow));
+    }
+
+    /// The external connect for `flow` completed (successfully or not):
+    /// take the post-connect timestamp, map the flow to its app, record the
+    /// RTT sample at the sink, and finish the app-side handshake.
+    pub(crate) fn on_external_connected(
+        &mut self,
+        sh: &mut EngineShared,
+        egress: &mut EgressStage,
+        sink: &mut SinkStage,
+        sched: &mut TimerScheduler<Event>,
+        now: SimTime,
+        flow: FourTuple,
+    ) {
+        let Some(&socket) = self.socket_by_flow.get(&flow) else { return };
+        let state = self.sockets.poll_connect(socket, now);
+        let pre = self.connect_pre_ts.remove(&flow).unwrap_or(now);
+        let mut rng = sh.checkout_rng(flow);
+        // Post-connect timestamp: exact in the blocking connect thread, or
+        // delayed by the selector dispatch when taken from the event loop.
+        let mut post = now;
+        if sh.config.timestamp_mode == TimestampMode::SelectorNotification {
+            post += sh.cost.sample_dispatch_delay(&mut rng);
+        }
+        let post = sh.timestamp(post);
+        let outcome = self.sockets.connect_outcome(socket);
+        match state {
+            SocketState::Connected => {
+                self.stats.connects_ok += 1;
+                // Register the channel with the selector only after the
+                // internal handshake work is done (§3.4). The cost is drawn
+                // from the flow's stream before the mapper runs, because the
+                // mapper's draw count depends on the co-resident connection
+                // table and must not advance this stream.
+                let register = sh.cost.selector_register.sample(&mut rng);
+                sh.checkin_rng(flow, rng);
+                // Lazy mapping happens here, in the connect thread, after the
+                // handshake with the server is complete (§3.3).
+                let (uid, package) = self.map_flow(sh, flow, now);
+                if let Some(client) = self.clients.get_mut(flow) {
+                    client.connect_finished_ns = Some(now.as_nanos());
+                    client.app_uid = uid;
+                    client.app_package = package.clone();
+                }
+                sh.ledger.charge("ConnectThreads", register);
+                self.selector.register(socket);
+                self.sockets.set_mode(socket, SocketMode::NonBlocking);
+                self.conn_table.set_state(flow, SocketStateCode::Established);
+                // Record the per-app RTT sample.
+                let tcpdump_ms = self
+                    .sockets
+                    .flow(socket)
+                    .and_then(|f| sh.net.tap().handshake_rtt(f))
+                    .map(|d| d.as_millis_f64());
+                let sample = RttSample {
+                    kind: SampleKind::Tcp,
+                    flow,
+                    uid,
+                    package,
+                    domain: self.domain_for(sh, flow.dst.addr),
+                    measured_ms: (post - pre).as_millis_f64(),
+                    true_ms: outcome.map(|o| o.true_rtt.as_millis_f64()).unwrap_or(0.0),
+                    tcpdump_ms,
+                    at: now,
+                };
+                sink.record_sample(sh, sample);
+                // Complete the handshake with the app (§2.3).
+                if let Some(client) = self.clients.get_mut(flow) {
+                    let packets = client.machine_mut().on_external_connected();
+                    for pkt in packets {
+                        self.write_out(sh, egress, sched, now, pkt);
+                    }
+                }
+            }
+            SocketState::ConnectFailed { refused } => {
+                sh.checkin_rng(flow, rng);
+                self.stats.connects_failed += 1;
+                if let Some(client) = self.clients.get_mut(flow) {
+                    let packets = client.machine_mut().on_external_connect_failed(refused);
+                    for pkt in packets {
+                        self.write_out(sh, egress, sched, now, pkt);
+                    }
+                }
+                sink.finish_flow(flow, now, false);
+            }
+            _ => sh.checkin_rng(flow, rng),
+        }
+    }
+
+    fn map_flow(
+        &mut self,
+        sh: &mut EngineShared,
+        flow: FourTuple,
+        now: SimTime,
+    ) -> (Option<u32>, Option<String>) {
+        let registered_at = self.flow_registered_at.get(&flow).copied().unwrap_or(now);
+        // The mapper's draw count scales with the connection table (a
+        // `/proc/net` parse samples a cost per entry), and the table holds
+        // whatever flows happen to be co-resident. Under the flow-keyed
+        // discipline those draws come from a throwaway stream derived for
+        // this flow, so they cannot perturb any flow's main stream; only the
+        // CPU ledger sees the variance.
+        let mut keyed_rng;
+        let rng: &mut mop_simnet::SimRng = match sh.config.discipline {
+            EngineDiscipline::SharedDevice => &mut sh.rng,
+            EngineDiscipline::FlowKeyed => {
+                keyed_rng = mop_simnet::SimRng::seed_from_u64(
+                    sh.config.seed ^ flow.canonical().stable_hash() ^ MAPPING_KEY_SALT,
+                );
+                &mut keyed_rng
+            }
+        };
+        let outcome = match &mut self.mapper {
+            Mapper::Eager(m) => m.map(&self.conn_table, &sh.cost, rng, flow),
+            Mapper::Cached(m) => m.map(&self.conn_table, &sh.cost, rng, flow),
+            Mapper::Lazy(m) => m.map(&self.conn_table, &sh.cost, rng, flow, registered_at, now),
+        };
+        let lookup_cost = outcome
+            .uid
+            .map(|_| SimDuration::from_millis_f64(sh.cost.package_lookup.sample_ms(rng)));
+        let charge_to = match sh.config.mapping {
+            MappingStrategy::Lazy => "ConnectThreads",
+            _ => "MainWorker",
+        };
+        sh.ledger.charge(charge_to, outcome.cpu_cost);
+        let package = outcome.uid.and_then(|uid| {
+            sh.ledger.charge(charge_to, lookup_cost.unwrap_or(SimDuration::ZERO));
+            self.packages.name_for_uid_cached(uid)
+        });
+        (outcome.uid, package)
+    }
+
+    fn relay_data(
+        &mut self,
+        sh: &mut EngineShared,
+        egress: &mut EgressStage,
+        sched: &mut TimerScheduler<Event>,
+        now: SimTime,
+        flow: FourTuple,
+        bytes: &[u8],
+    ) {
+        if sh.config.content_inspection {
+            let mut rng = sh.checkout_rng(flow);
+            let inspect = sh.cost.sample_content_inspection(bytes.len(), &mut rng);
+            sh.checkin_rng(flow, rng);
+            sh.ledger.charge("Inspection", inspect);
+        }
+        let Some(&socket) = self.socket_by_flow.get(&flow) else { return };
+        if !matches!(self.sockets.state(socket), SocketState::Connected | SocketState::HalfClosed)
+        {
+            return;
+        }
+        self.sockets.buffer_write(socket, bytes.len());
+        self.sockets.flush_writes(&mut sh.net, socket, now);
+        // The socket write completes locally; acknowledge the app's data.
+        if let Some(client) = self.clients.get_mut(flow) {
+            let packets = client.machine_mut().on_external_write_complete();
+            for pkt in packets {
+                self.write_out(sh, egress, sched, now, pkt);
+            }
+        }
+        if let Some(ready_at) = self.sockets.next_read_ready_at(socket) {
+            sched.schedule(ready_at.max(now), Event::SocketReadable(flow));
+        }
+    }
+
+    /// Response data became readable on the external socket: read it from
+    /// the pooled buffer, segment it towards the app, and keep the read loop
+    /// scheduled.
+    pub(crate) fn on_socket_readable(
+        &mut self,
+        sh: &mut EngineShared,
+        egress: &mut EgressStage,
+        sched: &mut TimerScheduler<Event>,
+        now: SimTime,
+        flow: FourTuple,
+    ) {
+        let Some(&socket) = self.socket_by_flow.get(&flow) else { return };
+        // The socket layer hands out a pooled buffer for the readable bytes,
+        // so the read loop performs no per-read allocation in steady state.
+        let data = self.sockets.take_readable_pooled(socket, now);
+        let total = data.len();
+        if total > 0 {
+            let mut rng = sh.checkout_rng(flow);
+            if sh.config.content_inspection {
+                let inspect = sh.cost.sample_content_inspection(total, &mut rng);
+                sh.ledger.charge("Inspection", inspect);
+            }
+            let segment_cost = SimDuration::from_micros(rng.int_inclusive(10, 60));
+            sh.checkin_rng(flow, rng);
+            sh.ledger.charge("MainWorker", segment_cost);
+            // Segmenting server data back towards the app is MainWorker
+            // work: under the saturating model it queues behind the backlog.
+            let start = sh.worker_start(now, segment_cost);
+            if let Some(client) = self.clients.get_mut(flow) {
+                let packets = client.machine_mut().on_external_data(&data);
+                self.stats.data_segments_in += packets.len() as u64;
+                self.stats.bytes_in += total as u64;
+                for pkt in packets {
+                    self.write_out(sh, egress, sched, start, pkt);
+                }
+            }
+        }
+        self.sockets.recycle_buffer(data);
+        if let Some(next) = self.sockets.next_read_ready_at(socket) {
+            sched.schedule(next, Event::SocketReadable(flow));
+        } else if self.pending_half_close.contains(&flow) {
+            self.finish_half_close(sh, egress, sched, now, flow);
+        }
+    }
+
+    fn half_close(
+        &mut self,
+        sh: &mut EngineShared,
+        egress: &mut EgressStage,
+        sched: &mut TimerScheduler<Event>,
+        now: SimTime,
+        flow: FourTuple,
+    ) {
+        let Some(&socket) = self.socket_by_flow.get(&flow) else { return };
+        self.sockets.half_close(socket);
+        if self.sockets.read_exhausted(socket) {
+            self.finish_half_close(sh, egress, sched, now, flow);
+        } else {
+            self.pending_half_close.insert(flow);
+        }
+    }
+
+    /// The half-close write event: close the external connection and send a
+    /// FIN to the app (§2.3, socket-write handling).
+    fn finish_half_close(
+        &mut self,
+        sh: &mut EngineShared,
+        egress: &mut EgressStage,
+        sched: &mut TimerScheduler<Event>,
+        now: SimTime,
+        flow: FourTuple,
+    ) {
+        self.pending_half_close.remove(&flow);
+        if let Some(&socket) = self.socket_by_flow.get(&flow) {
+            self.sockets.close(socket);
+            self.selector.deregister(socket);
+        }
+        if let Some(client) = self.clients.get_mut(flow) {
+            let packets = client.machine_mut().on_external_closed(false);
+            for pkt in packets {
+                self.write_out(sh, egress, sched, now, pkt);
+            }
+        }
+    }
+
+    fn close_external(&mut self, flow: FourTuple) {
+        if let Some(&socket) = self.socket_by_flow.get(&flow) {
+            self.sockets.close(socket);
+            self.selector.deregister(socket);
+        }
+        self.conn_table.remove(flow);
+    }
+
+    fn remove_client(
+        &mut self,
+        sh: &mut EngineShared,
+        egress: &mut EgressStage,
+        sink: &mut SinkStage,
+        sched: &mut TimerScheduler<Event>,
+        now: SimTime,
+        flow: FourTuple,
+    ) {
+        self.disarm_idle(sched, flow);
+        self.clients.remove(flow);
+        self.conn_table.remove(flow);
+        sink.finish_flow(flow, now, true);
+        self.release_flow_state(sh, egress, flow);
+        self.update_memory_ledger(sh);
+    }
+
+    /// Evicts a finished flow's keyed stochastic state (RNG stream, writer
+    /// lane, network context), so shard memory is bounded by *concurrent*
+    /// flows, not by every flow a fleet run has ever seen.
+    ///
+    /// Safe for determinism: if a stray late packet recreates the state, the
+    /// fresh stream restarts from the flow's seed — still a pure function of
+    /// `(seed, four-tuple)`, so every shard count recreates it identically.
+    fn release_flow_state(&mut self, sh: &mut EngineShared, egress: &mut EgressStage, flow: FourTuple) {
+        if sh.config.discipline == EngineDiscipline::FlowKeyed {
+            let key = flow.canonical();
+            sh.flow_rngs.remove(&key);
+            egress.release_lane(key);
+            sh.net.release_flow(flow);
+        }
+    }
+
+    // ----- per-connection timers ------------------------------------------
+
+    /// Re-arms `flow`'s cancellable idle timer: O(1) cancel of the
+    /// superseded timer plus O(1) schedule of the new deadline. A no-op
+    /// unless the engine runs with an idle timeout.
+    ///
+    /// Only *live* connections carry a timer: a machine still in `Listen`
+    /// (a zombie recreated by a torn-down connection's tail ACK) or in a
+    /// terminal state is not mid-life relay work, so arming it would both
+    /// waste a timer and risk a late fire flipping a completed flow's
+    /// outcome.
+    fn rearm_idle(
+        &mut self,
+        sh: &EngineShared,
+        sched: &mut TimerScheduler<Event>,
+        now: SimTime,
+        flow: FourTuple,
+    ) {
+        let Some(timeout) = sh.config.idle_timeout else { return };
+        let Some(client) = self.clients.get_mut(flow) else { return };
+        let state = client.state();
+        if state == mop_tcpstack::TcpState::Listen || state.is_terminal() {
+            if let Some(token) = client.timers.disarm_idle() {
+                sched.cancel(TimerHandle::from_token(token));
+            }
+            return;
+        }
+        let handle = sched.schedule(now + timeout, Event::IdleTimeout(flow));
+        if let Some(superseded) = client.timers.arm_idle(handle.token()) {
+            sched.cancel(TimerHandle::from_token(superseded));
+        }
+    }
+
+    /// Disarms (and cancels) `flow`'s idle timer, if armed.
+    fn disarm_idle(&mut self, sched: &mut TimerScheduler<Event>, flow: FourTuple) {
+        if let Some(client) = self.clients.get_mut(flow) {
+            if let Some(token) = client.timers.disarm_idle() {
+                sched.cancel(TimerHandle::from_token(token));
+            }
+        }
+    }
+
+    /// A connection's idle timer fired: the app has relayed nothing for the
+    /// configured timeout, so reap the connection — close the external
+    /// socket, drop the client and its keyed state, and mark the flow
+    /// failed.
+    pub(crate) fn on_idle_timeout(
+        &mut self,
+        sh: &mut EngineShared,
+        egress: &mut EgressStage,
+        sink: &mut SinkStage,
+        now: SimTime,
+        flow: FourTuple,
+    ) {
+        let Some(client) = self.clients.get_mut(flow) else { return };
+        // The firing timer is the armed one; a superseded timer was
+        // cancelled at re-arm and never reaches here.
+        client.timers.disarm_idle();
+        // Reap only mid-life connections: a zombie in `Listen` or a machine
+        // in a terminal state has nothing left to relay, and flipping its
+        // flow's outcome would corrupt a completed flow.
+        let state = client.state();
+        if state == mop_tcpstack::TcpState::Listen || state.is_terminal() {
+            return;
+        }
+        if let Some(&socket) = self.socket_by_flow.get(&flow) {
+            self.sockets.close(socket);
+            self.selector.deregister(socket);
+        }
+        self.clients.remove(flow);
+        self.conn_table.remove(flow);
+        sink.finish_flow(flow, now, false);
+        self.release_flow_state(sh, egress, flow);
+        self.stats.idle_reaped += 1;
+        self.update_memory_ledger(sh);
+    }
+
+    // ----- DNS ------------------------------------------------------------
+
+    fn start_dns_measurement(
+        &mut self,
+        sh: &mut EngineShared,
+        sink: &mut SinkStage,
+        sched: &mut TimerScheduler<Event>,
+        now: SimTime,
+        flow: FourTuple,
+        tx: &mop_tcpstack::DnsTransaction,
+    ) {
+        let (id, name) = (tx.id, tx.name.as_str());
+        // The whole DNS processing runs in a temporary blocking-mode thread
+        // (§2.4): socket set-up, then a blocking send/receive pair.
+        let mut rng = sh.checkout_rng(flow);
+        let spawn = sh.cost.thread_spawn.sample(&mut rng);
+        sh.checkin_rng(flow, rng);
+        sh.ledger.charge("DnsThreads", spawn);
+        let send_at = now + spawn;
+        let outcome = sh.net.dns_lookup(flow.src, name, send_at);
+        self.dns_pending.insert(flow, (sh.timestamp(send_at), name.to_string()));
+        for addr in &outcome.addrs {
+            self.ip_to_domain.insert(IpAddr::V4(*addr), name.to_string());
+        }
+        let Some(response_at) = outcome.response_at else {
+            // Query lost: the app sees a timeout; nothing is measured.
+            sink.finish_flow(flow, send_at, false);
+            return;
+        };
+        // Build the response datagram the relay writes back to the app.
+        let query = DnsMessage::query(id, name);
+        let response = if outcome.nxdomain {
+            DnsMessage::nxdomain(&query)
+        } else {
+            DnsMessage::answer(&query, &outcome.addrs, 300)
+        };
+        let to_app = PacketBuilder::new(flow.dst, flow.src).dns(&response);
+        sched.schedule(response_at, Event::DnsResponse { flow, packet: to_app });
+    }
+
+    /// The DNS response for `flow` arrived: record the DNS RTT sample at the
+    /// sink and relay the answer to the app.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_dns_response(
+        &mut self,
+        sh: &mut EngineShared,
+        egress: &mut EgressStage,
+        sink: &mut SinkStage,
+        sched: &mut TimerScheduler<Event>,
+        now: SimTime,
+        flow: FourTuple,
+        packet: Packet,
+    ) {
+        let Some((sent_ts, name)) = self.dns_pending.remove(&flow) else { return };
+        let post = sh.timestamp(now);
+        let uid = self.conn_table.uid_of(flow);
+        let package = uid.and_then(|u| self.packages.name_for_uid_cached(u));
+        let tcpdump_ms = sh.net.tap().dns_rtt(flow).map(|d| d.as_millis_f64());
+        let sample = RttSample {
+            kind: SampleKind::Dns,
+            flow,
+            uid,
+            package,
+            domain: Some(name),
+            measured_ms: (post - sent_ts).as_millis_f64(),
+            true_ms: tcpdump_ms.unwrap_or_else(|| (post - sent_ts).as_millis_f64()),
+            tcpdump_ms,
+            at: now,
+        };
+        sink.record_sample(sh, sample);
+        // Forward the answer to the app.
+        self.write_out(sh, egress, sched, now, packet);
+        // The DNS exchange is complete; its keyed state will not be used
+        // again (the response delivery draws nothing).
+        self.release_flow_state(sh, egress, flow);
+    }
+
+    // ----- misc -----------------------------------------------------------
+
+    fn domain_for(&self, sh: &EngineShared, addr: IpAddr) -> Option<String> {
+        if let Some(d) = self.ip_to_domain.get(&addr) {
+            return Some(d.clone());
+        }
+        sh.net.server_for(addr).and_then(|s| s.domains.first().cloned())
+    }
+
+    fn update_memory_ledger(&mut self, sh: &mut EngineShared) {
+        // Each live client holds a 64 KiB read and a 64 KiB write buffer
+        // (§3.4); the engine itself has a fixed footprint. Content inspection
+        // keeps reassembled flow buffers that dwarf the relay's own state.
+        let clients = self.clients.len();
+        let base = 6 * 1024 * 1024;
+        let buffers = clients * 2 * 65_535;
+        sh.ledger.set_memory("relay", base + buffers);
+        if sh.config.content_inspection {
+            sh.ledger.set_memory("inspection", 120 * 1024 * 1024 + clients * 1024 * 1024);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The measurement sink stage: where finished measurements fold into the
+//! report.
+//!
+//! Every RTT sample produced by the relay lands here the moment it
+//! completes: it is folded into the streaming sketch aggregates (constant
+//! memory) and, unless the run opted out, retained in the raw vector. The
+//! sink also owns the per-flow bookkeeping that becomes
+//! [`crate::stats::FlowOutcome`]s — start/finish times, delivered bytes,
+//! completion — which the other stages update through the methods here.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use mop_measure::{AggregateStore, MeasurementKind, NetKind};
+use mop_packet::FourTuple;
+use mop_simnet::SimTime;
+use mop_tun::FlowSpec;
+
+use super::{EngineShared, Stage};
+use crate::stats::{FlowOutcome, RttSample, SampleKind};
+
+/// Per-flow bookkeeping kept by the sink.
+#[derive(Debug)]
+pub struct FlowMeta {
+    pub(crate) package: String,
+    pub(crate) started_at: SimTime,
+    pub(crate) finished_at: SimTime,
+    pub(crate) bytes_received: usize,
+    pub(crate) completed: bool,
+    /// Network label carried by the flow spec (scenario-assigned); `None`
+    /// falls back to the simulated access profile at measurement time.
+    pub(crate) network: Option<NetKind>,
+    /// ISP label carried by the flow spec.
+    pub(crate) isp: Option<String>,
+}
+
+/// The measurement/aggregate fold stage. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct SinkStage {
+    /// Raw samples (kept only when `retain_samples` says so).
+    pub(crate) samples: Vec<RttSample>,
+    /// Streaming sketch aggregates, folded per sample.
+    pub(crate) aggregates: AggregateStore,
+    /// Per-flow outcome bookkeeping.
+    pub(crate) flow_meta: HashMap<FourTuple, FlowMeta>,
+}
+
+impl Stage for SinkStage {
+    fn name(&self) -> &'static str {
+        "sink"
+    }
+
+    fn reserve_flows(&mut self, flows: usize) {
+        self.flow_meta.reserve(flows);
+    }
+}
+
+impl SinkStage {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a starting flow's outcome record.
+    pub(crate) fn flow_started(&mut self, flow: FourTuple, spec: &FlowSpec, now: SimTime) {
+        self.flow_meta.insert(
+            flow,
+            FlowMeta {
+                package: spec.package.clone(),
+                started_at: now,
+                finished_at: now,
+                bytes_received: 0,
+                completed: false,
+                network: spec.network,
+                isp: spec.isp.clone(),
+            },
+        );
+    }
+
+    /// Marks a flow finished (with the given completion verdict).
+    pub(crate) fn finish_flow(&mut self, flow: FourTuple, now: SimTime, completed: bool) {
+        if let Some(meta) = self.flow_meta.get_mut(&flow) {
+            meta.finished_at = now;
+            meta.completed = completed;
+        }
+    }
+
+    /// Records delivered-to-app progress for a flow (bytes received so far,
+    /// last delivery time, and whether the app finished cleanly).
+    pub(crate) fn flow_progress(
+        &mut self,
+        flow: FourTuple,
+        now: SimTime,
+        bytes_received: usize,
+        done_cleanly: bool,
+    ) {
+        if let Some(meta) = self.flow_meta.get_mut(&flow) {
+            meta.bytes_received = bytes_received;
+            meta.finished_at = now;
+            if done_cleanly {
+                meta.completed = true;
+            }
+        }
+    }
+
+    /// The measurement sink fold: adds a finished sample to the streaming
+    /// aggregates (constant memory) and, unless the run opted out, retains
+    /// the raw sample too.
+    ///
+    /// The aggregation labels come from the flow's spec where the scenario
+    /// assigned them; otherwise the network kind falls back to the simulated
+    /// access profile at measurement time and the ISP label stays empty. The
+    /// synthetic "device" is the flow's source address, which fleet
+    /// scenarios assign uniquely per simulated user.
+    pub(crate) fn record_sample(&mut self, sh: &EngineShared, sample: RttSample) {
+        let kind = match sample.kind {
+            SampleKind::Tcp => MeasurementKind::Tcp,
+            SampleKind::Dns => MeasurementKind::Dns,
+        };
+        let meta = self.flow_meta.get(&sample.flow);
+        let network = meta
+            .and_then(|m| m.network)
+            .unwrap_or_else(|| net_kind_of(sh.net.access_at(sample.at).network_type));
+        let isp = meta.and_then(|m| m.isp.as_deref()).unwrap_or("");
+        self.aggregates.observe_parts(
+            kind,
+            network,
+            sample.package.as_deref().unwrap_or(""),
+            sample.domain.as_deref().unwrap_or(""),
+            isp,
+            device_of(sample.flow.src.addr),
+            "",
+            sample.measured_ms,
+        );
+        if sh.config.retain_samples {
+            self.samples.push(sample);
+        }
+    }
+
+    /// Drains the per-flow bookkeeping into outcome records (report time).
+    pub(crate) fn flow_outcomes(&self) -> Vec<FlowOutcome> {
+        self.flow_meta
+            .iter()
+            .map(|(flow, meta)| FlowOutcome {
+                flow: *flow,
+                package: meta.package.clone(),
+                started_at: meta.started_at,
+                finished_at: meta.finished_at,
+                bytes_received: meta.bytes_received,
+                completed: meta.completed,
+            })
+            .collect()
+    }
+}
+
+/// Maps the simulator's access-network technology onto the measurement
+/// schema's independent [`NetKind`] (the two enums are deliberately distinct:
+/// records could come from a real deployment).
+fn net_kind_of(network_type: mop_simnet::NetworkType) -> NetKind {
+    match network_type {
+        mop_simnet::NetworkType::Wifi => NetKind::Wifi,
+        mop_simnet::NetworkType::Lte => NetKind::Lte,
+        mop_simnet::NetworkType::Umts3g => NetKind::Umts3g,
+        mop_simnet::NetworkType::Gprs2g => NetKind::Gprs2g,
+    }
+}
+
+/// The synthetic device identifier of a flow: its source address folded to a
+/// `u32`. Fleet scenarios assign each simulated user a unique source address,
+/// so this is a stable per-user id; the single-device engine maps everything
+/// to the one handset address.
+fn device_of(addr: IpAddr) -> u32 {
+    match addr {
+        IpAddr::V4(v4) => u32::from(v4),
+        IpAddr::V6(v6) => v6.octets().chunks_exact(4).fold(0u32, |acc, c| {
+            acc.rotate_left(9) ^ u32::from_be_bytes([c[0], c[1], c[2], c[3]])
+        }),
+    }
+}

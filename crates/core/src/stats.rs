@@ -75,6 +75,10 @@ pub struct RelayStats {
     pub bytes_in: u64,
     /// Packets that failed to parse and were dropped.
     pub parse_errors: u64,
+    /// Connections reaped by the per-connection idle timer (zero unless the
+    /// engine runs with `idle_timeout`; excluded from the fleet digest so
+    /// historical digests stay comparable).
+    pub idle_reaped: u64,
 }
 
 impl RelayStats {
@@ -95,6 +99,7 @@ impl RelayStats {
         self.bytes_out += other.bytes_out;
         self.bytes_in += other.bytes_in;
         self.parse_errors += other.parse_errors;
+        self.idle_reaped += other.idle_reaped;
     }
 }
 

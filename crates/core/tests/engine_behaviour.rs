@@ -1,0 +1,300 @@
+//! Behavioural tests of the staged engine pipeline, through the public API.
+//!
+//! These are the historical `engine.rs` unit tests, kept bit-for-bit
+//! meaningful across the stage refactor (ingress / relay / egress / sink
+//! behind the timing-wheel loop): accuracy, workload relaying, config
+//! ablations and reporting must all behave exactly as the monolithic event
+//! loop did. New here: the per-connection idle-timer coverage.
+
+use mop_packet::Endpoint;
+use mop_simnet::{LatencyModel, SchedulerKind, ServerConfig, Service, SimDuration, SimTime, SimNetwork};
+use mop_tun::{FlowKind, FlowSpec, Workload, WorkloadKind};
+use mopeye_core::{MopEyeConfig, MopEyeEngine, TimestampMode};
+
+fn network() -> SimNetwork {
+    SimNetwork::builder().seed(42).with_table2_destinations().build()
+}
+
+fn google() -> Endpoint {
+    Endpoint::v4(216, 58, 221, 132, 443)
+}
+
+fn one_flow(request: usize, close_after: usize) -> FlowSpec {
+    FlowSpec {
+        at: SimTime::from_millis(10),
+        uid: 10_100,
+        package: "com.android.chrome".into(),
+        src: None,
+        dst: google(),
+        domain: Some("www.google.com".into()),
+        request_bytes: request,
+        close_after,
+        kind: FlowKind::Tcp,
+        network: None,
+        isp: None,
+    }
+}
+
+#[test]
+fn single_tcp_flow_completes_and_is_measured() {
+    let mut engine = MopEyeEngine::new(MopEyeConfig::mopeye(), network());
+    let report = engine.run_flows(vec![one_flow(400, 8 * 1024)]);
+    assert_eq!(report.relay.syns, 1);
+    assert_eq!(report.relay.connects_ok, 1);
+    assert_eq!(report.relay.connects_failed, 0);
+    assert!(report.relay.data_segments_in > 0);
+    assert!(report.relay.pure_acks_discarded >= 1);
+    assert_eq!(report.flows.len(), 1);
+    let flow = &report.flows[0];
+    assert!(flow.completed, "flow should finish cleanly");
+    assert_eq!(flow.bytes_received, 32 * 1024, "full web response delivered");
+    assert_eq!(flow.package, "com.android.chrome");
+    // One TCP RTT sample with tight accuracy.
+    let samples = report.tcp_samples();
+    assert_eq!(samples.len(), 1);
+    let s = samples[0];
+    assert_eq!(s.package.as_deref(), Some("com.android.chrome"));
+    assert_eq!(s.domain.as_deref(), Some("www.google.com"));
+    assert!(s.error_ms() < 1.0, "MopEye accuracy should be sub-millisecond, got {}", s.error_ms());
+    assert!(s.measured_ms > 1.0, "google RTT should be positive, got {}", s.measured_ms);
+}
+
+#[test]
+fn dns_flow_is_measured_and_answered() {
+    let mut engine = MopEyeEngine::new(MopEyeConfig::mopeye(), network());
+    let spec = FlowSpec {
+        at: SimTime::from_millis(5),
+        uid: 10_100,
+        package: "com.android.chrome".into(),
+        src: None,
+        dst: Endpoint::v4(192, 168, 1, 1, 53),
+        domain: Some("www.google.com".into()),
+        request_bytes: 0,
+        close_after: 0,
+        kind: FlowKind::Dns,
+        network: None,
+        isp: None,
+    };
+    let report = engine.run_flows(vec![spec]);
+    assert_eq!(report.relay.dns_queries, 1);
+    let samples = report.dns_samples();
+    assert_eq!(samples.len(), 1);
+    assert_eq!(samples[0].domain.as_deref(), Some("www.google.com"));
+    assert!(samples[0].measured_ms > 1.0);
+    assert!(samples[0].error_ms() < 1.5, "dns error {}", samples[0].error_ms());
+    assert!(report.flows[0].completed);
+}
+
+#[test]
+fn refused_destination_fails_the_flow() {
+    let mut net = network();
+    net.add_server(ServerConfig::new(
+        "closed",
+        "10.7.7.7".parse().unwrap(),
+        LatencyModel::constant(20.0),
+        Service::Refuse,
+    ));
+    let mut engine = MopEyeEngine::new(MopEyeConfig::mopeye(), net);
+    let mut spec = one_flow(100, 0);
+    spec.dst = Endpoint::v4(10, 7, 7, 7, 80);
+    spec.domain = None;
+    let report = engine.run_flows(vec![spec]);
+    assert_eq!(report.relay.connects_failed, 1);
+    assert_eq!(report.relay.connects_ok, 0);
+    assert!(!report.flows[0].completed);
+    assert!(report.tcp_samples().is_empty(), "failed connects produce no RTT sample");
+}
+
+#[test]
+fn web_browsing_workload_produces_many_accurate_samples() {
+    let mut engine = MopEyeEngine::new(MopEyeConfig::mopeye(), network());
+    let workload = Workload::new(
+        WorkloadKind::WebBrowsing,
+        10_100,
+        "com.android.chrome",
+        vec![
+            (google(), "www.google.com".into()),
+            (Endpoint::v4(31, 13, 79, 251, 443), "graph.facebook.com".into()),
+        ],
+        SimDuration::from_secs(30),
+        5,
+    );
+    let report = engine.run(&[workload]);
+    assert!(report.relay.syns >= 30, "syns {}", report.relay.syns);
+    assert_eq!(report.relay.syns, report.relay.connects_ok + report.relay.connects_failed);
+    let samples = report.tcp_samples();
+    assert_eq!(samples.len() as u64, report.relay.connects_ok);
+    let mean_err = report.mean_tcp_error_ms().unwrap();
+    assert!(mean_err < 1.0, "mean error {mean_err}");
+    // Mapping ran once per successful connection and mostly avoided parses.
+    assert_eq!(report.mapping.requests, report.relay.connects_ok);
+    assert!(report.mapping.mitigation_rate() > 0.3, "mitigation {}", report.mapping.mitigation_rate());
+    assert_eq!(report.mapping.mismapped, 0);
+    // DNS queries from the workload were measured too.
+    assert_eq!(report.dns_samples().len() as u64, report.relay.dns_queries);
+    assert!(report.relay.dns_queries >= 5);
+    // The ledger charged every component of Figure 4.
+    for component in ["TunReader", "MainWorker", "TunWriter", "ConnectThreads"] {
+        assert!(
+            report.ledger.busy_of(component) > SimDuration::ZERO,
+            "{component} should have CPU time"
+        );
+    }
+    assert!(report.ledger.memory_peak_bytes() > 6 * 1024 * 1024);
+    assert!(report.events_processed > 100);
+    // The datapath recycles packet buffers: after warm-up nearly every
+    // tunnel packet reuses a pooled buffer instead of allocating.
+    assert!(
+        report.buffer_pool.reuse_rate() > 0.9,
+        "tunnel buffer reuse {:?}",
+        report.buffer_pool
+    );
+    assert!(report.socket_read_pool.reuses > 0, "{:?}", report.socket_read_pool);
+}
+
+#[test]
+fn selector_timestamps_are_less_accurate_than_blocking_thread() {
+    let flows: Vec<FlowSpec> = (0..40)
+        .map(|i| {
+            let mut f = one_flow(300, 4096);
+            f.at = SimTime::from_millis(200 * i as u64 + 10);
+            f
+        })
+        .collect();
+    let mut accurate = MopEyeEngine::new(MopEyeConfig::mopeye(), network());
+    let report_accurate = accurate.run_flows(flows.clone());
+    let mut sloppy = MopEyeEngine::new(
+        MopEyeConfig::mopeye().with_timestamp_mode(TimestampMode::SelectorNotification),
+        network(),
+    );
+    let report_sloppy = sloppy.run_flows(flows);
+    let e_accurate = report_accurate.mean_tcp_error_ms().unwrap();
+    let e_sloppy = report_sloppy.mean_tcp_error_ms().unwrap();
+    assert!(e_accurate < 1.0, "blocking-thread error {e_accurate}");
+    assert!(e_sloppy > e_accurate * 2.0, "selector error {e_sloppy} vs {e_accurate}");
+}
+
+#[test]
+fn haystack_preset_burns_more_cpu_and_memory() {
+    let flows: Vec<FlowSpec> = (0..30)
+        .map(|i| {
+            let mut f = one_flow(500, 16 * 1024);
+            f.at = SimTime::from_millis(300 * i as u64 + 10);
+            f
+        })
+        .collect();
+    let mut mopeye = MopEyeEngine::new(MopEyeConfig::mopeye(), network());
+    let mop_report = mopeye.run_flows(flows.clone());
+    let mut haystack = MopEyeEngine::new(MopEyeConfig::haystack_like(), network());
+    let hay_report = haystack.run_flows(flows);
+    let wall = mop_report.finished_at - SimTime::ZERO;
+    let mop_cpu = mop_report.ledger.cpu_percent(wall);
+    let hay_cpu = hay_report.ledger.cpu_percent(hay_report.finished_at - SimTime::ZERO);
+    assert!(hay_cpu > mop_cpu, "haystack {hay_cpu}% vs mopeye {mop_cpu}%");
+    assert!(hay_report.ledger.memory_peak_bytes() > mop_report.ledger.memory_peak_bytes() * 5);
+}
+
+#[test]
+fn run_report_goodput_reflects_transferred_bytes() {
+    let mut engine = MopEyeEngine::new(MopEyeConfig::mopeye(), network());
+    let report = engine.run_flows(vec![one_flow(400, 16 * 1024)]);
+    let goodput = report.download_goodput_mbps().unwrap();
+    assert!(goodput > 0.1, "goodput {goodput}");
+    assert!(report.tun.bytes_to_apps > report.tun.bytes_from_apps);
+}
+
+#[test]
+fn heap_and_wheel_schedulers_produce_identical_runs() {
+    // The scheduler backend must be behaviourally invisible: same samples,
+    // same counters, same finish time, same event count.
+    let flows: Vec<FlowSpec> = (0..25)
+        .map(|i| {
+            let mut f = one_flow(300, 4 * 1024);
+            f.at = SimTime::from_millis(10 + 37 * i as u64);
+            f
+        })
+        .collect();
+    let mut wheel = MopEyeEngine::new(
+        MopEyeConfig::mopeye().with_scheduler(SchedulerKind::Wheel),
+        network(),
+    );
+    let wheel_report = wheel.run_flows(flows.clone());
+    let mut heap = MopEyeEngine::new(
+        MopEyeConfig::mopeye().with_scheduler(SchedulerKind::Heap),
+        network(),
+    );
+    let heap_report = heap.run_flows(flows);
+    assert_eq!(wheel_report.samples, heap_report.samples);
+    assert_eq!(wheel_report.relay, heap_report.relay);
+    let sorted = |mut flows: Vec<mopeye_core::stats::FlowOutcome>| {
+        flows.sort_by_key(|f| f.flow);
+        flows
+    };
+    assert_eq!(sorted(wheel_report.flows), sorted(heap_report.flows));
+    assert_eq!(wheel_report.finished_at, heap_report.finished_at);
+    assert_eq!(wheel_report.events_processed, heap_report.events_processed);
+    assert_eq!(wheel_report.events_scheduled, heap_report.events_scheduled);
+}
+
+#[test]
+fn idle_timers_are_cancelled_by_activity_and_never_fire_on_healthy_flows() {
+    let flows: Vec<FlowSpec> = (0..10)
+        .map(|i| {
+            let mut f = one_flow(300, 4 * 1024);
+            f.at = SimTime::from_millis(10 + 50 * i as u64);
+            f
+        })
+        .collect();
+    // A generous timeout: every healthy flow relays again long before it.
+    let config = MopEyeConfig::mopeye().with_idle_timeout(Some(SimDuration::from_secs(60)));
+    let mut engine = MopEyeEngine::new(config, network());
+    let report = engine.run_flows(flows.clone());
+    assert_eq!(report.relay.idle_reaped, 0, "healthy flows are never reaped");
+    assert_eq!(report.relay.connects_ok, 10);
+    assert!(report.flows.iter().all(|f| f.completed));
+    // The timers existed: far more events were scheduled than processed
+    // (every armed-then-cancelled timer is scheduled but never fires).
+    assert!(
+        report.events_scheduled > report.events_processed,
+        "scheduled {} vs processed {}",
+        report.events_scheduled,
+        report.events_processed
+    );
+    // And the run is otherwise identical to a timerless one.
+    let mut bare = MopEyeEngine::new(MopEyeConfig::mopeye(), network());
+    let bare_report = bare.run_flows(flows);
+    assert_eq!(report.samples, bare_report.samples);
+    assert_eq!(report.finished_at, bare_report.finished_at);
+    assert_eq!(report.events_processed, bare_report.events_processed);
+}
+
+#[test]
+fn a_silent_connection_is_reaped_by_its_idle_timer() {
+    // A flow against a server that accepts the connection and then never
+    // responds (an analytics sink): the app's request relays out, nothing
+    // ever comes back, and the connection's idle timer reaps it.
+    let mut net = network();
+    net.add_server(ServerConfig::new(
+        "staller",
+        "10.9.9.9".parse().unwrap(),
+        LatencyModel::constant(15.0),
+        Service::Silent,
+    ));
+    let mut spec = one_flow(200, 1024 * 1024);
+    spec.dst = Endpoint::v4(10, 9, 9, 9, 80);
+    spec.domain = None;
+    let config = MopEyeConfig::mopeye().with_idle_timeout(Some(SimDuration::from_millis(500)));
+    let mut engine = MopEyeEngine::new(config, net);
+    let report = engine.run_flows(vec![spec]);
+    assert_eq!(report.relay.connects_ok, 1);
+    assert_eq!(report.relay.idle_reaped, 1, "the stalled flow is reaped");
+    assert!(!report.flows[0].completed, "a reaped flow is not a clean completion");
+    // The reap fired as a real event, on the wheel.
+    assert!(report.events_processed > 0);
+}
+
+#[test]
+fn the_pipeline_names_its_stages_in_datapath_order() {
+    let engine = MopEyeEngine::new(MopEyeConfig::mopeye(), network());
+    assert_eq!(engine.stage_names(), ["ingress", "relay", "egress", "sink"]);
+}

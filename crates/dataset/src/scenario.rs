@@ -273,6 +273,29 @@ impl Scenario {
         })
     }
 
+    /// The scheduler-churn scenario: an entire stadium's worth of handsets
+    /// opening short-lived connections inside a half-second window — a goal
+    /// was scored, everyone's feed refreshes at once. Flows are dominated by
+    /// page bursts and DNS storms that open, transfer a little and tear down
+    /// immediately, so an engine running per-connection timers arms and
+    /// cancels them en masse: the workload that stresses O(1)
+    /// schedule/cancel on the timing wheel (`mop_simnet::wheel`) far harder
+    /// than rush hour's longer-lived mix.
+    pub fn flash_crowd(users: usize, seed: u64) -> Self {
+        Self::new(ScenarioSpec {
+            name: "flash-crowd".into(),
+            seed,
+            users,
+            duration: SimDuration::from_millis(500),
+            mix: vec![
+                (TrafficMix::WebBrowsing, 0.55),
+                (TrafficMix::DnsHeavy, 0.30),
+                (TrafficMix::BackgroundChatter, 0.15),
+            ],
+            profile: NetProfile::Lte,
+        })
+    }
+
     /// The network this scenario runs on: seeded from the spec, flow-keyed,
     /// with the paper's Table 2 destinations and the profile's impairments
     /// (a handover, if the profile has one, fires halfway through the
@@ -371,6 +394,28 @@ mod tests {
         assert_eq!(sources.len(), a.len(), "every flow has a unique source endpoint");
         assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "sorted by start time");
         assert!(a.len() >= 400, "at least one flow per user, got {}", a.len());
+    }
+
+    #[test]
+    fn flash_crowd_is_a_compressed_churny_burst() {
+        let scenario = Scenario::flash_crowd(300, 5);
+        let flows = scenario.generate();
+        assert_eq!(flows, Scenario::flash_crowd(300, 5).generate(), "deterministic");
+        assert!(flows.len() >= 300, "at least one flow per user, got {}", flows.len());
+        // Arrivals are compressed: the page bursts trail a little past the
+        // half-second window, but everything lands within ~1.5 s.
+        let horizon = SimTime::ZERO + SimDuration::from_millis(1_500);
+        assert!(flows.iter().all(|f| f.at <= horizon));
+        let sources: HashSet<_> = flows.iter().map(|f| f.src.expect("pre-assigned src")).collect();
+        assert_eq!(sources.len(), flows.len(), "unique source endpoints");
+        // The mix is dominated by the short-lived browsing + DNS churn.
+        let churny = flows
+            .iter()
+            .filter(|f| {
+                f.package == "com.android.chrome" || f.package == "com.whatsapp"
+            })
+            .count();
+        assert!(churny * 2 > flows.len(), "churny flows {} of {}", churny, flows.len());
     }
 
     #[test]

@@ -6,7 +6,12 @@
 //! regenerated on a laptop:
 //!
 //! * [`time`] / [`clock`] — a nanosecond-resolution virtual clock,
-//! * [`queue`] — a stable-ordered event queue for discrete-event loops,
+//! * [`queue`] — a stable-ordered binary-heap event queue (the reference
+//!   scheduler implementation),
+//! * [`wheel`] — a hierarchical timing wheel with O(1) schedule/cancel and
+//!   the same deterministic FIFO tie-order as the heap,
+//! * [`scheduler`] — [`scheduler::TimerScheduler`], the pluggable facade the
+//!   engine's event loop drains (wheel by default, heap for reference),
 //! * [`latency`] — latency models (constant, uniform, normal, log-normal)
 //!   used for path RTTs, first-hop delays and system-call costs,
 //! * [`profile`] — access-network profiles (WiFi, LTE, 3G, 2G) and ISP
@@ -43,6 +48,8 @@
 //! assert_eq!(net.tap().handshake_rtt(flow).unwrap(), outcome.completed_at - outcome.syn_sent);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod clock;
 pub mod cost;
 pub mod dnssrv;
@@ -52,11 +59,13 @@ pub mod pool;
 pub mod profile;
 pub mod queue;
 pub mod rng;
+pub mod scheduler;
 pub mod server;
 pub mod socket;
 pub mod spsc;
 pub mod tap;
 pub mod time;
+pub mod wheel;
 
 pub use clock::SimClock;
 pub use cost::{CostModel, CpuLedger};
@@ -69,8 +78,10 @@ pub use pool::{BufferPool, PoolStats};
 pub use profile::{AccessProfile, IspProfile, NetworkType};
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use scheduler::{SchedulerKind, TimerScheduler};
 pub use server::{ServerConfig, Service};
 pub use socket::{Selector, SelectorEvent, SocketId, SocketMode, SocketSet, SocketState};
 pub use spsc::{spsc_channel, SpscReceiver, SpscSendError, SpscSender};
 pub use tap::{TapDirection, TapRecord, WireTap};
 pub use time::{SimDuration, SimTime};
+pub use wheel::{TimerHandle, TimingWheel};

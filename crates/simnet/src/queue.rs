@@ -87,6 +87,11 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.at)
     }
 
+    /// The earliest pending event and its fire time, without popping it.
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.heap.peek().map(|e| (e.at, &e.event))
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()

@@ -1,0 +1,559 @@
+//! A hierarchical timing wheel: O(1) schedule/cancel for discrete-event loops.
+//!
+//! The [`crate::queue::EventQueue`] pays O(log n) per schedule and per pop on
+//! its binary heap, which adds up once a fleet shard keeps 100k+ live
+//! connections' worth of pending events. [`TimingWheel`] replaces it with the
+//! classic hashed hierarchical wheel (Varghese & Lauck): time is quantised
+//! into *ticks* of a configurable power-of-two granularity, and each wheel
+//! level holds 64 slots, each slot covering 64× the span of the level below.
+//! Scheduling hashes the event's tick into a slot in O(1); popping advances a
+//! cursor through per-level occupancy bitmaps (one `u64` per level, so "next
+//! occupied slot" is a `trailing_zeros`), cascading higher-level slots down
+//! as the cursor reaches them.
+//!
+//! # Determinism
+//!
+//! The wheel reproduces the heap queue's pop order *exactly*: every entry
+//! carries a global insertion sequence number, and a drained level-0 slot is
+//! sorted by `(fire time, sequence)` before its events are released. Events
+//! scheduled at the same instant therefore pop in FIFO schedule order — the
+//! tie-break the engine's determinism contract depends on — and the
+//! wheel-vs-heap equivalence suite (`crates/simnet/tests/wheel_equivalence.rs`)
+//! pins the two implementations against each other on random workloads.
+//!
+//! # Cancellation
+//!
+//! [`TimingWheel::schedule`] returns a [`TimerHandle`]. Cancellation is lazy
+//! and O(1): the slab entry is vacated and its generation bumped; the dead
+//! index is reclaimed when its slot is next drained or cascaded. A stale
+//! handle (already fired or already cancelled) is simply ignored, so callers
+//! can keep handles around without lifecycle bookkeeping.
+//!
+//! # Example
+//!
+//! ```
+//! use mop_simnet::{SimTime, TimingWheel};
+//!
+//! let mut wheel: TimingWheel<&str> = TimingWheel::new();
+//! wheel.schedule(SimTime::from_millis(30), "c");
+//! let cancel_me = wheel.schedule(SimTime::from_millis(20), "b");
+//! wheel.schedule(SimTime::from_millis(10), "a");
+//! wheel.cancel(cancel_me);
+//! assert_eq!(wheel.pop(), Some((SimTime::from_millis(10), "a")));
+//! assert_eq!(wheel.pop(), Some((SimTime::from_millis(30), "c")));
+//! assert_eq!(wheel.pop(), None);
+//! ```
+
+use crate::time::{SimDuration, SimTime};
+
+/// log2 of the slot count per wheel level.
+const SLOT_BITS: u32 = 6;
+/// Slots per wheel level; one `u64` occupancy bitmap covers a level exactly.
+const SLOTS: usize = 1 << SLOT_BITS;
+
+/// The default tick granularity: 1024 ns (~1 µs), fine enough that the
+/// engine's microsecond-scale costs land in distinct ticks.
+pub const DEFAULT_GRANULARITY: SimDuration = SimDuration::from_nanos(1 << 10);
+
+/// A cancellable reference to one scheduled event.
+///
+/// Handles are generation-checked: once the event has fired or been
+/// cancelled, the handle goes stale and further [`TimingWheel::cancel`] calls
+/// are no-ops. A handle can round-trip through a bare `u64`
+/// ([`TimerHandle::token`] / [`TimerHandle::from_token`]) so layers that must
+/// not depend on this crate (e.g. `mop_tcpstack`) can still store one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerHandle {
+    idx: u32,
+    generation: u32,
+}
+
+impl TimerHandle {
+    /// Packs the handle into an opaque token.
+    pub fn token(self) -> u64 {
+        (u64::from(self.generation) << 32) | u64::from(self.idx)
+    }
+
+    /// Rebuilds a handle from [`TimerHandle::token`]. A forged or stale token
+    /// is harmless: the generation check makes cancellation a no-op.
+    pub fn from_token(token: u64) -> Self {
+        Self { idx: token as u32, generation: (token >> 32) as u32 }
+    }
+}
+
+/// One slab cell. `event: None` means the entry is cancelled (awaiting
+/// reclaim when its slot drains) or already free.
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    generation: u32,
+    event: Option<E>,
+}
+
+/// A multi-level timing wheel with deterministic FIFO tie-order and O(1)
+/// schedule/cancel. See the [module docs](self).
+#[derive(Debug)]
+pub struct TimingWheel<E> {
+    /// Tick granularity: `tick = at.as_nanos() >> shift`.
+    shift: u32,
+    /// Number of levels (covers the full 64-bit nanosecond range).
+    levels: usize,
+    /// `levels * 64` slot buckets of slab indices (flattened).
+    slots: Vec<Vec<u32>>,
+    /// One occupancy bitmap per level.
+    occupied: Vec<u64>,
+    /// Entry storage; indices are stable for the life of an entry.
+    slab: Vec<Entry<E>>,
+    /// Reusable slab indices.
+    free: Vec<u32>,
+    /// The tick cursor: every live wheel entry fires at `tick >= elapsed`.
+    elapsed: u64,
+    /// Due entries (tick <= elapsed), sorted by `(at, seq)`, consumed from
+    /// `ready_pos`. Late schedules at or before the cursor are merge-sorted
+    /// in here so past-due events still pop in exact heap order.
+    ready: Vec<u32>,
+    ready_pos: usize,
+    /// Pending (scheduled, not yet fired, not cancelled) entries.
+    live: usize,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for TimingWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> TimingWheel<E> {
+    /// Creates a wheel with the [`DEFAULT_GRANULARITY`].
+    pub fn new() -> Self {
+        Self::with_granularity(DEFAULT_GRANULARITY)
+    }
+
+    /// Creates a wheel whose tick is `granularity`, rounded up to a power of
+    /// two nanoseconds (clamped to at most ~1 ms so level 0 keeps sub-slot
+    /// times distinguishable by the sort, and at least 1 ns).
+    pub fn with_granularity(granularity: SimDuration) -> Self {
+        let g = granularity.as_nanos().clamp(1, 1 << 20).next_power_of_two();
+        let shift = g.trailing_zeros();
+        let levels = (64 - shift as usize).div_ceil(SLOT_BITS as usize);
+        Self {
+            shift,
+            levels,
+            slots: (0..levels * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: vec![0; levels],
+            slab: Vec::new(),
+            free: Vec::new(),
+            elapsed: 0,
+            ready: Vec::new(),
+            ready_pos: 0,
+            live: 0,
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// The wheel's tick granularity.
+    pub fn granularity(&self) -> SimDuration {
+        SimDuration::from_nanos(1 << self.shift)
+    }
+
+    /// Schedules `event` to fire at `at` and returns a cancellable handle.
+    ///
+    /// O(1): one slab write plus one slot push (or, for an event at or before
+    /// the cursor, a sorted insert into the small due buffer).
+    pub fn schedule(&mut self, at: SimTime, event: E) -> TimerHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.live += 1;
+        let idx = self.alloc(at, seq, event);
+        let generation = self.slab[idx as usize].generation;
+        let tick = at.as_nanos() >> self.shift;
+        if tick <= self.elapsed {
+            // Due now (or scheduled into the past): join the sorted due
+            // buffer at its (at, seq) position so pop order matches the heap.
+            self.ready_insert(idx);
+        } else {
+            self.place(idx, tick);
+        }
+        TimerHandle { idx, generation }
+    }
+
+    /// Cancels a pending event, returning it if the handle was still live.
+    ///
+    /// O(1): the slab entry is vacated and its slot reference reclaimed
+    /// lazily when the slot next drains.
+    pub fn cancel(&mut self, handle: TimerHandle) -> Option<E> {
+        let entry = self.slab.get_mut(handle.idx as usize)?;
+        if entry.generation != handle.generation {
+            return None;
+        }
+        let event = entry.event.take()?;
+        entry.generation = entry.generation.wrapping_add(1);
+        self.live -= 1;
+        Some(event)
+    }
+
+    /// Pops the earliest pending event, if any. Ties at the same instant pop
+    /// in schedule (FIFO) order, exactly like [`crate::queue::EventQueue`].
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            self.ensure_ready();
+            if self.ready_pos >= self.ready.len() {
+                return None;
+            }
+            let idx = self.ready[self.ready_pos];
+            self.ready_pos += 1;
+            let entry = &mut self.slab[idx as usize];
+            if let Some(event) = entry.event.take() {
+                let at = entry.at;
+                entry.generation = entry.generation.wrapping_add(1);
+                self.free.push(idx);
+                self.live -= 1;
+                return Some((at, event));
+            }
+            // Cancelled while waiting in the due buffer.
+            self.free.push(idx);
+        }
+    }
+
+    /// Pops the earliest event only if it fires at or before `until`.
+    pub fn pop_until(&mut self, until: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= until {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// The fire time of the earliest pending event.
+    ///
+    /// Takes `&mut self`: peeking may advance the cursor and cascade slots,
+    /// which is semantically transparent but mutates the structure.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            self.ensure_ready();
+            let &idx = self.ready.get(self.ready_pos)?;
+            if self.slab[idx as usize].event.is_some() {
+                return Some(self.slab[idx as usize].at);
+            }
+            self.ready_pos += 1;
+            self.free.push(idx);
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Returns true if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total number of events ever scheduled (for loop-progress assertions).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Removes all pending events. The cursor and the schedule accounting
+    /// are kept, matching [`crate::queue::EventQueue::clear`].
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            slot.clear();
+        }
+        for bitmap in &mut self.occupied {
+            *bitmap = 0;
+        }
+        self.ready.clear();
+        self.ready_pos = 0;
+        self.free.clear();
+        for (i, entry) in self.slab.iter_mut().enumerate() {
+            if entry.event.take().is_some() {
+                entry.generation = entry.generation.wrapping_add(1);
+            }
+            self.free.push(i as u32);
+        }
+        self.live = 0;
+    }
+
+    // ----- internals ------------------------------------------------------
+
+    fn alloc(&mut self, at: SimTime, seq: u64, event: E) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            let entry = &mut self.slab[idx as usize];
+            entry.at = at;
+            entry.seq = seq;
+            entry.event = Some(event);
+            idx
+        } else {
+            let idx = self.slab.len() as u32;
+            self.slab.push(Entry { at, seq, generation: 0, event: Some(event) });
+            idx
+        }
+    }
+
+    /// The level an entry at `tick` belongs to, relative to the cursor: the
+    /// highest tick bit in which it differs from `elapsed` picks the level
+    /// (the tokio-timer placement rule), so within a level an occupied slot
+    /// is always in the cursor's current rotation.
+    fn level_of(&self, tick: u64) -> usize {
+        let differing = tick ^ self.elapsed;
+        if differing == 0 {
+            return 0;
+        }
+        ((63 - differing.leading_zeros()) / SLOT_BITS) as usize
+    }
+
+    /// Files a wheel entry into its slot (tick must be > elapsed, or == for
+    /// cascade re-placement, which lands in level 0's current slot and is
+    /// drained next).
+    fn place(&mut self, idx: u32, tick: u64) {
+        let level = self.level_of(tick);
+        let slot = ((tick >> (level as u32 * SLOT_BITS)) & (SLOTS as u64 - 1)) as usize;
+        self.slots[level * SLOTS + slot].push(idx);
+        self.occupied[level] |= 1 << slot;
+    }
+
+    /// Sorted insert into the unconsumed tail of the due buffer.
+    fn ready_insert(&mut self, idx: u32) {
+        let (at, seq) = {
+            let e = &self.slab[idx as usize];
+            (e.at, e.seq)
+        };
+        let tail = &self.ready[self.ready_pos..];
+        let offset = tail.partition_point(|&i| {
+            let e = &self.slab[i as usize];
+            (e.at, e.seq) <= (at, seq)
+        });
+        self.ready.insert(self.ready_pos + offset, idx);
+    }
+
+    /// The earliest occupied slot across all levels: returns
+    /// `(level, slot index, start tick)` of the slot with the smallest
+    /// deadline, preferring the *higher* level on ties so containing ranges
+    /// cascade before the exact slot drains.
+    fn next_slot(&self) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(u64, usize, usize)> = None;
+        for level in 0..self.levels {
+            let bitmap = self.occupied[level];
+            if bitmap == 0 {
+                continue;
+            }
+            let level_shift = level as u32 * SLOT_BITS;
+            let span_bits = level_shift + SLOT_BITS;
+            let cursor_slot = ((self.elapsed >> level_shift) & (SLOTS as u64 - 1)) as usize;
+            let rotation_base = if span_bits >= 64 {
+                0
+            } else {
+                (self.elapsed >> span_bits) << span_bits
+            };
+            let ahead = bitmap & (!0u64 << cursor_slot);
+            let (slot, base) = if ahead != 0 {
+                (ahead.trailing_zeros() as usize, rotation_base)
+            } else {
+                // Only reachable if an entry was left behind the cursor,
+                // which the placement rule excludes; treat it as belonging
+                // to the next rotation so it still fires.
+                debug_assert!(false, "timing wheel slot behind the cursor");
+                let next_base = if span_bits >= 64 {
+                    rotation_base
+                } else {
+                    rotation_base.saturating_add(1 << span_bits)
+                };
+                (bitmap.trailing_zeros() as usize, next_base)
+            };
+            let deadline = base + ((slot as u64) << level_shift);
+            let better = match best {
+                None => true,
+                Some((d, l, _)) => deadline < d || (deadline == d && level > l),
+            };
+            if better {
+                best = Some((deadline, level, slot));
+            }
+        }
+        best.map(|(deadline, level, slot)| (level, slot, deadline))
+    }
+
+    /// Refills the due buffer: advances the cursor to the next occupied
+    /// slot, cascading higher-level slots down until a level-0 slot drains,
+    /// then sorts the drained entries by `(at, seq)`.
+    fn ensure_ready(&mut self) {
+        while self.ready_pos >= self.ready.len() && self.live > 0 {
+            self.ready.clear();
+            self.ready_pos = 0;
+            let Some((level, slot, start_tick)) = self.next_slot() else {
+                debug_assert!(false, "live entries but no occupied slot");
+                return;
+            };
+            debug_assert!(start_tick >= self.elapsed, "wheel cursor moved backwards");
+            self.elapsed = start_tick.max(self.elapsed);
+            self.occupied[level] &= !(1 << slot);
+            let mut entries = std::mem::take(&mut self.slots[level * SLOTS + slot]);
+            if level == 0 {
+                for idx in entries.drain(..) {
+                    if self.slab[idx as usize].event.is_some() {
+                        self.ready.push(idx);
+                    } else {
+                        self.free.push(idx);
+                    }
+                }
+                // Restore the slot's capacity for reuse.
+                self.slots[level * SLOTS + slot] = entries;
+                let slab = &self.slab;
+                self.ready
+                    .sort_unstable_by_key(|&i| (slab[i as usize].at, slab[i as usize].seq));
+            } else {
+                // Cascade: redistribute one higher-level slot relative to the
+                // advanced cursor. Every entry strictly descends a level, so
+                // this terminates and costs O(1) amortised per event.
+                for idx in entries.drain(..) {
+                    if self.slab[idx as usize].event.is_some() {
+                        let tick = self.slab[idx as usize].at.as_nanos() >> self.shift;
+                        self.place(idx, tick);
+                    } else {
+                        self.free.push(idx);
+                    }
+                }
+                self.slots[level * SLOTS + slot] = entries;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_across_levels() {
+        let mut wheel = TimingWheel::new();
+        wheel.schedule(SimTime::from_secs(30), "far");
+        wheel.schedule(SimTime::from_millis(10), "near");
+        wheel.schedule(SimTime::from_millis(500), "mid");
+        wheel.schedule(SimTime::from_nanos(3), "now");
+        let order: Vec<_> = std::iter::from_fn(|| wheel.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["now", "near", "mid", "far"]);
+        assert_eq!(wheel.scheduled_total(), 4);
+    }
+
+    #[test]
+    fn simultaneous_events_keep_insertion_order() {
+        let mut wheel = TimingWheel::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            wheel.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| wheel.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sub_tick_times_still_sort_exactly() {
+        // Two events in the same tick but at different nanosecond instants
+        // must pop in time order, not slot order.
+        let mut wheel = TimingWheel::with_granularity(SimDuration::from_nanos(1024));
+        wheel.schedule(SimTime::from_nanos(2000), "b");
+        wheel.schedule(SimTime::from_nanos(1500), "a");
+        assert_eq!(wheel.pop(), Some((SimTime::from_nanos(1500), "a")));
+        assert_eq!(wheel.pop(), Some((SimTime::from_nanos(2000), "b")));
+    }
+
+    #[test]
+    fn cancel_is_effective_and_stale_handles_are_ignored() {
+        let mut wheel = TimingWheel::new();
+        let a = wheel.schedule(SimTime::from_millis(1), "a");
+        let b = wheel.schedule(SimTime::from_millis(2), "b");
+        assert_eq!(wheel.cancel(b), Some("b"));
+        assert_eq!(wheel.cancel(b), None, "second cancel is a no-op");
+        assert_eq!(wheel.len(), 1);
+        assert_eq!(wheel.pop(), Some((SimTime::from_millis(1), "a")));
+        assert_eq!(wheel.cancel(a), None, "fired handles are stale");
+        assert_eq!(wheel.pop(), None);
+        // The slab index is reused with a fresh generation: the old token
+        // must not cancel the new entry.
+        let c = wheel.schedule(SimTime::from_millis(3), "c");
+        let stale = TimerHandle::from_token(a.token());
+        assert_eq!(wheel.cancel(stale), None);
+        assert_eq!(wheel.cancel(TimerHandle::from_token(c.token())), Some("c"));
+    }
+
+    #[test]
+    fn schedule_into_the_past_pops_first() {
+        let mut wheel = TimingWheel::new();
+        wheel.schedule(SimTime::from_millis(10), "t10");
+        wheel.schedule(SimTime::from_millis(12), "t12");
+        assert_eq!(wheel.pop().unwrap().1, "t10");
+        // The cursor sits at ~t10; a straggler lands before t12.
+        wheel.schedule(SimTime::from_millis(4), "t4");
+        assert_eq!(wheel.pop().unwrap().1, "t4");
+        assert_eq!(wheel.pop().unwrap().1, "t12");
+    }
+
+    #[test]
+    fn pop_until_and_peek_respect_the_horizon() {
+        let mut wheel = TimingWheel::new();
+        wheel.schedule(SimTime::from_millis(10), 1);
+        wheel.schedule(SimTime::from_secs(50), 2);
+        assert_eq!(wheel.peek_time(), Some(SimTime::from_millis(10)));
+        assert_eq!(
+            wheel.pop_until(SimTime::from_millis(20)),
+            Some((SimTime::from_millis(10), 1))
+        );
+        assert_eq!(wheel.pop_until(SimTime::from_millis(20)), None);
+        assert_eq!(wheel.len(), 1);
+        assert_eq!(wheel.peek_time(), Some(SimTime::from_secs(50)));
+    }
+
+    #[test]
+    fn clear_keeps_accounting() {
+        let mut wheel: TimingWheel<u8> = TimingWheel::new();
+        assert!(wheel.is_empty());
+        wheel.schedule(SimTime::from_millis(1), 7);
+        assert_eq!(wheel.scheduled_total(), 1);
+        assert!(!wheel.is_empty());
+        wheel.clear();
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.pop(), None);
+        assert_eq!(wheel.scheduled_total(), 1);
+    }
+
+    #[test]
+    fn granularity_rounds_to_power_of_two() {
+        let wheel: TimingWheel<u8> = TimingWheel::with_granularity(SimDuration::from_nanos(1000));
+        assert_eq!(wheel.granularity().as_nanos(), 1024);
+        let coarse: TimingWheel<u8> = TimingWheel::with_granularity(SimDuration::from_millis(100));
+        assert_eq!(coarse.granularity().as_nanos(), 1 << 20);
+    }
+
+    #[test]
+    fn mass_schedule_cancel_churn_stays_consistent() {
+        let mut wheel = TimingWheel::new();
+        let mut handles = Vec::new();
+        for round in 0..50u64 {
+            for i in 0..100u64 {
+                let at = SimTime::from_nanos(round * 1_000_000 + i * 13_001);
+                handles.push(wheel.schedule(at, (round, i)));
+            }
+            // Cancel every other timer from this round.
+            for chunk in handles.chunks(2) {
+                wheel.cancel(chunk[0]);
+            }
+            handles.clear();
+            // Drain a few.
+            for _ in 0..20 {
+                wheel.pop();
+            }
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((at, _)) = wheel.pop() {
+            assert!(at >= last);
+            last = at;
+        }
+        assert!(wheel.is_empty());
+    }
+}

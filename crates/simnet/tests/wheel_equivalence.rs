@@ -1,0 +1,153 @@
+//! Property tests pinning the timing wheel against the binary-heap queue.
+//!
+//! The wheel replaces the heap under the engine's event loop, so the two
+//! must be observationally identical: the same pop order — including FIFO
+//! order for events scheduled at the same instant — the same
+//! `scheduled_total` accounting, and the same surviving set under random
+//! cancellation. These properties are what lets the engine swap scheduler
+//! backends without changing a single fleet digest
+//! (`tests/fleet_determinism.rs` pins that end-to-end).
+
+use proptest::prelude::*;
+
+use mop_simnet::scheduler::{SchedulerKind, TimerScheduler};
+use mop_simnet::{EventQueue, SimDuration, SimTime, TimingWheel};
+
+/// One scripted operation against a scheduler.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Schedule an event at the given nanosecond offset.
+    Schedule(u64),
+    /// Pop the earliest pending event.
+    Pop,
+    /// Cancel the k-th oldest still-live handle (modulo the live count).
+    Cancel(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u64..50_000_000).prop_map(Op::Schedule),
+        2 => Just(Op::Pop),
+        2 => (0usize..64).prop_map(Op::Cancel),
+    ]
+}
+
+/// Runs a script against a `TimerScheduler`, returning the popped sequence.
+fn run_script(kind: SchedulerKind, granularity_ns: u64, ops: &[Op]) -> (Vec<(u64, u64)>, u64) {
+    let mut sched = TimerScheduler::new(kind, SimDuration::from_nanos(granularity_ns));
+    let mut handles = Vec::new();
+    let mut popped = Vec::new();
+    let mut id = 0u64;
+    for op in ops {
+        match *op {
+            Op::Schedule(at) => {
+                handles.push(sched.schedule(SimTime::from_nanos(at), id));
+                id += 1;
+            }
+            Op::Pop => {
+                if let Some((at, event)) = sched.pop() {
+                    popped.push((at.as_nanos(), event));
+                }
+            }
+            Op::Cancel(k) => {
+                if !handles.is_empty() {
+                    let handle = handles.remove(k % handles.len());
+                    // Cancelling an already-fired handle is a no-op; both
+                    // backends must agree on that too.
+                    let _ = sched.cancel(handle);
+                }
+            }
+        }
+    }
+    while let Some((at, event)) = sched.pop() {
+        popped.push((at.as_nanos(), event));
+    }
+    (popped, sched.scheduled_total())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wheel_and_heap_pop_identically_on_random_schedules_and_cancels(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+        granularity_ns in prop_oneof![Just(1u64), Just(1024u64), Just(65_536u64), Just(1_048_576u64)],
+    ) {
+        let (wheel_popped, wheel_total) = run_script(SchedulerKind::Wheel, granularity_ns, &ops);
+        let (heap_popped, heap_total) = run_script(SchedulerKind::Heap, granularity_ns, &ops);
+        prop_assert_eq!(&wheel_popped, &heap_popped,
+            "pop sequences diverged at granularity {}", granularity_ns);
+        prop_assert_eq!(wheel_total, heap_total, "scheduled_total diverged");
+    }
+
+    #[test]
+    fn wheel_matches_the_bare_heap_queue_without_cancellation(
+        times in proptest::collection::vec(0u64..10_000_000, 1..300),
+    ) {
+        // The raw EventQueue (no cancellation wrapper) is the historical
+        // reference: identical (time, FIFO) pop order is the contract the
+        // engine's digests rest on.
+        let mut wheel = TimingWheel::new();
+        let mut heap = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            wheel.schedule(SimTime::from_nanos(t), i);
+            heap.schedule(SimTime::from_nanos(t), i);
+        }
+        prop_assert_eq!(wheel.len(), heap.len());
+        prop_assert_eq!(wheel.scheduled_total(), heap.scheduled_total());
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn same_instant_events_pop_fifo_at_every_granularity(
+        instant in 0u64..1_000_000_000,
+        count in 2usize..100,
+        granularity_ns in prop_oneof![Just(1u64), Just(4096u64), Just(1_048_576u64)],
+    ) {
+        let mut wheel = TimingWheel::with_granularity(SimDuration::from_nanos(granularity_ns));
+        let at = SimTime::from_nanos(instant);
+        for i in 0..count {
+            wheel.schedule(at, i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| wheel.pop()).map(|(_, e)| e).collect();
+        prop_assert_eq!(order, (0..count).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_pop_and_schedule_agree_with_the_heap(
+        seed_times in proptest::collection::vec(0u64..5_000_000, 2..100),
+        follow_times in proptest::collection::vec(0u64..10_000_000, 1..100),
+    ) {
+        // Schedules issued *while draining* (including into the past, which
+        // the engine's zero-delay handoffs can produce) must keep the exact
+        // heap order: late events join the due buffer at their (time, seq)
+        // position.
+        let mut wheel = TimingWheel::new();
+        let mut heap = EventQueue::new();
+        let mut id = 0u64;
+        for &t in &seed_times {
+            wheel.schedule(SimTime::from_nanos(t), id);
+            heap.schedule(SimTime::from_nanos(t), id);
+            id += 1;
+        }
+        let mut follow = follow_times.iter();
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+            if let Some(&t) = follow.next() {
+                wheel.schedule(SimTime::from_nanos(t), id);
+                heap.schedule(SimTime::from_nanos(t), id);
+                id += 1;
+            }
+        }
+    }
+}

@@ -15,6 +15,7 @@ use mop_packet::FourTuple;
 
 use crate::machine::TcpStateMachine;
 use crate::state::TcpState;
+use crate::timer::ConnTimers;
 
 /// Identifier of the external socket a client relays into. This mirrors
 /// `mop_simnet::SocketId` without introducing a dependency on the simulator,
@@ -35,6 +36,9 @@ pub struct TcpClient {
     pub connect_started_ns: Option<u64>,
     /// Nanosecond timestamp just after `connect()` returned.
     pub connect_finished_ns: Option<u64>,
+    /// The connection's armed timers (idle timeout today), stored as opaque
+    /// cancellable tokens of the engine's scheduler.
+    pub timers: ConnTimers,
 }
 
 impl TcpClient {
@@ -48,6 +52,7 @@ impl TcpClient {
             app_package: None,
             connect_started_ns: None,
             connect_finished_ns: None,
+            timers: ConnTimers::new(),
         }
     }
 

@@ -13,15 +13,19 @@
 //!   response packets plus relay actions,
 //! * [`client`] — [`client::TcpClient`] and [`client::ClientRegistry`], the
 //!   two-way splice between a state machine and its external socket,
+//! * [`timer`] — [`timer::ConnTimers`], the cancellable per-connection
+//!   timer tokens the engine's scheduler arms and disarms,
 //! * [`udp`] — UDP associations and the DNS transaction tracking used for
 //!   DNS RTT measurement.
 
 pub mod client;
 pub mod machine;
 pub mod state;
+pub mod timer;
 pub mod udp;
 
 pub use client::{ClientRegistry, TcpClient};
 pub use machine::{RelayAction, SegmentRef, SegmentVerdict, TcpStateMachine};
 pub use state::TcpState;
+pub use timer::{ConnTimers, TimerToken};
 pub use udp::{DnsTransaction, UdpAssociation, UdpRegistry};

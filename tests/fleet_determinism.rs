@@ -9,12 +9,20 @@
 
 use mopeye::dataset::{NetProfile, Scenario, TrafficMix};
 use mopeye::engine::{FleetConfig, FleetEngine, FleetReport};
-use mopeye::simnet::SimDuration;
+use mopeye::simnet::{SchedulerKind, SimDuration};
 
 fn run(scenario: &Scenario, shards: usize, seed: u64) -> FleetReport {
     let fleet = FleetEngine::new(FleetConfig::new(shards).with_seed(seed), scenario.network());
     fleet.run(scenario.generate())
 }
+
+/// The rush-hour digest recorded on the pre-refactor engine (global
+/// `BinaryHeap` event queue, monolithic event loop) for
+/// `Scenario::rush_hour(300, 20_170_712)` at fleet seed 77. The timing-wheel
+/// scheduler and the staged pipeline must reproduce it bit for bit — this
+/// constant is the cross-PR anchor that says the refactor changed *nothing*
+/// about what the relay computes.
+const PRE_REFACTOR_RUSH_HOUR_DIGEST: u64 = 0x9e91_0e37_fc9c_0e02;
 
 #[test]
 fn same_seed_same_scenario_identical_report_at_1_2_8_shards() {
@@ -25,6 +33,14 @@ fn same_seed_same_scenario_identical_report_at_1_2_8_shards() {
     // The digest is the one-line check...
     assert_eq!(reports[0].digest(), reports[1].digest(), "1 vs 2 shards");
     assert_eq!(reports[1].digest(), reports[2].digest(), "2 vs 8 shards");
+    // ...anchored to the digest the pre-refactor heap loop produced, so the
+    // timing-wheel scheduler and the stage split are provably behaviourally
+    // silent.
+    assert_eq!(
+        reports[0].digest(),
+        PRE_REFACTOR_RUSH_HOUR_DIGEST,
+        "the staged wheel engine diverged from the pre-refactor heap loop"
+    );
 
     // ...but also compare the underlying semantic content directly, so a
     // digest bug cannot mask a real divergence.
@@ -91,4 +107,57 @@ fn repeated_runs_are_bit_identical() {
     let b = run(&scenario, 4, 3);
     assert_eq!(a.digest(), b.digest());
     assert_eq!(a.merged.samples, b.merged.samples);
+}
+
+#[test]
+fn wheel_and_heap_schedulers_produce_identical_fleet_digests() {
+    // The scheduler backend is a pure implementation detail: swapping the
+    // timing wheel for the reference heap must not move a single bit of the
+    // merged report, at any shard count.
+    let scenario = Scenario::rush_hour(150, 9);
+    let flows = scenario.generate();
+    for shards in [1usize, 4] {
+        let wheel = FleetEngine::new(
+            FleetConfig::new(shards).with_seed(5).with_scheduler(SchedulerKind::Wheel),
+            scenario.network(),
+        )
+        .run(flows.clone());
+        let heap = FleetEngine::new(
+            FleetConfig::new(shards).with_seed(5).with_scheduler(SchedulerKind::Heap),
+            scenario.network(),
+        )
+        .run(flows.clone());
+        assert_eq!(wheel.digest(), heap.digest(), "wheel vs heap at {shards} shards");
+        assert_eq!(wheel.merged.samples, heap.merged.samples);
+        assert_eq!(wheel.merged.events_processed, heap.merged.events_processed);
+    }
+}
+
+#[test]
+fn flash_crowd_with_idle_timers_is_shard_count_invariant() {
+    // The churn scenario arms and cancels a timer per relayed segment
+    // (flow-keyed, so each timer's lifetime is a pure function of its flow).
+    // The merged report must stay identical at any shard count even with
+    // the timer machinery fully engaged.
+    let scenario = Scenario::flash_crowd(120, 31);
+    let flows = scenario.generate();
+    let mut digests = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let fleet = FleetEngine::new(
+            FleetConfig::new(shards)
+                .with_seed(13)
+                .with_idle_timeout(SimDuration::from_secs(30)),
+            scenario.network(),
+        );
+        let report = fleet.run(flows.clone());
+        // Timers were really armed: more events scheduled than processed
+        // (every cancelled timer is scheduled but never fires).
+        assert!(
+            report.merged.events_scheduled > report.merged.events_processed,
+            "timers not engaged at {shards} shards"
+        );
+        digests.push((report.digest(), report.merged.relay.clone(), report.merged.finished_at));
+    }
+    assert_eq!(digests[0], digests[1], "1 vs 2 shards");
+    assert_eq!(digests[1], digests[2], "2 vs 8 shards");
 }
