@@ -1,0 +1,53 @@
+//! Batch-size sweep: per-packet cost of the vectored datapath as the stage
+//! burst length grows.
+//!
+//! One fixed rush-hour flow set (fixed offered load) is relayed through a
+//! single-shard fleet at batch sizes 1 → 256; the stderr summary divides
+//! each run's wall time by its TUN packet count, so the per-packet time is
+//! directly comparable across batch sizes. The acceptance shape is
+//! *near-flat*: batching amortises event-loop dispatch and slab handling, so
+//! per-packet cost must not grow with the batch size (and should dip from 1
+//! to the default 32). Determinism across these sizes is pinned separately
+//! by `tests/fleet_determinism.rs`; this bench is only about the cost curve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mop_dataset::Scenario;
+use mopeye_core::{FleetConfig, FleetEngine};
+
+fn bench_batch_sweep(c: &mut Criterion) {
+    let scenario = Scenario::rush_hour(200, 2017);
+    let flows = scenario.generate();
+
+    let mut group = c.benchmark_group("batch_sweep");
+    group.sample_size(10);
+    for batch in [1usize, 8, 32, 64, 128, 256] {
+        group.bench_function(&format!("rush_hour_200users_batch{batch}"), |b| {
+            b.iter(|| {
+                FleetEngine::new(
+                    FleetConfig::new(1).with_batch_size(batch),
+                    scenario.network(),
+                )
+                .run(flows.clone())
+            })
+        });
+    }
+    group.finish();
+
+    // A one-line stderr summary per batch size for eyeballing flatness
+    // without parsing criterion output (BENCH_pr6.json records these).
+    for batch in [1usize, 8, 32, 64, 128, 256] {
+        let fleet =
+            FleetEngine::new(FleetConfig::new(1).with_batch_size(batch), scenario.network());
+        let started = std::time::Instant::now();
+        let report = fleet.run(flows.clone());
+        let wall = started.elapsed();
+        eprintln!(
+            "batch_sweep: batch {batch:>3}: {:>6.1} ns/packet, digest {:016x}",
+            wall.as_nanos() as f64 / report.merged.tun.packets_from_apps.max(1) as f64,
+            report.digest(),
+        );
+    }
+}
+
+criterion_group!(benches, bench_batch_sweep);
+criterion_main!(benches);

@@ -41,12 +41,25 @@ fn bench_fleet(c: &mut Criterion) {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(13_000);
+    // FLEET_BENCH_BATCH pins the stage batch size (default: the engine's
+    // default). Batch 1 reproduces the pre-vectoring datapath — the
+    // before/after rows of BENCH_pr6.json come from this knob.
+    let batch: Option<usize> = std::env::var("FLEET_BENCH_BATCH").ok().and_then(|v| v.parse().ok());
     let scenario = Scenario::rush_hour(users, 2017);
     let flows = scenario.generate();
-    eprintln!("fleet: rush-hour sweep, {} users, {} connections", users, flows.len());
+    eprintln!(
+        "fleet: rush-hour sweep, {} users, {} connections, batch {}",
+        users,
+        flows.len(),
+        batch.map_or("default".into(), |b| b.to_string())
+    );
     let mut results = Vec::new();
     for shards in [1usize, 2, 4, 8] {
-        let fleet = FleetEngine::new(FleetConfig::new(shards).saturating(), scenario.network());
+        let mut config = FleetConfig::new(shards).saturating();
+        if let Some(batch) = batch {
+            config = config.with_batch_size(batch);
+        }
+        let fleet = FleetEngine::new(config, scenario.network());
         let started = std::time::Instant::now();
         let report = fleet.run(flows.clone());
         let wall = started.elapsed().as_secs_f64();

@@ -151,10 +151,23 @@ pub struct MopEyeConfig {
     /// schedule/cancel churn the timing wheel absorbs at O(1), and the home
     /// future retransmission/keepalive timers will share.
     pub idle_timeout: Option<SimDuration>,
+    /// Upper bound on how many same-timestamp TUN packets the event loop
+    /// coalesces into one slab batch, and the burst length over which the
+    /// saturating MainWorker amortises its per-packet cost. Batch boundaries
+    /// never reorder events (only *consecutive equal-timestamp* batches are
+    /// merged), so under [`WorkerModel::Unbounded`] every batch size produces
+    /// bit-identical results; under [`WorkerModel::Saturating`] a size of 1
+    /// reproduces the unbatched engine exactly.
+    pub batch_size: usize,
 }
 
 /// The default event-count safety valve (single-device scale).
 pub const DEFAULT_MAX_EVENTS: u64 = 5_000_000;
+
+/// The default TUN batch size. Swept in `benches/batch_sweep.rs`: per-packet
+/// cost is essentially flat from 16 up, so 32 leaves headroom without
+/// inflating slab residency.
+pub const DEFAULT_BATCH_SIZE: usize = 32;
 
 impl Default for MopEyeConfig {
     fn default() -> Self {
@@ -185,6 +198,7 @@ impl MopEyeConfig {
             scheduler: SchedulerKind::Wheel,
             wheel_granularity: DEFAULT_GRANULARITY,
             idle_timeout: None,
+            batch_size: DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -208,6 +222,7 @@ impl MopEyeConfig {
             scheduler: SchedulerKind::Wheel,
             wheel_granularity: DEFAULT_GRANULARITY,
             idle_timeout: None,
+            batch_size: DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -231,6 +246,7 @@ impl MopEyeConfig {
             scheduler: SchedulerKind::Wheel,
             wheel_granularity: DEFAULT_GRANULARITY,
             idle_timeout: None,
+            batch_size: DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -313,6 +329,13 @@ impl MopEyeConfig {
     /// [`MopEyeConfig::idle_timeout`]).
     pub fn with_idle_timeout(mut self, timeout: Option<SimDuration>) -> Self {
         self.idle_timeout = timeout;
+        self
+    }
+
+    /// Sets the TUN batch size (see [`MopEyeConfig::batch_size`]). Clamped to
+    /// at least 1.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
         self
     }
 

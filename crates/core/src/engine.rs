@@ -26,12 +26,14 @@
 //! tunnel-write delay distributions and the resource ledger — everything the
 //! paper's evaluation sections need.
 
-use mop_packet::{FourTuple, Packet, PacketView};
-use mop_simnet::{SimNetwork, SimTime, TimerScheduler};
+use mop_packet::{FourTuple, Packet};
+use mop_simnet::{SimNetwork, SimTime, SlabBatch, TimerScheduler};
 use mop_tun::{FlowSpec, ReaderSim, Workload};
 
 use crate::config::MopEyeConfig;
-use crate::stages::{EgressStage, EngineShared, IngressStage, RelayStage, SinkStage, Stage};
+use crate::stages::{
+    EgressStage, EngineShared, IngressStage, RelayStage, SinkStage, Stage, StageBatch, StageLinks,
+};
 use crate::tun_writer::TunWriter;
 
 pub use crate::report::RunReport;
@@ -41,12 +43,14 @@ pub use crate::report::RunReport;
 pub(crate) enum Event {
     /// An app opens a flow described by the spec. (→ ingress)
     FlowStart(FlowSpec),
-    /// The MainWorker processes raw packet bytes retrieved from the tunnel.
-    /// (→ ingress parse, then relay)
+    /// The MainWorker processes a slab batch of raw packet bytes retrieved
+    /// from the tunnel. (→ ingress parse, then relay)
     ///
-    /// The buffer comes from (and returns to) the ingress stage's buffer
-    /// pool; the relay parses it in place with the zero-copy views.
-    ProcessTunPacket(Vec<u8>),
+    /// The slab comes from (and returns to) the ingress stage's batch pool;
+    /// the relay parses each packet in place with the zero-copy views. The
+    /// engine loop coalesces consecutive same-instant slabs into one burst
+    /// before dispatching.
+    ProcessTunBatch(SlabBatch),
     /// The external connect for `flow` has completed (successfully or not).
     /// (→ relay)
     ExternalConnected(FourTuple),
@@ -83,7 +87,7 @@ pub struct MopEyeEngine {
 impl MopEyeEngine {
     /// Creates an engine over `net` with the given configuration.
     pub fn new(config: MopEyeConfig, net: SimNetwork) -> Self {
-        let ingress = IngressStage::new(ReaderSim::new(config.read_strategy));
+        let ingress = IngressStage::new(ReaderSim::new(config.read_strategy), config.batch_size);
         let relay = RelayStage::new(config.mapping, config.protect);
         let egress = EgressStage::new(TunWriter::new(config.write_scheme, config.enqueue_scheme));
         let sched = TimerScheduler::new(config.scheduler, config.wheel_granularity);
@@ -132,20 +136,61 @@ impl MopEyeEngine {
 
     /// Runs an explicit list of flows to completion and reports.
     ///
-    /// The loop drains the scheduler in timestamp batches: pops are
-    /// nondecreasing in time with FIFO order at equal instants, so every
-    /// event due at one instant is dispatched consecutively and the
-    /// (monotone) clock advance is a no-op within a batch.
+    /// The loop drains the scheduler in timestamp-batched bursts: pops are
+    /// nondecreasing in time with FIFO order at equal instants, so
+    /// *consecutive* TUN slabs due at the same instant can be absorbed into
+    /// one burst (up to `config.batch_size` packets) and dispatched as a
+    /// single stage batch. Coalescing is restricted to equal timestamps
+    /// because processing an event at `t1` may schedule new work strictly
+    /// between `t1` and the next queued event — merging across distinct
+    /// instants would reorder that work. At equal instants the merge is
+    /// exactly order-preserving: anything the first slab's processing
+    /// schedules for the same instant gets a later FIFO sequence number than
+    /// the already-queued follower, so the follower would have popped first
+    /// anyway.
     pub fn run_flows(&mut self, flows: Vec<FlowSpec>) -> RunReport {
         self.reserve_flows(flows.len());
         for spec in flows {
             self.relay.packages.install(spec.uid, &spec.package);
             self.sched.schedule(spec.at, Event::FlowStart(spec));
         }
-        while let Some((at, event)) = self.sched.pop() {
-            self.shared.clock.advance_to(at);
-            if !self.dispatch(at, event) {
-                break;
+        let batch_cap = self.shared.config.batch_size.max(1);
+        let mut stash: Option<(SimTime, Event)> = None;
+        while let Some((at, event)) = stash.take().or_else(|| self.sched.pop()) {
+            match event {
+                Event::ProcessTunBatch(mut slab) => {
+                    // Absorb consecutive same-instant slabs into this burst.
+                    // Only same-instant followers may be popped at all:
+                    // pulling a *later* event out here would jump it ahead of
+                    // any earlier work the burst schedules while processing.
+                    while slab.len() < batch_cap && self.sched.peek_time() == Some(at) {
+                        match self.sched.pop() {
+                            Some((_, Event::ProcessTunBatch(mut follower))) => {
+                                slab.absorb(&mut follower);
+                                self.ingress.recycle_batch(follower);
+                            }
+                            // A same-instant non-batch event: it was queued
+                            // before anything the burst can schedule at this
+                            // instant, so running it right after the burst
+                            // preserves FIFO order exactly.
+                            Some(other) => {
+                                stash = Some(other);
+                                break;
+                            }
+                            None => break,
+                        }
+                    }
+                    self.shared.clock.advance_to(at);
+                    if !self.process_tun_batch(slab) {
+                        break;
+                    }
+                }
+                event => {
+                    self.shared.clock.advance_to(at);
+                    if !self.dispatch(at, event) {
+                        break;
+                    }
+                }
             }
         }
         self.report()
@@ -185,8 +230,8 @@ impl MopEyeEngine {
                 now,
                 spec,
             ),
-            Event::ProcessTunPacket(buf) => {
-                self.on_tun_packet(now, buf);
+            Event::ProcessTunBatch(_) => {
+                unreachable!("TUN batches are coalesced and dispatched by the run_flows loop")
             }
             Event::ExternalConnected(flow) => self.relay.on_external_connected(
                 shared,
@@ -222,29 +267,33 @@ impl MopEyeEngine {
         }
     }
 
-    /// The ingress → relay handoff for one retrieved tunnel buffer: parse it
-    /// zero-copy, charge the MainWorker's parse cost (which occupies the
-    /// worker under the saturating model), let the relay decide, and recycle
-    /// the buffer.
-    fn on_tun_packet(&mut self, now: SimTime, buf: Vec<u8>) {
-        match PacketView::parse(&buf) {
-            Ok(packet) => {
-                let flow_key = packet.four_tuple();
-                let parse_cost = IngressStage::parse_cost(&mut self.shared, flow_key);
-                self.shared.ledger.charge("MainWorker", parse_cost);
-                let start = self.shared.worker_start(now, parse_cost);
-                self.relay.on_packet(
-                    &mut self.shared,
-                    &mut self.egress,
-                    &mut self.sink,
-                    &mut self.sched,
-                    start,
-                    &packet,
-                );
-            }
-            Err(_) => self.relay.stats.parse_errors += 1,
+    /// The ingress → relay handoff for one coalesced tunnel burst: budget
+    /// the event count (each packet in the slab was one scheduled event),
+    /// hand the slab to the ingress stage's batch path, and recycle it.
+    /// Returns false when the event budget is exhausted.
+    fn process_tun_batch(&mut self, mut slab: SlabBatch) -> bool {
+        // Reproduce the item-wise budget semantics exactly: events count one
+        // by one, and the event that crosses the budget is counted but not
+        // processed.
+        let packets = slab.len() as u64;
+        let remaining = self.shared.config.max_events.saturating_sub(self.events_processed);
+        let over_budget = packets > remaining;
+        let process = packets.min(remaining);
+        self.events_processed += process + u64::from(over_budget);
+        slab.truncate(process as usize);
+        let mut batch = StageBatch::Tun(slab);
+        let mut links = StageLinks {
+            shared: &mut self.shared,
+            sched: &mut self.sched,
+            relay: Some(&mut self.relay),
+            egress: Some(&mut self.egress),
+            sink: Some(&mut self.sink),
+        };
+        self.ingress.process_batch(&mut links, &mut batch);
+        if let StageBatch::Tun(slab) = batch {
+            self.ingress.recycle_batch(slab);
         }
-        self.ingress.recycle(buf);
+        !over_budget
     }
 
     fn report(&mut self) -> RunReport {
@@ -257,7 +306,7 @@ impl MopEyeEngine {
             write_delays: self.egress.writer.stats().clone(),
             tun: self.shared.tun.stats(),
             ledger: self.shared.ledger.clone(),
-            buffer_pool: self.ingress.pool.stats(),
+            buffer_pool: self.ingress.batches.stats(),
             socket_read_pool: self.relay.sockets.read_pool_stats(),
             finished_at: self.shared.clock.now(),
             events_processed: self.events_processed,

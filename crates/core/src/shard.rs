@@ -15,9 +15,17 @@
 //! ```
 //!
 //! The dispatcher feeds each shard through a bounded
-//! [`mop_simnet::spsc`] queue (back-pressure instead of unbounded buffering),
-//! and each shard hands its results to the measurement sink the same way.
-//! In steady state nothing on the path allocates: the queues are
+//! [`mop_simnet::spsc`] queue whose slots carry *batch descriptors* —
+//! `Vec<FlowSpec>` bursts of up to the engine's batch size — under
+//! credit-based backpressure: the dispatcher takes one credit per in-flight
+//! batch from the shard's [`mop_simnet::CreditGate`] and the worker returns
+//! it when the batch is accepted, so a slow shard throttles the dispatcher
+//! instead of ballooning queues. Each shard hands its results to the
+//! measurement sink the same way. Stall counts from both mechanisms surface
+//! in the merged report (`TunStats::dispatch_stalls`,
+//! `RelayStats::sink_stalls`). With [`FleetConfig::with_pinning`] each
+//! worker additionally pins itself to a core (best-effort, wall-clock only).
+//! In steady state nothing on the path allocates per packet: the queues are
 //! pre-allocated rings and each shard's packet loop runs on its own pools.
 //!
 //! # Determinism
@@ -36,7 +44,9 @@
 //! virtual time on N shards. The fleet benchmark measures exactly that
 //! (aggregate relay goodput at 1/2/4/8 shards).
 
-use mop_simnet::{spsc_channel, SimNetworkBuilder, SimTime};
+use std::sync::Arc;
+
+use mop_simnet::{affinity, spsc_channel, CreditGate, SimNetworkBuilder, SimTime};
 use mop_tun::FlowSpec;
 use mop_packet::{FourTuple, StableHasher};
 
@@ -56,6 +66,17 @@ pub struct FleetConfig {
     /// Slot count of each shard's ingress queue; the dispatcher blocks (and
     /// yields) when a shard falls this far behind.
     pub ingress_capacity: usize,
+    /// Credits per shard: how many flow batches may be in flight towards a
+    /// shard before the dispatcher blocks waiting for the worker to accept
+    /// one. Clamped to at least 1. Purely a wall-clock pacing knob — virtual
+    /// time and digests are unaffected.
+    pub credit_depth: usize,
+    /// Pin each shard worker to a core (`shard % available_cores`),
+    /// best-effort: where the platform facade cannot pin
+    /// ([`mop_simnet::affinity`]), the worker runs unpinned and reports
+    /// `None` in [`ShardOutcome::pinned_core`]. Wall-clock only; never
+    /// affects results.
+    pub pin_shards: bool,
 }
 
 impl FleetConfig {
@@ -66,6 +87,8 @@ impl FleetConfig {
             shards: shards.max(1),
             engine: MopEyeConfig::fleet_shard().with_max_events(u64::MAX),
             ingress_capacity: 4096,
+            credit_depth: 4,
+            pin_shards: false,
         }
     }
 
@@ -94,6 +117,27 @@ impl FleetConfig {
         self.engine = self.engine.with_idle_timeout(Some(timeout));
         self
     }
+
+    /// Sets the per-shard engine batch size (burst length of the stage
+    /// pipeline and of the dispatcher's flow batches). See
+    /// [`MopEyeConfig::batch_size`].
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.engine = self.engine.with_batch_size(batch_size);
+        self
+    }
+
+    /// Sets the credit depth of each shard's ingress gate (in-flight flow
+    /// batches before the dispatcher blocks). Clamped to at least 1.
+    pub fn with_credits(mut self, depth: usize) -> Self {
+        self.credit_depth = depth.max(1);
+        self
+    }
+
+    /// Enables (or disables) best-effort core pinning of the shard workers.
+    pub fn with_pinning(mut self, pin: bool) -> Self {
+        self.pin_shards = pin;
+        self
+    }
 }
 
 /// What one shard did during a fleet run.
@@ -109,6 +153,9 @@ pub struct ShardOutcome {
     pub finished_at: SimTime,
     /// RTT samples the shard produced.
     pub samples: usize,
+    /// The core the worker pinned itself to, when [`FleetConfig::pin_shards`]
+    /// was set and the platform supported it.
+    pub pinned_core: Option<usize>,
 }
 
 /// The merged result of a fleet run plus the per-shard breakdown.
@@ -190,53 +237,90 @@ impl FleetEngine {
             flows_assigned[shard] += 1;
         }
 
-        let mut shard_reports: Vec<(usize, RunReport)> = Vec::with_capacity(shards);
+        let batch = self.config.engine.batch_size.max(1);
+        let mut shard_reports: Vec<(usize, RunReport, Option<usize>)> = Vec::with_capacity(shards);
+        let mut dispatch_stalls = 0u64;
         std::thread::scope(|scope| {
             let mut ingress = Vec::with_capacity(shards);
+            let mut gates: Vec<Arc<CreditGate>> = Vec::with_capacity(shards);
             let mut sinks = Vec::with_capacity(shards);
-            for &expected in flows_assigned.iter().take(shards) {
-                let (flow_tx, flow_rx) = spsc_channel::<FlowSpec>(self.config.ingress_capacity);
-                let (report_tx, report_rx) = spsc_channel::<RunReport>(1);
+            for (shard, &expected) in flows_assigned.iter().take(shards).enumerate() {
+                let (flow_tx, flow_rx) =
+                    spsc_channel::<Vec<FlowSpec>>(self.config.ingress_capacity);
+                let (report_tx, report_rx) = spsc_channel::<(RunReport, Option<usize>)>(1);
+                let gate = Arc::new(CreditGate::new(self.config.credit_depth.max(1) as u64));
+                let worker_gate = Arc::clone(&gate);
                 let engine_config = self.config.engine.clone();
                 let builder = self.net_builder.clone();
+                let pin = self.config.pin_shards;
                 scope.spawn(move || {
+                    let pinned_core = pin
+                        .then(|| {
+                            let core = shard % affinity::available_cores();
+                            affinity::pin_current_thread_to_core(core).then_some(core)
+                        })
+                        .flatten();
                     let net = builder.flow_keyed().build();
                     let mut engine = MopEyeEngine::new(engine_config, net);
                     let mut shard_flows = Vec::with_capacity(expected);
-                    while let Some(spec) = flow_rx.recv() {
-                        shard_flows.push(spec);
+                    while let Some(burst) = flow_rx.recv() {
+                        shard_flows.extend(burst);
+                        worker_gate.release(); // Burst accepted: return its credit.
                     }
                     let report = engine.run_flows(shard_flows);
-                    let _ = report_tx.send(report);
+                    let _ = report_tx.send((report, pinned_core));
                 });
                 ingress.push(flow_tx);
+                gates.push(gate);
                 sinks.push(report_rx);
             }
-            // The TUN ingress: push every connection to its shard through
-            // the bounded queue (back-pressure when a shard lags).
+            // The TUN ingress: group each shard's connections into
+            // batch-sized bursts and push them through the bounded queue
+            // under credit — a lagging shard throttles the dispatcher here.
+            let mut pending: Vec<Vec<FlowSpec>> =
+                (0..shards).map(|_| Vec::with_capacity(batch)).collect();
             for (spec, shard) in flows.into_iter().zip(assignment) {
-                ingress[shard].send(spec).expect("shard worker hung up");
+                pending[shard].push(spec);
+                if pending[shard].len() == batch {
+                    let full = std::mem::replace(&mut pending[shard], Vec::with_capacity(batch));
+                    gates[shard].acquire();
+                    ingress[shard].send(full).expect("shard worker hung up");
+                }
             }
+            for (shard, tail) in pending.into_iter().enumerate() {
+                if !tail.is_empty() {
+                    gates[shard].acquire();
+                    ingress[shard].send(tail).expect("shard worker hung up");
+                }
+            }
+            dispatch_stalls = gates.iter().map(|g| g.stalls()).sum::<u64>()
+                + ingress.iter().map(|tx| tx.stalls()).sum::<u64>();
             drop(ingress); // Close the queues; workers drain and run.
             for (shard, sink) in sinks.into_iter().enumerate() {
-                let report = sink.recv().expect("shard delivers exactly one report");
-                shard_reports.push((shard, report));
+                let (mut report, pinned_core) =
+                    sink.recv().expect("shard delivers exactly one report");
+                report.relay.sink_stalls += sink.stalls();
+                shard_reports.push((shard, report, pinned_core));
             }
         });
 
         let mut merged = RunReport::empty();
         let mut per_shard = Vec::with_capacity(shards);
-        for (shard, report) in shard_reports {
+        for (shard, report, pinned_core) in shard_reports {
             per_shard.push(ShardOutcome {
                 shard,
                 flows_assigned: flows_assigned[shard],
                 events_processed: report.events_processed,
                 finished_at: report.finished_at,
                 samples: report.samples.len(),
+                pinned_core,
             });
             merged.absorb(report);
         }
         merged.canonicalise();
+        // Dispatcher-side stalls belong to the fleet's TUN ingress, not to
+        // any one shard; fold them in after the merge.
+        merged.tun.dispatch_stalls += dispatch_stalls;
         FleetReport { shards, merged, per_shard }
     }
 }
@@ -470,7 +554,9 @@ mod tests {
     fn saturating_worker_stretches_a_single_shard() {
         // A burst far above one worker's capacity: with one shard the
         // backlog stretches the finish time well past the eight-shard run.
-        let flows = fleet_flows(600);
+        // (Burst amortisation raised per-worker capacity ~4x, hence the
+        // load well above the old 600-flow saturation point.)
+        let flows = fleet_flows(3000);
         let one = FleetEngine::new(FleetConfig::new(1).saturating(), builder()).run(flows.clone());
         let eight = FleetEngine::new(FleetConfig::new(8).saturating(), builder()).run(flows);
         assert!(

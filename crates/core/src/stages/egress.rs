@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use mop_packet::{FourTuple, Packet};
 use mop_simnet::{SimTime, TimerScheduler};
 
-use super::{EngineShared, Stage};
+use super::{EngineShared, Stage, StageBatch, StageLinks};
 use crate::config::EngineDiscipline;
 use crate::engine::Event;
 use crate::tun_writer::{TunWriter, WriterLane};
@@ -35,6 +35,19 @@ impl Stage for EgressStage {
 
     fn reserve_flows(&mut self, flows: usize) {
         self.writer_lanes.reserve(flows);
+    }
+
+    /// Writes one outbound batch to the tunnel, draining the batch so the
+    /// upstream stage can reclaim its scratch vector. Each packet goes
+    /// through `EgressStage::write_to_tunnel` with the batch's
+    /// connect-thread flag — per-packet draws and order are identical to the
+    /// item-wise path, so batching is invisible to deterministic digests.
+    fn process_batch(&mut self, links: &mut StageLinks<'_>, batch: &mut StageBatch) {
+        let StageBatch::Outbound { packets, connect_threads_active } = batch else { return };
+        let active = *connect_threads_active;
+        for (at, packet) in packets.drain(..) {
+            self.write_to_tunnel(links.shared, links.sched, at, packet, active);
+        }
     }
 }
 

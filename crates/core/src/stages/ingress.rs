@@ -2,21 +2,22 @@
 //!
 //! This is the app-facing end of the pipeline. Simulated app endpoints (and
 //! DNS clients) live here; when one writes a packet "into the tunnel", the
-//! raw IP bytes land in a pooled buffer, the `ReaderSim` models the TUN
-//! retrieval cost for the configured read strategy, and the buffer is
-//! scheduled to the relay stage as a `ProcessTunPacket` event. Packets the
+//! raw IP bytes are sealed into a pooled slab batch, the `ReaderSim` models
+//! the TUN retrieval cost for the configured read strategy, and the slab is
+//! scheduled to the relay stage as a `ProcessTunBatch` event (the engine
+//! loop coalesces same-instant slabs into larger bursts). Packets the
 //! egress stage delivers back to the apps re-enter here
 //! (`DeliverToApp`), where the app endpoints consume them and emit their
 //! next requests.
 
 use std::collections::HashMap;
 
-use mop_packet::{Endpoint, FourTuple, Packet};
-use mop_simnet::{BufferPool, SimDuration, SimTime, TimerScheduler};
+use mop_packet::{Endpoint, FourTuple, Packet, PacketView};
+use mop_simnet::{BatchPool, SimDuration, SimTime, SlabBatch, TimerScheduler};
 use mop_tun::{AppEndpoint, DnsClient, FlowKind, FlowSpec, ReaderSim};
 use mop_procnet::SocketStateCode;
 
-use super::{EngineShared, RelayStage, SinkStage, Stage};
+use super::{EngineShared, RelayStage, SinkStage, Stage, StageBatch, StageLinks};
 use crate::engine::Event;
 
 /// The TUN retrieval + parse stage. See the [module docs](self).
@@ -24,9 +25,10 @@ use crate::engine::Event;
 pub struct IngressStage {
     /// The TUN read-strategy model (§3.1).
     pub(crate) reader: ReaderSim,
-    /// Free list backing the per-packet tunnel buffers: the reader fills a
-    /// pooled buffer, the relay parses it by reference, then it is recycled.
-    pub(crate) pool: BufferPool,
+    /// Free list backing the tunnel slab batches: the reader seals retrieved
+    /// packets into a pooled slab, the relay parses them by reference, then
+    /// the slab is recycled.
+    pub(crate) batches: BatchPool,
     /// The simulated app endpoints, by app-side flow.
     pub(crate) apps: HashMap<FourTuple, AppEndpoint>,
     /// The simulated DNS clients, by query flow.
@@ -45,14 +47,44 @@ impl Stage for IngressStage {
     fn reserve_flows(&mut self, flows: usize) {
         self.apps.reserve(flows);
     }
+
+    /// The MainWorker drains one TUN slab: each packet is parsed zero-copy
+    /// straight out of the slab bytes, charged its parse cost (which, under
+    /// the saturating model, amortises across the burst), and handed to the
+    /// relay. Per-packet semantics — parse, RNG draws, relay decision —
+    /// are identical to the old one-event-per-packet path; only the
+    /// dispatch granularity changed.
+    fn process_batch(&mut self, links: &mut StageLinks<'_>, batch: &mut StageBatch) {
+        let StageBatch::Tun(slab) = batch else { return };
+        let StageLinks { shared, sched, relay, egress, sink } = links;
+        let (Some(relay), Some(egress), Some(sink)) =
+            (relay.as_deref_mut(), egress.as_deref_mut(), sink.as_deref_mut())
+        else {
+            return;
+        };
+        for i in 0..slab.len() {
+            let due = slab.due(i);
+            shared.clock.advance_to(due);
+            match PacketView::parse(slab.packet(i)) {
+                Ok(packet) => {
+                    let flow_key = packet.four_tuple();
+                    let parse_cost = Self::parse_cost(shared, flow_key);
+                    let start = shared.worker_step(due, parse_cost);
+                    relay.on_packet(shared, egress, sink, sched, start, &packet);
+                }
+                Err(_) => relay.stats.parse_errors += 1,
+            }
+        }
+    }
 }
 
 impl IngressStage {
-    /// Creates the stage around a configured reader.
-    pub fn new(reader: ReaderSim) -> Self {
+    /// Creates the stage around a configured reader, with slabs pre-sized
+    /// for `batch_size`-packet bursts.
+    pub fn new(reader: ReaderSim, batch_size: usize) -> Self {
         Self {
             reader,
-            pool: BufferPool::for_packets(),
+            batches: BatchPool::for_packets(batch_size),
             apps: HashMap::new(),
             dns_clients: HashMap::new(),
             next_app_port: 36_000,
@@ -123,11 +155,13 @@ impl IngressStage {
         }
     }
 
-    /// An app wrote a packet into the tunnel: the raw IP bytes land in a
-    /// pooled buffer, the TunReader's retrieval is simulated and the buffer
-    /// is handed to the relay stage. This mirrors the real datapath — the
-    /// TUN device hands MopEye bytes, not parsed structures — and recycles
-    /// the buffer once the relay has processed it.
+    /// An app wrote a packet into the tunnel: the raw IP bytes are sealed
+    /// into a pooled slab batch, the TunReader's retrieval is simulated and
+    /// the slab is scheduled to the relay stage. This mirrors the real
+    /// datapath — the TUN device hands MopEye bytes, not parsed structures —
+    /// and the slab is recycled once the relay has processed it. Each write
+    /// seals its own one-packet slab; the engine loop coalesces slabs that
+    /// land on the same instant into larger bursts.
     pub(crate) fn inject_app_packet(
         &mut self,
         sh: &mut EngineShared,
@@ -137,9 +171,9 @@ impl IngressStage {
         packet: Packet,
     ) {
         let flow_key = packet.four_tuple();
-        let mut buf = self.pool.get();
-        packet.encode_into(&mut buf);
-        sh.tun.record_app_write(buf.len());
+        let mut slab = self.batches.get();
+        let wire_len = slab.push_with(|data| packet.encode_into(data));
+        sh.tun.record_app_write(wire_len);
         let mut rng = sh.checkout_rng_opt(flow_key);
         let retrieval = self.reader.retrieve(at, &sh.cost, &mut rng);
         sh.ledger.charge("TunReader", retrieval.polling_cpu + sh.cost.tun_read.sample(&mut rng));
@@ -148,7 +182,9 @@ impl IngressStage {
         relay.selector.wakeup();
         let handoff = sh.cost.context_switch.sample(&mut rng);
         sh.checkin_rng_opt(flow_key, rng);
-        sched.schedule(retrieval.retrieved_at + handoff, Event::ProcessTunPacket(buf));
+        let due = retrieval.retrieved_at + handoff;
+        slab.stamp_due(due);
+        sched.schedule(due, Event::ProcessTunBatch(slab));
     }
 
     /// The per-packet header-parse cost the relay's MainWorker pays, drawn
@@ -198,8 +234,8 @@ impl IngressStage {
         }
     }
 
-    /// Recycles a processed tunnel buffer.
-    pub(crate) fn recycle(&mut self, buf: Vec<u8>) {
-        self.pool.put(buf);
+    /// Recycles a processed tunnel slab.
+    pub(crate) fn recycle_batch(&mut self, slab: SlabBatch) {
+        self.batches.put(slab);
     }
 }

@@ -44,11 +44,16 @@ pub mod sink;
 
 use std::collections::HashMap;
 
-use mop_packet::FourTuple;
-use mop_simnet::{CostModel, CpuLedger, SimClock, SimDuration, SimNetwork, SimRng, SimTime};
+use mop_packet::{FourTuple, Packet};
+use mop_simnet::{
+    CostModel, CpuLedger, SimClock, SimDuration, SimNetwork, SimRng, SimTime, SlabBatch,
+    TimerScheduler,
+};
 use mop_tun::TunDevice;
 
 use crate::config::{ClockGranularity, EngineDiscipline, MopEyeConfig, WorkerModel};
+use crate::engine::Event;
+use crate::stats::RttSample;
 
 pub use egress::EgressStage;
 pub use ingress::IngressStage;
@@ -59,11 +64,51 @@ pub use sink::SinkStage;
 /// not collide with the network's (which key off the same seed and hash).
 const ENGINE_KEY_SALT: u64 = 0x656e_675f_6b65_7973; // "eng_keys"
 
+/// A batch of work travelling between pipeline stages — the unit of the
+/// vectored datapath. Each variant is one stage boundary: TUN slabs enter at
+/// ingress, outbound packets flow relay → egress, and finished samples flow
+/// relay → sink.
+#[derive(Debug)]
+pub enum StageBatch {
+    /// App packets sealed into one contiguous slab, headed for ingress
+    /// parse + relay.
+    Tun(SlabBatch),
+    /// Relay-decided packets headed back to the apps through egress.
+    Outbound {
+        /// `(processing start, packet)` pairs in relay-decision order.
+        packets: Vec<(SimTime, Packet)>,
+        /// Whether temporary socket-connect threads were live when the batch
+        /// was emitted (tunnel-write contention, §3.5.1).
+        connect_threads_active: bool,
+    },
+    /// Finished RTT measurements headed for the measurement sink.
+    Samples(Vec<RttSample>),
+}
+
+/// The connections a stage can reach while processing a batch: the shared
+/// substrate, the timer scheduler for follow-up events, and the downstream
+/// stages it may hand a derived batch to. The engine (or an upstream stage)
+/// lends exactly the links the callee needs; absent stages are `None`.
+#[derive(Debug)]
+pub struct StageLinks<'a> {
+    /// The cross-cutting substrate (clock, network, TUN, costs, RNGs).
+    pub shared: &'a mut EngineShared,
+    /// The event-loop scheduler, for follow-up events a batch produces
+    /// (crate-visible: the event enum is an engine internal).
+    pub(crate) sched: &'a mut TimerScheduler<Event>,
+    /// The relay stage, when the callee sits upstream of it.
+    pub relay: Option<&'a mut RelayStage>,
+    /// The egress stage, when the callee sits upstream of it.
+    pub egress: Option<&'a mut EgressStage>,
+    /// The measurement sink, when the callee sits upstream of it.
+    pub sink: Option<&'a mut SinkStage>,
+}
+
 /// One stage of the engine datapath. The trait is deliberately small: the
 /// engine drives stages through their concrete methods (each stage's inputs
 /// and outputs are its own), and uses the trait where it treats the pipeline
-/// uniformly — naming stages in diagnostics and pre-sizing their tables for
-/// a fleet-scale run.
+/// uniformly — naming stages in diagnostics, pre-sizing their tables for a
+/// fleet-scale run, and feeding them batches of work.
 pub trait Stage {
     /// The stage's name in the pipeline diagram.
     fn name(&self) -> &'static str;
@@ -73,6 +118,14 @@ pub trait Stage {
     /// packet path.
     fn reserve_flows(&mut self, flows: usize) {
         let _ = flows;
+    }
+
+    /// Consumes one batch of work, using `links` for the substrate and any
+    /// downstream stages. Per-item semantics are identical to the item-wise
+    /// methods — batching amortises dispatch, it never reorders — so stages
+    /// that take no batches keep the default no-op.
+    fn process_batch(&mut self, links: &mut StageLinks<'_>, batch: &mut StageBatch) {
+        let _ = (links, batch);
     }
 }
 
@@ -101,6 +154,9 @@ pub struct EngineShared {
     pub flow_rngs: HashMap<FourTuple, SimRng>,
     /// When the MainWorker frees up ([`WorkerModel::Saturating`] only).
     pub worker_busy_until: SimTime,
+    /// How many consecutive backlogged packets the saturating MainWorker has
+    /// amortised in its current burst (see [`EngineShared::worker_step`]).
+    pub worker_burst_len: u64,
 }
 
 impl EngineShared {
@@ -117,6 +173,7 @@ impl EngineShared {
             rng,
             flow_rngs: HashMap::new(),
             worker_busy_until: SimTime::ZERO,
+            worker_burst_len: 1,
         }
     }
 
@@ -172,15 +229,39 @@ impl EngineShared {
         }
     }
 
-    /// The start time of a MainWorker processing step that costs `cost`:
-    /// immediate under [`WorkerModel::Unbounded`]; queued behind the worker's
-    /// backlog (and occupying it) under [`WorkerModel::Saturating`].
-    pub fn worker_start(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
+    /// Charges one MainWorker processing step of nominal `cost` to the CPU
+    /// ledger and returns its start time: immediate under
+    /// [`WorkerModel::Unbounded`]; queued behind the worker's backlog (and
+    /// occupying it) under [`WorkerModel::Saturating`].
+    ///
+    /// A backlogged saturating worker is draining a burst: packets after the
+    /// first in a burst (up to `config.batch_size`) are charged `cost /
+    /// cost_model.batch_hot_divisor` (floored at `batch_floor`) instead of
+    /// the full amount — the vectored datapath pays wake-up, cache warm-up
+    /// and dispatch once per burst, not once per packet. With `batch_size ==
+    /// 1` no packet ever qualifies, reproducing the unbatched worker
+    /// exactly; under `Unbounded` the charge never affects timing at all.
+    pub fn worker_step(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
         match self.config.worker {
-            WorkerModel::Unbounded => now,
+            WorkerModel::Unbounded => {
+                self.ledger.charge("MainWorker", cost);
+                now
+            }
             WorkerModel::Saturating => {
+                let backlogged = now < self.worker_busy_until;
+                let hot = backlogged && self.worker_burst_len < self.config.batch_size as u64;
+                let charged = if hot {
+                    SimDuration::from_nanos(
+                        cost.as_nanos() / u64::from(self.cost.batch_hot_divisor.max(1)),
+                    )
+                    .max(self.cost.batch_floor)
+                } else {
+                    cost
+                };
+                self.worker_burst_len = if hot { self.worker_burst_len + 1 } else { 1 };
+                self.ledger.charge("MainWorker", charged);
                 let start = now.max(self.worker_busy_until);
-                self.worker_busy_until = start + cost;
+                self.worker_busy_until = start + charged;
                 start
             }
         }

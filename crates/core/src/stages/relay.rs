@@ -28,7 +28,7 @@ use mop_simnet::{
 };
 use mop_tcpstack::{ClientRegistry, RelayAction, SegmentVerdict, UdpRegistry};
 
-use super::{EgressStage, EngineShared, SinkStage, Stage};
+use super::{EgressStage, EngineShared, SinkStage, Stage, StageBatch, StageLinks};
 use crate::config::{EngineDiscipline, ProtectMode, TimestampMode};
 use crate::engine::Event;
 use crate::stats::{RelayStats, RttSample, SampleKind};
@@ -100,6 +100,11 @@ pub struct RelayStage {
     pub(crate) dns_pending: HashMap<FourTuple, (SimTime, String)>,
     /// When each flow was registered (lazy-mapping bookkeeping).
     pub(crate) flow_registered_at: HashMap<FourTuple, SimTime>,
+    /// Reusable scratch for outbound packet batches headed to egress, so the
+    /// steady-state segment loop allocates nothing.
+    outbound_scratch: Vec<(SimTime, Packet)>,
+    /// Reusable scratch for sample batches headed to the sink.
+    sample_scratch: Vec<RttSample>,
 }
 
 impl Stage for RelayStage {
@@ -110,6 +115,17 @@ impl Stage for RelayStage {
     fn reserve_flows(&mut self, flows: usize) {
         self.flow_registered_at.reserve(flows);
         self.socket_by_flow.reserve(flows);
+    }
+
+    /// An outbound batch passes through the relay on its way to egress: the
+    /// relay owns the connect-thread census (tunnel-write contention,
+    /// §3.5.1), so it stamps the batch's flag and hands the batch to the
+    /// egress link.
+    fn process_batch(&mut self, links: &mut StageLinks<'_>, batch: &mut StageBatch) {
+        let StageBatch::Outbound { connect_threads_active, .. } = batch else { return };
+        *connect_threads_active = !self.connect_pre_ts.is_empty();
+        let Some(egress) = links.egress.take() else { return };
+        egress.process_batch(links, batch);
     }
 }
 
@@ -140,6 +156,48 @@ impl RelayStage {
             ip_to_domain: HashMap::new(),
             dns_pending: HashMap::new(),
             flow_registered_at: HashMap::new(),
+            outbound_scratch: Vec::new(),
+            sample_scratch: Vec::new(),
+        }
+    }
+
+    /// Routes a burst of outbound packets to egress through the batch path
+    /// (via the relay's own [`Stage::process_batch`], which stamps the
+    /// connect-thread flag), then reclaims the scratch vector.
+    fn emit_outbound(
+        &mut self,
+        sh: &mut EngineShared,
+        egress: &mut EgressStage,
+        sched: &mut TimerScheduler<Event>,
+        packets: Vec<(SimTime, Packet)>,
+    ) {
+        let mut batch = StageBatch::Outbound { packets, connect_threads_active: false };
+        let mut links =
+            StageLinks { shared: sh, sched, relay: None, egress: Some(egress), sink: None };
+        self.process_batch(&mut links, &mut batch);
+        if let StageBatch::Outbound { mut packets, .. } = batch {
+            packets.clear();
+            self.outbound_scratch = packets;
+        }
+    }
+
+    /// Routes one finished measurement to the sink through the batch path,
+    /// then reclaims the scratch vector.
+    fn emit_sample(
+        &mut self,
+        sh: &mut EngineShared,
+        sink: &mut SinkStage,
+        sched: &mut TimerScheduler<Event>,
+        sample: RttSample,
+    ) {
+        let mut samples = std::mem::take(&mut self.sample_scratch);
+        samples.push(sample);
+        let mut batch = StageBatch::Samples(samples);
+        let mut links = StageLinks { shared: sh, sched, relay: None, egress: None, sink: None };
+        sink.process_batch(&mut links, &mut batch);
+        if let StageBatch::Samples(samples) = batch {
+            // The sink drained the batch; keep the allocation for next time.
+            self.sample_scratch = samples;
         }
     }
 
@@ -366,7 +424,7 @@ impl RelayStage {
                     tcpdump_ms,
                     at: now,
                 };
-                sink.record_sample(sh, sample);
+                self.emit_sample(sh, sink, sched, sample);
                 // Complete the handshake with the app (§2.3).
                 if let Some(client) = self.clients.get_mut(flow) {
                     let packets = client.machine_mut().on_external_connected();
@@ -491,17 +549,17 @@ impl RelayStage {
             }
             let segment_cost = SimDuration::from_micros(rng.int_inclusive(10, 60));
             sh.checkin_rng(flow, rng);
-            sh.ledger.charge("MainWorker", segment_cost);
             // Segmenting server data back towards the app is MainWorker
-            // work: under the saturating model it queues behind the backlog.
-            let start = sh.worker_start(now, segment_cost);
+            // work: under the saturating model it queues behind the backlog
+            // and, when backlogged, amortises across the burst.
+            let start = sh.worker_step(now, segment_cost);
             if let Some(client) = self.clients.get_mut(flow) {
                 let packets = client.machine_mut().on_external_data(&data);
                 self.stats.data_segments_in += packets.len() as u64;
                 self.stats.bytes_in += total as u64;
-                for pkt in packets {
-                    self.write_out(sh, egress, sched, start, pkt);
-                }
+                let mut scratch = std::mem::take(&mut self.outbound_scratch);
+                scratch.extend(packets.into_iter().map(|pkt| (start, pkt)));
+                self.emit_outbound(sh, egress, sched, scratch);
             }
         }
         self.sockets.recycle_buffer(data);
@@ -739,7 +797,7 @@ impl RelayStage {
             tcpdump_ms,
             at: now,
         };
-        sink.record_sample(sh, sample);
+        self.emit_sample(sh, sink, sched, sample);
         // Forward the answer to the app.
         self.write_out(sh, egress, sched, now, packet);
         // The DNS exchange is complete; its keyed state will not be used

@@ -16,7 +16,7 @@ use mop_packet::FourTuple;
 use mop_simnet::SimTime;
 use mop_tun::FlowSpec;
 
-use super::{EngineShared, Stage};
+use super::{EngineShared, Stage, StageBatch, StageLinks};
 use crate::stats::{FlowOutcome, RttSample, SampleKind};
 
 /// Per-flow bookkeeping kept by the sink.
@@ -52,6 +52,16 @@ impl Stage for SinkStage {
 
     fn reserve_flows(&mut self, flows: usize) {
         self.flow_meta.reserve(flows);
+    }
+
+    /// Folds a batch of finished samples into the aggregates, draining the
+    /// batch so the upstream stage can reclaim its scratch vector. Identical
+    /// per sample to `SinkStage::record_sample`.
+    fn process_batch(&mut self, links: &mut StageLinks<'_>, batch: &mut StageBatch) {
+        let StageBatch::Samples(samples) = batch else { return };
+        for sample in samples.drain(..) {
+            self.record_sample(links.shared, sample);
+        }
     }
 }
 

@@ -47,7 +47,7 @@ impl RttSample {
 }
 
 /// Counters describing what the relay did during a run.
-#[derive(Debug, Default, Clone, PartialEq)]
+#[derive(Debug, Default, Clone)]
 pub struct RelayStats {
     /// TCP SYNs processed (connections attempted by apps).
     pub syns: u64,
@@ -79,6 +79,33 @@ pub struct RelayStats {
     /// engine runs with `idle_timeout`; excluded from the fleet digest so
     /// historical digests stay comparable).
     pub idle_reaped: u64,
+    /// Times a shard worker stalled handing its report to the fleet's
+    /// measurement sink (full report ring). Wall-clock backpressure
+    /// observability, not simulated behaviour — excluded from equality (see
+    /// the hand-written `PartialEq`) and from digests.
+    pub sink_stalls: u64,
+}
+
+impl PartialEq for RelayStats {
+    fn eq(&self, other: &Self) -> bool {
+        // `sink_stalls` is deliberately excluded: it depends on host thread
+        // scheduling, not on what the relay computed. Everything else —
+        // including `idle_reaped`, which is deterministic — must match.
+        self.syns == other.syns
+            && self.connects_ok == other.connects_ok
+            && self.connects_failed == other.connects_failed
+            && self.data_segments_out == other.data_segments_out
+            && self.data_segments_in == other.data_segments_in
+            && self.pure_acks_discarded == other.pure_acks_discarded
+            && self.fins == other.fins
+            && self.rsts == other.rsts
+            && self.udp_datagrams == other.udp_datagrams
+            && self.dns_queries == other.dns_queries
+            && self.bytes_out == other.bytes_out
+            && self.bytes_in == other.bytes_in
+            && self.parse_errors == other.parse_errors
+            && self.idle_reaped == other.idle_reaped
+    }
 }
 
 impl RelayStats {
@@ -100,6 +127,7 @@ impl RelayStats {
         self.bytes_in += other.bytes_in;
         self.parse_errors += other.parse_errors;
         self.idle_reaped += other.idle_reaped;
+        self.sink_stalls += other.sink_stalls;
     }
 }
 

@@ -1,0 +1,202 @@
+//! Best-effort CPU core pinning behind a portable facade.
+//!
+//! The fleet engine can pin each shard worker to a core so a run does not
+//! pay migration and cache-refill costs every time the OS rebalances
+//! threads. Pinning is purely a wall-clock optimisation: virtual-time
+//! results are identical pinned or not, so every function here is
+//! *best-effort* — on unsupported platforms (or when the kernel refuses)
+//! the calls report failure and the caller simply runs unpinned.
+//!
+//! The Linux implementation issues the `sched_setaffinity` /
+//! `sched_getaffinity` syscalls directly (the workspace links no libc-style
+//! crate), gated to the architectures whose syscall ABI is spelled out
+//! below; everywhere else the stubs compile to no-ops.
+
+/// Number of `u64` words in the affinity mask we pass to the kernel.
+/// 16 words = 1024 CPUs, the kernel's conventional `CPU_SETSIZE`.
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+const MASK_WORDS: usize = 16;
+
+/// How many cores the scheduler will let this process use.
+///
+/// Falls back to 1 if the platform cannot say.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Pins the calling thread to `core`, returning `true` on success.
+///
+/// Returns `false` when the platform has no affinity support, the core index
+/// is out of mask range, or the kernel rejects the request — callers treat
+/// all three the same way: run unpinned.
+pub fn pin_current_thread_to_core(core: usize) -> bool {
+    imp::set_affinity_single(core)
+}
+
+/// Reads the calling thread's affinity mask as a list of allowed core
+/// indices. `None` when the platform has no affinity support or the call
+/// fails. Used by tests to round-trip a pin and restore the original mask.
+pub fn current_thread_affinity() -> Option<Vec<usize>> {
+    imp::get_affinity()
+}
+
+/// Restores the calling thread's affinity to `cores`, returning `true` on
+/// success. The inverse of [`pin_current_thread_to_core`] for tests that
+/// must not leave the thread pinned.
+pub fn set_current_thread_affinity(cores: &[usize]) -> bool {
+    imp::set_affinity(cores)
+}
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod imp {
+    use super::MASK_WORDS;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_SCHED_SETAFFINITY: usize = 203;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_SCHED_GETAFFINITY: usize = 204;
+
+    #[cfg(target_arch = "aarch64")]
+    const SYS_SCHED_SETAFFINITY: usize = 122;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_SCHED_GETAFFINITY: usize = 123;
+
+    /// Raw three-argument syscall. Returns the kernel's raw result
+    /// (negative errno on failure).
+    fn syscall3(nr: usize, a1: usize, a2: usize, a3: usize) -> isize {
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the syscall numbers above take exactly these three
+        // arguments; rcx/r11 are the registers the `syscall` instruction
+        // itself clobbers.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") nr as isize => ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: as above for the aarch64 `svc 0` convention (nr in x8,
+        // args in x0..x2, result in x0).
+        unsafe {
+            std::arch::asm!(
+                "svc 0",
+                in("x8") nr,
+                inlateout("x0") a1 => ret,
+                in("x1") a2,
+                in("x2") a3,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    pub fn set_affinity_single(core: usize) -> bool {
+        if core >= MASK_WORDS * 64 {
+            return false;
+        }
+        set_mask(&{
+            let mut mask = [0u64; MASK_WORDS];
+            mask[core / 64] = 1u64 << (core % 64);
+            mask
+        })
+    }
+
+    pub fn set_affinity(cores: &[usize]) -> bool {
+        let mut mask = [0u64; MASK_WORDS];
+        for &core in cores {
+            if core >= MASK_WORDS * 64 {
+                return false;
+            }
+            mask[core / 64] |= 1u64 << (core % 64);
+        }
+        if mask.iter().all(|&w| w == 0) {
+            return false;
+        }
+        set_mask(&mask)
+    }
+
+    fn set_mask(mask: &[u64; MASK_WORDS]) -> bool {
+        // pid 0 = the calling thread.
+        let ret = syscall3(
+            SYS_SCHED_SETAFFINITY,
+            0,
+            std::mem::size_of_val(mask),
+            mask.as_ptr() as usize,
+        );
+        ret == 0
+    }
+
+    pub fn get_affinity() -> Option<Vec<usize>> {
+        let mut mask = [0u64; MASK_WORDS];
+        let ret = syscall3(
+            SYS_SCHED_GETAFFINITY,
+            0,
+            std::mem::size_of_val(&mask),
+            mask.as_mut_ptr() as usize,
+        );
+        if ret < 0 {
+            return None;
+        }
+        let cores = mask
+            .iter()
+            .enumerate()
+            .flat_map(|(w, &word)| (0..64).filter(move |b| word & (1u64 << b) != 0).map(move |b| w * 64 + b))
+            .collect();
+        Some(cores)
+    }
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod imp {
+    pub fn set_affinity_single(_core: usize) -> bool {
+        false
+    }
+
+    pub fn set_affinity(_cores: &[usize]) -> bool {
+        false
+    }
+
+    pub fn get_affinity() -> Option<Vec<usize>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn available_cores_is_at_least_one() {
+        assert!(available_cores() >= 1);
+    }
+
+    #[test]
+    fn pin_round_trip_restores_the_original_mask() {
+        // On platforms without affinity support every call reports failure
+        // and there is nothing further to check.
+        let Some(original) = current_thread_affinity() else {
+            assert!(!pin_current_thread_to_core(0));
+            return;
+        };
+        assert!(!original.is_empty());
+        let target = original[0];
+        assert!(pin_current_thread_to_core(target), "pin to an allowed core must succeed");
+        let pinned = current_thread_affinity().expect("mask readable after pin");
+        assert_eq!(pinned, vec![target]);
+        // Restore so the test harness thread is not left pinned.
+        assert!(set_current_thread_affinity(&original));
+        assert_eq!(current_thread_affinity().expect("mask readable"), original);
+    }
+
+    #[test]
+    fn out_of_range_core_is_rejected_not_undefined() {
+        assert!(!pin_current_thread_to_core(1 << 20));
+    }
+}

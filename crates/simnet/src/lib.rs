@@ -27,8 +27,11 @@
 //!   and non-blocking modes plus `protect()` cost modelling,
 //! * [`pool`] — a free-list buffer pool so the packet datapath recycles
 //!   buffers instead of allocating per packet,
-//! * [`spsc`] — bounded single-producer/single-consumer queues connecting
-//!   the sharded fleet engine's dispatcher, workers and measurement sink,
+//! * [`spsc`] — bounded single-producer/single-consumer queues (plus the
+//!   credit gate for batch backpressure) connecting the sharded fleet
+//!   engine's dispatcher, workers and measurement sink,
+//! * [`affinity`] — best-effort CPU pinning behind a portable facade, used
+//!   by the fleet engine's shard-placement knobs,
 //! * [`cost`] — calibrated cost models for the system calls and scheduler
 //!   effects the paper's optimisations target.
 //!
@@ -50,6 +53,7 @@
 
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod clock;
 pub mod cost;
 pub mod dnssrv;
@@ -74,14 +78,14 @@ pub use latency::LatencyModel;
 pub use network::{
     ConnectOutcome, DataExchange, DnsOutcome, NetKeying, SimNetwork, SimNetworkBuilder,
 };
-pub use pool::{BufferPool, PoolStats};
+pub use pool::{BatchPool, BufferPool, PacketSlot, PoolStats, SlabBatch};
 pub use profile::{AccessProfile, IspProfile, NetworkType};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use scheduler::{SchedulerKind, TimerScheduler};
 pub use server::{ServerConfig, Service};
 pub use socket::{Selector, SelectorEvent, SocketId, SocketMode, SocketSet, SocketState};
-pub use spsc::{spsc_channel, SpscReceiver, SpscSendError, SpscSender};
+pub use spsc::{spsc_channel, Backoff, CreditGate, SpscReceiver, SpscSendError, SpscSender};
 pub use tap::{TapDirection, TapRecord, WireTap};
 pub use time::{SimDuration, SimTime};
 pub use wheel::{TimerHandle, TimingWheel};

@@ -1,4 +1,5 @@
-//! A free-list buffer pool for the packet datapath.
+//! Buffer pools for the packet datapath: a free-list of single-packet
+//! buffers and a slab-batch pool for the vectored datapath.
 //!
 //! The relay handles one buffer per tunnel packet: the TunReader fills it,
 //! the MainWorker parses it (by reference, via the zero-copy views in
@@ -6,9 +7,18 @@
 //! for every packet puts the allocator on the per-packet critical path;
 //! [`BufferPool`] recycles buffers instead, so the steady-state relay loop
 //! performs no allocations at all (enforced by the `zero_alloc` regression
-//! test in `mop_bench`).
+//! tests in `mop_bench`).
+//!
+//! The batched engine loop works on [`SlabBatch`]es instead of loose
+//! buffers: one contiguous byte slab carrying many packets, each described
+//! by an inline [`PacketSlot`] (offset, length, due time). A batch is the
+//! unit of work between pipeline stages — it amortises dispatch and cache
+//! costs over a burst — and [`BatchPool`] recycles whole slabs the same way
+//! [`BufferPool`] recycles buffers.
 
-/// Counters describing how a [`BufferPool`] behaved over a run.
+use crate::time::SimTime;
+
+/// Counters describing how a pool behaved over a run.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct PoolStats {
     /// Buffers created because the free list was empty.
@@ -17,14 +27,21 @@ pub struct PoolStats {
     pub reuses: u64,
     /// Buffers returned to the free list.
     pub recycled: u64,
+    /// Bytes of capacity currently resident in the free lists — a gauge, not
+    /// a counter: it rises on `put` and falls on `get`, so a report shows
+    /// how much memory the pool was holding when the run ended.
+    pub resident_bytes: u64,
 }
 
 impl PoolStats {
     /// Adds another pool's counters into this one (cross-shard aggregation).
+    /// The resident gauge sums too: the fleet total is the memory all shard
+    /// pools were holding.
     pub fn merge(&mut self, other: &PoolStats) {
         self.allocations += other.allocations;
         self.reuses += other.reuses;
         self.recycled += other.recycled;
+        self.resident_bytes += other.resident_bytes;
     }
 
     /// Fraction of `get` calls served without allocating.
@@ -41,12 +58,17 @@ impl PoolStats {
 ///
 /// `get` pops a cleared buffer (or allocates one with the default capacity on
 /// a cold start); `put` returns it. The free list is bounded so a burst of
-/// in-flight packets cannot pin memory forever.
+/// in-flight packets cannot pin memory forever, and buffers that grew far
+/// beyond the default capacity are quarantined in a small *jumbo* class
+/// instead of circulating in the main list — a single oversized packet must
+/// not permanently inflate every pooled buffer the datapath touches.
 #[derive(Debug)]
 pub struct BufferPool {
     free: Vec<Vec<u8>>,
+    jumbo: Vec<Vec<u8>>,
     default_capacity: usize,
     max_pooled: usize,
+    max_jumbo: usize,
     stats: PoolStats,
 }
 
@@ -54,9 +76,23 @@ impl BufferPool {
     /// A capacity that fits a full-MTU tunnel packet with headroom.
     pub const PACKET_CAPACITY: usize = 2048;
 
+    /// A recycled buffer whose capacity exceeds the default by this factor is
+    /// routed to the capped jumbo class instead of the main free list.
+    pub const JUMBO_FACTOR: usize = 4;
+
+    /// How many jumbo buffers the pool keeps before dropping the excess.
+    pub const MAX_JUMBO: usize = 32;
+
     /// Creates a pool handing out buffers with at least `default_capacity`.
     pub fn new(default_capacity: usize) -> Self {
-        Self { free: Vec::new(), default_capacity, max_pooled: 1024, stats: PoolStats::default() }
+        Self {
+            free: Vec::new(),
+            jumbo: Vec::new(),
+            default_capacity,
+            max_pooled: 1024,
+            max_jumbo: Self::MAX_JUMBO,
+            stats: PoolStats::default(),
+        }
     }
 
     /// Creates a pool sized for tunnel packets.
@@ -65,10 +101,14 @@ impl BufferPool {
     }
 
     /// Hands out an empty buffer, reusing a recycled one when possible.
+    /// Regular buffers are preferred; the jumbo class is drawn down only
+    /// when the main list is empty (a jumbo consumer gets extra headroom, a
+    /// regular consumer just wastes a bit until the buffer retires).
     pub fn get(&mut self) -> Vec<u8> {
-        match self.free.pop() {
+        match self.free.pop().or_else(|| self.jumbo.pop()) {
             Some(buf) => {
                 self.stats.reuses += 1;
+                self.stats.resident_bytes -= buf.capacity() as u64;
                 buf
             }
             None => {
@@ -79,18 +119,28 @@ impl BufferPool {
     }
 
     /// Returns a buffer to the pool. The contents are cleared; the capacity
-    /// is what makes recycling worthwhile.
+    /// is what makes recycling worthwhile. Oversized buffers go to the capped
+    /// jumbo class; beyond either cap the buffer is simply dropped.
     pub fn put(&mut self, mut buf: Vec<u8>) {
-        if self.free.len() < self.max_pooled {
+        let oversized = buf.capacity() > self.default_capacity.saturating_mul(Self::JUMBO_FACTOR);
+        let list = if oversized { &mut self.jumbo } else { &mut self.free };
+        let cap = if oversized { self.max_jumbo } else { self.max_pooled };
+        if list.len() < cap {
             buf.clear();
             self.stats.recycled += 1;
-            self.free.push(buf);
+            self.stats.resident_bytes += buf.capacity() as u64;
+            list.push(buf);
         }
     }
 
-    /// Number of buffers currently sitting in the free list.
+    /// Number of buffers currently sitting in the free lists.
     pub fn free_len(&self) -> usize {
-        self.free.len()
+        self.free.len() + self.jumbo.len()
+    }
+
+    /// Number of buffers currently sitting in the jumbo class.
+    pub fn jumbo_len(&self) -> usize {
+        self.jumbo.len()
     }
 
     /// Behaviour counters.
@@ -102,6 +152,208 @@ impl BufferPool {
 impl Default for BufferPool {
     fn default() -> Self {
         Self::for_packets()
+    }
+}
+
+/// One packet inside a [`SlabBatch`]: where its bytes live in the slab and
+/// when the event loop owes it processing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PacketSlot {
+    /// Byte offset of the packet within the slab.
+    pub offset: usize,
+    /// Length of the packet in bytes.
+    pub len: usize,
+    /// Virtual time at which the packet is due at the MainWorker.
+    pub due: SimTime,
+}
+
+/// A batch of packets in one contiguous byte slab, with inline per-packet
+/// offsets, lengths and due times.
+///
+/// The batched datapath makes this the unit of work: ingress seals packets
+/// into slabs, the engine loop coalesces same-timestamp slabs into bursts,
+/// and the stages consume a whole slab per dispatch. Keeping the bytes
+/// contiguous keeps a burst cache-resident; keeping the slot metadata inline
+/// keeps iteration branch-free.
+#[derive(Debug, Default)]
+pub struct SlabBatch {
+    data: Vec<u8>,
+    slots: Vec<PacketSlot>,
+}
+
+impl SlabBatch {
+    /// Creates an empty slab with room for `data_capacity` bytes and
+    /// `slot_capacity` packets before reallocating.
+    pub fn with_capacity(data_capacity: usize, slot_capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(data_capacity),
+            slots: Vec::with_capacity(slot_capacity),
+        }
+    }
+
+    /// Number of packets in the batch.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the batch carries no packets.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total packet bytes in the batch.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Appends one packet whose bytes are produced by `fill` (e.g. a wire
+    /// encoder) appending to the slab, and returns the encoded length. The
+    /// slot's due time starts at zero; stamp it with [`SlabBatch::stamp_due`]
+    /// once the delivery time is known.
+    pub fn push_with<F: FnOnce(&mut Vec<u8>)>(&mut self, fill: F) -> usize {
+        let offset = self.data.len();
+        fill(&mut self.data);
+        let len = self.data.len() - offset;
+        self.slots.push(PacketSlot { offset, len, due: SimTime::ZERO });
+        len
+    }
+
+    /// Appends one packet by copying `bytes` into the slab.
+    pub fn push_bytes(&mut self, bytes: &[u8], due: SimTime) {
+        let offset = self.data.len();
+        self.data.extend_from_slice(bytes);
+        self.slots.push(PacketSlot { offset, len: bytes.len(), due });
+    }
+
+    /// Stamps the most recently pushed packet's due time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty.
+    pub fn stamp_due(&mut self, due: SimTime) {
+        self.slots.last_mut().expect("stamp_due on an empty batch").due = due;
+    }
+
+    /// The bytes of packet `i`.
+    pub fn packet(&self, i: usize) -> &[u8] {
+        let slot = &self.slots[i];
+        &self.data[slot.offset..slot.offset + slot.len]
+    }
+
+    /// The due time of packet `i`.
+    pub fn due(&self, i: usize) -> SimTime {
+        self.slots[i].due
+    }
+
+    /// Iterates the packets in batch order as `(due, bytes)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &[u8])> {
+        self.slots.iter().map(|s| (s.due, &self.data[s.offset..s.offset + s.len]))
+    }
+
+    /// Moves every packet of `other` to the end of this batch (rebasing the
+    /// slot offsets), leaving `other` empty — the coalescing step that merges
+    /// same-timestamp bursts into one slab.
+    pub fn absorb(&mut self, other: &mut SlabBatch) {
+        let base = self.data.len();
+        self.data.extend_from_slice(&other.data);
+        self.slots.extend(
+            other.slots.iter().map(|s| PacketSlot { offset: base + s.offset, ..*s }),
+        );
+        other.clear();
+    }
+
+    /// Keeps only the first `n` packets (and their bytes, when `n` cuts at a
+    /// packet boundary the byte tail is dropped too).
+    pub fn truncate(&mut self, n: usize) {
+        if n >= self.slots.len() {
+            return;
+        }
+        let data_end = self.slots.get(n).map_or(self.data.len(), |s| s.offset);
+        self.slots.truncate(n);
+        self.data.truncate(data_end);
+    }
+
+    /// Empties the batch, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.slots.clear();
+    }
+
+    /// Bytes of memory the batch's allocations hold (data plus slot table).
+    pub fn capacity_bytes(&self) -> usize {
+        self.data.capacity() + self.slots.capacity() * std::mem::size_of::<PacketSlot>()
+    }
+}
+
+/// A free list of [`SlabBatch`]es for the batched datapath: `get` hands out
+/// an empty slab (pre-sized for a burst), `put` recycles it. Bounded like
+/// [`BufferPool`], and slabs that ballooned past
+/// [`BatchPool::MAX_SLAB_BYTES`] are dropped instead of kept, so one giant
+/// burst cannot pin memory for the rest of the run.
+#[derive(Debug)]
+pub struct BatchPool {
+    free: Vec<SlabBatch>,
+    data_capacity: usize,
+    slot_capacity: usize,
+    max_pooled: usize,
+    stats: PoolStats,
+}
+
+impl BatchPool {
+    /// Slabs whose allocations exceed this are dropped on `put`.
+    pub const MAX_SLAB_BYTES: usize = 256 * 1024;
+
+    /// Creates a pool of slabs pre-sized for `data_capacity` bytes and
+    /// `slot_capacity` packets.
+    pub fn new(data_capacity: usize, slot_capacity: usize) -> Self {
+        Self {
+            free: Vec::new(),
+            data_capacity,
+            slot_capacity,
+            max_pooled: 1024,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// A pool of slabs sized for `burst` full-MTU tunnel packets.
+    pub fn for_packets(burst: usize) -> Self {
+        Self::new(BufferPool::PACKET_CAPACITY, burst.max(1))
+    }
+
+    /// Hands out an empty slab, reusing a recycled one when possible.
+    pub fn get(&mut self) -> SlabBatch {
+        match self.free.pop() {
+            Some(slab) => {
+                self.stats.reuses += 1;
+                self.stats.resident_bytes -= slab.capacity_bytes() as u64;
+                slab
+            }
+            None => {
+                self.stats.allocations += 1;
+                SlabBatch::with_capacity(self.data_capacity, self.slot_capacity)
+            }
+        }
+    }
+
+    /// Recycles a slab (cleared; allocations kept unless it outgrew
+    /// [`BatchPool::MAX_SLAB_BYTES`] or the free list is full).
+    pub fn put(&mut self, mut slab: SlabBatch) {
+        if self.free.len() < self.max_pooled && slab.capacity_bytes() <= Self::MAX_SLAB_BYTES {
+            slab.clear();
+            self.stats.recycled += 1;
+            self.stats.resident_bytes += slab.capacity_bytes() as u64;
+            self.free.push(slab);
+        }
+    }
+
+    /// Number of slabs currently sitting in the free list.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Behaviour counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
     }
 }
 
@@ -117,9 +369,11 @@ mod tests {
         assert_eq!(pool.stats().allocations, 1);
         pool.put(a);
         assert_eq!(pool.free_len(), 1);
+        assert_eq!(pool.stats().resident_bytes, 64);
         let b = pool.get();
         assert_eq!(pool.stats().reuses, 1);
         assert_eq!(pool.free_len(), 0);
+        assert_eq!(pool.stats().resident_bytes, 0);
         assert!(b.is_empty(), "recycled buffers come back cleared");
         assert_eq!(b.capacity(), 64, "capacity survives recycling");
     }
@@ -140,12 +394,31 @@ mod tests {
         let mut pool = BufferPool::new(8);
         pool.max_pooled = 2;
         for _ in 0..5 {
-            let buf = pool.get();
-            // Get them all out first so puts exceed the bound.
-            pool.free.clear();
+            pool.put(Vec::with_capacity(8));
+        }
+        assert_eq!(pool.free_len(), 2);
+    }
+
+    #[test]
+    fn oversized_buffers_go_to_the_capped_jumbo_class() {
+        let mut pool = BufferPool::new(64);
+        pool.max_jumbo = 2;
+        for _ in 0..4 {
+            let mut buf = Vec::new();
+            buf.reserve_exact(64 * BufferPool::JUMBO_FACTOR + 1);
             pool.put(buf);
         }
-        assert!(pool.free_len() <= 2);
+        // The jumbo class absorbed two and dropped the rest; the main free
+        // list never saw them.
+        assert_eq!(pool.jumbo_len(), 2);
+        assert_eq!(pool.free.len(), 0);
+        let resident = pool.stats().resident_bytes;
+        assert!(resident >= 2 * (64 * BufferPool::JUMBO_FACTOR as u64 + 1));
+        // Jumbo buffers are still served once the main list runs dry.
+        let b = pool.get();
+        assert!(b.capacity() > 64 * BufferPool::JUMBO_FACTOR);
+        assert_eq!(pool.stats().reuses, 1);
+        assert!(pool.stats().resident_bytes < resident);
     }
 
     #[test]
@@ -161,5 +434,86 @@ mod tests {
         assert!(pool.stats().reuse_rate() > 0.98);
         assert_eq!(pool.stats().allocations, 1);
         assert_eq!(pool.stats().recycled, 100);
+    }
+
+    #[test]
+    fn slab_batch_records_offsets_lengths_and_due_times() {
+        let mut slab = SlabBatch::with_capacity(64, 4);
+        let len = slab.push_with(|data| data.extend_from_slice(b"alpha"));
+        assert_eq!(len, 5);
+        slab.stamp_due(SimTime::from_millis(3));
+        slab.push_bytes(b"be", SimTime::from_millis(7));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.byte_len(), 7);
+        assert_eq!(slab.packet(0), b"alpha");
+        assert_eq!(slab.packet(1), b"be");
+        assert_eq!(slab.due(0), SimTime::from_millis(3));
+        let collected: Vec<(SimTime, Vec<u8>)> =
+            slab.iter().map(|(t, b)| (t, b.to_vec())).collect();
+        assert_eq!(collected[1], (SimTime::from_millis(7), b"be".to_vec()));
+    }
+
+    #[test]
+    fn absorb_rebases_offsets_and_empties_the_follower() {
+        let mut a = SlabBatch::default();
+        a.push_bytes(b"one", SimTime::from_millis(1));
+        let mut b = SlabBatch::default();
+        b.push_bytes(b"two", SimTime::from_millis(1));
+        b.push_bytes(b"three", SimTime::from_millis(1));
+        a.absorb(&mut b);
+        assert!(b.is_empty());
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.packet(1), b"two");
+        assert_eq!(a.packet(2), b"three");
+    }
+
+    #[test]
+    fn truncate_drops_tail_packets_and_bytes() {
+        let mut slab = SlabBatch::default();
+        slab.push_bytes(b"aa", SimTime::ZERO);
+        slab.push_bytes(b"bbb", SimTime::ZERO);
+        slab.push_bytes(b"c", SimTime::ZERO);
+        slab.truncate(1);
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.byte_len(), 2);
+        assert_eq!(slab.packet(0), b"aa");
+        slab.truncate(5); // No-op beyond the end.
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn batch_pool_recycles_slabs_and_tracks_residency() {
+        let mut pool = BatchPool::for_packets(16);
+        let mut slab = pool.get();
+        assert_eq!(pool.stats().allocations, 1);
+        slab.push_bytes(&[0u8; 100], SimTime::ZERO);
+        let cap = slab.capacity_bytes() as u64;
+        pool.put(slab);
+        assert_eq!(pool.stats().recycled, 1);
+        assert_eq!(pool.stats().resident_bytes, cap);
+        let slab = pool.get();
+        assert!(slab.is_empty(), "recycled slabs come back cleared");
+        assert_eq!(pool.stats().reuses, 1);
+        assert_eq!(pool.stats().resident_bytes, 0);
+        pool.put(slab);
+    }
+
+    #[test]
+    fn batch_pool_drops_ballooned_slabs() {
+        let mut pool = BatchPool::new(64, 2);
+        let mut slab = pool.get();
+        slab.push_bytes(&vec![0u8; BatchPool::MAX_SLAB_BYTES + 1], SimTime::ZERO);
+        pool.put(slab);
+        assert_eq!(pool.free_len(), 0, "oversized slab must not be pooled");
+        assert_eq!(pool.stats().recycled, 0);
+        assert_eq!(pool.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn pool_stats_merge_sums_everything() {
+        let mut a = PoolStats { allocations: 1, reuses: 2, recycled: 3, resident_bytes: 10 };
+        let b = PoolStats { allocations: 4, reuses: 5, recycled: 6, resident_bytes: 20 };
+        a.merge(&b);
+        assert_eq!(a, PoolStats { allocations: 5, reuses: 7, recycled: 9, resident_bytes: 30 });
     }
 }

@@ -36,12 +36,57 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// How many spin-loop iterations a blocked side burns before yielding the
 /// thread. Bounded waits keep latency low without monopolising a core.
 const SPINS_BEFORE_YIELD: u32 = 64;
+
+/// How many yields a blocked side performs (after the spin phase) before
+/// escalating to a real sleep.
+const YIELDS_BEFORE_SLEEP: u32 = 32;
+
+/// How long the sleep phase parks the thread per pause. Long enough to free
+/// the core for the peer, short enough to stay responsive once it drains.
+const SLEEP_PAUSE: std::time::Duration = std::time::Duration::from_micros(100);
+
+/// An escalating wait strategy for blocked queue endpoints: spin briefly
+/// (cheapest if the peer is about to act), then yield the time slice, then
+/// sleep. A full ring therefore costs the waiting thread almost no CPU
+/// instead of burning a core in a hot spin loop.
+///
+/// Call [`Backoff::pause`] each time progress fails and [`Backoff::reset`]
+/// (or drop the value) once it succeeds.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// A fresh backoff, starting in the spin phase.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns to the spin phase after progress was made.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Waits once, escalating from spin to yield to sleep as failed attempts
+    /// accumulate.
+    pub fn pause(&mut self) {
+        if self.step < SPINS_BEFORE_YIELD {
+            std::hint::spin_loop();
+        } else if self.step < SPINS_BEFORE_YIELD + YIELDS_BEFORE_SLEEP {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(SLEEP_PAUSE);
+        }
+        self.step = self.step.saturating_add(1);
+    }
+}
 
 struct Ring<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
@@ -51,6 +96,10 @@ struct Ring<T> {
     tail: AtomicUsize,
     /// Set when either side is dropped.
     closed: AtomicBool,
+    /// Blocking `send` calls that found the ring full and had to wait — the
+    /// observable face of backpressure. Wall-clock scheduling detail, never
+    /// part of a deterministic digest.
+    stalls: AtomicU64,
 }
 
 // The ring hands each `T` from exactly one thread to exactly one other
@@ -117,6 +166,7 @@ pub fn spsc_channel<T: Send>(capacity: usize) -> (SpscSender<T>, SpscReceiver<T>
         head: AtomicUsize::new(0),
         tail: AtomicUsize::new(0),
         closed: AtomicBool::new(false),
+        stalls: AtomicU64::new(0),
     });
     (SpscSender { ring: Arc::clone(&ring) }, SpscReceiver { ring })
 }
@@ -141,10 +191,13 @@ impl<T: Send> SpscSender<T> {
         Ok(())
     }
 
-    /// Enqueues `value`, waiting (spin, then yield) while the queue is full —
-    /// the back-pressure path. Fails only if the receiver is dropped.
+    /// Enqueues `value`, waiting with an escalating spin → yield → sleep
+    /// backoff while the queue is full — the back-pressure path. Each send
+    /// that finds the ring full counts one stall. Fails only if the receiver
+    /// is dropped.
     pub fn send(&self, mut value: T) -> Result<(), SpscSendError<T>> {
-        let mut spins = 0u32;
+        let mut backoff = Backoff::new();
+        let mut stalled = false;
         loop {
             match self.try_send(value) {
                 Ok(()) => return Ok(()),
@@ -153,15 +206,19 @@ impl<T: Send> SpscSender<T> {
                 }
                 Err(SpscSendError::Full(v)) => {
                     value = v;
-                    spins += 1;
-                    if spins > SPINS_BEFORE_YIELD {
-                        std::thread::yield_now();
-                    } else {
-                        std::hint::spin_loop();
+                    if !stalled {
+                        stalled = true;
+                        self.ring.stalls.fetch_add(1, Ordering::Relaxed);
                     }
+                    backoff.pause();
                 }
             }
         }
+    }
+
+    /// Number of blocking sends that found the ring full and had to wait.
+    pub fn stalls(&self) -> u64 {
+        self.ring.stalls.load(Ordering::Relaxed)
     }
 
     /// Number of items currently in flight.
@@ -203,11 +260,11 @@ impl<T: Send> SpscReceiver<T> {
         Some(value)
     }
 
-    /// Dequeues one item, waiting (spin, then yield) while the queue is
-    /// empty. Returns `None` only when the sender is dropped *and* the queue
-    /// has been fully drained.
+    /// Dequeues one item, waiting with an escalating spin → yield → sleep
+    /// backoff while the queue is empty. Returns `None` only when the sender
+    /// is dropped *and* the queue has been fully drained.
     pub fn recv(&self) -> Option<T> {
-        let mut spins = 0u32;
+        let mut backoff = Backoff::new();
         loop {
             if let Some(value) = self.try_recv() {
                 return Some(value);
@@ -217,13 +274,14 @@ impl<T: Send> SpscReceiver<T> {
                 // `try_recv` and the closed read.
                 return self.try_recv();
             }
-            spins += 1;
-            if spins > SPINS_BEFORE_YIELD {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
+            backoff.pause();
         }
+    }
+
+    /// Number of blocking sends that found the ring full and had to wait
+    /// (mirrors [`SpscSender::stalls`] so the consuming side can report it).
+    pub fn stalls(&self) -> u64 {
+        self.ring.stalls.load(Ordering::Relaxed)
     }
 
     /// True once the sender has been dropped (items may still be in flight).
@@ -245,6 +303,91 @@ impl<T: Send> SpscReceiver<T> {
 impl<T> Drop for SpscReceiver<T> {
     fn drop(&mut self) {
         self.ring.closed.store(true, Ordering::Release);
+    }
+}
+
+/// Credit-based backpressure for a batch pipeline: a producer must
+/// [`CreditGate::acquire`] one credit per in-flight batch and the consumer
+/// [`CreditGate::release`]s it when the batch completes, so at most `depth`
+/// batches are ever in flight and a slow consumer throttles the producer
+/// instead of letting queues balloon.
+///
+/// The gate carries no payload — it is shared (via `Arc`) alongside an SPSC
+/// ring that carries the batch descriptors. Credit accounting affects only
+/// *when* the producer runs, never *what* any batch computes, so it is
+/// invisible to deterministic digests.
+#[derive(Debug)]
+pub struct CreditGate {
+    available: AtomicU64,
+    depth: u64,
+    stalls: AtomicU64,
+}
+
+impl CreditGate {
+    /// A gate holding `depth` credits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero — a zero-credit gate can never admit work.
+    pub fn new(depth: u64) -> Self {
+        assert!(depth > 0, "a credit gate needs at least one credit");
+        Self { available: AtomicU64::new(depth), depth, stalls: AtomicU64::new(0) }
+    }
+
+    /// Takes one credit without waiting. Returns `false` if none are free.
+    pub fn try_acquire(&self) -> bool {
+        let mut cur = self.available.load(Ordering::Acquire);
+        loop {
+            if cur == 0 {
+                return false;
+            }
+            match self.available.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Takes one credit, waiting with an escalating backoff while none are
+    /// free. Each acquire that had to wait counts one stall.
+    pub fn acquire(&self) {
+        if self.try_acquire() {
+            return;
+        }
+        self.stalls.fetch_add(1, Ordering::Relaxed);
+        let mut backoff = Backoff::new();
+        loop {
+            backoff.pause();
+            if self.try_acquire() {
+                return;
+            }
+        }
+    }
+
+    /// Returns one credit (a batch completed).
+    pub fn release(&self) {
+        let prev = self.available.fetch_add(1, Ordering::Release);
+        debug_assert!(prev < self.depth, "credit released more often than acquired");
+    }
+
+    /// Credits currently free.
+    pub fn available(&self) -> u64 {
+        self.available.load(Ordering::Acquire)
+    }
+
+    /// Total credits the gate was created with.
+    pub fn depth(&self) -> u64 {
+        self.depth
+    }
+
+    /// Number of `acquire` calls that found no credit and had to wait.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.load(Ordering::Relaxed)
     }
 }
 
@@ -338,5 +481,71 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_capacity_panics() {
         let _ = spsc_channel::<u8>(0);
+    }
+
+    #[test]
+    fn blocking_sends_on_a_full_ring_are_counted_as_stalls() {
+        let (tx, rx) = spsc_channel::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.stalls(), 0, "try_send never counts stalls");
+        let producer = std::thread::spawn(move || {
+            tx.send(3).unwrap(); // Ring is full: must wait for the consumer.
+            tx.stalls()
+        });
+        // Let the producer hit the full ring, then drain one slot.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.try_recv(), Some(1));
+        let stalls = producer.join().unwrap();
+        assert_eq!(stalls, 1, "one blocked send, one stall");
+        assert_eq!(rx.stalls(), 1, "receiver sees the same counter");
+    }
+
+    #[test]
+    fn backoff_escalates_without_panicking() {
+        let mut backoff = Backoff::new();
+        // Walk through spin and yield phases and into the first sleep.
+        for _ in 0..(SPINS_BEFORE_YIELD + YIELDS_BEFORE_SLEEP + 1) {
+            backoff.pause();
+        }
+        backoff.reset();
+        backoff.pause(); // Back in the cheap spin phase.
+    }
+
+    #[test]
+    fn credit_gate_admits_at_most_depth_batches() {
+        let gate = CreditGate::new(2);
+        assert_eq!(gate.depth(), 2);
+        assert!(gate.try_acquire());
+        assert!(gate.try_acquire());
+        assert!(!gate.try_acquire(), "no third credit");
+        assert_eq!(gate.available(), 0);
+        gate.release();
+        assert_eq!(gate.available(), 1);
+        assert!(gate.try_acquire());
+        assert_eq!(gate.stalls(), 0, "try_acquire never counts stalls");
+    }
+
+    #[test]
+    fn credit_gate_blocks_producer_until_consumer_releases() {
+        let gate = Arc::new(CreditGate::new(1));
+        gate.acquire(); // The one credit is out.
+        let producer = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                gate.acquire(); // Must wait for the release below.
+                gate.stalls()
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        gate.release();
+        let stalls = producer.join().unwrap();
+        assert_eq!(stalls, 1, "one blocked acquire, one stall");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one credit")]
+    fn zero_depth_gate_panics() {
+        let _ = CreditGate::new(0);
     }
 }

@@ -6,7 +6,7 @@ use mop_packet::Packet;
 use mop_simnet::SimTime;
 
 /// Counters kept by the device, used for throughput and resource accounting.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy)]
 pub struct TunStats {
     /// Packets written by apps (outbound, towards MopEye).
     pub packets_from_apps: u64,
@@ -16,7 +16,25 @@ pub struct TunStats {
     pub packets_to_apps: u64,
     /// Bytes written by MopEye back to apps.
     pub bytes_to_apps: u64,
+    /// Times the fleet's TUN-ingress dispatcher stalled on backpressure
+    /// (full shard ring or exhausted credits). A wall-clock scheduling
+    /// observation, not part of the simulated behaviour — excluded from
+    /// equality and digests, which is why `PartialEq` is hand-written below.
+    pub dispatch_stalls: u64,
 }
+
+impl PartialEq for TunStats {
+    fn eq(&self, other: &Self) -> bool {
+        // `dispatch_stalls` is deliberately excluded: it depends on host
+        // thread scheduling, not on what the simulation computed.
+        self.packets_from_apps == other.packets_from_apps
+            && self.bytes_from_apps == other.bytes_from_apps
+            && self.packets_to_apps == other.packets_to_apps
+            && self.bytes_to_apps == other.bytes_to_apps
+    }
+}
+
+impl Eq for TunStats {}
 
 impl TunStats {
     /// Adds another device's counters into this one (cross-shard
@@ -26,6 +44,7 @@ impl TunStats {
         self.bytes_from_apps += other.bytes_from_apps;
         self.packets_to_apps += other.packets_to_apps;
         self.bytes_to_apps += other.bytes_to_apps;
+        self.dispatch_stalls += other.dispatch_stalls;
     }
 }
 

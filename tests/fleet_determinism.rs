@@ -72,6 +72,51 @@ fn same_seed_same_scenario_identical_report_at_1_2_8_shards() {
 }
 
 #[test]
+fn batch_size_and_credit_depth_never_move_a_bit() {
+    // The vectored datapath's whole contract: the burst length of the stage
+    // pipeline and the dispatcher's credit depth are *throughput* knobs, not
+    // behaviour knobs. Every (batch, credits, shards) combination must
+    // reproduce the pre-refactor digest exactly — batch size 1 degenerates
+    // to the item-wise loop, 64 exceeds the coalescing window of most
+    // instants, and credit depth 1 forces a fully serialised dispatcher.
+    let scenario = Scenario::rush_hour(300, 20_170_712);
+    let flows = scenario.generate();
+    for (batch, credits) in [(1usize, 1u64), (16, 2), (64, 8)] {
+        for shards in [1usize, 2, 8] {
+            let fleet = FleetEngine::new(
+                FleetConfig::new(shards)
+                    .with_seed(77)
+                    .with_batch_size(batch)
+                    .with_credits(credits as usize),
+                scenario.network(),
+            );
+            let report = fleet.run(flows.clone());
+            assert_eq!(
+                report.digest(),
+                PRE_REFACTOR_RUSH_HOUR_DIGEST,
+                "batch {batch} credits {credits} shards {shards} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn core_pinning_is_behaviourally_invisible() {
+    // Pinning workers to cores is wall-clock plumbing; virtual time cannot
+    // see it. (Whether pinning *succeeded* is platform-dependent and
+    // reported per shard, so only the digest is asserted here.)
+    let scenario = Scenario::rush_hour(150, 11);
+    let flows = scenario.generate();
+    let unpinned =
+        FleetEngine::new(FleetConfig::new(4).with_seed(3), scenario.network()).run(flows.clone());
+    let pinned =
+        FleetEngine::new(FleetConfig::new(4).with_seed(3).with_pinning(true), scenario.network())
+            .run(flows);
+    assert_eq!(unpinned.digest(), pinned.digest(), "pinning moved the digest");
+    assert_eq!(pinned.per_shard.len(), 4);
+}
+
+#[test]
 fn every_profile_in_the_matrix_is_shard_count_invariant() {
     for profile in NetProfile::ALL {
         let scenario = Scenario::single(
