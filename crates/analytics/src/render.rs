@@ -56,6 +56,46 @@ pub fn render_sketch_series(label: &str, sketch: &RttSketch, x_max: f64, points:
     out
 }
 
+/// The relay's loss-recovery tallies for one run, ready to render. All
+/// counters are zero on clean networks (no recovery state is ever created),
+/// so reports usually show this section only when something actually fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LossRecoverySummary {
+    /// The congestion-control algorithm label ("reno", "cubic").
+    pub congestion: &'static str,
+    /// Data segments retransmitted towards apps (fast + RTO paths).
+    pub retransmits: u64,
+    /// Fast-retransmit events (third duplicate ACK).
+    pub fast_retransmits: u64,
+    /// Retransmission-timer fires that resent a segment.
+    pub rto_fires: u64,
+    /// In-flight segments covered by SACK blocks from apps.
+    pub sacked_segments: u64,
+}
+
+impl LossRecoverySummary {
+    /// True if any recovery machinery fired during the run.
+    pub fn any_fired(&self) -> bool {
+        self.retransmits + self.fast_retransmits + self.rto_fires + self.sacked_segments > 0
+    }
+}
+
+/// Renders the loss-recovery tallies as a one-row table (the crowd report's
+/// loss section).
+pub fn render_loss_recovery(summary: &LossRecoverySummary) -> String {
+    render_table(
+        "Loss recovery (data-path faults survived by the relay)",
+        &["cc", "retransmits", "fast rtx", "RTO fires", "SACKed segs"],
+        &[vec![
+            summary.congestion.to_string(),
+            summary.retransmits.to_string(),
+            summary.fast_retransmits.to_string(),
+            summary.rto_fires.to_string(),
+            summary.sacked_segments.to_string(),
+        ]],
+    )
+}
+
 /// Formats a float with one decimal, using "n/a" for non-finite values.
 pub fn fmt_ms(v: f64) -> String {
     if v.is_finite() {
@@ -107,5 +147,24 @@ mod tests {
     fn fmt_ms_handles_nan() {
         assert_eq!(fmt_ms(12.34), "12.3");
         assert_eq!(fmt_ms(f64::NAN), "n/a");
+    }
+
+    #[test]
+    fn loss_recovery_summary_renders_and_detects_quiet_runs() {
+        let quiet = LossRecoverySummary { congestion: "reno", ..Default::default() };
+        assert!(!quiet.any_fired());
+        let busy = LossRecoverySummary {
+            congestion: "cubic",
+            retransmits: 12,
+            fast_retransmits: 9,
+            rto_fires: 3,
+            sacked_segments: 40,
+        };
+        assert!(busy.any_fired());
+        let text = render_loss_recovery(&busy);
+        assert!(text.starts_with("Loss recovery"));
+        assert!(text.contains("cubic"));
+        assert!(text.contains("12"));
+        assert!(text.contains("40"));
     }
 }

@@ -1,0 +1,82 @@
+//! Loss sweep: relay goodput versus data-path loss rate, Reno versus CUBIC.
+//!
+//! One fixed video-heavy flow set rides an LTE profile whose data-fault
+//! knobs sweep from clean to cell-edge (loss 0 → 3 %, with reordering and
+//! duplication scaled along). Each run reports aggregate download goodput,
+//! so the curve shows what the recovery machinery — fast retransmit, SACK
+//! recovery, RTO backoff, cwnd-paced resends — costs as the path degrades.
+//! The zero-loss point must match the fault-free engine exactly (recovery
+//! state is never even created), which `tests/fleet_determinism.rs` pins;
+//! this bench is only about the cost and goodput curves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mop_dataset::{NetProfile, Scenario, TrafficMix};
+use mop_simnet::{AccessProfile, SimDuration, SimNetwork, SimNetworkBuilder};
+use mopeye_core::{CongestionAlgo, FleetConfig, FleetEngine};
+
+const LOSS_RATES: [f64; 4] = [0.0, 0.005, 0.01, 0.03];
+
+fn scenario() -> Scenario {
+    Scenario::single(TrafficMix::VideoStreaming, NetProfile::Lte, 120, SimDuration::from_secs(4), 2017)
+}
+
+fn network(loss: f64) -> SimNetworkBuilder {
+    let access = AccessProfile::lte().with_data_faults(loss, loss / 3.0, loss / 15.0);
+    SimNetwork::builder().seed(2017).flow_keyed().with_table2_destinations().access(access)
+}
+
+fn algo_label(algo: CongestionAlgo) -> &'static str {
+    match algo {
+        CongestionAlgo::Reno => "reno",
+        CongestionAlgo::Cubic => "cubic",
+    }
+}
+
+fn bench_loss_sweep(c: &mut Criterion) {
+    let scenario = scenario();
+    let flows = scenario.generate();
+
+    let mut group = c.benchmark_group("loss_sweep");
+    group.sample_size(10);
+    for algo in [CongestionAlgo::Reno, CongestionAlgo::Cubic] {
+        for loss in LOSS_RATES {
+            let label = format!("video_120users_{}_loss{:.3}", algo_label(algo), loss);
+            group.bench_function(&label, |b| {
+                b.iter(|| {
+                    FleetEngine::new(
+                        FleetConfig::new(1).with_congestion(algo),
+                        network(loss),
+                    )
+                    .run(flows.clone())
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // A one-line stderr summary per (cc, loss) point for eyeballing the
+    // goodput curve without parsing criterion output (BENCH_pr7.json
+    // records these).
+    for algo in [CongestionAlgo::Reno, CongestionAlgo::Cubic] {
+        for loss in LOSS_RATES {
+            let fleet = FleetEngine::new(FleetConfig::new(1).with_congestion(algo), network(loss));
+            let started = std::time::Instant::now();
+            let report = fleet.run(flows.clone());
+            let wall = started.elapsed();
+            let relay = &report.merged.relay;
+            eprintln!(
+                "loss_sweep: {:>5} loss {loss:.3}: {:>7.2} Mbit/s goodput, {:>4} retransmits \
+                 ({:>3} rto), {:>5.0} ms wall, digest {:016x}",
+                algo_label(algo),
+                report.relay_throughput_mbps().unwrap_or(0.0),
+                relay.retransmits,
+                relay.rto_fires,
+                wall.as_secs_f64() * 1e3,
+                report.digest(),
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_loss_sweep);
+criterion_main!(benches);

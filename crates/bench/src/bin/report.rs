@@ -1,9 +1,9 @@
 //! Streaming crowd-analytics report over a fleet scenario.
 //!
-//! Runs a rush-hour fleet scenario on the sharded relay engine with
-//! raw-sample retention **disabled** — every RTT measurement is folded into
-//! the shard sinks' mergeable sketches as it is produced, and the crowd
-//! report (per-network medians and CDFs, top apps, app-slow-vs-network-slow
+//! Runs a fleet scenario on the sharded relay engine with raw-sample
+//! retention **disabled** — every RTT measurement is folded into the shard
+//! sinks' mergeable sketches as it is produced, and the crowd report
+//! (per-network medians and CDFs, top apps, app-slow-vs-network-slow
 //! diagnosis, ISP ranking) is rendered from the merged aggregates. The
 //! record vector is never materialised, so analytics memory is
 //! O(apps × networks) whatever the connection count.
@@ -14,23 +14,37 @@
 //! report                      # 2,000-user rush hour on 4 shards
 //! report --users 13000        # ~100k connections
 //! report --shards 8 --seed 7  # shard count / seed
+//! report --scenario degraded-commute --cc cubic
+//! #                           # lossy 3G → LTE commute, CUBIC recovery
 //! report --out target/report  # also write report.txt / report.json there
 //! ```
 
 use std::fs;
 use std::path::PathBuf;
 
-use mop_bench::{render_crowd_report, run_fleet_scenario_lean};
+use mop_analytics::render::{render_loss_recovery, LossRecoverySummary};
+use mop_bench::{render_crowd_report, run_scenario_lean};
+use mop_dataset::Scenario;
+use mopeye_core::CongestionAlgo;
 
 struct Options {
     users: usize,
     shards: usize,
     seed: u64,
+    scenario: String,
+    congestion: CongestionAlgo,
     out_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Options {
-    let mut options = Options { users: 2_000, shards: 4, seed: 2017, out_dir: None };
+    let mut options = Options {
+        users: 2_000,
+        shards: 4,
+        seed: 2017,
+        scenario: "rush-hour".into(),
+        congestion: CongestionAlgo::Reno,
+        out_dir: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -44,9 +58,22 @@ fn parse_args() -> Options {
             "--seed" => {
                 options.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(options.seed)
             }
+            "--scenario" => {
+                options.scenario = args.next().unwrap_or(options.scenario);
+            }
+            "--cc" => {
+                options.congestion = match args.next().as_deref() {
+                    Some("cubic") => CongestionAlgo::Cubic,
+                    _ => CongestionAlgo::Reno,
+                }
+            }
             "--out" => options.out_dir = args.next().map(PathBuf::from),
             "--help" | "-h" => {
-                eprintln!("usage: report [--users <n>] [--shards <n>] [--seed <n>] [--out <dir>]");
+                eprintln!(
+                    "usage: report [--users <n>] [--shards <n>] [--seed <n>] \
+                     [--scenario rush-hour|flash-crowd|degraded-commute] \
+                     [--cc reno|cubic] [--out <dir>]"
+                );
                 std::process::exit(0);
             }
             other => eprintln!("ignoring unknown argument {other:?}"),
@@ -57,14 +84,38 @@ fn parse_args() -> Options {
 
 fn main() {
     let options = parse_args();
+    let scenario = match options.scenario.as_str() {
+        "rush-hour" => Scenario::rush_hour(options.users, options.seed),
+        "flash-crowd" => Scenario::flash_crowd(options.users, options.seed),
+        "degraded-commute" => Scenario::degraded_commute(options.users, options.seed),
+        other => {
+            eprintln!("unknown scenario {other:?}; expected rush-hour, flash-crowd or degraded-commute");
+            std::process::exit(2);
+        }
+    };
     let started = std::time::Instant::now();
-    let report = run_fleet_scenario_lean(options.users, options.shards, options.seed);
+    let report = run_scenario_lean(&scenario, options.shards, options.seed, options.congestion);
     let ran_in = started.elapsed().as_secs_f64();
     let output = render_crowd_report(&report.merged.aggregates);
     println!("{}", output.text);
+    let relay = &report.merged.relay;
+    let recovery = LossRecoverySummary {
+        congestion: match options.congestion {
+            CongestionAlgo::Reno => "reno",
+            CongestionAlgo::Cubic => "cubic",
+        },
+        retransmits: relay.retransmits,
+        fast_retransmits: relay.fast_retransmits,
+        rto_fires: relay.rto_fires,
+        sacked_segments: relay.sacked_segments,
+    };
+    if recovery.any_fired() {
+        println!("{}", render_loss_recovery(&recovery));
+    }
     println!(
-        "run: {} users, {} shards, seed {}: {} flows, {} samples into {} sketch cells \
+        "run: {} ({} users, {} shards, seed {}): {} flows, {} samples into {} sketch cells \
          (raw vector: {} entries), digest {:016x}, {ran_in:.1}s wall",
+        scenario.spec().name,
         options.users,
         options.shards,
         options.seed,

@@ -11,7 +11,7 @@ use mop_analytics::{
 use mop_analytics::render::{fmt_ms, render_cdf_series, render_sketch_series, render_table};
 use mop_dataset::{DatasetSpec, Scenario, SyntheticDataset};
 use mop_measure::{AggregateStore, MeasurementKind};
-use mopeye_core::{FleetConfig, FleetEngine, FleetReport};
+use mopeye_core::{CongestionAlgo, FleetConfig, FleetEngine, FleetReport};
 
 /// Default seed used by the repro binary.
 pub const REPRO_SEED: u64 = 20170712; // USENIX ATC '17 presentation date.
@@ -474,8 +474,22 @@ pub fn run_crowd_experiments(dataset: &SyntheticDataset) -> Vec<ExperimentOutput
 /// [`AggregateStore`], so analytics memory is O(apps × networks), not
 /// O(samples). This is the engine side of the `report` binary.
 pub fn run_fleet_scenario_lean(users: usize, shards: usize, seed: u64) -> FleetReport {
-    let scenario = Scenario::rush_hour(users, seed);
-    let mut config = FleetConfig::new(shards).with_seed(seed);
+    run_scenario_lean(&Scenario::rush_hour(users, seed), shards, seed, CongestionAlgo::Reno)
+}
+
+/// Like [`run_fleet_scenario_lean`] but over an arbitrary scenario and
+/// congestion-control choice — the engine side of the `report` binary's
+/// `--scenario` / `--cc` flags. On fault-capable scenarios (lossy 3G, the
+/// degraded commute) the returned report's relay counters carry the loss
+/// recovery tallies (retransmits, fast retransmits, RTO fires, SACKed
+/// segments).
+pub fn run_scenario_lean(
+    scenario: &Scenario,
+    shards: usize,
+    seed: u64,
+    congestion: CongestionAlgo,
+) -> FleetReport {
+    let mut config = FleetConfig::new(shards).with_seed(seed).with_congestion(congestion);
     config.engine = config.engine.with_retain_samples(false);
     let fleet = FleetEngine::new(config, scenario.network());
     fleet.run(scenario.generate())

@@ -4,6 +4,7 @@
 
 use mop_procnet::MappingStrategy;
 use mop_simnet::{wheel::DEFAULT_GRANULARITY, SchedulerKind, SimDuration};
+use mop_tcpstack::CongestionAlgo;
 use mop_tun::ReadStrategy;
 
 /// How packets are written back to the VPN tunnel (§3.5.1).
@@ -151,6 +152,11 @@ pub struct MopEyeConfig {
     /// schedule/cancel churn the timing wheel absorbs at O(1), and the home
     /// future retransmission/keepalive timers will share.
     pub idle_timeout: Option<SimDuration>,
+    /// Which congestion controller paces loss recovery on faulty networks
+    /// (see [`mop_tcpstack::RecoveryState`]). Consulted only when the
+    /// simulated network can inject data-path faults; on clean networks no
+    /// recovery state exists at all, so the choice is free.
+    pub congestion: CongestionAlgo,
     /// Upper bound on how many same-timestamp TUN packets the event loop
     /// coalesces into one slab batch, and the burst length over which the
     /// saturating MainWorker amortises its per-packet cost. Batch boundaries
@@ -198,6 +204,7 @@ impl MopEyeConfig {
             scheduler: SchedulerKind::Wheel,
             wheel_granularity: DEFAULT_GRANULARITY,
             idle_timeout: None,
+            congestion: CongestionAlgo::Reno,
             batch_size: DEFAULT_BATCH_SIZE,
         }
     }
@@ -222,6 +229,7 @@ impl MopEyeConfig {
             scheduler: SchedulerKind::Wheel,
             wheel_granularity: DEFAULT_GRANULARITY,
             idle_timeout: None,
+            congestion: CongestionAlgo::Reno,
             batch_size: DEFAULT_BATCH_SIZE,
         }
     }
@@ -246,6 +254,7 @@ impl MopEyeConfig {
             scheduler: SchedulerKind::Wheel,
             wheel_granularity: DEFAULT_GRANULARITY,
             idle_timeout: None,
+            congestion: CongestionAlgo::Reno,
             batch_size: DEFAULT_BATCH_SIZE,
         }
     }
@@ -329,6 +338,13 @@ impl MopEyeConfig {
     /// [`MopEyeConfig::idle_timeout`]).
     pub fn with_idle_timeout(mut self, timeout: Option<SimDuration>) -> Self {
         self.idle_timeout = timeout;
+        self
+    }
+
+    /// Sets the congestion controller used for loss recovery (see
+    /// [`MopEyeConfig::congestion`]).
+    pub fn with_congestion(mut self, congestion: CongestionAlgo) -> Self {
+        self.congestion = congestion;
         self
     }
 

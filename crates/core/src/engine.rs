@@ -71,6 +71,9 @@ pub(crate) enum Event {
     /// The cancellable idle timer of `flow` expired with no relay activity.
     /// (→ relay)
     IdleTimeout(FourTuple),
+    /// The retransmission timer of `flow` expired with data still in flight.
+    /// (→ relay)
+    RtoTimeout(FourTuple),
 }
 
 /// The MopEye relay engine: the event loop over the four pipeline stages.
@@ -261,8 +264,16 @@ impl MopEyeEngine {
                 now,
                 packet,
             ),
-            Event::IdleTimeout(flow) => {
-                self.relay.on_idle_timeout(shared, &mut self.egress, &mut self.sink, now, flow)
+            Event::IdleTimeout(flow) => self.relay.on_idle_timeout(
+                shared,
+                &mut self.egress,
+                &mut self.sink,
+                sched,
+                now,
+                flow,
+            ),
+            Event::RtoTimeout(flow) => {
+                self.relay.on_rto_timeout(shared, &mut self.egress, sched, now, flow)
             }
         }
     }

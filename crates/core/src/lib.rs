@@ -76,6 +76,7 @@ pub use config::{
     WriteScheme,
 };
 pub use engine::MopEyeEngine;
+pub use mop_tcpstack::CongestionAlgo;
 pub use report::RunReport;
 pub use shard::{FleetConfig, FleetEngine, FleetReport, ShardOutcome};
 pub use stages::Stage;

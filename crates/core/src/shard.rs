@@ -118,6 +118,14 @@ impl FleetConfig {
         self
     }
 
+    /// Selects the congestion-control algorithm every shard's loss recovery
+    /// runs (see [`MopEyeConfig::congestion`]). Only consulted on networks
+    /// that inject data-path faults.
+    pub fn with_congestion(mut self, congestion: mop_tcpstack::CongestionAlgo) -> Self {
+        self.engine = self.engine.with_congestion(congestion);
+        self
+    }
+
     /// Sets the per-shard engine batch size (burst length of the stage
     /// pipeline and of the dispatcher's flow batches). See
     /// [`MopEyeConfig::batch_size`].

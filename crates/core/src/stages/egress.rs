@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use mop_packet::{FourTuple, Packet};
-use mop_simnet::{SimTime, TimerScheduler};
+use mop_simnet::{FaultDecision, SimTime, TimerScheduler};
 
 use super::{EngineShared, Stage, StageBatch, StageLinks};
 use crate::config::EngineDiscipline;
@@ -96,7 +96,28 @@ impl EgressStage {
         };
         sh.checkin_rng_opt(flow_key, rng);
         sh.tun.record_relay_write(packet.wire_len());
-        sched.schedule(outcome.written_at, Event::DeliverToApp(packet));
+        let mut deliver_at = outcome.written_at;
+        // The data-path fault stage: only payload-bearing TCP segments are
+        // eligible (control segments — SYN/ACK, pure ACKs, FINs, RSTs — are
+        // never faulted, so handshakes and teardowns stay loss-free and RTT
+        // samples stay comparable across loss rates). Each decision comes
+        // from the flow's dedicated fault stream keyed by `(seed,
+        // four-tuple)`, so any shard partition faults the same segments. The
+        // writer already counted the write: a dropped segment consumed the
+        // tunnel exactly like a delivered one.
+        if let Some(flow) = flow_key {
+            if packet.tcp().is_some_and(|t| !t.payload.is_empty()) && sh.net.faults_possible() {
+                match sh.net.data_fault(flow, deliver_at) {
+                    FaultDecision::Deliver => {}
+                    FaultDecision::Drop => return,
+                    FaultDecision::Duplicate => {
+                        sched.schedule(deliver_at, Event::DeliverToApp(packet.clone()));
+                    }
+                    FaultDecision::Delay(extra) => deliver_at += extra,
+                }
+            }
+        }
+        sched.schedule(deliver_at, Event::DeliverToApp(packet));
     }
 
     /// Evicts a finished connection's writer lane (flow-keyed teardown).

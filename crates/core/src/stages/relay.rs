@@ -17,7 +17,9 @@
 use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
 
-use mop_packet::{DnsMessage, Endpoint, FourTuple, Packet, PacketBuilder, PacketView, TransportView};
+use mop_packet::{
+    DnsMessage, Endpoint, FourTuple, Packet, PacketBuilder, PacketView, SackBlocks, TransportView,
+};
 use mop_procnet::{
     CachedMapper, ConnectionTable, EagerMapper, LazyMapper, MappingStats, MappingStrategy,
     PackageManager, SocketStateCode,
@@ -26,7 +28,7 @@ use mop_simnet::{
     Selector, SimDuration, SimTime, SocketId, SocketMode, SocketSet, SocketState, TimerHandle,
     TimerScheduler,
 };
-use mop_tcpstack::{ClientRegistry, RelayAction, SegmentVerdict, UdpRegistry};
+use mop_tcpstack::{ClientRegistry, RecoveryState, RelayAction, SegmentVerdict, UdpRegistry};
 
 use super::{EgressStage, EngineShared, SinkStage, Stage, StageBatch, StageLinks};
 use crate::config::{EngineDiscipline, ProtectMode, TimestampMode};
@@ -238,6 +240,22 @@ impl RelayStage {
                     SegmentVerdict::Rst => self.stats.rsts += 1,
                     SegmentVerdict::Retransmission | SegmentVerdict::OutOfState => {}
                 }
+                // Discarded pure ACKs still drive loss recovery: the app's
+                // cumulative ACK (and any SACK blocks) advance the sender
+                // scoreboard and can trigger a fast retransmit. On networks
+                // that cannot fault, no recovery state exists and this is a
+                // single `None` check.
+                if matches!(verdict, SegmentVerdict::PureAckDiscarded) {
+                    self.on_recovery_ack(
+                        sh,
+                        egress,
+                        sched,
+                        now,
+                        flow,
+                        segment.ack(),
+                        segment.sack_blocks(),
+                    );
+                }
                 for pkt in packets {
                     self.write_out(sh, egress, sched, now, pkt);
                 }
@@ -258,7 +276,7 @@ impl RelayStage {
                         .get(flow)
                         .is_some_and(|c| c.state() == mop_tcpstack::TcpState::Listen)
                 {
-                    self.disarm_idle(sched, flow);
+                    self.disarm_timers(sched, flow);
                     self.clients.remove(flow);
                     self.release_flow_state(sh, egress, flow);
                 }
@@ -402,6 +420,16 @@ impl RelayStage {
                     client.connect_finished_ns = Some(now.as_nanos());
                     client.app_uid = uid;
                     client.app_package = package.clone();
+                    // Only networks that can fault the data path get recovery
+                    // state; clean runs carry no sender scoreboard, draw no
+                    // randomness and arm no retransmission timers. The
+                    // measured connect RTT seeds the RFC 6298 estimator.
+                    if sh.net.faults_possible() {
+                        client.recovery = Some(RecoveryState::new(
+                            sh.config.congestion,
+                            client.connect_duration_ns(),
+                        ));
+                    }
                 }
                 sh.ledger.charge("ConnectThreads", register);
                 self.selector.register(socket);
@@ -553,13 +581,33 @@ impl RelayStage {
             // work: under the saturating model it queues behind the backlog
             // and, when backlogged, amortises across the burst.
             let start = sh.worker_step(now, segment_cost);
+            let mut arm_rto = None;
             if let Some(client) = self.clients.get_mut(flow) {
                 let packets = client.machine_mut().on_external_data(&data);
+                // On fault-capable networks, register every payload-bearing
+                // segment with the sender scoreboard before it leaves: the
+                // retransmission timer must cover data from the moment it is
+                // handed to egress, not from when a loss is noticed.
+                if let Some(recovery) = client.recovery.as_mut() {
+                    for pkt in &packets {
+                        if let Some(tcp) = pkt.tcp() {
+                            if !tcp.payload.is_empty() {
+                                recovery.on_data_sent(tcp.seq, &tcp.payload, start.as_nanos());
+                            }
+                        }
+                    }
+                    if recovery.has_inflight() && client.timers.rto().is_none() {
+                        arm_rto = Some(recovery.rto_ns());
+                    }
+                }
                 self.stats.data_segments_in += packets.len() as u64;
                 self.stats.bytes_in += total as u64;
                 let mut scratch = std::mem::take(&mut self.outbound_scratch);
                 scratch.extend(packets.into_iter().map(|pkt| (start, pkt)));
                 self.emit_outbound(sh, egress, sched, scratch);
+            }
+            if let Some(rto_ns) = arm_rto {
+                self.arm_rto_at(sched, flow, start + SimDuration::from_nanos(rto_ns));
             }
         }
         self.sockets.recycle_buffer(data);
@@ -627,7 +675,7 @@ impl RelayStage {
         now: SimTime,
         flow: FourTuple,
     ) {
-        self.disarm_idle(sched, flow);
+        self.disarm_timers(sched, flow);
         self.clients.remove(flow);
         self.conn_table.remove(flow);
         sink.finish_flow(flow, now, true);
@@ -684,10 +732,12 @@ impl RelayStage {
         }
     }
 
-    /// Disarms (and cancels) `flow`'s idle timer, if armed.
-    fn disarm_idle(&mut self, sched: &mut TimerScheduler<Event>, flow: FourTuple) {
+    /// Disarms (and cancels) both of `flow`'s timers, if armed. Teardown
+    /// paths use this so no timer can fire into freed per-flow state.
+    fn disarm_timers(&mut self, sched: &mut TimerScheduler<Event>, flow: FourTuple) {
         if let Some(client) = self.clients.get_mut(flow) {
-            if let Some(token) = client.timers.disarm_idle() {
+            let tokens = [client.timers.disarm_idle(), client.timers.disarm_rto()];
+            for token in tokens.into_iter().flatten() {
                 sched.cancel(TimerHandle::from_token(token));
             }
         }
@@ -702,6 +752,7 @@ impl RelayStage {
         sh: &mut EngineShared,
         egress: &mut EgressStage,
         sink: &mut SinkStage,
+        sched: &mut TimerScheduler<Event>,
         now: SimTime,
         flow: FourTuple,
     ) {
@@ -716,6 +767,11 @@ impl RelayStage {
         if state == mop_tcpstack::TcpState::Listen || state.is_terminal() {
             return;
         }
+        // The reaped connection may still carry an armed retransmission
+        // timer; cancel it so it cannot fire into the freed state.
+        if let Some(token) = client.timers.disarm_rto() {
+            sched.cancel(TimerHandle::from_token(token));
+        }
         if let Some(&socket) = self.socket_by_flow.get(&flow) {
             self.sockets.close(socket);
             self.selector.deregister(socket);
@@ -726,6 +782,104 @@ impl RelayStage {
         self.release_flow_state(sh, egress, flow);
         self.stats.idle_reaped += 1;
         self.update_memory_ledger(sh);
+    }
+
+    // ----- loss recovery --------------------------------------------------
+
+    /// (Re-)arms `flow`'s retransmission timer at `at`, cancelling any
+    /// superseded deadline (O(1) on the timing wheel).
+    fn arm_rto_at(&mut self, sched: &mut TimerScheduler<Event>, flow: FourTuple, at: SimTime) {
+        let Some(client) = self.clients.get_mut(flow) else { return };
+        let handle = sched.schedule(at, Event::RtoTimeout(flow));
+        if let Some(superseded) = client.timers.arm_rto(handle.token()) {
+            sched.cancel(TimerHandle::from_token(superseded));
+        }
+    }
+
+    /// Feeds an app ACK (cumulative edge plus any SACK blocks) into `flow`'s
+    /// sender scoreboard, emitting fast retransmits and managing the RTO
+    /// deadline per RFC 6298. On clean networks no recovery state exists and
+    /// this is a single `None` check.
+    #[allow(clippy::too_many_arguments)]
+    fn on_recovery_ack(
+        &mut self,
+        sh: &mut EngineShared,
+        egress: &mut EgressStage,
+        sched: &mut TimerScheduler<Event>,
+        now: SimTime,
+        flow: FourTuple,
+        ack: u32,
+        sack: Option<SackBlocks>,
+    ) {
+        let Some(client) = self.clients.get_mut(flow) else { return };
+        let Some(recovery) = client.recovery.as_mut() else { return };
+        let mut reaction = recovery.on_ack(ack, sack, now.as_nanos());
+        let rto_ns = recovery.rto_ns();
+        // Fast retransmits replay through the machine's immutable path — the
+        // sequence space does not advance — paced by cwnd via each
+        // retransmit's delay.
+        let resend: Vec<(SimTime, Packet)> = reaction
+            .retransmits
+            .drain(..)
+            .map(|r| {
+                let at = now + SimDuration::from_nanos(r.delay_ns);
+                (at, client.machine().retransmit_data(r.seq, r.payload))
+            })
+            .collect();
+        if reaction.all_acked {
+            // Everything in flight is acknowledged: the RTO timer dies.
+            if let Some(token) = client.timers.disarm_rto() {
+                sched.cancel(TimerHandle::from_token(token));
+            }
+        } else if reaction.advanced || reaction.fast_retransmit {
+            // New progress (or a retransmit) re-bases the deadline on the
+            // current, sample-updated RTO.
+            let handle =
+                sched.schedule(now + SimDuration::from_nanos(rto_ns), Event::RtoTimeout(flow));
+            if let Some(superseded) = client.timers.arm_rto(handle.token()) {
+                sched.cancel(TimerHandle::from_token(superseded));
+            }
+        }
+        self.stats.retransmits += resend.len() as u64;
+        self.stats.fast_retransmits += u64::from(reaction.fast_retransmit);
+        self.stats.sacked_segments += u64::from(reaction.newly_sacked);
+        if !resend.is_empty() {
+            let mut scratch = std::mem::take(&mut self.outbound_scratch);
+            scratch.extend(resend);
+            self.emit_outbound(sh, egress, sched, scratch);
+        }
+    }
+
+    /// `flow`'s retransmission timer fired with data still in flight: back
+    /// off the RTO (RFC 6298 §5.5), resend the earliest unacknowledged
+    /// segment, and re-arm at the doubled deadline.
+    pub(crate) fn on_rto_timeout(
+        &mut self,
+        sh: &mut EngineShared,
+        egress: &mut EgressStage,
+        sched: &mut TimerScheduler<Event>,
+        now: SimTime,
+        flow: FourTuple,
+    ) {
+        let Some(client) = self.clients.get_mut(flow) else { return };
+        // The firing timer is the armed one; a superseded timer was
+        // cancelled at re-arm and never reaches here.
+        client.timers.disarm_rto();
+        let Some(recovery) = client.recovery.as_mut() else { return };
+        let Some(rt) = recovery.on_rto(now.as_nanos()) else {
+            // Raced with the final ACK: nothing left in flight.
+            return;
+        };
+        let rto_ns = recovery.rto_ns();
+        let pkt = client.machine().retransmit_data(rt.seq, rt.payload);
+        let handle =
+            sched.schedule(now + SimDuration::from_nanos(rto_ns), Event::RtoTimeout(flow));
+        if let Some(superseded) = client.timers.arm_rto(handle.token()) {
+            sched.cancel(TimerHandle::from_token(superseded));
+        }
+        self.stats.rto_fires += 1;
+        self.stats.retransmits += 1;
+        self.write_out(sh, egress, sched, now, pkt);
     }
 
     // ----- DNS ------------------------------------------------------------

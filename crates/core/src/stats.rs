@@ -79,6 +79,19 @@ pub struct RelayStats {
     /// engine runs with `idle_timeout`; excluded from the fleet digest so
     /// historical digests stay comparable).
     pub idle_reaped: u64,
+    /// Data segments retransmitted towards apps (fast retransmit + RTO
+    /// paths). Zero unless the simulated network injects data-path faults;
+    /// excluded from the fleet digest so historical digests stay comparable.
+    pub retransmits: u64,
+    /// Fast-retransmit events (third duplicate ACK). Zero on clean networks;
+    /// excluded from the fleet digest.
+    pub fast_retransmits: u64,
+    /// Retransmission-timer fires that actually resent a segment. Zero on
+    /// clean networks; excluded from the fleet digest.
+    pub rto_fires: u64,
+    /// In-flight segments covered by SACK blocks from apps. Zero on clean
+    /// networks; excluded from the fleet digest.
+    pub sacked_segments: u64,
     /// Times a shard worker stalled handing its report to the fleet's
     /// measurement sink (full report ring). Wall-clock backpressure
     /// observability, not simulated behaviour — excluded from equality (see
@@ -105,6 +118,10 @@ impl PartialEq for RelayStats {
             && self.bytes_in == other.bytes_in
             && self.parse_errors == other.parse_errors
             && self.idle_reaped == other.idle_reaped
+            && self.retransmits == other.retransmits
+            && self.fast_retransmits == other.fast_retransmits
+            && self.rto_fires == other.rto_fires
+            && self.sacked_segments == other.sacked_segments
     }
 }
 
@@ -127,6 +144,10 @@ impl RelayStats {
         self.bytes_in += other.bytes_in;
         self.parse_errors += other.parse_errors;
         self.idle_reaped += other.idle_reaped;
+        self.retransmits += other.retransmits;
+        self.fast_retransmits += other.fast_retransmits;
+        self.rto_fires += other.rto_fires;
+        self.sacked_segments += other.sacked_segments;
         self.sink_stalls += other.sink_stalls;
     }
 }

@@ -112,12 +112,21 @@ pub enum NetProfile {
     Lossy3g,
     /// Starts on Wi-Fi, hands over to LTE halfway through the scenario.
     WifiLteHandover,
+    /// Starts on cell-edge 3G (with its data-path faults), hands over to
+    /// clean LTE halfway through — the commuter leaving a dead zone. The
+    /// profile that exercises loss recovery *and* its mid-session shutdown.
+    DegradedCommute,
 }
 
 impl NetProfile {
     /// Every profile, in presentation order.
-    pub const ALL: [NetProfile; 4] =
-        [NetProfile::Wifi, NetProfile::Lte, NetProfile::Lossy3g, NetProfile::WifiLteHandover];
+    pub const ALL: [NetProfile; 5] = [
+        NetProfile::Wifi,
+        NetProfile::Lte,
+        NetProfile::Lossy3g,
+        NetProfile::WifiLteHandover,
+        NetProfile::DegradedCommute,
+    ];
 
     /// A stable kebab-case label.
     pub fn label(self) -> &'static str {
@@ -126,6 +135,7 @@ impl NetProfile {
             NetProfile::Lte => "lte",
             NetProfile::Lossy3g => "lossy-3g",
             NetProfile::WifiLteHandover => "wifi-lte-handover",
+            NetProfile::DegradedCommute => "degraded-commute",
         }
     }
 
@@ -139,6 +149,9 @@ impl NetProfile {
             NetProfile::Lossy3g => builder.access(AccessProfile::lossy_3g()),
             NetProfile::WifiLteHandover => builder
                 .access(AccessProfile::wifi())
+                .handover_at(handover_at, AccessProfile::lte()),
+            NetProfile::DegradedCommute => builder
+                .access(AccessProfile::lossy_3g())
                 .handover_at(handover_at, AccessProfile::lte()),
         }
     }
@@ -158,6 +171,13 @@ impl NetProfile {
                     NetKind::Wifi
                 }
             }
+            NetProfile::DegradedCommute => {
+                if at >= handover_at {
+                    NetKind::Lte
+                } else {
+                    NetKind::Umts3g
+                }
+            }
         }
     }
 
@@ -173,6 +193,13 @@ impl NetProfile {
                     "SimTel LTE"
                 } else {
                     "HomeWiFi"
+                }
+            }
+            NetProfile::DegradedCommute => {
+                if at >= handover_at {
+                    "SimTel LTE"
+                } else {
+                    "SimTel 3G"
                 }
             }
         }
@@ -293,6 +320,28 @@ impl Scenario {
                 (TrafficMix::BackgroundChatter, 0.15),
             ],
             profile: NetProfile::Lte,
+        })
+    }
+
+    /// The loss-recovery scenario: a commuter's mix of streaming, browsing
+    /// and chatter riding cell-edge 3G — 3 % data loss, reordering and the
+    /// occasional duplicate — until the handset hands over to clean LTE
+    /// halfway through the window. The first half exercises fast retransmit,
+    /// SACK recovery and RTO backoff; the second half proves the recovery
+    /// machinery goes quiet the moment the network does.
+    pub fn degraded_commute(users: usize, seed: u64) -> Self {
+        Self::new(ScenarioSpec {
+            name: "degraded-commute".into(),
+            seed,
+            users,
+            duration: SimDuration::from_secs(4),
+            mix: vec![
+                (TrafficMix::VideoStreaming, 0.35),
+                (TrafficMix::WebBrowsing, 0.30),
+                (TrafficMix::BulkDownload, 0.15),
+                (TrafficMix::BackgroundChatter, 0.20),
+            ],
+            profile: NetProfile::DegradedCommute,
         })
     }
 
@@ -460,6 +509,23 @@ mod tests {
         use mop_simnet::NetworkType;
         assert_eq!(net.access_at(SimTime::from_secs(1)).network_type, NetworkType::Wifi);
         assert_eq!(net.access_at(SimTime::from_secs(6)).network_type, NetworkType::Lte);
+    }
+
+    #[test]
+    fn degraded_commute_starts_faulty_and_hands_over_clean() {
+        let scenario = Scenario::degraded_commute(20, 9);
+        let flows = scenario.generate();
+        assert_eq!(flows, Scenario::degraded_commute(20, 9).generate(), "deterministic");
+        let net = scenario.network().build();
+        // Faults are live on the 3G half and gone after the LTE handover.
+        assert!(net.access_at(SimTime::from_secs(1)).has_data_faults());
+        assert!(!net.access_at(SimTime::from_secs(3)).has_data_faults());
+        // Flow labels follow the handover.
+        let handover = SimTime::ZERO + SimDuration::from_secs(2);
+        for flow in &flows {
+            let expect = if flow.at >= handover { "SimTel LTE" } else { "SimTel 3G" };
+            assert_eq!(flow.isp.as_deref(), Some(expect));
+        }
     }
 
     #[test]

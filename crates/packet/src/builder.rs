@@ -12,7 +12,7 @@ use std::net::IpAddr;
 use crate::ipv4::Ipv4Packet;
 use crate::ipv6::Ipv6Packet;
 use crate::packet::{IpPacket, Packet, Transport};
-use crate::tcp::{TcpFlags, TcpOption, TcpSegment, MOPEYE_MSS, MOPEYE_RECEIVE_WINDOW};
+use crate::tcp::{SackBlocks, TcpFlags, TcpOption, TcpSegment, MOPEYE_MSS, MOPEYE_RECEIVE_WINDOW};
 use crate::udp::UdpDatagram;
 use crate::{DnsMessage, Endpoint, IPPROTO_TCP, IPPROTO_UDP};
 
@@ -95,6 +95,18 @@ impl PacketBuilder {
     pub fn tcp_ack(&self, seq: u32, ack: u32) -> Packet {
         let mut seg = TcpSegment::new(self.src.port, self.dst.port, seq, ack, TcpFlags::ACK);
         seg.window = self.window;
+        self.wrap_tcp(seg)
+    }
+
+    /// A duplicate ACK carrying SACK blocks: a pure ACK whose option list
+    /// reports the received-but-not-contiguous ranges, the way a receiver
+    /// answers a sequence hole (RFC 2018).
+    pub fn tcp_sack_ack(&self, seq: u32, ack: u32, blocks: SackBlocks) -> Packet {
+        let mut seg = TcpSegment::new(self.src.port, self.dst.port, seq, ack, TcpFlags::ACK);
+        seg.window = self.window;
+        if !blocks.is_empty() {
+            seg.options = [TcpOption::Sack(blocks)].into();
+        }
         self.wrap_tcp(seg)
     }
 
@@ -182,6 +194,18 @@ mod tests {
         assert!(r.tcp().unwrap().flags.contains(TcpFlags::RST));
         let ra = b.tcp_rst_ack(10, 11);
         assert!(ra.tcp().unwrap().flags.contains(TcpFlags::ACK));
+    }
+
+    #[test]
+    fn sack_ack_is_a_pure_ack_with_blocks() {
+        let b = builder();
+        let p = b.tcp_sack_ack(5, 1000, [(2460, 3920)].into());
+        let tcp = p.tcp().unwrap();
+        assert!(tcp.is_pure_ack());
+        assert_eq!(tcp.sack_blocks(), Some([(2460, 3920)].into()));
+        // No blocks degenerates to a plain ACK, byte for byte.
+        let plain = b.tcp_sack_ack(5, 1000, SackBlocks::new(&[]));
+        assert_eq!(plain.to_bytes(), b.tcp_ack(5, 1000).to_bytes());
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub use hash::StableHasher;
 pub use ipv4::Ipv4Packet;
 pub use ipv6::Ipv6Packet;
 pub use packet::{IpPacket, Packet, Transport};
-pub use tcp::{OptBytes, TcpFlags, TcpOption, TcpSegment};
+pub use tcp::{OptBytes, SackBlocks, TcpFlags, TcpOption, TcpSegment};
 pub use udp::UdpDatagram;
 pub use view::{
     IpView, Ipv4View, Ipv6View, PacketView, TcpOptionIter, TcpOptionRef, TcpSegmentView,

@@ -201,6 +201,92 @@ impl std::fmt::Debug for OptBytes {
     }
 }
 
+/// Inline storage for the `(left edge, right edge)` blocks of a selective
+/// acknowledgement (kind 5) option.
+///
+/// RFC 2018 caps the option at four blocks (2 + 8·4 = 34 bytes, within the
+/// 40-byte option budget), so the blocks always fit inline and
+/// [`TcpOption`] stays `Copy` — the same SmallVec-style trade as
+/// [`OptBytes`]. Each block is `[left, right)`: `left` is the first sequence
+/// number of the sacked run and `right` the sequence number just past it.
+#[derive(Clone, Copy)]
+pub struct SackBlocks {
+    blocks: [(u32, u32); Self::MAX],
+    len: u8,
+}
+
+impl SackBlocks {
+    /// Maximum blocks a SACK option can carry (RFC 2018).
+    pub const MAX: usize = 4;
+
+    /// Copies up to [`SackBlocks::MAX`] blocks into inline storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` exceeds [`SackBlocks::MAX`] — impossible for data
+    /// that came off the wire, and a construction bug otherwise.
+    pub fn new(blocks: &[(u32, u32)]) -> Self {
+        assert!(blocks.len() <= Self::MAX, "SACK option exceeds 4 blocks");
+        let mut data = [(0u32, 0u32); Self::MAX];
+        data[..blocks.len()].copy_from_slice(blocks);
+        Self { blocks: data, len: blocks.len() as u8 }
+    }
+
+    /// The stored blocks.
+    pub fn as_slice(&self) -> &[(u32, u32)] {
+        &self.blocks[..usize::from(self.len)]
+    }
+
+    /// Number of stored blocks.
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// True if no blocks are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for SackBlocks {
+    type Target = [(u32, u32)];
+    fn deref(&self) -> &[(u32, u32)] {
+        self.as_slice()
+    }
+}
+
+impl From<&[(u32, u32)]> for SackBlocks {
+    fn from(blocks: &[(u32, u32)]) -> Self {
+        Self::new(blocks)
+    }
+}
+
+impl<const N: usize> From<[(u32, u32); N]> for SackBlocks {
+    fn from(blocks: [(u32, u32); N]) -> Self {
+        Self::new(&blocks)
+    }
+}
+
+impl PartialEq for SackBlocks {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SackBlocks {}
+
+impl std::hash::Hash for SackBlocks {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for SackBlocks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
 /// TCP options relevant to the relay. Unknown options are preserved raw.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TcpOption {
@@ -210,6 +296,9 @@ pub enum TcpOption {
     WindowScale(u8),
     /// Selective acknowledgement permitted (kind 4).
     SackPermitted,
+    /// Selective acknowledgement (kind 5): received-but-not-contiguous
+    /// sequence ranges, newest first.
+    Sack(SackBlocks),
     /// Timestamps (kind 8): TSval and TSecr.
     Timestamps(u32, u32),
     /// No-operation padding (kind 1).
@@ -276,6 +365,14 @@ impl TcpOptions {
             TcpOption::SackPermitted => {
                 out[0] = 4;
                 out[1] = 2;
+            }
+            TcpOption::Sack(blocks) => {
+                out[0] = 5;
+                out[1] = (2 + 8 * blocks.len()) as u8;
+                for (i, (left, right)) in blocks.as_slice().iter().enumerate() {
+                    out[2 + 8 * i..6 + 8 * i].copy_from_slice(&left.to_be_bytes());
+                    out[6 + 8 * i..10 + 8 * i].copy_from_slice(&right.to_be_bytes());
+                }
             }
             TcpOption::Timestamps(tsval, tsecr) => {
                 out[0] = 8;
@@ -398,6 +495,7 @@ impl TcpOption {
             TcpOption::MaximumSegmentSize(_) => 4,
             TcpOption::WindowScale(_) => 3,
             TcpOption::SackPermitted => 2,
+            TcpOption::Sack(blocks) => 2 + 8 * blocks.len(),
             TcpOption::Timestamps(_, _) => 10,
             TcpOption::Nop => 1,
             TcpOption::Unknown(_, data) => 2 + data.len(),
@@ -456,6 +554,15 @@ impl TcpSegment {
     pub fn window_scale(&self) -> Option<u8> {
         self.options.iter().find_map(|o| match o {
             TcpOption::WindowScale(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Returns the selective-acknowledgement blocks if a SACK option (kind 5)
+    /// is present.
+    pub fn sack_blocks(&self) -> Option<SackBlocks> {
+        self.options.iter().find_map(|o| match o {
+            TcpOption::Sack(blocks) => Some(blocks),
             _ => None,
         })
     }
@@ -704,6 +811,56 @@ mod tests {
         ].into();
         let parsed = TcpSegment::parse(&s.to_bytes()).unwrap();
         assert_eq!(parsed.options.get(0), Some(TcpOption::Unknown(254, [1, 2, 3].into())));
+    }
+
+    #[test]
+    fn sack_option_roundtrips_and_is_accessible() {
+        // A dup-ACK the way the app side emits it: pure ACK carrying the
+        // received-but-not-contiguous ranges.
+        let mut s = TcpSegment::new(40000, 443, 10, 5000, TcpFlags::ACK);
+        let blocks = SackBlocks::from([(6460, 7920), (9380, 10840)]);
+        s.options = vec![TcpOption::Nop, TcpOption::Nop, TcpOption::Sack(blocks)].into();
+        let parsed = TcpSegment::parse(&s.to_bytes()).unwrap();
+        assert_eq!(parsed.sack_blocks(), Some(blocks));
+        assert_eq!(parsed.options, s.options);
+        assert!(parsed.is_pure_ack(), "SACK blocks do not stop a segment being a pure ACK");
+    }
+
+    #[test]
+    fn sack_option_wire_format_is_rfc_2018() {
+        let mut opts = TcpOptions::new();
+        opts.push(TcpOption::Sack([(1, 2)].into()));
+        assert_eq!(opts.as_bytes(), &[5, 10, 0, 0, 0, 1, 0, 0, 0, 2]);
+        // Four blocks is the cap and still fits the 40-byte budget.
+        let full = TcpOption::Sack([(1, 2), (3, 4), (5, 6), (7, 8)].into());
+        assert_eq!(full.wire_len(), 34);
+        let mut opts = TcpOptions::new();
+        opts.push(full);
+        assert_eq!(opts.byte_len(), 34);
+        assert_eq!(opts.get(0), Some(full));
+    }
+
+    #[test]
+    #[should_panic(expected = "SACK option exceeds 4 blocks")]
+    fn more_than_four_sack_blocks_is_a_construction_bug() {
+        let _ = SackBlocks::new(&[(0, 1); 5]);
+    }
+
+    #[test]
+    fn malformed_sack_bodies_fall_back_to_unknown() {
+        // Kind 5 with a body that is not a positive multiple of 8 decodes as
+        // Unknown (preserved raw), exactly like any other exotic option.
+        let wire = [5u8, 5, 1, 2, 3, 1, 1, 1]; // Length 5 → 3-byte body + NOPs.
+        let parsed = TcpSegment::parse(
+            &{
+                let mut s = TcpSegment::new(1, 2, 0, 0, TcpFlags::ACK);
+                s.options = TcpOptions::from_wire(&wire);
+                s
+            }
+            .to_bytes(),
+        )
+        .unwrap();
+        assert_eq!(parsed.options.get(0), Some(TcpOption::Unknown(5, [1, 2, 3].into())));
     }
 
     #[test]

@@ -247,6 +247,9 @@ pub enum TcpOptionRef<'a> {
     WindowScale(u8),
     /// Selective acknowledgement permitted (kind 4).
     SackPermitted,
+    /// Selective acknowledgement blocks (kind 5). Decoded inline — the
+    /// blocks are plain integers, so even the "borrowed" view owns them.
+    Sack(crate::tcp::SackBlocks),
     /// Timestamps (kind 8): TSval and TSecr.
     Timestamps(u32, u32),
     /// No-operation padding (kind 1).
@@ -263,6 +266,7 @@ impl TcpOptionRef<'_> {
             TcpOptionRef::MaximumSegmentSize(v) => TcpOption::MaximumSegmentSize(v),
             TcpOptionRef::WindowScale(v) => TcpOption::WindowScale(v),
             TcpOptionRef::SackPermitted => TcpOption::SackPermitted,
+            TcpOptionRef::Sack(blocks) => TcpOption::Sack(blocks),
             TcpOptionRef::Timestamps(a, b) => TcpOption::Timestamps(a, b),
             TcpOptionRef::Nop => TcpOption::Nop,
             TcpOptionRef::Unknown(kind, data) => TcpOption::Unknown(kind, data.into()),
@@ -312,6 +316,16 @@ impl<'a> Iterator for TcpOptionIter<'a> {
                     }
                     3 if body.len() == 1 => TcpOptionRef::WindowScale(body[0]),
                     4 if body.is_empty() => TcpOptionRef::SackPermitted,
+                    5 if !body.is_empty() && body.len() % 8 == 0 && body.len() <= 32 => {
+                        let mut blocks = [(0u32, 0u32); crate::tcp::SackBlocks::MAX];
+                        for (i, pair) in body.chunks_exact(8).enumerate() {
+                            blocks[i] = (
+                                u32::from_be_bytes([pair[0], pair[1], pair[2], pair[3]]),
+                                u32::from_be_bytes([pair[4], pair[5], pair[6], pair[7]]),
+                            );
+                        }
+                        TcpOptionRef::Sack(crate::tcp::SackBlocks::new(&blocks[..body.len() / 8]))
+                    }
                     8 if body.len() == 8 => TcpOptionRef::Timestamps(
                         u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
                         u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
@@ -426,6 +440,15 @@ impl<'a> TcpSegmentView<'a> {
     pub fn window_scale(&self) -> Option<u8> {
         self.options().find_map(|o| match o {
             TcpOptionRef::WindowScale(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Returns the selective-acknowledgement blocks if a SACK option (kind 5)
+    /// is present.
+    pub fn sack_blocks(&self) -> Option<crate::tcp::SackBlocks> {
+        self.options().find_map(|o| match o {
+            TcpOptionRef::Sack(blocks) => Some(blocks),
             _ => None,
         })
     }

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
 use mop_packet::{
-    DnsMessage, Endpoint, Ipv4Packet, Ipv6Packet, Packet, PacketBuilder, TcpFlags, TcpOption,
-    TcpSegment, UdpDatagram, IPPROTO_TCP,
+    DnsMessage, Endpoint, Ipv4Packet, Ipv6Packet, Packet, PacketBuilder, SackBlocks, TcpFlags,
+    TcpOption, TcpSegment, UdpDatagram, IPPROTO_TCP,
 };
 
 fn arb_ipv4() -> impl Strategy<Value = Ipv4Addr> {
@@ -71,6 +71,48 @@ proptest! {
             + u32::from(flags.contains(TcpFlags::SYN))
             + u32::from(flags.contains(TcpFlags::FIN));
         prop_assert_eq!(seg.sequence_len(), expected);
+    }
+
+    /// SACK options round-trip through the owned codec and the zero-copy
+    /// view for every block count the option can carry (RFC 2018: 1–4).
+    #[test]
+    fn sack_options_roundtrip_at_every_block_count(
+        src_port in 1u16..=65535,
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        edges in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..5),
+    ) {
+        let blocks = SackBlocks::new(&edges);
+        let mut seg = TcpSegment::new(src_port, 443, seq, ack, TcpFlags::ACK);
+        seg.options = vec![TcpOption::Sack(blocks)].into();
+        let bytes = seg.to_bytes();
+        let parsed = TcpSegment::parse(&bytes).unwrap();
+        prop_assert_eq!(&parsed, &seg);
+        prop_assert_eq!(parsed.sack_blocks(), Some(blocks));
+        // The zero-copy view decodes the identical blocks.
+        let view = mop_packet::TcpSegmentView::new(&bytes).unwrap();
+        prop_assert_eq!(view.sack_blocks(), Some(blocks));
+        prop_assert_eq!(view.to_owned(), seg);
+    }
+
+    /// SACK mixed with the other options the relay manipulates survives a
+    /// round trip with ordering intact.
+    #[test]
+    fn sack_coexists_with_other_options(
+        mss in 536u16..=1460,
+        edges in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..4),
+    ) {
+        let blocks = SackBlocks::new(&edges);
+        let mut seg = TcpSegment::new(40000, 443, 7, 9, TcpFlags::ACK);
+        seg.options = vec![
+            TcpOption::MaximumSegmentSize(mss),
+            TcpOption::Nop,
+            TcpOption::Sack(blocks),
+        ].into();
+        let parsed = TcpSegment::parse(&seg.to_bytes()).unwrap();
+        prop_assert_eq!(&parsed.options, &seg.options);
+        prop_assert_eq!(parsed.mss(), Some(mss));
+        prop_assert_eq!(parsed.sack_blocks(), Some(blocks));
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! * [`server`] — remote application servers with per-destination path
 //!   latency and simple service behaviours,
 //! * [`dnssrv`] — a resolver with configurable records and latency,
+//! * [`fault`] — per-segment drop / reorder / duplicate decisions for the
+//!   relayed data path, drawn from flow-keyed fault streams,
 //! * [`network`] — [`network::SimNetwork`], the path-level model used by the
 //!   relay engine and the baselines,
 //! * [`tap`] — a wire tap that plays the role tcpdump plays in the paper
@@ -57,6 +59,7 @@ pub mod affinity;
 pub mod clock;
 pub mod cost;
 pub mod dnssrv;
+pub mod fault;
 pub mod latency;
 pub mod network;
 pub mod pool;
@@ -74,6 +77,7 @@ pub mod wheel;
 pub use clock::SimClock;
 pub use cost::{CostModel, CpuLedger};
 pub use dnssrv::DnsServerConfig;
+pub use fault::{FaultDecision, FaultPlan};
 pub use latency::LatencyModel;
 pub use network::{
     ConnectOutcome, DataExchange, DnsOutcome, NetKeying, SimNetwork, SimNetworkBuilder,

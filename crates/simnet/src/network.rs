@@ -13,6 +13,7 @@ use std::net::{IpAddr, Ipv4Addr};
 use mop_packet::{Endpoint, FourTuple};
 
 use crate::dnssrv::{DnsAnswer, DnsServerConfig};
+use crate::fault::{FaultDecision, FaultPlan};
 use crate::latency::LatencyModel;
 use crate::profile::{AccessProfile, IspProfile, NetworkType};
 use crate::rng::SimRng;
@@ -27,6 +28,13 @@ const CONNECT_TIMEOUT: SimDuration = SimDuration::from_secs(30);
 /// Salt mixed into per-flow RNG seeds so the network's streams do not collide
 /// with other flow-keyed components using the same seed and hash.
 const NET_KEY_SALT: u64 = 0x6e65_745f_6b65_7973; // "net_keys"
+/// Salt for the per-flow fault streams, so segment-fate draws never perturb
+/// the flow's latency/bandwidth stream (whose draw count must stay fixed).
+const FAULT_KEY_SALT: u64 = 0x666c_745f_6b65_7973; // "flt_keys"
+/// Salt for the SYN-retransmission streams: the backoff chain draws a
+/// variable number of loss decisions, so it gets a throwaway stream keyed
+/// like the others instead of advancing the flow's main stream.
+const SYN_RETRY_SALT: u64 = 0x7379_6e5f_7274_7279; // "syn_rtry"
 
 /// How the network draws randomness and reserves the access link.
 ///
@@ -240,6 +248,7 @@ impl SimNetworkBuilder {
             keying: self.keying,
             handover: self.handover,
             flow_ctx: HashMap::new(),
+            fault_rng: HashMap::new(),
         }
     }
 }
@@ -264,6 +273,7 @@ pub struct SimNetwork {
     keying: NetKeying,
     handover: Option<(SimTime, AccessProfile)>,
     flow_ctx: HashMap<FourTuple, FlowNetCtx>,
+    fault_rng: HashMap<FourTuple, SimRng>,
 }
 
 impl SimNetwork {
@@ -347,6 +357,41 @@ impl SimNetwork {
     /// still a pure function of `(seed, four-tuple)`.
     pub fn release_flow(&mut self, flow: FourTuple) {
         self.flow_ctx.remove(&flow);
+        self.fault_rng.remove(&flow);
+    }
+
+    /// True if any access profile this network can be on — the initial one
+    /// or a scheduled handover target — has nonzero data-path fault knobs.
+    ///
+    /// Engines check this once and skip the whole recovery apparatus
+    /// (in-flight tracking, RTT estimation, RTO timers) when no fault can
+    /// ever fire, so clean runs stay bit-identical to pre-fault builds.
+    pub fn faults_possible(&self) -> bool {
+        self.access.has_data_faults()
+            || self.handover.as_ref().is_some_and(|(_, to)| to.has_data_faults())
+    }
+
+    /// Decides the fate of one relayed data segment on `flow` delivered
+    /// around time `at`: drop it, duplicate it, delay it past its
+    /// successors, or deliver it untouched.
+    ///
+    /// Draws come from the flow's dedicated fault stream (seeded
+    /// `seed ^ flow.stable_hash() ^ FAULT_KEY_SALT`), created lazily and
+    /// dropped by [`SimNetwork::release_flow`]. On a profile without data
+    /// faults this returns [`FaultDecision::Deliver`] without creating any
+    /// state or drawing any randomness.
+    pub fn data_fault(&mut self, flow: FourTuple, at: SimTime) -> FaultDecision {
+        let (plan, base_delay_ms) = {
+            let access = self.access_at(at);
+            if !access.has_data_faults() {
+                return FaultDecision::Deliver;
+            }
+            (FaultPlan::from_profile(access), access.access_rtt.nominal_ms())
+        };
+        let rng = self.fault_rng.entry(flow).or_insert_with(|| {
+            SimRng::seed_from_u64(self.seed ^ flow.stable_hash() ^ FAULT_KEY_SALT)
+        });
+        plan.decide(rng, base_delay_ms)
     }
 
     /// Returns a context checked out with [`SimNetwork::checkout`].
@@ -430,15 +475,47 @@ impl SimNetwork {
                 ConnectOutcome { syn_sent, completed_at, success: false, refused: false, true_rtt: rtt }
             }
             _ => {
-                // Model rare SYN loss as one retransmission after 1 s.
+                // Model SYN loss with the RFC 6298 retransmission schedule:
+                // retries after 1 s, then 2 s, 4 s, … until the cumulative
+                // wait reaches the connect timeout. The first attempt's loss
+                // draw rides the flow's main stream (so the common no-loss
+                // case is bit-identical to the single-retry model this
+                // replaces); the variable-length retry chain draws from a
+                // dedicated salted stream.
                 let lost = ctx.rng.chance(loss);
-                let completed_at = if lost {
-                    syn_sent + SimDuration::from_secs(1) + rtt
-                } else {
-                    syn_sent + rtt
-                };
-                self.tap.record(completed_at, TapDirection::Inbound, TapKind::SynAck, flow);
-                ConnectOutcome { syn_sent, completed_at, success: true, refused: false, true_rtt: rtt }
+                let mut answered_at = if lost { None } else { Some(syn_sent + rtt) };
+                if lost {
+                    let mut retry_rng = SimRng::seed_from_u64(
+                        self.seed ^ flow.stable_hash() ^ SYN_RETRY_SALT,
+                    );
+                    let mut wait_s: u64 = 1;
+                    let mut elapsed_s: u64 = 1;
+                    while SimDuration::from_secs(elapsed_s) < CONNECT_TIMEOUT {
+                        let resent = syn_sent + SimDuration::from_secs(elapsed_s);
+                        self.tap.record(resent, TapDirection::Outbound, TapKind::Syn, flow);
+                        if !retry_rng.chance(loss) {
+                            answered_at = Some(resent + rtt);
+                            break;
+                        }
+                        wait_s *= 2;
+                        elapsed_s += wait_s;
+                    }
+                }
+                match answered_at {
+                    Some(completed_at) => {
+                        self.tap.record(completed_at, TapDirection::Inbound, TapKind::SynAck, flow);
+                        ConnectOutcome { syn_sent, completed_at, success: true, refused: false, true_rtt: rtt }
+                    }
+                    // Every retransmission was lost too: the connect times
+                    // out exactly like a blackholed destination.
+                    None => ConnectOutcome {
+                        syn_sent,
+                        completed_at: syn_sent + CONNECT_TIMEOUT,
+                        success: false,
+                        refused: false,
+                        true_rtt: rtt,
+                    },
+                }
             }
         };
         self.checkin(flow, ctx);
@@ -718,6 +795,100 @@ mod tests {
         assert!(rtt_jio > rtt_plain + 150.0, "jio {rtt_jio} plain {rtt_plain}");
         let dns_jio = with_jio.dns_lookup(Endpoint::v4(10, 0, 0, 2, 1), "www.google.com", SimTime::ZERO);
         assert!(dns_jio.rtt().unwrap().as_millis_f64() < 150.0);
+    }
+
+    #[test]
+    fn syn_backoff_walks_the_rfc_6298_schedule() {
+        // Certain loss: every attempt is lost, the chain exhausts at the
+        // connect timeout and the handshake fails like a blackhole.
+        let mut always = SimNetwork::builder()
+            .seed(21)
+            .access(AccessProfile { loss: 1.0, ..AccessProfile::wifi() })
+            .build();
+        let flow = google_flow(40100);
+        let outcome = always.connect(flow, SimTime::ZERO);
+        assert!(!outcome.success && !outcome.refused);
+        assert_eq!(outcome.completed_at - outcome.syn_sent, CONNECT_TIMEOUT);
+        // The tap recorded the retransmissions at 1, 3, 7, 15 s after the
+        // first SYN (cumulative 1+2+4+8 backoff, capped by the timeout).
+        let syns: Vec<_> = always
+            .tap()
+            .records()
+            .iter()
+            .filter(|r| r.kind == TapKind::Syn && r.flow == flow)
+            .map(|r| (r.at - outcome.syn_sent).as_secs_f64().round() as u64)
+            .collect();
+        assert_eq!(syns, vec![0, 1, 3, 7, 15]);
+    }
+
+    #[test]
+    fn syn_retry_success_matches_the_old_single_retry_timing() {
+        // Find a seed whose first attempt is lost but whose first retry gets
+        // through: the handshake then completes at syn_sent + 1 s + rtt,
+        // exactly what the single-retry model produced.
+        for seed in 0..2000 {
+            let mut net = SimNetwork::builder()
+                .seed(seed)
+                .access(AccessProfile { loss: 0.4, ..AccessProfile::wifi() })
+                .build();
+            let flow = google_flow(40101);
+            let outcome = net.connect(flow, SimTime::ZERO);
+            if !outcome.success {
+                continue;
+            }
+            let over_rtt = outcome.completed_at - outcome.syn_sent - outcome.true_rtt;
+            if over_rtt > SimDuration::ZERO {
+                assert_eq!(over_rtt, SimDuration::from_secs(1));
+                return;
+            }
+        }
+        panic!("no seed produced a lost-then-recovered handshake");
+    }
+
+    #[test]
+    fn data_faults_are_flow_keyed_and_released() {
+        let mut net = SimNetwork::builder()
+            .seed(5)
+            .access(AccessProfile::lossy_3g())
+            .build();
+        assert!(net.faults_possible());
+        let flow = google_flow(40200);
+        let schedule: Vec<_> =
+            (0..200).map(|_| net.data_fault(flow, SimTime::ZERO)).collect();
+        assert!(schedule.iter().any(|d| !d.is_deliver()), "lossy 3G fired no faults");
+        // Releasing the flow rewinds its fault stream to the seed.
+        net.release_flow(flow);
+        let replay: Vec<_> =
+            (0..200).map(|_| net.data_fault(flow, SimTime::ZERO)).collect();
+        assert_eq!(schedule, replay);
+        // Another flow sees an independent schedule.
+        net.release_flow(flow);
+        let other: Vec<_> =
+            (0..200).map(|_| net.data_fault(google_flow(40201), SimTime::ZERO)).collect();
+        assert_ne!(schedule, other);
+    }
+
+    #[test]
+    fn clean_profiles_never_fault_and_keep_no_state() {
+        let mut net = SimNetwork::builder().seed(6).build();
+        assert!(!net.faults_possible());
+        let flow = google_flow(40202);
+        for _ in 0..50 {
+            assert!(net.data_fault(flow, SimTime::ZERO).is_deliver());
+        }
+        assert!(net.fault_rng.is_empty(), "clean profile allocated fault state");
+        // A handover onto a faulty profile flips faults_possible and makes
+        // post-handover segments eligible.
+        let mut mixed = SimNetwork::builder()
+            .seed(6)
+            .handover_at(SimTime::from_millis(1000), AccessProfile::lossy_3g())
+            .build();
+        assert!(mixed.faults_possible());
+        assert!(mixed.data_fault(flow, SimTime::ZERO).is_deliver());
+        assert!(mixed.fault_rng.is_empty());
+        let late: Vec<_> =
+            (0..300).map(|_| mixed.data_fault(flow, SimTime::from_millis(1500))).collect();
+        assert!(late.iter().any(|d| !d.is_deliver()));
     }
 
     #[test]

@@ -62,7 +62,21 @@ pub struct AccessProfile {
     /// Uplink capacity in Mbit/s.
     pub uplink_mbps: f64,
     /// Packet-loss probability per packet on the access link.
+    ///
+    /// Applied to connection-establishment (SYN) exchanges, where it drives
+    /// the exponential-backoff retry chain.
     pub loss: f64,
+    /// Per-segment drop probability on the data path (server → app relay).
+    ///
+    /// Unlike [`loss`](Self::loss), which only gates connection
+    /// establishment, this fires on established-flow data segments and is
+    /// what exercises the relay's retransmission machinery.
+    pub data_loss: f64,
+    /// Probability that a data segment is delivered late enough to arrive
+    /// after its successor — the reordering the SACK path recovers from.
+    pub reorder: f64,
+    /// Probability that a data segment is delivered twice.
+    pub duplicate: f64,
 }
 
 impl AccessProfile {
@@ -76,6 +90,9 @@ impl AccessProfile {
             downlink_mbps: 25.0,
             uplink_mbps: 26.0,
             loss: 0.0005,
+            data_loss: 0.0,
+            reorder: 0.0,
+            duplicate: 0.0,
         }
     }
 
@@ -88,6 +105,9 @@ impl AccessProfile {
             downlink_mbps: 20.0,
             uplink_mbps: 10.0,
             loss: 0.001,
+            data_loss: 0.0,
+            reorder: 0.0,
+            duplicate: 0.0,
         }
     }
 
@@ -100,6 +120,9 @@ impl AccessProfile {
             downlink_mbps: 4.0,
             uplink_mbps: 1.5,
             loss: 0.005,
+            data_loss: 0.0,
+            reorder: 0.0,
+            duplicate: 0.0,
         }
     }
 
@@ -112,6 +135,9 @@ impl AccessProfile {
             downlink_mbps: 0.2,
             uplink_mbps: 0.1,
             loss: 0.02,
+            data_loss: 0.0,
+            reorder: 0.0,
+            duplicate: 0.0,
         }
     }
 
@@ -126,6 +152,9 @@ impl AccessProfile {
             downlink_mbps: 2.0,
             uplink_mbps: 0.75,
             loss: 0.03,
+            data_loss: 0.03,
+            reorder: 0.01,
+            duplicate: 0.002,
         }
     }
 
@@ -137,6 +166,25 @@ impl AccessProfile {
             NetworkType::Umts3g => Self::umts3g(),
             NetworkType::Gprs2g => Self::gprs2g(),
         }
+    }
+
+    /// Overrides the data-path fault rates — used by the loss-sweep bench
+    /// and the CI loss matrix to dial specific rates onto a base profile.
+    pub fn with_data_faults(mut self, data_loss: f64, reorder: f64, duplicate: f64) -> Self {
+        self.data_loss = data_loss;
+        self.reorder = reorder;
+        self.duplicate = duplicate;
+        self
+    }
+
+    /// True if any data-path fault knob is nonzero, i.e. a flow on this
+    /// profile could ever see a dropped, reordered or duplicated segment.
+    ///
+    /// Engines consult this to leave the recovery machinery entirely unarmed
+    /// on clean profiles, keeping zero-fault runs bit-identical to builds
+    /// that predate fault injection.
+    pub fn has_data_faults(&self) -> bool {
+        self.data_loss > 0.0 || self.reorder > 0.0 || self.duplicate > 0.0
     }
 
     /// Transmission (serialisation) delay of `bytes` on the downlink.
@@ -238,6 +286,19 @@ mod tests {
         assert!((d - 0.4672).abs() < 0.01, "delay {d}");
         assert!(wifi.uplink_tx_delay_ms(1460) < AccessProfile::gprs2g().uplink_tx_delay_ms(1460));
         assert!(tx_delay_ms(100, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn only_lossy_3g_carries_data_faults_by_default() {
+        for t in NetworkType::ALL {
+            assert!(!AccessProfile::for_type(t).has_data_faults(), "{t} should be clean");
+        }
+        let lossy = AccessProfile::lossy_3g();
+        assert!(lossy.has_data_faults());
+        assert!(lossy.data_loss > 0.0 && lossy.reorder > 0.0 && lossy.duplicate > 0.0);
+        let dialed = AccessProfile::wifi().with_data_faults(0.005, 0.0, 0.0);
+        assert!(dialed.has_data_faults());
+        assert_eq!(dialed.reorder, 0.0);
     }
 
     #[test]

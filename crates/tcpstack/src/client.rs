@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use mop_packet::FourTuple;
 
 use crate::machine::TcpStateMachine;
+use crate::recovery::RecoveryState;
 use crate::state::TcpState;
 use crate::timer::ConnTimers;
 
@@ -36,9 +37,13 @@ pub struct TcpClient {
     pub connect_started_ns: Option<u64>,
     /// Nanosecond timestamp just after `connect()` returned.
     pub connect_finished_ns: Option<u64>,
-    /// The connection's armed timers (idle timeout today), stored as opaque
-    /// cancellable tokens of the engine's scheduler.
+    /// The connection's armed timers (idle timeout and retransmission),
+    /// stored as opaque cancellable tokens of the engine's scheduler.
     pub timers: ConnTimers,
+    /// Loss-recovery state (RTT estimation, in-flight tracking, congestion
+    /// control). `None` on networks where no data-path fault can fire, so
+    /// clean runs carry no recovery bookkeeping at all.
+    pub recovery: Option<RecoveryState>,
 }
 
 impl TcpClient {
@@ -53,6 +58,7 @@ impl TcpClient {
             connect_started_ns: None,
             connect_finished_ns: None,
             timers: ConnTimers::new(),
+            recovery: None,
         }
     }
 

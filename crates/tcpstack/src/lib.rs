@@ -13,6 +13,11 @@
 //!   response packets plus relay actions,
 //! * [`client`] — [`client::TcpClient`] and [`client::ClientRegistry`], the
 //!   two-way splice between a state machine and its external socket,
+//! * [`recovery`] — [`recovery::RecoveryState`], the sender-side loss
+//!   recovery (RFC 6298 RTT estimation and retransmission timing, SACK
+//!   scoreboard, fast retransmit) plus the pluggable congestion controllers
+//!   ([`recovery::Reno`], [`recovery::Cubic`]) used when the simulated
+//!   network injects data-path faults,
 //! * [`timer`] — [`timer::ConnTimers`], the cancellable per-connection
 //!   timer tokens the engine's scheduler arms and disarms,
 //! * [`udp`] — UDP associations and the DNS transaction tracking used for
@@ -20,12 +25,17 @@
 
 pub mod client;
 pub mod machine;
+pub mod recovery;
 pub mod state;
 pub mod timer;
 pub mod udp;
 
 pub use client::{ClientRegistry, TcpClient};
 pub use machine::{RelayAction, SegmentRef, SegmentVerdict, TcpStateMachine};
+pub use recovery::{
+    AckReaction, CongestionAlgo, CongestionControl, Cubic, RecoveryState, Reno, Retransmit,
+    RttEstimator,
+};
 pub use state::TcpState;
 pub use timer::{ConnTimers, TimerToken};
 pub use udp::{DnsTransaction, UdpAssociation, UdpRegistry};

@@ -342,6 +342,15 @@ impl TcpStateMachine {
         packets
     }
 
+    /// Rebuilds a previously sent data segment for retransmission: same
+    /// sequence number and payload, current ACK field. Used by the engine's
+    /// loss-recovery path (fast retransmit / RTO); it does not advance
+    /// `our_next` or the byte counters, since the bytes were already
+    /// accounted for on first transmission.
+    pub fn retransmit_data(&self, seq: u32, payload: Vec<u8>) -> Packet {
+        self.to_app.tcp_data(seq, self.peer_next, payload)
+    }
+
     /// The external socket finished writing relayed bytes: acknowledge the
     /// app's data (§2.3, socket write handling).
     pub fn on_external_write_complete(&mut self) -> Vec<Packet> {
@@ -592,6 +601,20 @@ mod tests {
         let fin = app_builder().tcp_fin(50, 0);
         let (_, _, verdict) = m.on_tunnel_segment(fin.tcp().unwrap());
         assert_eq!(verdict, SegmentVerdict::OutOfState);
+    }
+
+    #[test]
+    fn retransmit_data_replays_the_segment_without_advancing_state() {
+        let mut m = TcpStateMachine::new(flow(), 9000);
+        establish(&mut m, 1000);
+        let originals = m.on_external_data(&[0x5a; 100]);
+        let sent = m.bytes_to_app();
+        let next_before = m.our_next;
+        let orig_tcp = originals[0].tcp().unwrap();
+        let replay = m.retransmit_data(orig_tcp.seq, orig_tcp.payload.clone());
+        assert_eq!(replay.to_bytes(), originals[0].to_bytes(), "byte-identical resend");
+        assert_eq!(m.bytes_to_app(), sent, "counters untouched");
+        assert_eq!(m.our_next, next_before, "sequence space untouched");
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub type TimerToken = u64;
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ConnTimers {
     idle: Option<TimerToken>,
+    rto: Option<TimerToken>,
 }
 
 impl ConnTimers {
@@ -50,9 +51,25 @@ impl ConnTimers {
         self.idle
     }
 
+    /// Arms (or re-arms) the retransmission timer, returning the superseded
+    /// token so the caller can cancel it with the owning scheduler.
+    pub fn arm_rto(&mut self, token: TimerToken) -> Option<TimerToken> {
+        self.rto.replace(token)
+    }
+
+    /// Disarms the retransmission timer, returning its token for cancellation.
+    pub fn disarm_rto(&mut self) -> Option<TimerToken> {
+        self.rto.take()
+    }
+
+    /// The live retransmission-timer token, if one is armed.
+    pub fn rto(&self) -> Option<TimerToken> {
+        self.rto
+    }
+
     /// True if any timer is armed.
     pub fn any_armed(&self) -> bool {
-        self.idle.is_some()
+        self.idle.is_some() || self.rto.is_some()
     }
 }
 
@@ -70,5 +87,21 @@ mod tests {
         assert_eq!(timers.disarm_idle(), Some(9));
         assert_eq!(timers.disarm_idle(), None);
         assert!(!timers.any_armed());
+    }
+
+    #[test]
+    fn rto_slot_is_independent_of_the_idle_slot() {
+        let mut timers = ConnTimers::new();
+        assert_eq!(timers.arm_rto(3), None);
+        assert!(timers.any_armed());
+        assert_eq!(timers.arm_idle(4), None);
+        assert_eq!(timers.arm_rto(5), Some(3));
+        assert_eq!(timers.rto(), Some(5));
+        assert_eq!(timers.idle(), Some(4));
+        assert_eq!(timers.disarm_rto(), Some(5));
+        assert!(timers.any_armed(), "idle timer still live");
+        assert_eq!(timers.disarm_idle(), Some(4));
+        assert!(!timers.any_armed());
+        assert_eq!(timers.disarm_rto(), None);
     }
 }

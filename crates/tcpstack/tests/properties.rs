@@ -187,3 +187,109 @@ proptest! {
         }
     }
 }
+
+/// A model receiver for the recovery proptest: tracks the cumulative ACK
+/// edge plus out-of-order segments, and reports up to four SACK ranges.
+#[derive(Default)]
+struct ModelReceiver {
+    ack: u32,
+    ooo: std::collections::BTreeMap<u32, usize>,
+}
+
+impl ModelReceiver {
+    fn new(isn: u32) -> Self {
+        Self { ack: isn, ooo: std::collections::BTreeMap::new() }
+    }
+
+    fn ingest(&mut self, seq: u32, len: usize) -> (u32, Option<mop_packet::SackBlocks>) {
+        if seq == self.ack {
+            self.ack = self.ack.wrapping_add(len as u32);
+            while let Some(next_len) = self.ooo.remove(&self.ack) {
+                self.ack = self.ack.wrapping_add(next_len as u32);
+            }
+        } else if seq.wrapping_sub(self.ack) < 0x8000_0000 {
+            self.ooo.insert(seq, len);
+        }
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        for (&seq, &len) in &self.ooo {
+            let end = seq.wrapping_add(len as u32);
+            match ranges.last_mut() {
+                Some(last) if last.1 == seq => last.1 = end,
+                _ => ranges.push((seq, end)),
+            }
+        }
+        ranges.truncate(4);
+        let sack =
+            if ranges.is_empty() { None } else { Some(mop_packet::SackBlocks::new(&ranges)) };
+        (self.ack, sack)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Convergence: whatever finite drop / reorder / duplicate schedule the
+    /// data path applies, the sender's recovery state must drain — every
+    /// byte reaches the receiver and nothing stays in flight — via fast
+    /// retransmit and RTO alone, for both congestion controllers.
+    #[test]
+    fn recovery_converges_under_random_drop_and_reorder(
+        sizes in proptest::collection::vec(1usize..1_200, 1..12),
+        // Per-delivery fates: 0 = deliver, 1 = drop, 2 = duplicate,
+        // 3 = defer to the back of the queue (reordering). Once the
+        // schedule is exhausted every delivery succeeds, so the network is
+        // eventually fair and convergence is required, not hoped for.
+        fates in proptest::collection::vec(0u8..4, 0..40),
+        cubic in any::<bool>(),
+    ) {
+        use mop_tcpstack::{CongestionAlgo, RecoveryState};
+        let algo = if cubic { CongestionAlgo::Cubic } else { CongestionAlgo::Reno };
+        let mut recovery = RecoveryState::new(algo, Some(50_000_000));
+        let mut receiver = ModelReceiver::new(5_000);
+        let mut now: u64 = 0;
+        let mut queue: std::collections::VecDeque<(u32, usize)> =
+            std::collections::VecDeque::new();
+        let mut seq = 5_000u32;
+        let mut total = 0usize;
+        for &len in &sizes {
+            recovery.on_data_sent(seq, &vec![0u8; len], now);
+            queue.push_back((seq, len));
+            seq = seq.wrapping_add(len as u32);
+            total += len;
+        }
+        let final_ack = seq;
+        let mut fates = fates.into_iter();
+        let mut steps = 0;
+        while recovery.has_inflight() {
+            steps += 1;
+            prop_assert!(steps < 2_000, "recovery stuck: {total} bytes, {:?}", algo);
+            now += 10_000_000;
+            let Some((seg_seq, len)) = queue.pop_front() else {
+                // Nothing left in the air but data still unacknowledged:
+                // only the retransmission timer can make progress.
+                let rt = recovery.on_rto(now);
+                prop_assert!(rt.is_some(), "inflight but RTO found nothing to resend");
+                let rt = rt.unwrap();
+                queue.push_back((rt.seq, rt.payload.len()));
+                continue;
+            };
+            match fates.next().unwrap_or(0) {
+                1 => continue, // dropped on the floor
+                2 => queue.push_back((seg_seq, len)), // duplicated: deliver now and later
+                3 => {
+                    // Deferred behind everything currently in the air.
+                    queue.push_back((seg_seq, len));
+                    continue;
+                }
+                _ => {}
+            }
+            let (ack, sack) = receiver.ingest(seg_seq, len);
+            let reaction = recovery.on_ack(ack, sack, now);
+            for rt in reaction.retransmits {
+                queue.push_back((rt.seq, rt.payload.len()));
+            }
+        }
+        prop_assert_eq!(receiver.ack, final_ack, "receiver missing bytes");
+        prop_assert!(!recovery.has_inflight());
+    }
+}

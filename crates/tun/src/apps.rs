@@ -3,12 +3,26 @@
 //! The relay can only be exercised end to end if something on the app side of
 //! the tunnel behaves like a real TCP/DNS client: sends a SYN, completes the
 //! handshake when the SYN/ACK comes back, sends its request, ACKs response
-//! data and closes with FIN. [`AppEndpoint`] is that client. It is
-//! deliberately simple — no retransmission timers, no congestion control —
+//! data and closes with FIN. [`AppEndpoint`] is that client. Its sending side
+//! is deliberately simple — no retransmission timers, no congestion control —
 //! because the tunnel between an app and MopEye is a loss-free in-memory
-//! link, exactly the §3.4 assumption MopEye itself relies on.
+//! link, exactly the §3.4 assumption MopEye itself relies on. Its *receiving*
+//! side, however, performs ordered reassembly: when the simulated access
+//! network drops, reorders or duplicates relayed segments, the endpoint
+//! buffers out-of-order data, answers holes with SACK-carrying duplicate
+//! ACKs (RFC 2018) and holds a premature FIN until the stream is contiguous,
+//! which is what drives the relay's fast-retransmit and RTO machinery. On an
+//! in-order stream none of that triggers and the emitted packets are
+//! byte-identical to the plain cumulative-ACK client.
 
-use mop_packet::{DnsMessage, Endpoint, FourTuple, Packet, PacketBuilder, TcpFlags};
+use std::collections::BTreeMap;
+
+use mop_packet::{DnsMessage, Endpoint, FourTuple, Packet, PacketBuilder, SackBlocks, TcpFlags};
+
+/// True iff `a` is strictly before `b` in TCP sequence space.
+fn seq_before(a: u32, b: u32) -> bool {
+    a != b && b.wrapping_sub(a) < 0x8000_0000
+}
 
 /// Lifecycle of an app-side TCP connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +60,15 @@ pub struct AppEndpoint {
     close_after: usize,
     /// Timestamp bookkeeping for tests and workload statistics.
     pub syn_count: u32,
+    /// Received-but-not-contiguous segments, keyed by sequence number,
+    /// waiting for the hole below them to fill.
+    ooo: BTreeMap<u32, Vec<u8>>,
+    /// A FIN that arrived ahead of a sequence hole; processed once the
+    /// stream is contiguous up to it.
+    pending_fin: Option<u32>,
+    /// Duplicate ACKs sent in response to holes or duplicates — nonzero only
+    /// when the network misbehaved.
+    pub dup_acks_sent: u32,
 }
 
 impl AppEndpoint {
@@ -66,7 +89,41 @@ impl AppEndpoint {
             bytes_received: 0,
             close_after,
             syn_count: 0,
+            ooo: BTreeMap::new(),
+            pending_fin: None,
+            dup_acks_sent: 0,
         }
+    }
+
+    /// The contiguous ranges currently held in the out-of-order buffer.
+    /// (Raw `u32` ordering is fine here: a connection's receive window never
+    /// spans the sequence-space wrap in these workloads.)
+    fn buffered_ranges(&self) -> Vec<(u32, u32)> {
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        for (&seq, payload) in &self.ooo {
+            let end = seq.wrapping_add(payload.len() as u32);
+            match ranges.last_mut() {
+                Some((_, last_end)) if *last_end == seq => *last_end = end,
+                _ => ranges.push((seq, end)),
+            }
+        }
+        ranges
+    }
+
+    /// The SACK blocks for a duplicate ACK. Per RFC 2018 the block containing
+    /// the segment that triggered the ACK comes first; the rest follow in
+    /// ascending order, capped at the option's four-block limit.
+    fn sack_blocks(&self, newest_seq: Option<u32>) -> SackBlocks {
+        let mut ranges = self.buffered_ranges();
+        if let Some(seq) = newest_seq {
+            if let Some(pos) =
+                ranges.iter().position(|&(s, e)| !seq_before(seq, s) && seq_before(seq, e))
+            {
+                ranges[..=pos].rotate_right(1);
+            }
+        }
+        ranges.truncate(SackBlocks::MAX);
+        SackBlocks::new(&ranges)
     }
 
     /// The connection four-tuple.
@@ -120,24 +177,59 @@ impl AppEndpoint {
                 let mut out = Vec::new();
                 let mut advanced = false;
                 if !tcp.payload.is_empty() {
-                    self.bytes_received += tcp.payload.len();
-                    self.ack = tcp.seq.wrapping_add(tcp.payload.len() as u32);
-                    advanced = true;
+                    if tcp.seq == self.ack {
+                        // In-order: accept, then drain any buffered segments
+                        // the arrival made contiguous.
+                        self.bytes_received += tcp.payload.len();
+                        self.ack = tcp.seq.wrapping_add(tcp.payload.len() as u32);
+                        advanced = true;
+                        while let Some(payload) = self.ooo.remove(&self.ack) {
+                            self.bytes_received += payload.len();
+                            self.ack = self.ack.wrapping_add(payload.len() as u32);
+                        }
+                    } else if seq_before(tcp.seq, self.ack) {
+                        // A duplicate of data already reassembled: re-ACK so
+                        // the sender's scoreboard advances, relay nothing.
+                        self.dup_acks_sent += 1;
+                        out.push(self.builder.tcp_ack(self.seq, self.ack));
+                        return out;
+                    } else {
+                        // A sequence hole: buffer the segment and answer
+                        // with a SACK-carrying duplicate ACK.
+                        self.ooo.entry(tcp.seq).or_insert_with(|| tcp.payload.clone());
+                        self.dup_acks_sent += 1;
+                        let blocks = self.sack_blocks(Some(tcp.seq));
+                        out.push(self.builder.tcp_sack_ack(self.seq, self.ack, blocks));
+                        return out;
+                    }
                 }
                 if tcp.flags.contains(TcpFlags::FIN) {
-                    self.ack = self.ack.max(tcp.seq).wrapping_add(1);
-                    if self.state == AppState::Established {
-                        // Server closed first: ACK its FIN and send ours.
+                    self.pending_fin = Some(tcp.seq);
+                }
+                if let Some(fin_seq) = self.pending_fin {
+                    if fin_seq == self.ack {
+                        self.pending_fin = None;
+                        self.ack = self.ack.wrapping_add(1);
+                        if self.state == AppState::Established {
+                            // Server closed first: ACK its FIN and send ours.
+                            out.push(self.builder.tcp_ack(self.seq, self.ack));
+                            out.push(self.builder.tcp_fin(self.seq, self.ack));
+                            self.seq = self.seq.wrapping_add(1);
+                            self.state = AppState::Done;
+                            return out;
+                        }
+                        // We are closing and this is the relay's FIN: final ACK.
                         out.push(self.builder.tcp_ack(self.seq, self.ack));
-                        out.push(self.builder.tcp_fin(self.seq, self.ack));
-                        self.seq = self.seq.wrapping_add(1);
                         self.state = AppState::Done;
                         return out;
                     }
-                    // We are closing and this is the relay's FIN: final ACK.
-                    out.push(self.builder.tcp_ack(self.seq, self.ack));
-                    self.state = AppState::Done;
-                    return out;
+                    if tcp.flags.contains(TcpFlags::FIN) {
+                        // FIN beyond a hole: hold it and ask for the gap.
+                        self.dup_acks_sent += 1;
+                        let blocks = self.sack_blocks(None);
+                        out.push(self.builder.tcp_sack_ack(self.seq, self.ack, blocks));
+                        return out;
+                    }
                 }
                 if advanced {
                     out.push(self.builder.tcp_ack(self.seq, self.ack));
@@ -314,6 +406,84 @@ mod tests {
         assert_eq!(replies.len(), 1);
         assert!(replies[0].tcp().unwrap().is_pure_ack());
         assert_eq!(app.state(), AppState::Established);
+    }
+
+    /// An established endpoint with the relay's stream starting at seq 101.
+    fn established_app() -> AppEndpoint {
+        let mut app = AppEndpoint::new(1, "com.app", flow(), b"x".to_vec(), usize::MAX);
+        let syn = app.syn_packet();
+        app.handle(&relay_builder().tcp_syn_ack(100, syn.tcp().unwrap().seq));
+        assert_eq!(app.state(), AppState::Established);
+        app
+    }
+
+    #[test]
+    fn out_of_order_segments_are_buffered_and_reassembled() {
+        let mut app = established_app();
+        // The second segment arrives first: hole at 101..111.
+        let out = app.handle(&relay_builder().tcp_data(111, 0, vec![2u8; 10]));
+        assert_eq!(out.len(), 1);
+        let dup = out[0].tcp().unwrap();
+        assert_eq!(dup.ack, 101, "cumulative ACK does not move past the hole");
+        assert_eq!(dup.sack_blocks().unwrap().as_slice(), &[(111, 121)]);
+        assert_eq!(app.bytes_received, 0);
+        assert_eq!(app.dup_acks_sent, 1);
+        // The hole fills: one ACK covering both segments.
+        let out = app.handle(&relay_builder().tcp_data(101, 0, vec![1u8; 10]));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tcp().unwrap().ack, 121);
+        assert!(out[0].tcp().unwrap().sack_blocks().is_none());
+        assert_eq!(app.bytes_received, 20);
+    }
+
+    #[test]
+    fn duplicate_segments_are_re_acked_without_recounting() {
+        let mut app = established_app();
+        let seg = relay_builder().tcp_data(101, 0, vec![1u8; 10]);
+        app.handle(&seg);
+        assert_eq!(app.bytes_received, 10);
+        // The network duplicated the segment: re-ACK, count nothing twice.
+        let out = app.handle(&seg);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tcp().unwrap().ack, 111);
+        assert_eq!(app.bytes_received, 10);
+        assert_eq!(app.dup_acks_sent, 1);
+    }
+
+    #[test]
+    fn fin_beyond_a_hole_is_held_until_contiguous() {
+        let mut app = established_app();
+        app.handle(&relay_builder().tcp_data(101, 0, vec![1u8; 10]));
+        // The 111..121 segment is lost; the relay's FIN at 121 races ahead.
+        let out = app.handle(&relay_builder().tcp_fin(121, 0));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tcp().unwrap().ack, 111, "FIN not acknowledged yet");
+        assert_eq!(app.state(), AppState::Established);
+        // Retransmission fills the hole: the held FIN is processed and the
+        // app closes exactly as if the stream had arrived in order.
+        let out = app.handle(&relay_builder().tcp_data(111, 0, vec![2u8; 10]));
+        assert_eq!(out.len(), 2, "ACK of FIN plus our FIN");
+        assert_eq!(out[0].tcp().unwrap().ack, 122);
+        assert!(out[1].tcp().unwrap().flags.contains(TcpFlags::FIN));
+        assert_eq!(app.state(), AppState::Done);
+        assert_eq!(app.bytes_received, 20);
+    }
+
+    #[test]
+    fn sack_blocks_lead_with_the_newest_block() {
+        let mut app = established_app();
+        // Two separate holes; the newest arrival's block must come first
+        // (RFC 2018), with the rest in ascending order.
+        app.handle(&relay_builder().tcp_data(111, 0, vec![2u8; 10]));
+        let out = app.handle(&relay_builder().tcp_data(131, 0, vec![4u8; 10]));
+        assert_eq!(
+            out[0].tcp().unwrap().sack_blocks().unwrap().as_slice(),
+            &[(131, 141), (111, 121)]
+        );
+        // A third arrival joining the two runs collapses them into one block.
+        let out = app.handle(&relay_builder().tcp_data(121, 0, vec![3u8; 10]));
+        assert_eq!(out[0].tcp().unwrap().sack_blocks().unwrap().as_slice(), &[(111, 141)]);
+        assert_eq!(app.dup_acks_sent, 3);
     }
 
     #[test]
