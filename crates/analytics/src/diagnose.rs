@@ -15,7 +15,7 @@
 //! Both run on sketches, so diagnosing a deployment costs O(cells), not
 //! O(samples).
 
-use mop_measure::{AggregateStore, MeasurementKind, RttSketch};
+use mop_measure::{AggregateStore, MeasurementKind, RttSketch, WindowedAggregateStore};
 
 /// The verdict of a per-app diagnosis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -198,6 +198,224 @@ pub fn app_sketch(aggregates: &AggregateStore, app: &str) -> RttSketch {
     aggregates.sketch_where(|k| k.kind == MeasurementKind::Tcp && k.app == app)
 }
 
+// ----- time-series diagnosis over epoch windows ----------------------------
+
+/// The verdict of a time-series diagnosis over a run's epoch windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrendVerdict {
+    /// An operator's all-apps baseline worsened across the run: the access
+    /// network degraded, and apps on it got slow *together* — the mid-day
+    /// cell-congestion shape.
+    IspDegraded,
+    /// One app worsened against a baseline that did not: its server side
+    /// regressed mid-run while the network stayed put.
+    AppRegressed,
+    /// The subject's late epochs track its early ones.
+    Stable,
+}
+
+impl TrendVerdict {
+    /// A stable lower-case label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrendVerdict::IspDegraded => "isp-degraded",
+            TrendVerdict::AppRegressed => "app-regressed",
+            TrendVerdict::Stable => "stable",
+        }
+    }
+}
+
+/// The time-series diagnosis of one subject (an app or an ISP).
+#[derive(Debug, Clone)]
+pub struct TrendDiagnosis {
+    /// The app package or operator name.
+    pub subject: String,
+    /// TCP measurements behind the diagnosis (early + late halves).
+    pub samples: u64,
+    /// Median RTT over the early half of the observed epochs, in ms.
+    pub early_median_ms: f64,
+    /// Median RTT over the late half, in ms.
+    pub late_median_ms: f64,
+    /// The verdict.
+    pub verdict: TrendVerdict,
+}
+
+impl TrendDiagnosis {
+    /// How much the subject slowed down: late median over early median.
+    pub fn ratio(&self) -> f64 {
+        self.late_median_ms / self.early_median_ms
+    }
+}
+
+/// Tuning knobs for [`diagnose_trends`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendConfig {
+    /// Subjects with fewer TCP samples than this in *either* half are
+    /// skipped (no stable per-half median).
+    pub min_samples: u64,
+    /// A subject whose late median exceeds `early × degraded_ratio` has
+    /// worsened.
+    pub degraded_ratio: f64,
+    /// An app only counts as regressed if it worsened this much *more* than
+    /// the all-apps baseline did — apps riding a degrading network are the
+    /// network's fault, not theirs.
+    pub relative_margin: f64,
+}
+
+impl Default for TrendConfig {
+    fn default() -> Self {
+        // Half again slower is a visible regression; the margin keeps an app
+        // from being blamed for a network that dragged everyone down.
+        Self { min_samples: 20, degraded_ratio: 1.5, relative_margin: 1.25 }
+    }
+}
+
+/// Splits the observed epoch span in half and merges each half's live
+/// epochs into one aggregate. The windowed store is bit-identical for any
+/// shard count (and any merge order), so the halves — and every verdict
+/// derived from them — are too.
+fn split_halves(windows: &WindowedAggregateStore) -> (AggregateStore, AggregateStore) {
+    let epochs = windows.live_epochs();
+    let mut early = AggregateStore::new();
+    let mut late = AggregateStore::new();
+    let (Some(&first), Some(&last)) = (epochs.first(), epochs.last()) else {
+        return (early, late);
+    };
+    // Epochs strictly past the span midpoint are "late"; a one-epoch span
+    // has no late half and diagnoses everything stable.
+    let mid = first + (last - first) / 2;
+    for &epoch in &epochs {
+        let store = windows.epoch_store(epoch).expect("live epoch has a store");
+        if epoch > mid {
+            late.merge_from(store);
+        } else {
+            early.merge_from(store);
+        }
+    }
+    (early, late)
+}
+
+/// Classifies every ISP and app by comparing its median RTT over the late
+/// half of the run's epochs against the early half. ISPs whose baseline
+/// worsened are [`TrendVerdict::IspDegraded`]; apps that worsened *more than
+/// their baseline did* are [`TrendVerdict::AppRegressed`]; everything else
+/// is stable. Results are sorted worst-first by slow-down ratio.
+///
+/// Only the window's live epochs participate: the folded tail has no epoch
+/// resolution. Size the epoch window to cover the span being diagnosed.
+pub fn diagnose_trends(
+    windows: &WindowedAggregateStore,
+    config: TrendConfig,
+) -> Vec<TrendDiagnosis> {
+    let (early, late) = split_halves(windows);
+    let tcp_isp = |k: &mop_measure::AggregateKey| k.kind == MeasurementKind::Tcp && !k.isp.is_empty();
+    let tcp_app = |k: &mop_measure::AggregateKey| k.kind == MeasurementKind::Tcp && !k.app.is_empty();
+    let early_isps = early.group_by(|k| k.isp.clone(), tcp_isp);
+    let late_isps = late.group_by(|k| k.isp.clone(), tcp_isp);
+    let early_apps = early.group_by(|k| k.app.clone(), tcp_app);
+    let late_apps = late.group_by(|k| k.app.clone(), tcp_app);
+    let baseline_ratio = {
+        let early_all = early.sketch_where(tcp_app);
+        let late_all = late.sketch_where(tcp_app);
+        match (early_all.median(), late_all.median()) {
+            (Some(e), Some(l)) if e > 0.0 => l / e,
+            _ => 1.0,
+        }
+    };
+
+    let mut out = Vec::new();
+    for (isp, early_sketch) in &early_isps {
+        let Some(late_sketch) = late_isps.get(isp) else { continue };
+        if early_sketch.count() < config.min_samples || late_sketch.count() < config.min_samples {
+            continue;
+        }
+        let (Some(early_med), Some(late_med)) = (early_sketch.median(), late_sketch.median())
+        else {
+            continue;
+        };
+        let verdict = if late_med > early_med * config.degraded_ratio {
+            TrendVerdict::IspDegraded
+        } else {
+            TrendVerdict::Stable
+        };
+        out.push(TrendDiagnosis {
+            subject: isp.clone(),
+            samples: early_sketch.count() + late_sketch.count(),
+            early_median_ms: early_med,
+            late_median_ms: late_med,
+            verdict,
+        });
+    }
+    for (app, early_sketch) in &early_apps {
+        let Some(late_sketch) = late_apps.get(app) else { continue };
+        if early_sketch.count() < config.min_samples || late_sketch.count() < config.min_samples {
+            continue;
+        }
+        let (Some(early_med), Some(late_med)) = (early_sketch.median(), late_sketch.median())
+        else {
+            continue;
+        };
+        let ratio = if early_med > 0.0 { late_med / early_med } else { 1.0 };
+        let verdict = if ratio > config.degraded_ratio
+            && ratio > baseline_ratio * config.relative_margin
+        {
+            TrendVerdict::AppRegressed
+        } else {
+            TrendVerdict::Stable
+        };
+        out.push(TrendDiagnosis {
+            subject: app.clone(),
+            samples: early_sketch.count() + late_sketch.count(),
+            early_median_ms: early_med,
+            late_median_ms: late_med,
+            verdict,
+        });
+    }
+    out.sort_by(|a, b| {
+        let severity = |d: &TrendDiagnosis| match d.verdict {
+            TrendVerdict::IspDegraded | TrendVerdict::AppRegressed => 0,
+            TrendVerdict::Stable => 1,
+        };
+        severity(a)
+            .cmp(&severity(b))
+            .then(b.ratio().total_cmp(&a.ratio()))
+            .then(a.subject.cmp(&b.subject))
+    });
+    out
+}
+
+/// One epoch of a run's time series, ready to render.
+#[derive(Debug, Clone)]
+pub struct EpochPoint {
+    /// The epoch index (sample timestamp divided by the epoch width).
+    pub epoch: u64,
+    /// Measurements in the epoch.
+    pub samples: u64,
+    /// Median TCP RTT, in ms (`None` when the epoch has no TCP samples).
+    pub median_ms: Option<f64>,
+    /// 95th-percentile TCP RTT, in ms.
+    pub p95_ms: Option<f64>,
+}
+
+/// The run's live epochs as a TCP-RTT time series, oldest first — the rows
+/// of the epoch table.
+pub fn epoch_series(windows: &WindowedAggregateStore) -> Vec<EpochPoint> {
+    windows
+        .live_epochs()
+        .into_iter()
+        .map(|epoch| {
+            let store = windows.epoch_store(epoch).expect("live epoch has a store");
+            let sketch = store.sketch_where(|k| k.kind == MeasurementKind::Tcp);
+            EpochPoint {
+                epoch,
+                samples: store.sample_count(),
+                median_ms: sketch.median(),
+                p95_ms: sketch.quantile(0.95),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +486,138 @@ mod tests {
         assert_eq!(ranks[0].samples, 100);
         // Nothing ranks for a kind with no samples above the floor.
         assert!(rank_isps(&agg, MeasurementKind::Tcp, 10).is_empty());
+    }
+
+    /// Stamps `n` TCP samples for one (app, isp) into the epoch containing
+    /// second `at_s`, with a small deterministic jitter.
+    fn stamp(
+        windows: &mut WindowedAggregateStore,
+        at_s: u64,
+        app: &str,
+        isp: &str,
+        device: u32,
+        rtt_ms: f64,
+        n: usize,
+    ) {
+        for i in 0..n {
+            windows.observe_parts(
+                at_s * 1_000_000_000 + i as u64 * 1_000,
+                MeasurementKind::Tcp,
+                NetKind::Lte,
+                app,
+                "example.com",
+                isp,
+                device + i as u32 % 5,
+                "",
+                rtt_ms + f64::from(i as u32 % 7),
+            );
+        }
+    }
+
+    /// A mid-day ISP degradation: every app on the operator slows down
+    /// together in the late epochs.
+    fn isp_degradation_day() -> WindowedAggregateStore {
+        let mut windows = WindowedAggregateStore::new(1_000_000_000, 16);
+        for hour in 0..8u64 {
+            let rtt = if hour >= 4 { 160.0 } else { 45.0 };
+            stamp(&mut windows, hour, "com.app.alpha", "SimTel LTE", 10, rtt, 30);
+            stamp(&mut windows, hour, "com.app.beta", "SimTel LTE", 20, rtt + 5.0, 30);
+        }
+        windows
+    }
+
+    /// A mid-day app regression: one minority app slows down while the
+    /// majority app — and therefore the baseline — stays put.
+    fn app_regression_day() -> WindowedAggregateStore {
+        let mut windows = WindowedAggregateStore::new(1_000_000_000, 16);
+        for hour in 0..8u64 {
+            stamp(&mut windows, hour, "com.app.steady", "SimTel LTE", 10, 45.0, 90);
+            let rtt = if hour >= 4 { 200.0 } else { 50.0 };
+            stamp(&mut windows, hour, "com.app.regressed", "SimTel LTE", 20, rtt, 30);
+        }
+        windows
+    }
+
+    fn verdict_of(diagnoses: &[TrendDiagnosis], subject: &str) -> TrendVerdict {
+        diagnoses.iter().find(|d| d.subject == subject).expect(subject).verdict
+    }
+
+    #[test]
+    fn trend_diagnosis_flags_a_degraded_isp_not_its_apps() {
+        let diagnoses = diagnose_trends(&isp_degradation_day(), TrendConfig::default());
+        assert_eq!(verdict_of(&diagnoses, "SimTel LTE"), TrendVerdict::IspDegraded);
+        // The apps slowed down exactly as much as the crowd: the network's
+        // fault, not theirs.
+        assert_eq!(verdict_of(&diagnoses, "com.app.alpha"), TrendVerdict::Stable);
+        assert_eq!(verdict_of(&diagnoses, "com.app.beta"), TrendVerdict::Stable);
+        // Worst first.
+        assert_eq!(diagnoses[0].subject, "SimTel LTE");
+        assert!(diagnoses[0].ratio() > 2.0);
+        assert_eq!(TrendVerdict::IspDegraded.label(), "isp-degraded");
+    }
+
+    #[test]
+    fn trend_diagnosis_flags_a_regressed_app_not_its_isp() {
+        let diagnoses = diagnose_trends(&app_regression_day(), TrendConfig::default());
+        assert_eq!(verdict_of(&diagnoses, "com.app.regressed"), TrendVerdict::AppRegressed);
+        assert_eq!(verdict_of(&diagnoses, "com.app.steady"), TrendVerdict::Stable);
+        // The majority app keeps the operator's baseline flat.
+        assert_eq!(verdict_of(&diagnoses, "SimTel LTE"), TrendVerdict::Stable);
+        assert_eq!(diagnoses[0].subject, "com.app.regressed");
+    }
+
+    #[test]
+    fn trend_diagnosis_is_identical_for_any_shard_partition() {
+        // Rebuild the degradation day as three per-shard windows (samples
+        // partitioned by device) and merge them in two different orders: the
+        // diagnosis must be bit-identical to the unpartitioned store's.
+        let whole = isp_degradation_day();
+        let build_shard = |keep: u32| {
+            let mut windows = WindowedAggregateStore::new(1_000_000_000, 16);
+            for hour in 0..8u64 {
+                let rtt = if hour >= 4 { 160.0 } else { 45.0 };
+                if keep == 0 {
+                    stamp(&mut windows, hour, "com.app.alpha", "SimTel LTE", 10, rtt, 30);
+                } else {
+                    stamp(&mut windows, hour, "com.app.beta", "SimTel LTE", 20, rtt + 5.0, 30);
+                }
+            }
+            windows
+        };
+        let (a, b) = (build_shard(0), build_shard(1));
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_eq!(ab.digest(), whole.digest(), "partitioned merge == direct observation");
+        assert_eq!(ba.digest(), whole.digest(), "merge order is irrelevant");
+        for merged in [&ab, &ba] {
+            let diagnoses = diagnose_trends(merged, TrendConfig::default());
+            let reference = diagnose_trends(&whole, TrendConfig::default());
+            assert_eq!(diagnoses.len(), reference.len());
+            for (d, r) in diagnoses.iter().zip(&reference) {
+                assert_eq!(d.subject, r.subject);
+                assert_eq!(d.verdict, r.verdict);
+                assert_eq!(d.early_median_ms.to_bits(), r.early_median_ms.to_bits());
+                assert_eq!(d.late_median_ms.to_bits(), r.late_median_ms.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_series_walks_the_live_epochs_in_order() {
+        let windows = isp_degradation_day();
+        let series = epoch_series(&windows);
+        assert_eq!(series.len(), 8);
+        assert!(series.windows(2).all(|w| w[0].epoch < w[1].epoch));
+        assert!(series.iter().all(|p| p.samples == 60));
+        let early = series[0].median_ms.unwrap();
+        let late = series[7].median_ms.unwrap();
+        assert!(late > early * 2.0, "mid-day degradation visible per epoch: {early} → {late}");
+        // Render smoke: a row per epoch plus title, header, rule.
+        let table = crate::render::render_epoch_table("day", &windows);
+        assert_eq!(table.lines().count(), 3 + 8);
+        assert!(table.contains("tcp p50"));
     }
 
     #[test]

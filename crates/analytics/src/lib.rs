@@ -44,6 +44,9 @@ pub use crowd::{
     CaseJio, CaseWhatsapp, CrowdSummary, Fig10Dns, Fig11IspDns, Fig6Contribution, Fig7Countries,
     Fig8Locations, Fig9AppRtt, Table5Apps, Table6IspDns,
 };
-pub use diagnose::{diagnose_apps, rank_isps, AppDiagnosis, DiagnosisConfig, IspRank, Verdict};
+pub use diagnose::{
+    diagnose_apps, diagnose_trends, epoch_series, rank_isps, AppDiagnosis, DiagnosisConfig,
+    EpochPoint, IspRank, TrendConfig, TrendDiagnosis, TrendVerdict, Verdict,
+};
 pub use micro::{Fig5Mapping, Table1TunnelWrite, Table2Accuracy, Table3Throughput, Table4Resources};
-pub use render::{render_cdf_series, render_sketch_series, render_table};
+pub use render::{render_cdf_series, render_epoch_table, render_sketch_series, render_table};

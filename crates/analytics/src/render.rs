@@ -1,7 +1,9 @@
 //! Plain-text rendering of tables and CDF series for `EXPERIMENTS.md` and the
 //! `repro` binary.
 
-use mop_measure::{Cdf, RttSketch};
+use mop_measure::{Cdf, RttSketch, WindowedAggregateStore};
+
+use crate::diagnose::epoch_series;
 
 /// Renders a table with a header row and aligned columns.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
@@ -34,6 +36,31 @@ pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> Strin
         out.push('\n');
     }
     out
+}
+
+/// Renders a run's live epochs as an aligned table — one row per epoch,
+/// with the epoch's start time in virtual seconds, its sample count and its
+/// TCP median/p95. The longitudinal view behind the `report` binary's
+/// `--epochs` flag.
+pub fn render_epoch_table(title: &str, windows: &WindowedAggregateStore) -> String {
+    let width_ns = windows.width_ns();
+    let rows: Vec<Vec<String>> = epoch_series(windows)
+        .into_iter()
+        .map(|point| {
+            let start_s = (point.epoch * width_ns) as f64 / 1e9;
+            let fmt = |value: Option<f64>| {
+                value.map_or_else(|| "-".to_string(), |ms| format!("{ms:.1}"))
+            };
+            vec![
+                point.epoch.to_string(),
+                format!("{start_s:.1}"),
+                point.samples.to_string(),
+                fmt(point.median_ms),
+                fmt(point.p95_ms),
+            ]
+        })
+        .collect();
+    render_table(title, &["epoch", "start (s)", "samples", "tcp p50 (ms)", "tcp p95 (ms)"], &rows)
 }
 
 /// Renders a CDF as `x<TAB>F(x)` rows, one series per call.

@@ -1,0 +1,98 @@
+//! Longitudinal-run costs: the diurnal fleet with epoch windows on, the
+//! checkpoint save/restore path, and the memory claim behind both.
+//!
+//! The windowed epoch sketches must make per-run analytics memory
+//! O(window × cells) — *independent of run length*: a day of traffic keeps
+//! at most `epoch_window` live epochs, everything older folded into one
+//! tail store. The stderr summary prints the live-epoch and cell counts at
+//! several window lengths over the same 24-epoch day, plus the checkpoint's
+//! JSON size and save/parse/resume wall times (`BENCH_pr8.json` records
+//! these).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mop_dataset::{DiurnalScenario, Scenario};
+use mopeye_core::{epoch_boundary, FleetCheckpoint, FleetConfig, FleetEngine};
+
+const USERS: usize = 150;
+const SEED: u64 = 2017;
+
+fn fleet(shards: usize, window: usize) -> FleetEngine {
+    let mut config = FleetConfig::new(shards)
+        .with_seed(SEED)
+        .with_epochs(DiurnalScenario::virtual_hour(), window);
+    config.engine = config.engine.with_retain_samples(false);
+    FleetEngine::new(config, Scenario::diurnal(USERS, SEED).network())
+}
+
+fn bench_diurnal(c: &mut Criterion) {
+    let day = Scenario::diurnal(USERS, SEED);
+    let flows = day.generate();
+
+    let mut group = c.benchmark_group("diurnal");
+    group.sample_size(10);
+    group.bench_function("day_150users_4shards_windowed", |b| {
+        b.iter(|| fleet(4, 32).run(flows.clone()))
+    });
+    group.bench_function("checkpoint_roundtrip_150users", |b| {
+        let cut = epoch_boundary(DiurnalScenario::virtual_hour().as_nanos(), 12);
+        b.iter(|| {
+            let checkpoint = FleetCheckpoint::capture(&fleet(4, 32), flows.clone(), cut);
+            let text = checkpoint.to_json_string();
+            FleetCheckpoint::from_json_str(&text).expect("parse").resume(&fleet(4, 32))
+        })
+    });
+    group.finish();
+
+    // --- the memory claim: live state is capped by the window, not the day
+    for window in [4usize, 8, 32] {
+        let report = fleet(4, window).run(flows.clone());
+        let windows = report.merged.windows.expect("windowed run");
+        eprintln!(
+            "diurnal: window {window:>2}: {:>2} live epochs over a 24-epoch day, \
+             {:>3} live cells + {:>3} folded-tail cells, {} samples",
+            windows.live_epochs().len(),
+            windows
+                .live_epochs()
+                .iter()
+                .map(|&e| windows.epoch_store(e).map_or(0, |s| s.cell_count()))
+                .sum::<usize>(),
+            windows.folded().cell_count(),
+            windows.sample_count(),
+        );
+        assert!(
+            windows.live_epochs().len() <= window,
+            "live epochs exceed the window"
+        );
+    }
+
+    // --- checkpoint size and save/restore wall time
+    let cut = epoch_boundary(DiurnalScenario::virtual_hour().as_nanos(), 12);
+    let saved_at = std::time::Instant::now();
+    let checkpoint = FleetCheckpoint::capture(&fleet(4, 32), flows.clone(), cut);
+    let text = checkpoint.to_json_string();
+    let save_wall = saved_at.elapsed();
+    let restore_at = std::time::Instant::now();
+    let restored = FleetCheckpoint::from_json_str(&text).expect("checkpoint parses");
+    let parse_wall = restore_at.elapsed();
+    let resume_at = std::time::Instant::now();
+    let resumed = restored.resume(&fleet(4, 32));
+    let resume_wall = resume_at.elapsed();
+    let uninterrupted = fleet(4, 32).run(flows.clone());
+    eprintln!(
+        "diurnal: checkpoint at epoch 12: {} bytes JSON ({} pending flows), \
+         save {:.0} ms, parse {:.0} ms, resume {:.0} ms; resumed digest {:016x} \
+         {} uninterrupted {:016x}",
+        text.len(),
+        checkpoint.pending.len(),
+        save_wall.as_secs_f64() * 1e3,
+        parse_wall.as_secs_f64() * 1e3,
+        resume_wall.as_secs_f64() * 1e3,
+        resumed.digest(),
+        if resumed.digest() == uninterrupted.digest() { "==" } else { "!=" },
+        uninterrupted.digest(),
+    );
+    assert_eq!(resumed.digest(), uninterrupted.digest(), "checkpoint cut moved the digest");
+}
+
+criterion_group!(benches, bench_diurnal);
+criterion_main!(benches);

@@ -8,24 +8,42 @@
 //! record vector is never materialised, so analytics memory is
 //! O(apps × networks) whatever the connection count.
 //!
+//! The `diurnal` scenario is the longitudinal mode: a simulated day whose
+//! samples are additionally stamped into per-hour epoch windows, rendered
+//! as a time series (`--epochs`) and diagnosed for mid-day ISP degradations
+//! vs app regressions. Any epoch boundary is a checkpoint cut:
+//! `--checkpoint` saves the run's state there, `--resume` completes it —
+//! bit-identically to the uninterrupted run, at any shard count.
+//!
 //! Usage:
 //!
 //! ```text
-//! report                      # 2,000-user rush hour on 4 shards
-//! report --users 13000        # ~100k connections
-//! report --shards 8 --seed 7  # shard count / seed
+//! report                        # 2,000-user rush hour on 4 shards
+//! report --users 13000          # ~100k connections
+//! report --shards 8 --seed 7    # shard count / seed
 //! report --scenario degraded-commute --cc cubic
-//! #                           # lossy 3G → LTE commute, CUBIC recovery
-//! report --out target/report  # also write report.txt / report.json there
+//! #                             # lossy 3G → LTE commute, CUBIC recovery
+//! report --scenario diurnal --epochs
+//! #                             # a simulated day with the per-hour table
+//! report --scenario diurnal --checkpoint day.ckpt --cut-epoch 12
+//! #                             # run hours 0-11, save the rest
+//! report --scenario diurnal --resume day.ckpt --shards 8
+//! #                             # finish the day on a different fleet
+//! report --out target/report    # also write report.txt / report.json there
 //! ```
 
 use std::fs;
 use std::path::PathBuf;
 
 use mop_analytics::render::{render_loss_recovery, LossRecoverySummary};
+use mop_analytics::{diagnose_trends, render_epoch_table, render_table, TrendConfig};
 use mop_bench::{render_crowd_report, run_scenario_lean};
-use mop_dataset::Scenario;
-use mopeye_core::CongestionAlgo;
+use mop_dataset::{DiurnalScenario, Scenario};
+use mop_simnet::{SimDuration, SimNetworkBuilder};
+use mop_tun::FlowSpec;
+use mopeye_core::{
+    epoch_boundary, CongestionAlgo, FleetConfig, FleetEngine, FleetCheckpoint, FleetReport,
+};
 
 struct Options {
     users: usize,
@@ -34,6 +52,10 @@ struct Options {
     scenario: String,
     congestion: CongestionAlgo,
     out_dir: Option<PathBuf>,
+    epochs: bool,
+    checkpoint: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    cut_epoch: Option<u64>,
 }
 
 fn parse_args() -> Options {
@@ -44,6 +66,10 @@ fn parse_args() -> Options {
         scenario: "rush-hour".into(),
         congestion: CongestionAlgo::Reno,
         out_dir: None,
+        epochs: false,
+        checkpoint: None,
+        resume: None,
+        cut_epoch: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -68,11 +94,18 @@ fn parse_args() -> Options {
                 }
             }
             "--out" => options.out_dir = args.next().map(PathBuf::from),
+            "--epochs" => options.epochs = true,
+            "--checkpoint" => options.checkpoint = args.next().map(PathBuf::from),
+            "--resume" => options.resume = args.next().map(PathBuf::from),
+            "--cut-epoch" => options.cut_epoch = args.next().and_then(|v| v.parse().ok()),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: report [--users <n>] [--shards <n>] [--seed <n>] \
-                     [--scenario rush-hour|flash-crowd|degraded-commute] \
-                     [--cc reno|cubic] [--out <dir>]"
+                     [--scenario rush-hour|flash-crowd|degraded-commute|diurnal] \
+                     [--cc reno|cubic] [--epochs] [--checkpoint <file> [--cut-epoch <n>]] \
+                     [--resume <file>] [--out <dir>]\n\
+                     resume must use the same --scenario/--users/--seed the checkpoint was \
+                     saved with; --shards may differ freely."
                 );
                 std::process::exit(0);
             }
@@ -82,22 +115,113 @@ fn parse_args() -> Options {
     options
 }
 
+/// The scenario being run: a classic burst scenario or the longitudinal day.
+enum Plan {
+    Classic(Scenario),
+    Diurnal(DiurnalScenario),
+}
+
+impl Plan {
+    fn name(&self) -> String {
+        match self {
+            Plan::Classic(scenario) => scenario.spec().name.clone(),
+            Plan::Diurnal(day) => day.name().to_string(),
+        }
+    }
+
+    fn network(&self) -> SimNetworkBuilder {
+        match self {
+            Plan::Classic(scenario) => scenario.network(),
+            Plan::Diurnal(day) => day.network(),
+        }
+    }
+
+    fn generate(&self) -> Vec<FlowSpec> {
+        match self {
+            Plan::Classic(scenario) => scenario.generate(),
+            Plan::Diurnal(day) => day.generate(),
+        }
+    }
+
+    /// The epoch width windowed runs use: one virtual hour for the day,
+    /// an eighth of the arrival window for the burst scenarios.
+    fn epoch_width(&self) -> SimDuration {
+        match self {
+            Plan::Classic(scenario) => {
+                SimDuration::from_nanos((scenario.spec().duration.as_nanos() / 8).max(1))
+            }
+            Plan::Diurnal(_) => DiurnalScenario::virtual_hour(),
+        }
+    }
+
+    /// The default checkpoint cut: mid-day for the diurnal scenario, half
+    /// the eight window epochs otherwise.
+    fn default_cut_epoch(&self) -> u64 {
+        match self {
+            Plan::Classic(_) => 4,
+            Plan::Diurnal(_) => 12,
+        }
+    }
+}
+
 fn main() {
     let options = parse_args();
-    let scenario = match options.scenario.as_str() {
-        "rush-hour" => Scenario::rush_hour(options.users, options.seed),
-        "flash-crowd" => Scenario::flash_crowd(options.users, options.seed),
-        "degraded-commute" => Scenario::degraded_commute(options.users, options.seed),
+    let plan = match options.scenario.as_str() {
+        "rush-hour" => Plan::Classic(Scenario::rush_hour(options.users, options.seed)),
+        "flash-crowd" => Plan::Classic(Scenario::flash_crowd(options.users, options.seed)),
+        "degraded-commute" => {
+            Plan::Classic(Scenario::degraded_commute(options.users, options.seed))
+        }
+        "diurnal" => Plan::Diurnal(Scenario::diurnal(options.users, options.seed)),
         other => {
-            eprintln!("unknown scenario {other:?}; expected rush-hour, flash-crowd or degraded-commute");
+            eprintln!(
+                "unknown scenario {other:?}; expected rush-hour, flash-crowd, \
+                 degraded-commute or diurnal"
+            );
             std::process::exit(2);
         }
     };
+    // Epoch windows are on for the longitudinal scenario and whenever the
+    // epoch table or a checkpoint cut is requested.
+    let windowed = options.epochs
+        || options.checkpoint.is_some()
+        || options.resume.is_some()
+        || matches!(plan, Plan::Diurnal(_));
     let started = std::time::Instant::now();
-    let report = run_scenario_lean(&scenario, options.shards, options.seed, options.congestion);
+    let report = run_plan(&plan, &options, windowed);
+    let Some(report) = report else { return };
     let ran_in = started.elapsed().as_secs_f64();
     let output = render_crowd_report(&report.merged.aggregates);
     println!("{}", output.text);
+    if let Some(windows) = &report.merged.windows {
+        if options.epochs {
+            println!("{}", render_epoch_table("Per-epoch TCP RTT (live window)", windows));
+        }
+        let trends = diagnose_trends(windows, TrendConfig::default());
+        if !trends.is_empty() {
+            let rows: Vec<Vec<String>> = trends
+                .iter()
+                .map(|t| {
+                    vec![
+                        t.subject.clone(),
+                        t.samples.to_string(),
+                        format!("{:.1}", t.early_median_ms),
+                        format!("{:.1}", t.late_median_ms),
+                        format!("{:.2}x", t.ratio()),
+                        t.verdict.label().to_string(),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                render_table(
+                    "Time-series diagnosis (early vs late epochs)",
+                    &["subject", "samples", "early p50", "late p50", "ratio", "verdict"],
+                    &rows,
+                )
+            );
+        }
+    }
     let relay = &report.merged.relay;
     let recovery = LossRecoverySummary {
         congestion: match options.congestion {
@@ -115,7 +239,7 @@ fn main() {
     println!(
         "run: {} ({} users, {} shards, seed {}): {} flows, {} samples into {} sketch cells \
          (raw vector: {} entries), digest {:016x}, {ran_in:.1}s wall",
-        scenario.spec().name,
+        plan.name(),
         options.users,
         options.shards,
         options.seed,
@@ -132,4 +256,66 @@ fn main() {
             .expect("write report.json");
         eprintln!("wrote {}/report.txt and report.json", dir.display());
     }
+}
+
+/// Runs the plan: a plain run, a run-and-save (`--checkpoint`, returns
+/// `None` — the report belongs to the resumed run), or a load-and-finish
+/// (`--resume`).
+fn run_plan(plan: &Plan, options: &Options, windowed: bool) -> Option<FleetReport> {
+    let fleet = build_fleet(plan, options, windowed);
+    if let Some(path) = &options.resume {
+        let text = fs::read_to_string(path).expect("read checkpoint file");
+        let checkpoint = FleetCheckpoint::from_json_str(&text).expect("parse checkpoint file");
+        eprintln!(
+            "resuming {} pending flows from {} (cut at {:?}, saved on {} shards)",
+            checkpoint.pending.len(),
+            path.display(),
+            checkpoint.cut,
+            checkpoint.shards_at_save,
+        );
+        return Some(checkpoint.resume(&fleet));
+    }
+    if let Some(path) = &options.checkpoint {
+        let width = plan.epoch_width().as_nanos();
+        let cut_epoch = options.cut_epoch.unwrap_or_else(|| plan.default_cut_epoch());
+        let cut = epoch_boundary(width, cut_epoch);
+        let checkpoint = FleetCheckpoint::capture(&fleet, plan.generate(), cut);
+        let text = checkpoint.to_json_string();
+        fs::write(path, &text).expect("write checkpoint file");
+        eprintln!(
+            "checkpointed {} at epoch {} ({:?}): {} flows ran, {} pending, {} bytes → {}",
+            plan.name(),
+            cut_epoch,
+            cut,
+            checkpoint.base.flows.len(),
+            checkpoint.pending.len(),
+            text.len(),
+            path.display(),
+        );
+        return None;
+    }
+    if !windowed {
+        // The classic lean path, untouched: epoch-less runs keep their
+        // historical digests.
+        if let Plan::Classic(scenario) = plan {
+            return Some(run_scenario_lean(
+                scenario,
+                options.shards,
+                options.seed,
+                options.congestion,
+            ));
+        }
+    }
+    Some(fleet.run(plan.generate()))
+}
+
+fn build_fleet(plan: &Plan, options: &Options, windowed: bool) -> FleetEngine {
+    let mut config = FleetConfig::new(options.shards)
+        .with_seed(options.seed)
+        .with_congestion(options.congestion);
+    config.engine = config.engine.with_retain_samples(false);
+    if windowed {
+        config = config.with_epochs(plan.epoch_width(), 32);
+    }
+    FleetEngine::new(config, plan.network())
 }

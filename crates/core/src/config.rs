@@ -165,10 +165,29 @@ pub struct MopEyeConfig {
     /// bit-identical results; under [`WorkerModel::Saturating`] a size of 1
     /// reproduces the unbatched engine exactly.
     pub batch_size: usize,
+    /// Width of one analytics epoch for the windowed time-series sink.
+    ///
+    /// `None` (the default) disables windowed aggregation entirely:
+    /// `RunReport::windows` stays `None` and the fleet digest is bit-for-bit
+    /// what it was before windows existed. `Some(w)` makes the measurement
+    /// sink stamp every sample into the
+    /// [`mop_measure::WindowedAggregateStore`] epoch containing its virtual
+    /// timestamp (in addition to the flat aggregates), giving longitudinal
+    /// runs their per-epoch time series.
+    pub epoch_width: Option<SimDuration>,
+    /// How many epochs stay live in the windowed sink's ring before folding
+    /// into its tail (ignored while `epoch_width` is `None`). Memory is
+    /// O(`epoch_window` × cells) whatever the run length.
+    pub epoch_window: usize,
 }
 
 /// The default event-count safety valve (single-device scale).
 pub const DEFAULT_MAX_EVENTS: u64 = 5_000_000;
+
+/// The default number of live epochs in the windowed sink's ring (see
+/// [`MopEyeConfig::epoch_window`]): enough to keep a full simulated day of
+/// hour-scale epochs live for the epoch table.
+pub const DEFAULT_EPOCH_WINDOW: usize = 32;
 
 /// The default TUN batch size. Swept in `benches/batch_sweep.rs`: per-packet
 /// cost is essentially flat from 16 up, so 32 leaves headroom without
@@ -206,6 +225,8 @@ impl MopEyeConfig {
             idle_timeout: None,
             congestion: CongestionAlgo::Reno,
             batch_size: DEFAULT_BATCH_SIZE,
+            epoch_width: None,
+            epoch_window: DEFAULT_EPOCH_WINDOW,
         }
     }
 
@@ -231,6 +252,8 @@ impl MopEyeConfig {
             idle_timeout: None,
             congestion: CongestionAlgo::Reno,
             batch_size: DEFAULT_BATCH_SIZE,
+            epoch_width: None,
+            epoch_window: DEFAULT_EPOCH_WINDOW,
         }
     }
 
@@ -256,6 +279,8 @@ impl MopEyeConfig {
             idle_timeout: None,
             congestion: CongestionAlgo::Reno,
             batch_size: DEFAULT_BATCH_SIZE,
+            epoch_width: None,
+            epoch_window: DEFAULT_EPOCH_WINDOW,
         }
     }
 
@@ -352,6 +377,20 @@ impl MopEyeConfig {
     /// at least 1.
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Sets (or clears) the analytics epoch width (see
+    /// [`MopEyeConfig::epoch_width`]).
+    pub fn with_epoch_width(mut self, width: Option<SimDuration>) -> Self {
+        self.epoch_width = width;
+        self
+    }
+
+    /// Sets the windowed sink's live-epoch ring length (see
+    /// [`MopEyeConfig::epoch_window`]). Clamped to at least 1.
+    pub fn with_epoch_window(mut self, window: usize) -> Self {
+        self.epoch_window = window.max(1);
         self
     }
 

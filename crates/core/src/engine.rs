@@ -312,6 +312,7 @@ impl MopEyeEngine {
             flows: self.sink.flow_outcomes(),
             samples: std::mem::take(&mut self.sink.samples),
             aggregates: std::mem::take(&mut self.sink.aggregates),
+            windows: self.sink.windows.take(),
             relay: std::mem::take(&mut self.relay.stats),
             mapping: self.relay.mapper.stats(),
             write_delays: self.egress.writer.stats().clone(),

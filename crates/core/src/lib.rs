@@ -63,6 +63,7 @@
 //! assert_eq!(report.per_shard.len(), 2);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod report;
@@ -71,6 +72,7 @@ pub mod stages;
 pub mod stats;
 pub mod tun_writer;
 
+pub use checkpoint::{epoch_boundary, split_at, FleetCheckpoint, CHECKPOINT_FORMAT_VERSION};
 pub use config::{
     EngineDiscipline, EnqueueScheme, MopEyeConfig, ProtectMode, TimestampMode, WorkerModel,
     WriteScheme,

@@ -8,7 +8,7 @@
 //! (`empty` / `absorb` / `canonicalise` / `fleet_digest`) live in
 //! [`crate::shard`] next to the fleet engine that uses them.
 
-use mop_measure::AggregateStore;
+use mop_measure::{AggregateStore, WindowedAggregateStore};
 use mop_procnet::MappingStats;
 use mop_simnet::{CpuLedger, PoolStats, SimTime};
 use mop_tun::TunStats;
@@ -31,6 +31,12 @@ pub struct RunReport {
     /// like the sample vector, and bit-identical for any shard count under
     /// the flow-keyed discipline.
     pub aggregates: AggregateStore,
+    /// Windowed per-epoch aggregation of the same samples, present only when
+    /// the run set [`crate::config::MopEyeConfig::epoch_width`]. Merged
+    /// cross-shard like [`RunReport::aggregates`] and folded into the fleet
+    /// digest only when present, so epoch-less runs keep their historical
+    /// digests bit for bit.
+    pub windows: Option<WindowedAggregateStore>,
     /// Relay counters.
     pub relay: RelayStats,
     /// Packet-to-app mapping statistics.

@@ -134,6 +134,16 @@ impl FleetConfig {
         self
     }
 
+    /// Enables windowed per-epoch aggregation on every shard sink (see
+    /// [`MopEyeConfig::epoch_width`] and [`MopEyeConfig::epoch_window`]):
+    /// samples are stamped into `width`-wide epochs, with `window` epochs
+    /// live before folding into the tail. The merged report then carries
+    /// `RunReport::windows` and the fleet digest folds it in.
+    pub fn with_epochs(mut self, width: mop_simnet::SimDuration, window: usize) -> Self {
+        self.engine = self.engine.with_epoch_width(Some(width)).with_epoch_window(window);
+        self
+    }
+
     /// Sets the credit depth of each shard's ingress gate (in-flight flow
     /// batches before the dispatcher blocks). Clamped to at least 1.
     pub fn with_credits(mut self, depth: usize) -> Self {
@@ -339,6 +349,7 @@ impl RunReport {
         Self {
             samples: Vec::new(),
             aggregates: Default::default(),
+            windows: None,
             relay: Default::default(),
             mapping: Default::default(),
             write_delays: Default::default(),
@@ -368,6 +379,11 @@ impl RunReport {
     pub fn absorb(&mut self, other: RunReport) {
         self.samples.extend(other.samples);
         self.aggregates.merge_from(&other.aggregates);
+        match (&mut self.windows, other.windows) {
+            (Some(mine), Some(theirs)) => mine.merge_from(&theirs),
+            (mine @ None, Some(theirs)) => *mine = Some(theirs),
+            _ => {}
+        }
         self.relay.merge(&other.relay);
         self.mapping.merge(&other.mapping);
         self.write_delays.merge(&other.write_delays);
@@ -464,6 +480,13 @@ impl RunReport {
         // their own digest is canonical (BTreeMap order, integral sketches),
         // so folding it in keeps the fleet digest shard-count-invariant.
         fnv.write_u64(self.aggregates.digest());
+        // Windowed epoch aggregates join the digest only when the run
+        // enabled them, so epoch-less runs keep their pinned historical
+        // digests; the windowed merge is partition-invariant like the flat
+        // one, so this stays shard-count-invariant too.
+        if let Some(windows) = &self.windows {
+            fnv.write_u64(windows.digest());
+        }
         fnv.finish()
     }
 }

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::net::IpAddr;
 
-use mop_measure::{AggregateStore, MeasurementKind, NetKind};
+use mop_measure::{AggregateStore, MeasurementKind, NetKind, WindowedAggregateStore};
 use mop_packet::FourTuple;
 use mop_simnet::SimTime;
 use mop_tun::FlowSpec;
@@ -41,6 +41,10 @@ pub struct SinkStage {
     pub(crate) samples: Vec<RttSample>,
     /// Streaming sketch aggregates, folded per sample.
     pub(crate) aggregates: AggregateStore,
+    /// Windowed per-epoch aggregates, created lazily on the first sample of
+    /// a run whose config sets an epoch width (`None` otherwise, which keeps
+    /// epoch-less reports — and their digests — exactly as before).
+    pub(crate) windows: Option<WindowedAggregateStore>,
     /// Per-flow outcome bookkeeping.
     pub(crate) flow_meta: HashMap<FourTuple, FlowMeta>,
 }
@@ -142,6 +146,22 @@ impl SinkStage {
             "",
             sample.measured_ms,
         );
+        if let Some(width) = sh.config.epoch_width {
+            let windows = self.windows.get_or_insert_with(|| {
+                WindowedAggregateStore::new(width.as_nanos().max(1), sh.config.epoch_window)
+            });
+            windows.observe_parts(
+                sample.at.as_nanos(),
+                kind,
+                network,
+                sample.package.as_deref().unwrap_or(""),
+                sample.domain.as_deref().unwrap_or(""),
+                isp,
+                device_of(sample.flow.src.addr),
+                "",
+                sample.measured_ms,
+            );
+        }
         if sh.config.retain_samples {
             self.samples.push(sample);
         }

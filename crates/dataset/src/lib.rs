@@ -25,4 +25,4 @@ pub mod scenario;
 pub use calibration::Calibration;
 pub use catalog::{AppEntry, Catalog, CountryEntry, IspEntry};
 pub use generator::{DatasetSpec, SyntheticDataset};
-pub use scenario::{NetProfile, Scenario, ScenarioSpec, TrafficMix};
+pub use scenario::{DiurnalPhase, DiurnalScenario, NetProfile, Scenario, ScenarioSpec, TrafficMix};

@@ -345,6 +345,12 @@ impl Scenario {
         })
     }
 
+    /// The longitudinal scenario: one simulated day of fleet traffic. See
+    /// [`DiurnalScenario`].
+    pub fn diurnal(users: usize, seed: u64) -> DiurnalScenario {
+        DiurnalScenario::new(users, seed)
+    }
+
     /// The network this scenario runs on: seeded from the spec, flow-keyed,
     /// with the paper's Table 2 destinations and the profile's impairments
     /// (a handover, if the profile has one, fires halfway through the
@@ -422,6 +428,224 @@ impl Scenario {
                     Some(self.spec.profile.isp_label_at(flow.at, handover_at).to_string());
             }
             flows.extend(user_flows);
+        }
+        flows.sort_by_key(|f| (f.at, f.src));
+        flows
+    }
+}
+
+/// One phase of the simulated day: who is online, what they do, and what
+/// network they report being on.
+#[derive(Debug, Clone)]
+pub struct DiurnalPhase {
+    /// Phase name ("morning-rush", …).
+    pub name: &'static str,
+    /// When the phase starts, as an offset into the day.
+    pub offset: SimDuration,
+    /// How long the phase's arrival window lasts.
+    pub duration: SimDuration,
+    /// The phase's workload mix.
+    pub mix: Vec<(TrafficMix, f64)>,
+    /// The access-network kind the phase's flows are labelled with.
+    pub network: NetKind,
+    /// The operator / Wi-Fi name the phase's flows are labelled with.
+    pub isp: &'static str,
+    /// The fraction of the fleet active in this phase.
+    pub share: f64,
+}
+
+/// A simulated day of fleet traffic — the longitudinal scenario behind the
+/// windowed epoch sketches and the checkpoint/restore harness.
+///
+/// The day is compressed to one virtual second per hour (24 virtual seconds
+/// end to end) and split into four phases:
+///
+/// | phase              | hours  | who's on             | dominated by        |
+/// |--------------------|--------|----------------------|---------------------|
+/// | `morning-rush`     | 0–6    | commuters on LTE     | browsing + DNS      |
+/// | `office-wifi`      | 6–12   | desks on office Wi-Fi| chatter + browsing  |
+/// | `evening-video`    | 12–18  | homes on Wi-Fi       | video streaming     |
+/// | `overnight-chatter`| 18–24  | idle handsets        | background sync     |
+///
+/// Each phase activates its own slice of the fleet (distinct user indices,
+/// so every flow keeps a unique source endpoint) and stamps its flows with
+/// the phase's network/ISP labels — which is what the per-epoch sketches
+/// and the diagnosis time series group by. The *physical* path is a uniform
+/// LTE profile: the simulator supports one mid-run handover, not four, so
+/// the day's network character travels on the per-flow labels instead (the
+/// dimension the analytics aggregate under), keeping every epoch boundary a
+/// legal checkpoint cut.
+///
+/// Everything derives from `(users, seed)` exactly like [`Scenario`]: per-user
+/// RNG streams keyed by the global user index, pre-assigned unique source
+/// endpoints, flows sorted by start time. At `users` ≈ 250,000 the schedule
+/// crosses a million device-flows; the tests and benchmarks run scaled-down
+/// fleets with the identical shape.
+#[derive(Debug, Clone)]
+pub struct DiurnalScenario {
+    seed: u64,
+    users: usize,
+    phases: Vec<DiurnalPhase>,
+}
+
+impl DiurnalScenario {
+    /// A simulated day over a fleet of `users` handsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users` is zero.
+    pub fn new(users: usize, seed: u64) -> Self {
+        assert!(users > 0, "a diurnal scenario needs at least one user");
+        let hour = Self::virtual_hour();
+        let quarter = SimDuration::from_nanos(hour.as_nanos() * 6);
+        let phases = vec![
+            DiurnalPhase {
+                name: "morning-rush",
+                offset: SimDuration::from_nanos(0),
+                duration: quarter,
+                mix: vec![
+                    (TrafficMix::WebBrowsing, 0.40),
+                    (TrafficMix::BackgroundChatter, 0.25),
+                    (TrafficMix::DnsHeavy, 0.25),
+                    (TrafficMix::VideoStreaming, 0.10),
+                ],
+                network: NetKind::Lte,
+                isp: "SimTel LTE",
+                share: 0.30,
+            },
+            DiurnalPhase {
+                name: "office-wifi",
+                offset: quarter,
+                duration: quarter,
+                mix: vec![
+                    (TrafficMix::BackgroundChatter, 0.45),
+                    (TrafficMix::WebBrowsing, 0.35),
+                    (TrafficMix::BulkDownload, 0.10),
+                    (TrafficMix::DnsHeavy, 0.10),
+                ],
+                network: NetKind::Wifi,
+                isp: "OfficeWiFi",
+                share: 0.25,
+            },
+            DiurnalPhase {
+                name: "evening-video",
+                offset: SimDuration::from_nanos(quarter.as_nanos() * 2),
+                duration: quarter,
+                mix: vec![
+                    (TrafficMix::VideoStreaming, 0.50),
+                    (TrafficMix::WebBrowsing, 0.25),
+                    (TrafficMix::BackgroundChatter, 0.15),
+                    (TrafficMix::BulkDownload, 0.10),
+                ],
+                network: NetKind::Wifi,
+                isp: "HomeWiFi",
+                share: 0.35,
+            },
+            DiurnalPhase {
+                name: "overnight-chatter",
+                offset: SimDuration::from_nanos(quarter.as_nanos() * 3),
+                duration: quarter,
+                mix: vec![
+                    (TrafficMix::BackgroundChatter, 0.80),
+                    (TrafficMix::DnsHeavy, 0.20),
+                ],
+                network: NetKind::Wifi,
+                isp: "HomeWiFi",
+                share: 0.10,
+            },
+        ];
+        Self { seed, users, phases }
+    }
+
+    /// The scenario name (report and benchmark ids).
+    pub fn name(&self) -> &'static str {
+        "diurnal"
+    }
+
+    /// The seed everything derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fleet size the day is scaled to.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// One virtual hour: the natural epoch width for this scenario (24
+    /// epochs cover the day, and every hour boundary is a checkpoint cut).
+    pub fn virtual_hour() -> SimDuration {
+        SimDuration::from_secs(1)
+    }
+
+    /// The whole virtual day (24 virtual hours).
+    pub fn day() -> SimDuration {
+        SimDuration::from_nanos(Self::virtual_hour().as_nanos() * 24)
+    }
+
+    /// The day's phases, in order.
+    pub fn phases(&self) -> &[DiurnalPhase] {
+        &self.phases
+    }
+
+    /// The network the day runs on: seeded, flow-keyed, Table 2
+    /// destinations, uniform LTE path (see the type docs for why the
+    /// per-phase network character is label-carried instead).
+    pub fn network(&self) -> SimNetworkBuilder {
+        SimNetwork::builder()
+            .seed(self.seed)
+            .flow_keyed()
+            .with_table2_destinations()
+            .access(AccessProfile::lte())
+    }
+
+    /// How many of the fleet's users are active in phase `index`.
+    fn phase_users(&self, index: usize) -> usize {
+        let share = self.phases[index].share;
+        ((self.users as f64 * share).round() as usize).max(1)
+    }
+
+    /// Expands the day into its flow schedule, sorted by start time.
+    ///
+    /// Phase `p`'s users occupy a distinct global-index range (offset by the
+    /// preceding phases' populations), so every flow keeps a unique source
+    /// address; each user's stream is keyed by `(seed, global index)` exactly
+    /// like [`Scenario::generate`], and the phase offset shifts the whole
+    /// arrival window into its hours of the day.
+    pub fn generate(&self) -> Vec<FlowSpec> {
+        let destinations = Scenario::destinations();
+        let mut flows = Vec::new();
+        let mut user_base = 0usize;
+        for (index, phase) in self.phases.iter().enumerate() {
+            let weights: Vec<f64> = phase.mix.iter().map(|(_, w)| *w).collect();
+            let phase_users = self.phase_users(index);
+            for user in 0..phase_users {
+                let global_user = user_base + user;
+                let mut rng = SimRng::seed_from_u64(
+                    self.seed ^ (global_user as u64).wrapping_mul(GOLDEN) ^ USER_KEY_SALT,
+                );
+                let mix_index = rng.weighted_index(&weights).expect("mix weights are positive");
+                let mix = phase.mix[mix_index].0;
+                let (package, uid) = mix.app();
+                let workload = Workload::new(
+                    mix.workload_kind(),
+                    uid,
+                    package,
+                    destinations.clone(),
+                    phase.duration,
+                    mix.intensity(&mut rng),
+                );
+                let addr = Scenario::user_addr(global_user);
+                let mut user_flows = workload.generate(&mut rng);
+                for (i, flow) in user_flows.iter_mut().enumerate() {
+                    flow.at += phase.offset;
+                    flow.src = Some(Endpoint::new(addr, USER_PORT_BASE + i as u16));
+                    flow.network = Some(phase.network);
+                    flow.isp = Some(phase.isp.to_string());
+                }
+                flows.extend(user_flows);
+            }
+            user_base += phase_users;
         }
         flows.sort_by_key(|f| (f.at, f.src));
         flows
@@ -526,6 +750,54 @@ mod tests {
             let expect = if flow.at >= handover { "SimTel LTE" } else { "SimTel 3G" };
             assert_eq!(flow.isp.as_deref(), Some(expect));
         }
+    }
+
+    #[test]
+    fn diurnal_day_is_deterministic_with_unique_sources() {
+        let day = Scenario::diurnal(200, 13);
+        let a = day.generate();
+        let b = Scenario::diurnal(200, 13).generate();
+        assert_eq!(a, b, "same (users, seed), same day");
+        assert_ne!(a, Scenario::diurnal(200, 14).generate(), "seeds differ");
+        let sources: HashSet<_> = a.iter().map(|f| f.src.expect("pre-assigned src")).collect();
+        assert_eq!(sources.len(), a.len(), "unique source endpoints across phases");
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "sorted by start time");
+        // The fleet produces several flows per active user — the ratio that
+        // makes the full-scale day (users ≈ 250k) cross a million flows.
+        assert!(a.len() >= 200 * 2, "flows per fleet too low: {}", a.len());
+    }
+
+    #[test]
+    fn diurnal_phases_cover_the_day_and_label_their_flows() {
+        let day = Scenario::diurnal(400, 21);
+        let hour = DiurnalScenario::virtual_hour();
+        assert_eq!(DiurnalScenario::day().as_nanos(), hour.as_nanos() * 24);
+        let phases = day.phases();
+        assert_eq!(phases.len(), 4);
+        assert!((phases.iter().map(|p| p.share).sum::<f64>() - 1.0).abs() < 1e-9);
+
+        let flows = day.generate();
+        for phase in phases {
+            let start = SimTime::ZERO + phase.offset;
+            let in_phase: Vec<_> =
+                flows.iter().filter(|f| f.isp.as_deref() == Some(phase.isp)).collect();
+            // The evening and overnight phases share the HomeWiFi label, so
+            // per-phase attribution by ISP is existence, not exclusivity.
+            assert!(
+                in_phase.iter().any(|f| f.at >= start),
+                "phase {} contributed no flows in its own hours",
+                phase.name
+            );
+        }
+        // Morning flows are LTE-labelled; evening is video-heavy Wi-Fi.
+        let morning = flows.iter().filter(|f| f.network == Some(NetKind::Lte)).count();
+        assert!(morning > 0, "morning LTE flows missing");
+        let video = flows
+            .iter()
+            .filter(|f| f.package == "com.google.android.youtube")
+            .filter(|f| f.at >= SimTime::ZERO + SimDuration::from_nanos(hour.as_nanos() * 12))
+            .count();
+        assert!(video > 0, "evening video peak missing");
     }
 
     #[test]

@@ -532,13 +532,21 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| {
-                        ParseError { message: "invalid utf-8 in string".into(), offset: self.pos }
+                    // Consume the whole unescaped run in one pass. A
+                    // multi-byte scalar cannot straddle the end of the run:
+                    // its continuation bytes are >= 0x80, so the scan only
+                    // stops at '"', '\\' or EOF on a scalar boundary.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| {
+                        ParseError { message: "invalid utf-8 in string".into(), offset: start }
                     })?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }

@@ -278,6 +278,63 @@ impl AggregateStore {
         domains
     }
 
+    /// Serialises the full canonical state (cells and device plane) to JSON;
+    /// [`AggregateStore::from_json`] restores the bit-identical store. Used
+    /// by the fleet checkpoint format.
+    pub fn to_json(&self) -> mop_json::Value {
+        let cells: Vec<mop_json::Value> = self
+            .cells
+            .iter()
+            .map(|(key, sketch)| {
+                mop_json::json!({
+                    "kind": key.kind.as_json_str(),
+                    "network": key.network.as_json_str(),
+                    "app": key.app.as_str(),
+                    "domain": key.domain.as_str(),
+                    "isp": key.isp.as_str(),
+                    "sketch": sketch.to_json(),
+                })
+            })
+            .collect();
+        let devices: Vec<mop_json::Value> = self
+            .devices
+            .iter()
+            .map(|(&device, activity)| {
+                mop_json::json!({
+                    "device": i64::from(device),
+                    "count": activity.count as i64,
+                    "country": activity.country.as_str(),
+                })
+            })
+            .collect();
+        mop_json::json!({ "cells": cells, "devices": devices })
+    }
+
+    /// Restores a store serialised by [`AggregateStore::to_json`]. `None` if
+    /// any field is missing or malformed.
+    pub fn from_json(value: &mop_json::Value) -> Option<Self> {
+        let mut store = Self::new();
+        for cell in value["cells"].as_array()? {
+            let key = AggregateKey {
+                kind: MeasurementKind::from_json_str(cell["kind"].as_str()?)?,
+                network: NetKind::from_json_str(cell["network"].as_str()?)?,
+                app: cell["app"].as_str()?.to_string(),
+                domain: cell["domain"].as_str()?.to_string(),
+                isp: cell["isp"].as_str()?.to_string(),
+            };
+            store.cells.insert(key, RttSketch::from_json(&cell["sketch"])?);
+        }
+        for entry in value["devices"].as_array()? {
+            let device = u32::try_from(entry["device"].as_i64()?).ok()?;
+            let activity = DeviceActivity {
+                count: entry["count"].as_u64()?,
+                country: entry["country"].as_str()?.to_string(),
+            };
+            store.devices.insert(device, activity);
+        }
+        Some(store)
+    }
+
     /// A stable FNV-1a digest over the full canonical state (every cell key,
     /// every cell sketch, every device). Two stores are bit-identical iff
     /// their digests match, which makes cross-shard merge determinism a

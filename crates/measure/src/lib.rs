@@ -18,6 +18,9 @@
 //! * [`aggregate`] — [`aggregate::AggregateStore`], sketches keyed by
 //!   (app, measurement kind, network, ISP) plus a per-device plane — the
 //!   shard-sink aggregation the fleet pipeline reports from,
+//! * [`window`] — [`window::WindowedAggregateStore`], ring-buffered
+//!   per-epoch aggregate windows with a merged tail — the time axis for
+//!   longitudinal runs (bounded memory, merge-order invariant),
 //! * [`stats`] — medians, percentiles, CDFs and histogram buckets.
 //!
 //! # Examples
@@ -47,9 +50,11 @@ pub mod record;
 pub mod sketch;
 pub mod stats;
 pub mod store;
+pub mod window;
 
 pub use aggregate::{AggregateKey, AggregateStore, DeviceActivity};
 pub use record::{MeasurementKind, NetKind, RttRecord};
 pub use sketch::RttSketch;
 pub use stats::{percentile, Cdf, ConfidenceInterval, Histogram, Summary};
 pub use store::MeasurementStore;
+pub use window::WindowedAggregateStore;

@@ -28,14 +28,14 @@ pub enum NetKind {
 }
 
 impl MeasurementKind {
-    fn as_json_str(self) -> &'static str {
+    pub(crate) fn as_json_str(self) -> &'static str {
         match self {
             MeasurementKind::Tcp => "Tcp",
             MeasurementKind::Dns => "Dns",
         }
     }
 
-    fn from_json_str(s: &str) -> Option<Self> {
+    pub(crate) fn from_json_str(s: &str) -> Option<Self> {
         match s {
             "Tcp" => Some(MeasurementKind::Tcp),
             "Dns" => Some(MeasurementKind::Dns),
@@ -53,7 +53,7 @@ impl NetKind {
         !matches!(self, NetKind::Wifi)
     }
 
-    fn as_json_str(self) -> &'static str {
+    pub(crate) fn as_json_str(self) -> &'static str {
         match self {
             NetKind::Wifi => "Wifi",
             NetKind::Lte => "Lte",
@@ -62,7 +62,7 @@ impl NetKind {
         }
     }
 
-    fn from_json_str(s: &str) -> Option<Self> {
+    pub(crate) fn from_json_str(s: &str) -> Option<Self> {
         match s {
             "Wifi" => Some(NetKind::Wifi),
             "Lte" => Some(NetKind::Lte),

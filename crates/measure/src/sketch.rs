@@ -308,6 +308,47 @@ impl RttSketch {
         self.buckets.len()
     }
 
+    /// Serialises the full sketch state to JSON. The exact accumulators
+    /// (`sum_ns`, `min_bits`, `max_bits`) are hex-encoded strings because
+    /// `mop_json` integers are `i64` — bit patterns above `i64::MAX` would
+    /// silently lose precision as floats otherwise. [`RttSketch::from_json`]
+    /// restores the bit-identical sketch.
+    pub fn to_json(&self) -> mop_json::Value {
+        let buckets: Vec<mop_json::Value> = self
+            .buckets
+            .iter()
+            .map(|(&index, &count)| mop_json::json!([i64::from(index), count as i64]))
+            .collect();
+        mop_json::json!({
+            "count": self.count as i64,
+            "sum_ns": format!("{:032x}", self.sum_ns),
+            "min_bits": format!("{:016x}", self.min_bits),
+            "max_bits": format!("{:016x}", self.max_bits),
+            "buckets": buckets,
+        })
+    }
+
+    /// Restores a sketch serialised by [`RttSketch::to_json`]. `None` if any
+    /// field is missing or malformed.
+    pub fn from_json(value: &mop_json::Value) -> Option<Self> {
+        let mut buckets = BTreeMap::new();
+        for entry in value["buckets"].as_array()? {
+            let pair = entry.as_array()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            let index = u16::try_from(pair[0].as_i64()?).ok()?;
+            buckets.insert(index, pair[1].as_u64()?);
+        }
+        Some(Self {
+            buckets,
+            count: value["count"].as_u64()?,
+            sum_ns: u128::from_str_radix(value["sum_ns"].as_str()?, 16).ok()?,
+            min_bits: u64::from_str_radix(value["min_bits"].as_str()?, 16).ok()?,
+            max_bits: u64::from_str_radix(value["max_bits"].as_str()?, 16).ok()?,
+        })
+    }
+
     /// A stable FNV-1a digest of the full sketch state (buckets, count, sum,
     /// min/max bits). Two sketches are bit-identical iff their digests match
     /// — the one-line check the merge-determinism tests use.

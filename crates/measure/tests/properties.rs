@@ -6,8 +6,27 @@ use proptest::prelude::*;
 
 use mop_measure::{
     percentile, AggregateStore, Cdf, ConfidenceInterval, Histogram, MeasurementKind,
-    MeasurementStore, NetKind, RttRecord, RttSketch, Summary,
+    MeasurementStore, NetKind, RttRecord, RttSketch, Summary, WindowedAggregateStore,
 };
+
+/// Stamps one deterministic sample (keyed off its index) into a windowed
+/// store — the shared fold for the windowed-store properties below.
+fn stamp_windowed(w: &mut WindowedAggregateStore, i: usize, at_ns: u64, rtt: f64) {
+    let apps = ["com.whatsapp", "com.android.chrome", "com.google.android.youtube"];
+    let isps = ["Jio 4G", "Verizon", "HomeWiFi"];
+    let network = if i % 4 == 0 { NetKind::Wifi } else { NetKind::Lte };
+    w.observe_parts(
+        at_ns,
+        if i % 5 == 0 { MeasurementKind::Dns } else { MeasurementKind::Tcp },
+        network,
+        apps[i % apps.len()],
+        "",
+        isps[i % isps.len()],
+        (i % 7) as u32,
+        if (i % 7) % 2 == 0 { "USA" } else { "India" },
+        rtt,
+    );
+}
 
 fn arb_rtts() -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(0.1f64..2_000.0, 1..300)
@@ -167,6 +186,88 @@ proptest! {
         }
         prop_assert_eq!(merged.counts_per_app(), batch.counts_per_app());
         prop_assert_eq!(merged.counts_per_device(), batch.counts_per_device());
+    }
+
+    // ----- windowed (epoch) aggregate properties --------------------------
+
+    #[test]
+    fn windowed_ring_wraps_without_losing_samples(
+        values in proptest::collection::vec(0.5f64..1_500.0, 1..250),
+        width_ns in 1u64..5_000,
+        window in 1usize..9,
+    ) {
+        // Timestamps sweep far past `window` epochs so the ring must wrap
+        // and evict; the merged view must still equal direct observation.
+        let mut w = WindowedAggregateStore::new(width_ns, window);
+        let mut flat = AggregateStore::new();
+        for (i, v) in values.iter().enumerate() {
+            let at_ns = (i as u64).wrapping_mul(2_654_435_761) % (width_ns * 40);
+            stamp_windowed(&mut w, i, at_ns, *v);
+            let mut probe = WindowedAggregateStore::new(width_ns, 1);
+            stamp_windowed(&mut probe, i, at_ns, *v);
+            flat.merge_from(&probe.merged());
+        }
+        prop_assert_eq!(w.sample_count() as usize, values.len());
+        prop_assert_eq!(w.merged().digest(), flat.digest());
+        prop_assert!(w.live_epochs().len() <= window);
+        if let Some(max) = w.max_epoch() {
+            for epoch in w.live_epochs() {
+                prop_assert!(epoch + window as u64 > max, "live epoch {} outside window ending at {}", epoch, max);
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_samples_attribute_to_the_epoch_containing_them(
+        offsets in proptest::collection::vec(0u64..10_000, 1..120),
+        width_ns in 2u64..2_000,
+    ) {
+        // A window long enough that nothing is evicted: every sample must
+        // sit in the live store of exactly the epoch `at / width`.
+        let window = 10_000 / width_ns as usize + 2;
+        let mut w = WindowedAggregateStore::new(width_ns, window);
+        let mut per_epoch = std::collections::BTreeMap::<u64, u64>::new();
+        for (i, at_ns) in offsets.iter().enumerate() {
+            stamp_windowed(&mut w, i, *at_ns, 25.0);
+            *per_epoch.entry(at_ns / width_ns).or_default() += 1;
+        }
+        prop_assert_eq!(w.folded().sample_count(), 0);
+        prop_assert_eq!(w.live_epochs(), per_epoch.keys().copied().collect::<Vec<_>>());
+        for (epoch, count) in per_epoch {
+            prop_assert_eq!(w.epoch_store(epoch).unwrap().sample_count(), count);
+        }
+    }
+
+    #[test]
+    fn windowed_merge_is_bit_identical_for_any_shard_permutation(
+        values in proptest::collection::vec(0.5f64..1_500.0, 1..200),
+        shards in 1usize..6,
+        rotate in 0usize..6,
+        width_ns in 10u64..3_000,
+        window in 1usize..7,
+    ) {
+        let at_of = |i: usize| (i as u64).wrapping_mul(2_654_435_761) % (width_ns * 30);
+        let mut whole = WindowedAggregateStore::new(width_ns, window);
+        for (i, v) in values.iter().enumerate() {
+            stamp_windowed(&mut whole, i, at_of(i), *v);
+        }
+        // Partition across shards, then merge starting from an arbitrary
+        // rotation — every order must produce the bit-identical store.
+        let mut parts: Vec<WindowedAggregateStore> =
+            (0..shards).map(|_| WindowedAggregateStore::new(width_ns, window)).collect();
+        for (i, v) in values.iter().enumerate() {
+            stamp_windowed(&mut parts[i % shards], i, at_of(i), *v);
+        }
+        let mut merged = WindowedAggregateStore::new(width_ns, window);
+        for k in 0..shards {
+            merged.merge_from(&parts[(k + rotate) % shards]);
+        }
+        prop_assert_eq!(merged.digest(), whole.digest());
+        prop_assert!(merged == whole, "merged windowed store must equal the unpartitioned one");
+        // JSON round trip preserves the digest (the checkpoint path).
+        let text = mop_json::to_string(&merged.to_json());
+        let back = WindowedAggregateStore::from_json(&mop_json::from_str(&text).unwrap()).unwrap();
+        prop_assert_eq!(back.digest(), whole.digest());
     }
 
     #[test]

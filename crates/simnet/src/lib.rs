@@ -92,4 +92,4 @@ pub use socket::{Selector, SelectorEvent, SocketId, SocketMode, SocketSet, Socke
 pub use spsc::{spsc_channel, Backoff, CreditGate, SpscReceiver, SpscSendError, SpscSender};
 pub use tap::{TapDirection, TapRecord, WireTap};
 pub use time::{SimDuration, SimTime};
-pub use wheel::{TimerHandle, TimingWheel};
+pub use wheel::{TimerHandle, TimingWheel, WheelSnapshot};
