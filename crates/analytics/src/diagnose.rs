@@ -384,6 +384,33 @@ pub fn diagnose_trends(
     out
 }
 
+/// Every live verdict in one bundle: the app-slow-vs-network-slow
+/// classification over everything the window has seen (tail included) plus
+/// the early-vs-late trend diagnosis over the live epochs. This is the
+/// payload of the control plane's `diagnose.query`.
+#[derive(Debug, Clone)]
+pub struct LiveDiagnosis {
+    /// Per-app verdicts over the merged window (tail + live epochs).
+    pub apps: Vec<AppDiagnosis>,
+    /// Per-subject trend verdicts over the live epochs.
+    pub trends: Vec<TrendDiagnosis>,
+}
+
+/// Diagnoses a windowed store in place: apps against their crowd baseline
+/// over the full merged view, and trends across the live epoch span. Safe on
+/// degenerate stores — empty, single-epoch, or fully folded windows simply
+/// produce fewer (or no) verdicts.
+pub fn diagnose_live(
+    windows: &WindowedAggregateStore,
+    apps: DiagnosisConfig,
+    trends: TrendConfig,
+) -> LiveDiagnosis {
+    LiveDiagnosis {
+        apps: diagnose_apps(&windows.merged(), apps),
+        trends: diagnose_trends(windows, trends),
+    }
+}
+
 /// One epoch of a run's time series, ready to render.
 #[derive(Debug, Clone)]
 pub struct EpochPoint {
@@ -618,6 +645,74 @@ mod tests {
         let table = crate::render::render_epoch_table("day", &windows);
         assert_eq!(table.lines().count(), 3 + 8);
         assert!(table.contains("tcp p50"));
+    }
+
+    #[test]
+    fn trend_diagnosis_of_an_empty_window_is_empty() {
+        let windows = WindowedAggregateStore::new(1_000_000_000, 16);
+        assert!(diagnose_trends(&windows, TrendConfig::default()).is_empty());
+        let live = diagnose_live(&windows, DiagnosisConfig::default(), TrendConfig::default());
+        assert!(live.apps.is_empty());
+        assert!(live.trends.is_empty());
+    }
+
+    #[test]
+    fn trend_diagnosis_of_a_single_epoch_window_is_all_stable() {
+        // One live epoch: the span has no late half, so nothing can have a
+        // late median above min_samples and nothing is flagged.
+        let mut windows = WindowedAggregateStore::new(1_000_000_000, 16);
+        stamp(&mut windows, 0, "com.app.alpha", "SimTel LTE", 10, 45.0, 60);
+        let diagnoses = diagnose_trends(&windows, TrendConfig::default());
+        assert!(
+            diagnoses.is_empty(),
+            "a one-epoch span has no late half to diagnose: {diagnoses:?}"
+        );
+        // The merged-view app diagnosis still works on the same store.
+        let live = diagnose_live(&windows, DiagnosisConfig::default(), TrendConfig::default());
+        assert_eq!(live.apps.len(), 1);
+        assert_eq!(live.apps[0].verdict, Verdict::Healthy);
+    }
+
+    #[test]
+    fn trend_diagnosis_with_all_flows_on_one_app_blames_the_network() {
+        // A single app degrading IS the baseline degrading: the ISP is
+        // flagged, the app is not (its ratio cannot exceed the baseline's by
+        // the relative margin when it is the whole crowd).
+        let mut windows = WindowedAggregateStore::new(1_000_000_000, 16);
+        for hour in 0..8u64 {
+            let rtt = if hour >= 4 { 180.0 } else { 45.0 };
+            stamp(&mut windows, hour, "com.app.only", "SimTel LTE", 10, rtt, 40);
+        }
+        let diagnoses = diagnose_trends(&windows, TrendConfig::default());
+        assert_eq!(verdict_of(&diagnoses, "SimTel LTE"), TrendVerdict::IspDegraded);
+        assert_eq!(verdict_of(&diagnoses, "com.app.only"), TrendVerdict::Stable);
+    }
+
+    #[test]
+    fn trend_diagnosis_of_a_tail_only_store_is_empty_but_apps_still_diagnose() {
+        // A store whose samples have all folded into the tail (no live ring
+        // entries) has no epoch resolution: trends must come back empty
+        // without panicking, while the merged view still carries every
+        // sample for the app diagnosis.
+        let mut windows = isp_degradation_day();
+        let json = windows.to_json();
+        // Rebuild the store with the live epochs stripped: everything that
+        // was live is folded, max_epoch untouched.
+        let folded_only = mop_json::json!({
+            "width_ns": json["width_ns"].as_i64().unwrap(),
+            "window": json["window"].as_i64().unwrap(),
+            "max_epoch": json["max_epoch"].as_i64().unwrap(),
+            "folded": windows.merged().to_json(),
+            "epochs": Vec::<mop_json::Value>::new(),
+        });
+        windows = WindowedAggregateStore::from_json(&folded_only).unwrap();
+        assert!(windows.live_epochs().is_empty());
+        assert_eq!(windows.folded().sample_count(), windows.sample_count());
+
+        assert!(diagnose_trends(&windows, TrendConfig::default()).is_empty());
+        let live = diagnose_live(&windows, DiagnosisConfig::default(), TrendConfig::default());
+        assert!(live.trends.is_empty());
+        assert!(!live.apps.is_empty(), "the tail still feeds the merged app diagnosis");
     }
 
     #[test]

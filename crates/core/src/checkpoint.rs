@@ -119,31 +119,49 @@ impl FleetCheckpoint {
     /// Panics if `fleet` is configured incompatibly with the saved run —
     /// different seed, congestion algorithm or epoch geometry. (Shard count
     /// and batch size may differ freely: the merged report is invariant to
-    /// both.)
+    /// both.) [`FleetCheckpoint::try_resume`] is the non-panicking variant
+    /// long-lived callers should prefer.
     pub fn resume(self, fleet: &FleetEngine) -> FleetReport {
+        self.try_resume(fleet).unwrap_or_else(|reason| panic!("{reason}"))
+    }
+
+    /// Like [`FleetCheckpoint::resume`], but reports an incompatible fleet
+    /// configuration as a descriptive error instead of panicking — the
+    /// entry point for servers that must survive a bad resume request.
+    pub fn try_resume(self, fleet: &FleetEngine) -> Result<FleetReport, String> {
         let engine = &fleet.config().engine;
-        assert_eq!(engine.seed, self.seed, "resume requires the saved seed");
-        assert_eq!(
-            engine.congestion, self.congestion,
-            "resume requires the saved congestion algorithm"
-        );
-        assert_eq!(
-            engine.epoch_width.map(|w| w.as_nanos()),
-            self.epoch_width_ns,
-            "resume requires the saved epoch width"
-        );
-        if self.epoch_width_ns.is_some() {
-            assert_eq!(
-                engine.epoch_window, self.epoch_window,
-                "resume requires the saved epoch window"
-            );
+        if engine.seed != self.seed {
+            return Err(format!(
+                "resume requires the saved seed {:#018x}, fleet has {:#018x}",
+                self.seed, engine.seed
+            ));
+        }
+        if engine.congestion != self.congestion {
+            return Err(format!(
+                "resume requires the saved congestion algorithm {}, fleet has {}",
+                congestion_str(self.congestion),
+                congestion_str(engine.congestion)
+            ));
+        }
+        if engine.epoch_width.map(|w| w.as_nanos()) != self.epoch_width_ns {
+            return Err(format!(
+                "resume requires the saved epoch width {:?} ns, fleet has {:?} ns",
+                self.epoch_width_ns,
+                engine.epoch_width.map(|w| w.as_nanos())
+            ));
+        }
+        if self.epoch_width_ns.is_some() && engine.epoch_window != self.epoch_window {
+            return Err(format!(
+                "resume requires the saved epoch window {}, fleet has {}",
+                self.epoch_window, engine.epoch_window
+            ));
         }
         let mut resumed = fleet.run(self.pending);
         let mut merged = self.base;
         merged.absorb(std::mem::replace(&mut resumed.merged, RunReport::empty()));
         merged.canonicalise();
         resumed.merged = merged;
-        resumed
+        Ok(resumed)
     }
 
     /// Serialises the checkpoint to its JSON document.
@@ -205,6 +223,32 @@ impl FleetCheckpoint {
     pub fn from_json_str(text: &str) -> Option<Self> {
         Self::from_json(&mop_json::from_str(text).ok()?)
     }
+
+    /// Parses a checkpoint from its on-disk JSON string, describing *why* a
+    /// rejected document was rejected — truncated JSON, a foreign format
+    /// tag, an unknown version, or a structurally malformed body. The
+    /// server's `fleet.resume` surfaces these messages to clients verbatim.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let value = mop_json::from_str(text)
+            .map_err(|e| format!("checkpoint is not valid JSON: {e}"))?;
+        let Some(format) = value["format"].as_str() else {
+            return Err("checkpoint has no \"format\" string field".into());
+        };
+        if format != "mopeye-fleet-checkpoint" {
+            return Err(format!("not a fleet checkpoint: format tag {format:?}"));
+        }
+        let Some(version) = value["version"].as_u64() else {
+            return Err("checkpoint has no \"version\" number field".into());
+        };
+        if version != CHECKPOINT_FORMAT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {version} \
+                 (this build reads version {CHECKPOINT_FORMAT_VERSION})"
+            ));
+        }
+        Self::from_json(&value)
+            .ok_or_else(|| "checkpoint body is malformed (missing or mistyped field)".into())
+    }
 }
 
 /// Splits a flow schedule at `cut`: `(ran, pending)` where `ran` holds every
@@ -230,7 +274,11 @@ pub fn epoch_boundary(width_ns: u64, epoch: u64) -> SimTime {
 
 // ----- report serialisation ------------------------------------------------
 
-fn run_report_to_json(report: &RunReport) -> Value {
+/// Serialises a [`RunReport`]'s semantic content — the digest-covered fields
+/// plus the event counters — to the checkpoint JSON encoding. The control
+/// plane reuses this for streamed per-step report deltas, so a subscriber
+/// can fold deltas with [`RunReport::absorb`] exactly like a resumed fleet.
+pub fn run_report_to_json(report: &RunReport) -> Value {
     let samples: Vec<Value> = report.samples.iter().map(sample_to_json).collect();
     let flows: Vec<Value> = report.flows.iter().map(outcome_to_json).collect();
     json!({
@@ -249,7 +297,11 @@ fn run_report_to_json(report: &RunReport) -> Value {
     })
 }
 
-fn run_report_from_json(value: &Value) -> Option<RunReport> {
+/// Restores a report serialised by [`run_report_to_json`]. Partition-local
+/// resource accounting (ledger, pools, mapping, write delays) is not part of
+/// the encoding and restores as zeroed defaults; those fields are excluded
+/// from [`RunReport::fleet_digest`], which the round trip preserves exactly.
+pub fn run_report_from_json(value: &Value) -> Option<RunReport> {
     let samples =
         value["samples"].as_array()?.iter().map(sample_from_json).collect::<Option<Vec<_>>>()?;
     let flows =
@@ -698,6 +750,93 @@ mod tests {
         assert_eq!(restored.base.fleet_digest(), checkpoint.base.fleet_digest());
 
         assert!(FleetCheckpoint::from_json_str("{\"format\":\"other\"}").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_broken_documents_with_descriptive_errors() {
+        let good = FleetCheckpoint {
+            seed: 7,
+            shards_at_save: 2,
+            congestion: CongestionAlgo::Reno,
+            epoch_width_ns: Some(1_000_000_000),
+            epoch_window: 8,
+            cut: SimTime::from_secs(4),
+            base: RunReport::empty(),
+            pending: vec![spec()],
+        }
+        .to_json_string();
+        assert!(FleetCheckpoint::parse(&good).is_ok());
+
+        // Truncated JSON: the parse error names the syntax failure.
+        let truncated = &good[..good.len() / 2];
+        let err = FleetCheckpoint::parse(truncated).unwrap_err();
+        assert!(err.contains("not valid JSON"), "{err}");
+
+        // Foreign format tag.
+        let err = FleetCheckpoint::parse("{\"format\": \"something-else\"}").unwrap_err();
+        assert!(err.contains("format tag \"something-else\""), "{err}");
+
+        // Missing format field entirely.
+        let err = FleetCheckpoint::parse("{}").unwrap_err();
+        assert!(err.contains("no \"format\""), "{err}");
+
+        // Unknown version.
+        let future = good.replace("\"version\": 1", "\"version\": 999");
+        let err = FleetCheckpoint::parse(&future).unwrap_err();
+        assert!(err.contains("version 999"), "{err}");
+
+        // Mistyped body field (seed must be a hex string).
+        let mistyped = good.replace("\"seed\": \"0000000000000007\"", "\"seed\": 7");
+        let err = FleetCheckpoint::parse(&mistyped).unwrap_err();
+        assert!(err.contains("malformed"), "{err}");
+    }
+
+    #[test]
+    fn try_resume_rejects_mismatched_fleets_without_panicking() {
+        use crate::shard::{FleetConfig, FleetEngine};
+        use mop_simnet::SimNetwork;
+
+        let checkpoint = || FleetCheckpoint {
+            seed: 7,
+            shards_at_save: 2,
+            congestion: CongestionAlgo::Reno,
+            epoch_width_ns: Some(1_000_000_000),
+            epoch_window: 8,
+            cut: SimTime::from_secs(4),
+            base: RunReport::empty(),
+            pending: Vec::new(),
+        };
+        let fleet_with = |config: FleetConfig| {
+            FleetEngine::new(config, SimNetwork::builder().seed(7).with_table2_destinations())
+        };
+        let epochs = |config: FleetConfig| config.with_epochs(SimDuration::from_secs(1), 8);
+
+        // Wrong seed.
+        let fleet = fleet_with(epochs(FleetConfig::new(1).with_seed(8)));
+        let err = checkpoint().try_resume(&fleet).unwrap_err();
+        assert!(err.contains("saved seed"), "{err}");
+
+        // Wrong congestion algorithm.
+        let fleet = fleet_with(epochs(
+            FleetConfig::new(1).with_seed(7).with_congestion(CongestionAlgo::Cubic),
+        ));
+        let err = checkpoint().try_resume(&fleet).unwrap_err();
+        assert!(err.contains("congestion"), "{err}");
+
+        // Wrong epoch width (epoch-less fleet vs a windowed checkpoint).
+        let fleet = fleet_with(FleetConfig::new(1).with_seed(7));
+        let err = checkpoint().try_resume(&fleet).unwrap_err();
+        assert!(err.contains("epoch width"), "{err}");
+
+        // Wrong epoch window.
+        let fleet =
+            fleet_with(FleetConfig::new(1).with_seed(7).with_epochs(SimDuration::from_secs(1), 4));
+        let err = checkpoint().try_resume(&fleet).unwrap_err();
+        assert!(err.contains("epoch window"), "{err}");
+
+        // A matching fleet resumes cleanly (empty pending set: base only).
+        let fleet = fleet_with(epochs(FleetConfig::new(1).with_seed(7)));
+        assert!(checkpoint().try_resume(&fleet).is_ok());
     }
 
     #[test]

@@ -72,7 +72,10 @@ pub mod stages;
 pub mod stats;
 pub mod tun_writer;
 
-pub use checkpoint::{epoch_boundary, split_at, FleetCheckpoint, CHECKPOINT_FORMAT_VERSION};
+pub use checkpoint::{
+    epoch_boundary, run_report_from_json, run_report_to_json, split_at, FleetCheckpoint,
+    CHECKPOINT_FORMAT_VERSION,
+};
 pub use config::{
     EngineDiscipline, EnqueueScheme, MopEyeConfig, ProtectMode, TimestampMode, WorkerModel,
     WriteScheme,

@@ -1,0 +1,92 @@
+//! Property tests for the printer/parser pair: any value the workspace
+//! can construct must survive `to_string` → `from_str` unchanged. The
+//! string cases matter most — protocol frames and checkpoint documents
+//! put arbitrary text (app names, error messages, file paths) through
+//! this round trip, so control characters, `\u` escapes and non-BMP
+//! codepoints all get exercised here.
+
+use mop_json::{from_str, to_string, to_string_pretty, Value};
+use proptest::prelude::*;
+
+/// Arbitrary Unicode strings: raw codepoints drawn from the whole scalar
+/// range, so control characters (escaped as `\uXXXX` on output), the BMP
+/// and supplementary planes (emoji, CJK extensions) all appear.
+/// `char::from_u32` drops the surrogate gap.
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..0x11_0000, 0..24)
+        .prop_map(|points| points.into_iter().filter_map(char::from_u32).collect())
+}
+
+/// Arbitrary JSON documents of bounded depth. Floats stay finite (the
+/// printer maps non-finite to `null`, deliberately not a round trip).
+fn arb_value(depth: usize) -> proptest::Union<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1.0e12f64..1.0e12).prop_map(Value::Float),
+        arb_string().prop_map(Value::Str),
+    ];
+    if depth == 0 {
+        return leaf;
+    }
+    prop_oneof![
+        3 => leaf,
+        1 => proptest::collection::vec(arb_value(depth - 1), 0..4).prop_map(Value::Array),
+        1 => proptest::collection::vec((arb_string(), arb_value(depth - 1)), 0..4)
+            .prop_map(Value::Object),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_strings_round_trip(s in arb_string()) {
+        let value = Value::Str(s.clone());
+        let printed = to_string(&value);
+        prop_assert!(!printed.contains('\n'), "frames must stay single-line: {printed}");
+        prop_assert_eq!(from_str(&printed).unwrap(), value);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_documents_round_trip(value in arb_value(3)) {
+        prop_assert_eq!(from_str(&to_string(&value)).unwrap(), value.clone());
+        // The pretty printer parses back to the same document too.
+        prop_assert_eq!(from_str(&to_string_pretty(&value)).unwrap(), value);
+    }
+}
+
+#[test]
+fn control_characters_print_as_escapes() {
+    assert_eq!(to_string(&Value::Str("\u{0}".into())), "\"\\u0000\"");
+    assert_eq!(to_string(&Value::Str("\u{1f}".into())), "\"\\u001f\"");
+    assert_eq!(to_string(&Value::Str("a\nb\tc\r\"\\".into())), "\"a\\nb\\tc\\r\\\"\\\\\"");
+    // DEL and above are not control-escaped: raw UTF-8 is valid JSON.
+    assert_eq!(to_string(&Value::Str("\u{7f}é".into())), "\"\u{7f}é\"");
+}
+
+#[test]
+fn unicode_escapes_parse_to_their_codepoints() {
+    assert_eq!(from_str("\"\\u0041\\u00e9\\u2603\"").unwrap(), Value::Str("Aé☃".into()));
+    assert_eq!(from_str("\"\\u0000\"").unwrap(), Value::Str("\u{0}".into()));
+    assert_eq!(from_str("\"\\/\\b\\f\"").unwrap(), Value::Str("/\u{8}\u{c}".into()));
+    // Surrogate pairs decode to one supplementary-plane character...
+    assert_eq!(from_str("\"\\ud83d\\ude00\"").unwrap(), Value::Str("\u{1F600}".into()));
+    // ...and lone halves are rejected rather than mangled.
+    assert!(from_str("\"\\ud83d\"").is_err());
+    assert!(from_str("\"\\ude00x\"").is_err());
+}
+
+#[test]
+fn non_bmp_codepoints_survive_raw_and_escaped() {
+    let text = "emoji \u{1F600}\u{1F389} and beyond \u{10FFFF}";
+    let value = Value::Str(text.into());
+    assert_eq!(from_str(&to_string(&value)).unwrap(), value);
+    // The escaped spelling of the same character parses equal to the raw one.
+    assert_eq!(from_str("\"\\ud83d\\ude00\"").unwrap(), from_str("\"\u{1F600}\"").unwrap());
+}

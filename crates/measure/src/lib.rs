@@ -57,4 +57,4 @@ pub use record::{MeasurementKind, NetKind, RttRecord};
 pub use sketch::RttSketch;
 pub use stats::{percentile, Cdf, ConfidenceInterval, Histogram, Summary};
 pub use store::MeasurementStore;
-pub use window::WindowedAggregateStore;
+pub use window::{EpochSummary, WindowedAggregateStore};

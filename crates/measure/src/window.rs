@@ -48,6 +48,21 @@ use crate::aggregate::AggregateStore;
 use crate::record::{MeasurementKind, NetKind};
 use crate::sketch::Fnv;
 
+/// A compact description of one live epoch: its index, sample and cell
+/// counts, and the digest of its [`AggregateStore`]. Produced by
+/// [`WindowedAggregateStore::epoch_summaries`] for streaming subscribers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochSummary {
+    /// The epoch index (sample timestamp divided by the epoch width).
+    pub epoch: u64,
+    /// Samples stamped into the epoch so far.
+    pub samples: u64,
+    /// Aggregation cells the epoch's store holds.
+    pub cells: usize,
+    /// The epoch store's [`AggregateStore::digest`].
+    pub digest: u64,
+}
+
 /// Ring-buffered per-epoch [`AggregateStore`]s with a merged tail. See the
 /// [module docs](self) for the guarantees.
 #[derive(Debug, Clone, PartialEq)]
@@ -247,6 +262,26 @@ impl WindowedAggregateStore {
         self.max_epoch.is_none()
     }
 
+    /// Compact per-epoch summaries of every live epoch, ascending — the
+    /// payload a streaming subscriber needs to track closing epochs without
+    /// shipping the stores themselves. Each digest is the epoch store's own
+    /// [`AggregateStore::digest`], so two subscribers comparing summaries
+    /// compare the underlying sketches bit for bit.
+    pub fn epoch_summaries(&self) -> Vec<EpochSummary> {
+        self.live_epochs()
+            .into_iter()
+            .map(|epoch| {
+                let store = self.epoch_store(epoch).expect("live epoch has a store");
+                EpochSummary {
+                    epoch,
+                    samples: store.sample_count(),
+                    cells: store.cell_count(),
+                    digest: store.digest(),
+                }
+            })
+            .collect()
+    }
+
     /// Merge-on-read over the most recent `epochs_back` live epochs (all
     /// live epochs if larger): the sliding-window view analytics read
     /// without mutating the store.
@@ -434,6 +469,28 @@ mod tests {
             WindowedAggregateStore::from_json(&mop_json::from_str(&text).unwrap()).unwrap();
         assert_eq!(back, w);
         assert_eq!(back.digest(), w.digest());
+    }
+
+    #[test]
+    fn epoch_summaries_mirror_the_live_ring() {
+        let mut w = WindowedAggregateStore::new(1_000, 4);
+        for epoch in 0..6u64 {
+            for i in 0..=epoch {
+                stamp(&mut w, epoch * 1_000 + i, "a", 10.0 + i as f64);
+            }
+        }
+        let summaries = w.epoch_summaries();
+        assert_eq!(
+            summaries.iter().map(|s| s.epoch).collect::<Vec<_>>(),
+            w.live_epochs()
+        );
+        for s in &summaries {
+            let store = w.epoch_store(s.epoch).unwrap();
+            assert_eq!(s.samples, store.sample_count());
+            assert_eq!(s.cells, store.cell_count());
+            assert_eq!(s.digest, store.digest());
+        }
+        assert!(WindowedAggregateStore::new(1_000, 4).epoch_summaries().is_empty());
     }
 
     #[test]

@@ -1,0 +1,531 @@
+//! The control plane: a fleet engine driven incrementally through virtual
+//! time, with scenarios injected and retired at runtime.
+//!
+//! # Why stepping preserves the batch digest
+//!
+//! The plane never keeps a long-lived engine. It keeps a *cursor* in epoch
+//! units and, per [`ControlPlane::step`], runs every not-yet-run flow
+//! scheduled before the new cursor boundary on a **fresh** [`FleetEngine`]
+//! (one per scenario, each with its own network), absorbing the merged
+//! result into one cumulative [`RunReport`]. Under the flow-keyed
+//! discipline every flow's behaviour is a pure function of
+//! `(seed, four-tuple)`, so the absorb of any partition of a flow schedule
+//! — by time, by scenario, or both — equals the report of the
+//! unpartitioned batch run. This is the same invariance behind
+//! [`FleetCheckpoint`]; the plane merely applies it once per step instead
+//! of once per restart. `tests/server_oracle.rs` pins the equivalence
+//! against batch runs across shard counts and random interleavings.
+//!
+//! Retiring a scenario drops only its not-yet-run flows: contributions
+//! already absorbed stay in the cumulative report, exactly like a crowd
+//! device that stops reporting.
+
+use std::mem;
+
+use mop_dataset::Scenario;
+use mop_json::{json, Value};
+use mop_measure::EpochSummary;
+use mop_simnet::{SimDuration, SimNetworkBuilder};
+use mop_tun::FlowSpec;
+use mopeye_core::{
+    epoch_boundary, run_report_from_json, run_report_to_json, CongestionAlgo, FleetCheckpoint,
+    FleetConfig, FleetEngine, RunReport,
+};
+
+/// Version tag of the server checkpoint document (which embeds a
+/// [`FleetCheckpoint`] plus the plane's scenario table and cursor).
+pub const SERVER_CHECKPOINT_VERSION: u64 = 1;
+
+/// The run parameters a plane is built with. Every engine the plane spins
+/// up uses these; a checkpoint can only be resumed on a plane with the
+/// same seed, congestion algorithm and epoch geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaneConfig {
+    /// Shard count for every step's engine. The merged report is invariant
+    /// to it, so a resumed plane may use a different value.
+    pub shards: usize,
+    /// Engine seed (flow-keyed streams derive from it).
+    pub seed: u64,
+    /// Congestion-control algorithm.
+    pub congestion: CongestionAlgo,
+    /// Epoch width of the windowed aggregates and of the step cursor.
+    pub epoch_width: SimDuration,
+    /// Live-epoch window length.
+    pub epoch_window: usize,
+}
+
+impl Default for PlaneConfig {
+    fn default() -> Self {
+        // A quarter-second epoch suits the burst scenarios (rush hour spans
+        // ~2 virtual seconds → ~8 epochs), mirroring the report binary's
+        // duration/8 rule for its default 2,000-user runs.
+        Self {
+            shards: 4,
+            seed: 2017,
+            congestion: CongestionAlgo::Reno,
+            epoch_width: SimDuration::from_millis(250),
+            epoch_window: 32,
+        }
+    }
+}
+
+/// One injected scenario: its generation parameters (enough to rebuild it
+/// bit-identically after a resume) and its not-yet-run flows.
+#[derive(Debug)]
+struct ScenarioSlot {
+    id: String,
+    kind: String,
+    users: usize,
+    seed: u64,
+    retired: bool,
+    pending: Vec<FlowSpec>,
+    injected_flows: usize,
+}
+
+impl ScenarioSlot {
+    fn network(&self) -> SimNetworkBuilder {
+        build_scenario(&self.kind, self.users, self.seed)
+            .expect("slot kind was validated at inject")
+            .network()
+    }
+}
+
+/// Builds the named scenario, or `None` for an unknown kind. The kinds
+/// mirror the `report` binary's `--scenario` values (minus the diurnal
+/// day, which has its own generator type).
+fn build_scenario(kind: &str, users: usize, seed: u64) -> Option<Scenario> {
+    match kind {
+        "rush-hour" => Some(Scenario::rush_hour(users, seed)),
+        "flash-crowd" => Some(Scenario::flash_crowd(users, seed)),
+        "degraded-commute" => Some(Scenario::degraded_commute(users, seed)),
+        _ => None,
+    }
+}
+
+/// What one [`ControlPlane::step`] produced, for the response and for
+/// stream subscribers.
+#[derive(Debug)]
+pub struct StepOutcome {
+    /// The cursor after the step, in epochs.
+    pub cursor_epoch: u64,
+    /// Flows that ran in this step (across all scenarios).
+    pub ran: usize,
+    /// Flows still pending after the step.
+    pub pending: usize,
+    /// The cumulative fleet digest after absorbing the step.
+    pub digest: u64,
+    /// The step's merged report delta, in the checkpoint JSON encoding —
+    /// folding these with [`RunReport::absorb`] reproduces the cumulative
+    /// report (`Null` when the step ran no flows).
+    pub delta: Value,
+    /// Per-epoch summaries of the delta's live window, for `summary`
+    /// subscribers (empty when the step ran no flows).
+    pub epoch_summaries: Vec<EpochSummary>,
+}
+
+/// The long-lived control plane. See the [module docs](self).
+#[derive(Debug)]
+pub struct ControlPlane {
+    config: PlaneConfig,
+    cursor_epoch: u64,
+    next_scenario: usize,
+    scenarios: Vec<ScenarioSlot>,
+    cumulative: RunReport,
+}
+
+impl ControlPlane {
+    /// An idle plane at epoch zero with no scenarios.
+    pub fn new(config: PlaneConfig) -> Self {
+        Self {
+            config,
+            cursor_epoch: 0,
+            next_scenario: 1,
+            scenarios: Vec::new(),
+            cumulative: RunReport::empty(),
+        }
+    }
+
+    /// The plane's run parameters.
+    pub fn config(&self) -> &PlaneConfig {
+        &self.config
+    }
+
+    /// The virtual-time cursor, in epochs.
+    pub fn cursor_epoch(&self) -> u64 {
+        self.cursor_epoch
+    }
+
+    /// Flows injected but not yet run, across all scenarios.
+    pub fn pending_flows(&self) -> usize {
+        self.scenarios.iter().map(|s| s.pending.len()).sum()
+    }
+
+    /// Scenarios injected and not retired.
+    pub fn live_scenarios(&self) -> usize {
+        self.scenarios.iter().filter(|s| !s.retired).count()
+    }
+
+    /// The cumulative fleet digest — bit-identical to the digest of the
+    /// equivalent uninterrupted batch run once all pending flows have run.
+    pub fn digest(&self) -> u64 {
+        self.cumulative.fleet_digest()
+    }
+
+    /// The cumulative merged report.
+    pub fn report(&self) -> &RunReport {
+        &self.cumulative
+    }
+
+    /// Injects a scenario: generates its flow schedule and parks it
+    /// pending. Flows scheduled before the current cursor are *not* lost —
+    /// they run in the next step, and their samples fold into the correct
+    /// epochs (or the window tail) because the windowed merge keys on
+    /// sample timestamps. Returns `(scenario_id, flows_injected)`.
+    pub fn inject(&mut self, kind: &str, users: usize, seed: u64) -> Result<(String, usize), String> {
+        let Some(scenario) = build_scenario(kind, users, seed) else {
+            return Err(format!(
+                "unknown scenario kind {kind:?}; expected rush-hour, flash-crowd or \
+                 degraded-commute"
+            ));
+        };
+        let pending = scenario.generate();
+        let id = format!("s{}", self.next_scenario);
+        self.next_scenario += 1;
+        let flows = pending.len();
+        self.scenarios.push(ScenarioSlot {
+            id: id.clone(),
+            kind: kind.to_string(),
+            users,
+            seed,
+            retired: false,
+            pending,
+            injected_flows: flows,
+        });
+        Ok((id, flows))
+    }
+
+    /// Retires a scenario: drops its not-yet-run flows and stops it from
+    /// participating in future steps. Contributions already absorbed stay.
+    /// Returns the number of flows dropped.
+    pub fn retire(&mut self, id: &str) -> Result<usize, String> {
+        let Some(slot) = self.scenarios.iter_mut().find(|s| s.id == id) else {
+            return Err(format!("unknown scenario {id:?}"));
+        };
+        if slot.retired {
+            return Err(format!("scenario {id:?} is already retired"));
+        }
+        slot.retired = true;
+        Ok(mem::take(&mut slot.pending).len())
+    }
+
+    /// The lowest step count that would drain every pending flow.
+    pub fn epochs_to_drain(&self) -> u64 {
+        let width = self.config.epoch_width.as_nanos();
+        let Some(max_at) = self
+            .scenarios
+            .iter()
+            .flat_map(|s| s.pending.iter().map(|f| f.at.as_nanos()))
+            .max()
+        else {
+            return 0;
+        };
+        let target = max_at / width.max(1) + 1;
+        target.saturating_sub(self.cursor_epoch)
+    }
+
+    /// Advances the cursor by `epochs` and runs every pending flow
+    /// scheduled before the new boundary, one fresh fleet per scenario,
+    /// absorbing the merged results into the cumulative report.
+    pub fn step(&mut self, epochs: u64) -> StepOutcome {
+        self.cursor_epoch += epochs;
+        let cut = epoch_boundary(self.config.epoch_width.as_nanos(), self.cursor_epoch);
+        let mut delta = RunReport::empty();
+        let mut ran = 0usize;
+        for i in 0..self.scenarios.len() {
+            let due: Vec<FlowSpec> = {
+                let slot = &mut self.scenarios[i];
+                let (due, keep) = mopeye_core::split_at(mem::take(&mut slot.pending), cut);
+                slot.pending = keep;
+                due
+            };
+            if due.is_empty() {
+                continue;
+            }
+            ran += due.len();
+            let fleet = self.build_fleet(self.scenarios[i].network());
+            let mut report = fleet.run(due);
+            delta.absorb(mem::replace(&mut report.merged, RunReport::empty()));
+        }
+        delta.canonicalise();
+        let (delta_json, epoch_summaries) = if ran == 0 {
+            (Value::Null, Vec::new())
+        } else {
+            let summaries =
+                delta.windows.as_ref().map(|w| w.epoch_summaries()).unwrap_or_default();
+            (run_report_to_json(&delta), summaries)
+        };
+        self.cumulative.absorb(delta);
+        self.cumulative.canonicalise();
+        StepOutcome {
+            cursor_epoch: self.cursor_epoch,
+            ran,
+            pending: self.pending_flows(),
+            digest: self.digest(),
+            delta: delta_json,
+            epoch_summaries,
+        }
+    }
+
+    fn build_fleet(&self, network: SimNetworkBuilder) -> FleetEngine {
+        let mut config = FleetConfig::new(self.config.shards)
+            .with_seed(self.config.seed)
+            .with_congestion(self.config.congestion)
+            .with_epochs(self.config.epoch_width, self.config.epoch_window);
+        // Lean mode: the cumulative report carries sketches, not samples.
+        config.engine = config.engine.with_retain_samples(false);
+        FleetEngine::new(config, network)
+    }
+
+    /// Serialises the plane to its checkpoint document: a
+    /// [`FleetCheckpoint`] (base = the cumulative report, pending = every
+    /// not-yet-run flow, cut = the cursor boundary) plus the scenario
+    /// table needed to rebuild the slots on resume.
+    pub fn checkpoint(&self) -> Value {
+        let pending: Vec<FlowSpec> =
+            self.scenarios.iter().flat_map(|s| s.pending.iter().cloned()).collect();
+        let base = run_report_from_json(&run_report_to_json(&self.cumulative))
+            .expect("the report encoding round-trips");
+        let fleet = FleetCheckpoint {
+            seed: self.config.seed,
+            shards_at_save: self.config.shards,
+            congestion: self.config.congestion,
+            epoch_width_ns: Some(self.config.epoch_width.as_nanos()),
+            epoch_window: self.config.epoch_window,
+            cut: epoch_boundary(self.config.epoch_width.as_nanos(), self.cursor_epoch),
+            base,
+            pending,
+        };
+        let scenarios: Vec<Value> = self
+            .scenarios
+            .iter()
+            .map(|s| {
+                json!({
+                    "id": s.id.clone(),
+                    "kind": s.kind.clone(),
+                    "users": s.users as i64,
+                    "seed": format!("{:016x}", s.seed),
+                    "retired": s.retired,
+                    "injected_flows": s.injected_flows as i64,
+                    "pending": s.pending.len() as i64,
+                })
+            })
+            .collect();
+        json!({
+            "format": "mop-server-checkpoint",
+            "version": SERVER_CHECKPOINT_VERSION as i64,
+            "cursor_epoch": self.cursor_epoch as i64,
+            "next_scenario": self.next_scenario as i64,
+            "scenarios": scenarios,
+            "fleet": fleet.to_json(),
+        })
+    }
+
+    /// Restores a plane from a checkpoint document. The receiving plane
+    /// must be idle (no scenarios, cursor at zero) and configured with the
+    /// saved seed, congestion algorithm and epoch geometry; shard count
+    /// may differ freely. On success the plane continues bit-identically
+    /// to the one that saved the document.
+    pub fn resume(&mut self, doc: &Value) -> Result<(), String> {
+        if self.cursor_epoch != 0 || !self.scenarios.is_empty() {
+            return Err("resume requires an idle plane (no scenarios, cursor at 0)".into());
+        }
+        let Some(format) = doc["format"].as_str() else {
+            return Err("server checkpoint has no \"format\" string field".into());
+        };
+        if format != "mop-server-checkpoint" {
+            return Err(format!("not a server checkpoint: format tag {format:?}"));
+        }
+        let Some(version) = doc["version"].as_u64() else {
+            return Err("server checkpoint has no \"version\" number field".into());
+        };
+        if version != SERVER_CHECKPOINT_VERSION {
+            return Err(format!(
+                "unsupported server checkpoint version {version} \
+                 (this build reads version {SERVER_CHECKPOINT_VERSION})"
+            ));
+        }
+        // Route the embedded fleet document through the descriptive parser
+        // so a malformed body is rejected with the same messages a direct
+        // `FleetCheckpoint::parse` would produce.
+        let fleet = FleetCheckpoint::parse(&mop_json::to_string(&doc["fleet"]))?;
+        if fleet.seed != self.config.seed {
+            return Err(format!(
+                "checkpoint was saved under seed {:#018x}, plane runs {:#018x}",
+                fleet.seed, self.config.seed
+            ));
+        }
+        if fleet.congestion != self.config.congestion {
+            return Err("checkpoint and plane disagree on the congestion algorithm".into());
+        }
+        if fleet.epoch_width_ns != Some(self.config.epoch_width.as_nanos())
+            || fleet.epoch_window != self.config.epoch_window
+        {
+            return Err("checkpoint and plane disagree on the epoch geometry".into());
+        }
+        let Some(cursor_epoch) = doc["cursor_epoch"].as_u64() else {
+            return Err("server checkpoint has no \"cursor_epoch\"".into());
+        };
+        let Some(next_scenario) = doc["next_scenario"].as_u64() else {
+            return Err("server checkpoint has no \"next_scenario\"".into());
+        };
+        let Some(entries) = doc["scenarios"].as_array() else {
+            return Err("server checkpoint has no \"scenarios\" array".into());
+        };
+        // Re-slice the flat pending vector back into per-scenario slots:
+        // checkpoint() wrote it in slot order.
+        let mut slots = Vec::with_capacity(entries.len());
+        let mut remaining = fleet.pending;
+        for entry in entries {
+            let (Some(id), Some(kind), Some(users), Some(seed), Some(retired), Some(count)) = (
+                entry["id"].as_str(),
+                entry["kind"].as_str(),
+                entry["users"].as_u64(),
+                entry["seed"].as_str().and_then(|s| u64::from_str_radix(s, 16).ok()),
+                entry["retired"].as_bool(),
+                entry["pending"].as_u64(),
+            ) else {
+                return Err("server checkpoint scenario entry is malformed".into());
+            };
+            let injected = entry["injected_flows"].as_u64().unwrap_or(0) as usize;
+            let users = users as usize;
+            if build_scenario(kind, users, seed).is_none() {
+                return Err(format!("server checkpoint names unknown scenario kind {kind:?}"));
+            }
+            let count = count as usize;
+            if count > remaining.len() {
+                return Err("server checkpoint pending counts exceed the pending set".into());
+            }
+            let rest = remaining.split_off(count);
+            let pending = mem::replace(&mut remaining, rest);
+            slots.push(ScenarioSlot {
+                id: id.to_string(),
+                kind: kind.to_string(),
+                users,
+                seed,
+                retired,
+                pending,
+                injected_flows: injected,
+            });
+        }
+        if !remaining.is_empty() {
+            return Err("server checkpoint pending counts do not cover the pending set".into());
+        }
+        self.cursor_epoch = cursor_epoch;
+        self.next_scenario = next_scenario as usize;
+        self.scenarios = slots;
+        self.cumulative = fleet.base;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_plane(shards: usize) -> ControlPlane {
+        ControlPlane::new(PlaneConfig { shards, ..PlaneConfig::default() })
+    }
+
+    /// The uninterrupted reference: each scenario run whole on one fleet,
+    /// everything absorbed into one report.
+    fn oracle_digest(shards: usize, scenarios: &[(&str, usize, u64)]) -> u64 {
+        let plane = small_plane(shards);
+        let mut merged = RunReport::empty();
+        for (kind, users, seed) in scenarios {
+            let scenario = build_scenario(kind, *users, *seed).unwrap();
+            let fleet = plane.build_fleet(scenario.network());
+            let mut report = fleet.run(scenario.generate());
+            merged.absorb(mem::replace(&mut report.merged, RunReport::empty()));
+        }
+        merged.canonicalise();
+        merged.fleet_digest()
+    }
+
+    #[test]
+    fn stepped_run_matches_the_batch_oracle() {
+        let mut plane = small_plane(2);
+        plane.inject("rush-hour", 60, 5).unwrap();
+        let reference = oracle_digest(2, &[("rush-hour", 60, 5)]);
+        let mut steps = 0;
+        while plane.pending_flows() > 0 {
+            plane.step(1);
+            steps += 1;
+            assert!(steps < 1_000, "drain must terminate");
+        }
+        assert!(steps > 1, "the schedule should span multiple epochs");
+        assert_eq!(plane.digest(), reference);
+    }
+
+    #[test]
+    fn retire_drops_only_future_flows() {
+        let mut plane = small_plane(2);
+        let (id, flows) = plane.inject("rush-hour", 40, 5).unwrap();
+        plane.step(4);
+        let ran_before = flows - plane.pending_flows();
+        assert!(ran_before > 0, "some flows ran before the retire");
+        let dropped = plane.retire(&id).unwrap();
+        assert_eq!(dropped + ran_before, flows);
+        assert_eq!(plane.pending_flows(), 0);
+        assert!(plane.retire(&id).is_err(), "double retire is rejected");
+        assert!(plane.retire("s99").is_err(), "unknown id is rejected");
+    }
+
+    #[test]
+    fn checkpoint_resume_round_trips_across_shard_counts() {
+        let mut plane = small_plane(2);
+        plane.inject("rush-hour", 60, 5).unwrap();
+        plane.inject("flash-crowd", 30, 9).unwrap();
+        plane.step(3);
+        let doc = plane.checkpoint();
+        plane.step(plane.epochs_to_drain());
+        let reference = plane.digest();
+
+        for shards in [1, 4] {
+            let mut resumed = small_plane(shards);
+            resumed.resume(&doc).unwrap();
+            assert_eq!(resumed.cursor_epoch(), 3);
+            resumed.step(resumed.epochs_to_drain());
+            assert_eq!(resumed.digest(), reference, "resume on {shards} shards");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_incompatible_documents() {
+        let mut plane = small_plane(2);
+        plane.inject("rush-hour", 20, 5).unwrap();
+        let doc = plane.checkpoint();
+
+        let mut busy = small_plane(2);
+        busy.inject("rush-hour", 20, 5).unwrap();
+        assert!(busy.resume(&doc).unwrap_err().contains("idle plane"));
+
+        let mut other_seed = ControlPlane::new(PlaneConfig {
+            seed: 99,
+            ..PlaneConfig::default()
+        });
+        assert!(other_seed.resume(&doc).unwrap_err().contains("seed"));
+
+        let mut other_geometry = ControlPlane::new(PlaneConfig {
+            epoch_window: 8,
+            ..PlaneConfig::default()
+        });
+        assert!(other_geometry.resume(&doc).unwrap_err().contains("epoch geometry"));
+
+        let mut fresh = small_plane(2);
+        assert!(fresh.resume(&json!({"format": "other"})).unwrap_err().contains("format tag"));
+        assert!(fresh
+            .resume(&json!({"format": "mop-server-checkpoint", "version": 9}))
+            .unwrap_err()
+            .contains("version 9"));
+    }
+}

@@ -1,0 +1,408 @@
+//! Request dispatch: one [`Server`] owns a [`ControlPlane`] and turns
+//! request frames into response (and event) frames.
+//!
+//! The dispatcher is transport-agnostic and purely functional over frames:
+//! [`Server::handle_line`] maps one input line to the ordered list of
+//! output frames it produces. Transports (stdio, Unix socket — see
+//! [`crate::transport`]) only move lines; conformance tests drive
+//! `handle_line` directly with in-memory sessions and compare bytes.
+
+use std::fs;
+
+use mop_analytics::{diagnose_apps, diagnose_live, DiagnosisConfig, TrendConfig};
+use mop_json::{json, Value};
+
+use crate::plane::{ControlPlane, PlaneConfig, StepOutcome};
+use crate::proto::{
+    self, digest_str, error_frame, event_frame, result_frame, ErrorCode, Request,
+};
+
+/// What a subscriber receives per step. See `report.subscribe`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detail {
+    /// No stream events.
+    Off,
+    /// One `epochs` event per live epoch of the step delta: index, sample
+    /// and cell counts, store digest. Compact — golden-transcript friendly.
+    Summary,
+    /// One `delta` event per step carrying the full merged report delta in
+    /// the checkpoint encoding; folding deltas reproduces the fleet digest.
+    Full,
+}
+
+/// What one handled frame produced.
+#[derive(Debug)]
+pub struct Turn {
+    /// Output frames in emit order (events first, the response last).
+    pub frames: Vec<String>,
+    /// True after `server.shutdown`: the transport should stop serving.
+    pub shutdown: bool,
+}
+
+/// The protocol server. See the [module docs](self).
+#[derive(Debug)]
+pub struct Server {
+    plane: ControlPlane,
+    detail: Detail,
+    steps: u64,
+}
+
+impl Server {
+    /// A server over an idle plane.
+    pub fn new(config: PlaneConfig) -> Self {
+        Self { plane: ControlPlane::new(config), detail: Detail::Off, steps: 0 }
+    }
+
+    /// The plane, for tests and embedding.
+    pub fn plane(&self) -> &ControlPlane {
+        &self.plane
+    }
+
+    /// Handles one request line, producing its output frames.
+    pub fn handle_line(&mut self, line: &str) -> Turn {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            return Turn { frames: Vec::new(), shutdown: false };
+        }
+        let request = match proto::parse_request(line) {
+            Ok(request) => request,
+            Err(message) => {
+                return Turn {
+                    frames: vec![error_frame(0, ErrorCode::ParseError, &message)],
+                    shutdown: false,
+                }
+            }
+        };
+        self.dispatch(request)
+    }
+
+    fn dispatch(&mut self, request: Request) -> Turn {
+        let id = request.id;
+        let params = &request.params;
+        let mut shutdown = false;
+        let outcome: Result<(Vec<String>, Value), (ErrorCode, String)> =
+            match request.method.as_str() {
+                "server.info" => self.info().map(|r| (Vec::new(), r)),
+                "scenario.inject" => self.inject(params).map(|r| (Vec::new(), r)),
+                "scenario.retire" => self.retire(params).map(|r| (Vec::new(), r)),
+                "report.subscribe" => self.subscribe(params).map(|r| (Vec::new(), r)),
+                "fleet.step" => self.step(params),
+                "diagnose.query" => self.diagnose().map(|r| (Vec::new(), r)),
+                "fleet.checkpoint" => self.checkpoint(params).map(|r| (Vec::new(), r)),
+                "fleet.resume" => self.resume(params).map(|r| (Vec::new(), r)),
+                "server.shutdown" => {
+                    shutdown = true;
+                    self.shutdown(params).map(|r| (Vec::new(), r))
+                }
+                other => Err((ErrorCode::UnknownMethod, format!("no such method {other:?}"))),
+            };
+        let mut frames;
+        match outcome {
+            Ok((events, result)) => {
+                frames = events;
+                frames.push(result_frame(id, result));
+            }
+            Err((code, message)) => {
+                frames = vec![error_frame(id, code, &message)];
+                shutdown = false;
+            }
+        }
+        Turn { frames, shutdown }
+    }
+
+    fn info(&self) -> Result<Value, (ErrorCode, String)> {
+        let config = self.plane.config();
+        Ok(json!({
+            "server": "mop-serve",
+            "protocol": proto::PROTOCOL_VERSION as i64,
+            "seed": format!("{:016x}", config.seed),
+            "shards": config.shards as i64,
+            "congestion": config.congestion.label(),
+            "epoch_width_ns": config.epoch_width.as_nanos() as i64,
+            "epoch_window": config.epoch_window as i64,
+            "cursor_epoch": self.plane.cursor_epoch() as i64,
+            "scenarios": self.plane.live_scenarios() as i64,
+            "pending": self.plane.pending_flows() as i64,
+            "digest": digest_str(self.plane.digest()),
+        }))
+    }
+
+    fn inject(&mut self, params: &Value) -> Result<Value, (ErrorCode, String)> {
+        let Some(kind) = params["scenario"].as_str() else {
+            return Err((ErrorCode::BadParams, "inject needs a \"scenario\" kind".into()));
+        };
+        let Some(users) = params["users"].as_u64() else {
+            return Err((ErrorCode::BadParams, "inject needs a \"users\" count".into()));
+        };
+        let seed = match &params["seed"] {
+            Value::Null => self.plane.config().seed,
+            v => v
+                .as_u64()
+                .ok_or((ErrorCode::BadParams, "\"seed\" must be a non-negative integer".into()))?,
+        };
+        let (id, flows) = self
+            .plane
+            .inject(kind, users as usize, seed)
+            .map_err(|m| (ErrorCode::BadParams, m))?;
+        Ok(json!({ "scenario": id, "flows": flows as i64 }))
+    }
+
+    fn retire(&mut self, params: &Value) -> Result<Value, (ErrorCode, String)> {
+        let Some(id) = params["scenario"].as_str() else {
+            return Err((ErrorCode::BadParams, "retire needs a \"scenario\" id".into()));
+        };
+        let dropped = self.plane.retire(id).map_err(|m| (ErrorCode::UnknownScenario, m))?;
+        Ok(json!({ "scenario": id, "dropped": dropped as i64 }))
+    }
+
+    fn subscribe(&mut self, params: &Value) -> Result<Value, (ErrorCode, String)> {
+        let detail = match params["detail"].as_str() {
+            Some("off") => Detail::Off,
+            Some("summary") => Detail::Summary,
+            Some("full") => Detail::Full,
+            _ => {
+                return Err((
+                    ErrorCode::BadParams,
+                    "subscribe needs \"detail\": \"off\", \"summary\" or \"full\"".into(),
+                ))
+            }
+        };
+        self.detail = detail;
+        Ok(json!({ "detail": params["detail"].as_str().unwrap_or("off") }))
+    }
+
+    fn step(&mut self, params: &Value) -> Result<(Vec<String>, Value), (ErrorCode, String)> {
+        let epochs = match &params["epochs"] {
+            // No count: drain everything currently pending.
+            Value::Null => self.plane.epochs_to_drain(),
+            v => v
+                .as_u64()
+                .ok_or((ErrorCode::BadParams, "\"epochs\" must be a non-negative integer".into()))?,
+        };
+        let outcome = self.plane.step(epochs);
+        self.steps += 1;
+        let events = self.stream_events(&outcome);
+        let result = json!({
+            "cursor_epoch": outcome.cursor_epoch as i64,
+            "ran": outcome.ran as i64,
+            "pending": outcome.pending as i64,
+            "digest": digest_str(outcome.digest),
+        });
+        Ok((events, result))
+    }
+
+    fn stream_events(&self, outcome: &StepOutcome) -> Vec<String> {
+        match self.detail {
+            Detail::Off => Vec::new(),
+            Detail::Summary => outcome
+                .epoch_summaries
+                .iter()
+                .map(|s| {
+                    event_frame(
+                        "epochs",
+                        json!({
+                            "epoch": s.epoch as i64,
+                            "samples": s.samples as i64,
+                            "cells": s.cells as i64,
+                            "digest": digest_str(s.digest),
+                        }),
+                    )
+                })
+                .collect(),
+            Detail::Full => {
+                if outcome.delta.is_null() {
+                    Vec::new()
+                } else {
+                    vec![event_frame(
+                        "delta",
+                        json!({ "step": self.steps as i64, "report": outcome.delta.clone() }),
+                    )]
+                }
+            }
+        }
+    }
+
+    fn diagnose(&self) -> Result<Value, (ErrorCode, String)> {
+        let report = self.plane.report();
+        let (apps, trends) = match &report.windows {
+            Some(windows) => {
+                let live =
+                    diagnose_live(windows, DiagnosisConfig::default(), TrendConfig::default());
+                (live.apps, live.trends)
+            }
+            None => (diagnose_apps(&report.aggregates, DiagnosisConfig::default()), Vec::new()),
+        };
+        let apps: Vec<Value> = apps
+            .iter()
+            .map(|d| {
+                json!({
+                    "app": d.app.clone(),
+                    "verdict": d.verdict.label(),
+                    "samples": d.samples as i64,
+                    "app_median_ms": d.app_median_ms,
+                    "baseline_median_ms": d.baseline_median_ms,
+                })
+            })
+            .collect();
+        let trends: Vec<Value> = trends
+            .iter()
+            .map(|t| {
+                json!({
+                    "subject": t.subject.clone(),
+                    "verdict": t.verdict.label(),
+                    "samples": t.samples as i64,
+                    "early_median_ms": t.early_median_ms,
+                    "late_median_ms": t.late_median_ms,
+                })
+            })
+            .collect();
+        Ok(json!({ "apps": apps, "trends": trends }))
+    }
+
+    fn checkpoint(&self, params: &Value) -> Result<Value, (ErrorCode, String)> {
+        let doc = self.plane.checkpoint();
+        let mut result = vec![
+            ("cursor_epoch".to_string(), Value::from(self.plane.cursor_epoch() as i64)),
+            ("pending".to_string(), Value::from(self.plane.pending_flows() as i64)),
+            ("digest".to_string(), Value::from(digest_str(self.plane.digest()))),
+        ];
+        if let Some(path) = params["path"].as_str() {
+            fs::write(path, mop_json::to_string_pretty(&doc))
+                .map_err(|e| (ErrorCode::Io, format!("cannot write {path:?}: {e}")))?;
+            result.push(("path".to_string(), Value::from(path)));
+        } else {
+            result.push(("checkpoint".to_string(), doc));
+        }
+        Ok(Value::Object(result))
+    }
+
+    fn resume(&mut self, params: &Value) -> Result<Value, (ErrorCode, String)> {
+        let doc = if let Some(path) = params["path"].as_str() {
+            let text = fs::read_to_string(path)
+                .map_err(|e| (ErrorCode::Io, format!("cannot read {path:?}: {e}")))?;
+            mop_json::from_str(&text).map_err(|e| {
+                (ErrorCode::BadCheckpoint, format!("checkpoint is not valid JSON: {e}"))
+            })?
+        } else if !params["checkpoint"].is_null() {
+            params["checkpoint"].clone()
+        } else {
+            return Err((
+                ErrorCode::BadParams,
+                "resume needs a \"checkpoint\" document or a \"path\"".into(),
+            ));
+        };
+        self.plane.resume(&doc).map_err(|m| {
+            if m.contains("idle plane") {
+                (ErrorCode::ResumeConflict, m)
+            } else {
+                (ErrorCode::BadCheckpoint, m)
+            }
+        })?;
+        Ok(json!({
+            "cursor_epoch": self.plane.cursor_epoch() as i64,
+            "pending": self.plane.pending_flows() as i64,
+            "digest": digest_str(self.plane.digest()),
+        }))
+    }
+
+    fn shutdown(&mut self, params: &Value) -> Result<Value, (ErrorCode, String)> {
+        // Graceful: drain every pending flow so nothing in-flight is lost,
+        // then (optionally) flush a final checkpoint of the drained state.
+        let outcome = self.plane.step(self.plane.epochs_to_drain());
+        let mut result = vec![
+            ("stopped".to_string(), Value::Bool(true)),
+            ("ran".to_string(), Value::from(outcome.ran as i64)),
+            ("digest".to_string(), Value::from(digest_str(outcome.digest))),
+        ];
+        if let Some(path) = params["checkpoint_path"].as_str() {
+            let doc = self.plane.checkpoint();
+            fs::write(path, mop_json::to_string_pretty(&doc))
+                .map_err(|e| (ErrorCode::Io, format!("cannot write {path:?}: {e}")))?;
+            result.push(("checkpoint_path".to_string(), Value::from(path)));
+        }
+        Ok(Value::Object(result))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> Server {
+        Server::new(PlaneConfig { shards: 2, ..PlaneConfig::default() })
+    }
+
+    fn call(server: &mut Server, line: &str) -> Turn {
+        server.handle_line(line)
+    }
+
+    #[test]
+    fn a_session_flows_through_inject_step_and_shutdown() {
+        let mut server = server();
+        let turn = call(&mut server, "{\"id\":1,\"method\":\"server.info\"}");
+        assert_eq!(turn.frames.len(), 1);
+        assert!(turn.frames[0].contains("\"protocol\":1"));
+        assert!(!turn.shutdown);
+
+        let turn = call(
+            &mut server,
+            "{\"id\":2,\"method\":\"scenario.inject\",\
+             \"params\":{\"scenario\":\"rush-hour\",\"users\":40,\"seed\":5}}",
+        );
+        assert!(turn.frames[0].contains("\"scenario\":\"s1\""), "{}", turn.frames[0]);
+
+        let turn = call(&mut server, "{\"id\":3,\"method\":\"fleet.step\",\"params\":{}}");
+        assert!(turn.frames[0].contains("\"pending\":0"), "{}", turn.frames[0]);
+        assert!(turn.frames[0].contains("\"digest\":\""));
+
+        let turn = call(&mut server, "{\"id\":4,\"method\":\"server.shutdown\"}");
+        assert!(turn.shutdown);
+        assert!(turn.frames[0].contains("\"stopped\":true"));
+    }
+
+    #[test]
+    fn errors_carry_stable_codes() {
+        let mut server = server();
+        let turn = call(&mut server, "not json");
+        assert!(turn.frames[0].contains("\"code\":\"parse-error\""));
+        let turn = call(&mut server, "{\"id\":1,\"method\":\"no.such\"}");
+        assert!(turn.frames[0].contains("\"code\":\"unknown-method\""));
+        let turn = call(&mut server, "{\"id\":2,\"method\":\"scenario.inject\",\"params\":{}}");
+        assert!(turn.frames[0].contains("\"code\":\"bad-params\""));
+        let turn = call(
+            &mut server,
+            "{\"id\":3,\"method\":\"scenario.retire\",\"params\":{\"scenario\":\"s9\"}}",
+        );
+        assert!(turn.frames[0].contains("\"code\":\"unknown-scenario\""));
+        let turn = call(&mut server, "{\"id\":4,\"method\":\"fleet.resume\",\"params\":{}}");
+        assert!(turn.frames[0].contains("\"code\":\"bad-params\""));
+        // A failed shutdown does not stop the server.
+        let turn = call(
+            &mut server,
+            "{\"id\":5,\"method\":\"server.shutdown\",\
+             \"params\":{\"checkpoint_path\":\"/nonexistent-dir/x.ckpt\"}}",
+        );
+        assert!(turn.frames[0].contains("\"code\":\"io\""));
+        assert!(!turn.shutdown);
+    }
+
+    #[test]
+    fn subscriptions_emit_events_before_the_step_response() {
+        let mut server = server();
+        call(
+            &mut server,
+            "{\"id\":1,\"method\":\"scenario.inject\",\
+             \"params\":{\"scenario\":\"rush-hour\",\"users\":40,\"seed\":5}}",
+        );
+        call(
+            &mut server,
+            "{\"id\":2,\"method\":\"report.subscribe\",\"params\":{\"detail\":\"summary\"}}",
+        );
+        let turn = call(&mut server, "{\"id\":3,\"method\":\"fleet.step\",\"params\":{}}");
+        assert!(turn.frames.len() > 1, "events precede the response");
+        for event in &turn.frames[..turn.frames.len() - 1] {
+            assert!(event.starts_with("{\"stream\":\"epochs\""), "{event}");
+        }
+        assert!(turn.frames.last().unwrap().starts_with("{\"id\":3"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Transports: moving protocol lines between a [`Server`] and a peer.
+//!
+//! A transport is nothing but a line loop — read one line, hand it to
+//! [`Server::handle_line`], write the resulting frames, flush, repeat
+//! until the peer hangs up or a handled frame requests shutdown. Keeping
+//! the loop generic over `BufRead`/`Write` means the stdio transport, the
+//! Unix-socket transport and the in-memory conformance tests all exercise
+//! the *same* code path; the conformance transcripts therefore certify
+//! every transport at once.
+
+use std::io::{self, BufRead, BufReader, Write};
+
+use crate::server::Server;
+
+/// Serves one session over a pair of byte streams. Returns when the
+/// reader reaches end-of-file or a request triggered shutdown; the value
+/// says whether the stop was a shutdown request (`true`) or a hang-up
+/// (`false`).
+pub fn serve<R: BufRead, W: Write>(
+    server: &mut Server,
+    reader: R,
+    mut writer: W,
+) -> io::Result<bool> {
+    for line in reader.lines() {
+        let line = line?;
+        let turn = server.handle_line(&line);
+        for frame in &turn.frames {
+            writer.write_all(frame.as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        // Flush per turn, not per frame: a subscriber sees its events and
+        // the response as one burst, and the client can block on the
+        // response line without deadlocking on buffered events.
+        writer.flush()?;
+        if turn.shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Serves one session over this process's stdin/stdout (the `--stdio`
+/// mode of `mop-serve`).
+pub fn serve_stdio(server: &mut Server) -> io::Result<bool> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve(server, stdin.lock(), stdout.lock())
+}
+
+/// Serves sessions over a Unix domain socket, accepting connections one
+/// at a time so the plane never sees interleaved sessions. The listener
+/// keeps accepting until a session ends with `server.shutdown`.
+#[cfg(unix)]
+pub fn serve_unix(server: &mut Server, socket_path: &std::path::Path) -> io::Result<()> {
+    use std::os::unix::net::UnixListener;
+
+    // A stale socket file from a killed server would make bind fail.
+    if socket_path.exists() {
+        std::fs::remove_file(socket_path)?;
+    }
+    let listener = UnixListener::bind(socket_path)?;
+    loop {
+        let (stream, _) = listener.accept()?;
+        let reader = BufReader::new(stream.try_clone()?);
+        if serve(server, reader, stream)? {
+            break;
+        }
+    }
+    std::fs::remove_file(socket_path).ok();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane::PlaneConfig;
+
+    #[test]
+    fn the_line_loop_frames_responses_and_stops_on_shutdown() {
+        let mut server = Server::new(PlaneConfig { shards: 1, ..PlaneConfig::default() });
+        let input = "{\"id\":1,\"method\":\"server.info\"}\n\
+                     {\"id\":2,\"method\":\"server.shutdown\"}\n\
+                     {\"id\":3,\"method\":\"server.info\"}\n";
+        let mut output = Vec::new();
+        let stopped = serve(&mut server, input.as_bytes(), &mut output).unwrap();
+        assert!(stopped, "shutdown stops the loop");
+        let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2, "the frame after shutdown is never served");
+        assert!(lines[0].starts_with("{\"id\":1"));
+        assert!(lines[1].starts_with("{\"id\":2"));
+    }
+
+    #[test]
+    fn a_hangup_without_shutdown_reports_false() {
+        let mut server = Server::new(PlaneConfig { shards: 1, ..PlaneConfig::default() });
+        let mut output = Vec::new();
+        let stopped =
+            serve(&mut server, "{\"id\":1,\"method\":\"server.info\"}\n".as_bytes(), &mut output)
+                .unwrap();
+        assert!(!stopped);
+    }
+}

@@ -1,0 +1,248 @@
+//! Oracle conformance: the stepped, interleaved, checkpointed control
+//! plane must produce bit-identical reports to uninterrupted batch runs.
+//!
+//! The oracle for any session is simple: for every injected scenario,
+//! take the flows that the session actually let run (all of them, or —
+//! for a scenario retired at cursor `c` — those scheduled before the
+//! epoch boundary of `c`), run each scenario whole on a single fresh
+//! fleet, absorb everything into one report. Under the flow-keyed
+//! discipline the plane's incremental absorb of the same flow set must
+//! land on the same canonical report, whatever the step/retire/
+//! checkpoint interleaving and whatever the shard counts involved.
+
+use std::mem;
+
+use mop_dataset::Scenario;
+use mop_json::json;
+use mop_server::{ControlPlane, PlaneConfig, Server};
+use mopeye_core::{
+    epoch_boundary, run_report_from_json, split_at, FleetConfig, FleetEngine, RunReport,
+};
+use proptest::prelude::*;
+
+const KINDS: [&str; 3] = ["rush-hour", "flash-crowd", "degraded-commute"];
+
+fn config(shards: usize) -> PlaneConfig {
+    PlaneConfig { shards, ..PlaneConfig::default() }
+}
+
+fn scenario(kind: &str, users: usize, seed: u64) -> Scenario {
+    match kind {
+        "rush-hour" => Scenario::rush_hour(users, seed),
+        "flash-crowd" => Scenario::flash_crowd(users, seed),
+        "degraded-commute" => Scenario::degraded_commute(users, seed),
+        other => panic!("unknown kind {other}"),
+    }
+}
+
+/// Mirrors `ControlPlane::build_fleet` for the reference runs.
+fn batch_fleet(plane: &PlaneConfig, network: mop_simnet::SimNetworkBuilder) -> FleetEngine {
+    let mut fleet = FleetConfig::new(plane.shards)
+        .with_seed(plane.seed)
+        .with_congestion(plane.congestion)
+        .with_epochs(plane.epoch_width, plane.epoch_window);
+    fleet.engine = fleet.engine.with_retain_samples(false);
+    FleetEngine::new(fleet, network)
+}
+
+/// One scenario's session history, as the test driver saw it.
+struct Mirror {
+    kind: &'static str,
+    users: usize,
+    seed: u64,
+    /// `Some(boundary)` when the scenario was retired: only flows
+    /// scheduled before the boundary ever ran.
+    ran_cut: Option<mop_simnet::SimTime>,
+}
+
+/// The uninterrupted batch reference for a session history.
+fn oracle_digest(plane: &PlaneConfig, mirrors: &[Mirror]) -> u64 {
+    let mut merged = RunReport::empty();
+    for mirror in mirrors {
+        let scenario = scenario(mirror.kind, mirror.users, mirror.seed);
+        let mut flows = scenario.generate();
+        if let Some(cut) = mirror.ran_cut {
+            flows = split_at(flows, cut).0;
+        }
+        if flows.is_empty() {
+            continue;
+        }
+        let fleet = batch_fleet(plane, scenario.network());
+        let mut report = fleet.run(flows);
+        merged.absorb(mem::replace(&mut report.merged, RunReport::empty()));
+    }
+    merged.canonicalise();
+    merged.fleet_digest()
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Inject { kind: usize, users: usize, seed: u64 },
+    Retire { slot: usize },
+    Step { epochs: u64 },
+    /// Checkpoint the plane and resume the document on a fresh plane with
+    /// this shard count, continuing the session there.
+    CheckpointResume { shards: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0usize..KINDS.len(), 8usize..20, 1u64..40)
+            .prop_map(|(kind, users, seed)| Op::Inject { kind, users, seed }),
+        1 => (0usize..4).prop_map(|slot| Op::Retire { slot }),
+        3 => (0u64..4).prop_map(|epochs| Op::Step { epochs }),
+        1 => (1usize..5).prop_map(|shards| Op::CheckpointResume { shards }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn random_interleavings_match_the_batch_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..6),
+    ) {
+        let base = config(2);
+        let width = base.epoch_width.as_nanos();
+        let mut plane = ControlPlane::new(base);
+        let mut mirrors: Vec<Mirror> = Vec::new();
+        for op in &ops {
+            match *op {
+                Op::Inject { kind, users, seed } => {
+                    let kind = KINDS[kind];
+                    plane.inject(kind, users, seed).unwrap();
+                    mirrors.push(Mirror { kind, users, seed, ran_cut: None });
+                }
+                Op::Retire { slot } => {
+                    let live: Vec<usize> = mirrors
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, m)| m.ran_cut.is_none())
+                        .map(|(i, _)| i)
+                        .collect();
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let index = live[slot % live.len()];
+                    // Scenario ids are handed out in inject order: s1, s2...
+                    plane.retire(&format!("s{}", index + 1)).unwrap();
+                    mirrors[index].ran_cut =
+                        Some(epoch_boundary(width, plane.cursor_epoch()));
+                }
+                Op::Step { epochs } => {
+                    plane.step(epochs);
+                }
+                Op::CheckpointResume { shards } => {
+                    let doc = plane.checkpoint();
+                    let mut fresh = ControlPlane::new(config(shards));
+                    fresh.resume(&doc).unwrap();
+                    plane = fresh;
+                }
+            }
+        }
+        plane.step(plane.epochs_to_drain());
+        prop_assert_eq!(plane.digest(), oracle_digest(&base, &mirrors));
+    }
+}
+
+/// Drives the protocol dispatcher (not the plane directly): a `full`
+/// subscriber's streamed step deltas, folded back through the checkpoint
+/// encoding, reproduce the server's cumulative fleet digest.
+#[test]
+fn streamed_deltas_fold_to_the_cumulative_digest() {
+    let mut server = Server::new(config(2));
+    let call = |server: &mut Server, line: &str| server.handle_line(line);
+    call(
+        &mut server,
+        "{\"id\":1,\"method\":\"scenario.inject\",\
+         \"params\":{\"scenario\":\"rush-hour\",\"users\":30,\"seed\":5}}",
+    );
+    call(
+        &mut server,
+        "{\"id\":2,\"method\":\"report.subscribe\",\"params\":{\"detail\":\"full\"}}",
+    );
+
+    let mut folded = RunReport::empty();
+    let mut digest = String::new();
+    let mut id = 3u64;
+    loop {
+        let turn = call(
+            &mut server,
+            &format!("{{\"id\":{id},\"method\":\"fleet.step\",\"params\":{{\"epochs\":1}}}}"),
+        );
+        id += 1;
+        let mut pending = None;
+        for frame in &turn.frames {
+            let value = mop_json::from_str(frame).unwrap();
+            if value["id"].is_null() {
+                assert_eq!(value["stream"].as_str(), Some("delta"));
+                let delta = run_report_from_json(&value["event"]["report"]).unwrap();
+                folded.absorb(delta);
+                folded.canonicalise();
+            } else {
+                pending = value["result"]["pending"].as_u64();
+                digest = value["result"]["digest"].as_str().unwrap().to_string();
+            }
+        }
+        if pending == Some(0) {
+            break;
+        }
+        assert!(id < 1_000, "drain must terminate");
+    }
+    assert_eq!(format!("{:016x}", folded.fleet_digest()), digest);
+    assert_eq!(
+        folded.fleet_digest(),
+        oracle_digest(&config(2), &[Mirror { kind: "rush-hour", users: 30, seed: 5, ran_cut: None }]),
+    );
+}
+
+/// The full protocol round trip the issue pins: inject, stream, checkpoint
+/// mid-run, resume the document on FRESH servers at several shard counts,
+/// and land on the batch reference digest every time.
+#[test]
+fn protocol_checkpoint_resume_matches_batch_across_shard_counts() {
+    let reference = oracle_digest(
+        &config(2),
+        &[Mirror { kind: "rush-hour", users: 40, seed: 7, ran_cut: None }],
+    );
+
+    let mut saver = Server::new(config(2));
+    saver.handle_line(
+        "{\"id\":1,\"method\":\"scenario.inject\",\
+         \"params\":{\"scenario\":\"rush-hour\",\"users\":40,\"seed\":7}}",
+    );
+    saver.handle_line("{\"id\":2,\"method\":\"fleet.step\",\"params\":{\"epochs\":3}}");
+    let turn = saver.handle_line("{\"id\":3,\"method\":\"fleet.checkpoint\"}");
+    let reply = mop_json::from_str(&turn.frames[0]).unwrap();
+    let doc = reply["result"]["checkpoint"].clone();
+    assert!(!doc.is_null());
+    // The saving server drains to the reference digest on its own...
+    let turn = saver.handle_line("{\"id\":4,\"method\":\"fleet.step\"}");
+    let reply = mop_json::from_str(&turn.frames[0]).unwrap();
+    assert_eq!(reply["result"]["digest"].as_str().unwrap(), format!("{reference:016x}"));
+
+    // ...and so does every fresh server resumed from the mid-run document.
+    for shards in [1, 4] {
+        let mut resumed = Server::new(config(shards));
+        let request = mop_json::to_string(&json!({
+            "id": 1,
+            "method": "fleet.resume",
+            "params": json!({ "checkpoint": doc.clone() }),
+        }));
+        let turn = resumed.handle_line(&request);
+        let reply = mop_json::from_str(&turn.frames[0]).unwrap();
+        assert!(
+            !reply["result"].is_null(),
+            "resume on {shards} shards failed: {}",
+            turn.frames[0]
+        );
+        let turn = resumed.handle_line("{\"id\":2,\"method\":\"fleet.step\"}");
+        let reply = mop_json::from_str(&turn.frames[0]).unwrap();
+        assert_eq!(
+            reply["result"]["digest"].as_str().unwrap(),
+            format!("{reference:016x}"),
+            "resumed drain on {shards} shards"
+        );
+        assert_eq!(reply["result"]["pending"].as_u64(), Some(0));
+    }
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# End-to-end integration of the long-lived control plane (docs/SERVER.md):
+#
+#   1. compute the batch reference digest with `mop-serve --oracle`,
+#   2. boot a server on a Unix socket, inject the same scenario, step
+#      partway, checkpoint to disk — then KILL the process (no graceful
+#      shutdown: a crash is the scenario under test),
+#   3. boot fresh servers from the checkpoint at DIFFERENT shard counts,
+#      drain each, and require the drained digest to equal the batch
+#      reference bit for bit.
+#
+# Run from the repo root: scripts/server_integration.sh
+set -euo pipefail
+
+SCENARIO=rush-hour
+USERS=60
+SEED=11
+
+WORKDIR=$(mktemp -d)
+SOCK="$WORKDIR/mop.sock"
+CKPT="$WORKDIR/mid-run.ckpt"
+SERVER_PID=""
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== build =="
+cargo build --release -p mop_bench --bin mop-serve
+BIN=target/release/mop-serve
+
+# The reply to a request is its last frame; the digest is sixteen hex digits.
+digest_of() {
+    grep -o '"digest":"[0-9a-f]\{16\}"' | tail -n 1 | cut -d'"' -f4
+}
+
+echo "== batch reference =="
+REFERENCE=$("$BIN" --oracle "$SCENARIO" --users "$USERS" --seed "$SEED" --shards 2 \
+    | awk '/fleet digest:/ { print $3 }')
+echo "reference digest: $REFERENCE"
+[ -n "$REFERENCE" ]
+
+echo "== serve, inject, step, checkpoint, kill =="
+"$BIN" --socket "$SOCK" --shards 2 --seed "$SEED" &
+SERVER_PID=$!
+
+printf '%s\n' \
+    "{\"id\":1,\"method\":\"scenario.inject\",\"params\":{\"scenario\":\"$SCENARIO\",\"users\":$USERS}}" \
+    '{"id":2,"method":"report.subscribe","params":{"detail":"summary"}}' \
+    '{"id":3,"method":"fleet.step","params":{"epochs":3}}' \
+    "{\"id\":4,\"method\":\"fleet.checkpoint\",\"params\":{\"path\":\"$CKPT\"}}" \
+    | "$BIN" --connect "$SOCK" | tee "$WORKDIR/session-a.log"
+
+MID=$(digest_of < "$WORKDIR/session-a.log")
+echo "mid-run digest: $MID (pending flows still queued)"
+[ -s "$CKPT" ]
+
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+for SHARDS in 1 4; do
+    echo "== resume on $SHARDS shard(s), drain, compare =="
+    "$BIN" --socket "$SOCK" --shards "$SHARDS" --seed "$SEED" --resume "$CKPT" &
+    SERVER_PID=$!
+
+    printf '%s\n' \
+        '{"id":1,"method":"fleet.step"}' \
+        '{"id":2,"method":"server.shutdown"}' \
+        | "$BIN" --connect "$SOCK" | tee "$WORKDIR/session-$SHARDS.log"
+
+    wait "$SERVER_PID" || true
+    SERVER_PID=""
+
+    DRAINED=$(digest_of < "$WORKDIR/session-$SHARDS.log")
+    echo "drained digest on $SHARDS shard(s): $DRAINED"
+    if [ "$DRAINED" != "$REFERENCE" ]; then
+        echo "FAIL: resumed drain ($DRAINED) != batch reference ($REFERENCE)" >&2
+        exit 1
+    fi
+done
+
+echo "OK: kill + resume reproduces the batch digest at every shard count"

@@ -46,6 +46,7 @@ pub use mop_dataset as dataset;
 pub use mop_measure as measure;
 pub use mop_packet as packet;
 pub use mop_procnet as procnet;
+pub use mop_server as server;
 pub use mop_simnet as simnet;
 pub use mop_tcpstack as tcpstack;
 pub use mop_tun as tun;

@@ -12,7 +12,8 @@ use std::collections::BTreeSet;
 use std::fs;
 use std::path::PathBuf;
 
-/// The documents under check: the README plus everything in `docs/`.
+/// The documents under check: the README, everything in `docs/`, and
+/// every per-crate `crates/*/README.md`.
 fn documents() -> Vec<PathBuf> {
     let root = repo_root();
     let mut docs = vec![root.join("README.md")];
@@ -21,6 +22,13 @@ fn documents() -> Vec<PathBuf> {
         let path = entry.expect("readable docs/ entry").path();
         if path.extension().is_some_and(|e| e == "md") {
             docs.push(path);
+        }
+    }
+    let crates = fs::read_dir(root.join("crates")).expect("crates/ exists");
+    for entry in crates {
+        let readme = entry.expect("readable crates/ entry").path().join("README.md");
+        if readme.exists() {
+            docs.push(readme);
         }
     }
     docs.sort();
@@ -174,9 +182,12 @@ fn the_documents_under_check_include_the_new_docs() {
         .iter()
         .map(|d| d.file_name().unwrap().to_string_lossy().into_owned())
         .collect();
-    for expected in ["README.md", "ARCHITECTURE.md", "MEASUREMENT.md"] {
+    for expected in ["README.md", "ARCHITECTURE.md", "MEASUREMENT.md", "SERVER.md"] {
         assert!(names.contains(&expected.to_string()), "{expected} not under link check");
     }
+    // The per-crate READMEs are scanned too (the server crate has one).
+    let server_readme = repo_root().join("crates/server/README.md");
+    assert!(documents().contains(&server_readme), "crates/server/README.md not under link check");
 }
 
 /// The anchor algorithm matches GitHub's for the headings we actually use.
