@@ -69,8 +69,10 @@ fn bench_diurnal(c: &mut Criterion) {
     let cut = epoch_boundary(DiurnalScenario::virtual_hour().as_nanos(), 12);
     let saved_at = std::time::Instant::now();
     let checkpoint = FleetCheckpoint::capture(&fleet(4, 32), flows.clone(), cut);
+    let capture_wall = saved_at.elapsed();
+    let serialised_at = std::time::Instant::now();
     let text = checkpoint.to_json_string();
-    let save_wall = saved_at.elapsed();
+    let serialise_wall = serialised_at.elapsed();
     let restore_at = std::time::Instant::now();
     let restored = FleetCheckpoint::from_json_str(&text).expect("checkpoint parses");
     let parse_wall = restore_at.elapsed();
@@ -80,11 +82,12 @@ fn bench_diurnal(c: &mut Criterion) {
     let uninterrupted = fleet(4, 32).run(flows.clone());
     eprintln!(
         "diurnal: checkpoint at epoch 12: {} bytes JSON ({} pending flows), \
-         save {:.0} ms, parse {:.0} ms, resume {:.0} ms; resumed digest {:016x} \
-         {} uninterrupted {:016x}",
+         capture {:.0} ms, serialise {:.1} ms, parse {:.1} ms, resume {:.0} ms; \
+         resumed digest {:016x} {} uninterrupted {:016x}",
         text.len(),
         checkpoint.pending.len(),
-        save_wall.as_secs_f64() * 1e3,
+        capture_wall.as_secs_f64() * 1e3,
+        serialise_wall.as_secs_f64() * 1e3,
         parse_wall.as_secs_f64() * 1e3,
         resume_wall.as_secs_f64() * 1e3,
         resumed.digest(),

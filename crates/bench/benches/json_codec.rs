@@ -1,0 +1,60 @@
+//! mop_json serialise/parse costs on the two document shapes the stack
+//! actually ships: a number-heavy checkpoint-like document (sample arrays,
+//! sketch cells) and a string-heavy report-like document (app/domain/ISP
+//! labels). `to_string` runs the escape-free fast path (bulk-copies
+//! unescaped runs after a byte scan) with capacity preallocated from
+//! `estimate_compact`; `from_str` is the PR 8 single-pass scanner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mop_json::{json, Value};
+
+/// ~1 MB of float/int records: the checkpoint encoding's shape.
+fn number_heavy() -> Value {
+    let rows: Vec<Value> = (0..8_000)
+        .map(|i| {
+            json!({
+                "at_ns": (i as i64) * 12_345,
+                "rtt_ms": (i as f64) * 0.125 + 0.0625,
+                "seq": i as i64,
+                "kind": "tcp-connect",
+            })
+        })
+        .collect();
+    json!({ "samples": Value::Array(rows) })
+}
+
+/// ~1 MB of label strings: the crowd-report/aggregate shape. All
+/// escape-free, so serialisation should be dominated by bulk copies.
+fn string_heavy() -> Value {
+    let rows: Vec<Value> = (0..6_000)
+        .map(|i| {
+            json!({
+                "app": format!("com.example.app{:04}", i % 977),
+                "domain": format!("cdn{:03}.host{:03}.example.net", i % 313, i % 127),
+                "isp": "Example Telecom International",
+                "network": if i % 2 == 0 { "wifi" } else { "lte" },
+                "verdict": "network-slow (p50 over the all-apps baseline)",
+            })
+        })
+        .collect();
+    json!({ "rows": Value::Array(rows) })
+}
+
+fn bench_json(c: &mut Criterion) {
+    let mut group = c.benchmark_group("json_codec");
+    group.sample_size(10);
+    for (name, doc) in [("number_heavy", number_heavy()), ("string_heavy", string_heavy())] {
+        let text = mop_json::to_string(&doc);
+        eprintln!("json_codec: {name} document is {} bytes compact", text.len());
+        group.bench_function(&format!("to_string_{name}"), |b| {
+            b.iter(|| mop_json::to_string(&doc))
+        });
+        group.bench_function(&format!("from_str_{name}"), |b| {
+            b.iter(|| mop_json::from_str(&text).expect("round-trip"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_json);
+criterion_main!(benches);

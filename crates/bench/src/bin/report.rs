@@ -53,6 +53,7 @@ struct Options {
     congestion: CongestionAlgo,
     out_dir: Option<PathBuf>,
     epochs: bool,
+    profile: bool,
     checkpoint: Option<PathBuf>,
     resume: Option<PathBuf>,
     cut_epoch: Option<u64>,
@@ -67,6 +68,7 @@ fn parse_args() -> Options {
         congestion: CongestionAlgo::Reno,
         out_dir: None,
         epochs: false,
+        profile: false,
         checkpoint: None,
         resume: None,
         cut_epoch: None,
@@ -95,6 +97,7 @@ fn parse_args() -> Options {
             }
             "--out" => options.out_dir = args.next().map(PathBuf::from),
             "--epochs" => options.epochs = true,
+            "--profile" => options.profile = true,
             "--checkpoint" => options.checkpoint = args.next().map(PathBuf::from),
             "--resume" => options.resume = args.next().map(PathBuf::from),
             "--cut-epoch" => options.cut_epoch = args.next().and_then(|v| v.parse().ok()),
@@ -102,8 +105,11 @@ fn parse_args() -> Options {
                 eprintln!(
                     "usage: report [--users <n>] [--shards <n>] [--seed <n>] \
                      [--scenario rush-hour|flash-crowd|degraded-commute|diurnal] \
-                     [--cc reno|cubic] [--epochs] [--checkpoint <file> [--cut-epoch <n>]] \
+                     [--cc reno|cubic] [--epochs] [--profile] \
+                     [--checkpoint <file> [--cut-epoch <n>]] \
                      [--resume <file>] [--out <dir>]\n\
+                     --profile prints the per-phase wall-clock table; build with \
+                     `--features profiling` or the table is empty.\n\
                      resume must use the same --scenario/--users/--seed the checkpoint was \
                      saved with; --shards may differ freely."
                 );
@@ -249,6 +255,21 @@ fn main() {
         report.merged.samples.len(),
         report.digest(),
     );
+    if options.profile {
+        let table = mop_simnet::profiling::render_table(&report.merged.profile);
+        if table.is_empty() {
+            eprintln!(
+                "--profile: no data; {}",
+                if mop_simnet::Profiler::enabled() {
+                    "the run recorded no phases"
+                } else {
+                    "rebuild with `--features profiling` to enable the timers"
+                }
+            );
+        } else {
+            println!("{table}");
+        }
+    }
     if let Some(dir) = options.out_dir {
         fs::create_dir_all(&dir).expect("create output directory");
         fs::write(dir.join("report.txt"), &output.text).expect("write report.txt");

@@ -27,7 +27,7 @@
 //! paper's evaluation sections need.
 
 use mop_packet::{FourTuple, Packet};
-use mop_simnet::{SimNetwork, SimTime, SlabBatch, TimerScheduler};
+use mop_simnet::{Profiler, SimNetwork, SimTime, SlabBatch, TimerScheduler};
 use mop_tun::{FlowSpec, ReaderSim, Workload};
 
 use crate::config::MopEyeConfig;
@@ -76,6 +76,22 @@ pub(crate) enum Event {
     RtoTimeout(FourTuple),
 }
 
+impl Event {
+    /// The profiling phase this event's dispatch is accounted under.
+    pub(crate) fn phase_name(&self) -> &'static str {
+        match self {
+            Event::FlowStart(_) => "event.flow_start",
+            Event::ProcessTunBatch(_) => "event.tun_batch",
+            Event::ExternalConnected(_) => "event.external_connected",
+            Event::SocketReadable(_) => "event.socket_readable",
+            Event::DnsResponse { .. } => "event.dns_response",
+            Event::DeliverToApp(_) => "event.deliver_to_app",
+            Event::IdleTimeout(_) => "event.idle_timeout",
+            Event::RtoTimeout(_) => "event.rto_timeout",
+        }
+    }
+}
+
 /// The MopEye relay engine: the event loop over the four pipeline stages.
 pub struct MopEyeEngine {
     pub(crate) shared: EngineShared,
@@ -85,6 +101,9 @@ pub struct MopEyeEngine {
     pub(crate) sink: SinkStage,
     pub(crate) sched: TimerScheduler<Event>,
     events_processed: u64,
+    /// Wall-clock phase timers (zero-sized no-op unless the `profiling`
+    /// feature is on).
+    profiler: Profiler,
 }
 
 impl MopEyeEngine {
@@ -102,7 +121,26 @@ impl MopEyeEngine {
             sink: SinkStage::new(),
             sched,
             events_processed: 0,
+            profiler: Profiler::new(),
         }
+    }
+
+    /// Resets the engine for a new run over `net`, reusing every allocation:
+    /// stage tables, buffer and slab pools, the timing wheel's slot slab and
+    /// the scratch vectors all survive cleared rather than dropped, so a
+    /// resident engine's steady state allocates nothing. A reset engine is
+    /// observationally identical to `MopEyeEngine::new(config, net)` with
+    /// the same config — the clock restarts at zero, RNG streams reseed from
+    /// the config seed, and every counter and identifier sequence rewinds.
+    pub fn reset(&mut self, net: SimNetwork) {
+        self.shared.reset(net);
+        self.ingress.reset();
+        self.relay.reset();
+        self.egress.reset();
+        self.sink.reset();
+        self.sched.reset();
+        self.events_processed = 0;
+        let _ = self.profiler.take_report();
     }
 
     /// The engine configuration.
@@ -152,14 +190,18 @@ impl MopEyeEngine {
     /// the already-queued follower, so the follower would have popped first
     /// anyway.
     pub fn run_flows(&mut self, flows: Vec<FlowSpec>) -> RunReport {
+        let setup = self.profiler.begin();
         self.reserve_flows(flows.len());
         for spec in flows {
             self.relay.packages.install(spec.uid, &spec.package);
             self.sched.schedule(spec.at, Event::FlowStart(spec));
         }
+        self.profiler.end("run.flow_setup", setup);
         let batch_cap = self.shared.config.batch_size.max(1);
         let mut stash: Option<(SimTime, Event)> = None;
         while let Some((at, event)) = stash.take().or_else(|| self.sched.pop()) {
+            let span = self.profiler.begin();
+            let phase = event.phase_name();
             match event {
                 Event::ProcessTunBatch(mut slab) => {
                     // Absorb consecutive same-instant slabs into this burst.
@@ -184,13 +226,17 @@ impl MopEyeEngine {
                         }
                     }
                     self.shared.clock.advance_to(at);
-                    if !self.process_tun_batch(slab) {
+                    let proceed = self.process_tun_batch(slab);
+                    self.profiler.end(phase, span);
+                    if !proceed {
                         break;
                     }
                 }
                 event => {
                     self.shared.clock.advance_to(at);
-                    if !self.dispatch(at, event) {
+                    let proceed = self.dispatch(at, event);
+                    self.profiler.end(phase, span);
+                    if !proceed {
                         break;
                     }
                 }
@@ -308,6 +354,14 @@ impl MopEyeEngine {
     }
 
     fn report(&mut self) -> RunReport {
+        // Harvest the scheduler's and selector's gated structure counters
+        // into the run profile (no-ops when profiling is off).
+        for (name, value) in self.sched.profile_counters() {
+            self.profiler.record(name, value);
+        }
+        for (name, value) in self.relay.selector.profile_counters() {
+            self.profiler.record(name, value);
+        }
         RunReport {
             flows: self.sink.flow_outcomes(),
             samples: std::mem::take(&mut self.sink.samples),
@@ -323,6 +377,7 @@ impl MopEyeEngine {
             finished_at: self.shared.clock.now(),
             events_processed: self.events_processed,
             events_scheduled: self.sched.scheduled_total(),
+            profile: self.profiler.take_report(),
         }
     }
 }

@@ -10,7 +10,7 @@
 
 use mop_measure::{AggregateStore, WindowedAggregateStore};
 use mop_procnet::MappingStats;
-use mop_simnet::{CpuLedger, PoolStats, SimTime};
+use mop_simnet::{CpuLedger, PoolStats, ProfileReport, SimTime};
 use mop_tun::TunStats;
 
 use crate::stats::{FlowOutcome, RelayStats, RttSample, SampleKind};
@@ -60,6 +60,11 @@ pub struct RunReport {
     /// Events ever scheduled (pending + processed + cancelled); cancelled
     /// timers are scheduled but never processed.
     pub events_scheduled: u64,
+    /// Wall-clock profile of the host-side run (per-phase timers and gated
+    /// counters). Empty unless the `profiling` feature is on. Host timing,
+    /// not virtual-time behaviour: excluded from the fleet digest and the
+    /// checkpoint encoding, merged across shards like the other stats.
+    pub profile: ProfileReport,
 }
 
 impl RunReport {

@@ -43,10 +43,27 @@
 //! resource; a workload that saturates one worker completes ~N× faster in
 //! virtual time on N shards. The fleet benchmark measures exactly that
 //! (aggregate relay goodput at 1/2/4/8 shards).
+//!
+//! # Residency
+//!
+//! The worker protocol lives in [`ResidentFleet`]: shard threads are
+//! spawned **once**, park on their job rings between runs, and are fed
+//! successive `Begin → Burst… → Finish` sequences — each `Begin` resets the
+//! shard's engine in place ([`MopEyeEngine::reset`]: pools, rings, wheel
+//! slabs and stage tables cleared, not dropped), so the steady state of a
+//! long-lived fleet spawns no threads and re-allocates none of its
+//! machinery. [`FleetEngine::run`] is the one-shot form: it builds a
+//! resident fleet, runs a single batch and tears it down, so both paths
+//! share one dispatch/merge implementation and reuse is observationally
+//! invisible by construction (checked bit-for-bit by
+//! `tests/resident_reuse.rs`).
 
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
-use mop_simnet::{affinity, spsc_channel, CreditGate, SimNetworkBuilder, SimTime};
+use mop_simnet::{
+    affinity, spsc_channel, CreditGate, SimNetworkBuilder, SimTime, SpscReceiver, SpscSender,
+};
 use mop_tun::FlowSpec;
 use mop_packet::{FourTuple, StableHasher};
 
@@ -244,83 +261,231 @@ impl FleetEngine {
     }
 
     /// Runs `flows` across the shards to completion and merges the results.
+    ///
+    /// This is the **cold** path: it spawns a [`ResidentFleet`] for the one
+    /// run and tears it down afterwards, paying thread spawns and engine
+    /// construction every call. A caller stepping many batches should hold
+    /// a resident fleet and call [`ResidentFleet::run_next`] instead — the
+    /// result is bit-identical, only the wall clock differs.
     pub fn run(&self, flows: Vec<FlowSpec>) -> FleetReport {
+        ResidentFleet::new(self.config.clone()).run_next(&self.net_builder, flows)
+    }
+}
+
+/// One message on a resident shard worker's job ring.
+enum ShardJob {
+    /// Start a new run over the network this builder describes: the worker
+    /// builds it flow-keyed and resets (or, on the very first run,
+    /// constructs) its engine. Uncredited — `run_next` sends exactly one
+    /// per shard per run.
+    Begin(Box<SimNetworkBuilder>),
+    /// A batch-sized burst of the current run's flow specs. Credited: the
+    /// dispatcher takes one gate credit per burst in flight and the worker
+    /// returns it on acceptance.
+    Burst(Vec<FlowSpec>),
+    /// No more bursts: run the accumulated flows and deliver the report on
+    /// the report ring. Uncredited, like `Begin`.
+    Finish,
+}
+
+/// The resident shard worker: parks on its job ring between runs, keeps
+/// its engine (and every allocation inside it) across `Begin`s, and exits
+/// when the ring closes.
+fn spawn_worker(
+    shard: usize,
+    engine_config: MopEyeConfig,
+    pin: bool,
+    jobs: SpscReceiver<ShardJob>,
+    gate: Arc<CreditGate>,
+    reports: SpscSender<(RunReport, Option<usize>)>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let pinned_core = pin
+            .then(|| {
+                let core = shard % affinity::available_cores();
+                affinity::pin_current_thread_to_core(core).then_some(core)
+            })
+            .flatten();
+        let mut engine: Option<MopEyeEngine> = None;
+        let mut shard_flows: Vec<FlowSpec> = Vec::new();
+        while let Some(job) = jobs.recv() {
+            match job {
+                ShardJob::Begin(builder) => {
+                    let net = builder.flow_keyed().build();
+                    match engine.as_mut() {
+                        Some(engine) => engine.reset(net),
+                        None => engine = Some(MopEyeEngine::new(engine_config.clone(), net)),
+                    }
+                }
+                ShardJob::Burst(burst) => {
+                    shard_flows.extend(burst);
+                    gate.release(); // Burst accepted: return its credit.
+                }
+                ShardJob::Finish => {
+                    let engine = engine.as_mut().expect("Begin precedes Finish");
+                    let report = engine.run_flows(std::mem::take(&mut shard_flows));
+                    let _ = reports.send((report, pinned_core));
+                }
+            }
+        }
+    })
+}
+
+/// A fleet whose shard workers outlive any single run. See the
+/// [module docs](self) — `# Residency`.
+///
+/// Construction spawns the worker threads; [`ResidentFleet::run_next`]
+/// then feeds them successive flow batches, resetting each shard's engine
+/// in place per run. Dropping the fleet closes the job rings, which parks
+/// the workers out of their loops and joins them.
+pub struct ResidentFleet {
+    config: FleetConfig,
+    jobs: Vec<SpscSender<ShardJob>>,
+    gates: Vec<Arc<CreditGate>>,
+    reports: Vec<SpscReceiver<(RunReport, Option<usize>)>>,
+    workers: Vec<Option<JoinHandle<()>>>,
+    // The gate/ring/sink stall counters are cumulative over the fleet's
+    // lifetime; these high-water marks turn them into per-run deltas so a
+    // resident run reports the same stall accounting a fresh fleet would.
+    gate_stalls_seen: Vec<u64>,
+    ring_stalls_seen: Vec<u64>,
+    sink_stalls_seen: Vec<u64>,
+    threads_spawned: u64,
+    runs: u64,
+}
+
+impl std::fmt::Debug for ResidentFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResidentFleet")
+            .field("shards", &self.config.shards)
+            .field("threads_spawned", &self.threads_spawned)
+            .field("runs", &self.runs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ResidentFleet {
+    /// Spawns the shard workers (once, for the fleet's whole lifetime) and
+    /// leaves them parked on their job rings. Like [`FleetEngine::new`],
+    /// the engine discipline is forced to flow-keyed.
+    pub fn new(mut config: FleetConfig) -> Self {
+        config.shards = config.shards.max(1);
+        config.ingress_capacity = config.ingress_capacity.max(1);
+        config.engine = config.engine.with_discipline(EngineDiscipline::FlowKeyed);
+        let shards = config.shards;
+        let mut fleet = Self {
+            jobs: Vec::with_capacity(shards),
+            gates: Vec::with_capacity(shards),
+            reports: Vec::with_capacity(shards),
+            workers: Vec::with_capacity(shards),
+            gate_stalls_seen: vec![0; shards],
+            ring_stalls_seen: vec![0; shards],
+            sink_stalls_seen: vec![0; shards],
+            threads_spawned: shards as u64,
+            runs: 0,
+            config,
+        };
+        for shard in 0..shards {
+            let (job_tx, job_rx) = spsc_channel::<ShardJob>(fleet.config.ingress_capacity);
+            let (report_tx, report_rx) = spsc_channel::<(RunReport, Option<usize>)>(1);
+            let gate = Arc::new(CreditGate::new(fleet.config.credit_depth.max(1) as u64));
+            fleet.workers.push(Some(spawn_worker(
+                shard,
+                fleet.config.engine.clone(),
+                fleet.config.pin_shards,
+                job_rx,
+                Arc::clone(&gate),
+                report_tx,
+            )));
+            fleet.jobs.push(job_tx);
+            fleet.gates.push(gate);
+            fleet.reports.push(report_rx);
+        }
+        fleet
+    }
+
+    /// The fleet configuration (every run uses it).
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Worker threads ever spawned — constant after construction; the
+    /// step-latency bench asserts it stays equal to the shard count across
+    /// warm runs.
+    pub fn threads_spawned(&self) -> u64 {
+        self.threads_spawned
+    }
+
+    /// Completed [`ResidentFleet::run_next`] calls.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Runs one flow batch over the network `net_builder` describes and
+    /// merges the shard results — bit-identical to
+    /// `FleetEngine::new(config, net_builder).run(flows)`, but reusing the
+    /// parked workers and their engines: no thread spawns, and the pools,
+    /// rings, wheel slabs and stage tables inside each engine are cleared
+    /// rather than dropped between runs.
+    pub fn run_next(&mut self, net_builder: &SimNetworkBuilder, flows: Vec<FlowSpec>) -> FleetReport {
         let shards = self.config.shards;
         // Hash each four-tuple once: the counting pass remembers every
         // flow's shard so the dispatch loop below just indexes.
         let assignment: Vec<usize> =
-            flows.iter().map(|spec| Self::shard_of(spec, shards)).collect();
+            flows.iter().map(|spec| FleetEngine::shard_of(spec, shards)).collect();
         let mut flows_assigned = vec![0usize; shards];
         for &shard in &assignment {
             flows_assigned[shard] += 1;
         }
 
+        for shard in 0..shards {
+            self.send_job(shard, ShardJob::Begin(Box::new(net_builder.clone())));
+        }
+        // The TUN ingress: group each shard's connections into batch-sized
+        // bursts and push them through the bounded queue under credit — a
+        // lagging shard throttles the dispatcher here.
         let batch = self.config.engine.batch_size.max(1);
-        let mut shard_reports: Vec<(usize, RunReport, Option<usize>)> = Vec::with_capacity(shards);
+        let mut pending: Vec<Vec<FlowSpec>> =
+            (0..shards).map(|_| Vec::with_capacity(batch)).collect();
+        for (spec, shard) in flows.into_iter().zip(assignment) {
+            pending[shard].push(spec);
+            if pending[shard].len() == batch {
+                let full = std::mem::replace(&mut pending[shard], Vec::with_capacity(batch));
+                self.gates[shard].acquire();
+                self.send_job(shard, ShardJob::Burst(full));
+            }
+        }
+        for (shard, tail) in pending.into_iter().enumerate() {
+            if !tail.is_empty() {
+                self.gates[shard].acquire();
+                self.send_job(shard, ShardJob::Burst(tail));
+            }
+        }
+        for shard in 0..shards {
+            self.send_job(shard, ShardJob::Finish);
+        }
         let mut dispatch_stalls = 0u64;
-        std::thread::scope(|scope| {
-            let mut ingress = Vec::with_capacity(shards);
-            let mut gates: Vec<Arc<CreditGate>> = Vec::with_capacity(shards);
-            let mut sinks = Vec::with_capacity(shards);
-            for (shard, &expected) in flows_assigned.iter().take(shards).enumerate() {
-                let (flow_tx, flow_rx) =
-                    spsc_channel::<Vec<FlowSpec>>(self.config.ingress_capacity);
-                let (report_tx, report_rx) = spsc_channel::<(RunReport, Option<usize>)>(1);
-                let gate = Arc::new(CreditGate::new(self.config.credit_depth.max(1) as u64));
-                let worker_gate = Arc::clone(&gate);
-                let engine_config = self.config.engine.clone();
-                let builder = self.net_builder.clone();
-                let pin = self.config.pin_shards;
-                scope.spawn(move || {
-                    let pinned_core = pin
-                        .then(|| {
-                            let core = shard % affinity::available_cores();
-                            affinity::pin_current_thread_to_core(core).then_some(core)
-                        })
-                        .flatten();
-                    let net = builder.flow_keyed().build();
-                    let mut engine = MopEyeEngine::new(engine_config, net);
-                    let mut shard_flows = Vec::with_capacity(expected);
-                    while let Some(burst) = flow_rx.recv() {
-                        shard_flows.extend(burst);
-                        worker_gate.release(); // Burst accepted: return its credit.
-                    }
-                    let report = engine.run_flows(shard_flows);
-                    let _ = report_tx.send((report, pinned_core));
-                });
-                ingress.push(flow_tx);
-                gates.push(gate);
-                sinks.push(report_rx);
-            }
-            // The TUN ingress: group each shard's connections into
-            // batch-sized bursts and push them through the bounded queue
-            // under credit — a lagging shard throttles the dispatcher here.
-            let mut pending: Vec<Vec<FlowSpec>> =
-                (0..shards).map(|_| Vec::with_capacity(batch)).collect();
-            for (spec, shard) in flows.into_iter().zip(assignment) {
-                pending[shard].push(spec);
-                if pending[shard].len() == batch {
-                    let full = std::mem::replace(&mut pending[shard], Vec::with_capacity(batch));
-                    gates[shard].acquire();
-                    ingress[shard].send(full).expect("shard worker hung up");
-                }
-            }
-            for (shard, tail) in pending.into_iter().enumerate() {
-                if !tail.is_empty() {
-                    gates[shard].acquire();
-                    ingress[shard].send(tail).expect("shard worker hung up");
-                }
-            }
-            dispatch_stalls = gates.iter().map(|g| g.stalls()).sum::<u64>()
-                + ingress.iter().map(|tx| tx.stalls()).sum::<u64>();
-            drop(ingress); // Close the queues; workers drain and run.
-            for (shard, sink) in sinks.into_iter().enumerate() {
-                let (mut report, pinned_core) =
-                    sink.recv().expect("shard delivers exactly one report");
-                report.relay.sink_stalls += sink.stalls();
-                shard_reports.push((shard, report, pinned_core));
-            }
-        });
+        for shard in 0..shards {
+            let gate_total = self.gates[shard].stalls();
+            let ring_total = self.jobs[shard].stalls();
+            dispatch_stalls += (gate_total - self.gate_stalls_seen[shard])
+                + (ring_total - self.ring_stalls_seen[shard]);
+            self.gate_stalls_seen[shard] = gate_total;
+            self.ring_stalls_seen[shard] = ring_total;
+        }
+
+        let mut shard_reports: Vec<(usize, RunReport, Option<usize>)> = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (mut report, pinned_core) = match self.reports[shard].recv() {
+                Some(delivered) => delivered,
+                None => self.propagate_worker_death(shard),
+            };
+            let sink_total = self.reports[shard].stalls();
+            report.relay.sink_stalls += sink_total - self.sink_stalls_seen[shard];
+            self.sink_stalls_seen[shard] = sink_total;
+            shard_reports.push((shard, report, pinned_core));
+        }
+        self.runs += 1;
 
         let mut merged = RunReport::empty();
         let mut per_shard = Vec::with_capacity(shards);
@@ -340,6 +505,33 @@ impl FleetEngine {
         // any one shard; fold them in after the merge.
         merged.tun.dispatch_stalls += dispatch_stalls;
         FleetReport { shards, merged, per_shard }
+    }
+
+    fn send_job(&mut self, shard: usize, job: ShardJob) {
+        if self.jobs[shard].send(job).is_err() {
+            self.propagate_worker_death(shard);
+        }
+    }
+
+    /// A closed ring means the worker exited early — join it so its panic
+    /// (the only way out of the loop while senders are live) surfaces with
+    /// its own message rather than a generic "hung up".
+    fn propagate_worker_death(&mut self, shard: usize) -> ! {
+        if let Some(worker) = self.workers[shard].take() {
+            if let Err(payload) = worker.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        panic!("resident shard {shard} worker hung up");
+    }
+}
+
+impl Drop for ResidentFleet {
+    fn drop(&mut self) {
+        self.jobs.clear(); // Close the rings; workers fall out of their loops.
+        for worker in self.workers.iter_mut().filter_map(Option::take) {
+            let _ = worker.join();
+        }
     }
 }
 
@@ -361,6 +553,7 @@ impl RunReport {
             finished_at: SimTime::ZERO,
             events_processed: 0,
             events_scheduled: 0,
+            profile: Default::default(),
         }
     }
 
@@ -395,6 +588,7 @@ impl RunReport {
         self.finished_at = self.finished_at.max(other.finished_at);
         self.events_processed += other.events_processed;
         self.events_scheduled += other.events_scheduled;
+        self.profile.merge(&other.profile);
     }
 
     /// Sorts samples and flow outcomes into their canonical order

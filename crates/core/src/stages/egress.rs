@@ -57,6 +57,13 @@ impl EgressStage {
         Self { writer, writer_lanes: HashMap::new() }
     }
 
+    /// Resets the stage to its just-constructed state for the same schemes,
+    /// keeping the lane-table allocation.
+    pub(crate) fn reset(&mut self) {
+        self.writer.reset();
+        self.writer_lanes.clear();
+    }
+
     /// Writes a packet towards the apps through the TunWriter and schedules
     /// its delivery. The one owned packet travels straight into the delivery
     /// event; the device and the writer only see its wire length.

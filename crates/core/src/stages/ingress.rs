@@ -92,6 +92,19 @@ impl IngressStage {
         }
     }
 
+    /// Resets the stage to its just-constructed state, keeping the slab pool
+    /// and table allocations: the reader restarts its poll loop at time zero
+    /// and the port/transaction-id counters rewind so a reused stage hands
+    /// out the same identifiers a fresh one would.
+    pub(crate) fn reset(&mut self) {
+        self.reader.reset();
+        self.batches.reset_stats();
+        self.apps.clear();
+        self.dns_clients.clear();
+        self.next_app_port = 36_000;
+        self.next_dns_id = 1;
+    }
+
     fn alloc_port(&mut self) -> u16 {
         let port = self.next_app_port;
         self.next_app_port =

@@ -177,6 +177,22 @@ impl EngineShared {
         }
     }
 
+    /// Resets the substrate for a new run over `net`, keeping the config,
+    /// the calibrated cost model and every table allocation: the clock
+    /// restarts at zero, the device-wide RNG is reseeded from the config
+    /// seed, and the tunnel device and ledger are cleared — state
+    /// indistinguishable from [`EngineShared::new`] with the same config.
+    pub fn reset(&mut self, net: SimNetwork) {
+        self.clock = SimClock::new();
+        self.net = net;
+        self.tun.reset();
+        self.ledger.reset();
+        self.rng = SimRng::seed_from_u64(self.config.seed);
+        self.flow_rngs.clear();
+        self.worker_busy_until = SimTime::ZERO;
+        self.worker_burst_len = 1;
+    }
+
     /// Pre-sizes the keyed-stream table (flow-keyed discipline only).
     pub fn reserve_flows(&mut self, flows: usize) {
         if self.config.discipline == EngineDiscipline::FlowKeyed {

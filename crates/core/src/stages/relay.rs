@@ -163,6 +163,33 @@ impl RelayStage {
         }
     }
 
+    /// Resets the stage to its just-constructed state, keeping the table,
+    /// pool and scratch allocations. The mapper is rebuilt fresh for the same
+    /// strategy (mappers are a couple of empty tables); the socket set keeps
+    /// its protect-mode configuration and pooled read buffers.
+    pub(crate) fn reset(&mut self) {
+        self.clients.reset();
+        self.udp.reset();
+        self.conn_table.reset();
+        self.packages.reset();
+        self.mapper = match &self.mapper {
+            Mapper::Eager(_) => Mapper::Eager(EagerMapper::new()),
+            Mapper::Cached(_) => Mapper::Cached(CachedMapper::new()),
+            Mapper::Lazy(_) => Mapper::Lazy(LazyMapper::new()),
+        };
+        self.sockets.reset();
+        self.selector.reset();
+        self.stats = RelayStats::default();
+        self.socket_by_flow.clear();
+        self.connect_pre_ts.clear();
+        self.pending_half_close.clear();
+        self.ip_to_domain.clear();
+        self.dns_pending.clear();
+        self.flow_registered_at.clear();
+        self.outbound_scratch.clear();
+        self.sample_scratch.clear();
+    }
+
     /// Routes a burst of outbound packets to egress through the batch path
     /// (via the relay's own [`Stage::process_batch`], which stamps the
     /// connect-thread flag), then reclaims the scratch vector.

@@ -75,6 +75,17 @@ impl SinkStage {
         Self::default()
     }
 
+    /// Resets the sink to its just-constructed state, keeping the sample and
+    /// table allocations. The windowed store goes back to `None`: it is
+    /// recreated lazily on the first sample of the next run, exactly as a
+    /// fresh sink would.
+    pub(crate) fn reset(&mut self) {
+        self.samples.clear();
+        self.aggregates = AggregateStore::default();
+        self.windows = None;
+        self.flow_meta.clear();
+    }
+
     /// Registers a starting flow's outcome record.
     pub(crate) fn flow_started(&mut self, flow: FourTuple, spec: &FlowSpec, now: SimTime) {
         self.flow_meta.insert(

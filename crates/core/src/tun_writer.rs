@@ -53,6 +53,14 @@ impl WriteDelayStats {
         self.consumer_parked_hits += other.consumer_parked_hits;
     }
 
+    /// Clears the recorded delays keeping the vector allocations — the
+    /// clear-don't-drop reuse path.
+    pub fn clear(&mut self) {
+        self.write_delays_ms.clear();
+        self.enqueue_delays_ms.clear();
+        self.consumer_parked_hits = 0;
+    }
+
     /// The fraction of recorded delays of `which` kind that exceed 1 ms — the
     /// paper's "large overheads" rate.
     pub fn large_fraction(values: &[f64]) -> f64 {
@@ -116,6 +124,14 @@ impl TunWriter {
     /// The write scheme in use.
     pub fn scheme(&self) -> WriteScheme {
         self.scheme
+    }
+
+    /// Resets the writer to its just-constructed state for the same schemes,
+    /// keeping the delay-vector allocations.
+    pub fn reset(&mut self) {
+        self.lane = WriterLane::new();
+        self.stats.clear();
+        self.packets_written = 0;
     }
 
     /// Submits one packet for writing to the tunnel at time `now`, using the

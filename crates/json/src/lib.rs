@@ -243,21 +243,41 @@ macro_rules! json {
 // Serialisation
 // ---------------------------------------------------------------------------
 
+/// True for the bytes `escape_into` cannot pass through verbatim. Every
+/// such byte is ASCII, so scanning bytes (not chars) is enough: multi-byte
+/// UTF-8 sequences never contain them and copy through untouched.
+#[inline]
+fn needs_escape(byte: u8) -> bool {
+    byte < 0x20 || byte == b'"' || byte == b'\\'
+}
+
 fn escape_into(out: &mut String, s: &str) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+    // The common case — no escapes at all (every report key and most
+    // values) — is one bulk copy. Otherwise copy unescaped runs between
+    // escapes in bulk, mirroring the parser's run-consuming scan.
+    let bytes = s.as_bytes();
+    let mut run_start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        if needs_escape(bytes[i]) {
+            out.push_str(&s[run_start..i]);
+            match bytes[i] {
+                b'"' => out.push_str("\\\""),
+                b'\\' => out.push_str("\\\\"),
+                b'\n' => out.push_str("\\n"),
+                b'\r' => out.push_str("\\r"),
+                b'\t' => out.push_str("\\t"),
+                c => {
+                    use fmt::Write as _;
+                    write!(out, "\\u{:04x}", c).expect("writing to a String cannot fail");
+                }
             }
-            c => out.push(c),
+            run_start = i + 1;
         }
+        i += 1;
     }
+    out.push_str(&s[run_start..]);
     out.push('"');
 }
 
@@ -265,11 +285,12 @@ fn write_number(out: &mut String, f: f64) {
     if !f.is_finite() {
         out.push_str("null");
     } else {
-        let text = format!("{f}");
-        out.push_str(&text);
+        use fmt::Write as _;
+        let start = out.len();
+        write!(out, "{f}").expect("writing to a String cannot fail");
         // Keep Float-ness through a round trip: whole values need a decimal
         // point or they reparse as Int.
-        if !text.contains(['.', 'e', 'E']) {
+        if !out[start..].contains(['.', 'e', 'E']) {
             out.push_str(".0");
         }
     }
@@ -279,7 +300,10 @@ fn write_compact(out: &mut String, value: &Value) {
     match value {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Int(i) => {
+            use fmt::Write as _;
+            write!(out, "{i}").expect("writing to a String cannot fail");
+        }
         Value::Float(f) => write_number(out, *f),
         Value::Str(s) => escape_into(out, s),
         Value::Array(items) => {
@@ -307,26 +331,31 @@ fn write_compact(out: &mut String, value: &Value) {
     }
 }
 
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
 fn write_pretty(out: &mut String, value: &Value, indent: usize) {
-    const STEP: &str = "  ";
     match value {
         Value::Array(items) if !items.is_empty() => {
             out.push_str("[\n");
             for (i, item) in items.iter().enumerate() {
-                out.push_str(&STEP.repeat(indent + 1));
+                push_indent(out, indent + 1);
                 write_pretty(out, item, indent + 1);
                 if i + 1 < items.len() {
                     out.push(',');
                 }
                 out.push('\n');
             }
-            out.push_str(&STEP.repeat(indent));
+            push_indent(out, indent);
             out.push(']');
         }
         Value::Object(members) if !members.is_empty() => {
             out.push_str("{\n");
             for (i, (key, item)) in members.iter().enumerate() {
-                out.push_str(&STEP.repeat(indent + 1));
+                push_indent(out, indent + 1);
                 escape_into(out, key);
                 out.push_str(": ");
                 write_pretty(out, item, indent + 1);
@@ -335,16 +364,37 @@ fn write_pretty(out: &mut String, value: &Value, indent: usize) {
                 }
                 out.push('\n');
             }
-            out.push_str(&STEP.repeat(indent));
+            push_indent(out, indent);
             out.push('}');
         }
         other => write_compact(out, other),
     }
 }
 
+/// A lower bound on `value`'s compact rendering length, from one cheap
+/// pass over the tree — numbers count their minimum width and strings
+/// their unescaped length, so the real rendering is rarely much longer.
+/// Pre-sizing with this keeps a large document (a 650 KB checkpoint, say)
+/// from re-growing its output buffer a copy at a time.
+fn estimate_compact(value: &Value) -> usize {
+    match value {
+        Value::Null | Value::Bool(_) => 4,
+        Value::Int(_) => 4,
+        Value::Float(_) => 8,
+        Value::Str(s) => s.len() + 2,
+        Value::Array(items) => {
+            2 + items.len() + items.iter().map(estimate_compact).sum::<usize>()
+        }
+        Value::Object(members) => {
+            2 + members.len()
+                + members.iter().map(|(key, item)| key.len() + 3 + estimate_compact(item)).sum::<usize>()
+        }
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut out = String::new();
+        let mut out = String::with_capacity(estimate_compact(self));
         write_compact(&mut out, self);
         f.write_str(&out)
     }
@@ -352,14 +402,16 @@ impl fmt::Display for Value {
 
 /// Compact one-line rendering (JSON-lines friendly).
 pub fn to_string(value: &Value) -> String {
-    let mut out = String::new();
+    let mut out = String::with_capacity(estimate_compact(value));
     write_compact(&mut out, value);
     out
 }
 
 /// Human-readable two-space-indented rendering.
 pub fn to_string_pretty(value: &Value) -> String {
-    let mut out = String::new();
+    // Pretty output carries indentation on top of the compact estimate;
+    // the compact bound still absorbs most of the growth doubling.
+    let mut out = String::with_capacity(estimate_compact(value));
     write_pretty(&mut out, value, 0);
     out
 }

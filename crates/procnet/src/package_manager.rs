@@ -31,6 +31,16 @@ impl PackageManager {
         pm
     }
 
+    /// Resets the manager to its just-constructed state, keeping the table
+    /// allocations. Installed packages are cleared too: the engine installs
+    /// them per run from the flow specs, so they are run state, not config.
+    pub fn reset(&mut self) {
+        self.by_uid.clear();
+        self.lookups = 0;
+        self.cache.clear();
+        self.cache_hits = 0;
+    }
+
     /// Installs a package under `uid`.
     pub fn install(&mut self, uid: u32, package: &str) {
         self.by_uid.insert(uid, package.to_string());

@@ -121,6 +121,16 @@ impl ConnectionTable {
         Self { entries: Vec::new(), next_inode: 10_000, uid_index: HashMap::new(), generation: 0 }
     }
 
+    /// Resets the table to its just-constructed state, keeping the entry and
+    /// index allocations: inode numbering restarts so a reused table assigns
+    /// the same inodes a fresh one would.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.next_inode = 10_000;
+        self.uid_index.clear();
+        self.generation = 0;
+    }
+
     /// Registers a connection owned by `uid`. Returns the assigned inode.
     pub fn register(
         &mut self,

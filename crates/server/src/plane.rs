@@ -3,18 +3,29 @@
 //!
 //! # Why stepping preserves the batch digest
 //!
-//! The plane never keeps a long-lived engine. It keeps a *cursor* in epoch
-//! units and, per [`ControlPlane::step`], runs every not-yet-run flow
-//! scheduled before the new cursor boundary on a **fresh** [`FleetEngine`]
-//! (one per scenario, each with its own network), absorbing the merged
-//! result into one cumulative [`RunReport`]. Under the flow-keyed
-//! discipline every flow's behaviour is a pure function of
+//! The plane keeps a *cursor* in epoch units and, per
+//! [`ControlPlane::step`], runs every not-yet-run flow scheduled before the
+//! new cursor boundary (one run per scenario, each over its own network),
+//! absorbing the merged result into one cumulative [`RunReport`]. Under
+//! the flow-keyed discipline every flow's behaviour is a pure function of
 //! `(seed, four-tuple)`, so the absorb of any partition of a flow schedule
 //! — by time, by scenario, or both — equals the report of the
 //! unpartitioned batch run. This is the same invariance behind
 //! [`FleetCheckpoint`]; the plane merely applies it once per step instead
 //! of once per restart. `tests/server_oracle.rs` pins the equivalence
 //! against batch runs across shard counts and random interleavings.
+//!
+//! # The resident fleet
+//!
+//! Since PR 10 the plane holds one [`ResidentFleet`] for its whole life:
+//! shard workers spawn when the plane is built and park on their job rings
+//! between steps, and every per-scenario run goes through
+//! [`ResidentFleet::run_next`], which resets the shard engines in place
+//! instead of rebuilding them. Run results are bit-identical to fresh
+//! [`FleetEngine`](mopeye_core::FleetEngine) construction (the workers share one protocol — see the
+//! fleet module's `# Residency` docs); only the steady-state step cost
+//! changes, from thread spawns + engine construction per scenario per step
+//! to a few ring messages.
 //!
 //! Retiring a scenario drops only its not-yet-run flows: contributions
 //! already absorbed stay in the cumulative report, exactly like a crowd
@@ -29,8 +40,10 @@ use mop_simnet::{SimDuration, SimNetworkBuilder};
 use mop_tun::FlowSpec;
 use mopeye_core::{
     epoch_boundary, run_report_from_json, run_report_to_json, CongestionAlgo, FleetCheckpoint,
-    FleetConfig, FleetEngine, RunReport,
+    FleetConfig, ResidentFleet, RunReport,
 };
+#[cfg(test)]
+use mopeye_core::FleetEngine;
 
 /// Version tag of the server checkpoint document (which embeds a
 /// [`FleetCheckpoint`] plus the plane's scenario table and cursor).
@@ -90,6 +103,17 @@ impl ScenarioSlot {
     }
 }
 
+/// The fleet configuration every run of a plane uses, resident or not.
+fn fleet_config(config: &PlaneConfig) -> FleetConfig {
+    let mut fleet = FleetConfig::new(config.shards)
+        .with_seed(config.seed)
+        .with_congestion(config.congestion)
+        .with_epochs(config.epoch_width, config.epoch_window);
+    // Lean mode: the cumulative report carries sketches, not samples.
+    fleet.engine = fleet.engine.with_retain_samples(false);
+    fleet
+}
+
 /// Builds the named scenario, or `None` for an unknown kind. The kinds
 /// mirror the `report` binary's `--scenario` values (minus the diurnal
 /// day, which has its own generator type).
@@ -131,12 +155,17 @@ pub struct ControlPlane {
     next_scenario: usize,
     scenarios: Vec<ScenarioSlot>,
     cumulative: RunReport,
+    /// The long-lived worker fleet every step's runs go through; spawned
+    /// once here and reset in place per run.
+    resident: ResidentFleet,
 }
 
 impl ControlPlane {
-    /// An idle plane at epoch zero with no scenarios.
+    /// An idle plane at epoch zero with no scenarios. The resident shard
+    /// workers spawn here and park until the first step.
     pub fn new(config: PlaneConfig) -> Self {
         Self {
+            resident: ResidentFleet::new(fleet_config(&config)),
             config,
             cursor_epoch: 0,
             next_scenario: 1,
@@ -252,8 +281,8 @@ impl ControlPlane {
                 continue;
             }
             ran += due.len();
-            let fleet = self.build_fleet(self.scenarios[i].network());
-            let mut report = fleet.run(due);
+            let network = self.scenarios[i].network();
+            let mut report = self.resident.run_next(&network, due);
             delta.absorb(mem::replace(&mut report.merged, RunReport::empty()));
         }
         delta.canonicalise();
@@ -276,14 +305,26 @@ impl ControlPlane {
         }
     }
 
+    /// The resident fleet's lifetime statistics: `(runs, threads_spawned)`.
+    /// `threads_spawned` equals the shard count forever — the whole point
+    /// of residency — and `server.profile` surfaces both.
+    pub fn resident_stats(&self) -> (u64, u64) {
+        (self.resident.runs(), self.resident.threads_spawned())
+    }
+
+    /// The wall-clock profile accumulated by the resident fleet's runs so
+    /// far (empty unless the workspace was built with the `profiling`
+    /// feature). Lives in the cumulative report like the other merged
+    /// statistics, but is excluded from digests and checkpoints.
+    pub fn profile(&self) -> &mop_simnet::ProfileReport {
+        &self.cumulative.profile
+    }
+
+    /// A fresh one-shot fleet with this plane's run parameters — the cold
+    /// path the resident fleet replaces; kept for oracle comparisons.
+    #[cfg(test)]
     fn build_fleet(&self, network: SimNetworkBuilder) -> FleetEngine {
-        let mut config = FleetConfig::new(self.config.shards)
-            .with_seed(self.config.seed)
-            .with_congestion(self.config.congestion)
-            .with_epochs(self.config.epoch_width, self.config.epoch_window);
-        // Lean mode: the cumulative report carries sketches, not samples.
-        config.engine = config.engine.with_retain_samples(false);
-        FleetEngine::new(config, network)
+        FleetEngine::new(fleet_config(&self.config), network)
     }
 
     /// Serialises the plane to its checkpoint document: a

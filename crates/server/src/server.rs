@@ -83,6 +83,7 @@ impl Server {
         let outcome: Result<(Vec<String>, Value), (ErrorCode, String)> =
             match request.method.as_str() {
                 "server.info" => self.info().map(|r| (Vec::new(), r)),
+                "server.profile" => self.profile().map(|r| (Vec::new(), r)),
                 "scenario.inject" => self.inject(params).map(|r| (Vec::new(), r)),
                 "scenario.retire" => self.retire(params).map(|r| (Vec::new(), r)),
                 "report.subscribe" => self.subscribe(params).map(|r| (Vec::new(), r)),
@@ -124,6 +125,41 @@ impl Server {
             "scenarios": self.plane.live_scenarios() as i64,
             "pending": self.plane.pending_flows() as i64,
             "digest": digest_str(self.plane.digest()),
+        }))
+    }
+
+    /// `server.profile`: the resident fleet's lifetime statistics and the
+    /// accumulated wall-clock profile. Everything here is host timing —
+    /// never part of digests, transcripts or checkpoints — so the values
+    /// (beyond `runs`/`threads_spawned`/`shards`) are only non-empty when
+    /// the workspace was built with the `profiling` feature.
+    fn profile(&self) -> Result<Value, (ErrorCode, String)> {
+        let (runs, threads_spawned) = self.plane.resident_stats();
+        let profile = self.plane.profile();
+        let phases: Vec<Value> = profile
+            .phases
+            .iter()
+            .map(|(name, stats)| {
+                json!({
+                    "phase": *name,
+                    "calls": stats.calls as i64,
+                    "total_ns": stats.total_ns as i64,
+                    "max_ns": stats.max_ns as i64,
+                })
+            })
+            .collect();
+        let counters: Vec<Value> = profile
+            .counters
+            .iter()
+            .map(|(name, value)| json!({ "counter": *name, "value": *value as i64 }))
+            .collect();
+        Ok(json!({
+            "runs": runs as i64,
+            "threads_spawned": threads_spawned as i64,
+            "shards": self.plane.config().shards as i64,
+            "profiling": mop_simnet::Profiler::enabled(),
+            "phases": phases,
+            "counters": counters,
         }))
     }
 

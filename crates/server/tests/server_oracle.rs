@@ -246,3 +246,33 @@ fn protocol_checkpoint_resume_matches_batch_across_shard_counts() {
         assert_eq!(reply["result"]["pending"].as_u64(), Some(0));
     }
 }
+
+#[test]
+fn server_profile_reports_resident_fleet_stats() {
+    let mut server = Server::new(config(2));
+    server.handle_line(
+        "{\"id\":1,\"method\":\"scenario.inject\",\
+         \"params\":{\"scenario\":\"rush-hour\",\"users\":40,\"seed\":7}}",
+    );
+    let turn = server.handle_line("{\"id\":2,\"method\":\"server.profile\"}");
+    let reply = mop_json::from_str(&turn.frames[0]).unwrap();
+    assert_eq!(reply["result"]["runs"].as_u64(), Some(0), "injecting runs nothing");
+    assert_eq!(reply["result"]["threads_spawned"].as_u64(), Some(2));
+    assert_eq!(reply["result"]["shards"].as_u64(), Some(2));
+
+    server.handle_line("{\"id\":3,\"method\":\"fleet.step\",\"params\":{\"epochs\":3}}");
+    server.handle_line("{\"id\":4,\"method\":\"fleet.step\"}");
+    let turn = server.handle_line("{\"id\":5,\"method\":\"server.profile\"}");
+    let reply = mop_json::from_str(&turn.frames[0]).unwrap();
+    // Both steps had due flows, so both ran on the resident fleet: runs
+    // advanced while the worker threads stayed the ones spawned at start.
+    assert!(reply["result"]["runs"].as_u64().unwrap() >= 2);
+    assert_eq!(reply["result"]["threads_spawned"].as_u64(), Some(2));
+    assert_eq!(reply["result"]["profiling"].as_bool(), Some(mop_simnet::Profiler::enabled()));
+    if !mop_simnet::Profiler::enabled() {
+        // Default builds compile the timers to nothing: the tables must be
+        // empty, not populated with zeros.
+        assert!(reply["result"]["phases"].as_array().unwrap().is_empty());
+        assert!(reply["result"]["counters"].as_array().unwrap().is_empty());
+    }
+}

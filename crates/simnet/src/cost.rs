@@ -166,6 +166,15 @@ impl CpuLedger {
         Self::default()
     }
 
+    /// Empties the ledger back to its just-constructed state — the resident
+    /// engine's between-runs reset, so a warm run's report charges only what
+    /// that run cost.
+    pub fn reset(&mut self) {
+        self.busy.clear();
+        self.memory_bytes.clear();
+        self.memory_peak = 0;
+    }
+
     /// Charges `cost` of CPU time to `component`.
     pub fn charge(&mut self, component: &str, cost: SimDuration) {
         *self.busy.entry(component.to_string()).or_default() += cost;

@@ -29,6 +29,8 @@
 //!   and non-blocking modes plus `protect()` cost modelling,
 //! * [`pool`] — a free-list buffer pool so the packet datapath recycles
 //!   buffers instead of allocating per packet,
+//! * [`profiling`] — wall-clock phase timers and counters for the host-side
+//!   loop, feature-gated (`profiling`) to zero cost when off,
 //! * [`spsc`] — bounded single-producer/single-consumer queues (plus the
 //!   credit gate for batch backpressure) connecting the sharded fleet
 //!   engine's dispatcher, workers and measurement sink,
@@ -64,6 +66,7 @@ pub mod latency;
 pub mod network;
 pub mod pool;
 pub mod profile;
+pub mod profiling;
 pub mod queue;
 pub mod rng;
 pub mod scheduler;
@@ -84,6 +87,7 @@ pub use network::{
 };
 pub use pool::{BatchPool, BufferPool, PacketSlot, PoolStats, SlabBatch};
 pub use profile::{AccessProfile, IspProfile, NetworkType};
+pub use profiling::{PhaseStats, ProfileReport, Profiler};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use scheduler::{SchedulerKind, TimerScheduler};

@@ -147,6 +147,15 @@ impl BufferPool {
     pub fn stats(&self) -> PoolStats {
         self.stats
     }
+
+    /// Restarts the per-run counters (allocations, reuses, recycled) while
+    /// keeping the resident-bytes *gauge*, which describes the free list the
+    /// pool still holds. Called between a resident engine's runs so a warm
+    /// run's report shows what *that run* did — in steady state,
+    /// `allocations == 0` with `reuses > 0`.
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats { resident_bytes: self.stats.resident_bytes, ..Default::default() };
+    }
 }
 
 impl Default for BufferPool {
@@ -354,6 +363,12 @@ impl BatchPool {
     /// Behaviour counters.
     pub fn stats(&self) -> PoolStats {
         self.stats
+    }
+
+    /// Restarts the per-run counters while keeping the resident-bytes gauge
+    /// and the pooled slabs themselves (see [`BufferPool::reset_stats`]).
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats { resident_bytes: self.stats.resident_bytes, ..Default::default() };
     }
 }
 

@@ -1,0 +1,299 @@
+//! First-party wall-clock profiling: monotonic per-phase timers and counters
+//! for the host-side event loop, feature-gated to zero cost when off.
+//!
+//! The repo's determinism story is entirely about *virtual* time; this module
+//! is about the other axis — how long the host actually spends turning the
+//! crank. A [`Profiler`] lives next to an event loop and records named
+//! phases (wall nanoseconds via [`std::time::Instant`]) and named counters
+//! (structure-level facts like "sorted-insert elements shifted"); the run's
+//! harvest is a [`ProfileReport`], which merges across shards exactly like
+//! the other report pieces.
+//!
+//! Everything here is wall-clock bookkeeping and therefore **excluded from
+//! every deterministic digest, equality check and checkpoint encoding** —
+//! the same rule `TunStats::dispatch_stalls` follows.
+//!
+//! # Feature gating
+//!
+//! With the `profiling` cargo feature off (the default), [`Profiler`] is a
+//! zero-sized type whose methods are empty `#[inline]` bodies — the compiler
+//! erases the instrumentation entirely, so the hot loop pays nothing.
+//! [`ProfileReport`] itself is *always* available (reports must be
+//! mergeable regardless of how the producing shard was compiled); a
+//! non-profiled run simply produces an empty one.
+//!
+//! # Example
+//!
+//! ```
+//! use mop_simnet::profiling::Profiler;
+//!
+//! let mut prof = Profiler::default();
+//! let span = prof.begin();
+//! // ... do a phase of work ...
+//! prof.end("relay.dispatch", span);
+//! prof.count("wheel.ready_inserts", 3);
+//! let report = prof.take_report();
+//! # let _ = report;
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Accumulated wall-clock statistics of one named phase.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// How many times the phase ran.
+    pub calls: u64,
+    /// Total wall nanoseconds across all calls.
+    pub total_ns: u64,
+    /// The longest single call, in wall nanoseconds.
+    pub max_ns: u64,
+}
+
+impl PhaseStats {
+    /// Mean wall nanoseconds per call.
+    pub fn mean_ns(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.calls as f64
+        }
+    }
+}
+
+/// What a profiled run measured: named phase timers and named counters.
+///
+/// `BTreeMap` keys keep the rendering order stable. The report merges
+/// associatively (phase totals and counters sum, maxima max), so fleet
+/// shards' reports fold together exactly like the rest of `RunReport`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ProfileReport {
+    /// Wall-clock phase timers, by phase name.
+    pub phases: BTreeMap<&'static str, PhaseStats>,
+    /// Structure-level counters, by counter name.
+    pub counters: BTreeMap<&'static str, u64>,
+}
+
+impl ProfileReport {
+    /// True if the report holds no measurements (e.g. the producing side was
+    /// compiled without the `profiling` feature).
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty() && self.counters.is_empty()
+    }
+
+    /// Folds another report into this one: phase calls/totals and counters
+    /// sum, phase maxima take the max.
+    pub fn merge(&mut self, other: &ProfileReport) {
+        for (name, stats) in &other.phases {
+            let mine = self.phases.entry(name).or_default();
+            mine.calls += stats.calls;
+            mine.total_ns += stats.total_ns;
+            mine.max_ns = mine.max_ns.max(stats.max_ns);
+        }
+        for (name, count) in &other.counters {
+            *self.counters.entry(name).or_default() += count;
+        }
+    }
+
+    /// Total wall nanoseconds across every phase (phases are disjoint by
+    /// construction in the engine's instrumentation).
+    pub fn total_ns(&self) -> u64 {
+        self.phases.values().map(|p| p.total_ns).sum()
+    }
+}
+
+/// An in-flight phase measurement returned by [`Profiler::begin`] and
+/// consumed by [`Profiler::end`].
+///
+/// With profiling off this is a zero-sized token, so passing it around is
+/// free.
+#[derive(Debug)]
+pub struct Span {
+    #[cfg(feature = "profiling")]
+    started: std::time::Instant,
+}
+
+/// The collector: owns the phase and counter tables for one event loop.
+///
+/// All methods are `#[inline]` no-ops when the `profiling` feature is off.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    #[cfg(feature = "profiling")]
+    report: ProfileReport,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a phase measurement.
+    #[inline]
+    pub fn begin(&self) -> Span {
+        Span {
+            #[cfg(feature = "profiling")]
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Ends a phase measurement under `name`.
+    #[inline]
+    pub fn end(&mut self, name: &'static str, span: Span) {
+        #[cfg(feature = "profiling")]
+        {
+            let ns = span.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            let stats = self.report.phases.entry(name).or_default();
+            stats.calls += 1;
+            stats.total_ns += ns;
+            stats.max_ns = stats.max_ns.max(ns);
+        }
+        #[cfg(not(feature = "profiling"))]
+        {
+            let _ = (name, span);
+        }
+    }
+
+    /// Adds `n` to the counter `name`.
+    #[inline]
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        #[cfg(feature = "profiling")]
+        {
+            *self.report.counters.entry(name).or_default() += n;
+        }
+        #[cfg(not(feature = "profiling"))]
+        {
+            let _ = (name, n);
+        }
+    }
+
+    /// Sets the counter `name` to `n` (for gauges harvested once per run).
+    #[inline]
+    pub fn record(&mut self, name: &'static str, n: u64) {
+        #[cfg(feature = "profiling")]
+        {
+            self.report.counters.insert(name, n);
+        }
+        #[cfg(not(feature = "profiling"))]
+        {
+            let _ = (name, n);
+        }
+    }
+
+    /// Harvests the accumulated report, leaving the profiler empty — the
+    /// per-run reset, so a resident engine's second run starts from zero.
+    #[inline]
+    pub fn take_report(&mut self) -> ProfileReport {
+        #[cfg(feature = "profiling")]
+        {
+            std::mem::take(&mut self.report)
+        }
+        #[cfg(not(feature = "profiling"))]
+        {
+            ProfileReport::default()
+        }
+    }
+
+    /// True when the crate was compiled with the `profiling` feature, i.e.
+    /// when this profiler actually records anything.
+    pub const fn enabled() -> bool {
+        cfg!(feature = "profiling")
+    }
+}
+
+/// Renders a report as an aligned text table (the `report --profile` view):
+/// one row per phase sorted by total time descending, then the counters.
+/// Returns an empty string for an empty report.
+pub fn render_table(report: &ProfileReport) -> String {
+    if report.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let mut phases: Vec<(&&'static str, &PhaseStats)> = report.phases.iter().collect();
+    phases.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+    if !phases.is_empty() {
+        out.push_str(&format!(
+            "{:<28} {:>12} {:>14} {:>12} {:>12}\n",
+            "phase", "calls", "total_ms", "mean_us", "max_us"
+        ));
+        for (name, p) in phases {
+            out.push_str(&format!(
+                "{:<28} {:>12} {:>14.3} {:>12.3} {:>12.3}\n",
+                name,
+                p.calls,
+                p.total_ns as f64 / 1e6,
+                p.mean_ns() / 1e3,
+                p.max_ns as f64 / 1e3
+            ));
+        }
+    }
+    if !report.counters.is_empty() {
+        out.push_str(&format!("{:<28} {:>12}\n", "counter", "value"));
+        for (name, v) in &report.counters {
+            out.push_str(&format!("{:<28} {:>12}\n", name, v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = ProfileReport::default();
+        a.phases.insert("x", PhaseStats { calls: 2, total_ns: 100, max_ns: 80 });
+        a.counters.insert("c", 5);
+        let mut b = ProfileReport::default();
+        b.phases.insert("x", PhaseStats { calls: 1, total_ns: 50, max_ns: 50 });
+        b.phases.insert("y", PhaseStats { calls: 1, total_ns: 10, max_ns: 10 });
+        b.counters.insert("c", 7);
+        b.counters.insert("d", 1);
+        a.merge(&b);
+        assert_eq!(a.phases["x"], PhaseStats { calls: 3, total_ns: 150, max_ns: 80 });
+        assert_eq!(a.phases["y"].total_ns, 10);
+        assert_eq!(a.counters["c"], 12);
+        assert_eq!(a.counters["d"], 1);
+        assert_eq!(a.total_ns(), 160);
+    }
+
+    #[test]
+    fn profiler_records_iff_feature_enabled() {
+        let mut prof = Profiler::new();
+        let span = prof.begin();
+        prof.end("phase", span);
+        prof.count("ctr", 3);
+        let report = prof.take_report();
+        if Profiler::enabled() {
+            assert_eq!(report.phases["phase"].calls, 1);
+            assert_eq!(report.counters["ctr"], 3);
+            assert!(!render_table(&report).is_empty());
+        } else {
+            assert!(report.is_empty());
+            assert!(render_table(&report).is_empty());
+        }
+        // Harvesting resets: the next report starts from zero.
+        assert!(prof.take_report().is_empty());
+    }
+
+    #[test]
+    fn render_table_lists_phases_by_total_time() {
+        let mut report = ProfileReport::default();
+        report.phases.insert("small", PhaseStats { calls: 1, total_ns: 10, max_ns: 10 });
+        report.phases.insert("big", PhaseStats { calls: 4, total_ns: 4_000_000, max_ns: 2_000_000 });
+        report.counters.insert("shifts", 42);
+        let table = render_table(&report);
+        let big_at = table.find("big").unwrap();
+        let small_at = table.find("small").unwrap();
+        assert!(big_at < small_at, "phases must sort by total time:\n{table}");
+        assert!(table.contains("shifts"));
+        assert!(table.contains("42"));
+    }
+
+    #[test]
+    fn phase_stats_mean() {
+        let p = PhaseStats { calls: 4, total_ns: 1000, max_ns: 700 };
+        assert_eq!(p.mean_ns(), 250.0);
+        assert_eq!(PhaseStats::default().mean_ns(), 0.0);
+    }
+}

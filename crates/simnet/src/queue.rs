@@ -111,6 +111,16 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Resets the queue to its just-constructed state, keeping the heap's
+    /// allocation: pending events are dropped and the sequence and schedule
+    /// accounting restart — the clear-don't-drop reuse path, mirroring
+    /// [`crate::wheel::TimingWheel::reset`].
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.scheduled_total = 0;
+    }
 }
 
 #[cfg(test)]

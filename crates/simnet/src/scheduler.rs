@@ -112,6 +112,20 @@ impl<E> HeapScheduler<E> {
             self.free.push(idx);
         }
     }
+
+    /// Resets to the just-constructed state, keeping the queue and slab
+    /// allocations (see [`TimerScheduler::reset`]).
+    fn reset(&mut self) {
+        self.queue.reset();
+        self.free.clear();
+        for (i, entry) in self.slab.iter_mut().enumerate() {
+            if entry.event.take().is_some() {
+                entry.generation = entry.generation.wrapping_add(1);
+            }
+            self.free.push(i as u32);
+        }
+        self.live = 0;
+    }
 }
 
 /// A timer scheduler: schedule/cancel/pop with deterministic FIFO tie-order,
@@ -207,6 +221,28 @@ impl<E> TimerScheduler<E> {
         match self {
             Self::Wheel(_) => SchedulerKind::Wheel,
             Self::Heap(_) => SchedulerKind::Heap,
+        }
+    }
+
+    /// Resets the scheduler to its just-constructed state while keeping
+    /// every allocation: pending events are dropped and the sequence and
+    /// schedule accounting restart from zero. A reset scheduler is
+    /// behaviourally indistinguishable from a fresh one — the clear-don't-
+    /// drop rule of the resident engine's reuse path.
+    pub fn reset(&mut self) {
+        match self {
+            Self::Wheel(w) => w.reset(),
+            Self::Heap(h) => h.reset(),
+        }
+    }
+
+    /// The backend's gated instrumentation, as `(counter name, value)` pairs
+    /// — all zero unless the `profiling` feature is on (the heap backend has
+    /// none either way).
+    pub fn profile_counters(&self) -> Vec<(&'static str, u64)> {
+        match self {
+            Self::Wheel(w) => w.profile_counters().to_vec(),
+            Self::Heap(_) => Vec::new(),
         }
     }
 }

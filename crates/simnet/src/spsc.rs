@@ -36,8 +36,9 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::Thread;
 
 /// How many spin-loop iterations a blocked side burns before yielding the
 /// thread. Bounded waits keep latency low without monopolising a core.
@@ -50,6 +51,11 @@ const YIELDS_BEFORE_SLEEP: u32 = 32;
 /// How long the sleep phase parks the thread per pause. Long enough to free
 /// the core for the peer, short enough to stay responsive once it drains.
 const SLEEP_PAUSE: std::time::Duration = std::time::Duration::from_micros(100);
+
+/// Safety-net bound on a parked `recv`. The normal wake-up is an explicit
+/// `unpark` from the producer (or the sender's drop), so this only limits
+/// how long a theoretical lost wake-up could strand the consumer.
+const PARK_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(100);
 
 /// An escalating wait strategy for blocked queue endpoints: spin briefly
 /// (cheapest if the peer is about to act), then yield the time slice, then
@@ -86,6 +92,13 @@ impl Backoff {
         }
         self.step = self.step.saturating_add(1);
     }
+
+    /// True once the spin and yield phases are exhausted — the point where
+    /// the next `pause` would sleep, and a caller with a real wake-up signal
+    /// (like `recv`'s park/unpark handshake) should block on that instead.
+    pub fn exhausted(&self) -> bool {
+        self.step >= SPINS_BEFORE_YIELD + YIELDS_BEFORE_SLEEP
+    }
 }
 
 struct Ring<T> {
@@ -100,6 +113,14 @@ struct Ring<T> {
     /// observable face of backpressure. Wall-clock scheduling detail, never
     /// part of a deterministic digest.
     stalls: AtomicU64,
+    /// True while the consumer is parked (or committing to park) in `recv`.
+    /// A long-idle consumer blocks on `park` instead of a sleep loop, so a
+    /// resident shard worker waiting for its next run costs zero wake-ups —
+    /// on a small host the 10 kHz sleep-poll of even a handful of parked
+    /// workers measurably preempts the threads doing real work.
+    consumer_parked: AtomicBool,
+    /// The consumer thread to `unpark`, registered by `recv` before parking.
+    waiter: Mutex<Option<Thread>>,
 }
 
 // The ring hands each `T` from exactly one thread to exactly one other
@@ -112,6 +133,22 @@ unsafe impl<T: Send> Sync for Ring<T> {}
 impl<T> Ring<T> {
     fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Wakes the consumer if it is parked in `recv`. Callers must have
+    /// already published whatever the consumer is waiting for (an item, or
+    /// the closed flag) and issued a `SeqCst` fence: the fence pairs with
+    /// the one in `recv`'s park path, so either the consumer's re-check sees
+    /// the publication, or this load sees the parked flag — a wake-up cannot
+    /// fall between them.
+    fn wake_consumer(&self) {
+        if self.consumer_parked.load(Ordering::Relaxed)
+            && self.consumer_parked.swap(false, Ordering::AcqRel)
+        {
+            if let Some(thread) = self.waiter.lock().expect("ring waiter lock").as_ref() {
+                thread.unpark();
+            }
+        }
     }
 }
 
@@ -167,6 +204,8 @@ pub fn spsc_channel<T: Send>(capacity: usize) -> (SpscSender<T>, SpscReceiver<T>
         tail: AtomicUsize::new(0),
         closed: AtomicBool::new(false),
         stalls: AtomicU64::new(0),
+        consumer_parked: AtomicBool::new(false),
+        waiter: Mutex::new(None),
     });
     (SpscSender { ring: Arc::clone(&ring) }, SpscReceiver { ring })
 }
@@ -188,6 +227,12 @@ impl<T: Send> SpscSender<T> {
         // slot, and we are the only producer.
         unsafe { (*slot).write(value) };
         self.ring.tail.store(tail + 1, Ordering::Release);
+        // Order the tail publication before the parked-flag read (x86 would
+        // otherwise let the load complete first), then wake a parked
+        // consumer. Sends are per-burst, not per-packet, so the fence is off
+        // the packet path.
+        fence(Ordering::SeqCst);
+        self.ring.wake_consumer();
         Ok(())
     }
 
@@ -240,6 +285,9 @@ impl<T: Send> SpscSender<T> {
 impl<T> Drop for SpscSender<T> {
     fn drop(&mut self) {
         self.ring.closed.store(true, Ordering::Release);
+        // A consumer parked in `recv` must observe the close and return.
+        fence(Ordering::SeqCst);
+        self.ring.wake_consumer();
     }
 }
 
@@ -260,9 +308,13 @@ impl<T: Send> SpscReceiver<T> {
         Some(value)
     }
 
-    /// Dequeues one item, waiting with an escalating spin → yield → sleep
-    /// backoff while the queue is empty. Returns `None` only when the sender
-    /// is dropped *and* the queue has been fully drained.
+    /// Dequeues one item, waiting while the queue is empty: an escalating
+    /// spin → yield backoff first (cheapest when the producer is mid-burst),
+    /// then a real `park` until the producer's next send — or its drop —
+    /// unparks us. A long-idle consumer (a resident shard worker between
+    /// runs) therefore costs zero wake-ups instead of a sleep-poll loop.
+    /// Returns `None` only when the sender is dropped *and* the queue has
+    /// been fully drained.
     pub fn recv(&self) -> Option<T> {
         let mut backoff = Backoff::new();
         loop {
@@ -274,8 +326,31 @@ impl<T: Send> SpscReceiver<T> {
                 // `try_recv` and the closed read.
                 return self.try_recv();
             }
-            backoff.pause();
+            if backoff.exhausted() {
+                self.park_until_woken();
+            } else {
+                backoff.pause();
+            }
         }
+    }
+
+    /// Blocks the consumer until the producer wakes it (next send or drop).
+    /// The parked flag is published *before* the final emptiness re-check;
+    /// the `SeqCst` fences here and on the producer side guarantee that
+    /// either the re-check sees the producer's publication, or the producer
+    /// sees the flag and unparks — never neither. `PARK_TIMEOUT` bounds the
+    /// wait anyway, and the caller's loop re-checks on every return, so a
+    /// spurious unpark is just a retry.
+    fn park_until_woken(&self) {
+        *self.ring.waiter.lock().expect("ring waiter lock") = Some(std::thread::current());
+        self.ring.consumer_parked.store(true, Ordering::Release);
+        fence(Ordering::SeqCst);
+        if !self.is_empty() || self.ring.closed.load(Ordering::Acquire) {
+            self.ring.consumer_parked.store(false, Ordering::Release);
+            return;
+        }
+        std::thread::park_timeout(PARK_TIMEOUT);
+        self.ring.consumer_parked.store(false, Ordering::Release);
     }
 
     /// Number of blocking sends that found the ring full and had to wait

@@ -118,6 +118,12 @@ pub struct TimingWheel<E> {
     live: usize,
     next_seq: u64,
     scheduled_total: u64,
+    /// Wall-clock instrumentation (written only under the `profiling`
+    /// feature; plain fields so the struct shape never changes): schedules
+    /// that landed in the sorted due buffer, and the elements those sorted
+    /// inserts had to shift.
+    ready_inserts: u64,
+    ready_shift_elems: u64,
 }
 
 impl<E> Default for TimingWheel<E> {
@@ -209,6 +215,8 @@ impl<E> TimingWheel<E> {
             live: 0,
             next_seq: 0,
             scheduled_total: 0,
+            ready_inserts: 0,
+            ready_shift_elems: 0,
         }
     }
 
@@ -317,6 +325,32 @@ impl<E> TimingWheel<E> {
         self.scheduled_total
     }
 
+    /// Resets the wheel to its just-constructed state while keeping every
+    /// allocation (slot buckets, slab, due buffer, free list): pending
+    /// events are dropped, the cursor returns to tick zero and the sequence
+    /// and schedule accounting restart. This is the clear-don't-drop reuse
+    /// path a resident engine takes between runs — behaviourally equivalent
+    /// to a fresh wheel (pop order depends only on `(at, seq)`, both of
+    /// which restart), differing only in which slab indices future handles
+    /// receive, which nothing observes.
+    pub fn reset(&mut self) {
+        self.clear();
+        self.elapsed = 0;
+        self.next_seq = 0;
+        self.scheduled_total = 0;
+        self.ready_inserts = 0;
+        self.ready_shift_elems = 0;
+    }
+
+    /// The wheel's gated instrumentation, as `(counter name, value)` pairs —
+    /// all zero unless the crate was compiled with the `profiling` feature.
+    pub fn profile_counters(&self) -> [(&'static str, u64); 2] {
+        [
+            ("wheel.ready_inserts", self.ready_inserts),
+            ("wheel.ready_shift_elems", self.ready_shift_elems),
+        ]
+    }
+
     /// Removes all pending events. The cursor and the schedule accounting
     /// are kept, matching [`crate::queue::EventQueue::clear`].
     pub fn clear(&mut self) {
@@ -393,6 +427,8 @@ impl<E> TimingWheel<E> {
             live: snapshot.live,
             next_seq: snapshot.next_seq,
             scheduled_total: snapshot.scheduled_total,
+            ready_inserts: 0,
+            ready_shift_elems: 0,
         }
     }
 
@@ -445,6 +481,11 @@ impl<E> TimingWheel<E> {
             let e = &self.slab[i as usize];
             (e.at, e.seq) <= (at, seq)
         });
+        #[cfg(feature = "profiling")]
+        {
+            self.ready_inserts += 1;
+            self.ready_shift_elems += (tail.len() - offset) as u64;
+        }
         self.ready.insert(self.ready_pos + offset, idx);
     }
 

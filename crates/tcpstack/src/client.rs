@@ -131,6 +131,16 @@ impl ClientRegistry {
         }
     }
 
+    /// Resets the registry to its just-constructed state, keeping the table
+    /// allocation: the ISN counter restarts so a reused registry hands out
+    /// the same sequence numbers a fresh one would.
+    pub fn reset(&mut self) {
+        self.clients.clear();
+        self.isn_counter = 0x1000;
+        self.created_total = 0;
+        self.removed_total = 0;
+    }
+
     /// Returns the client for `flow`, creating it (with a fresh ISN) if absent.
     pub fn get_or_create(&mut self, flow: FourTuple) -> &mut TcpClient {
         if !self.clients.contains_key(&flow) {

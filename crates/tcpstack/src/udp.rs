@@ -131,6 +131,12 @@ impl UdpRegistry {
         Self { associations: HashMap::with_capacity(capacity) }
     }
 
+    /// Resets the registry to its just-constructed state, keeping the table
+    /// allocation.
+    pub fn reset(&mut self) {
+        self.associations.clear();
+    }
+
     /// Returns the association for `flow`, creating it if absent.
     pub fn get_or_create(&mut self, flow: FourTuple) -> &mut UdpAssociation {
         self.associations.entry(flow).or_insert_with(|| UdpAssociation::new(flow))

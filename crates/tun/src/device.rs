@@ -155,6 +155,15 @@ impl TunDevice {
     pub fn stats(&self) -> TunStats {
         self.stats
     }
+
+    /// Resets the device to its just-constructed state, keeping the queue
+    /// allocations — the clear-don't-drop reuse path of a resident engine.
+    pub fn reset(&mut self) {
+        self.outbound.clear();
+        self.inbound.clear();
+        self.stats = TunStats::default();
+        self.dummy_injected = false;
+    }
 }
 
 #[cfg(test)]

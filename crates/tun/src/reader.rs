@@ -125,6 +125,12 @@ impl ReaderSim {
         self.strategy
     }
 
+    /// Resets the reader to its just-constructed state for the same strategy
+    /// — poll loop back at time zero, accounting cleared.
+    pub fn reset(&mut self) {
+        *self = Self::new(self.strategy);
+    }
+
     /// Simulates the retrieval of a packet that arrived in the tunnel at
     /// `arrival`.
     ///
